@@ -1,0 +1,27 @@
+#![allow(unused_imports)]
+//! Regenerates paper Table I (predication / CFD applicability) and
+//! times the static analyses.
+use criterion::{criterion_group, criterion_main, Criterion};
+use probranch_bench::{experiments, render, ExperimentScale};
+use probranch_workloads::{Benchmark, BenchmarkId, Scale};
+use probranch_pipeline::{simulate, SimConfig, PredictorChoice};
+use probranch_core::PbsConfig;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", render::table1(&experiments::table1()));
+    let prog = BenchmarkId::Photon.build(Scale::Smoke, 1).program();
+    c.bench_function("table1/photon_predication_and_cfd_analysis", |b| {
+        b.iter(|| {
+            let p = probranch_compiler::predication::analyze_program(&prog);
+            let f = probranch_compiler::cfd::analyze_program(&prog);
+            (p.len(), f.len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

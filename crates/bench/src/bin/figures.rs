@@ -1,0 +1,30 @@
+//! Regenerates every table and figure of the PBS paper in one run.
+//!
+//! ```text
+//! PROBRANCH_SCALE=bench cargo run -p probranch-bench --bin figures --release
+//! ```
+//!
+//! Scales: `smoke` (seconds), `bench` (default, ~2 minutes), `paper`
+//! (figure-quality, ~10 minutes).
+
+use probranch_bench::experiments::{self, ExperimentScale};
+use probranch_bench::render;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let t0 = std::time::Instant::now();
+    println!("probranch — regenerating all tables & figures at {scale:?} scale\n");
+
+    println!("{}", render::table2(&experiments::table2(scale)));
+    println!("{}", render::table1(&experiments::table1()));
+    println!("{}", render::fig1(&experiments::fig1(scale)));
+    println!("{}", render::fig6(&experiments::fig6(scale)));
+    println!("{}", render::ipc(&experiments::fig7(scale), "FIG 7 — normalized IPC, 4-wide / 168-entry ROB"));
+    println!("{}", render::ipc(&experiments::fig8(scale), "FIG 8 — normalized IPC, 8-wide / 256-entry ROB"));
+    println!("{}", render::fig9(&experiments::fig9(scale)));
+    println!("{}", render::table3(&experiments::table3(scale)));
+    println!("{}", render::accuracy(&experiments::accuracy(scale)));
+    println!("{}", render::cost(&experiments::hardware_cost()));
+
+    println!("total wall time: {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,235 @@
+//! Plain-text rendering of the experiment rows, in the layout of the
+//! paper's tables and figures.
+
+use crate::experiments::{
+    AccuracyRow, CostRow, Fig1Row, Fig6Row, Fig9Row, IpcRow, Table1Row, Table2Row, Table3Row,
+};
+use probranch_stats::summary::Summary;
+
+fn rule(width: usize) -> String {
+    "-".repeat(width)
+}
+
+/// Renders Figure 1.
+pub fn fig1(rows: &[Fig1Row]) -> String {
+    let mut s = String::new();
+    s.push_str("FIG 1 — probabilistic vs regular branches\n");
+    s.push_str(&format!(
+        "{:<12} {:>12} {:>18} {:>18}\n",
+        "benchmark", "% dyn branch", "% tour mispredict", "% tage mispredict"
+    ));
+    s.push_str(&rule(64));
+    s.push('\n');
+    for r in rows {
+        s.push_str(&format!(
+            "{:<12} {:>12.1} {:>18.1} {:>18.1}\n",
+            r.name, r.prob_branch_share, r.tournament_mispredict_share, r.tage_mispredict_share
+        ));
+    }
+    let n = rows.len() as f64;
+    s.push_str(&format!(
+        "{:<12} {:>12.1} {:>18.1} {:>18.1}\n",
+        "average",
+        rows.iter().map(|r| r.prob_branch_share).sum::<f64>() / n,
+        rows.iter().map(|r| r.tournament_mispredict_share).sum::<f64>() / n,
+        rows.iter().map(|r| r.tage_mispredict_share).sum::<f64>() / n,
+    ));
+    s
+}
+
+/// Renders Table I.
+pub fn table1(rows: &[Table1Row]) -> String {
+    let mut s = String::new();
+    s.push_str("TABLE I — applicability of predication and CFD\n");
+    s.push_str(&format!("{:<12} {:>11} {:>6}   notes\n", "benchmark", "predication", "cfd"));
+    s.push_str(&rule(70));
+    s.push('\n');
+    for r in rows {
+        let mark = |b: bool| if b { "yes" } else { "x" };
+        let note = r
+            .predication_reason
+            .as_deref()
+            .or(r.cfd_reason.as_deref())
+            .unwrap_or("");
+        s.push_str(&format!("{:<12} {:>11} {:>6}   {}\n", r.name, mark(r.predication), mark(r.cfd), note));
+    }
+    s
+}
+
+/// Renders Table II.
+pub fn table2(rows: &[Table2Row]) -> String {
+    let mut s = String::new();
+    s.push_str("TABLE II — benchmark characteristics\n");
+    s.push_str(&format!(
+        "{:<12} {:>16} {:>9} {:>16}\n",
+        "benchmark", "prob/total branch", "category", "simulated insns"
+    ));
+    s.push_str(&rule(58));
+    s.push('\n');
+    for r in rows {
+        s.push_str(&format!(
+            "{:<12} {:>13}/{:<3} {:>8} {:>16}\n",
+            r.name, r.prob_branches, r.total_branches, r.category, r.dynamic_insts
+        ));
+    }
+    s
+}
+
+/// Renders Figure 6.
+pub fn fig6(rows: &[Fig6Row]) -> String {
+    let mut s = String::new();
+    s.push_str("FIG 6 — MPKI reduction through PBS\n");
+    s.push_str(&format!(
+        "{:<12} {:>10} {:>10} {:>8} | {:>10} {:>10} {:>8}\n",
+        "benchmark", "tour-base", "tour-pbs", "red %", "tage-base", "tage-pbs", "red %"
+    ));
+    s.push_str(&rule(78));
+    s.push('\n');
+    for r in rows {
+        s.push_str(&format!(
+            "{:<12} {:>10.3} {:>10.3} {:>8.1} | {:>10.3} {:>10.3} {:>8.1}\n",
+            r.name,
+            r.tournament_base,
+            r.tournament_pbs,
+            r.tournament_reduction(),
+            r.tage_base,
+            r.tage_pbs,
+            r.tage_reduction()
+        ));
+    }
+    let n = rows.len() as f64;
+    s.push_str(&format!(
+        "{:<12} {:>10} {:>10} {:>8.1} | {:>10} {:>10} {:>8.1}\n",
+        "average",
+        "",
+        "",
+        rows.iter().map(Fig6Row::tournament_reduction).sum::<f64>() / n,
+        "",
+        "",
+        rows.iter().map(Fig6Row::tage_reduction).sum::<f64>() / n,
+    ));
+    s
+}
+
+/// Renders Figure 7 or 8.
+pub fn ipc(rows: &[IpcRow], title: &str) -> String {
+    let mut s = String::new();
+    s.push_str(title);
+    s.push('\n');
+    s.push_str(&format!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10}\n",
+        "benchmark", "tour", "tage", "tour+pbs", "tage+pbs"
+    ));
+    s.push_str(&rule(56));
+    s.push('\n');
+    for r in rows {
+        s.push_str(&format!(
+            "{:<12} {:>10.3} {:>10.3} {:>10.3} {:>10.3}\n",
+            r.name, 1.0, r.tage, r.tournament_pbs, r.tage_pbs
+        ));
+    }
+    let n = rows.len() as f64;
+    s.push_str(&format!(
+        "{:<12} {:>10.3} {:>10.3} {:>10.3} {:>10.3}\n",
+        "average",
+        1.0,
+        rows.iter().map(|r| r.tage).sum::<f64>() / n,
+        rows.iter().map(|r| r.tournament_pbs).sum::<f64>() / n,
+        rows.iter().map(|r| r.tage_pbs).sum::<f64>() / n,
+    ));
+    s
+}
+
+/// Renders Figure 9.
+pub fn fig9(rows: &[Fig9Row]) -> String {
+    let mut s = String::new();
+    s.push_str("FIG 9 — regular-branch MPKI increase from prob-branch interference (tournament)\n");
+    s.push_str(&format!("{:<12} {:>16}\n", "benchmark", "max increase %"));
+    s.push_str(&rule(30));
+    s.push('\n');
+    for r in rows {
+        s.push_str(&format!("{:<12} {:>16.2}\n", r.name, r.max_increase_pct));
+    }
+    s
+}
+
+fn interval(s: &Summary) -> String {
+    format!("{:.0}-{:.0}", s.hi.round(), s.lo.round())
+}
+
+/// Renders Table III.
+pub fn table3(rows: &[Table3Row]) -> String {
+    let mut s = String::new();
+    s.push_str("TABLE III — randomness battery (95% CI across seeds, hi-lo)\n");
+    s.push_str(&format!(
+        "{:<12} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7}\n",
+        "benchmark", "o-PASS", "o-WEAK", "o-FAIL", "p-PASS", "p-WEAK", "p-FAIL"
+    ));
+    s.push_str(&rule(66));
+    s.push('\n');
+    for r in rows {
+        s.push_str(&format!(
+            "{:<12} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7}\n",
+            r.name,
+            interval(&r.orig_pass),
+            interval(&r.orig_weak),
+            interval(&r.orig_fail),
+            interval(&r.pbs_pass),
+            interval(&r.pbs_weak),
+            interval(&r.pbs_fail),
+        ));
+    }
+    s
+}
+
+/// Renders the accuracy table.
+pub fn accuracy(rows: &[AccuracyRow]) -> String {
+    let mut s = String::new();
+    s.push_str("§VII-D — output accuracy under PBS\n");
+    s.push_str(&format!("{:<12} {:<26} {:>12} {:>8}\n", "benchmark", "metric", "value", "ok"));
+    s.push_str(&rule(62));
+    s.push('\n');
+    for r in rows {
+        s.push_str(&format!(
+            "{:<12} {:<26} {:>12.5} {:>8}\n",
+            r.name,
+            r.metric,
+            r.value,
+            if r.acceptable { "yes" } else { "NO" }
+        ));
+    }
+    s
+}
+
+/// Renders the hardware-cost table.
+pub fn cost(rows: &[CostRow]) -> String {
+    let mut s = String::new();
+    s.push_str("§V-C2 — PBS hardware cost\n");
+    for r in rows {
+        s.push_str(&format!("{:<55} {:>5} bytes\n", r.config, r.bytes));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_is_nonempty_and_contains_names() {
+        let rows = vec![Fig1Row {
+            name: "DOP",
+            prob_branch_share: 2.0,
+            tournament_mispredict_share: 19.0,
+            tage_mispredict_share: 23.0,
+        }];
+        let out = fig1(&rows);
+        assert!(out.contains("DOP") && out.contains("19.0") && out.contains("average"));
+    }
+
+    #[test]
+    fn table3_interval_format() {
+        let s = Summary { mean: 44.0, lo: 40.2, hi: 48.4, n: 7 };
+        assert_eq!(interval(&s), "48-40");
+    }
+}

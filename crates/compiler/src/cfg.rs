@@ -1,0 +1,173 @@
+//! Basic blocks and the control-flow graph.
+
+use probranch_isa::{Inst, Program};
+
+/// A basic block: a maximal straight-line instruction range
+/// `[start, end)` ended by a control transfer or a leader boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// First instruction index.
+    pub start: u32,
+    /// One past the last instruction index.
+    pub end: u32,
+    /// Successor block start indices.
+    pub succs: Vec<u32>,
+}
+
+impl Block {
+    /// Instruction indices in the block.
+    pub fn range(&self) -> std::ops::Range<u32> {
+        self.start..self.end
+    }
+}
+
+/// The control-flow graph of a program.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    blocks: Vec<Block>,
+}
+
+impl Cfg {
+    /// Builds the CFG. Calls are treated as fall-through edges (the
+    /// callee is a separate region); `ret` and `halt` end blocks with no
+    /// successors.
+    pub fn build(program: &Program) -> Cfg {
+        let len = program.len() as u32;
+        let mut leaders = vec![false; len as usize];
+        if len > 0 {
+            leaders[0] = true;
+        }
+        for (pc, inst) in program.iter() {
+            match inst {
+                Inst::Jf { target }
+                | Inst::Br { target, .. }
+                | Inst::Jmp { target }
+                | Inst::ProbJmp { target: Some(target), .. } => {
+                    leaders[*target as usize] = true;
+                    if pc + 1 < len {
+                        leaders[(pc + 1) as usize] = true;
+                    }
+                }
+                Inst::Call { .. } | Inst::Ret | Inst::Halt => {
+                    if pc + 1 < len {
+                        leaders[(pc + 1) as usize] = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Callee entries are leaders too.
+        for (_, inst) in program.iter() {
+            if let Inst::Call { target } = inst {
+                leaders[*target as usize] = true;
+            }
+        }
+
+        let starts: Vec<u32> = (0..len).filter(|&i| leaders[i as usize]).collect();
+        let mut blocks = Vec::with_capacity(starts.len());
+        for (i, &start) in starts.iter().enumerate() {
+            let end = starts.get(i + 1).copied().unwrap_or(len);
+            let last = program.fetch(end - 1);
+            let mut succs = Vec::new();
+            match last {
+                Inst::Jmp { target } => succs.push(*target),
+                Inst::Jf { target } | Inst::Br { target, .. } | Inst::ProbJmp { target: Some(target), .. } => {
+                    succs.push(*target);
+                    if end < len {
+                        succs.push(end);
+                    }
+                }
+                Inst::Ret | Inst::Halt => {}
+                // Calls: fall through past the call (function-local CFG).
+                _ => {
+                    if end < len {
+                        succs.push(end);
+                    }
+                }
+            }
+            blocks.push(Block { start, end, succs });
+        }
+        Cfg { blocks }
+    }
+
+    /// All blocks, in address order.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// The block containing instruction `pc`.
+    pub fn block_of(&self, pc: u32) -> Option<&Block> {
+        self.blocks.iter().find(|b| b.range().contains(&pc))
+    }
+
+    /// Whether a block starting at `start` exists.
+    pub fn block_at(&self, start: u32) -> Option<&Block> {
+        self.blocks.iter().find(|b| b.start == start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probranch_isa::parse_asm;
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let p = parse_asm("nop\nnop\nhalt").unwrap();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.blocks().len(), 1);
+        assert_eq!(cfg.blocks()[0].range(), 0..3);
+        assert!(cfg.blocks()[0].succs.is_empty());
+    }
+
+    #[test]
+    fn diamond_shape() {
+        let p = parse_asm(
+            r"
+            br eq, r1, 0, else_part
+            add r2, r2, 1
+            jmp join
+        else_part:
+            add r2, r2, 2
+        join:
+            halt
+        ",
+        )
+        .unwrap();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.blocks().len(), 4);
+        let entry = cfg.block_at(0).unwrap();
+        assert_eq!(entry.succs, vec![3, 1]);
+        let then_b = cfg.block_at(1).unwrap();
+        assert_eq!(then_b.succs, vec![4]);
+        let else_b = cfg.block_at(3).unwrap();
+        assert_eq!(else_b.succs, vec![4]);
+        assert!(cfg.block_at(4).unwrap().succs.is_empty());
+    }
+
+    #[test]
+    fn loop_back_edge() {
+        let p = parse_asm("top: add r1, r1, 1\n br lt, r1, 9, top\n halt").unwrap();
+        let cfg = Cfg::build(&p);
+        let b = cfg.block_of(1).unwrap();
+        assert!(b.succs.contains(&0), "back edge to loop head");
+        assert!(b.succs.contains(&2), "fall-through exit");
+    }
+
+    #[test]
+    fn call_creates_leader_at_callee() {
+        let p = parse_asm("call f\n halt\nf: ret").unwrap();
+        let cfg = Cfg::build(&p);
+        assert!(cfg.block_at(2).is_some(), "callee entry is a block");
+        // Call falls through in the local CFG.
+        assert_eq!(cfg.block_at(0).unwrap().succs, vec![1]);
+    }
+
+    #[test]
+    fn block_of_finds_containing_block() {
+        let p = parse_asm("nop\nnop\nnop\nhalt").unwrap();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.block_of(2).unwrap().start, 0);
+        assert!(cfg.block_of(99).is_none());
+    }
+}

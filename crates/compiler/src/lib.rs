@@ -1,0 +1,79 @@
+//! # probranch-compiler
+//!
+//! The software-support side of PBS (*Architectural Support for
+//! Probabilistic Branches*, MICRO 2018, Sections II-B and V-B): static
+//! analyses and transforms over `probranch` programs.
+//!
+//! * [`mod@cfg`] — basic blocks and the control-flow graph;
+//! * [`loops`] — natural-loop detection (structured programs);
+//! * [`taint`] — RNG-taint propagation and **automatic
+//!   probabilistic-branch marking** (the paper's "let the compiler track
+//!   the locations where random numbers are generated"), including
+//!   pattern-based detection of the inline xorshift64\* generator;
+//! * [`predication`] — GCC-style if-conversion: applicability rules and
+//!   the `cmov` transform (the paper's first baseline, Table I);
+//! * [`cfd`] — control-flow-decoupling applicability analysis (the
+//!   paper's second baseline, Table I);
+//! * [`safety`] — the PBS static safety check: is the comparison operand
+//!   constant within its loop context (Section V-B)?
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cfd;
+pub mod cfg;
+pub mod loops;
+pub mod predication;
+pub mod safety;
+pub mod taint;
+
+/// Why a baseline technique cannot be applied to a branch
+/// (paper Table I).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inapplicable {
+    /// The guarded region contains a function call (not if-convertible;
+    /// defeats CFD's loop split when the branch is inside the callee).
+    ContainsCall,
+    /// The guarded region contains nested control flow (GCC fails to
+    /// if-convert, e.g. Genetic's nested bit-flip if).
+    NestedControl,
+    /// The guarded region accesses memory (speculative stores are unsafe
+    /// and speculative loads may fault).
+    ContainsStore,
+    /// The probabilistic value is consumed inside the region
+    /// (Category-2): if-conversion would unconditionally execute the
+    /// consumer.
+    UsesProbValue,
+    /// The region is too large for profitable if-conversion.
+    RegionTooLarge,
+    /// The branch is reached through a non-inlined function call from
+    /// the loop (CFD cannot split the loop; Swaptions, Bandit).
+    ReachedThroughCall,
+    /// The control-dependent code carries a dependence into the next
+    /// iteration's pre-branch code (CFD cannot separate; Photon).
+    LoopCarriedDependence,
+    /// The branch is not inside any loop (CFD decouples loops only).
+    NotInLoop,
+    /// The branch has no recognizable single-exit guarded region.
+    IrregularRegion,
+}
+
+impl std::fmt::Display for Inapplicable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Inapplicable::ContainsCall => "guarded region contains a call",
+            Inapplicable::NestedControl => "guarded region contains nested control flow",
+            Inapplicable::ContainsStore => "guarded region accesses memory",
+            Inapplicable::UsesProbValue => "probabilistic value is used inside the region",
+            Inapplicable::RegionTooLarge => "region too large for profitable if-conversion",
+            Inapplicable::ReachedThroughCall => "branch reached through a non-inlined call",
+            Inapplicable::LoopCarriedDependence => "control-dependent code carries a loop dependence",
+            Inapplicable::NotInLoop => "branch is not inside a loop",
+            Inapplicable::IrregularRegion => "no single-exit guarded region",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The verdict of an applicability analysis.
+pub type Applicability = Result<(), Inapplicable>;

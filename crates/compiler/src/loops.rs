@@ -1,0 +1,128 @@
+//! Natural-loop detection for the structured programs produced by the
+//! `probranch` builder: a loop is identified by a backward branch
+//! (conditional or unconditional) whose target precedes it; the loop
+//! body is the contiguous range `[head, latch]`.
+//!
+//! This interval view is exact for reducible, builder-generated code
+//! (all workloads), and mirrors the dynamic detection the PBS hardware
+//! itself performs (Context-Table, paper Section V-C1).
+
+use probranch_isa::{Inst, Program};
+
+/// A detected natural loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Loop {
+    /// First instruction of the loop (backward-branch target).
+    pub head: u32,
+    /// The backward branch closing the loop.
+    pub latch: u32,
+}
+
+impl Loop {
+    /// Whether `pc` lies within the loop body.
+    pub fn contains(&self, pc: u32) -> bool {
+        (self.head..=self.latch).contains(&pc)
+    }
+
+    /// Body length in instructions.
+    pub fn len(&self) -> usize {
+        (self.latch - self.head + 1) as usize
+    }
+
+    /// Whether the body is empty (never true for a valid loop).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Finds all natural loops (one per distinct head, keeping the widest
+/// latch), innermost-last ordering by containment.
+pub fn find_loops(program: &Program) -> Vec<Loop> {
+    let mut by_head: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
+    for (pc, inst) in program.iter() {
+        let target = match inst {
+            Inst::Jf { target }
+            | Inst::Br { target, .. }
+            | Inst::Jmp { target }
+            | Inst::ProbJmp { target: Some(target), .. } => *target,
+            _ => continue,
+        };
+        if target <= pc {
+            let latch = by_head.entry(target).or_insert(pc);
+            if pc > *latch {
+                *latch = pc;
+            }
+        }
+    }
+    by_head.into_iter().map(|(head, latch)| Loop { head, latch }).collect()
+}
+
+/// The innermost loop containing `pc`, if any.
+pub fn innermost_containing(loops: &[Loop], pc: u32) -> Option<&Loop> {
+    loops.iter().filter(|l| l.contains(pc)).min_by_key(|l| l.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probranch_isa::parse_asm;
+
+    #[test]
+    fn simple_do_while() {
+        let p = parse_asm("li r1, 0\ntop: add r1, r1, 1\n br lt, r1, 9, top\n halt").unwrap();
+        let loops = find_loops(&p);
+        assert_eq!(loops, vec![Loop { head: 1, latch: 2 }]);
+        assert!(loops[0].contains(1) && loops[0].contains(2) && !loops[0].contains(0));
+    }
+
+    #[test]
+    fn nested_loops() {
+        let p = parse_asm(
+            r"
+        outer: li r2, 0
+        inner: add r2, r2, 1
+            br lt, r2, 3, inner
+            add r1, r1, 1
+            br lt, r1, 5, outer
+            halt
+        ",
+        )
+        .unwrap();
+        let loops = find_loops(&p);
+        assert_eq!(loops.len(), 2);
+        let inner = innermost_containing(&loops, 1).unwrap();
+        assert_eq!(inner.head, 1);
+        let outer = innermost_containing(&loops, 3).unwrap();
+        assert_eq!(outer.head, 0);
+    }
+
+    #[test]
+    fn multiple_backward_branches_extend_latch() {
+        let p = parse_asm(
+            r"
+        top: add r1, r1, 1
+            br eq, r1, 3, top   ; continue-style
+            add r2, r2, 1
+            br lt, r1, 9, top   ; main latch
+            halt
+        ",
+        )
+        .unwrap();
+        let loops = find_loops(&p);
+        assert_eq!(loops, vec![Loop { head: 0, latch: 3 }]);
+    }
+
+    #[test]
+    fn no_loops_in_straight_line() {
+        let p = parse_asm("nop\nhalt").unwrap();
+        assert!(find_loops(&p).is_empty());
+    }
+
+    #[test]
+    fn innermost_picks_smallest() {
+        let loops = vec![Loop { head: 0, latch: 10 }, Loop { head: 2, latch: 5 }];
+        assert_eq!(innermost_containing(&loops, 3).unwrap().head, 2);
+        assert_eq!(innermost_containing(&loops, 8).unwrap().head, 0);
+        assert!(innermost_containing(&loops, 20).is_none());
+    }
+}

@@ -1,0 +1,397 @@
+//! If-conversion (predication) — the paper's first baseline technique
+//! (Section II-B1, Table I).
+//!
+//! [`analyze`] applies GCC-like applicability rules to the guarded
+//! region of a forward conditional branch; [`if_convert`] performs the
+//! transform for if-then hammocks, materializing the predicate into a
+//! register and replacing each guarded definition with a `cmov` merge.
+//! [`analyze_program`] evaluates every probabilistic branch of a
+//! workload, producing the per-benchmark verdicts of Table I.
+
+use probranch_isa::{AluOp, CmpOp, Inst, Operand, Program, Reg};
+
+use crate::{Applicability, Inapplicable};
+
+/// Maximum region size (instructions) for profitable if-conversion.
+pub const MAX_REGION: usize = 8;
+
+/// The guarded region of a skip-style forward branch at `branch_pc`:
+/// the instructions executed only when the branch is *not taken*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// First instruction of the region (`branch_pc + 1`).
+    pub start: u32,
+    /// One past the last region instruction (the branch target).
+    pub end: u32,
+}
+
+/// Identifies the guarded region of the conditional branch at
+/// `branch_pc` (must be `br`, `jf` or a jumping `prob_jmp` with a
+/// forward target).
+pub fn guarded_region(program: &Program, branch_pc: u32) -> Result<Region, Inapplicable> {
+    let inst = program.get(branch_pc).ok_or(Inapplicable::IrregularRegion)?;
+    let target = match inst {
+        Inst::Br { target, .. } | Inst::Jf { target } => *target,
+        Inst::ProbJmp { target: Some(target), .. } => *target,
+        _ => return Err(Inapplicable::IrregularRegion),
+    };
+    if target <= branch_pc {
+        return Err(Inapplicable::IrregularRegion);
+    }
+    Ok(Region { start: branch_pc + 1, end: target })
+}
+
+/// The probabilistic registers of the branch at `branch_pc` (the
+/// `PROB_CMP` register plus any `PROB_JMP` registers), or the condition
+/// registers for a regular branch.
+fn condition_regs(program: &Program, branch_pc: u32) -> Vec<Reg> {
+    let mut regs = Vec::new();
+    match program.fetch(branch_pc) {
+        Inst::Br { lhs, rhs, .. } => {
+            regs.push(*lhs);
+            if let Operand::Reg(r) = rhs {
+                regs.push(*r);
+            }
+        }
+        Inst::Jf { .. } | Inst::ProbJmp { .. } => {
+            // Walk back to the controlling compare (builder code places
+            // it within the preceding few instructions).
+            let mut pc = branch_pc;
+            while pc > 0 {
+                pc -= 1;
+                match program.fetch(pc) {
+                    Inst::Cmp { lhs, .. } => {
+                        regs.push(*lhs);
+                        break;
+                    }
+                    Inst::ProbCmp { prob, .. } => {
+                        regs.push(*prob);
+                        break;
+                    }
+                    Inst::ProbJmp { prob: Some(p), target: None } => regs.push(*p),
+                    _ => break,
+                }
+            }
+            if let Inst::ProbJmp { prob: Some(p), .. } = program.fetch(branch_pc) {
+                regs.push(*p);
+            }
+        }
+        _ => {}
+    }
+    regs
+}
+
+/// GCC-style if-conversion applicability for the branch at `branch_pc`.
+pub fn analyze(program: &Program, branch_pc: u32) -> Applicability {
+    let region = guarded_region(program, branch_pc)?;
+    let len = (region.end - region.start) as usize;
+    if len > MAX_REGION {
+        return Err(Inapplicable::RegionTooLarge);
+    }
+    let cond = condition_regs(program, branch_pc);
+    for pc in region.start..region.end {
+        let inst = program.fetch(pc);
+        match inst {
+            Inst::Call { .. } | Inst::Ret => return Err(Inapplicable::ContainsCall),
+            Inst::Load { .. } | Inst::Store { .. } => return Err(Inapplicable::ContainsStore),
+            Inst::Br { .. } | Inst::Jf { .. } | Inst::Jmp { .. } | Inst::ProbJmp { target: Some(_), .. } => {
+                return Err(Inapplicable::NestedControl)
+            }
+            _ => {}
+        }
+        if inst.uses().iter().any(|u| cond.contains(&u)) {
+            return Err(Inapplicable::UsesProbValue);
+        }
+    }
+    Ok(())
+}
+
+/// Analyzes every probabilistic branch site; the benchmark-level Table I
+/// verdict is "applicable" iff all sites are.
+pub fn analyze_program(program: &Program) -> Vec<(u32, Applicability)> {
+    program
+        .iter()
+        .filter(|(_, i)| matches!(i, Inst::ProbJmp { target: Some(_), .. }))
+        .map(|(pc, _)| (pc, analyze(program, pc)))
+        .collect()
+}
+
+/// Finds registers never referenced by the program, usable as transform
+/// temporaries.
+fn free_regs(program: &Program) -> Vec<Reg> {
+    let mut used = [false; 32];
+    for (_, inst) in program.iter() {
+        for r in inst.defs().iter().chain(inst.uses().iter()) {
+            used[r.index()] = true;
+        }
+    }
+    Reg::all().filter(|r| !used[r.index()]).collect()
+}
+
+/// Emits instructions computing `dst = (lhs op rhs) as u64` (1 when the
+/// branch would be taken). Supports the predicates our workloads use;
+/// floating-point `Eq`/`Ne` are rejected.
+fn materialize_predicate(
+    out: &mut Vec<Inst>,
+    dst: Reg,
+    scratch: Reg,
+    op: CmpOp,
+    fp: bool,
+    lhs: Reg,
+    rhs: Operand,
+) -> Result<(), Inapplicable> {
+    if fp {
+        let rhs = match rhs {
+            Operand::Reg(r) => r,
+            Operand::Imm(_) => return Err(Inapplicable::IrregularRegion),
+        };
+        // sign(a - b) = 1 iff a < b for the NaN-free values in play.
+        let (a, b, negate) = match op {
+            CmpOp::Lt => (lhs, rhs, false),
+            CmpOp::Gt => (rhs, lhs, false),
+            CmpOp::Ge => (lhs, rhs, true),
+            CmpOp::Le => (rhs, lhs, true),
+            CmpOp::Eq | CmpOp::Ne => return Err(Inapplicable::IrregularRegion),
+        };
+        out.push(Inst::FpBin { op: probranch_isa::FpBinOp::Sub, dst: scratch, src1: a, src2: b });
+        out.push(Inst::Alu { op: AluOp::Shr, dst, src1: scratch, src2: Operand::Imm(63) });
+        if negate {
+            out.push(Inst::Alu { op: AluOp::Xor, dst, src1: dst, src2: Operand::Imm(1) });
+        }
+    } else {
+        let (a, b, negate) = match op {
+            CmpOp::Lt => (Some((lhs, rhs)), None, false),
+            CmpOp::Ge => (Some((lhs, rhs)), None, true),
+            CmpOp::Gt | CmpOp::Le => (None, Some((lhs, rhs)), matches!(op, CmpOp::Le)),
+            CmpOp::Eq | CmpOp::Ne => {
+                // |a - b| <u 1
+                out.push(Inst::Alu { op: AluOp::Sub, dst: scratch, src1: lhs, src2: rhs });
+                out.push(Inst::Alu { op: AluOp::Sltu, dst, src1: scratch, src2: Operand::Imm(1) });
+                if op == CmpOp::Ne {
+                    out.push(Inst::Alu { op: AluOp::Xor, dst, src1: dst, src2: Operand::Imm(1) });
+                }
+                return Ok(());
+            }
+        };
+        if let Some((l, r)) = a {
+            out.push(Inst::Alu { op: AluOp::Slt, dst, src1: l, src2: r });
+        } else if let Some((l, r)) = b {
+            // Gt/Le need swapped operands, which requires rhs in a register.
+            let r = match r {
+                Operand::Reg(reg) => reg,
+                Operand::Imm(v) => {
+                    out.push(Inst::Li { dst: scratch, imm: v as u64 });
+                    scratch
+                }
+            };
+            out.push(Inst::Alu { op: AluOp::Slt, dst, src1: r, src2: Operand::Reg(l) });
+        }
+        if negate {
+            out.push(Inst::Alu { op: AluOp::Xor, dst, src1: dst, src2: Operand::Imm(1) });
+        }
+    }
+    Ok(())
+}
+
+/// If-converts the branch at `branch_pc` (an if-then hammock), returning
+/// the transformed program.
+///
+/// The guarded definitions are merged with `cmov`: for each register `d`
+/// defined in the region, the original value is saved before the region
+/// and restored when the (materialized) branch predicate is 1.
+///
+/// # Errors
+///
+/// Any [`Inapplicable`] reason from [`analyze`], or transform-specific
+/// limits (not enough free temporary registers).
+pub fn if_convert(program: &Program, branch_pc: u32) -> Result<Program, Inapplicable> {
+    analyze(program, branch_pc)?;
+    let region = guarded_region(program, branch_pc)?;
+    let (op, fp, lhs, rhs) = match *program.fetch(branch_pc) {
+        Inst::Br { op, fp, lhs, rhs, .. } => (op, fp, lhs, rhs),
+        // jf/prob_jmp would need the paired compare; restrict the
+        // transform to fused branches (analysis still covers all forms).
+        _ => return Err(Inapplicable::IrregularRegion),
+    };
+    // Registers defined inside the region.
+    let mut defs: Vec<Reg> = Vec::new();
+    for pc in region.start..region.end {
+        for d in program.fetch(pc).defs().iter() {
+            if !defs.contains(&d) {
+                defs.push(d);
+            }
+        }
+    }
+    let free = free_regs(program);
+    if free.len() < defs.len() + 2 {
+        return Err(Inapplicable::RegionTooLarge);
+    }
+    let pred = free[0];
+    let scratch = free[1];
+    let saves = &free[2..2 + defs.len()];
+
+    // Build the new instruction sequence with an old-pc -> new-pc map.
+    let mut new_insts: Vec<Inst> = Vec::with_capacity(program.len() + 8);
+    let mut map: Vec<u32> = Vec::with_capacity(program.len() + 1);
+    for (pc, inst) in program.iter() {
+        map.push(new_insts.len() as u32);
+        if pc == branch_pc {
+            // Predicate + saves replace the branch.
+            materialize_predicate(&mut new_insts, pred, scratch, op, fp, lhs, rhs)?;
+            for (d, s) in defs.iter().zip(saves) {
+                new_insts.push(Inst::Mov { dst: *s, src: *d });
+            }
+        } else if pc == region.end {
+            // Merge point: restore saved values where the branch would
+            // have skipped the region.
+            for (d, s) in defs.iter().zip(saves) {
+                new_insts.push(Inst::CMov { dst: *d, cond: pred, if_true: *s, if_false: *d });
+            }
+            new_insts.push(*inst);
+        } else {
+            new_insts.push(*inst);
+        }
+    }
+    map.push(new_insts.len() as u32);
+    // Retarget all control transfers through the map.
+    for inst in &mut new_insts {
+        if let Some(t) = inst.target() {
+            inst.set_target(map[t as usize]);
+        }
+    }
+    Program::new(new_insts).map_err(|_| Inapplicable::IrregularRegion)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probranch_isa::parse_asm;
+
+    fn guarded_inc() -> Program {
+        parse_asm(
+            r"
+            li r1, 0
+            li r2, 0
+        top:
+            add r2, r2, 1
+            and r3, r2, 7
+            br ne, r3, 0, skip
+            add r1, r1, 1
+            mul r1, r1, 3
+        skip:
+            br lt, r2, 50, top
+            out r1, 0
+            halt
+        ",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn analyze_accepts_simple_hammock() {
+        let p = guarded_inc();
+        assert_eq!(analyze(&p, 4), Ok(()));
+    }
+
+    #[test]
+    fn analyze_rejects_calls_stores_and_nesting() {
+        let p = parse_asm("br eq, r1, 0, 3\n call 5\n nop\n halt\n nop\nf: ret").unwrap();
+        assert_eq!(analyze(&p, 0), Err(Inapplicable::ContainsCall));
+        let p = parse_asm("br eq, r1, 0, 2\n st r1, (r2)\n halt").unwrap();
+        assert_eq!(analyze(&p, 0), Err(Inapplicable::ContainsStore));
+        let p = parse_asm("br eq, r1, 0, 3\n br eq, r2, 0, 2\n nop\n halt").unwrap();
+        assert_eq!(analyze(&p, 0), Err(Inapplicable::NestedControl));
+    }
+
+    #[test]
+    fn analyze_rejects_backward_and_large_regions() {
+        let p = parse_asm("top: nop\n br eq, r1, 0, top\n halt").unwrap();
+        assert_eq!(analyze(&p, 1), Err(Inapplicable::IrregularRegion));
+        let mut src = String::from("br eq, r1, 0, 10\n");
+        for _ in 0..9 {
+            src.push_str("add r2, r2, 1\n");
+        }
+        src.push_str("halt");
+        let p = parse_asm(&src).unwrap();
+        assert_eq!(analyze(&p, 0), Err(Inapplicable::RegionTooLarge));
+    }
+
+    #[test]
+    fn analyze_rejects_category2_value_use() {
+        let p = parse_asm(
+            r"
+            prob_fcmp le, r3, r9
+            prob_jmp -, 4
+            fadd r1, r1, r3
+            nop
+            halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(analyze(&p, 1), Err(Inapplicable::UsesProbValue));
+    }
+
+    #[test]
+    fn if_convert_preserves_behaviour() {
+        let p = guarded_inc();
+        let converted = if_convert(&p, 4).expect("convertible");
+        assert!(converted.len() > p.len());
+        // The guarded branch is gone; only the loop branch remains.
+        let (_, total) = converted.branch_counts();
+        assert_eq!(total, 1);
+        let a = probranch_pipeline::run_functional(&p, None, 100_000).unwrap();
+        let b = probranch_pipeline::run_functional(&converted, None, 100_000).unwrap();
+        assert_eq!(a.output(0), b.output(0));
+    }
+
+    #[test]
+    fn if_convert_fp_branch_preserves_behaviour() {
+        let p = parse_asm(
+            r"
+            li r1, 0
+            li r2, 0
+            lif_unused: nop
+        top:
+            add r2, r2, 1
+            itof r3, r2
+            itof r4, r1
+            fbr lt, r3, r4, skip
+            add r1, r1, 2
+        skip:
+            br lt, r2, 30, top
+            out r1, 0
+            halt
+        ",
+        )
+        .unwrap();
+        let converted = if_convert(&p, 6).expect("convertible");
+        let a = probranch_pipeline::run_functional(&p, None, 100_000).unwrap();
+        let b = probranch_pipeline::run_functional(&converted, None, 100_000).unwrap();
+        assert_eq!(a.output(0), b.output(0));
+    }
+
+    #[test]
+    fn table_i_predication_verdicts() {
+        // Paper Table I: predication applies to DOP, MC-integ and PI
+        // only ("the GNU C compiler fails to if-convert the
+        // probabilistic branches for five of the eight benchmarks").
+        use probranch_workloads::{all_benchmarks, Scale};
+        let expected = [
+            ("DOP", true),
+            ("Greeks", false),
+            ("Swaptions", false),
+            ("Genetic", false),
+            ("Photon", false),
+            ("MC-integ", true),
+            ("PI", true),
+            ("Bandit", false),
+        ];
+        for (bench, (name, ok)) in all_benchmarks(Scale::Smoke, 1).iter().zip(expected) {
+            assert_eq!(bench.name(), name);
+            let verdicts = analyze_program(&bench.program());
+            assert!(!verdicts.is_empty(), "{name} has prob branches");
+            let all_ok = verdicts.iter().all(|(_, v)| v.is_ok());
+            assert_eq!(all_ok, ok, "{name}: {verdicts:?}");
+        }
+    }
+}

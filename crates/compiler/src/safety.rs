@@ -1,0 +1,148 @@
+//! The PBS static safety check (paper Section V-B): "the compiler could
+//! determine through static analysis whether any of the identified
+//! probabilistic branches indeed compares against a constant value
+//! within a single context."
+//!
+//! A probabilistic compare is *safe* when its right-hand operand is an
+//! immediate, or a register never redefined inside the innermost loop
+//! containing the branch. Unsafe branches would trip the hardware's
+//! `Const-Val` demotion at run time (e.g. simulated annealing's slowly
+//! decreasing temperature); the compiler can instead leave them as
+//! regular branches.
+
+use probranch_isa::{Inst, Operand, Program};
+
+use crate::loops::{find_loops, innermost_containing};
+
+/// The verdict for one probabilistic compare site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Safety {
+    /// The comparison operand is constant within the branch's context.
+    ConstantInContext,
+    /// The comparison operand may change within the loop; PBS would be
+    /// demoted by the `Const-Val` check (or deviate, for slowly varying
+    /// conditions).
+    VariesInContext,
+}
+
+/// Checks every `prob_cmp` site in the program.
+pub fn check_program(program: &Program) -> Vec<(u32, Safety)> {
+    let loops = find_loops(program);
+    let mut out = Vec::new();
+    for (pc, inst) in program.iter() {
+        let Inst::ProbCmp { rhs, .. } = inst else { continue };
+        let verdict = match rhs {
+            Operand::Reg(r) => {
+                // Safe iff the operand is set up once, outside every
+                // loop (covers thresholds initialized before the run and
+                // read inside loops or called functions). A definition
+                // inside any loop — e.g. simulated annealing's decaying
+                // temperature — or multiple definitions is risky.
+                let defs: Vec<u32> = program
+                    .iter()
+                    .filter(|(p, i)| *p != pc && i.defs().contains(*r))
+                    .map(|(p, _)| p)
+                    .collect();
+                let def_in_loop = defs.iter().any(|&d| innermost_containing(&loops, d).is_some());
+                if def_in_loop || defs.len() > 1 {
+                    Safety::VariesInContext
+                } else {
+                    Safety::ConstantInContext
+                }
+            }
+            Operand::Imm(_) => Safety::ConstantInContext,
+        };
+        out.push((pc, verdict));
+    }
+    out
+}
+
+/// Whether all probabilistic compares in the program are safe.
+pub fn all_safe(program: &Program) -> bool {
+    check_program(program).iter().all(|(_, s)| *s == Safety::ConstantInContext)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probranch_isa::parse_asm;
+
+    #[test]
+    fn immediate_condition_is_safe() {
+        let p = parse_asm(
+            r"
+        top:
+            prob_cmp lt, r3, 100
+            prob_jmp -, 3
+            add r1, r1, 1
+            br lt, r1, 10, top
+            halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(check_program(&p), vec![(0, Safety::ConstantInContext)]);
+        assert!(all_safe(&p));
+    }
+
+    #[test]
+    fn loop_invariant_register_is_safe() {
+        let p = parse_asm(
+            r"
+            li r9, 100
+        top:
+            prob_cmp lt, r3, r9
+            prob_jmp -, 4
+            add r1, r1, 1
+            br lt, r1, 10, top
+            halt
+        ",
+        )
+        .unwrap();
+        assert!(all_safe(&p));
+    }
+
+    #[test]
+    fn simulated_annealing_temperature_is_flagged() {
+        // The paper's canonical risky case: the comparison value decays
+        // inside the loop.
+        let p = parse_asm(
+            r"
+            li r9, 1000
+        top:
+            sub r9, r9, 1        ; temperature decay
+            prob_cmp lt, r3, r9
+            prob_jmp -, 5
+            add r1, r1, 1
+            br lt, r1, 10, top
+            halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(check_program(&p), vec![(2, Safety::VariesInContext)]);
+        assert!(!all_safe(&p));
+    }
+
+    #[test]
+    fn all_workloads_pass_the_safety_check() {
+        // Every paper workload compares against run constants.
+        use probranch_workloads::{all_benchmarks, Scale};
+        for b in all_benchmarks(Scale::Smoke, 1) {
+            assert!(all_safe(&b.program()), "{} must be PBS-safe", b.name());
+        }
+    }
+
+    #[test]
+    fn redefinition_outside_any_loop_is_flagged() {
+        let p = parse_asm(
+            r"
+            li r9, 5
+            prob_cmp lt, r3, r9
+            prob_jmp -, 4
+            li r9, 7
+            halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(check_program(&p)[0].1, Safety::VariesInContext);
+    }
+}

@@ -1,0 +1,333 @@
+//! RNG-taint analysis and automatic probabilistic-branch marking.
+//!
+//! Paper Section V-B: "The idea is to let the compiler track the
+//! location(s) in the code where random numbers are generated. By
+//! tracing the instructions that depend on the random value, the
+//! compiler checks whether any of the probabilistic derivatives control
+//! a branch instruction, and, if appropriate, encode the instruction
+//! accordingly as a probabilistic branch."
+//!
+//! Roots are either supplied explicitly or found by
+//! [`detect_xorshift_roots`], which pattern-matches the inline
+//! xorshift64\* generator all workloads use.
+
+use std::collections::BTreeSet;
+
+use probranch_isa::{CmpOp, Inst, Operand, Program, Reg};
+
+/// Finds instructions producing fresh random values by matching the
+/// xorshift64\* output multiply: `shr t, s, 27; xor s, s, t; mul out, s, _`.
+pub fn detect_xorshift_roots(program: &Program) -> Vec<u32> {
+    let insts = program.insts();
+    let mut roots = Vec::new();
+    for pc in 2..insts.len() {
+        let (a, b, c) = (&insts[pc - 2], &insts[pc - 1], &insts[pc]);
+        let (Inst::Alu { op: shr_op, dst: t, src1: s1, src2: Operand::Imm(27) },
+             Inst::Alu { op: xor_op, dst: s2, src1: s3, src2: Operand::Reg(t2) },
+             Inst::Alu { op: mul_op, src1: s4, .. }) = (a, b, c)
+        else {
+            continue;
+        };
+        if *shr_op == probranch_isa::AluOp::Shr
+            && *xor_op == probranch_isa::AluOp::Xor
+            && *mul_op == probranch_isa::AluOp::Mul
+            && t == t2
+            && s1 == s2
+            && s2 == s3
+            && s3 == s4
+        {
+            roots.push(pc as u32);
+        }
+    }
+    roots
+}
+
+/// The result of taint propagation.
+#[derive(Debug, Clone)]
+pub struct Taint {
+    /// Registers that may carry random-derived values anywhere in the
+    /// program (flow-insensitive over-approximation).
+    pub regs: BTreeSet<Reg>,
+    /// Whether random-derived values may reach memory.
+    pub memory: bool,
+}
+
+/// Flow-insensitive taint propagation from root definitions.
+///
+/// Conservative: a register is tainted if *any* instruction may write a
+/// random-derived value to it; memory is a single abstract cell.
+pub fn propagate(program: &Program, roots: &[u32]) -> Taint {
+    let mut regs: BTreeSet<Reg> = BTreeSet::new();
+    for &r in roots {
+        if let Some(inst) = program.get(r) {
+            for d in inst.defs().iter() {
+                regs.insert(d);
+            }
+        }
+    }
+    let mut memory = false;
+    loop {
+        let mut changed = false;
+        for (pc, inst) in program.iter() {
+            if roots.contains(&pc) {
+                continue;
+            }
+            let input_tainted = inst.uses().iter().any(|u| regs.contains(&u))
+                || (memory && matches!(inst, Inst::Load { .. }));
+            if !input_tainted {
+                continue;
+            }
+            if matches!(inst, Inst::Store { .. }) && !memory {
+                memory = true;
+                changed = true;
+            }
+            for d in inst.defs().iter() {
+                if regs.insert(d) {
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return Taint { regs, memory };
+        }
+    }
+}
+
+/// A conditional branch found to be controlled by a random-derived
+/// value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbCandidate {
+    /// PC of the controlling compare (`cmp`) when the branch is a
+    /// `cmp`/`jf` pair, or of the fused branch itself.
+    pub cmp_pc: u32,
+    /// PC of the jump.
+    pub jmp_pc: u32,
+    /// The register carrying the probabilistic value.
+    pub prob_reg: Reg,
+}
+
+/// Finds conditional branches whose condition depends on tainted values.
+/// Both fused (`br`) and split (`cmp` + `jf`) forms are recognized;
+/// already-probabilistic branches are skipped.
+pub fn find_candidates(program: &Program, taint: &Taint) -> Vec<ProbCandidate> {
+    let mut out = Vec::new();
+    let insts = program.insts();
+    for (pc, inst) in program.iter() {
+        match *inst {
+            Inst::Br { lhs, rhs, .. } => {
+                let prob = pick_prob_reg(taint, lhs, rhs);
+                if let Some(prob_reg) = prob {
+                    out.push(ProbCandidate { cmp_pc: pc, jmp_pc: pc, prob_reg });
+                }
+            }
+            Inst::Cmp { lhs, rhs, .. } => {
+                // The flag consumer is the next `jf` (builder-generated
+                // code always pairs them adjacently).
+                if let Some(Inst::Jf { .. }) = insts.get(pc as usize + 1) {
+                    if let Some(prob_reg) = pick_prob_reg(taint, lhs, rhs) {
+                        out.push(ProbCandidate { cmp_pc: pc, jmp_pc: pc + 1, prob_reg });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn pick_prob_reg(taint: &Taint, lhs: Reg, rhs: Operand) -> Option<Reg> {
+    if taint.regs.contains(&lhs) {
+        Some(lhs)
+    } else if let Operand::Reg(r) = rhs {
+        taint.regs.contains(&r).then_some(r)
+    } else {
+        None
+    }
+}
+
+/// The automatic marking pass: rewrites tainted `cmp`/`jf` pairs into
+/// `prob_cmp`/`prob_jmp`. Fused `br` candidates are left untouched (the
+/// ISA's probabilistic form is a compare/jump pair; a production
+/// compiler would unfuse first) and reported by [`find_candidates`].
+///
+/// The transform is 1:1 in instruction count, so no retargeting is
+/// needed.
+pub fn mark_probabilistic(program: &Program, taint: &Taint) -> Program {
+    let mut insts = program.insts().to_vec();
+    for cand in find_candidates(program, taint) {
+        if cand.cmp_pc == cand.jmp_pc {
+            continue; // fused form: skip
+        }
+        let Inst::Cmp { op, fp, lhs, rhs } = insts[cand.cmp_pc as usize] else {
+            continue;
+        };
+        let Inst::Jf { target } = insts[cand.jmp_pc as usize] else {
+            continue;
+        };
+        // PROB_CMP's probabilistic register sits on the left; swap the
+        // predicate if the tainted value is the right operand.
+        let (op, prob, rhs) = if taint.regs.contains(&lhs) {
+            (op, lhs, rhs)
+        } else {
+            let Operand::Reg(r) = rhs else { continue };
+            (op.swapped(), r, Operand::Reg(lhs))
+        };
+        let _: CmpOp = op;
+        insts[cand.cmp_pc as usize] = Inst::ProbCmp { op, fp, prob, rhs };
+        insts[cand.jmp_pc as usize] = Inst::ProbJmp { prob: None, target: Some(target) };
+    }
+    Program::new(insts).expect("1:1 rewrite preserves validity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probranch_isa::{parse_asm, ProgramBuilder};
+
+    /// A PI-like kernel written with *regular* branches and a cmp/jf
+    /// pair, to exercise auto-marking.
+    fn unmarked_kernel() -> Program {
+        let mut b = ProgramBuilder::new();
+        let top = b.label("top");
+        let skip = b.label("skip");
+        let rng = crate::taint::test_rng();
+        rng.init(&mut b, 99);
+        b.li(Reg::R1, 0).li(Reg::R2, 0).lif(Reg::R10, 0.5);
+        b.bind(top);
+        rng.next_f64(&mut b, Reg::R3);
+        b.fcmp(CmpOp::Ge, Reg::R3, Reg::R10);
+        b.jf(skip);
+        b.add(Reg::R1, Reg::R1, 1);
+        b.bind(skip);
+        b.add(Reg::R2, Reg::R2, 1);
+        b.br(CmpOp::Lt, Reg::R2, 500, top);
+        b.out(Reg::R1, 0);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn detects_xorshift_roots() {
+        let p = unmarked_kernel();
+        let roots = detect_xorshift_roots(&p);
+        assert_eq!(roots.len(), 1, "one inline generator: {roots:?}");
+    }
+
+    #[test]
+    fn taint_reaches_condition_register() {
+        let p = unmarked_kernel();
+        let roots = detect_xorshift_roots(&p);
+        let taint = propagate(&p, &roots);
+        assert!(taint.regs.contains(&Reg::R3), "the drawn value is tainted");
+        assert!(!taint.regs.contains(&Reg::R2), "the loop counter is not");
+        assert!(!taint.regs.contains(&Reg::R1), "the hit counter is control- not data-dependent");
+        assert!(!taint.memory);
+    }
+
+    #[test]
+    fn finds_the_probabilistic_candidate_only() {
+        let p = unmarked_kernel();
+        let taint = propagate(&p, &detect_xorshift_roots(&p));
+        let cands = find_candidates(&p, &taint);
+        assert_eq!(cands.len(), 1, "{cands:?}");
+        assert_eq!(cands[0].prob_reg, Reg::R3);
+        assert_eq!(cands[0].jmp_pc, cands[0].cmp_pc + 1);
+    }
+
+    #[test]
+    fn marking_transform_is_functionally_identical() {
+        let p = unmarked_kernel();
+        let taint = propagate(&p, &detect_xorshift_roots(&p));
+        let marked = mark_probabilistic(&p, &taint);
+        assert_eq!(marked.branch_counts().0, 1, "one probabilistic branch after marking");
+        assert_eq!(p.branch_counts().0, 0);
+        // Functional equivalence without PBS hardware.
+        let a = probranch_pipeline::run_functional(&p, None, 1_000_000).unwrap();
+        let b = probranch_pipeline::run_functional(&marked, None, 1_000_000).unwrap();
+        assert_eq!(a.output(0), b.output(0));
+        // And the marked version engages PBS.
+        let c = probranch_pipeline::run_functional(&marked, Some(Default::default()), 1_000_000).unwrap();
+        assert!(c.pbs.unwrap().directed > 400);
+    }
+
+    #[test]
+    fn taint_flows_through_memory() {
+        let p = parse_asm(
+            r"
+            shr r2, r1, 27
+            xor r1, r1, r2
+            mul r3, r1, r4
+            st r3, (r5)
+            ld r6, (r5)
+            cmp lt, r6, 10
+            jf 7
+            halt
+        ",
+        )
+        .unwrap();
+        let roots = detect_xorshift_roots(&p);
+        assert_eq!(roots, vec![2]);
+        let taint = propagate(&p, &roots);
+        assert!(taint.memory);
+        assert!(taint.regs.contains(&Reg::R6), "load from tainted memory is tainted");
+        assert_eq!(find_candidates(&p, &taint).len(), 1);
+    }
+
+    #[test]
+    fn swapped_operand_marking() {
+        // Tainted value on the *right* of the compare: the predicate
+        // must be swapped so the prob register lands on the left.
+        let p = parse_asm(
+            r"
+            shr r2, r1, 27
+            xor r1, r1, r2
+            mul r3, r1, r4
+            cmp lt, r9, r3
+            jf 6
+            nop
+            halt
+        ",
+        )
+        .unwrap();
+        let taint = propagate(&p, &detect_xorshift_roots(&p));
+        let marked = mark_probabilistic(&p, &taint);
+        match marked.fetch(3) {
+            Inst::ProbCmp { op, prob, rhs, .. } => {
+                assert_eq!(*op, CmpOp::Gt);
+                assert_eq!(*prob, Reg::R3);
+                assert_eq!(*rhs, Operand::Reg(Reg::R9));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+/// Test-only access to the workload RNG emitter without a dependency
+/// cycle: a minimal re-implementation of the xorshift sequence the
+/// detector matches.
+#[cfg(test)]
+pub(crate) fn test_rng() -> TestRng {
+    TestRng
+}
+
+#[cfg(test)]
+pub(crate) struct TestRng;
+
+#[cfg(test)]
+impl TestRng {
+    pub fn init(&self, b: &mut probranch_isa::ProgramBuilder, seed: u64) {
+        b.li(Reg::R24, seed as i64);
+        b.li(Reg::R25, 0x2545F4914F6CDD1Du64 as i64);
+        b.lif(Reg::R26, 1.0 / (1u64 << 53) as f64);
+    }
+
+    pub fn next_f64(&self, b: &mut probranch_isa::ProgramBuilder, out: Reg) {
+        b.shr(Reg::R27, Reg::R24, 12).xor(Reg::R24, Reg::R24, Reg::R27);
+        b.shl(Reg::R27, Reg::R24, 25).xor(Reg::R24, Reg::R24, Reg::R27);
+        b.shr(Reg::R27, Reg::R24, 27).xor(Reg::R24, Reg::R24, Reg::R27);
+        b.mul(out, Reg::R24, Reg::R25);
+        b.shr(out, out, 11);
+        b.itof(out, out);
+        b.fmul(out, out, Reg::R26);
+    }
+}

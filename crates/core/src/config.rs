@@ -1,0 +1,76 @@
+/// Configuration of the PBS hardware unit, fixed at design time
+/// (paper Section V-C2).
+///
+/// The default matches the paper's evaluated design point: support for
+/// four distinct probabilistic branches, two probabilistic values per
+/// branch, and four outstanding in-flight instances — 193 bytes of state
+/// (see [`crate::cost`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PbsConfig {
+    /// Number of Prob-BTB entries (distinct probabilistic branches
+    /// tracked simultaneously).
+    pub num_branches: usize,
+    /// Maximum probabilistic values per branch (1 slot lives in the
+    /// Prob-BTB entry, the rest in the SwapTable).
+    pub values_per_branch: usize,
+    /// Prob-in-Flight depth: maximum outstanding instances between fetch
+    /// and execute, which is also the bootstrap length — the first
+    /// `in_flight` executions run as regular branches while the pipeline
+    /// fills (paper Section III-B).
+    pub in_flight: usize,
+    /// Whether calling-context tracking (Context-Table) is enabled.
+    /// Disabling it models the simpler PC-only indexing the paper
+    /// describes as "sufficient for most code scenarios".
+    pub context_tracking: bool,
+}
+
+impl Default for PbsConfig {
+    fn default() -> PbsConfig {
+        PbsConfig {
+            num_branches: 4,
+            values_per_branch: 2,
+            in_flight: 4,
+            context_tracking: true,
+        }
+    }
+}
+
+impl PbsConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any capacity is zero (a PBS unit with no entries is a
+    /// configuration bug, caught eagerly).
+    pub fn validated(self) -> PbsConfig {
+        assert!(self.num_branches > 0, "num_branches must be positive");
+        assert!(self.values_per_branch > 0, "values_per_branch must be positive");
+        assert!(self.in_flight > 0, "in_flight must be positive");
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_design_point() {
+        let c = PbsConfig::default();
+        assert_eq!(c.num_branches, 4);
+        assert_eq!(c.values_per_branch, 2);
+        assert_eq!(c.in_flight, 4);
+        assert!(c.context_tracking);
+    }
+
+    #[test]
+    fn validated_accepts_default() {
+        let _ = PbsConfig::default().validated();
+    }
+
+    #[test]
+    #[should_panic(expected = "in_flight must be positive")]
+    fn validated_rejects_zero_inflight() {
+        PbsConfig { in_flight: 0, ..PbsConfig::default() }.validated();
+    }
+}

@@ -1,0 +1,309 @@
+//! The Context-Table: dynamic tracking of the two innermost loops and
+//! one level of function call, providing the calling-context
+//! disambiguation of paper Section V-C1 (Figure 5).
+//!
+//! Loops are detected from backward branches, following the strategy the
+//! paper adopts from Tubella & González: a taken backward branch whose
+//! target has not been seen allocates a loop entry (`Loop-PC` = target,
+//! `Last-PC` = branch address); a not-taken backward branch at or beyond
+//! `Last-PC` terminates the loop. Loop termination flushes every PBS
+//! table entry belonging to that context.
+
+/// The calling context of a probabilistic branch: which dynamic loop
+/// instance it executes in and through which function call it was
+/// reached.
+///
+/// `loop_gen` is a generation number uniquely identifying the dynamic
+/// loop instance. The hardware encodes this as a single bit indexing the
+/// two-entry Context-Table; because every loop termination flushes its
+/// entries, at most one generation per slot is ever live, so the
+/// generation number models exactly the same reachability the 1-bit
+/// index + flush-on-end provides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ContextKey {
+    /// Dynamic loop instance (0 = not inside any tracked loop).
+    pub loop_gen: u64,
+    /// PC of the function call through which the branch is reached
+    /// (0 = reached directly in the loop body).
+    pub function_pc: u32,
+}
+
+impl ContextKey {
+    /// The context of code executing outside any tracked loop.
+    pub const TOP_LEVEL: ContextKey = ContextKey { loop_gen: 0, function_pc: 0 };
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LoopEntry {
+    loop_pc: u32,
+    last_pc: u32,
+    function_pc: u32,
+    /// 3-bit function-call depth counter (paper: `Counter`).
+    call_counter: u8,
+    gen: u64,
+}
+
+const CALL_COUNTER_MAX: u8 = 7; // 3-bit field
+
+/// The two-entry Context-Table (paper Figure 5). Newest loop last.
+#[derive(Debug, Clone, Default)]
+pub struct ContextTable {
+    entries: Vec<LoopEntry>,
+    next_gen: u64,
+}
+
+impl ContextTable {
+    /// Creates an empty table.
+    pub fn new() -> ContextTable {
+        ContextTable { entries: Vec::with_capacity(2), next_gen: 1 }
+    }
+
+    /// Observes a conditional or unconditional direct branch. Backward
+    /// branches drive loop detection. Returns the generation numbers of
+    /// any loop contexts that ended (the caller must flush matching PBS
+    /// entries).
+    pub fn observe_branch(&mut self, pc: u32, target: u32, taken: bool) -> Vec<u64> {
+        let mut flushed = Vec::new();
+        if target > pc {
+            return flushed; // forward branch: no loop information
+        }
+        if taken {
+            if let Some(pos) = self.entries.iter().position(|e| e.loop_pc == target) {
+                // Re-entering a known loop: inner loops allocated after it
+                // must have completed (possibly exiting via an untracked
+                // path) — erase them.
+                for e in self.entries.drain(pos + 1..) {
+                    flushed.push(e.gen);
+                }
+                let e = self.entries.last_mut().expect("position found");
+                if pc > e.last_pc {
+                    e.last_pc = pc;
+                }
+            } else {
+                // New loop: allocate; evict the oldest if full.
+                if self.entries.len() == 2 {
+                    flushed.push(self.entries.remove(0).gen);
+                }
+                let gen = self.next_gen;
+                self.next_gen += 1;
+                self.entries.push(LoopEntry { loop_pc: target, last_pc: pc, function_pc: 0, call_counter: 0, gen });
+            }
+        } else {
+            // Not-taken backward branch at or beyond Last-PC terminates
+            // the loop — and any loop allocated after it ("if the older
+            // loop terminates before the newer one, both are erased").
+            if let Some(pos) = self.entries.iter().position(|e| e.loop_pc == target && pc >= e.last_pc) {
+                for e in self.entries.drain(pos..) {
+                    flushed.push(e.gen);
+                }
+            }
+        }
+        flushed
+    }
+
+    /// Observes a function call at `pc` (the address of the call
+    /// instruction, the paper's `Function-PC`).
+    pub fn observe_call(&mut self, pc: u32) {
+        if let Some(e) = self.entries.last_mut() {
+            if e.call_counter == 0 {
+                e.function_pc = pc;
+            }
+            e.call_counter = (e.call_counter + 1).min(CALL_COUNTER_MAX);
+        }
+    }
+
+    /// Observes a function return.
+    pub fn observe_ret(&mut self) {
+        if let Some(e) = self.entries.last_mut() {
+            e.call_counter = e.call_counter.saturating_sub(1);
+            if e.call_counter == 0 {
+                e.function_pc = 0;
+            }
+        }
+    }
+
+    /// The context to associate with a probabilistic branch encountered
+    /// now, or `None` when PBS must treat branches as regular because the
+    /// call depth exceeds one (paper: "PBS tracks the branches when this
+    /// counter is set to zero ... or one").
+    pub fn current(&self) -> Option<ContextKey> {
+        match self.entries.last() {
+            None => Some(ContextKey::TOP_LEVEL),
+            Some(e) => match e.call_counter {
+                0 => Some(ContextKey { loop_gen: e.gen, function_pc: 0 }),
+                1 => Some(ContextKey { loop_gen: e.gen, function_pc: e.function_pc }),
+                _ => None,
+            },
+        }
+    }
+
+    /// Number of tracked loops (0..=2).
+    pub fn active_loops(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The generation of the innermost tracked loop, if any.
+    pub fn active_gen(&self) -> Option<u64> {
+        self.entries.last().map(|e| e.gen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_top_level() {
+        let t = ContextTable::new();
+        assert_eq!(t.current(), Some(ContextKey::TOP_LEVEL));
+        assert_eq!(t.active_loops(), 0);
+    }
+
+    #[test]
+    fn taken_backward_branch_allocates_loop() {
+        let mut t = ContextTable::new();
+        let flushed = t.observe_branch(50, 10, true);
+        assert!(flushed.is_empty());
+        assert_eq!(t.active_loops(), 1);
+        let key = t.current().unwrap();
+        assert_ne!(key, ContextKey::TOP_LEVEL);
+        assert_eq!(key.function_pc, 0);
+    }
+
+    #[test]
+    fn forward_branches_are_ignored() {
+        let mut t = ContextTable::new();
+        assert!(t.observe_branch(10, 50, true).is_empty());
+        assert_eq!(t.active_loops(), 0);
+    }
+
+    #[test]
+    fn loop_termination_flushes_generation() {
+        let mut t = ContextTable::new();
+        t.observe_branch(50, 10, true);
+        let gen = t.active_gen().unwrap();
+        // Loop iterates a few more times.
+        t.observe_branch(50, 10, true);
+        t.observe_branch(50, 10, true);
+        // Exit: backward branch not taken.
+        let flushed = t.observe_branch(50, 10, false);
+        assert_eq!(flushed, vec![gen]);
+        assert_eq!(t.active_loops(), 0);
+        assert_eq!(t.current(), Some(ContextKey::TOP_LEVEL));
+    }
+
+    #[test]
+    fn reexecuted_loop_gets_fresh_generation() {
+        let mut t = ContextTable::new();
+        t.observe_branch(50, 10, true);
+        let g1 = t.active_gen().unwrap();
+        t.observe_branch(50, 10, false);
+        t.observe_branch(50, 10, true);
+        let g2 = t.active_gen().unwrap();
+        assert_ne!(g1, g2, "a re-executed loop is a new context (paper Section IV)");
+    }
+
+    #[test]
+    fn nested_loops_track_two_levels() {
+        let mut t = ContextTable::new();
+        t.observe_branch(100, 10, true); // outer
+        let outer = t.active_gen().unwrap();
+        t.observe_branch(60, 40, true); // inner
+        let inner = t.active_gen().unwrap();
+        assert_eq!(t.active_loops(), 2);
+        assert_ne!(outer, inner);
+        // Inner exits.
+        let flushed = t.observe_branch(60, 40, false);
+        assert_eq!(flushed, vec![inner]);
+        assert_eq!(t.active_gen(), Some(outer));
+    }
+
+    #[test]
+    fn outer_termination_erases_inner_too() {
+        let mut t = ContextTable::new();
+        t.observe_branch(100, 10, true); // outer
+        let outer = t.active_gen().unwrap();
+        t.observe_branch(60, 40, true); // inner
+        let inner = t.active_gen().unwrap();
+        // Outer's backward branch observed not-taken while inner is live.
+        let flushed = t.observe_branch(100, 10, false);
+        assert_eq!(flushed, vec![outer, inner]);
+        assert_eq!(t.active_loops(), 0);
+    }
+
+    #[test]
+    fn third_loop_evicts_oldest() {
+        let mut t = ContextTable::new();
+        t.observe_branch(100, 10, true);
+        let first = t.active_gen().unwrap();
+        t.observe_branch(60, 40, true);
+        let flushed = t.observe_branch(90, 70, true);
+        assert_eq!(flushed, vec![first]);
+        assert_eq!(t.active_loops(), 2);
+    }
+
+    #[test]
+    fn reentering_outer_loop_erases_stale_inner() {
+        let mut t = ContextTable::new();
+        t.observe_branch(100, 10, true); // outer allocated
+        t.observe_branch(60, 40, true); // inner allocated
+        let inner = t.active_gen().unwrap();
+        // Outer's backward branch taken again (inner exited via an
+        // untracked path such as a forward break).
+        let flushed = t.observe_branch(100, 10, true);
+        assert_eq!(flushed, vec![inner]);
+        assert_eq!(t.active_loops(), 1);
+    }
+
+    #[test]
+    fn function_call_context() {
+        let mut t = ContextTable::new();
+        t.observe_branch(100, 10, true);
+        let gen = t.active_gen().unwrap();
+        t.observe_call(42);
+        let key = t.current().unwrap();
+        assert_eq!(key, ContextKey { loop_gen: gen, function_pc: 42 });
+        // Second-level call: PBS unsupported.
+        t.observe_call(43);
+        assert_eq!(t.current(), None);
+        t.observe_ret();
+        assert_eq!(t.current().unwrap().function_pc, 42);
+        t.observe_ret();
+        assert_eq!(t.current().unwrap(), ContextKey { loop_gen: gen, function_pc: 0 });
+    }
+
+    #[test]
+    fn distinct_call_sites_give_distinct_contexts() {
+        let mut t = ContextTable::new();
+        t.observe_branch(100, 10, true);
+        t.observe_call(42);
+        let k1 = t.current().unwrap();
+        t.observe_ret();
+        t.observe_call(77);
+        let k2 = t.current().unwrap();
+        assert_ne!(k1, k2, "paper: different paths to the same branch get separate entries");
+    }
+
+    #[test]
+    fn last_pc_grows_with_larger_backward_branches() {
+        let mut t = ContextTable::new();
+        t.observe_branch(50, 10, true);
+        // A later backward branch to the same loop head extends Last-PC;
+        // a not-taken backward branch below Last-PC (e.g. a continue-like
+        // inner branch) must NOT terminate the loop...
+        t.observe_branch(55, 10, true);
+        let flushed = t.observe_branch(50, 10, false);
+        assert!(flushed.is_empty(), "pc 50 < Last-PC 55 is not a termination");
+        // ...but one at Last-PC does.
+        let flushed = t.observe_branch(55, 10, false);
+        assert_eq!(flushed.len(), 1);
+    }
+
+    #[test]
+    fn calls_outside_loops_are_ignored() {
+        let mut t = ContextTable::new();
+        t.observe_call(9);
+        t.observe_ret();
+        assert_eq!(t.current(), Some(ContextKey::TOP_LEVEL));
+    }
+}

@@ -1,0 +1,106 @@
+//! Hardware-cost accounting, reproducing the paper's Section V-C2
+//! arithmetic bit for bit.
+//!
+//! The paper's numbers for the default design point (4 branches × 2
+//! values × 4 in flight):
+//!
+//! * one Prob-BTB entry + one SwapTable entry ≈ 35 bytes; ×4 branches ≈
+//!   "about 140 bytes";
+//! * Prob-in-Flight: 2 bytes/entry, 4 outstanding × (compare + jump) =
+//!   16 bytes;
+//! * Context-Table: 2 entries × (three 48-bit addresses + two 3-bit
+//!   counters) = 37.5 bytes;
+//! * **total: 193 bytes**.
+
+use crate::PbsConfig;
+
+/// Bits per Prob-BTB entry: 1 loop-context bit + 48-bit function-call PC
+/// + 48-bit branch PC + 48-bit target PC + 8-bit physical-register index
+/// + valid bit + T/NT bit + 64-bit `Const-Val` (paper Section V-C2).
+pub const PROB_BTB_ENTRY_BITS: usize = 1 + 48 + 48 + 48 + 8 + 1 + 1 + 64;
+
+/// Bits per SwapTable entry: 48-bit PC + 3-bit Prob-BTB index + 8-bit
+/// physical-register index + valid bit.
+pub const SWAP_TABLE_ENTRY_BITS: usize = 48 + 3 + 8 + 1;
+
+/// Bits per Prob-in-Flight entry ("2 bytes").
+pub const IN_FLIGHT_ENTRY_BITS: usize = 16;
+
+/// Bits per Context-Table entry: Loop-PC + Last-PC + Function-PC (48 bits
+/// each) + 3-bit call-depth counter + 3-bit auxiliary counter.
+pub const CONTEXT_ENTRY_BITS: usize = 3 * 48 + 2 * 3;
+
+/// Number of Context-Table entries (two innermost loops).
+pub const CONTEXT_ENTRIES: usize = 2;
+
+/// Total PBS state in bits for a configuration.
+pub fn total_bits(config: &PbsConfig) -> usize {
+    let per_branch_btb = PROB_BTB_ENTRY_BITS;
+    // One value pointer lives in the Prob-BTB (`Pr_Phy`); each extra
+    // value occupies a SwapTable entry.
+    let swap_entries = config.values_per_branch.saturating_sub(1);
+    let per_branch_swap = swap_entries * SWAP_TABLE_ENTRY_BITS;
+    let btb_and_swap = config.num_branches * (per_branch_btb + per_branch_swap);
+    // In-flight instances record both the compare and the jump.
+    let in_flight = config.in_flight * 2 * IN_FLIGHT_ENTRY_BITS;
+    let context = if config.context_tracking { CONTEXT_ENTRIES * CONTEXT_ENTRY_BITS } else { 0 };
+    btb_and_swap + in_flight + context
+}
+
+/// Total PBS state in bytes, rounded up.
+pub fn total_bytes(config: &PbsConfig) -> usize {
+    total_bits(config).div_ceil(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_costs_193_bytes() {
+        // The paper's headline number (abstract, Sections I and V-C2).
+        assert_eq!(total_bytes(&PbsConfig::default()), 193);
+    }
+
+    #[test]
+    fn one_branch_with_two_values_and_four_in_flight_is_51_bytes() {
+        // Paper: "to support one probabilistic branch with two
+        // probabilistic values and four in-flight copies of the branch,
+        // we need 51 bytes in the Prob-BTB, SwapTable, and
+        // Prob-in-Flight."
+        let c = PbsConfig { num_branches: 1, context_tracking: false, ..PbsConfig::default() };
+        assert_eq!(total_bytes(&c), 51);
+    }
+
+    #[test]
+    fn four_branches_without_in_flight_or_context_is_about_140_bytes() {
+        // Paper: "Assuming four probabilistic branches, this amounts to
+        // about 140 bytes."
+        let c = PbsConfig { context_tracking: false, in_flight: 4, ..PbsConfig::default() };
+        let btb_and_swap_bits = total_bits(&c) - 4 * 2 * IN_FLIGHT_ENTRY_BITS;
+        let bytes = btb_and_swap_bits as f64 / 8.0;
+        assert!((bytes - 140.0).abs() < 1.0, "{bytes} bytes");
+    }
+
+    #[test]
+    fn context_table_is_37_5_bytes() {
+        assert_eq!(CONTEXT_ENTRIES * CONTEXT_ENTRY_BITS, 300);
+        // 300 bits = 37.5 bytes.
+    }
+
+    #[test]
+    fn cost_scales_linearly_in_branches() {
+        let base = PbsConfig { context_tracking: false, ..PbsConfig::default() };
+        let b1 = total_bits(&PbsConfig { num_branches: 1, ..base.clone() });
+        let b2 = total_bits(&PbsConfig { num_branches: 2, ..base.clone() });
+        let b3 = total_bits(&PbsConfig { num_branches: 3, ..base });
+        assert_eq!(b2 - b1, b3 - b2);
+    }
+
+    #[test]
+    fn category1_only_design_is_cheaper() {
+        // A Category-1-only unit needs no SwapTable entries.
+        let cat1 = PbsConfig { values_per_branch: 1, ..PbsConfig::default() };
+        assert!(total_bytes(&cat1) < total_bytes(&PbsConfig::default()));
+    }
+}

@@ -1,0 +1,374 @@
+use crate::{AluOp, CmpOp, FpBinOp, FpUnOp, Inst, IsaError, Operand, Program, Reg};
+
+/// A forward-referenceable code label created by
+/// [`ProgramBuilder::label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// An incremental builder for [`Program`]s with labels and forward
+/// references — the crate's primary program-authoring API.
+///
+/// All emitting methods return `&mut Self` so simple sequences can be
+/// chained; label binding naturally interleaves:
+///
+/// ```
+/// use probranch_isa::{ProgramBuilder, Reg, CmpOp};
+/// let mut b = ProgramBuilder::new();
+/// let top = b.label("top");
+/// b.li(Reg::R1, 0);
+/// b.bind(top);
+/// b.add(Reg::R1, Reg::R1, 1)
+///  .br(CmpOp::Lt, Reg::R1, 100, top)
+///  .halt();
+/// let program = b.build()?;
+/// assert_eq!(program.len(), 4);
+/// # Ok::<(), probranch_isa::IsaError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    insts: Vec<Inst>,
+    labels: Vec<(String, Option<u32>)>,
+    /// (instruction index, label) pairs awaiting patching.
+    fixups: Vec<(usize, Label)>,
+}
+
+macro_rules! alu_methods {
+    ($($name:ident => $op:ident),* $(,)?) => {
+        $(
+            #[doc = concat!("Emits `", stringify!($name), " dst, src1, src2`.")]
+            pub fn $name(&mut self, dst: Reg, src1: Reg, src2: impl Into<Operand>) -> &mut Self {
+                self.emit(Inst::Alu { op: AluOp::$op, dst, src1, src2: src2.into() })
+            }
+        )*
+    };
+}
+
+macro_rules! fpbin_methods {
+    ($($name:ident => $op:ident),* $(,)?) => {
+        $(
+            #[doc = concat!("Emits `", stringify!($name), " dst, src1, src2` (f64 semantics).")]
+            pub fn $name(&mut self, dst: Reg, src1: Reg, src2: Reg) -> &mut Self {
+                self.emit(Inst::FpBin { op: FpBinOp::$op, dst, src1, src2 })
+            }
+        )*
+    };
+}
+
+macro_rules! fpun_methods {
+    ($($name:ident => $op:ident),* $(,)?) => {
+        $(
+            #[doc = concat!("Emits `", stringify!($name), " dst, src` (f64 semantics).")]
+            pub fn $name(&mut self, dst: Reg, src: Reg) -> &mut Self {
+                self.emit(Inst::FpUn { op: FpUnOp::$op, dst, src })
+            }
+        )*
+    };
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Creates a new, initially unbound label. The name is used only in
+    /// error messages.
+    pub fn label(&mut self, name: &str) -> Label {
+        self.labels.push((name.to_owned(), None));
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position (the next emitted
+    /// instruction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound (a builder bug at the call
+    /// site, caught eagerly).
+    pub fn bind(&mut self, label: Label) -> &mut Self {
+        let slot = &mut self.labels[label.0];
+        assert!(slot.1.is_none(), "label `{}` bound twice", slot.0);
+        slot.1 = Some(self.insts.len() as u32);
+        self
+    }
+
+    /// Creates a label already bound to the current position.
+    pub fn here(&mut self, name: &str) -> Label {
+        let l = self.label(name);
+        self.bind(l);
+        l
+    }
+
+    /// The index of the next emitted instruction.
+    pub fn pc(&self) -> u32 {
+        self.insts.len() as u32
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    fn emit_fixup(&mut self, inst: Inst, label: Label) -> &mut Self {
+        self.fixups.push((self.insts.len(), label));
+        self.insts.push(inst);
+        self
+    }
+
+    // ---- data movement -------------------------------------------------
+
+    /// Emits `li dst, imm` (64-bit integer immediate).
+    pub fn li(&mut self, dst: Reg, imm: impl Into<i64>) -> &mut Self {
+        self.emit(Inst::Li { dst, imm: imm.into() as u64 })
+    }
+
+    /// Emits `li dst, value` with an `f64` immediate stored as its bit
+    /// pattern.
+    pub fn lif(&mut self, dst: Reg, value: f64) -> &mut Self {
+        self.emit(Inst::Li { dst, imm: value.to_bits() })
+    }
+
+    /// Emits `mov dst, src`.
+    pub fn mov(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.emit(Inst::Mov { dst, src })
+    }
+
+    alu_methods! {
+        add => Add, sub => Sub, mul => Mul, div => Div, rem => Rem,
+        and => And, or => Or, xor => Xor, shl => Shl, shr => Shr,
+        sar => Sar, slt => Slt, sltu => Sltu,
+    }
+
+    fpbin_methods! {
+        fadd => Add, fsub => Sub, fmul => Mul, fdiv => Div,
+        fmin => Min, fmax => Max,
+    }
+
+    fpun_methods! {
+        fneg => Neg, fabs => Abs, fsqrt => Sqrt, fexp => Exp,
+        fln => Ln, fsin => Sin, fcos => Cos, ffloor => Floor,
+    }
+
+    /// Emits `itof dst, src` (signed int → double).
+    pub fn itof(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.emit(Inst::IntToFp { dst, src })
+    }
+
+    /// Emits `ftoi dst, src` (double → signed int, truncating).
+    pub fn ftoi(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.emit(Inst::FpToInt { dst, src })
+    }
+
+    /// Emits `cmov dst, cond, if_true, if_false`.
+    pub fn cmov(&mut self, dst: Reg, cond: Reg, if_true: Reg, if_false: Reg) -> &mut Self {
+        self.emit(Inst::CMov { dst, cond, if_true, if_false })
+    }
+
+    // ---- memory ---------------------------------------------------------
+
+    /// Emits `ld dst, offset(base)`.
+    pub fn ld(&mut self, dst: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.emit(Inst::Load { dst, base, offset })
+    }
+
+    /// Emits `st src, offset(base)`.
+    pub fn st(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.emit(Inst::Store { src, base, offset })
+    }
+
+    // ---- control flow ---------------------------------------------------
+
+    /// Emits `cmp op, lhs, rhs` (integer compare, sets the flag).
+    pub fn cmp(&mut self, op: CmpOp, lhs: Reg, rhs: impl Into<Operand>) -> &mut Self {
+        self.emit(Inst::Cmp { op, fp: false, lhs, rhs: rhs.into() })
+    }
+
+    /// Emits `fcmp op, lhs, rhs` (floating-point compare).
+    pub fn fcmp(&mut self, op: CmpOp, lhs: Reg, rhs: Reg) -> &mut Self {
+        self.emit(Inst::Cmp { op, fp: true, lhs, rhs: Operand::Reg(rhs) })
+    }
+
+    /// Emits `jf label` (jump if the flag is set).
+    pub fn jf(&mut self, label: Label) -> &mut Self {
+        self.emit_fixup(Inst::Jf { target: 0 }, label)
+    }
+
+    /// Emits a fused integer compare-and-branch to `label`.
+    pub fn br(&mut self, op: CmpOp, lhs: Reg, rhs: impl Into<Operand>, label: Label) -> &mut Self {
+        self.emit_fixup(Inst::Br { op, fp: false, lhs, rhs: rhs.into(), target: 0 }, label)
+    }
+
+    /// Emits a fused floating-point compare-and-branch to `label`.
+    pub fn fbr(&mut self, op: CmpOp, lhs: Reg, rhs: Reg, label: Label) -> &mut Self {
+        self.emit_fixup(Inst::Br { op, fp: true, lhs, rhs: Operand::Reg(rhs), target: 0 }, label)
+    }
+
+    /// Emits `jmp label`.
+    pub fn jmp(&mut self, label: Label) -> &mut Self {
+        self.emit_fixup(Inst::Jmp { target: 0 }, label)
+    }
+
+    /// Emits `call label`.
+    pub fn call(&mut self, label: Label) -> &mut Self {
+        self.emit_fixup(Inst::Call { target: 0 }, label)
+    }
+
+    /// Emits `ret`.
+    pub fn ret(&mut self) -> &mut Self {
+        self.emit(Inst::Ret)
+    }
+
+    // ---- probabilistic instructions --------------------------------------
+
+    /// Emits `prob_cmp op, prob, rhs` (integer).
+    pub fn prob_cmp(&mut self, op: CmpOp, prob: Reg, rhs: impl Into<Operand>) -> &mut Self {
+        self.emit(Inst::ProbCmp { op, fp: false, prob, rhs: rhs.into() })
+    }
+
+    /// Emits `prob_fcmp op, prob, rhs` (floating point).
+    pub fn prob_fcmp(&mut self, op: CmpOp, prob: Reg, rhs: Reg) -> &mut Self {
+        self.emit(Inst::ProbCmp { op, fp: true, prob, rhs: Operand::Reg(rhs) })
+    }
+
+    /// Emits the final, jumping `prob_jmp [prob,] label`.
+    pub fn prob_jmp(&mut self, prob: Option<Reg>, label: Label) -> &mut Self {
+        self.emit_fixup(Inst::ProbJmp { prob, target: Some(0) }, label)
+    }
+
+    /// Emits an intermediate `prob_jmp prob` that registers one more
+    /// probabilistic register but does not jump (paper: `Immediate` = 0).
+    pub fn prob_jmp_mid(&mut self, prob: Reg) -> &mut Self {
+        self.emit(Inst::ProbJmp { prob: Some(prob), target: None })
+    }
+
+    // ---- misc ------------------------------------------------------------
+
+    /// Emits `out src, port`.
+    pub fn out(&mut self, src: Reg, port: u16) -> &mut Self {
+        self.emit(Inst::Out { src, port })
+    }
+
+    /// Emits `halt`.
+    pub fn halt(&mut self) -> &mut Self {
+        self.emit(Inst::Halt)
+    }
+
+    /// Emits `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.emit(Inst::Nop)
+    }
+
+    /// Resolves all labels and validates the program.
+    ///
+    /// # Errors
+    ///
+    /// * [`IsaError::UnboundLabel`] if any referenced label was never
+    ///   bound;
+    /// * any error from [`Program::new`] validation.
+    pub fn build(mut self) -> Result<Program, IsaError> {
+        for (idx, label) in std::mem::take(&mut self.fixups) {
+            let (name, addr) = &self.labels[label.0];
+            let addr = addr.ok_or_else(|| IsaError::UnboundLabel(name.clone()))?;
+            let patched = self.insts[idx].set_target(addr);
+            debug_assert!(patched, "fixup recorded for a target-less instruction");
+        }
+        Program::new(self.insts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_reference_is_patched() {
+        let mut b = ProgramBuilder::new();
+        let end = b.label("end");
+        b.jmp(end);
+        b.nop();
+        b.bind(end);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.fetch(0).target(), Some(2));
+    }
+
+    #[test]
+    fn backward_reference_is_patched() {
+        let mut b = ProgramBuilder::new();
+        let top = b.here("top");
+        b.add(Reg::R1, Reg::R1, 1);
+        b.br(CmpOp::Lt, Reg::R1, 10, top);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.fetch(1).target(), Some(0));
+    }
+
+    #[test]
+    fn unbound_label_errors() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label("nowhere");
+        b.jmp(l);
+        b.halt();
+        assert_eq!(b.build(), Err(IsaError::UnboundLabel("nowhere".into())));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label("x");
+        b.bind(l);
+        b.nop();
+        b.bind(l);
+    }
+
+    #[test]
+    fn lif_stores_bits() {
+        let mut b = ProgramBuilder::new();
+        b.lif(Reg::R1, 0.5);
+        b.halt();
+        let p = b.build().unwrap();
+        match p.fetch(0) {
+            Inst::Li { imm, .. } => assert_eq!(*imm, 0.5f64.to_bits()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prob_sequence() {
+        let mut b = ProgramBuilder::new();
+        let taken = b.label("taken");
+        b.prob_fcmp(CmpOp::Lt, Reg::R1, Reg::R2);
+        b.prob_jmp_mid(Reg::R3);
+        b.prob_jmp(Some(Reg::R4), taken);
+        b.nop();
+        b.bind(taken);
+        b.halt();
+        let p = b.build().unwrap();
+        assert!(p.fetch(0).is_prob());
+        assert_eq!(p.fetch(1).target(), None);
+        assert_eq!(p.fetch(2).target(), Some(4));
+        assert_eq!(p.branch_counts(), (1, 1));
+    }
+
+    #[test]
+    fn pc_and_len_track_emission() {
+        let mut b = ProgramBuilder::new();
+        assert!(b.is_empty());
+        assert_eq!(b.pc(), 0);
+        b.nop().nop();
+        assert_eq!(b.pc(), 2);
+        assert_eq!(b.len(), 2);
+    }
+}

@@ -1,0 +1,565 @@
+//! Fixed-width binary encoding.
+//!
+//! Each instruction encodes into one 64-bit word, optionally followed by
+//! one 64-bit extension word carrying a large immediate. The encoding
+//! demonstrates the paper's second ISA-extension alternative (Section
+//! V-A2): rather than new opcodes, probabilistic compare and jump reuse
+//! the `cmp`/`jf` opcodes with an otherwise-unused bit — [`PROB_BIT`] —
+//! set. A decoder without PBS support ([`decode_compat`]) ignores that
+//! bit and degrades probabilistic branches to regular ones, preserving
+//! backward compatibility exactly as the paper requires.
+//!
+//! Word layout (least-significant bit first):
+//!
+//! ```text
+//! bits  0..8   opcode
+//! bits  8..13  register A (dst / src / prob)
+//! bits 13..18  register B
+//! bits 18..23  register C
+//! bits 23..26  comparison predicate
+//! bit  26      fp flag
+//! bit  27      PROB bit (paper's unused-bit marker)
+//! bit  28      extension word follows (64-bit immediate)
+//! bit  29      operand-B is a register (not an immediate)
+//! bit  30      auxiliary flag (prob_jmp: has prob register;
+//!              prob_jmp intermediate: no target)
+//! bits 32..64  inline 32-bit immediate / target / port
+//! ```
+
+use crate::{AluOp, CmpOp, FpBinOp, FpUnOp, Inst, IsaError, Operand, Program, Reg};
+
+/// The "unused bit" that marks a probabilistic instruction in the binary
+/// encoding (paper Section V-A2).
+pub const PROB_BIT: u64 = 1 << 27;
+
+const EXT_BIT: u64 = 1 << 28;
+const OPB_REG_BIT: u64 = 1 << 29;
+const AUX_BIT: u64 = 1 << 30;
+
+// Opcode assignments. Alu ops occupy 0..13, FP binary 16..22, FP unary
+// 24..32, the rest from 40.
+const OP_ALU_BASE: u8 = 0;
+const OP_FPBIN_BASE: u8 = 16;
+const OP_FPUN_BASE: u8 = 24;
+const OP_LI: u8 = 40;
+const OP_MOV: u8 = 41;
+const OP_ITOF: u8 = 42;
+const OP_FTOI: u8 = 43;
+const OP_CMOV: u8 = 44;
+const OP_LD: u8 = 45;
+const OP_ST: u8 = 46;
+const OP_CMP: u8 = 47;
+const OP_JF: u8 = 48;
+const OP_BR: u8 = 49;
+const OP_JMP: u8 = 50;
+const OP_CALL: u8 = 51;
+const OP_RET: u8 = 52;
+const OP_OUT: u8 = 53;
+const OP_HALT: u8 = 54;
+const OP_NOP: u8 = 55;
+
+fn cmp_code(op: CmpOp) -> u64 {
+    op as u64 & 0x7
+}
+
+fn cmp_from_code(code: u64) -> CmpOp {
+    CmpOp::ALL[(code as usize).min(5)]
+}
+
+struct Fields {
+    opcode: u8,
+    ra: u8,
+    rb: u8,
+    rc: u8,
+    cmp: u64,
+    flags: u64,
+    imm32: u32,
+    ext: Option<u64>,
+}
+
+impl Fields {
+    fn new(opcode: u8) -> Fields {
+        Fields { opcode, ra: 0, rb: 0, rc: 0, cmp: 0, flags: 0, imm32: 0, ext: None }
+    }
+
+    fn word(&self) -> u64 {
+        (self.opcode as u64)
+            | ((self.ra as u64 & 0x1f) << 8)
+            | ((self.rb as u64 & 0x1f) << 13)
+            | ((self.rc as u64 & 0x1f) << 18)
+            | (self.cmp << 23)
+            | self.flags
+            | (if self.ext.is_some() { EXT_BIT } else { 0 })
+            | ((self.imm32 as u64) << 32)
+    }
+}
+
+fn encode_operand(f: &mut Fields, o: Operand) {
+    match o {
+        Operand::Reg(r) => {
+            f.flags |= OPB_REG_BIT;
+            f.rb = r.index() as u8;
+        }
+        Operand::Imm(v) => {
+            if v as i32 as i64 == v {
+                f.imm32 = v as i32 as u32;
+            } else {
+                f.ext = Some(v as u64);
+            }
+        }
+    }
+}
+
+fn encode_offset(f: &mut Fields, v: i64) {
+    if v as i32 as i64 == v {
+        f.imm32 = v as i32 as u32;
+    } else {
+        f.ext = Some(v as u64);
+    }
+}
+
+/// Encodes one instruction, appending one or two words to `out`.
+pub fn encode_inst(inst: &Inst, out: &mut Vec<u64>) {
+    let mut f = match *inst {
+        Inst::Alu { op, dst, src1, src2 } => {
+            let mut f = Fields::new(OP_ALU_BASE + op as u8);
+            f.ra = dst.index() as u8;
+            f.rc = src1.index() as u8;
+            encode_operand(&mut f, src2);
+            f
+        }
+        Inst::Li { dst, imm } => {
+            let mut f = Fields::new(OP_LI);
+            f.ra = dst.index() as u8;
+            if imm as i32 as i64 as u64 == imm {
+                f.imm32 = imm as u32;
+            } else {
+                f.ext = Some(imm);
+            }
+            f
+        }
+        Inst::Mov { dst, src } => {
+            let mut f = Fields::new(OP_MOV);
+            f.ra = dst.index() as u8;
+            f.rb = src.index() as u8;
+            f
+        }
+        Inst::FpBin { op, dst, src1, src2 } => {
+            let mut f = Fields::new(OP_FPBIN_BASE + op as u8);
+            f.ra = dst.index() as u8;
+            f.rb = src2.index() as u8;
+            f.rc = src1.index() as u8;
+            f
+        }
+        Inst::FpUn { op, dst, src } => {
+            let mut f = Fields::new(OP_FPUN_BASE + op as u8);
+            f.ra = dst.index() as u8;
+            f.rb = src.index() as u8;
+            f
+        }
+        Inst::IntToFp { dst, src } => {
+            let mut f = Fields::new(OP_ITOF);
+            f.ra = dst.index() as u8;
+            f.rb = src.index() as u8;
+            f
+        }
+        Inst::FpToInt { dst, src } => {
+            let mut f = Fields::new(OP_FTOI);
+            f.ra = dst.index() as u8;
+            f.rb = src.index() as u8;
+            f
+        }
+        Inst::CMov { dst, cond, if_true, if_false } => {
+            let mut f = Fields::new(OP_CMOV);
+            f.ra = dst.index() as u8;
+            f.rb = cond.index() as u8;
+            f.rc = if_true.index() as u8;
+            // The fourth register reuses the inline immediate field.
+            f.imm32 = if_false.index() as u32;
+            f
+        }
+        Inst::Load { dst, base, offset } => {
+            let mut f = Fields::new(OP_LD);
+            f.ra = dst.index() as u8;
+            f.rb = base.index() as u8;
+            encode_offset(&mut f, offset);
+            f
+        }
+        Inst::Store { src, base, offset } => {
+            let mut f = Fields::new(OP_ST);
+            f.ra = src.index() as u8;
+            f.rb = base.index() as u8;
+            encode_offset(&mut f, offset);
+            f
+        }
+        Inst::Cmp { op, fp, lhs, rhs } => {
+            let mut f = Fields::new(OP_CMP);
+            f.ra = lhs.index() as u8;
+            f.cmp = cmp_code(op);
+            if fp {
+                f.flags |= 1 << 26;
+            }
+            encode_operand(&mut f, rhs);
+            f
+        }
+        Inst::Jf { target } => {
+            let mut f = Fields::new(OP_JF);
+            f.imm32 = target;
+            f
+        }
+        Inst::Br { op, fp, lhs, rhs, target } => {
+            // Branch targets always use the extension word because the
+            // inline field may be occupied by the immediate operand.
+            let mut f = Fields::new(OP_BR);
+            f.ra = lhs.index() as u8;
+            f.cmp = cmp_code(op);
+            if fp {
+                f.flags |= 1 << 26;
+            }
+            match rhs {
+                Operand::Reg(r) => {
+                    f.flags |= OPB_REG_BIT;
+                    f.rb = r.index() as u8;
+                    f.imm32 = target;
+                }
+                Operand::Imm(v) => {
+                    f.imm32 = target;
+                    f.ext = Some(v as u64);
+                }
+            }
+            f
+        }
+        Inst::Jmp { target } => {
+            let mut f = Fields::new(OP_JMP);
+            f.imm32 = target;
+            f
+        }
+        Inst::Call { target } => {
+            let mut f = Fields::new(OP_CALL);
+            f.imm32 = target;
+            f
+        }
+        Inst::Ret => Fields::new(OP_RET),
+        Inst::ProbCmp { op, fp, prob, rhs } => {
+            let mut f = Fields::new(OP_CMP);
+            f.flags |= PROB_BIT;
+            f.ra = prob.index() as u8;
+            f.cmp = cmp_code(op);
+            if fp {
+                f.flags |= 1 << 26;
+            }
+            encode_operand(&mut f, rhs);
+            f
+        }
+        Inst::ProbJmp { prob, target } => {
+            let mut f = Fields::new(OP_JF);
+            f.flags |= PROB_BIT;
+            if let Some(p) = prob {
+                f.flags |= OPB_REG_BIT;
+                f.rb = p.index() as u8;
+            }
+            match target {
+                Some(t) => f.imm32 = t,
+                None => f.flags |= AUX_BIT,
+            }
+            f
+        }
+        Inst::Out { src, port } => {
+            let mut f = Fields::new(OP_OUT);
+            f.ra = src.index() as u8;
+            f.imm32 = port as u32;
+            f
+        }
+        Inst::Halt => Fields::new(OP_HALT),
+        Inst::Nop => Fields::new(OP_NOP),
+    };
+    let ext = f.ext.take();
+    let has_ext = ext.is_some();
+    let mut w = f.word();
+    if has_ext {
+        w |= EXT_BIT;
+    }
+    out.push(w);
+    if let Some(e) = ext {
+        out.push(e);
+    }
+}
+
+/// Encodes a whole program into its binary image.
+pub fn encode(program: &Program) -> Vec<u64> {
+    let mut out = Vec::with_capacity(program.len());
+    for (_, inst) in program.iter() {
+        encode_inst(inst, &mut out);
+    }
+    out
+}
+
+fn reg_a(w: u64) -> Reg {
+    Reg::new(((w >> 8) & 0x1f) as u32).expect("5-bit field")
+}
+
+fn reg_b(w: u64) -> Reg {
+    Reg::new(((w >> 13) & 0x1f) as u32).expect("5-bit field")
+}
+
+fn reg_c(w: u64) -> Reg {
+    Reg::new(((w >> 18) & 0x1f) as u32).expect("5-bit field")
+}
+
+fn imm32(w: u64) -> u32 {
+    (w >> 32) as u32
+}
+
+struct Decoder<'a> {
+    words: &'a [u64],
+    pos: usize,
+    /// When false, the PROB bit is ignored (legacy machine).
+    prob_support: bool,
+}
+
+impl Decoder<'_> {
+    fn err(&self, msg: impl Into<String>) -> IsaError {
+        IsaError::Decode { word: self.pos, msg: msg.into() }
+    }
+
+    fn next_inst(&mut self) -> Result<Inst, IsaError> {
+        let w = self.words[self.pos];
+        let start = self.pos;
+        self.pos += 1;
+        let ext = if w & EXT_BIT != 0 {
+            let e = *self
+                .words
+                .get(self.pos)
+                .ok_or(IsaError::Decode { word: start, msg: "missing extension word".into() })?;
+            self.pos += 1;
+            Some(e)
+        } else {
+            None
+        };
+        let opcode = (w & 0xff) as u8;
+        let fp = w & (1 << 26) != 0;
+        let prob = self.prob_support && (w & PROB_BIT != 0);
+        let operand_b = || -> Operand {
+            if w & OPB_REG_BIT != 0 {
+                Operand::Reg(reg_b(w))
+            } else if let Some(e) = ext {
+                Operand::Imm(e as i64)
+            } else {
+                Operand::Imm(imm32(w) as i32 as i64)
+            }
+        };
+        let offset = || -> i64 {
+            if let Some(e) = ext {
+                e as i64
+            } else {
+                imm32(w) as i32 as i64
+            }
+        };
+
+        let inst = match opcode {
+            op if (OP_ALU_BASE..OP_ALU_BASE + 13).contains(&op) => Inst::Alu {
+                op: AluOp::ALL[(op - OP_ALU_BASE) as usize],
+                dst: reg_a(w),
+                src1: reg_c(w),
+                src2: operand_b(),
+            },
+            op if (OP_FPBIN_BASE..OP_FPBIN_BASE + 6).contains(&op) => Inst::FpBin {
+                op: FpBinOp::ALL[(op - OP_FPBIN_BASE) as usize],
+                dst: reg_a(w),
+                src1: reg_c(w),
+                src2: reg_b(w),
+            },
+            op if (OP_FPUN_BASE..OP_FPUN_BASE + 8).contains(&op) => Inst::FpUn {
+                op: FpUnOp::ALL[(op - OP_FPUN_BASE) as usize],
+                dst: reg_a(w),
+                src: reg_b(w),
+            },
+            OP_LI => Inst::Li {
+                dst: reg_a(w),
+                imm: ext.unwrap_or(imm32(w) as i32 as i64 as u64),
+            },
+            OP_MOV => Inst::Mov { dst: reg_a(w), src: reg_b(w) },
+            OP_ITOF => Inst::IntToFp { dst: reg_a(w), src: reg_b(w) },
+            OP_FTOI => Inst::FpToInt { dst: reg_a(w), src: reg_b(w) },
+            OP_CMOV => Inst::CMov {
+                dst: reg_a(w),
+                cond: reg_b(w),
+                if_true: reg_c(w),
+                if_false: Reg::new(imm32(w) & 0x1f).expect("5-bit field"),
+            },
+            OP_LD => Inst::Load { dst: reg_a(w), base: reg_b(w), offset: offset() },
+            OP_ST => Inst::Store { src: reg_a(w), base: reg_b(w), offset: offset() },
+            OP_CMP if prob => Inst::ProbCmp {
+                op: cmp_from_code((w >> 23) & 0x7),
+                fp,
+                prob: reg_a(w),
+                rhs: operand_b(),
+            },
+            OP_CMP => Inst::Cmp {
+                op: cmp_from_code((w >> 23) & 0x7),
+                fp,
+                lhs: reg_a(w),
+                rhs: operand_b(),
+            },
+            OP_JF if prob => {
+                let preg = if w & OPB_REG_BIT != 0 { Some(reg_b(w)) } else { None };
+                let target = if w & AUX_BIT != 0 { None } else { Some(imm32(w)) };
+                Inst::ProbJmp { prob: preg, target }
+            }
+            OP_JF if w & PROB_BIT != 0 && w & AUX_BIT != 0 => {
+                // Legacy machine, intermediate PROB_JMP (no target): the
+                // value-registration is meaningless without PBS hardware;
+                // it degrades to a nop rather than a jump to 0.
+                Inst::Nop
+            }
+            OP_JF => Inst::Jf { target: imm32(w) },
+            OP_BR => {
+                let op = cmp_from_code((w >> 23) & 0x7);
+                let rhs = if w & OPB_REG_BIT != 0 {
+                    Operand::Reg(reg_b(w))
+                } else {
+                    Operand::Imm(ext.ok_or_else(|| self.err("br immediate requires extension word"))? as i64)
+                };
+                Inst::Br { op, fp, lhs: reg_a(w), rhs, target: imm32(w) }
+            }
+            OP_JMP => Inst::Jmp { target: imm32(w) },
+            OP_CALL => Inst::Call { target: imm32(w) },
+            OP_RET => Inst::Ret,
+            OP_OUT => Inst::Out { src: reg_a(w), port: imm32(w) as u16 },
+            OP_HALT => Inst::Halt,
+            OP_NOP => Inst::Nop,
+            other => return Err(IsaError::Decode { word: start, msg: format!("unknown opcode {other}") }),
+        };
+        Ok(inst)
+    }
+
+    fn run(mut self) -> Result<Vec<Inst>, IsaError> {
+        let mut insts = Vec::new();
+        while self.pos < self.words.len() {
+            insts.push(self.next_inst()?);
+        }
+        Ok(insts)
+    }
+}
+
+/// Decodes a binary image produced by [`encode`], with full PBS support.
+///
+/// # Errors
+///
+/// Returns [`IsaError::Decode`] for unknown opcodes or truncated images.
+pub fn decode(words: &[u64]) -> Result<Vec<Inst>, IsaError> {
+    Decoder { words, pos: 0, prob_support: true }.run()
+}
+
+/// Decodes a binary image the way a machine *without* PBS support would:
+/// the [`PROB_BIT`] is ignored, so `PROB_CMP` degrades to `cmp` and a
+/// jumping `PROB_JMP` to `jf` — probabilistic branches execute as regular
+/// branches, which is the paper's backward-compatibility story.
+///
+/// # Errors
+///
+/// Returns [`IsaError::Decode`] for unknown opcodes or truncated images.
+pub fn decode_compat(words: &[u64]) -> Result<Vec<Inst>, IsaError> {
+    Decoder { words, pos: 0, prob_support: false }.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(i: Inst) {
+        let mut words = Vec::new();
+        encode_inst(&i, &mut words);
+        let back = decode(&words).unwrap();
+        assert_eq!(back, vec![i], "binary round-trip failed for `{i}`");
+    }
+
+    #[test]
+    fn round_trip_representatives() {
+        round_trip(Inst::Alu { op: AluOp::Add, dst: Reg::R1, src1: Reg::R2, src2: Operand::imm(-7) });
+        round_trip(Inst::Alu { op: AluOp::Xor, dst: Reg::R31, src1: Reg::R30, src2: Operand::Reg(Reg::R29) });
+        round_trip(Inst::Alu { op: AluOp::Mul, dst: Reg::R1, src1: Reg::R1, src2: Operand::imm(i64::MIN) });
+        round_trip(Inst::Li { dst: Reg::R9, imm: u64::MAX });
+        round_trip(Inst::Li { dst: Reg::R9, imm: 12 });
+        round_trip(Inst::Li { dst: Reg::R9, imm: 0.5f64.to_bits() });
+        round_trip(Inst::Mov { dst: Reg::R1, src: Reg::R2 });
+        round_trip(Inst::FpBin { op: FpBinOp::Div, dst: Reg::R1, src1: Reg::R2, src2: Reg::R3 });
+        round_trip(Inst::FpUn { op: FpUnOp::Cos, dst: Reg::R1, src: Reg::R2 });
+        round_trip(Inst::IntToFp { dst: Reg::R1, src: Reg::R2 });
+        round_trip(Inst::FpToInt { dst: Reg::R1, src: Reg::R2 });
+        round_trip(Inst::CMov { dst: Reg::R1, cond: Reg::R2, if_true: Reg::R3, if_false: Reg::R31 });
+        round_trip(Inst::Load { dst: Reg::R1, base: Reg::R2, offset: -(1 << 40) });
+        round_trip(Inst::Store { src: Reg::R1, base: Reg::R2, offset: 8 });
+        round_trip(Inst::Cmp { op: CmpOp::Le, fp: false, lhs: Reg::R1, rhs: Operand::imm(3) });
+        round_trip(Inst::Cmp { op: CmpOp::Lt, fp: true, lhs: Reg::R1, rhs: Operand::Imm(0.5f64.to_bits() as i64) });
+        round_trip(Inst::Jf { target: 123 });
+        round_trip(Inst::Br { op: CmpOp::Ge, fp: false, lhs: Reg::R1, rhs: Operand::imm(0), target: 77 });
+        round_trip(Inst::Br { op: CmpOp::Gt, fp: true, lhs: Reg::R1, rhs: Operand::Reg(Reg::R2), target: 1 });
+        round_trip(Inst::Jmp { target: 1 });
+        round_trip(Inst::Call { target: 0 });
+        round_trip(Inst::Ret);
+        round_trip(Inst::ProbCmp { op: CmpOp::Lt, fp: true, prob: Reg::R4, rhs: Operand::Imm(0.25f64.to_bits() as i64) });
+        round_trip(Inst::ProbCmp { op: CmpOp::Gt, fp: false, prob: Reg::R4, rhs: Operand::Reg(Reg::R9) });
+        round_trip(Inst::ProbJmp { prob: Some(Reg::R5), target: Some(1) });
+        round_trip(Inst::ProbJmp { prob: None, target: Some(1) });
+        round_trip(Inst::ProbJmp { prob: Some(Reg::R5), target: None });
+        round_trip(Inst::Out { src: Reg::R1, port: 65535 });
+        round_trip(Inst::Halt);
+        round_trip(Inst::Nop);
+    }
+
+    #[test]
+    fn compat_decoding_degrades_prob_branches() {
+        // Paper V-A2: "machines that lack PBS support can still execute
+        // software that contains probabilistic branches by treating
+        // probabilistic branches as normal branches."
+        let mut words = Vec::new();
+        encode_inst(&Inst::ProbCmp { op: CmpOp::Lt, fp: true, prob: Reg::R4, rhs: Operand::Reg(Reg::R2) }, &mut words);
+        encode_inst(&Inst::ProbJmp { prob: Some(Reg::R5), target: Some(9) }, &mut words);
+        encode_inst(&Inst::ProbJmp { prob: Some(Reg::R5), target: None }, &mut words);
+        let legacy = decode_compat(&words).unwrap();
+        assert_eq!(legacy[0], Inst::Cmp { op: CmpOp::Lt, fp: true, lhs: Reg::R4, rhs: Operand::Reg(Reg::R2) });
+        assert_eq!(legacy[1], Inst::Jf { target: 9 });
+        assert_eq!(legacy[2], Inst::Nop);
+    }
+
+    #[test]
+    fn compat_equals_full_decode_for_regular_programs() {
+        let insts = vec![
+            Inst::Li { dst: Reg::R1, imm: 3 },
+            Inst::Br { op: CmpOp::Lt, fp: false, lhs: Reg::R1, rhs: Operand::imm(10), target: 0 },
+            Inst::Halt,
+        ];
+        let p = Program::new(insts.clone()).unwrap();
+        let words = encode(&p);
+        assert_eq!(decode(&words).unwrap(), insts);
+        assert_eq!(decode_compat(&words).unwrap(), insts);
+    }
+
+    #[test]
+    fn truncated_image_errors() {
+        let mut words = Vec::new();
+        encode_inst(&Inst::Li { dst: Reg::R1, imm: 1 << 40 }, &mut words);
+        assert_eq!(words.len(), 2);
+        let e = decode(&words[..1]).unwrap_err();
+        assert!(matches!(e, IsaError::Decode { .. }));
+    }
+
+    #[test]
+    fn unknown_opcode_errors() {
+        let e = decode(&[0xffu64]).unwrap_err();
+        assert!(matches!(e, IsaError::Decode { word: 0, .. }));
+    }
+
+    #[test]
+    fn prob_bit_is_set_only_on_prob_instructions() {
+        let mut w1 = Vec::new();
+        encode_inst(&Inst::Cmp { op: CmpOp::Lt, fp: false, lhs: Reg::R1, rhs: Operand::imm(0) }, &mut w1);
+        assert_eq!(w1[0] & PROB_BIT, 0);
+        let mut w2 = Vec::new();
+        encode_inst(&Inst::ProbCmp { op: CmpOp::Lt, fp: false, prob: Reg::R1, rhs: Operand::imm(0) }, &mut w2);
+        assert_ne!(w2[0] & PROB_BIT, 0);
+        // The two encodings differ only in the PROB bit.
+        assert_eq!(w1[0], w2[0] & !PROB_BIT);
+    }
+}

@@ -1,0 +1,87 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, parsing, encoding or decoding
+/// `probranch` programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// A register index outside `0..32` was requested.
+    InvalidRegister(u32),
+    /// A label was referenced but never bound to an address.
+    UnboundLabel(String),
+    /// A label was bound more than once.
+    DuplicateLabel(String),
+    /// A branch or call target lies outside the program.
+    TargetOutOfRange {
+        /// Address of the offending instruction.
+        pc: u32,
+        /// The out-of-range target.
+        target: u32,
+        /// Program length in instructions.
+        len: u32,
+    },
+    /// The program has no terminating `halt` reachable path marker.
+    MissingHalt,
+    /// The program is empty.
+    EmptyProgram,
+    /// Text assembly failed at a given line.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable cause.
+        msg: String,
+    },
+    /// A binary word could not be decoded.
+    Decode {
+        /// Offset of the word within the binary image.
+        word: usize,
+        /// Human-readable cause.
+        msg: String,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::InvalidRegister(r) => write!(f, "invalid register index {r} (expected 0..32)"),
+            IsaError::UnboundLabel(l) => write!(f, "label `{l}` referenced but never bound"),
+            IsaError::DuplicateLabel(l) => write!(f, "label `{l}` bound more than once"),
+            IsaError::TargetOutOfRange { pc, target, len } => {
+                write!(f, "instruction at pc {pc} targets {target}, outside program of length {len}")
+            }
+            IsaError::MissingHalt => write!(f, "program contains no halt instruction"),
+            IsaError::EmptyProgram => write!(f, "program is empty"),
+            IsaError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            IsaError::Decode { word, msg } => write!(f, "decode error at word {word}: {msg}"),
+        }
+    }
+}
+
+impl Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = IsaError::InvalidRegister(99);
+        let s = e.to_string();
+        assert!(s.contains("99"));
+        assert!(s.starts_with("invalid"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error + Send + Sync> = Box::new(IsaError::EmptyProgram);
+        assert_eq!(e.to_string(), "program is empty");
+    }
+
+    #[test]
+    fn display_target_out_of_range() {
+        let e = IsaError::TargetOutOfRange { pc: 3, target: 42, len: 10 };
+        let s = e.to_string();
+        assert!(s.contains("pc 3") && s.contains("42") && s.contains("10"));
+    }
+}

@@ -1,0 +1,532 @@
+use crate::{AluOp, CmpOp, FpBinOp, FpUnOp, Operand, Reg};
+
+/// A small inline list of registers, as returned by [`Inst::defs`] and
+/// [`Inst::uses`]. Holds at most four registers without heap allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegList {
+    regs: [Option<Reg>; 4],
+    len: u8,
+}
+
+impl RegList {
+    /// An empty list.
+    pub fn new() -> RegList {
+        RegList::default()
+    }
+
+    /// Appends a register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list already holds four registers (no instruction in
+    /// this ISA names more than four).
+    pub fn push(&mut self, r: Reg) {
+        assert!(self.len < 4, "RegList overflow");
+        self.regs[self.len as usize] = Some(r);
+        self.len += 1;
+    }
+
+    /// Number of registers in the list.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the list contains `r`.
+    pub fn contains(&self, r: Reg) -> bool {
+        self.iter().any(|x| x == r)
+    }
+
+    /// Iterates over the registers.
+    pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.regs.iter().take(self.len as usize).filter_map(|r| *r)
+    }
+}
+
+impl FromIterator<Reg> for RegList {
+    fn from_iter<T: IntoIterator<Item = Reg>>(iter: T) -> RegList {
+        let mut l = RegList::new();
+        for r in iter {
+            l.push(r);
+        }
+        l
+    }
+}
+
+/// Execution-resource class of an instruction, used by the out-of-order
+/// timing model to assign functional-unit latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum ExecClass {
+    /// Single-cycle integer operations (add, logic, moves, compares).
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide / remainder.
+    IntDiv,
+    /// FP add/sub/min/max and conversions.
+    FpAdd,
+    /// FP multiply.
+    FpMul,
+    /// FP divide and square root.
+    FpDiv,
+    /// Transcendental FP (exp, ln, sin, cos).
+    FpLong,
+    Load,
+    Store,
+    /// Control transfer (branches, jumps, calls, returns).
+    Branch,
+    /// No functional unit (nop, halt, out).
+    Other,
+}
+
+/// One `probranch` instruction.
+///
+/// Control-transfer targets are absolute instruction indices within the
+/// program (the machine has a Harvard organization; the program counter is
+/// an instruction index).
+///
+/// The two probabilistic instructions mirror the paper's ISA extension:
+///
+/// * [`Inst::ProbCmp`] compares the probabilistic value in `prob` against
+///   `rhs` under predicate `op` and sets the condition flag, while
+///   registering `prob` with the PBS hardware for value swapping.
+/// * [`Inst::ProbJmp`] transfers control to `target` if the flag is set.
+///   `prob` optionally names one more register carrying a probabilistic
+///   value to swap (Category-2 codes). When more than two values need
+///   replacement, additional `ProbJmp` instructions with `target: None`
+///   precede the final jumping one, exactly as in the paper
+///   ("with `Immediate` set to zero for all but the last `PROB_JMP`").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Inst {
+    /// Integer ALU operation: `dst = src1 op src2`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        dst: Reg,
+        /// First source register.
+        src1: Reg,
+        /// Second source operand.
+        src2: Operand,
+    },
+    /// Load a 64-bit immediate: `dst = imm`.
+    Li {
+        /// Destination register.
+        dst: Reg,
+        /// The immediate bit pattern (may encode an `f64`).
+        imm: u64,
+    },
+    /// Register move: `dst = src`.
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// Floating-point two-source operation.
+    FpBin {
+        /// Operation.
+        op: FpBinOp,
+        /// Destination register.
+        dst: Reg,
+        /// First source register.
+        src1: Reg,
+        /// Second source register.
+        src2: Reg,
+    },
+    /// Floating-point one-source operation.
+    FpUn {
+        /// Operation.
+        op: FpUnOp,
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// Signed integer to double conversion.
+    IntToFp {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// Double to signed integer conversion (truncating).
+    FpToInt {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// Conditional move (select), the predication primitive:
+    /// `dst = if cond != 0 { if_true } else { if_false }`.
+    CMov {
+        /// Destination register.
+        dst: Reg,
+        /// Condition register (any nonzero value selects `if_true`).
+        cond: Reg,
+        /// Value selected when the condition holds.
+        if_true: Reg,
+        /// Value selected otherwise.
+        if_false: Reg,
+    },
+    /// Load a 64-bit word: `dst = mem[base + offset]`.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset (must keep the address 8-byte aligned).
+        offset: i64,
+    },
+    /// Store a 64-bit word: `mem[base + offset] = src`.
+    Store {
+        /// Source register.
+        src: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset (must keep the address 8-byte aligned).
+        offset: i64,
+    },
+    /// Compare and set the condition flag: `flag = lhs op rhs`.
+    Cmp {
+        /// Predicate.
+        op: CmpOp,
+        /// Interpret operands as IEEE doubles.
+        fp: bool,
+        /// Left-hand register.
+        lhs: Reg,
+        /// Right-hand operand. For `fp` compares an immediate holds the
+        /// raw `f64` bit pattern.
+        rhs: Operand,
+    },
+    /// Jump to `target` if the condition flag is set.
+    Jf {
+        /// Absolute instruction index.
+        target: u32,
+    },
+    /// Fused compare-and-branch: branch to `target` if `lhs op rhs`.
+    Br {
+        /// Predicate.
+        op: CmpOp,
+        /// Interpret operands as IEEE doubles.
+        fp: bool,
+        /// Left-hand register.
+        lhs: Reg,
+        /// Right-hand operand.
+        rhs: Operand,
+        /// Absolute instruction index.
+        target: u32,
+    },
+    /// Unconditional jump.
+    Jmp {
+        /// Absolute instruction index.
+        target: u32,
+    },
+    /// Call: pushes the return address on the machine's call stack.
+    Call {
+        /// Absolute instruction index of the callee entry.
+        target: u32,
+    },
+    /// Return to the most recent call site.
+    Ret,
+    /// `PROB_CMP optype, Prob_Reg1, Reg2` — probabilistic compare.
+    ProbCmp {
+        /// Predicate.
+        op: CmpOp,
+        /// Interpret operands as IEEE doubles.
+        fp: bool,
+        /// Register holding the probabilistic value. Also a destination:
+        /// PBS overwrites it with the value matching the fetched path.
+        prob: Reg,
+        /// The comparison condition (the paper's `Const-Val` safety field
+        /// snapshots this operand's value).
+        rhs: Operand,
+    },
+    /// `PROB_JMP Prob_Reg2, Immediate` — probabilistic jump.
+    ProbJmp {
+        /// Optional extra probabilistic register to swap. Also a
+        /// destination (see [`Inst::ProbCmp`]).
+        prob: Option<Reg>,
+        /// Jump target; `None` marks an intermediate `PROB_JMP` that only
+        /// registers a swap register (paper: `Immediate` = 0).
+        target: Option<u32>,
+    },
+    /// Emit the value of `src` on output channel `port` (used for output
+    /// accuracy checks and random-stream recording).
+    Out {
+        /// Source register.
+        src: Reg,
+        /// Output channel.
+        port: u16,
+    },
+    /// Stop the machine.
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+impl Inst {
+    /// Registers written by this instruction.
+    ///
+    /// `ProbCmp`/`ProbJmp` list their probabilistic registers as
+    /// destinations: the paper specifies them as destination operands "to
+    /// preserve the read-after-write dependency" for instructions after
+    /// the branch.
+    pub fn defs(&self) -> RegList {
+        let mut l = RegList::new();
+        match *self {
+            Inst::Alu { dst, .. }
+            | Inst::Li { dst, .. }
+            | Inst::Mov { dst, .. }
+            | Inst::FpBin { dst, .. }
+            | Inst::FpUn { dst, .. }
+            | Inst::IntToFp { dst, .. }
+            | Inst::FpToInt { dst, .. }
+            | Inst::CMov { dst, .. }
+            | Inst::Load { dst, .. } => l.push(dst),
+            Inst::ProbCmp { prob, .. } => l.push(prob),
+            Inst::ProbJmp { prob: Some(p), .. } => l.push(p),
+            _ => {}
+        }
+        l
+    }
+
+    /// Registers read by this instruction.
+    pub fn uses(&self) -> RegList {
+        let mut l = RegList::new();
+        fn op_use(l: &mut RegList, o: Operand) {
+            if let Operand::Reg(r) = o {
+                l.push(r);
+            }
+        }
+        match *self {
+            Inst::Alu { src1, src2, .. } => {
+                l.push(src1);
+                op_use(&mut l, src2);
+            }
+            Inst::Mov { src, .. } | Inst::FpUn { src, .. } | Inst::IntToFp { src, .. } | Inst::FpToInt { src, .. } => {
+                l.push(src)
+            }
+            Inst::FpBin { src1, src2, .. } => {
+                l.push(src1);
+                l.push(src2);
+            }
+            Inst::CMov { cond, if_true, if_false, .. } => {
+                l.push(cond);
+                l.push(if_true);
+                l.push(if_false);
+            }
+            Inst::Load { base, .. } => l.push(base),
+            Inst::Store { src, base, .. } => {
+                l.push(src);
+                l.push(base);
+            }
+            Inst::Cmp { lhs, rhs, .. } | Inst::Br { lhs, rhs, .. } => {
+                l.push(lhs);
+                op_use(&mut l, rhs);
+            }
+            Inst::ProbCmp { prob, rhs, .. } => {
+                l.push(prob);
+                op_use(&mut l, rhs);
+            }
+            Inst::ProbJmp { prob: Some(p), .. } => l.push(p),
+            Inst::Out { src, .. } => l.push(src),
+            _ => {}
+        }
+        l
+    }
+
+    /// Whether this is a conditional branch (its direction is predicted or
+    /// PBS-directed): `Br`, `Jf`, or a jumping `ProbJmp`.
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(
+            self,
+            Inst::Br { .. } | Inst::Jf { .. } | Inst::ProbJmp { target: Some(_), .. }
+        )
+    }
+
+    /// Whether this is one of the probabilistic instructions.
+    pub fn is_prob(&self) -> bool {
+        matches!(self, Inst::ProbCmp { .. } | Inst::ProbJmp { .. })
+    }
+
+    /// Whether this instruction can redirect control flow.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Inst::Jf { .. }
+                | Inst::Br { .. }
+                | Inst::Jmp { .. }
+                | Inst::Call { .. }
+                | Inst::Ret
+                | Inst::ProbJmp { target: Some(_), .. }
+                | Inst::Halt
+        )
+    }
+
+    /// The static target of a direct control transfer, if any.
+    pub fn target(&self) -> Option<u32> {
+        match *self {
+            Inst::Jf { target }
+            | Inst::Br { target, .. }
+            | Inst::Jmp { target }
+            | Inst::Call { target } => Some(target),
+            Inst::ProbJmp { target, .. } => target,
+            _ => None,
+        }
+    }
+
+    /// Rewrites the static target of a direct control transfer.
+    ///
+    /// Returns `false` (leaving the instruction unchanged) when the
+    /// instruction has no target.
+    pub fn set_target(&mut self, new: u32) -> bool {
+        match self {
+            Inst::Jf { target }
+            | Inst::Br { target, .. }
+            | Inst::Jmp { target }
+            | Inst::Call { target } => {
+                *target = new;
+                true
+            }
+            Inst::ProbJmp { target: Some(t), .. } => {
+                *t = new;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The functional-unit class used by the timing model.
+    pub fn exec_class(&self) -> ExecClass {
+        match self {
+            Inst::Alu { op, .. } => match op {
+                AluOp::Mul => ExecClass::IntMul,
+                AluOp::Div | AluOp::Rem => ExecClass::IntDiv,
+                _ => ExecClass::IntAlu,
+            },
+            Inst::Li { .. } | Inst::Mov { .. } | Inst::CMov { .. } | Inst::Cmp { .. } => ExecClass::IntAlu,
+            Inst::FpBin { op, .. } => match op {
+                FpBinOp::Mul => ExecClass::FpMul,
+                FpBinOp::Div => ExecClass::FpDiv,
+                _ => ExecClass::FpAdd,
+            },
+            Inst::FpUn { op, .. } => match op {
+                FpUnOp::Sqrt => ExecClass::FpDiv,
+                FpUnOp::Exp | FpUnOp::Ln | FpUnOp::Sin | FpUnOp::Cos => ExecClass::FpLong,
+                _ => ExecClass::FpAdd,
+            },
+            Inst::IntToFp { .. } | Inst::FpToInt { .. } => ExecClass::FpAdd,
+            Inst::Load { .. } => ExecClass::Load,
+            Inst::Store { .. } => ExecClass::Store,
+            Inst::Jf { .. }
+            | Inst::Br { .. }
+            | Inst::Jmp { .. }
+            | Inst::Call { .. }
+            | Inst::Ret
+            | Inst::ProbCmp { .. }
+            | Inst::ProbJmp { .. } => ExecClass::Branch,
+            Inst::Out { .. } | Inst::Halt | Inst::Nop => ExecClass::Other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reglist_push_and_iter() {
+        let mut l = RegList::new();
+        assert!(l.is_empty());
+        l.push(Reg::R1);
+        l.push(Reg::R2);
+        assert_eq!(l.len(), 2);
+        assert!(l.contains(Reg::R1));
+        assert!(!l.contains(Reg::R3));
+        let v: Vec<Reg> = l.iter().collect();
+        assert_eq!(v, vec![Reg::R1, Reg::R2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "RegList overflow")]
+    fn reglist_overflow_panics() {
+        let mut l = RegList::new();
+        for _ in 0..5 {
+            l.push(Reg::R0);
+        }
+    }
+
+    #[test]
+    fn defs_and_uses_alu() {
+        let i = Inst::Alu { op: AluOp::Add, dst: Reg::R1, src1: Reg::R2, src2: Operand::Reg(Reg::R3) };
+        assert!(i.defs().contains(Reg::R1));
+        assert!(i.uses().contains(Reg::R2));
+        assert!(i.uses().contains(Reg::R3));
+        let i = Inst::Alu { op: AluOp::Add, dst: Reg::R1, src1: Reg::R2, src2: Operand::imm(5) };
+        assert_eq!(i.uses().len(), 1);
+    }
+
+    #[test]
+    fn prob_cmp_register_is_both_def_and_use() {
+        // Paper Section V-A3: "Both PROB_CMP and PROB_JMP specify
+        // probabilistic registers as destination registers to preserve the
+        // read-after-write dependency."
+        let i = Inst::ProbCmp { op: CmpOp::Lt, fp: true, prob: Reg::R4, rhs: Operand::Reg(Reg::R5) };
+        assert!(i.defs().contains(Reg::R4));
+        assert!(i.uses().contains(Reg::R4));
+        let j = Inst::ProbJmp { prob: Some(Reg::R6), target: Some(10) };
+        assert!(j.defs().contains(Reg::R6));
+        assert!(j.uses().contains(Reg::R6));
+        let j = Inst::ProbJmp { prob: None, target: Some(10) };
+        assert!(j.defs().is_empty());
+        assert!(j.uses().is_empty());
+    }
+
+    #[test]
+    fn branch_classification() {
+        assert!(Inst::Br { op: CmpOp::Lt, fp: false, lhs: Reg::R1, rhs: Operand::imm(0), target: 3 }.is_cond_branch());
+        assert!(Inst::Jf { target: 3 }.is_cond_branch());
+        assert!(Inst::ProbJmp { prob: None, target: Some(3) }.is_cond_branch());
+        assert!(!Inst::ProbJmp { prob: Some(Reg::R1), target: None }.is_cond_branch());
+        assert!(!Inst::Jmp { target: 3 }.is_cond_branch());
+        assert!(Inst::Jmp { target: 3 }.is_control());
+        assert!(Inst::Ret.is_control());
+        assert!(!Inst::Nop.is_control());
+    }
+
+    #[test]
+    fn prob_classification() {
+        assert!(Inst::ProbCmp { op: CmpOp::Lt, fp: false, prob: Reg::R1, rhs: Operand::imm(0) }.is_prob());
+        assert!(Inst::ProbJmp { prob: None, target: None }.is_prob());
+        assert!(!Inst::Cmp { op: CmpOp::Lt, fp: false, lhs: Reg::R1, rhs: Operand::imm(0) }.is_prob());
+    }
+
+    #[test]
+    fn target_get_and_set() {
+        let mut i = Inst::Br { op: CmpOp::Lt, fp: false, lhs: Reg::R1, rhs: Operand::imm(0), target: 3 };
+        assert_eq!(i.target(), Some(3));
+        assert!(i.set_target(9));
+        assert_eq!(i.target(), Some(9));
+        let mut n = Inst::Nop;
+        assert!(!n.set_target(1));
+        assert_eq!(n.target(), None);
+        assert_eq!(Inst::ProbJmp { prob: None, target: None }.target(), None);
+    }
+
+    #[test]
+    fn exec_classes() {
+        assert_eq!(Inst::Alu { op: AluOp::Mul, dst: Reg::R1, src1: Reg::R1, src2: Operand::imm(2) }.exec_class(), ExecClass::IntMul);
+        assert_eq!(Inst::Alu { op: AluOp::Div, dst: Reg::R1, src1: Reg::R1, src2: Operand::imm(2) }.exec_class(), ExecClass::IntDiv);
+        assert_eq!(Inst::FpUn { op: FpUnOp::Exp, dst: Reg::R1, src: Reg::R1 }.exec_class(), ExecClass::FpLong);
+        assert_eq!(Inst::FpUn { op: FpUnOp::Sqrt, dst: Reg::R1, src: Reg::R1 }.exec_class(), ExecClass::FpDiv);
+        assert_eq!(Inst::Load { dst: Reg::R1, base: Reg::R2, offset: 0 }.exec_class(), ExecClass::Load);
+        assert_eq!(Inst::Halt.exec_class(), ExecClass::Other);
+        assert_eq!(Inst::Ret.exec_class(), ExecClass::Branch);
+    }
+}

@@ -1,0 +1,68 @@
+//! # probranch-isa
+//!
+//! A compact 64-bit register instruction set used by the `probranch`
+//! reproduction of *Architectural Support for Probabilistic Branches*
+//! (Adileh, Lilja, Eeckhout — MICRO 2018).
+//!
+//! The ISA is deliberately minimal but complete enough to express the
+//! paper's eight probabilistic workloads as real instruction streams:
+//! integer and floating-point arithmetic (including the transcendental
+//! operations needed by Box–Muller and photon transport), loads/stores,
+//! compare-and-jump control flow, calls/returns, and the paper's two new
+//! probabilistic instructions:
+//!
+//! * [`Inst::ProbCmp`] — `PROB_CMP optype, Prob_Reg1, Reg2`: compares a
+//!   probabilistic value against a condition and registers the value for
+//!   the PBS swap machinery;
+//! * [`Inst::ProbJmp`] — `PROB_JMP Prob_Reg2, Immediate`: the matching
+//!   probabilistic jump, optionally carrying one more probabilistic
+//!   register (Category-2 codes) and the jump target.
+//!
+//! The crate provides:
+//!
+//! * typed instruction definitions ([`Inst`], [`Reg`], [`Operand`], ...);
+//! * a [`ProgramBuilder`] DSL with labels and forward references;
+//! * a text assembler/disassembler ([`parse_asm`], [`Inst`]'s `Display`);
+//! * a fixed-width binary encoding ([`encode`]) that demonstrates the
+//!   paper's "unused bit" ISA-extension alternative: probabilistic
+//!   branches are regular `CMP`/`JMP` encodings with a reserved bit set,
+//!   so a decoder without PBS support degrades them to regular branches.
+//!
+//! ## Example
+//!
+//! ```
+//! use probranch_isa::{ProgramBuilder, Reg, CmpOp, Operand};
+//!
+//! let mut b = ProgramBuilder::new();
+//! let loop_top = b.label("loop");
+//! let done = b.label("done");
+//! b.li(Reg::R1, 0);               // i = 0
+//! b.bind(loop_top);
+//! b.add(Reg::R1, Reg::R1, 1);     // i += 1
+//! b.br(CmpOp::Lt, Reg::R1, Operand::imm(10), loop_top);
+//! b.bind(done);
+//! b.halt();
+//! let program = b.build().expect("valid program");
+//! assert!(program.len() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod encode;
+mod error;
+mod inst;
+mod op;
+mod program;
+mod reg;
+mod text;
+
+pub use builder::{Label, ProgramBuilder};
+pub use encode::{decode, decode_compat, encode, encode_inst, PROB_BIT};
+pub use error::IsaError;
+pub use inst::{ExecClass, Inst, RegList};
+pub use op::{AluOp, CmpOp, FpBinOp, FpUnOp, Operand};
+pub use program::{BranchKind, Program, StaticBranch};
+pub use reg::Reg;
+pub use text::parse_asm;

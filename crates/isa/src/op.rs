@@ -1,0 +1,370 @@
+use std::fmt;
+
+use crate::Reg;
+
+/// Second source operand of an integer ALU instruction or comparison:
+/// either a register or a sign-extended 64-bit immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A register operand.
+    Reg(Reg),
+    /// An immediate operand.
+    Imm(i64),
+}
+
+impl Operand {
+    /// Convenience constructor for an immediate operand.
+    pub fn imm(v: i64) -> Operand {
+        Operand::Imm(v)
+    }
+
+    /// The register, if this operand is a register.
+    pub fn as_reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Imm(_) => None,
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Operand {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Operand {
+        Operand::Imm(v)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Integer ALU operations (two-source, one-destination).
+///
+/// Division and remainder are signed; division by zero produces 0 (the
+/// emulator's defined semantics, chosen so that simulation never traps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    /// Logical (unsigned) right shift.
+    Shr,
+    /// Arithmetic (signed) right shift.
+    Sar,
+    /// Set-if-less-than, signed: `dst = (src1 < src2) as u64`.
+    Slt,
+    /// Set-if-less-than, unsigned.
+    Sltu,
+}
+
+impl AluOp {
+    /// Assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::Sar => "sar",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+        }
+    }
+
+    /// All ALU operations, for exhaustive testing.
+    pub const ALL: [AluOp; 13] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Rem,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::Sar,
+        AluOp::Slt,
+        AluOp::Sltu,
+    ];
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Floating-point two-source operations. Operands are f64 bit patterns in
+/// general registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum FpBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Min,
+    Max,
+}
+
+impl FpBinOp {
+    /// Assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FpBinOp::Add => "fadd",
+            FpBinOp::Sub => "fsub",
+            FpBinOp::Mul => "fmul",
+            FpBinOp::Div => "fdiv",
+            FpBinOp::Min => "fmin",
+            FpBinOp::Max => "fmax",
+        }
+    }
+
+    /// All FP binary operations, for exhaustive testing.
+    pub const ALL: [FpBinOp; 6] = [
+        FpBinOp::Add,
+        FpBinOp::Sub,
+        FpBinOp::Mul,
+        FpBinOp::Div,
+        FpBinOp::Min,
+        FpBinOp::Max,
+    ];
+}
+
+impl fmt::Display for FpBinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Floating-point one-source operations, including the transcendentals
+/// needed by Box–Muller (`Ln`, `Sqrt`, `Sin`, `Cos`) and the exponentials
+/// used by the financial workloads (`Exp`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum FpUnOp {
+    Neg,
+    Abs,
+    Sqrt,
+    Exp,
+    Ln,
+    Sin,
+    Cos,
+    Floor,
+}
+
+impl FpUnOp {
+    /// Assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FpUnOp::Neg => "fneg",
+            FpUnOp::Abs => "fabs",
+            FpUnOp::Sqrt => "fsqrt",
+            FpUnOp::Exp => "fexp",
+            FpUnOp::Ln => "fln",
+            FpUnOp::Sin => "fsin",
+            FpUnOp::Cos => "fcos",
+            FpUnOp::Floor => "ffloor",
+        }
+    }
+
+    /// All FP unary operations, for exhaustive testing.
+    pub const ALL: [FpUnOp; 8] = [
+        FpUnOp::Neg,
+        FpUnOp::Abs,
+        FpUnOp::Sqrt,
+        FpUnOp::Exp,
+        FpUnOp::Ln,
+        FpUnOp::Sin,
+        FpUnOp::Cos,
+        FpUnOp::Floor,
+    ];
+}
+
+impl fmt::Display for FpUnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Comparison predicates used by `cmp`, fused branches and `PROB_CMP`.
+///
+/// Integer comparisons are signed; floating-point comparisons follow IEEE
+/// semantics (any comparison with NaN is false except `Ne`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// Assembler mnemonic fragment (`eq`, `ne`, `lt`, ...).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        }
+    }
+
+    /// The predicate with operands swapped: `a op b == b op.swap() a`.
+    pub fn swapped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// The logical negation of the predicate.
+    pub fn negated(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// Evaluates the predicate on signed integers.
+    #[inline]
+    pub fn eval_int(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+
+    /// Evaluates the predicate on IEEE doubles.
+    #[inline]
+    pub fn eval_fp(self, a: f64, b: f64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+
+    /// All predicates, for exhaustive testing.
+    pub const ALL: [CmpOp; 6] = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_conversions() {
+        let o: Operand = Reg::R3.into();
+        assert_eq!(o.as_reg(), Some(Reg::R3));
+        let o: Operand = 42i64.into();
+        assert_eq!(o.as_reg(), None);
+        assert_eq!(o, Operand::imm(42));
+    }
+
+    #[test]
+    fn cmp_negation_is_involutive() {
+        for op in CmpOp::ALL {
+            assert_eq!(op.negated().negated(), op);
+        }
+    }
+
+    #[test]
+    fn cmp_swap_is_involutive() {
+        for op in CmpOp::ALL {
+            assert_eq!(op.swapped().swapped(), op);
+        }
+    }
+
+    #[test]
+    fn cmp_negation_flips_every_int_outcome() {
+        let pairs = [(0i64, 0i64), (1, 2), (2, 1), (-5, 5), (i64::MAX, i64::MIN)];
+        for op in CmpOp::ALL {
+            for (a, b) in pairs {
+                assert_eq!(op.eval_int(a, b), !op.negated().eval_int(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn cmp_swap_matches_swapped_operands() {
+        let pairs = [(0i64, 0i64), (1, 2), (2, 1), (-5, 5)];
+        for op in CmpOp::ALL {
+            for (a, b) in pairs {
+                assert_eq!(op.eval_int(a, b), op.swapped().eval_int(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn fp_nan_comparisons() {
+        assert!(!CmpOp::Eq.eval_fp(f64::NAN, f64::NAN));
+        assert!(CmpOp::Ne.eval_fp(f64::NAN, 1.0));
+        assert!(!CmpOp::Lt.eval_fp(f64::NAN, 1.0));
+        assert!(!CmpOp::Ge.eval_fp(f64::NAN, 1.0));
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for op in AluOp::ALL {
+            assert!(seen.insert(op.mnemonic()));
+        }
+        for op in FpBinOp::ALL {
+            assert!(seen.insert(op.mnemonic()));
+        }
+        for op in FpUnOp::ALL {
+            assert!(seen.insert(op.mnemonic()));
+        }
+    }
+}

@@ -1,0 +1,128 @@
+use std::fmt;
+
+use crate::IsaError;
+
+/// An architectural register.
+///
+/// The machine has 32 general-purpose 64-bit registers `r0..r31`. Register
+/// `r0` is an ordinary register (not hardwired to zero). Floating-point
+/// values are stored as IEEE-754 bit patterns in the same register file;
+/// floating-point instructions reinterpret the bits.
+///
+/// ```
+/// use probranch_isa::Reg;
+/// assert_eq!(Reg::new(5).unwrap(), Reg::R5);
+/// assert_eq!(Reg::R5.index(), 5);
+/// assert_eq!(Reg::R5.to_string(), "r5");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+/// Number of architectural registers.
+pub(crate) const NUM_REGS: u8 = 32;
+
+macro_rules! named_regs {
+    ($($name:ident = $idx:expr;)*) => {
+        impl Reg {
+            $(
+                #[doc = concat!("Register `r", stringify!($idx), "`.")]
+                pub const $name: Reg = Reg($idx);
+            )*
+        }
+    };
+}
+
+named_regs! {
+    R0 = 0; R1 = 1; R2 = 2; R3 = 3; R4 = 4; R5 = 5; R6 = 6; R7 = 7;
+    R8 = 8; R9 = 9; R10 = 10; R11 = 11; R12 = 12; R13 = 13; R14 = 14; R15 = 15;
+    R16 = 16; R17 = 17; R18 = 18; R19 = 19; R20 = 20; R21 = 21; R22 = 22; R23 = 23;
+    R24 = 24; R25 = 25; R26 = 26; R27 = 27; R28 = 28; R29 = 29; R30 = 30; R31 = 31;
+}
+
+impl Reg {
+    /// Creates a register from its index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::InvalidRegister`] if `index >= 32`.
+    pub fn new(index: u32) -> Result<Reg, IsaError> {
+        if index < NUM_REGS as u32 {
+            Ok(Reg(index as u8))
+        } else {
+            Err(IsaError::InvalidRegister(index))
+        }
+    }
+
+    /// The register's index in `0..32`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterates over all 32 architectural registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..NUM_REGS).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl TryFrom<u32> for Reg {
+    type Error = IsaError;
+
+    fn try_from(value: u32) -> Result<Self, Self::Error> {
+        Reg::new(value)
+    }
+}
+
+impl From<Reg> for u32 {
+    fn from(r: Reg) -> u32 {
+        r.0 as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_out_of_range() {
+        assert!(Reg::new(31).is_ok());
+        assert_eq!(Reg::new(32), Err(IsaError::InvalidRegister(32)));
+        assert_eq!(Reg::new(u32::MAX), Err(IsaError::InvalidRegister(u32::MAX)));
+    }
+
+    #[test]
+    fn named_constants_match_indices() {
+        assert_eq!(Reg::R0.index(), 0);
+        assert_eq!(Reg::R31.index(), 31);
+        assert_eq!(Reg::R17, Reg::new(17).unwrap());
+    }
+
+    #[test]
+    fn all_yields_32_distinct() {
+        let v: Vec<Reg> = Reg::all().collect();
+        assert_eq!(v.len(), 32);
+        for (i, r) in v.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_round_trips_through_index() {
+        for r in Reg::all() {
+            assert_eq!(r.to_string(), format!("r{}", r.index()));
+        }
+    }
+
+    #[test]
+    fn conversions() {
+        let r: Reg = 7u32.try_into().unwrap();
+        assert_eq!(r, Reg::R7);
+        assert_eq!(u32::from(Reg::R7), 7);
+    }
+}

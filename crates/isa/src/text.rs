@@ -1,0 +1,479 @@
+//! Text assembler and disassembler.
+//!
+//! The textual syntax is line oriented. `;` and `#` start comments,
+//! `name:` binds a label, and branch targets may be written as label
+//! names or absolute instruction indices. The [`std::fmt::Display`]
+//! implementation for [`Inst`] produces exactly this syntax (with numeric
+//! targets), so `parse_asm(program.to_string())` round-trips.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{AluOp, CmpOp, FpBinOp, FpUnOp, Inst, IsaError, Operand, Program, Reg};
+
+fn fmt_operand(f: &mut fmt::Formatter<'_>, fp: bool, o: Operand) -> fmt::Result {
+    match o {
+        Operand::Reg(r) => write!(f, "{r}"),
+        Operand::Imm(v) if fp => write!(f, "{:?}", f64::from_bits(v as u64)),
+        Operand::Imm(v) => write!(f, "{v}"),
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Alu { op, dst, src1, src2 } => {
+                write!(f, "{op} {dst}, {src1}, ")?;
+                fmt_operand(f, false, src2)
+            }
+            Inst::Li { dst, imm } => write!(f, "li {dst}, {}", imm as i64),
+            Inst::Mov { dst, src } => write!(f, "mov {dst}, {src}"),
+            Inst::FpBin { op, dst, src1, src2 } => write!(f, "{op} {dst}, {src1}, {src2}"),
+            Inst::FpUn { op, dst, src } => write!(f, "{op} {dst}, {src}"),
+            Inst::IntToFp { dst, src } => write!(f, "itof {dst}, {src}"),
+            Inst::FpToInt { dst, src } => write!(f, "ftoi {dst}, {src}"),
+            Inst::CMov { dst, cond, if_true, if_false } => {
+                write!(f, "cmov {dst}, {cond}, {if_true}, {if_false}")
+            }
+            Inst::Load { dst, base, offset } => write!(f, "ld {dst}, {offset}({base})"),
+            Inst::Store { src, base, offset } => write!(f, "st {src}, {offset}({base})"),
+            Inst::Cmp { op, fp, lhs, rhs } => {
+                write!(f, "{} {op}, {lhs}, ", if fp { "fcmp" } else { "cmp" })?;
+                fmt_operand(f, fp, rhs)
+            }
+            Inst::Jf { target } => write!(f, "jf {target}"),
+            Inst::Br { op, fp, lhs, rhs, target } => {
+                write!(f, "{} {op}, {lhs}, ", if fp { "fbr" } else { "br" })?;
+                fmt_operand(f, fp, rhs)?;
+                write!(f, ", {target}")
+            }
+            Inst::Jmp { target } => write!(f, "jmp {target}"),
+            Inst::Call { target } => write!(f, "call {target}"),
+            Inst::Ret => write!(f, "ret"),
+            Inst::ProbCmp { op, fp, prob, rhs } => {
+                write!(f, "{} {op}, {prob}, ", if fp { "prob_fcmp" } else { "prob_cmp" })?;
+                fmt_operand(f, fp, rhs)
+            }
+            Inst::ProbJmp { prob, target } => match (prob, target) {
+                (Some(p), Some(t)) => write!(f, "prob_jmp {p}, {t}"),
+                (None, Some(t)) => write!(f, "prob_jmp -, {t}"),
+                (Some(p), None) => write!(f, "prob_jmp {p}"),
+                (None, None) => write!(f, "prob_jmp -"),
+            },
+            Inst::Out { src, port } => write!(f, "out {src}, {port}"),
+            Inst::Halt => write!(f, "halt"),
+            Inst::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+struct LineCtx<'a> {
+    line_no: usize,
+    labels: &'a HashMap<String, u32>,
+}
+
+impl LineCtx<'_> {
+    fn err(&self, msg: impl Into<String>) -> IsaError {
+        IsaError::Parse { line: self.line_no, msg: msg.into() }
+    }
+
+    fn reg(&self, tok: &str) -> Result<Reg, IsaError> {
+        let idx = tok
+            .strip_prefix('r')
+            .and_then(|s| s.parse::<u32>().ok())
+            .ok_or_else(|| self.err(format!("expected register, found `{tok}`")))?;
+        Reg::new(idx).map_err(|_| self.err(format!("register index out of range: `{tok}`")))
+    }
+
+    fn int(&self, tok: &str) -> Result<i64, IsaError> {
+        let (neg, body) = match tok.strip_prefix('-') {
+            Some(b) => (true, b),
+            None => (false, tok),
+        };
+        // Parse the magnitude as u64 and wrap, so the full u64 range of
+        // `li` immediates (printed as negative i64) round-trips,
+        // including i64::MIN.
+        let parsed = if let Some(hex) = body.strip_prefix("0x") {
+            u64::from_str_radix(hex, 16)
+        } else {
+            body.parse::<u64>()
+        };
+        let v = parsed.map_err(|_| self.err(format!("invalid integer `{tok}`")))? as i64;
+        Ok(if neg { v.wrapping_neg() } else { v })
+    }
+
+    fn operand(&self, tok: &str, fp: bool) -> Result<Operand, IsaError> {
+        if tok.starts_with('r') && tok[1..].chars().all(|c| c.is_ascii_digit()) {
+            return Ok(Operand::Reg(self.reg(tok)?));
+        }
+        if fp {
+            let v: f64 = tok
+                .parse()
+                .map_err(|_| self.err(format!("invalid float `{tok}`")))?;
+            Ok(Operand::Imm(v.to_bits() as i64))
+        } else {
+            Ok(Operand::Imm(self.int(tok)?))
+        }
+    }
+
+    fn target(&self, tok: &str) -> Result<u32, IsaError> {
+        if let Some(&addr) = self.labels.get(tok) {
+            return Ok(addr);
+        }
+        tok.parse::<u32>()
+            .map_err(|_| self.err(format!("unknown label or invalid target `{tok}`")))
+    }
+
+    fn cmp_op(&self, tok: &str) -> Result<CmpOp, IsaError> {
+        CmpOp::ALL
+            .into_iter()
+            .find(|c| c.mnemonic() == tok)
+            .ok_or_else(|| self.err(format!("invalid comparison op `{tok}`")))
+    }
+
+    fn mem_operand(&self, tok: &str) -> Result<(Reg, i64), IsaError> {
+        // `offset(base)`
+        let open = tok.find('(').ok_or_else(|| self.err(format!("expected `offset(base)`, found `{tok}`")))?;
+        let close = tok.len() - 1;
+        if !tok.ends_with(')') || close <= open {
+            return Err(self.err(format!("expected `offset(base)`, found `{tok}`")));
+        }
+        let offset = if open == 0 { 0 } else { self.int(&tok[..open])? };
+        let base = self.reg(&tok[open + 1..close])?;
+        Ok((base, offset))
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    let end = line.find([';', '#']).unwrap_or(line.len());
+    line[..end].trim()
+}
+
+/// Splits an instruction body into mnemonic and comma-separated operands.
+fn split_line(body: &str) -> (&str, Vec<&str>) {
+    match body.split_once(char::is_whitespace) {
+        None => (body, Vec::new()),
+        Some((mnem, rest)) => {
+            let ops = rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+            (mnem, ops)
+        }
+    }
+}
+
+fn parse_inst(ctx: &LineCtx<'_>, body: &str) -> Result<Inst, IsaError> {
+    let (mnem, ops) = split_line(body);
+    let argc = |n: usize| -> Result<(), IsaError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(ctx.err(format!("`{mnem}` expects {n} operand(s), found {}", ops.len())))
+        }
+    };
+
+    if let Some(op) = AluOp::ALL.into_iter().find(|o| o.mnemonic() == mnem) {
+        argc(3)?;
+        return Ok(Inst::Alu {
+            op,
+            dst: ctx.reg(ops[0])?,
+            src1: ctx.reg(ops[1])?,
+            src2: ctx.operand(ops[2], false)?,
+        });
+    }
+    if let Some(op) = FpBinOp::ALL.into_iter().find(|o| o.mnemonic() == mnem) {
+        argc(3)?;
+        return Ok(Inst::FpBin { op, dst: ctx.reg(ops[0])?, src1: ctx.reg(ops[1])?, src2: ctx.reg(ops[2])? });
+    }
+    if let Some(op) = FpUnOp::ALL.into_iter().find(|o| o.mnemonic() == mnem) {
+        argc(2)?;
+        return Ok(Inst::FpUn { op, dst: ctx.reg(ops[0])?, src: ctx.reg(ops[1])? });
+    }
+
+    match mnem {
+        "li" => {
+            argc(2)?;
+            Ok(Inst::Li { dst: ctx.reg(ops[0])?, imm: ctx.int(ops[1])? as u64 })
+        }
+        "mov" => {
+            argc(2)?;
+            Ok(Inst::Mov { dst: ctx.reg(ops[0])?, src: ctx.reg(ops[1])? })
+        }
+        "itof" => {
+            argc(2)?;
+            Ok(Inst::IntToFp { dst: ctx.reg(ops[0])?, src: ctx.reg(ops[1])? })
+        }
+        "ftoi" => {
+            argc(2)?;
+            Ok(Inst::FpToInt { dst: ctx.reg(ops[0])?, src: ctx.reg(ops[1])? })
+        }
+        "cmov" => {
+            argc(4)?;
+            Ok(Inst::CMov {
+                dst: ctx.reg(ops[0])?,
+                cond: ctx.reg(ops[1])?,
+                if_true: ctx.reg(ops[2])?,
+                if_false: ctx.reg(ops[3])?,
+            })
+        }
+        "ld" => {
+            argc(2)?;
+            let (base, offset) = ctx.mem_operand(ops[1])?;
+            Ok(Inst::Load { dst: ctx.reg(ops[0])?, base, offset })
+        }
+        "st" => {
+            argc(2)?;
+            let (base, offset) = ctx.mem_operand(ops[1])?;
+            Ok(Inst::Store { src: ctx.reg(ops[0])?, base, offset })
+        }
+        "cmp" | "fcmp" => {
+            argc(3)?;
+            let fp = mnem == "fcmp";
+            Ok(Inst::Cmp { op: ctx.cmp_op(ops[0])?, fp, lhs: ctx.reg(ops[1])?, rhs: ctx.operand(ops[2], fp)? })
+        }
+        "jf" => {
+            argc(1)?;
+            Ok(Inst::Jf { target: ctx.target(ops[0])? })
+        }
+        "br" | "fbr" => {
+            argc(4)?;
+            let fp = mnem == "fbr";
+            Ok(Inst::Br {
+                op: ctx.cmp_op(ops[0])?,
+                fp,
+                lhs: ctx.reg(ops[1])?,
+                rhs: ctx.operand(ops[2], fp)?,
+                target: ctx.target(ops[3])?,
+            })
+        }
+        "jmp" => {
+            argc(1)?;
+            Ok(Inst::Jmp { target: ctx.target(ops[0])? })
+        }
+        "call" => {
+            argc(1)?;
+            Ok(Inst::Call { target: ctx.target(ops[0])? })
+        }
+        "ret" => {
+            argc(0)?;
+            Ok(Inst::Ret)
+        }
+        "prob_cmp" | "prob_fcmp" => {
+            argc(3)?;
+            let fp = mnem == "prob_fcmp";
+            Ok(Inst::ProbCmp { op: ctx.cmp_op(ops[0])?, fp, prob: ctx.reg(ops[1])?, rhs: ctx.operand(ops[2], fp)? })
+        }
+        "prob_jmp" => {
+            if ops.is_empty() || ops.len() > 2 {
+                return Err(ctx.err(format!("`prob_jmp` expects 1 or 2 operands, found {}", ops.len())));
+            }
+            let prob = if ops[0] == "-" { None } else { Some(ctx.reg(ops[0])?) };
+            let target = if ops.len() == 2 { Some(ctx.target(ops[1])?) } else { None };
+            Ok(Inst::ProbJmp { prob, target })
+        }
+        "out" => {
+            argc(2)?;
+            let port = ctx.int(ops[1])?;
+            let port = u16::try_from(port).map_err(|_| ctx.err(format!("port out of range: {port}")))?;
+            Ok(Inst::Out { src: ctx.reg(ops[0])?, port })
+        }
+        "halt" => {
+            argc(0)?;
+            Ok(Inst::Halt)
+        }
+        "nop" => {
+            argc(0)?;
+            Ok(Inst::Nop)
+        }
+        other => Err(ctx.err(format!("unknown mnemonic `{other}`"))),
+    }
+}
+
+/// Assembles textual assembly into a validated [`Program`].
+///
+/// ```
+/// use probranch_isa::parse_asm;
+/// let p = parse_asm(r"
+///     li r1, 0
+/// top:
+///     add r1, r1, 1       ; increment
+///     br lt, r1, 10, top
+///     halt
+/// ")?;
+/// assert_eq!(p.len(), 4);
+/// # Ok::<(), probranch_isa::IsaError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`IsaError::Parse`] with a line number for syntax errors,
+/// [`IsaError::DuplicateLabel`] for a label bound twice, and any
+/// validation error from [`Program::new`].
+pub fn parse_asm(source: &str) -> Result<Program, IsaError> {
+    // Pass 1: collect labels at instruction indices.
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut pc: u32 = 0;
+    for raw in source.lines() {
+        let mut body = strip_comment(raw);
+        while let Some(colon) = body.find(':') {
+            let name = body[..colon].trim();
+            if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.') {
+                break; // not a label; leave for instruction parsing to reject
+            }
+            if labels.insert(name.to_owned(), pc).is_some() {
+                return Err(IsaError::DuplicateLabel(name.to_owned()));
+            }
+            body = body[colon + 1..].trim();
+        }
+        if !body.is_empty() {
+            pc += 1;
+        }
+    }
+
+    // Pass 2: parse instructions.
+    let mut insts = Vec::with_capacity(pc as usize);
+    for (idx, raw) in source.lines().enumerate() {
+        let mut body = strip_comment(raw);
+        while let Some(colon) = body.find(':') {
+            let name = body[..colon].trim();
+            if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.') {
+                break;
+            }
+            body = body[colon + 1..].trim();
+        }
+        if body.is_empty() {
+            continue;
+        }
+        let ctx = LineCtx { line_no: idx + 1, labels: &labels };
+        insts.push(parse_inst(&ctx, body)?);
+    }
+    Program::new(insts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(i: Inst) {
+        let text = format!("{i}\nhalt");
+        let p = parse_asm(&text).unwrap_or_else(|e| panic!("failed to parse `{i}`: {e}"));
+        assert_eq!(*p.fetch(0), i, "round-trip failed for `{i}`");
+    }
+
+    #[test]
+    fn round_trip_representatives() {
+        round_trip(Inst::Alu { op: AluOp::Add, dst: Reg::R1, src1: Reg::R2, src2: Operand::imm(-7) });
+        round_trip(Inst::Alu { op: AluOp::Sltu, dst: Reg::R1, src1: Reg::R2, src2: Operand::Reg(Reg::R3) });
+        round_trip(Inst::Li { dst: Reg::R9, imm: u64::MAX });
+        round_trip(Inst::Mov { dst: Reg::R1, src: Reg::R2 });
+        round_trip(Inst::FpBin { op: FpBinOp::Mul, dst: Reg::R1, src1: Reg::R2, src2: Reg::R3 });
+        round_trip(Inst::FpUn { op: FpUnOp::Sqrt, dst: Reg::R1, src: Reg::R2 });
+        round_trip(Inst::IntToFp { dst: Reg::R1, src: Reg::R2 });
+        round_trip(Inst::FpToInt { dst: Reg::R1, src: Reg::R2 });
+        round_trip(Inst::CMov { dst: Reg::R1, cond: Reg::R2, if_true: Reg::R3, if_false: Reg::R4 });
+        round_trip(Inst::Load { dst: Reg::R1, base: Reg::R2, offset: -16 });
+        round_trip(Inst::Store { src: Reg::R1, base: Reg::R2, offset: 8 });
+        round_trip(Inst::Cmp { op: CmpOp::Le, fp: false, lhs: Reg::R1, rhs: Operand::imm(3) });
+        round_trip(Inst::Cmp { op: CmpOp::Lt, fp: true, lhs: Reg::R1, rhs: Operand::Imm(0.5f64.to_bits() as i64) });
+        round_trip(Inst::Jf { target: 1 });
+        round_trip(Inst::Br { op: CmpOp::Ge, fp: false, lhs: Reg::R1, rhs: Operand::imm(0), target: 0 });
+        round_trip(Inst::Br { op: CmpOp::Gt, fp: true, lhs: Reg::R1, rhs: Operand::Reg(Reg::R2), target: 1 });
+        round_trip(Inst::Jmp { target: 1 });
+        round_trip(Inst::Call { target: 0 });
+        round_trip(Inst::Ret);
+        round_trip(Inst::ProbCmp { op: CmpOp::Lt, fp: true, prob: Reg::R4, rhs: Operand::Imm(0.25f64.to_bits() as i64) });
+        round_trip(Inst::ProbCmp { op: CmpOp::Gt, fp: false, prob: Reg::R4, rhs: Operand::imm(10) });
+        round_trip(Inst::ProbJmp { prob: Some(Reg::R5), target: Some(1) });
+        round_trip(Inst::ProbJmp { prob: None, target: Some(1) });
+        round_trip(Inst::ProbJmp { prob: Some(Reg::R5), target: None });
+        round_trip(Inst::Out { src: Reg::R1, port: 3 });
+        round_trip(Inst::Nop);
+    }
+
+    #[test]
+    fn labels_and_comments() {
+        let p = parse_asm(
+            r"
+            ; leading comment
+            li r1, 5
+        loop: sub r1, r1, 1     # trailing comment
+            br gt, r1, 0, loop
+            halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.fetch(2).target(), Some(1));
+    }
+
+    #[test]
+    fn label_on_own_line() {
+        let p = parse_asm("top:\n  jmp top\n  halt").unwrap();
+        assert_eq!(p.fetch(0).target(), Some(0));
+    }
+
+    #[test]
+    fn multiple_labels_same_line() {
+        let p = parse_asm("a: b: nop\n jmp a\n jmp b\n halt").unwrap();
+        assert_eq!(p.fetch(1).target(), Some(0));
+        assert_eq!(p.fetch(2).target(), Some(0));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = parse_asm("x: nop\nx: halt").unwrap_err();
+        assert_eq!(e, IsaError::DuplicateLabel("x".into()));
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line() {
+        let e = parse_asm("nop\nfrobnicate r1\nhalt").unwrap_err();
+        match e {
+            IsaError::Parse { line, msg } => {
+                assert_eq!(line, 2);
+                assert!(msg.contains("frobnicate"));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn wrong_operand_count() {
+        let e = parse_asm("add r1, r2\nhalt").unwrap_err();
+        assert!(matches!(e, IsaError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn hex_immediates() {
+        let p = parse_asm("li r1, 0xff\nhalt").unwrap();
+        assert_eq!(*p.fetch(0), Inst::Li { dst: Reg::R1, imm: 0xff });
+    }
+
+    #[test]
+    fn mem_operand_without_offset() {
+        let p = parse_asm("ld r1, (r2)\nhalt").unwrap();
+        assert_eq!(*p.fetch(0), Inst::Load { dst: Reg::R1, base: Reg::R2, offset: 0 });
+    }
+
+    #[test]
+    fn fp_immediate_round_trip_special_values() {
+        for v in [0.0, -0.0, 1.5e-300, f64::INFINITY, f64::NEG_INFINITY, 1e18] {
+            round_trip(Inst::Cmp { op: CmpOp::Lt, fp: true, lhs: Reg::R1, rhs: Operand::Imm(v.to_bits() as i64) });
+        }
+    }
+
+    #[test]
+    fn whole_program_display_parses_back() {
+        let src = r"
+            li r1, 0
+            lif_placeholder: li r2, 100
+        top:
+            add r1, r1, 1
+            fadd r3, r3, r4
+            br lt, r1, r2, top
+            out r1, 0
+            halt
+        ";
+        let p1 = parse_asm(src).unwrap();
+        let p2 = parse_asm(&p1.to_string()).unwrap();
+        assert_eq!(p1, p2);
+    }
+}

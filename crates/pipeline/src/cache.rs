@@ -1,0 +1,258 @@
+//! A set-associative cache model with LRU replacement, and the two-level
+//! hierarchy of the paper's setup: split 32 KB L1 I/D caches over a
+//! unified 2 MB L2 (Section VI-B).
+
+/// A single set-associative cache with true-LRU replacement.
+///
+/// Tracks hits and misses; replacement state is exact (per-set recency
+/// ordering).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    /// Per set: lines ordered most-recently-used first. Values are line
+    /// tags.
+    sets: Vec<Vec<u64>>,
+    ways: usize,
+    line_shift: u32,
+    set_mask: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates a cache of `size_bytes` with `ways` associativity and
+    /// `line_bytes` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless sizes are powers of two and consistent.
+    pub fn new(size_bytes: usize, ways: usize, line_bytes: usize) -> Cache {
+        assert!(size_bytes.is_power_of_two() && line_bytes.is_power_of_two());
+        assert!(size_bytes >= ways * line_bytes);
+        let num_lines = size_bytes / line_bytes;
+        assert_eq!(num_lines % ways, 0);
+        let num_sets = num_lines / ways;
+        Cache {
+            sets: vec![Vec::with_capacity(ways); num_sets],
+            ways,
+            line_shift: line_bytes.trailing_zeros(),
+            set_mask: num_sets as u64 - 1,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr >> self.line_shift;
+        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+    }
+
+    /// Accesses `addr`; returns `true` on hit. Misses allocate (the model
+    /// is write-allocate for simplicity; dirty-line writeback latency is
+    /// folded into the miss latency of the level below).
+    pub fn access(&mut self, addr: u64) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        let lines = &mut self.sets[set];
+        if let Some(pos) = lines.iter().position(|&t| t == tag) {
+            let t = lines.remove(pos);
+            lines.insert(0, t);
+            self.hits += 1;
+            true
+        } else {
+            if lines.len() == self.ways {
+                lines.pop();
+            }
+            lines.insert(0, tag);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of sets (for tests).
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Invariant check: no set exceeds associativity and holds no
+    /// duplicate tags. Used by property tests.
+    pub fn check_invariants(&self) -> bool {
+        self.sets.iter().all(|s| {
+            s.len() <= self.ways && {
+                let mut sorted = s.clone();
+                sorted.sort_unstable();
+                sorted.windows(2).all(|w| w[0] != w[1])
+            }
+        })
+    }
+}
+
+/// Access latencies of the memory hierarchy, in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemLatencies {
+    /// L1 hit.
+    pub l1: u64,
+    /// L2 hit (total, from access start).
+    pub l2: u64,
+    /// Main memory (total, from access start).
+    pub mem: u64,
+}
+
+impl Default for MemLatencies {
+    fn default() -> MemLatencies {
+        MemLatencies { l1: 4, l2: 12, mem: 200 }
+    }
+}
+
+/// The paper's memory hierarchy: split L1 I/D (32 KB, 8-way) and a
+/// unified 2 MB 16-way L2.
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    latencies: MemLatencies,
+}
+
+impl Default for MemoryHierarchy {
+    fn default() -> MemoryHierarchy {
+        MemoryHierarchy::new(MemLatencies::default())
+    }
+}
+
+impl MemoryHierarchy {
+    /// Creates the paper's configuration with the given latencies.
+    pub fn new(latencies: MemLatencies) -> MemoryHierarchy {
+        MemoryHierarchy {
+            l1i: Cache::new(32 * 1024, 8, 64),
+            l1d: Cache::new(32 * 1024, 8, 64),
+            l2: Cache::new(2 * 1024 * 1024, 16, 64),
+            latencies,
+        }
+    }
+
+    /// A data access (load or store): returns the load-to-use latency.
+    pub fn data_access(&mut self, addr: u64) -> u64 {
+        if self.l1d.access(addr) {
+            self.latencies.l1
+        } else if self.l2.access(addr) {
+            self.latencies.l2
+        } else {
+            self.latencies.mem
+        }
+    }
+
+    /// An instruction fetch: returns the extra front-end stall cycles
+    /// (0 on an L1-I hit, which is pipelined into the front end).
+    pub fn inst_access(&mut self, addr: u64) -> u64 {
+        if self.l1i.access(addr) {
+            0
+        } else if self.l2.access(addr) {
+            self.latencies.l2
+        } else {
+            self.latencies.mem
+        }
+    }
+
+    /// The L1 data cache (for statistics).
+    pub fn l1d(&self) -> &Cache {
+        &self.l1d
+    }
+
+    /// The L1 instruction cache (for statistics).
+    pub fn l1i(&self) -> &Cache {
+        &self.l1i
+    }
+
+    /// The unified L2 (for statistics).
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = Cache::new(1024, 2, 64);
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(8), "same line");
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // 2-way, line 64, 1024 bytes -> 8 sets. Addresses 0, 512, 1024
+        // map to set 0 (stride = 8 sets * 64 = 512).
+        let mut c = Cache::new(1024, 2, 64);
+        c.access(0);
+        c.access(512);
+        c.access(0); // touch 0: 512 becomes LRU
+        c.access(1024); // evicts 512
+        assert!(c.access(0), "0 must survive");
+        assert!(!c.access(512), "512 was evicted");
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = Cache::new(1024, 2, 64);
+        for i in 0..8u64 {
+            c.access(i * 64);
+        }
+        for i in 0..8u64 {
+            assert!(c.access(i * 64), "set {i} retains its line");
+        }
+    }
+
+    #[test]
+    fn hierarchy_latency_tiers() {
+        let mut h = MemoryHierarchy::default();
+        let lat = h.data_access(0x1000);
+        assert_eq!(lat, 200, "cold access goes to memory");
+        let lat = h.data_access(0x1000);
+        assert_eq!(lat, 4, "second access hits L1");
+        // Evict from L1 by touching 9 conflicting lines (8-way):
+        // L1 has 32KB/64B/8 = 64 sets; stride 64*64 = 4096.
+        for i in 1..=9u64 {
+            h.data_access(0x1000 + i * 4096 * 8);
+        }
+        let lat = h.data_access(0x1000);
+        assert_eq!(lat, 12, "L1 evicted but L2 retains");
+    }
+
+    #[test]
+    fn inst_hits_are_free() {
+        let mut h = MemoryHierarchy::default();
+        assert!(h.inst_access(0) > 0, "cold I-fetch stalls");
+        assert_eq!(h.inst_access(0), 0, "warm I-fetch pipelined");
+    }
+
+    #[test]
+    fn capacity_eviction() {
+        // Touch 2x the cache capacity, then re-touch the first half: all
+        // must miss in a 1 KB cache.
+        let mut c = Cache::new(1024, 2, 64);
+        for i in 0..32u64 {
+            c.access(i * 64);
+        }
+        let before = c.misses();
+        for i in 0..16u64 {
+            c.access(i * 64);
+        }
+        assert_eq!(c.misses(), before + 16);
+        assert!(c.check_invariants());
+    }
+}

@@ -1,0 +1,51 @@
+//! # probranch-pipeline
+//!
+//! The CPU-simulation substrate for the `probranch` reproduction of
+//! *Architectural Support for Probabilistic Branches* (MICRO 2018): a
+//! functional emulator for the `probranch` ISA and a trace-driven
+//! out-of-order timing model, co-simulating the baseline branch
+//! predictors (`probranch-predictor`) and the PBS unit
+//! (`probranch-core`).
+//!
+//! The paper evaluates on Sniper 6.0 with a 4-wide, 168-entry-ROB core
+//! configured after Sandy Bridge, split 32 KB L1 caches, a 2 MB L2, and
+//! a 10-cycle branch misprediction refill penalty (Section VI-B). This
+//! crate rebuilds that stack:
+//!
+//! * [`Emulator`] — executes programs, drives the PBS unit (value swap,
+//!   bootstrap, context tracking) and streams [`DynInst`] records;
+//! * [`Cache`], [`MemoryHierarchy`] — set-associative LRU caches;
+//! * [`OooTimingModel`] — fetch/dispatch/issue/complete/commit cycle
+//!   accounting with ROB back-pressure and misprediction redirects;
+//! * [`simulate`] / [`run_functional`] — one-call experiment drivers
+//!   returning [`SimReport`]s with IPC, MPKI, PBS counters, program
+//!   outputs and the consumed probabilistic-value stream.
+//!
+//! ```
+//! use probranch_isa::{ProgramBuilder, Reg, CmpOp};
+//! use probranch_pipeline::{simulate, SimConfig};
+//!
+//! let mut b = ProgramBuilder::new();
+//! let top = b.label("top");
+//! b.li(Reg::R1, 0);
+//! b.bind(top);
+//! b.add(Reg::R1, Reg::R1, 1)
+//!  .br(CmpOp::Lt, Reg::R1, 100, top)
+//!  .halt();
+//! let report = simulate(&b.build()?, &SimConfig::default())?;
+//! assert_eq!(report.timing.instructions, 202);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod machine;
+mod ooo;
+mod sim;
+
+pub use cache::{Cache, MemLatencies, MemoryHierarchy};
+pub use machine::{BranchEvent, BranchEventKind, DynInst, EmuConfig, EmuError, Emulator};
+pub use ooo::{ExecLatencies, OooConfig, OooTimingModel, TimingStats};
+pub use sim::{run_functional, simulate, PredictorChoice, SimConfig, SimReport};

@@ -1,0 +1,830 @@
+//! The functional emulator: executes `probranch` programs instruction by
+//! instruction, drives the PBS unit, and streams [`DynInst`] records into
+//! the timing model.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use probranch_core::{BranchResolution, PbsStats, PbsUnit};
+use probranch_isa::{AluOp, CmpOp, FpBinOp, FpUnOp, Inst, Operand, Program, Reg};
+
+/// Emulator configuration.
+#[derive(Debug, Clone)]
+pub struct EmuConfig {
+    /// Data-memory size in 64-bit words (byte-addressed, 8-aligned).
+    pub mem_words: usize,
+    /// Maximum call-stack depth before a fault.
+    pub max_call_depth: usize,
+}
+
+impl Default for EmuConfig {
+    fn default() -> EmuConfig {
+        EmuConfig { mem_words: 1 << 20, max_call_depth: 1024 }
+    }
+}
+
+/// Runtime faults. Validated programs on well-formed workloads never
+/// fault; faults indicate a workload authoring bug.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EmuError {
+    /// Unaligned or out-of-bounds data access.
+    MemoryFault {
+        /// Faulting byte address.
+        addr: u64,
+        /// PC of the faulting instruction.
+        pc: u32,
+    },
+    /// Call-stack overflow.
+    CallStackOverflow {
+        /// PC of the call.
+        pc: u32,
+    },
+    /// Return with an empty call stack.
+    CallStackUnderflow {
+        /// PC of the return.
+        pc: u32,
+    },
+    /// `run_to_halt` exceeded its instruction budget.
+    InstLimitExceeded {
+        /// The configured budget.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for EmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmuError::MemoryFault { addr, pc } => write!(f, "memory fault at address {addr:#x} (pc {pc})"),
+            EmuError::CallStackOverflow { pc } => write!(f, "call stack overflow (pc {pc})"),
+            EmuError::CallStackUnderflow { pc } => write!(f, "return with empty call stack (pc {pc})"),
+            EmuError::InstLimitExceeded { limit } => write!(f, "instruction limit of {limit} exceeded"),
+        }
+    }
+}
+
+impl Error for EmuError {}
+
+/// How a dynamic branch was resolved, for the timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchEventKind {
+    /// A conditional branch whose direction the predictor must guess.
+    Conditional,
+    /// A PBS-directed probabilistic branch: direction known at fetch, no
+    /// predictor access, never mispredicts.
+    PbsDirected,
+    /// Direct unconditional jump (target known at fetch).
+    Unconditional,
+    /// A call (target known at fetch; pushes the return-address stack).
+    Call,
+    /// A return (perfectly predicted by the return-address stack model).
+    Ret,
+}
+
+/// A dynamic branch record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchEvent {
+    /// Actual direction.
+    pub taken: bool,
+    /// Resolution kind.
+    pub kind: BranchEventKind,
+    /// Whether the static instruction is probabilistic (`PROB_JMP`).
+    pub is_prob: bool,
+}
+
+/// One element of the dynamic instruction stream consumed by the timing
+/// model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynInst {
+    /// PC of the instruction.
+    pub pc: u32,
+    /// The static instruction.
+    pub inst: Inst,
+    /// Branch resolution, for control instructions.
+    pub branch: Option<BranchEvent>,
+    /// Data address, for loads and stores.
+    pub mem_addr: Option<u64>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct PendingProb {
+    /// `(register, newly generated value)` in instruction order.
+    values: Vec<(Reg, u64)>,
+    const_val: u64,
+    /// Outcome of the comparison on the *new* value.
+    outcome: bool,
+}
+
+/// The functional emulator.
+///
+/// ```
+/// use probranch_isa::{ProgramBuilder, Reg};
+/// use probranch_pipeline::Emulator;
+///
+/// let mut b = ProgramBuilder::new();
+/// b.li(Reg::R1, 21).add(Reg::R1, Reg::R1, Reg::R1).out(Reg::R1, 0).halt();
+/// let mut emu = Emulator::new(b.build()?, Default::default());
+/// emu.run_to_halt(100)?;
+/// assert_eq!(emu.output(0), &[42]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Emulator {
+    program: Program,
+    config: EmuConfig,
+    regs: [u64; 32],
+    flag: bool,
+    pc: u32,
+    halted: bool,
+    memory: Vec<u64>,
+    call_stack: Vec<u32>,
+    outputs: HashMap<u16, Vec<u64>>,
+    pbs: Option<PbsUnit>,
+    pending_prob: PendingProb,
+    /// Probabilistic values in the order the algorithm consumed them
+    /// (swapped-in values for PBS-directed instances) — the stream the
+    /// paper feeds to DieHarder in Table III.
+    prob_consumed: Vec<u64>,
+    executed: u64,
+}
+
+impl Emulator {
+    /// Creates an emulator without PBS hardware: probabilistic
+    /// instructions degrade to their regular counterparts, exactly like
+    /// the paper's backward-compatible legacy machine.
+    pub fn new(program: Program, config: EmuConfig) -> Emulator {
+        Emulator {
+            regs: [0; 32],
+            flag: false,
+            pc: 0,
+            halted: false,
+            memory: vec![0; config.mem_words],
+            call_stack: Vec::new(),
+            outputs: HashMap::new(),
+            pbs: None,
+            pending_prob: PendingProb::default(),
+            prob_consumed: Vec::new(),
+            executed: 0,
+            program,
+            config,
+        }
+    }
+
+    /// Creates an emulator with a PBS unit attached.
+    pub fn with_pbs(program: Program, config: EmuConfig, pbs: PbsUnit) -> Emulator {
+        let mut e = Emulator::new(program, config);
+        e.pbs = Some(pbs);
+        e
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register (for pre-run argument setup).
+    pub fn set_reg(&mut self, r: Reg, value: u64) {
+        self.regs[r.index()] = value;
+    }
+
+    /// Reads the register as an `f64` bit pattern.
+    pub fn reg_f64(&self, r: Reg) -> f64 {
+        f64::from_bits(self.regs[r.index()])
+    }
+
+    /// The values emitted on `port` so far.
+    pub fn output(&self, port: u16) -> &[u64] {
+        self.outputs.get(&port).map_or(&[], |v| v.as_slice())
+    }
+
+    /// The values emitted on `port`, reinterpreted as doubles.
+    pub fn output_f64(&self, port: u16) -> Vec<f64> {
+        self.output(port).iter().map(|&v| f64::from_bits(v)).collect()
+    }
+
+    /// The probabilistic values in consumption order (see the paper's
+    /// Table III randomness experiment).
+    pub fn prob_consumed(&self) -> &[u64] {
+        &self.prob_consumed
+    }
+
+    /// Whether the machine has executed `halt`.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Dynamic instructions executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// PBS statistics, if a unit is attached.
+    pub fn pbs_stats(&self) -> Option<PbsStats> {
+        self.pbs.as_ref().map(|p| p.stats())
+    }
+
+    /// Direct word access to data memory (for test setup/inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of bounds.
+    pub fn mem_word(&self, word: usize) -> u64 {
+        self.memory[word]
+    }
+
+    /// Writes a data-memory word (for test setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of bounds.
+    pub fn set_mem_word(&mut self, word: usize, value: u64) {
+        self.memory[word] = value;
+    }
+
+    fn operand(&self, o: Operand) -> u64 {
+        match o {
+            Operand::Reg(r) => self.regs[r.index()],
+            Operand::Imm(v) => v as u64,
+        }
+    }
+
+    fn eval_cmp(&self, op: CmpOp, fp: bool, lhs: u64, rhs: u64) -> bool {
+        if fp {
+            op.eval_fp(f64::from_bits(lhs), f64::from_bits(rhs))
+        } else {
+            op.eval_int(lhs as i64, rhs as i64)
+        }
+    }
+
+    fn mem_index(&self, base: Reg, offset: i64, pc: u32) -> Result<usize, EmuError> {
+        let addr = self.regs[base.index()].wrapping_add(offset as u64);
+        if addr % 8 != 0 || (addr / 8) as usize >= self.memory.len() {
+            return Err(EmuError::MemoryFault { addr, pc });
+        }
+        Ok((addr / 8) as usize)
+    }
+
+    fn observe_control(&mut self, pc: u32, inst: &Inst, taken: bool) {
+        if let Some(pbs) = self.pbs.as_mut() {
+            match inst {
+                Inst::Call { .. } => pbs.observe_call(pc),
+                Inst::Ret => pbs.observe_ret(),
+                _ => {
+                    if let Some(target) = inst.target() {
+                        pbs.observe_branch(pc, target, taken);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Executes one instruction, returning its dynamic record, or `None`
+    /// if the machine is halted.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EmuError`] on memory faults and call-stack misuse;
+    /// the machine halts on error.
+    pub fn step(&mut self) -> Result<Option<DynInst>, EmuError> {
+        if self.halted {
+            return Ok(None);
+        }
+        let pc = self.pc;
+        let inst = *self.program.fetch(pc);
+        let mut next_pc = pc + 1;
+        let mut branch = None;
+        let mut mem_addr = None;
+
+        match inst {
+            Inst::Alu { op, dst, src1, src2 } => {
+                let a = self.regs[src1.index()];
+                let b = self.operand(src2);
+                let r = match op {
+                    AluOp::Add => a.wrapping_add(b),
+                    AluOp::Sub => a.wrapping_sub(b),
+                    AluOp::Mul => a.wrapping_mul(b),
+                    AluOp::Div => {
+                        if b == 0 {
+                            0
+                        } else {
+                            ((a as i64).wrapping_div(b as i64)) as u64
+                        }
+                    }
+                    AluOp::Rem => {
+                        if b == 0 {
+                            0
+                        } else {
+                            ((a as i64).wrapping_rem(b as i64)) as u64
+                        }
+                    }
+                    AluOp::And => a & b,
+                    AluOp::Or => a | b,
+                    AluOp::Xor => a ^ b,
+                    AluOp::Shl => a << (b & 63),
+                    AluOp::Shr => a >> (b & 63),
+                    AluOp::Sar => ((a as i64) >> (b & 63)) as u64,
+                    AluOp::Slt => ((a as i64) < (b as i64)) as u64,
+                    AluOp::Sltu => (a < b) as u64,
+                };
+                self.regs[dst.index()] = r;
+            }
+            Inst::Li { dst, imm } => self.regs[dst.index()] = imm,
+            Inst::Mov { dst, src } => self.regs[dst.index()] = self.regs[src.index()],
+            Inst::FpBin { op, dst, src1, src2 } => {
+                let a = f64::from_bits(self.regs[src1.index()]);
+                let b = f64::from_bits(self.regs[src2.index()]);
+                let r = match op {
+                    FpBinOp::Add => a + b,
+                    FpBinOp::Sub => a - b,
+                    FpBinOp::Mul => a * b,
+                    FpBinOp::Div => a / b,
+                    FpBinOp::Min => a.min(b),
+                    FpBinOp::Max => a.max(b),
+                };
+                self.regs[dst.index()] = r.to_bits();
+            }
+            Inst::FpUn { op, dst, src } => {
+                let a = f64::from_bits(self.regs[src.index()]);
+                let r = match op {
+                    FpUnOp::Neg => -a,
+                    FpUnOp::Abs => a.abs(),
+                    FpUnOp::Sqrt => a.sqrt(),
+                    FpUnOp::Exp => a.exp(),
+                    FpUnOp::Ln => a.ln(),
+                    FpUnOp::Sin => a.sin(),
+                    FpUnOp::Cos => a.cos(),
+                    FpUnOp::Floor => a.floor(),
+                };
+                self.regs[dst.index()] = r.to_bits();
+            }
+            Inst::IntToFp { dst, src } => {
+                self.regs[dst.index()] = (self.regs[src.index()] as i64 as f64).to_bits();
+            }
+            Inst::FpToInt { dst, src } => {
+                let v = f64::from_bits(self.regs[src.index()]);
+                self.regs[dst.index()] = (v as i64) as u64;
+            }
+            Inst::CMov { dst, cond, if_true, if_false } => {
+                self.regs[dst.index()] = if self.regs[cond.index()] != 0 {
+                    self.regs[if_true.index()]
+                } else {
+                    self.regs[if_false.index()]
+                };
+            }
+            Inst::Load { dst, base, offset } => {
+                let idx = self.mem_index(base, offset, pc).inspect_err(|_| self.halted = true)?;
+                mem_addr = Some(idx as u64 * 8);
+                self.regs[dst.index()] = self.memory[idx];
+            }
+            Inst::Store { src, base, offset } => {
+                let idx = self.mem_index(base, offset, pc).inspect_err(|_| self.halted = true)?;
+                mem_addr = Some(idx as u64 * 8);
+                self.memory[idx] = self.regs[src.index()];
+            }
+            Inst::Cmp { op, fp, lhs, rhs } => {
+                self.flag = self.eval_cmp(op, fp, self.regs[lhs.index()], self.operand(rhs));
+            }
+            Inst::Jf { target } => {
+                let taken = self.flag;
+                if taken {
+                    next_pc = target;
+                }
+                branch = Some(BranchEvent { taken, kind: BranchEventKind::Conditional, is_prob: false });
+                self.observe_control(pc, &inst, taken);
+            }
+            Inst::Br { op, fp, lhs, rhs, target } => {
+                let taken = self.eval_cmp(op, fp, self.regs[lhs.index()], self.operand(rhs));
+                if taken {
+                    next_pc = target;
+                }
+                branch = Some(BranchEvent { taken, kind: BranchEventKind::Conditional, is_prob: false });
+                self.observe_control(pc, &inst, taken);
+            }
+            Inst::Jmp { target } => {
+                next_pc = target;
+                branch = Some(BranchEvent { taken: true, kind: BranchEventKind::Unconditional, is_prob: false });
+                self.observe_control(pc, &inst, true);
+            }
+            Inst::Call { target } => {
+                if self.call_stack.len() >= self.config.max_call_depth {
+                    self.halted = true;
+                    return Err(EmuError::CallStackOverflow { pc });
+                }
+                self.call_stack.push(pc + 1);
+                next_pc = target;
+                branch = Some(BranchEvent { taken: true, kind: BranchEventKind::Call, is_prob: false });
+                self.observe_control(pc, &inst, true);
+            }
+            Inst::Ret => {
+                match self.call_stack.pop() {
+                    Some(ra) => next_pc = ra,
+                    None => {
+                        self.halted = true;
+                        return Err(EmuError::CallStackUnderflow { pc });
+                    }
+                }
+                branch = Some(BranchEvent { taken: true, kind: BranchEventKind::Ret, is_prob: false });
+                self.observe_control(pc, &inst, true);
+            }
+            Inst::ProbCmp { op, fp, prob, rhs } => {
+                let value = self.regs[prob.index()];
+                let const_val = self.operand(rhs);
+                let outcome = self.eval_cmp(op, fp, value, const_val);
+                self.flag = outcome;
+                if self.pbs.is_some() {
+                    self.pending_prob = PendingProb { values: vec![(prob, value)], const_val, outcome };
+                }
+                // Without PBS hardware this is exactly a `cmp` (legacy
+                // decode), and `pending_prob` stays unused.
+            }
+            Inst::ProbJmp { prob, target } => {
+                if let Some(p) = prob {
+                    let v = self.regs[p.index()];
+                    if self.pbs.is_some() {
+                        self.pending_prob.values.push((p, v));
+                    }
+                }
+                match target {
+                    None => {
+                        // Intermediate PROB_JMP: registers one more value,
+                        // transfers no control.
+                    }
+                    Some(target) => {
+                        let (taken, kind) = self.resolve_prob_jump(pc);
+                        if taken {
+                            next_pc = target;
+                        }
+                        branch = Some(BranchEvent { taken, kind, is_prob: true });
+                        self.observe_control(pc, &inst, taken);
+                    }
+                }
+            }
+            Inst::Out { src, port } => {
+                self.outputs.entry(port).or_default().push(self.regs[src.index()]);
+            }
+            Inst::Halt => {
+                self.halted = true;
+            }
+            Inst::Nop => {}
+        }
+
+        self.pc = next_pc;
+        self.executed += 1;
+        Ok(Some(DynInst { pc, inst, branch, mem_addr }))
+    }
+
+    /// Resolves the jumping `PROB_JMP` at `pc` through the PBS unit (or
+    /// as a plain flag jump on a legacy machine).
+    fn resolve_prob_jump(&mut self, pc: u32) -> (bool, BranchEventKind) {
+        let Some(pbs) = self.pbs.as_mut() else {
+            return (self.flag, BranchEventKind::Conditional);
+        };
+        let pending = std::mem::take(&mut self.pending_prob);
+        let new_values: Vec<u64> = pending.values.iter().map(|&(_, v)| v).collect();
+        let resolution = pbs.execute_prob_branch(pc, &new_values, pending.const_val, pending.outcome);
+        match resolution {
+            BranchResolution::Directed { taken, swapped } => {
+                // The execute stage swaps the newly generated values with
+                // the recorded ones matching the followed direction.
+                for (&(reg, _), &old) in pending.values.iter().zip(&swapped) {
+                    self.regs[reg.index()] = old;
+                    self.prob_consumed.push(old);
+                }
+                (taken, BranchEventKind::PbsDirected)
+            }
+            BranchResolution::Bootstrap { taken } | BranchResolution::Bypassed { taken, .. } => {
+                for &(_, v) in &pending.values {
+                    self.prob_consumed.push(v);
+                }
+                (taken, BranchEventKind::Conditional)
+            }
+        }
+    }
+
+    /// Runs until `halt`, with an instruction budget.
+    ///
+    /// # Errors
+    ///
+    /// Any [`EmuError`] from execution, or
+    /// [`EmuError::InstLimitExceeded`] if the program does not halt
+    /// within `max_insts`.
+    pub fn run_to_halt(&mut self, max_insts: u64) -> Result<u64, EmuError> {
+        let start = self.executed;
+        while !self.halted {
+            if self.executed - start >= max_insts {
+                return Err(EmuError::InstLimitExceeded { limit: max_insts });
+            }
+            self.step()?;
+        }
+        Ok(self.executed - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probranch_core::PbsConfig;
+    use probranch_isa::ProgramBuilder;
+
+    fn run(b: ProgramBuilder) -> Emulator {
+        let mut e = Emulator::new(b.build().unwrap(), EmuConfig::default());
+        e.run_to_halt(1_000_000).unwrap();
+        e
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 10)
+            .li(Reg::R2, 3)
+            .add(Reg::R3, Reg::R1, Reg::R2)
+            .sub(Reg::R4, Reg::R1, Reg::R2)
+            .mul(Reg::R5, Reg::R1, Reg::R2)
+            .div(Reg::R6, Reg::R1, Reg::R2)
+            .rem(Reg::R7, Reg::R1, Reg::R2)
+            .halt();
+        let e = run(b);
+        assert_eq!(e.reg(Reg::R3), 13);
+        assert_eq!(e.reg(Reg::R4), 7);
+        assert_eq!(e.reg(Reg::R5), 30);
+        assert_eq!(e.reg(Reg::R6), 3);
+        assert_eq!(e.reg(Reg::R7), 1);
+    }
+
+    #[test]
+    fn signed_ops_and_division_by_zero() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, -10i64)
+            .li(Reg::R2, 3)
+            .div(Reg::R3, Reg::R1, Reg::R2)
+            .li(Reg::R4, 0)
+            .div(Reg::R5, Reg::R1, Reg::R4)
+            .sar(Reg::R6, Reg::R1, 1)
+            .slt(Reg::R7, Reg::R1, Reg::R2)
+            .sltu(Reg::R8, Reg::R1, Reg::R2)
+            .halt();
+        let e = run(b);
+        assert_eq!(e.reg(Reg::R3) as i64, -3);
+        assert_eq!(e.reg(Reg::R5), 0, "division by zero yields 0");
+        assert_eq!(e.reg(Reg::R6) as i64, -5);
+        assert_eq!(e.reg(Reg::R7), 1);
+        assert_eq!(e.reg(Reg::R8), 0, "unsigned view of -10 is huge");
+    }
+
+    #[test]
+    fn fp_ops() {
+        let mut b = ProgramBuilder::new();
+        b.lif(Reg::R1, 2.25)
+            .lif(Reg::R2, 4.0)
+            .fadd(Reg::R3, Reg::R1, Reg::R2)
+            .fmul(Reg::R4, Reg::R1, Reg::R2)
+            .fsqrt(Reg::R5, Reg::R2)
+            .fln(Reg::R6, Reg::R2)
+            .itof(Reg::R7, Reg::R8) // r8 = 0
+            .halt();
+        let e = run(b);
+        assert_eq!(e.reg_f64(Reg::R3), 6.25);
+        assert_eq!(e.reg_f64(Reg::R4), 9.0);
+        assert_eq!(e.reg_f64(Reg::R5), 2.0);
+        assert!((e.reg_f64(Reg::R6) - 4.0f64.ln()).abs() < 1e-15);
+        assert_eq!(e.reg_f64(Reg::R7), 0.0);
+    }
+
+    #[test]
+    fn loop_and_branches() {
+        // Sum 1..=100 with a do-while loop.
+        let mut b = ProgramBuilder::new();
+        let top = b.label("top");
+        b.li(Reg::R1, 0).li(Reg::R2, 1);
+        b.bind(top);
+        b.add(Reg::R1, Reg::R1, Reg::R2).add(Reg::R2, Reg::R2, 1);
+        b.br(CmpOp::Le, Reg::R2, 100, top);
+        b.out(Reg::R1, 0).halt();
+        let e = run(b);
+        assert_eq!(e.output(0), &[5050]);
+    }
+
+    #[test]
+    fn cmp_jf_pair() {
+        let mut b = ProgramBuilder::new();
+        let skip = b.label("skip");
+        b.li(Reg::R1, 5).cmp(CmpOp::Gt, Reg::R1, 3).jf(skip).li(Reg::R2, 111);
+        b.bind(skip);
+        b.halt();
+        let e = run(b);
+        assert_eq!(e.reg(Reg::R2), 0, "jf taken skips the li");
+    }
+
+    #[test]
+    fn memory_load_store() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 64) // base address
+            .li(Reg::R2, 7)
+            .st(Reg::R2, Reg::R1, 8)
+            .ld(Reg::R3, Reg::R1, 8)
+            .halt();
+        let e = run(b);
+        assert_eq!(e.reg(Reg::R3), 7);
+        assert_eq!(e.mem_word(9), 7);
+    }
+
+    #[test]
+    fn memory_fault_on_misaligned() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 3).ld(Reg::R2, Reg::R1, 0).halt();
+        let mut e = Emulator::new(b.build().unwrap(), EmuConfig::default());
+        let err = e.run_to_halt(10).unwrap_err();
+        assert!(matches!(err, EmuError::MemoryFault { addr: 3, .. }));
+        assert!(e.is_halted());
+    }
+
+    #[test]
+    fn memory_fault_out_of_bounds() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, i64::MAX - 7).ld(Reg::R2, Reg::R1, 0).halt();
+        let mut e = Emulator::new(b.build().unwrap(), EmuConfig { mem_words: 16, max_call_depth: 4 });
+        assert!(matches!(e.run_to_halt(10), Err(EmuError::MemoryFault { .. })));
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let mut b = ProgramBuilder::new();
+        let f = b.label("f");
+        let main_end = b.label("end");
+        b.li(Reg::R1, 1).call(f).jmp(main_end);
+        b.bind(f);
+        b.add(Reg::R1, Reg::R1, 10).ret();
+        b.bind(main_end);
+        b.halt();
+        let e = run(b);
+        assert_eq!(e.reg(Reg::R1), 11);
+    }
+
+    #[test]
+    fn call_stack_underflow() {
+        let mut b = ProgramBuilder::new();
+        b.ret().halt();
+        let mut e = Emulator::new(b.build().unwrap(), EmuConfig::default());
+        assert_eq!(e.run_to_halt(10), Err(EmuError::CallStackUnderflow { pc: 0 }));
+    }
+
+    #[test]
+    fn call_stack_overflow() {
+        let mut b = ProgramBuilder::new();
+        let f = b.label("f");
+        b.bind(f);
+        b.call(f);
+        b.halt();
+        let mut e = Emulator::new(b.build().unwrap(), EmuConfig { mem_words: 16, max_call_depth: 8 });
+        assert!(matches!(e.run_to_halt(100), Err(EmuError::CallStackOverflow { .. })));
+    }
+
+    #[test]
+    fn inst_limit() {
+        let mut b = ProgramBuilder::new();
+        let top = b.here("top");
+        b.jmp(top).halt();
+        let mut e = Emulator::new(b.build().unwrap(), EmuConfig::default());
+        assert_eq!(e.run_to_halt(100), Err(EmuError::InstLimitExceeded { limit: 100 }));
+    }
+
+    #[test]
+    fn cmov_selects() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 0)
+            .li(Reg::R2, 7)
+            .li(Reg::R3, 9)
+            .cmov(Reg::R4, Reg::R1, Reg::R2, Reg::R3)
+            .li(Reg::R1, 5)
+            .cmov(Reg::R5, Reg::R1, Reg::R2, Reg::R3)
+            .halt();
+        let e = run(b);
+        assert_eq!(e.reg(Reg::R4), 9);
+        assert_eq!(e.reg(Reg::R5), 7);
+    }
+
+    /// A program with a probabilistic branch in a counted loop: an
+    /// xorshift64* RNG in ISA code draws a value, compares it against a
+    /// threshold register, and counts taken outcomes.
+    fn prob_loop_program(iters: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        let top = b.label("top");
+        let join = b.label("join");
+        b.li(Reg::R1, 0x1234_5678_9abc_def1u64 as i64);
+        b.li(Reg::R2, 0);
+        b.li(Reg::R3, 0);
+        b.li(Reg::R4, (u64::MAX / 2) as i64);
+        b.li(Reg::R6, 0x2545F4914F6CDD1Du64 as i64);
+        b.bind(top);
+        b.shr(Reg::R5, Reg::R1, 12).xor(Reg::R1, Reg::R1, Reg::R5);
+        b.shl(Reg::R5, Reg::R1, 25).xor(Reg::R1, Reg::R1, Reg::R5);
+        b.shr(Reg::R5, Reg::R1, 27).xor(Reg::R1, Reg::R1, Reg::R5);
+        b.mul(Reg::R7, Reg::R1, Reg::R6);
+        b.sltu(Reg::R8, Reg::R7, Reg::R4);
+        b.prob_cmp(CmpOp::Eq, Reg::R8, 1);
+        b.prob_jmp(None, join); // taken ~50%
+        b.add(Reg::R3, Reg::R3, 1); // not-taken path counts
+        b.bind(join);
+        b.add(Reg::R2, Reg::R2, 1);
+        b.br(CmpOp::Lt, Reg::R2, iters, top);
+        b.out(Reg::R3, 0);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn prob_branch_without_pbs_behaves_like_regular() {
+        let p = prob_loop_program(1000);
+        let mut e = Emulator::new(p, EmuConfig::default());
+        e.run_to_halt(100_000).unwrap();
+        let count = e.output(0)[0];
+        // ~50% not-taken.
+        assert!((350..650).contains(&count), "count {count}");
+        assert!(e.prob_consumed().is_empty(), "no PBS, no consumption record");
+    }
+
+    #[test]
+    fn prob_branch_with_pbs_directs_after_bootstrap() {
+        let p = prob_loop_program(1000);
+        let mut e = Emulator::with_pbs(p, EmuConfig::default(), PbsUnit::new(PbsConfig::default()));
+        e.run_to_halt(100_000).unwrap();
+        let stats = e.pbs_stats().unwrap();
+        assert_eq!(stats.directed + stats.bootstrap + stats.bypassed, 1000);
+        assert!(stats.directed >= 990, "steady state dominates: {stats:?}");
+        // The statistical behaviour is preserved: still ~50% not-taken.
+        let count = e.output(0)[0];
+        assert!((350..650).contains(&count), "count {count}");
+        assert_eq!(e.prob_consumed().len(), 1000);
+    }
+
+    #[test]
+    fn pbs_is_deterministic_and_replays_the_value_stream() {
+        let run_once = || {
+            let p = prob_loop_program(500);
+            let mut e = Emulator::with_pbs(p, EmuConfig::default(), PbsUnit::new(PbsConfig::default()));
+            e.run_to_halt(100_000).unwrap();
+            (e.output(0).to_vec(), e.prob_consumed().to_vec())
+        };
+        let (o1, c1) = run_once();
+        let (o2, c2) = run_once();
+        assert_eq!(o1, o2);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn pbs_consumed_stream_is_delayed_replay_of_original() {
+        // The consumed stream under PBS must be: the first B values
+        // (bootstrap, consumed as generated), then the generated stream
+        // replayed from the start (paper Section III-B determinism).
+        let p = prob_loop_program(100);
+        let mut with = Emulator::with_pbs(p.clone(), EmuConfig::default(), PbsUnit::new(PbsConfig::default()));
+        with.run_to_halt(100_000).unwrap();
+        // Reference: run without PBS and reconstruct generated values by
+        // re-running with a unit whose in_flight is huge (always
+        // bootstrap, consumed == generated).
+        let mut gen = Emulator::with_pbs(
+            p,
+            EmuConfig::default(),
+            PbsUnit::new(PbsConfig { in_flight: 1_000_000, ..PbsConfig::default() }),
+        );
+        gen.run_to_halt(100_000).unwrap();
+        let generated = gen.prob_consumed();
+        let consumed = with.prob_consumed();
+        assert_eq!(consumed.len(), generated.len());
+        assert_eq!(&consumed[..4], &generated[..4]);
+        assert_eq!(&consumed[4..], &generated[..generated.len() - 4]);
+    }
+
+    #[test]
+    fn out_ports_are_separate() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 1).li(Reg::R2, 2).out(Reg::R1, 0).out(Reg::R2, 1).out(Reg::R1, 0).halt();
+        let e = run(b);
+        assert_eq!(e.output(0), &[1, 1]);
+        assert_eq!(e.output(1), &[2]);
+        assert_eq!(e.output(9), &[] as &[u64]);
+    }
+
+    #[test]
+    fn dyn_inst_stream_reports_branches_and_mem() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label("l");
+        b.li(Reg::R1, 64).st(Reg::R1, Reg::R1, 0).br(CmpOp::Eq, Reg::R1, 64, l);
+        b.bind(l);
+        b.halt();
+        let mut e = Emulator::new(b.build().unwrap(), EmuConfig::default());
+        let i1 = e.step().unwrap().unwrap();
+        assert_eq!(i1.pc, 0);
+        assert!(i1.branch.is_none());
+        let i2 = e.step().unwrap().unwrap();
+        assert_eq!(i2.mem_addr, Some(64));
+        let i3 = e.step().unwrap().unwrap();
+        let ev = i3.branch.unwrap();
+        assert!(ev.taken);
+        assert_eq!(ev.kind, BranchEventKind::Conditional);
+        let i4 = e.step().unwrap().unwrap();
+        assert!(matches!(i4.inst, Inst::Halt));
+        assert_eq!(e.step().unwrap(), None, "halted machine steps to None");
+    }
+}

@@ -1,0 +1,344 @@
+//! The top-level simulator: functional emulation co-simulated with the
+//! branch predictor, the PBS unit and the out-of-order timing model.
+
+use std::collections::HashMap;
+
+use probranch_core::{PbsConfig, PbsStats, PbsUnit};
+use probranch_isa::Program;
+use probranch_predictor::{BranchPredictor, StaticPredictor, TageScL, Tournament};
+
+use crate::machine::{EmuConfig, EmuError, Emulator};
+use crate::ooo::{OooConfig, OooTimingModel, TimingStats};
+
+/// Which baseline branch predictor to instantiate (paper Section VI-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictorChoice {
+    /// The 1 KB Pentium-M-style tournament predictor.
+    Tournament,
+    /// The 8 KB TAGE-SC-L predictor.
+    TageScL,
+    /// Static always-taken (lower bound, for ablations).
+    StaticTaken,
+    /// Static always-not-taken.
+    StaticNotTaken,
+}
+
+impl PredictorChoice {
+    /// Instantiates the predictor.
+    pub fn build(self) -> Box<dyn BranchPredictor> {
+        match self {
+            PredictorChoice::Tournament => Box::new(Tournament::default()),
+            PredictorChoice::TageScL => Box::new(TageScL::default()),
+            PredictorChoice::StaticTaken => Box::new(StaticPredictor::taken()),
+            PredictorChoice::StaticNotTaken => Box::new(StaticPredictor::not_taken()),
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PredictorChoice::Tournament => "tournament",
+            PredictorChoice::TageScL => "tage-sc-l",
+            PredictorChoice::StaticTaken => "static-taken",
+            PredictorChoice::StaticNotTaken => "static-not-taken",
+        }
+    }
+}
+
+/// Full-system simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Core (timing) configuration.
+    pub core: OooConfig,
+    /// Baseline branch predictor.
+    pub predictor: PredictorChoice,
+    /// PBS hardware, or `None` for the baseline machine (probabilistic
+    /// branches execute as regular branches).
+    pub pbs: Option<PbsConfig>,
+    /// Figure 9 mode: probabilistic branches neither access nor update
+    /// the predictor (isolating their interference on regular branches).
+    pub filter_prob_from_predictor: bool,
+    /// Emulator configuration.
+    pub emu: EmuConfig,
+    /// Instruction budget (guards against authoring bugs).
+    pub max_insts: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            core: OooConfig::default(),
+            predictor: PredictorChoice::TageScL,
+            pbs: None,
+            filter_prob_from_predictor: false,
+            emu: EmuConfig::default(),
+            max_insts: 200_000_000,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Convenience: the same configuration with PBS enabled at the
+    /// paper's default design point.
+    pub fn with_pbs(mut self) -> SimConfig {
+        self.pbs = Some(PbsConfig::default());
+        self
+    }
+
+    /// Convenience: selects the predictor.
+    pub fn predictor(mut self, p: PredictorChoice) -> SimConfig {
+        self.predictor = p;
+        self
+    }
+}
+
+/// The result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Timing statistics (cycles, IPC, MPKI, branch breakdown).
+    pub timing: TimingStats,
+    /// PBS event counters, when PBS was enabled.
+    pub pbs: Option<PbsStats>,
+    /// Program outputs per port.
+    pub outputs: HashMap<u16, Vec<u64>>,
+    /// Probabilistic values in consumption order (Table III input).
+    pub prob_consumed: Vec<u64>,
+}
+
+impl SimReport {
+    /// The values emitted on `port`.
+    pub fn output(&self, port: u16) -> &[u64] {
+        self.outputs.get(&port).map_or(&[], |v| v.as_slice())
+    }
+
+    /// The values emitted on `port`, as doubles.
+    pub fn output_f64(&self, port: u16) -> Vec<f64> {
+        self.output(port).iter().map(|&v| f64::from_bits(v)).collect()
+    }
+}
+
+/// Runs a program to completion under a full timing simulation.
+///
+/// # Errors
+///
+/// Propagates any [`EmuError`] (faults indicate workload bugs).
+///
+/// ```
+/// use probranch_isa::{ProgramBuilder, Reg, CmpOp};
+/// use probranch_pipeline::{simulate, SimConfig};
+///
+/// let mut b = ProgramBuilder::new();
+/// let top = b.label("top");
+/// b.li(Reg::R1, 0);
+/// b.bind(top);
+/// b.add(Reg::R1, Reg::R1, 1)
+///  .br(CmpOp::Lt, Reg::R1, 1000, top)
+///  .halt();
+/// let report = simulate(&b.build()?, &SimConfig::default())?;
+/// assert!(report.timing.ipc() > 0.5);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn simulate(program: &Program, config: &SimConfig) -> Result<SimReport, EmuError> {
+    let mut emu = match &config.pbs {
+        Some(pbs_cfg) => Emulator::with_pbs(program.clone(), config.emu.clone(), PbsUnit::new(pbs_cfg.clone())),
+        None => Emulator::new(program.clone(), config.emu.clone()),
+    };
+    let mut predictor = config.predictor.build();
+    let mut timing = OooTimingModel::new(config.core.clone());
+
+    let mut executed: u64 = 0;
+    while let Some(d) = emu.step()? {
+        timing.consume(&d, predictor.as_mut(), config.filter_prob_from_predictor);
+        executed += 1;
+        if executed >= config.max_insts {
+            return Err(EmuError::InstLimitExceeded { limit: config.max_insts });
+        }
+    }
+
+    Ok(SimReport {
+        timing: timing.stats(),
+        pbs: emu.pbs_stats(),
+        outputs: drain_outputs(&emu),
+        prob_consumed: emu.prob_consumed().to_vec(),
+    })
+}
+
+/// Runs a program functionally only (no timing model) — used for output
+/// accuracy and randomness experiments where only the architectural
+/// results matter. Roughly an order of magnitude faster than
+/// [`simulate`].
+///
+/// # Errors
+///
+/// Propagates any [`EmuError`].
+pub fn run_functional(program: &Program, pbs: Option<PbsConfig>, max_insts: u64) -> Result<SimReport, EmuError> {
+    let mut emu = match pbs {
+        Some(pbs_cfg) => Emulator::with_pbs(program.clone(), EmuConfig::default(), PbsUnit::new(pbs_cfg)),
+        None => Emulator::new(program.clone(), EmuConfig::default()),
+    };
+    emu.run_to_halt(max_insts)?;
+    Ok(SimReport {
+        timing: TimingStats { instructions: emu.executed(), ..TimingStats::default() },
+        pbs: emu.pbs_stats(),
+        outputs: drain_outputs(&emu),
+        prob_consumed: emu.prob_consumed().to_vec(),
+    })
+}
+
+fn drain_outputs(emu: &Emulator) -> HashMap<u16, Vec<u64>> {
+    let mut out = HashMap::new();
+    for port in 0..16u16 {
+        let v = emu.output(port);
+        if !v.is_empty() {
+            out.insert(port, v.to_vec());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probranch_isa::{CmpOp, ProgramBuilder, Reg};
+
+    /// A loop with one ~50% probabilistic branch implemented over an
+    /// ISA-level xorshift64* generator.
+    fn prob_workload(iters: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        let top = b.label("top");
+        let join = b.label("join");
+        b.li(Reg::R1, 0x9E3779B97F4A7C15u64 as i64);
+        b.li(Reg::R2, 0);
+        b.li(Reg::R3, 0);
+        b.li(Reg::R4, (u64::MAX / 2) as i64);
+        b.li(Reg::R6, 0x2545F4914F6CDD1Du64 as i64);
+        b.bind(top);
+        b.shr(Reg::R5, Reg::R1, 12).xor(Reg::R1, Reg::R1, Reg::R5);
+        b.shl(Reg::R5, Reg::R1, 25).xor(Reg::R1, Reg::R1, Reg::R5);
+        b.shr(Reg::R5, Reg::R1, 27).xor(Reg::R1, Reg::R1, Reg::R5);
+        b.mul(Reg::R7, Reg::R1, Reg::R6);
+        b.sltu(Reg::R8, Reg::R7, Reg::R4);
+        b.prob_cmp(CmpOp::Eq, Reg::R8, 1);
+        b.prob_jmp(None, join);
+        b.add(Reg::R3, Reg::R3, 1);
+        b.bind(join);
+        b.add(Reg::R2, Reg::R2, 1);
+        b.br(CmpOp::Lt, Reg::R2, iters, top);
+        b.out(Reg::R3, 0);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn pbs_eliminates_prob_mispredictions() {
+        let p = prob_workload(20_000);
+        let base = simulate(&p, &SimConfig::default()).unwrap();
+        let pbs = simulate(&p, &SimConfig::default().with_pbs()).unwrap();
+        // Baseline: the ~50% branch mispredicts heavily.
+        assert!(base.timing.mispredicts_prob > 5000, "baseline prob mispredicts: {}", base.timing.mispredicts_prob);
+        // PBS: only the bootstrap instances can mispredict.
+        assert!(
+            pbs.timing.mispredicts_prob < 50,
+            "PBS prob mispredicts: {}",
+            pbs.timing.mispredicts_prob
+        );
+        assert!(pbs.timing.pbs_directed > 19_000);
+        // And performance improves.
+        assert!(
+            pbs.timing.cycles < base.timing.cycles,
+            "PBS {} cycles vs baseline {}",
+            pbs.timing.cycles,
+            base.timing.cycles
+        );
+        let speedup = base.timing.cycles as f64 / pbs.timing.cycles as f64;
+        assert!(speedup > 1.02, "speedup {speedup}");
+    }
+
+    #[test]
+    fn pbs_preserves_functional_output_statistics() {
+        let p = prob_workload(20_000);
+        let base = run_functional(&p, None, 10_000_000).unwrap();
+        let pbs = run_functional(&p, Some(PbsConfig::default()), 10_000_000).unwrap();
+        let c_base = base.output(0)[0] as f64;
+        let c_pbs = pbs.output(0)[0] as f64;
+        // Not-taken counts agree within a few per mille (the bootstrap
+        // phase shifts consumption by 4 values).
+        assert!((c_base - c_pbs).abs() / c_base < 0.05, "{c_base} vs {c_pbs}");
+    }
+
+    #[test]
+    fn tournament_with_pbs_beats_plain_tage() {
+        // The paper's headline observation (Section VII-B): "the
+        // tournament branch predictor with PBS outperforms the
+        // TAGE-SC-L predictor."
+        let p = prob_workload(20_000);
+        let tage = simulate(&p, &SimConfig::default().predictor(PredictorChoice::TageScL)).unwrap();
+        let tour_pbs = simulate(
+            &p,
+            &SimConfig::default().predictor(PredictorChoice::Tournament).with_pbs(),
+        )
+        .unwrap();
+        assert!(
+            tour_pbs.timing.cycles < tage.timing.cycles,
+            "tournament+PBS {} vs TAGE {}",
+            tour_pbs.timing.cycles,
+            tage.timing.cycles
+        );
+    }
+
+    #[test]
+    fn filter_mode_reports_regular_only_mpki() {
+        let p = prob_workload(5_000);
+        let mut cfg = SimConfig::default().predictor(PredictorChoice::Tournament);
+        cfg.filter_prob_from_predictor = true;
+        let filtered = simulate(&p, &cfg).unwrap();
+        assert_eq!(filtered.timing.mispredicts_prob, 0);
+        let unfiltered = simulate(&p, &SimConfig::default().predictor(PredictorChoice::Tournament)).unwrap();
+        // Interference: filtering prob branches out cannot hurt the
+        // regular branches.
+        assert!(filtered.timing.mpki_regular() <= unfiltered.timing.mpki_regular() + 0.01);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let p = prob_workload(3_000);
+        let a = simulate(&p, &SimConfig::default().with_pbs()).unwrap();
+        let b = simulate(&p, &SimConfig::default().with_pbs()).unwrap();
+        assert_eq!(a.timing, b.timing);
+        assert_eq!(a.prob_consumed, b.prob_consumed);
+        assert_eq!(a.output(0), b.output(0));
+    }
+
+    #[test]
+    fn inst_limit_guards() {
+        let p = prob_workload(1_000_000);
+        let mut cfg = SimConfig::default();
+        cfg.max_insts = 1000;
+        assert!(matches!(simulate(&p, &cfg), Err(EmuError::InstLimitExceeded { .. })));
+    }
+
+    #[test]
+    fn predictor_choice_builds_all() {
+        for c in [
+            PredictorChoice::Tournament,
+            PredictorChoice::TageScL,
+            PredictorChoice::StaticTaken,
+            PredictorChoice::StaticNotTaken,
+        ] {
+            let mut p = c.build();
+            let _ = p.predict(0);
+            p.update(0, true);
+            assert!(!c.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn wide_core_does_not_regress_ipc() {
+        let p = prob_workload(5_000);
+        let narrow = simulate(&p, &SimConfig::default()).unwrap();
+        let mut wide_cfg = SimConfig::default();
+        wide_cfg.core = OooConfig::wide();
+        let wide = simulate(&p, &wide_cfg).unwrap();
+        assert!(wide.timing.ipc() >= narrow.timing.ipc() * 0.99);
+    }
+}

@@ -1,0 +1,178 @@
+/// An `n`-bit saturating up/down counter, the universal building block of
+/// dynamic branch predictors.
+///
+/// The counter ranges over `0 ..= 2^n - 1`; values in the upper half
+/// predict taken. Signed access (for TAGE's 3-bit signed counters and the
+/// statistical corrector's weights) is provided via
+/// [`signed`](SatCounter::signed), centering the range on zero.
+///
+/// ```
+/// use probranch_predictor::SatCounter;
+/// let mut c = SatCounter::new(2, 1); // weakly not-taken
+/// assert!(!c.taken());
+/// c.inc();
+/// assert!(c.taken());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SatCounter {
+    value: u8,
+    max: u8,
+}
+
+impl SatCounter {
+    /// Creates an `bits`-bit counter with the given initial value
+    /// (clamped to range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 7.
+    pub fn new(bits: u8, initial: u8) -> SatCounter {
+        assert!(bits >= 1 && bits <= 7, "counter width {bits} out of range 1..=7");
+        let max = (1u8 << bits) - 1;
+        SatCounter { value: initial.min(max), max }
+    }
+
+    /// A `bits`-bit counter initialized to the weakly-not-taken midpoint.
+    pub fn weak_not_taken(bits: u8) -> SatCounter {
+        let max = (1u8 << bits) - 1;
+        SatCounter::new(bits, max / 2)
+    }
+
+    /// Saturating increment.
+    #[inline]
+    pub fn inc(&mut self) {
+        if self.value < self.max {
+            self.value += 1;
+        }
+    }
+
+    /// Saturating decrement.
+    #[inline]
+    pub fn dec(&mut self) {
+        if self.value > 0 {
+            self.value -= 1;
+        }
+    }
+
+    /// Trains towards `taken`.
+    #[inline]
+    pub fn train(&mut self, taken: bool) {
+        if taken {
+            self.inc()
+        } else {
+            self.dec()
+        }
+    }
+
+    /// Whether the counter currently predicts taken (upper half).
+    #[inline]
+    pub fn taken(&self) -> bool {
+        self.value > self.max / 2
+    }
+
+    /// The raw counter value.
+    #[inline]
+    pub fn value(&self) -> u8 {
+        self.value
+    }
+
+    /// The maximum representable value.
+    pub fn max(&self) -> u8 {
+        self.max
+    }
+
+    /// The counter value centered on zero:
+    /// `value - 2^(n-1)` (so a 3-bit counter spans `-4 ..= 3`).
+    #[inline]
+    pub fn signed(&self) -> i8 {
+        self.value as i8 - ((self.max as i16 + 1) / 2) as i8
+    }
+
+    /// Whether the counter sits at one of its two weak states (the states
+    /// adjacent to the decision boundary).
+    pub fn is_weak(&self) -> bool {
+        let mid = self.max / 2;
+        self.value == mid || self.value == mid + 1
+    }
+
+    /// Resets to the weakly-taken state if `taken`, else weakly-not-taken.
+    pub fn reset_weak(&mut self, taken: bool) {
+        let mid = self.max / 2;
+        self.value = if taken { mid + 1 } else { mid };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturates_at_both_ends() {
+        let mut c = SatCounter::new(2, 0);
+        c.dec();
+        assert_eq!(c.value(), 0);
+        for _ in 0..10 {
+            c.inc();
+        }
+        assert_eq!(c.value(), 3);
+    }
+
+    #[test]
+    fn taken_threshold() {
+        let mut c = SatCounter::new(2, 0);
+        assert!(!c.taken()); // 0
+        c.inc();
+        assert!(!c.taken()); // 1
+        c.inc();
+        assert!(c.taken()); // 2
+        c.inc();
+        assert!(c.taken()); // 3
+    }
+
+    #[test]
+    fn signed_view_3bit() {
+        let c = SatCounter::new(3, 0);
+        assert_eq!(c.signed(), -4);
+        let c = SatCounter::new(3, 7);
+        assert_eq!(c.signed(), 3);
+        let c = SatCounter::new(3, 4);
+        assert_eq!(c.signed(), 0);
+    }
+
+    #[test]
+    fn weak_states() {
+        let c2 = SatCounter::new(2, 1);
+        assert!(c2.is_weak());
+        let c2 = SatCounter::new(2, 2);
+        assert!(c2.is_weak());
+        let c2 = SatCounter::new(2, 3);
+        assert!(!c2.is_weak());
+    }
+
+    #[test]
+    fn reset_weak_lands_adjacent_to_boundary() {
+        let mut c = SatCounter::new(3, 7);
+        c.reset_weak(false);
+        assert!(!c.taken());
+        assert!(c.is_weak());
+        c.reset_weak(true);
+        assert!(c.taken());
+        assert!(c.is_weak());
+    }
+
+    #[test]
+    fn train_moves_towards_outcome() {
+        let mut c = SatCounter::weak_not_taken(2);
+        c.train(true);
+        assert!(c.taken());
+        c.train(false);
+        c.train(false);
+        assert!(!c.taken());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_zero_width() {
+        SatCounter::new(0, 0);
+    }
+}

@@ -1,0 +1,119 @@
+use crate::{BranchPredictor, SatCounter};
+
+/// A gshare global-history predictor: a table of 2-bit counters indexed
+/// by `pc XOR global_history`.
+///
+/// ```
+/// use probranch_predictor::{BranchPredictor, Gshare};
+/// let mut p = Gshare::new(10, 10);
+/// p.predict(0x44);
+/// p.update(0x44, true);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gshare {
+    table: Vec<SatCounter>,
+    index_bits: u32,
+    history_bits: u32,
+    history: u64,
+}
+
+impl Gshare {
+    /// Creates a gshare predictor with `2^index_bits` two-bit counters
+    /// and `history_bits` bits of global history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history_bits > 63`.
+    pub fn new(index_bits: u32, history_bits: u32) -> Gshare {
+        assert!(history_bits <= 63);
+        Gshare {
+            table: vec![SatCounter::weak_not_taken(2); 1 << index_bits],
+            index_bits,
+            history_bits,
+            history: 0,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        let mask = (1u64 << self.index_bits) - 1;
+        ((pc ^ self.history) & mask) as usize
+    }
+
+    /// Prediction without history update, for composition.
+    pub(crate) fn lookup(&self, pc: u64) -> bool {
+        self.table[self.index(pc)].taken()
+    }
+
+    /// Trains the indexed counter and shifts the outcome into the global
+    /// history, for composition.
+    pub(crate) fn train(&mut self, pc: u64, taken: bool) {
+        let i = self.index(pc);
+        self.table[i].train(taken);
+        self.history = ((self.history << 1) | taken as u64) & ((1 << self.history_bits) - 1);
+    }
+}
+
+impl BranchPredictor for Gshare {
+    fn predict(&mut self, pc: u64) -> bool {
+        self.lookup(pc)
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        self.train(pc, taken);
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.table.len() * 2 + self.history_bits as usize
+    }
+
+    fn name(&self) -> &'static str {
+        "gshare"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::accuracy_on;
+
+    #[test]
+    fn learns_alternating_pattern_bimodal_cannot() {
+        // T,NT,T,NT ... — a bimodal counter oscillates, gshare keys on
+        // history and converges.
+        let mut g = Gshare::new(10, 8);
+        let pattern = (0..4000).map(|i| (0x30u64, i % 2 == 0));
+        let acc = accuracy_on(&mut g, pattern);
+        assert!(acc > 0.95, "gshare accuracy {acc}");
+
+        let mut b = crate::Bimodal::new(10);
+        let pattern = (0..4000).map(|i| (0x30u64, i % 2 == 0));
+        let acc_b = accuracy_on(&mut b, pattern);
+        assert!(acc_b < 0.7, "bimodal accuracy {acc_b} unexpectedly high");
+    }
+
+    #[test]
+    fn learns_short_period_patterns() {
+        for period in 2..=6usize {
+            let mut g = Gshare::new(10, 10);
+            let pattern = (0..6000).map(move |i| (0x30u64, i % period == 0));
+            let acc = accuracy_on(&mut g, pattern);
+            assert!(acc > 0.9, "period {period}: accuracy {acc}");
+        }
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let g = Gshare::new(10, 10);
+        assert_eq!(g.storage_bits(), 2048 + 10);
+    }
+
+    #[test]
+    fn history_masked_to_width() {
+        let mut g = Gshare::new(4, 4);
+        for _ in 0..100 {
+            g.predict(0);
+            g.update(0, true);
+        }
+        assert!(g.history < 16);
+    }
+}

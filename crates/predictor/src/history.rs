@@ -1,0 +1,205 @@
+/// A ring buffer of branch outcomes: the global history register,
+/// retaining up to `capacity` most recent outcomes so that folded
+/// histories can be updated incrementally.
+#[derive(Debug, Clone)]
+pub struct HistoryBuffer {
+    bits: Vec<u64>,
+    capacity: usize,
+    /// Index of the most recent bit (position 0).
+    head: usize,
+}
+
+impl HistoryBuffer {
+    /// Creates an all-zero history of the given capacity (rounded up to a
+    /// multiple of 64).
+    pub fn new(capacity: usize) -> HistoryBuffer {
+        let words = capacity.div_ceil(64).max(1);
+        HistoryBuffer { bits: vec![0; words], capacity: words * 64, head: 0 }
+    }
+
+    /// Pushes the newest outcome; the oldest is dropped.
+    pub fn push(&mut self, taken: bool) {
+        self.head = (self.head + self.capacity - 1) % self.capacity;
+        let w = self.head / 64;
+        let b = self.head % 64;
+        if taken {
+            self.bits[w] |= 1 << b;
+        } else {
+            self.bits[w] &= !(1 << b);
+        }
+    }
+
+    /// The outcome `age` branches ago (0 = most recent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `age >= capacity`.
+    pub fn get(&self, age: usize) -> bool {
+        assert!(age < self.capacity, "history age {age} out of range");
+        let pos = (self.head + age) % self.capacity;
+        (self.bits[pos / 64] >> (pos % 64)) & 1 == 1
+    }
+
+    /// Total retained outcomes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The most recent `n` (≤ 64) outcomes packed into a word, newest in
+    /// bit 0.
+    pub fn low_bits(&self, n: usize) -> u64 {
+        assert!(n <= 64);
+        let mut v = 0u64;
+        for i in (0..n).rev() {
+            v = (v << 1) | self.get(i) as u64;
+        }
+        v
+    }
+}
+
+/// A cyclically folded history register (Michaud/Seznec style): the XOR
+/// compression of the most recent `original_len` history bits into
+/// `compressed_len` bits, updated incrementally in O(1) per branch.
+///
+/// Used by TAGE for table indices and tags.
+#[derive(Debug, Clone)]
+pub struct FoldedHistory {
+    comp: u64,
+    original_len: usize,
+    compressed_len: usize,
+    outpoint: usize,
+}
+
+impl FoldedHistory {
+    /// Creates a folded view of the most recent `original_len` bits,
+    /// compressed to `compressed_len` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `compressed_len` is 0 or exceeds 63.
+    pub fn new(original_len: usize, compressed_len: usize) -> FoldedHistory {
+        assert!(compressed_len > 0 && compressed_len < 64);
+        FoldedHistory { comp: 0, original_len, compressed_len, outpoint: original_len % compressed_len }
+    }
+
+    /// Incorporates the newest outcome. `history` must be the
+    /// [`HistoryBuffer`] *before* this outcome is pushed (so the bit
+    /// leaving the window is still visible).
+    pub fn update(&mut self, history: &HistoryBuffer, newest: bool) {
+        let evicted = if self.original_len == 0 {
+            false
+        } else {
+            history.get(self.original_len - 1)
+        };
+        self.comp = (self.comp << 1) | newest as u64;
+        self.comp ^= (evicted as u64) << self.outpoint;
+        self.comp ^= self.comp >> self.compressed_len;
+        self.comp &= (1u64 << self.compressed_len) - 1;
+    }
+
+    /// The folded value.
+    pub fn value(&self) -> u64 {
+        self.comp
+    }
+
+    /// The compressed width in bits.
+    pub fn compressed_len(&self) -> usize {
+        self.compressed_len
+    }
+
+    /// Recomputes the fold from scratch — O(original_len); used to verify
+    /// the incremental update in tests.
+    pub fn recompute(&self, history: &HistoryBuffer) -> u64 {
+        let mut v = 0u64;
+        // Bit `i` of the window contributes to folded position
+        // (original_len - 1 - i) mod compressed_len, matching the shift
+        // direction of `update` (the newest bit enters at position 0 and
+        // ages upward).
+        for i in 0..self.original_len {
+            if history.get(i) {
+                v ^= 1 << (i % self.compressed_len);
+            }
+        }
+        v & ((1u64 << self.compressed_len) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let mut h = HistoryBuffer::new(8);
+        h.push(true);
+        h.push(false);
+        h.push(true); // newest
+        assert!(h.get(0));
+        assert!(!h.get(1));
+        assert!(h.get(2));
+        assert!(!h.get(3)); // initial zero
+    }
+
+    #[test]
+    fn capacity_rounds_up() {
+        let h = HistoryBuffer::new(100);
+        assert_eq!(h.capacity(), 128);
+        let h = HistoryBuffer::new(0);
+        assert_eq!(h.capacity(), 64);
+    }
+
+    #[test]
+    fn wraps_around() {
+        let mut h = HistoryBuffer::new(64);
+        for i in 0..200 {
+            h.push(i % 3 == 0);
+        }
+        // Newest pushed was i=199: 199%3 != 0 -> false.
+        assert!(!h.get(0));
+        // i=198 divisible by 3 -> true at age 1.
+        assert!(h.get(1));
+    }
+
+    #[test]
+    fn low_bits_packs_newest_first() {
+        let mut h = HistoryBuffer::new(64);
+        h.push(true); // age 2
+        h.push(false); // age 1
+        h.push(true); // age 0
+        assert_eq!(h.low_bits(3), 0b101);
+    }
+
+    #[test]
+    fn folded_matches_recompute_over_long_run() {
+        let mut h = HistoryBuffer::new(256);
+        let mut f = FoldedHistory::new(130, 11);
+        let mut x = 0x1234_5678u64;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let bit = (x >> 63) & 1 == 1;
+            f.update(&h, bit);
+            h.push(bit);
+            assert_eq!(f.value(), f.recompute(&h));
+        }
+    }
+
+    #[test]
+    fn folded_short_history() {
+        // original_len < compressed_len: fold is just the raw bits.
+        let mut h = HistoryBuffer::new(64);
+        let mut f = FoldedHistory::new(4, 8);
+        for bit in [true, true, false, true, false, false] {
+            f.update(&h, bit);
+            h.push(bit);
+        }
+        assert_eq!(f.value(), f.recompute(&h));
+        assert_eq!(f.value(), h.low_bits(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_rejects_out_of_range_age() {
+        let h = HistoryBuffer::new(64);
+        h.get(64);
+    }
+}

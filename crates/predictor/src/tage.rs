@@ -1,0 +1,558 @@
+use crate::{BranchPredictor, FoldedHistory, HistoryBuffer, LoopPredictor, SatCounter};
+
+/// Configuration of the [`TageScL`] predictor.
+///
+/// The default configuration fits the paper's 8 KB budget (Section VI-B:
+/// "an 8 KB TAGE-SC-L predictor taken from the 2016 Branch Prediction
+/// Championship"); [`TageScL::storage_bits`] verifies the accounting.
+#[derive(Debug, Clone)]
+pub struct TageConfig {
+    /// Number of tagged tables.
+    pub num_tables: usize,
+    /// log2 entries per tagged table.
+    pub index_bits: u32,
+    /// Tag width in bits.
+    pub tag_bits: u32,
+    /// Shortest history length (table 0).
+    pub min_history: usize,
+    /// Longest history length (last table); lengths in between follow a
+    /// geometric series.
+    pub max_history: usize,
+    /// log2 entries of the base bimodal table.
+    pub base_bits: u32,
+    /// Entries in the loop predictor (the "L" component).
+    pub loop_entries: usize,
+    /// log2 entries per statistical-corrector table (the "SC" component).
+    pub sc_index_bits: u32,
+    /// History lengths of the SC tables (empty disables the SC).
+    pub sc_histories: Vec<usize>,
+}
+
+impl Default for TageConfig {
+    fn default() -> TageConfig {
+        TageConfig {
+            num_tables: 6,
+            index_bits: 9,
+            tag_bits: 9,
+            min_history: 4,
+            max_history: 144,
+            base_bits: 12,
+            loop_entries: 16,
+            sc_index_bits: 8,
+            sc_histories: vec![3, 8, 21],
+        }
+    }
+}
+
+impl TageConfig {
+    /// The geometric history lengths, one per tagged table.
+    pub fn history_lengths(&self) -> Vec<usize> {
+        let n = self.num_tables;
+        (0..n)
+            .map(|i| {
+                if n == 1 {
+                    return self.min_history;
+                }
+                let ratio = self.max_history as f64 / self.min_history as f64;
+                let h = self.min_history as f64 * ratio.powf(i as f64 / (n - 1) as f64);
+                h.round() as usize
+            })
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TageEntry {
+    ctr: SatCounter,
+    tag: u16,
+    useful: SatCounter,
+}
+
+impl TageEntry {
+    fn empty() -> TageEntry {
+        TageEntry { ctr: SatCounter::weak_not_taken(3), tag: 0, useful: SatCounter::new(2, 0) }
+    }
+}
+
+/// Per-prediction metadata carried from `predict` to `update`.
+#[derive(Debug, Clone)]
+struct PredState {
+    pc: u64,
+    indices: Vec<usize>,
+    tags: Vec<u16>,
+    provider: Option<usize>,
+    provider_pred: bool,
+    alt_pred: bool,
+    tage_pred: bool,
+    sc_sum: i32,
+    sc_indices: Vec<usize>,
+    loop_used: bool,
+    final_pred: bool,
+}
+
+/// An 8 KB TAGE-SC-L branch predictor: TAgged GEometric-history tables
+/// with a statistical corrector and a loop predictor, following Seznec's
+/// CBP-2016 design at reduced size.
+///
+/// Structure (default config):
+///
+/// * base bimodal: 4096 × 2-bit;
+/// * 6 tagged tables × 512 entries × (3-bit counter + 9-bit tag + 2-bit
+///   useful), geometric histories 4..144;
+/// * statistical corrector: a bias table plus 3 GEHL tables of 256 ×
+///   6-bit signed counters;
+/// * 16-entry loop predictor.
+///
+/// ```
+/// use probranch_predictor::{BranchPredictor, TageScL};
+/// let mut p = TageScL::default();
+/// let _ = p.predict(0x40);
+/// p.update(0x40, true);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TageScL {
+    config: TageConfig,
+    histories: Vec<usize>,
+    base: Vec<SatCounter>,
+    tables: Vec<Vec<TageEntry>>,
+    ghist: HistoryBuffer,
+    index_folds: Vec<FoldedHistory>,
+    tag_folds1: Vec<FoldedHistory>,
+    tag_folds2: Vec<FoldedHistory>,
+    /// "Use alternate prediction on newly allocated" counter.
+    use_alt: SatCounter,
+    /// SC: bias table (index 0) then one table per configured history.
+    sc_tables: Vec<Vec<SatCounter>>,
+    sc_folds: Vec<FoldedHistory>,
+    loops: LoopPredictor,
+    /// Simple LFSR for allocation randomization.
+    lfsr: u32,
+    /// Update counter driving periodic useful-bit aging.
+    ticks: u64,
+    last: Option<PredState>,
+}
+
+const SC_THETA: i32 = 10;
+
+impl TageScL {
+    /// Creates a predictor with the given configuration.
+    pub fn new(config: TageConfig) -> TageScL {
+        let histories = config.history_lengths();
+        let max_h = *histories.iter().max().unwrap_or(&1);
+        let tables = vec![vec![TageEntry::empty(); 1 << config.index_bits]; config.num_tables];
+        let index_folds = histories.iter().map(|&h| FoldedHistory::new(h, config.index_bits as usize)).collect();
+        let tag_folds1 = histories.iter().map(|&h| FoldedHistory::new(h, config.tag_bits as usize)).collect();
+        let tag_folds2 = histories
+            .iter()
+            .map(|&h| FoldedHistory::new(h, (config.tag_bits - 1) as usize))
+            .collect();
+        let sc_tables = (0..=config.sc_histories.len())
+            .map(|_| vec![SatCounter::weak_not_taken(6); 1 << config.sc_index_bits])
+            .collect();
+        let sc_folds = config
+            .sc_histories
+            .iter()
+            .map(|&h| FoldedHistory::new(h, config.sc_index_bits as usize))
+            .collect();
+        TageScL {
+            base: vec![SatCounter::weak_not_taken(2); 1 << config.base_bits],
+            ghist: HistoryBuffer::new(max_h + 64),
+            index_folds,
+            tag_folds1,
+            tag_folds2,
+            use_alt: SatCounter::weak_not_taken(4),
+            sc_tables,
+            sc_folds,
+            loops: LoopPredictor::new(config.loop_entries),
+            lfsr: 0xACE1,
+            ticks: 0,
+            last: None,
+            histories,
+            tables,
+            config,
+        }
+    }
+
+    fn next_rand(&mut self) -> u32 {
+        // 16-bit Fibonacci LFSR; deterministic allocation tie-breaking.
+        let bit = (self.lfsr ^ (self.lfsr >> 2) ^ (self.lfsr >> 3) ^ (self.lfsr >> 5)) & 1;
+        self.lfsr = (self.lfsr >> 1) | (bit << 15);
+        self.lfsr
+    }
+
+    fn table_index(&self, pc: u64, table: usize) -> usize {
+        let mask = (1usize << self.config.index_bits) - 1;
+        let fold = self.index_folds[table].value() as usize;
+        (pc as usize ^ (pc as usize >> self.config.index_bits as usize) ^ fold ^ (table << 1)) & mask
+    }
+
+    fn table_tag(&self, pc: u64, table: usize) -> u16 {
+        let mask = (1u64 << self.config.tag_bits) - 1;
+        ((pc ^ self.tag_folds1[table].value() ^ (self.tag_folds2[table].value() << 1)) & mask) as u16
+    }
+
+    fn base_index(&self, pc: u64) -> usize {
+        (pc as usize) & ((1 << self.config.base_bits) - 1)
+    }
+
+    fn sc_index(&self, pc: u64, table: usize) -> usize {
+        let mask = (1usize << self.config.sc_index_bits) - 1;
+        if table == 0 {
+            (pc as usize) & mask
+        } else {
+            (pc as usize ^ self.sc_folds[table - 1].value() as usize ^ (table << 2)) & mask
+        }
+    }
+
+    fn compute(&self, pc: u64) -> PredState {
+        let n = self.config.num_tables;
+        let indices: Vec<usize> = (0..n).map(|t| self.table_index(pc, t)).collect();
+        let tags: Vec<u16> = (0..n).map(|t| self.table_tag(pc, t)).collect();
+
+        // Longest matching table provides; next match (or base) is alt.
+        let mut provider = None;
+        let mut alt_table = None;
+        for t in (0..n).rev() {
+            if self.tables[t][indices[t]].tag == tags[t] {
+                if provider.is_none() {
+                    provider = Some(t);
+                } else {
+                    alt_table = Some(t);
+                    break;
+                }
+            }
+        }
+        let base_pred = self.base[self.base_index(pc)].taken();
+        let alt_pred = alt_table.map_or(base_pred, |t| self.tables[t][indices[t]].ctr.taken());
+        let (provider_pred, provider_weak) = match provider {
+            Some(t) => {
+                let e = &self.tables[t][indices[t]];
+                (e.ctr.taken(), e.ctr.is_weak())
+            }
+            None => (base_pred, false),
+        };
+        // "Use alt on newly allocated": for weak providers with no
+        // established usefulness, prefer the alternate prediction when
+        // the use_alt counter says so.
+        let tage_pred = match provider {
+            Some(t) => {
+                let newly = provider_weak && self.tables[t][indices[t]].useful.value() == 0;
+                if newly && self.use_alt.taken() {
+                    alt_pred
+                } else {
+                    provider_pred
+                }
+            }
+            None => base_pred,
+        };
+
+        // Statistical corrector: a signed vote of bias + GEHL tables. It
+        // is consulted only when TAGE itself is unconfident (weak or
+        // absent provider) and the vote is decisive — a *corrector*, not
+        // a competing predictor.
+        let sc_indices: Vec<usize> = (0..self.sc_tables.len()).map(|t| self.sc_index(pc, t)).collect();
+        let sc_sum: i32 = self
+            .sc_tables
+            .iter()
+            .zip(&sc_indices)
+            .map(|(tbl, &i)| 2 * tbl[i].signed() as i32 + 1)
+            .sum();
+        let tage_confident = matches!(provider, Some(t) if !self.tables[t][indices[t]].ctr.is_weak());
+        let sc_pred = if !tage_confident && sc_sum.abs() >= SC_THETA {
+            sc_sum >= 0
+        } else {
+            tage_pred
+        };
+
+        // Loop predictor overrides when confident.
+        let (loop_used, final_pred) = match self.loops.lookup(pc) {
+            Some(l) => (true, l),
+            None => (false, sc_pred),
+        };
+
+        PredState {
+            pc,
+            indices,
+            tags,
+            provider,
+            provider_pred,
+            alt_pred,
+            tage_pred,
+            sc_sum,
+            sc_indices,
+            loop_used,
+            final_pred,
+        }
+    }
+
+    fn age_useful_bits(&mut self) {
+        for table in &mut self.tables {
+            for e in table.iter_mut() {
+                e.useful.dec();
+            }
+        }
+    }
+
+    /// The configured geometric history lengths (for inspection/tests).
+    pub fn history_lengths(&self) -> &[usize] {
+        &self.histories
+    }
+}
+
+impl Default for TageScL {
+    fn default() -> TageScL {
+        TageScL::new(TageConfig::default())
+    }
+}
+
+impl BranchPredictor for TageScL {
+    fn predict(&mut self, pc: u64) -> bool {
+        let st = self.compute(pc);
+        let pred = st.final_pred;
+        self.last = Some(st);
+        pred
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let st = match self.last.take() {
+            Some(s) if s.pc == pc => s,
+            _ => self.compute(pc),
+        };
+        let n = self.config.num_tables;
+
+        // ---- loop component ------------------------------------------------
+        self.loops.train(pc, taken);
+
+        // ---- statistical corrector -----------------------------------------
+        // Train only in the regime where the SC is consulted (unconfident
+        // TAGE), so it specializes in TAGE's blind spots instead of
+        // shadowing it.
+        let provider_strong = matches!(st.provider, Some(t) if !self.tables[t][st.indices[t]].ctr.is_weak());
+        if !st.loop_used && !provider_strong && (st.final_pred != taken || st.sc_sum.abs() < 2 * SC_THETA) {
+            for (t, &i) in st.sc_indices.iter().enumerate() {
+                self.sc_tables[t][i].train(taken);
+            }
+        }
+
+        // ---- TAGE tables ----------------------------------------------------
+        match st.provider {
+            Some(t) => {
+                let idx = st.indices[t];
+                // use_alt bookkeeping: when the provider was weak and the
+                // alternate disagreed, learn which to trust.
+                let weak = self.tables[t][idx].ctr.is_weak();
+                if weak && st.provider_pred != st.alt_pred {
+                    self.use_alt.train(st.alt_pred == taken);
+                }
+                let e = &mut self.tables[t][idx];
+                e.ctr.train(taken);
+                if st.provider_pred != st.alt_pred {
+                    e.useful.train(st.provider_pred == taken);
+                }
+            }
+            None => {
+                let i = self.base_index(pc);
+                self.base[i].train(taken);
+            }
+        }
+        // Base also trains when it served as the alternate for a weak provider.
+        if st.provider.is_some() && st.alt_pred != st.provider_pred && st.tage_pred == st.alt_pred {
+            let i = self.base_index(pc);
+            self.base[i].train(taken);
+        }
+
+        // ---- allocation on TAGE misprediction --------------------------------
+        if st.tage_pred != taken {
+            let start = st.provider.map_or(0, |p| p + 1);
+            if start < n {
+                // Randomize the first candidate table to spread allocations.
+                let offset = (self.next_rand() as usize) % (n - start);
+                let mut allocated = false;
+                for k in 0..(n - start) {
+                    let t = start + (offset + k) % (n - start);
+                    let idx = st.indices[t];
+                    if self.tables[t][idx].useful.value() == 0 {
+                        self.tables[t][idx] = TageEntry {
+                            ctr: {
+                                let mut c = SatCounter::weak_not_taken(3);
+                                c.reset_weak(taken);
+                                c
+                            },
+                            tag: st.tags[t],
+                            useful: SatCounter::new(2, 0),
+                        };
+                        allocated = true;
+                        break;
+                    }
+                }
+                if !allocated {
+                    for t in start..n {
+                        let idx = st.indices[t];
+                        self.tables[t][idx].useful.dec();
+                    }
+                }
+            }
+        }
+
+        // ---- periodic useful aging -------------------------------------------
+        self.ticks += 1;
+        if self.ticks % (256 * 1024) == 0 {
+            self.age_useful_bits();
+        }
+
+        // ---- histories ---------------------------------------------------------
+        for f in self.index_folds.iter_mut() {
+            f.update(&self.ghist, taken);
+        }
+        for f in self.tag_folds1.iter_mut() {
+            f.update(&self.ghist, taken);
+        }
+        for f in self.tag_folds2.iter_mut() {
+            f.update(&self.ghist, taken);
+        }
+        for f in self.sc_folds.iter_mut() {
+            f.update(&self.ghist, taken);
+        }
+        self.ghist.push(taken);
+    }
+
+    fn storage_bits(&self) -> usize {
+        let c = &self.config;
+        let tagged = c.num_tables * (1usize << c.index_bits) * (3 + 2 + c.tag_bits as usize);
+        let base = (1usize << c.base_bits) * 2;
+        let sc = self.sc_tables.len() * (1usize << c.sc_index_bits) * 6;
+        let hist = self.ghist.capacity();
+        let folds: usize = self
+            .index_folds
+            .iter()
+            .chain(&self.tag_folds1)
+            .chain(&self.tag_folds2)
+            .chain(&self.sc_folds)
+            .map(|f| f.compressed_len())
+            .sum();
+        tagged + base + sc + self.loops.storage_bits() + hist + folds + 4 /* use_alt */ + 16 /* lfsr */
+    }
+
+    fn name(&self) -> &'static str {
+        "tage-sc-l"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::accuracy_on;
+    use crate::Tournament;
+
+    #[test]
+    fn history_lengths_are_geometric_and_monotonic() {
+        let c = TageConfig::default();
+        let h = c.history_lengths();
+        assert_eq!(h.len(), 6);
+        assert_eq!(h[0], 4);
+        assert_eq!(*h.last().unwrap(), 144);
+        assert!(h.windows(2).all(|w| w[0] < w[1]), "lengths {h:?} not increasing");
+    }
+
+    #[test]
+    fn fits_8kb_budget() {
+        let p = TageScL::default();
+        let bits = p.storage_bits();
+        assert!(bits <= 8 * 8192, "{bits} bits > 8 KB");
+        assert!(bits >= 6 * 8192, "{bits} bits: suspiciously small for an 8 KB design");
+    }
+
+    #[test]
+    fn learns_long_period_pattern_beyond_tournament() {
+        // Period-48 pattern: one not-taken every 48 — needs long history
+        // or loop detection; TAGE's long tables capture it.
+        fn pattern() -> impl Iterator<Item = (u64, bool)> {
+            (0..60_000).map(|i| (0x123u64, i % 48 != 47))
+        }
+        let mut tage = TageScL::default();
+        let acc = accuracy_on(&mut tage, pattern());
+        assert!(acc > 0.97, "tage accuracy {acc}");
+    }
+
+    #[test]
+    fn beats_tournament_on_history_heavy_mix() {
+        // Alternating taken-run lengths (20 and 45): inside a run every
+        // 12-bit gshare window is all-taken, so the tournament cannot
+        // tell the two exits apart, and the alternating trip count keeps
+        // the loop predictor unconfident. TAGE's 72+-bit history tables
+        // disambiguate both exits.
+        fn pattern() -> Vec<(u64, bool)> {
+            let mut v = Vec::new();
+            for _ in 0..400 {
+                for len in [20usize, 45] {
+                    for _ in 0..len {
+                        v.push((0xA00, true));
+                    }
+                    v.push((0xA00, false));
+                }
+            }
+            v
+        }
+        let p = pattern();
+        let mut tage = TageScL::default();
+        let acc_t = accuracy_on(&mut tage, p.iter().copied());
+        let mut tour = Tournament::default();
+        let acc_m = accuracy_on(&mut tour, p.iter().copied());
+        assert!(acc_t > acc_m + 0.005, "tage {acc_t} should beat tournament {acc_m}");
+        assert!(acc_t > 0.98, "tage accuracy {acc_t}");
+    }
+
+    #[test]
+    fn random_branches_stay_near_chance() {
+        let mut tage = TageScL::default();
+        let mut x = 3u64;
+        let pattern = (0..50_000).map(move |_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (0x77u64, (x >> 63) & 1 == 1)
+        });
+        let acc = accuracy_on(&mut tage, pattern);
+        assert!((0.4..0.6).contains(&acc), "accuracy {acc} on true randomness");
+    }
+
+    #[test]
+    fn update_without_predict_is_tolerated() {
+        let mut p = TageScL::default();
+        p.update(0x5, true);
+        p.update(0x5, false);
+        let _ = p.predict(0x5);
+    }
+
+    #[test]
+    fn deterministic_across_clones() {
+        let mut a = TageScL::default();
+        let mut b = a.clone();
+        let mut x = 9u64;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(7);
+            let pc = 0x100 + (x >> 60);
+            let taken = (x >> 55) & 1 == 1;
+            assert_eq!(a.predict(pc), b.predict(pc));
+            a.update(pc, taken);
+            b.update(pc, taken);
+        }
+    }
+
+    #[test]
+    fn loop_component_captures_large_trip_counts() {
+        let mut p = TageScL::default();
+        let mut exit_correct = 0u32;
+        let mut exits = 0u32;
+        for traversal in 0..300 {
+            for i in 0..=200 {
+                let taken = i != 200;
+                let pred = p.predict(0x900);
+                if traversal > 100 && !taken {
+                    exits += 1;
+                    exit_correct += (pred == taken) as u32;
+                }
+                p.update(0x900, taken);
+            }
+        }
+        assert!(exit_correct as f64 / exits as f64 > 0.9, "{exit_correct}/{exits}");
+    }
+}

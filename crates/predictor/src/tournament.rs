@@ -1,0 +1,184 @@
+use crate::{Bimodal, BranchPredictor, Gshare, LoopPredictor, SatCounter};
+
+/// The paper's 1 KB baseline: a tournament predictor "modeled after the
+/// Pentium-M, consisting of a global branch predictor, a bimodal branch
+/// predictor and a loop branch predictor" (Section VI-B, after Uzelac &
+/// Milenkovic's reverse engineering).
+///
+/// Organization:
+///
+/// * a bimodal component (1024 × 2-bit);
+/// * a gshare-style global component (1024 × 2-bit, 12 bits of history);
+/// * a per-PC 2-bit chooser selecting between them;
+/// * a 32-entry loop predictor that overrides when confident.
+///
+/// Total budget: 7,340 bits ≈ 0.90 KB ≤ 1 KB.
+///
+/// ```
+/// use probranch_predictor::{BranchPredictor, Tournament};
+/// let mut p = Tournament::default();
+/// let _ = p.predict(0x10);
+/// p.update(0x10, true);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tournament {
+    bimodal: Bimodal,
+    global: Gshare,
+    chooser: Vec<SatCounter>,
+    loops: LoopPredictor,
+    /// Metadata from the last `predict`, consumed by `update`.
+    last: Option<LastPred>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LastPred {
+    pc: u64,
+    bimodal_pred: bool,
+    global_pred: bool,
+}
+
+impl Tournament {
+    /// Creates the 1 KB configuration used in the paper's evaluation.
+    pub fn new() -> Tournament {
+        Tournament {
+            bimodal: Bimodal::new(10),
+            global: Gshare::new(10, 12),
+            chooser: vec![SatCounter::weak_not_taken(2); 1 << 10],
+            loops: LoopPredictor::new(32),
+            last: None,
+        }
+    }
+
+    fn chooser_index(&self, pc: u64) -> usize {
+        (pc & (self.chooser.len() as u64 - 1)) as usize
+    }
+}
+
+impl Default for Tournament {
+    fn default() -> Tournament {
+        Tournament::new()
+    }
+}
+
+impl BranchPredictor for Tournament {
+    fn predict(&mut self, pc: u64) -> bool {
+        let bimodal_pred = self.bimodal.lookup(pc);
+        let global_pred = self.global.lookup(pc);
+        self.last = Some(LastPred { pc, bimodal_pred, global_pred });
+        if let Some(loop_pred) = self.loops.lookup(pc) {
+            return loop_pred;
+        }
+        // Chooser: counter high half selects the global component.
+        if self.chooser[self.chooser_index(pc)].taken() {
+            global_pred
+        } else {
+            bimodal_pred
+        }
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let last = self.last.take();
+        // Recover component predictions; if predict() was skipped (which
+        // the simulator never does), fall back to fresh lookups.
+        let (bimodal_pred, global_pred) = match last {
+            Some(l) if l.pc == pc => (l.bimodal_pred, l.global_pred),
+            _ => (self.bimodal.lookup(pc), self.global.lookup(pc)),
+        };
+        // Chooser trains towards whichever component was right (only on
+        // disagreement).
+        if bimodal_pred != global_pred {
+            let idx = self.chooser_index(pc);
+            self.chooser[idx].train(global_pred == taken);
+        }
+        self.bimodal.train(pc, taken);
+        self.global.train(pc, taken);
+        self.loops.train(pc, taken);
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.bimodal.storage_bits()
+            + self.global.storage_bits()
+            + self.chooser.len() * 2
+            + self.loops.storage_bits()
+    }
+
+    fn name(&self) -> &'static str {
+        "tournament"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::accuracy_on;
+
+    #[test]
+    fn within_1kb_budget() {
+        let p = Tournament::new();
+        let bits = p.storage_bits();
+        assert!(bits <= 8192, "{bits} bits > 1 KB");
+        assert!(bits >= 6000, "{bits} bits suspiciously small for a 1 KB design");
+    }
+
+    #[test]
+    fn beats_components_on_mixed_workload() {
+        // Mix of a strongly biased branch (bimodal-friendly), an
+        // alternating branch (global-friendly) and a fixed-trip loop
+        // (loop-predictor-friendly).
+        fn pattern() -> impl Iterator<Item = (u64, bool)> {
+            (0..30_000).map(|i| match i % 3 {
+                0 => (0x100u64, i % 30 != 0),          // 90% taken
+                1 => (0x200u64, (i / 3) % 2 == 0),     // alternating
+                _ => (0x300u64, (i / 3) % 9 != 8),     // loop, trip 8
+            })
+        }
+        let mut t = Tournament::new();
+        let acc = accuracy_on(&mut t, pattern());
+        assert!(acc > 0.9, "tournament accuracy {acc}");
+    }
+
+    #[test]
+    fn chooser_learns_to_prefer_global_for_alternation() {
+        let mut t = Tournament::new();
+        let pattern = (0..8000).map(|i| (0x40u64, i % 2 == 0));
+        let acc = accuracy_on(&mut t, pattern);
+        assert!(acc > 0.9, "accuracy {acc}: chooser failed to migrate to global");
+    }
+
+    #[test]
+    fn loop_override_kicks_in() {
+        let mut t = Tournament::new();
+        // Trip count 37 — beyond global history reach, only the loop
+        // predictor can capture the exit.
+        let mut exit_correct = 0u32;
+        let mut exits = 0u32;
+        for traversal in 0..200 {
+            for i in 0..=37 {
+                let taken = i != 37;
+                let pred = t.predict(0x500);
+                if traversal > 50 && !taken {
+                    exits += 1;
+                    exit_correct += (pred == taken) as u32;
+                }
+                t.update(0x500, taken);
+            }
+        }
+        assert!(exits > 0);
+        assert!(
+            exit_correct as f64 / exits as f64 > 0.9,
+            "loop exits predicted {exit_correct}/{exits}"
+        );
+    }
+
+    #[test]
+    fn update_without_matching_predict_is_tolerated() {
+        let mut t = Tournament::new();
+        t.update(0x77, true); // must not panic
+        let _ = t.predict(0x77);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(Tournament::new().name(), "tournament");
+    }
+}

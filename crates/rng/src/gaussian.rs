@@ -1,0 +1,100 @@
+use crate::UniformSource;
+
+/// The Box–Muller transform over any [`UniformSource`], yielding
+/// standard-normal deviates. This is the `gaussian_box_muller()` routine
+/// of the paper's Greeks/DOP workloads.
+///
+/// Box–Muller produces deviates in pairs; the second of each pair is
+/// cached, exactly like the classic C implementation, so consumption
+/// order is deterministic.
+///
+/// ```
+/// use probranch_rng::{BoxMuller, Drand48};
+/// let mut g = BoxMuller::new(Drand48::seed(1));
+/// let z = g.next_gaussian();
+/// assert!(z.is_finite());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoxMuller<S> {
+    source: S,
+    cached: Option<f64>,
+}
+
+impl<S: UniformSource> BoxMuller<S> {
+    /// Wraps a uniform source.
+    pub fn new(source: S) -> BoxMuller<S> {
+        BoxMuller { source, cached: None }
+    }
+
+    /// The next standard-normal deviate.
+    pub fn next_gaussian(&mut self) -> f64 {
+        if let Some(z) = self.cached.take() {
+            return z;
+        }
+        // Basic-form Box-Muller: r = sqrt(-2 ln u1), theta = 2 pi u2.
+        let mut u1 = self.source.next_f64();
+        // Guard against ln(0); drand48 can return exactly 0.
+        while u1 <= 0.0 {
+            u1 = self.source.next_f64();
+        }
+        let u2 = self.source.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.cached = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Consumes the wrapper, returning the underlying source.
+    pub fn into_inner(self) -> S {
+        self.source
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Drand48, SplitMix64};
+
+    #[test]
+    fn moments_are_standard_normal() {
+        let mut g = BoxMuller::new(SplitMix64::seed(11));
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.next_gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "variance {var}");
+    }
+
+    #[test]
+    fn pairs_are_cached_deterministically() {
+        let mut a = BoxMuller::new(Drand48::seed(4));
+        let mut b = BoxMuller::new(Drand48::seed(4));
+        for _ in 0..64 {
+            assert_eq!(a.next_gaussian(), b.next_gaussian());
+        }
+    }
+
+    #[test]
+    fn consumes_two_uniforms_per_pair() {
+        let mut g = BoxMuller::new(Drand48::seed(4));
+        g.next_gaussian();
+        g.next_gaussian();
+        let inner = g.into_inner();
+        let mut fresh = Drand48::seed(4);
+        use crate::UniformSource;
+        fresh.next_f64();
+        fresh.next_f64();
+        assert_eq!(inner.state(), fresh.state());
+    }
+
+    #[test]
+    fn tail_probability_is_sane() {
+        let mut g = BoxMuller::new(SplitMix64::seed(2));
+        let n = 100_000;
+        let beyond_2 = (0..n).filter(|_| g.next_gaussian().abs() > 2.0).count();
+        let frac = beyond_2 as f64 / n as f64;
+        // P(|Z|>2) ~ 0.0455
+        assert!((frac - 0.0455).abs() < 0.01, "tail fraction {frac}");
+    }
+}

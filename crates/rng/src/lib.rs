@@ -1,0 +1,132 @@
+//! # probranch-rng
+//!
+//! Deterministic random-number substrate for the `probranch` reproduction
+//! of *Architectural Support for Probabilistic Branches* (MICRO 2018).
+//!
+//! The paper's workloads draw probabilistic values from `drand48` (photon
+//! transport, Monte-Carlo kernels), from uniform generators (genetic,
+//! bandit) and from Gaussians produced by the Box–Muller transform
+//! (option pricing). This crate provides host-side reference
+//! implementations of each; the ISA workloads re-implement the *same*
+//! algorithms in `probranch` instructions so that random-number
+//! generation costs real simulated instructions.
+//!
+//! Everything here is deterministic and seedable — a hard requirement of
+//! PBS itself: *"PBS replays the same stream of data values when given
+//! the same initial random seed"* (paper Section III-B).
+//!
+//! ```
+//! use probranch_rng::{Drand48, UniformSource};
+//! let mut r = Drand48::seed(12345);
+//! let x = r.next_f64();
+//! assert!((0.0..1.0).contains(&x));
+//! assert_eq!(Drand48::seed(12345).next_f64(), x); // deterministic
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod drand48;
+mod gaussian;
+mod pcg;
+mod splitmix;
+mod xorshift;
+
+pub use drand48::Drand48;
+pub use gaussian::BoxMuller;
+pub use pcg::Pcg32;
+pub use splitmix::SplitMix64;
+pub use xorshift::XorShift64Star;
+
+/// A deterministic source of uniform random numbers.
+///
+/// Implementations must be reproducible: constructing two sources from
+/// the same seed must yield identical streams.
+pub trait UniformSource {
+    /// The next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next double in `[0, 1)`.
+    ///
+    /// The default implementation uses the top 53 bits of
+    /// [`next_u64`](Self::next_u64).
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform integer in `[0, bound)` via multiply-shift reduction
+    /// (negligibly biased for workload-scale bounds).
+    fn next_below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+impl<T: UniformSource + ?Sized> UniformSource for &mut T {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(mut src: impl UniformSource, n: usize) -> f64 {
+        (0..n).map(|_| src.next_f64()).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn all_sources_produce_unit_interval() {
+        let mut sources: Vec<Box<dyn UniformSource>> = vec![
+            Box::new(Drand48::seed(7)),
+            Box::new(XorShift64Star::seed(7)),
+            Box::new(SplitMix64::seed(7)),
+            Box::new(Pcg32::seed(7)),
+        ];
+        for s in &mut sources {
+            for _ in 0..10_000 {
+                let x = s.next_f64();
+                assert!((0.0..1.0).contains(&x), "value {x} outside [0,1)");
+            }
+        }
+    }
+
+    #[test]
+    fn all_sources_have_plausible_mean() {
+        assert!((mean_of(Drand48::seed(3), 100_000) - 0.5).abs() < 0.01);
+        assert!((mean_of(XorShift64Star::seed(3), 100_000) - 0.5).abs() < 0.01);
+        assert!((mean_of(SplitMix64::seed(3), 100_000) - 0.5).abs() < 0.01);
+        assert!((mean_of(Pcg32::seed(3), 100_000) - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = SplitMix64::seed(42);
+        for bound in [1u64, 2, 3, 10, 1000] {
+            for _ in 0..1000 {
+                assert!(r.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_covers_small_range() {
+        let mut r = SplitMix64::seed(1);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[r.next_below(6) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all faces of a die appear");
+    }
+
+    #[test]
+    fn mut_ref_is_a_source_too() {
+        let mut r = SplitMix64::seed(9);
+        fn take(src: impl UniformSource) -> f64 {
+            let mut s = src;
+            s.next_f64()
+        }
+        let via_ref = take(&mut r);
+        assert!((0.0..1.0).contains(&via_ref));
+    }
+}

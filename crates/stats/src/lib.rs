@@ -1,0 +1,24 @@
+//! # probranch-stats
+//!
+//! Statistics substrate for the `probranch` reproduction of
+//! *Architectural Support for Probabilistic Branches* (MICRO 2018):
+//!
+//! * [`summary`] — means, confidence intervals, geometric means (for the
+//!   IPC/MPKI aggregation in Figures 6–9);
+//! * [`numerics`] — the special functions behind the tests (log-gamma,
+//!   regularized incomplete gamma, chi-square and Kolmogorov–Smirnov
+//!   tail probabilities);
+//! * [`randomness`] — a DieHarder-style battery classifying test results
+//!   as PASS / WEAK / FAIL (the Table III substitute; the paper used
+//!   DieHarder 3.31.1's 114 cases, we run a bespoke 16-case battery at
+//!   the same p-value conventions).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod numerics;
+pub mod randomness;
+pub mod summary;
+
+pub use randomness::{run_battery, BatteryCounts, Outcome, TestResult};
+pub use summary::{ci95, geometric_mean, mean, stddev, Summary};

@@ -1,0 +1,216 @@
+//! Special functions needed by the randomness battery: log-gamma,
+//! regularized incomplete gamma, chi-square and Kolmogorov–Smirnov tail
+//! probabilities, and the normal survival function. Implemented from
+//! the classic series/continued-fraction forms (Numerical Recipes
+//! style), accurate to ~1e-10 over the battery's ranges.
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires positive argument");
+    const COEFFS: [f64; 9] = [
+        0.99999999999980993,
+        676.5203681218851,
+        -1259.1392167224028,
+        771.32342877765313,
+        -176.61502916214059,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.9843695780195716e-6,
+        1.5056327351493116e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        return std::f64::consts::PI.ln() - (std::f64::consts::PI * x).sin().ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Regularized lower incomplete gamma `P(a, x)`.
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0);
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_p_series(a, x)
+    } else {
+        1.0 - gamma_q_cf(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma `Q(a, x) = 1 − P(a, x)`.
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0);
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_cf(a, x)
+    }
+}
+
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut term = 1.0 / a;
+    let mut sum = term;
+    let mut ap = a;
+    for _ in 0..500 {
+        ap += 1.0;
+        term *= x / ap;
+        sum += term;
+        if term.abs() < sum.abs() * 1e-15 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+fn gamma_q_cf(a: f64, x: f64) -> f64 {
+    // Lentz's continued fraction.
+    let tiny = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / tiny;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < tiny {
+            d = tiny;
+        }
+        c = b + an / c;
+        if c.abs() < tiny {
+            c = tiny;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    h * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Chi-square survival function: `P(X ≥ x)` for `k` degrees of freedom.
+pub fn chi2_sf(x: f64, k: f64) -> f64 {
+    assert!(k > 0.0);
+    if x <= 0.0 {
+        return 1.0;
+    }
+    gamma_q(k / 2.0, x / 2.0)
+}
+
+/// Complementary error function via the incomplete gamma relation
+/// `erfc(x) = Q(1/2, x²)` for `x ≥ 0` (reflected for negative `x`).
+pub fn erfc(x: f64) -> f64 {
+    if x < 0.0 {
+        2.0 - erfc(-x)
+    } else if x == 0.0 {
+        1.0
+    } else {
+        gamma_q(0.5, x * x)
+    }
+}
+
+/// Standard-normal survival function `P(Z ≥ z)`.
+pub fn normal_sf(z: f64) -> f64 {
+    0.5 * erfc(z / std::f64::consts::SQRT_2)
+}
+
+/// Two-sided p-value for a standard-normal statistic.
+pub fn normal_p2(z: f64) -> f64 {
+    (2.0 * normal_sf(z.abs())).min(1.0)
+}
+
+/// Kolmogorov–Smirnov p-value for statistic `d` with `n` samples
+/// (Stephens' asymptotic form).
+pub fn ks_sf(d: f64, n: usize) -> f64 {
+    if d <= 0.0 {
+        return 1.0;
+    }
+    let sqrt_n = (n as f64).sqrt();
+    let t = d * (sqrt_n + 0.12 + 0.11 / sqrt_n);
+    let mut p = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * t * t).exp();
+        p += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * p).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Gamma(n) = (n-1)!
+        assert!((ln_gamma(1.0)).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(11.0) - 3628800.0f64.ln()).abs() < 1e-9);
+        // Gamma(1/2) = sqrt(pi)
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gamma_p_plus_q_is_one() {
+        for a in [0.5, 1.0, 3.0, 10.0] {
+            for x in [0.1, 1.0, 5.0, 20.0] {
+                let s = gamma_p(a, x) + gamma_q(a, x);
+                assert!((s - 1.0).abs() < 1e-10, "a={a} x={x}: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn chi2_critical_values() {
+        // Textbook 5% critical values.
+        assert!((chi2_sf(3.841, 1.0) - 0.05).abs() < 1e-3);
+        assert!((chi2_sf(5.991, 2.0) - 0.05).abs() < 1e-3);
+        assert!((chi2_sf(16.919, 9.0) - 0.05).abs() < 1e-3);
+        assert_eq!(chi2_sf(0.0, 4.0), 1.0);
+    }
+
+    #[test]
+    fn erfc_and_normal() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-12);
+        assert!((erfc(1.0) - 0.15729920705).abs() < 1e-9);
+        assert!((normal_sf(1.959964) - 0.025).abs() < 1e-5);
+        assert!((normal_sf(0.0) - 0.5).abs() < 1e-12);
+        assert!((normal_p2(-1.959964) - 0.05).abs() < 1e-5);
+        assert!((erfc(-1.0) - (2.0 - 0.15729920705)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ks_tail_behaviour() {
+        assert_eq!(ks_sf(0.0, 100), 1.0);
+        // Large d -> tiny p.
+        assert!(ks_sf(0.5, 1000) < 1e-6);
+        // The 5% critical value for large n is ~1.358/sqrt(n).
+        let n = 10_000;
+        let d = 1.358 / (n as f64).sqrt();
+        let p = ks_sf(d, n);
+        assert!((p - 0.05).abs() < 0.01, "p {p}");
+    }
+
+    #[test]
+    fn monotonicity() {
+        assert!(chi2_sf(1.0, 4.0) > chi2_sf(2.0, 4.0));
+        assert!(gamma_p(2.0, 1.0) < gamma_p(2.0, 2.0));
+        assert!(ks_sf(0.01, 1000) > ks_sf(0.02, 1000));
+    }
+}

@@ -1,0 +1,120 @@
+//! Summary statistics: means, standard deviations, 95% confidence
+//! intervals and geometric means.
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (n−1 denominator). Returns 0 for fewer
+/// than two samples.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// 95% confidence half-width of the mean (normal approximation), as the
+/// paper uses for its Genetic and Table III intervals.
+pub fn ci95(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    1.96 * stddev(xs) / (xs.len() as f64).sqrt()
+}
+
+/// Geometric mean (for speedup/IPC aggregation).
+///
+/// # Panics
+///
+/// Panics if any value is non-positive.
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    assert!(xs.iter().all(|&x| x > 0.0), "geometric mean needs positive values");
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// A mean with its 95% interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Lower 95% bound.
+    pub lo: f64,
+    /// Upper 95% bound.
+    pub hi: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    pub fn of(xs: &[f64]) -> Summary {
+        let m = mean(xs);
+        let h = ci95(xs);
+        Summary { mean: m, lo: m - h, hi: m + h, n: xs.len() }
+    }
+
+    /// Whether two intervals overlap (the paper's statistical-equality
+    /// criterion).
+    pub fn overlaps(&self, other: &Summary) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4} [{:.4}, {:.4}] (n={})", self.mean, self.lo, self.hi, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        assert!((stddev(&[2.0, 4.0]) - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_shrinks_with_n() {
+        let small: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let large: Vec<f64> = (0..1000).map(|i| (i % 10) as f64).collect();
+        assert!(ci95(&large) < ci95(&small));
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert_eq!(geometric_mean(&[]), 1.0);
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geometric_mean_rejects_nonpositive() {
+        geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn summary_overlap() {
+        let a = Summary::of(&[1.0, 1.1, 0.9, 1.05]);
+        let b = Summary::of(&[1.02, 1.08, 0.95, 1.0]);
+        assert!(a.overlaps(&b));
+        let c = Summary::of(&[9.0, 9.1, 8.9, 9.05]);
+        assert!(!a.overlaps(&c));
+        assert!(a.to_string().contains("n=4"));
+    }
+}

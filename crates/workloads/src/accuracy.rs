@@ -1,0 +1,151 @@
+//! Application-specific output-accuracy metrics (paper Section VII-D,
+//! in the spirit of AxBench): each benchmark's outputs under PBS are
+//! compared against the original run with the metric the paper uses for
+//! it — relative error, success-rate confidence intervals, or image RMS.
+
+/// Relative error between two scalar outputs: `|a − b| / |a|`
+/// (0 when both are 0).
+pub fn relative_error(a: f64, b: f64) -> f64 {
+    if a == 0.0 && b == 0.0 {
+        0.0
+    } else if a == 0.0 {
+        f64::INFINITY
+    } else {
+        (a - b).abs() / a.abs()
+    }
+}
+
+/// Maximum relative error across paired output vectors.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths (outputs of the same
+/// program must align).
+pub fn max_relative_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "output vectors must align");
+    a.iter().zip(b).map(|(&x, &y)| relative_error(x, y)).fold(0.0, f64::max)
+}
+
+/// Normalized root-mean-square error between two "images" (histograms),
+/// as used for Photon: RMS of the per-bin differences divided by the
+/// mean bin magnitude of the reference.
+///
+/// # Panics
+///
+/// Panics if the images have different sizes.
+pub fn normalized_rms(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "images must have equal size");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let rms = (a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum::<f64>() / a.len() as f64).sqrt();
+    let scale = a.iter().map(|v| v.abs()).sum::<f64>() / a.len() as f64;
+    if scale == 0.0 {
+        if rms == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        rms / scale
+    }
+}
+
+/// A binomial success-rate estimate with its 95% normal-approximation
+/// confidence interval — the paper's Genetic accuracy metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuccessRate {
+    /// Point estimate.
+    pub rate: f64,
+    /// Lower 95% bound (clamped to 0).
+    pub lo: f64,
+    /// Upper 95% bound (clamped to 1).
+    pub hi: f64,
+}
+
+impl SuccessRate {
+    /// Computes the estimate from `successes` out of `trials`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials` is zero.
+    pub fn from_counts(successes: u64, trials: u64) -> SuccessRate {
+        assert!(trials > 0, "success rate needs at least one trial");
+        let p = successes as f64 / trials as f64;
+        let half = 1.96 * (p * (1.0 - p) / trials as f64).sqrt();
+        SuccessRate { rate: p, lo: (p - half).max(0.0), hi: (p + half).min(1.0) }
+    }
+
+    /// Whether two confidence intervals overlap — the paper's criterion
+    /// for "no statistical evidence that PBS differs from the original".
+    pub fn overlaps(&self, other: &SuccessRate) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_basics() {
+        assert_eq!(relative_error(10.0, 10.0), 0.0);
+        assert_eq!(relative_error(10.0, 9.0), 0.1);
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert_eq!(relative_error(0.0, 1.0), f64::INFINITY);
+        assert_eq!(relative_error(-10.0, -9.0), 0.1);
+    }
+
+    #[test]
+    fn max_relative_error_picks_worst() {
+        let a = [1.0, 2.0, 4.0];
+        let b = [1.0, 1.0, 4.0];
+        assert_eq!(max_relative_error(&a, &b), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn max_relative_error_rejects_mismatch() {
+        max_relative_error(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn normalized_rms_zero_for_identical() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(normalized_rms(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn normalized_rms_scales() {
+        let a = [2.0, 2.0];
+        let b = [2.2, 1.8];
+        // rms = 0.2, scale = 2.0 -> 0.1.
+        assert!((normalized_rms(&a, &b) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn success_rate_interval() {
+        let s = SuccessRate::from_counts(20, 100);
+        assert_eq!(s.rate, 0.2);
+        assert!(s.lo < 0.2 && s.hi > 0.2);
+        assert!(s.lo >= 0.0 && s.hi <= 1.0);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = SuccessRate::from_counts(20, 100);
+        let b = SuccessRate::from_counts(23, 100);
+        assert!(a.overlaps(&b), "nearby rates overlap");
+        let c = SuccessRate::from_counts(80, 100);
+        assert!(!a.overlaps(&c), "distant rates do not");
+    }
+
+    #[test]
+    fn degenerate_rates_have_valid_intervals() {
+        let z = SuccessRate::from_counts(0, 10);
+        assert_eq!(z.rate, 0.0);
+        assert_eq!(z.lo, 0.0);
+        let o = SuccessRate::from_counts(10, 10);
+        assert_eq!(o.hi, 1.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! ISA-level random-number emitters shared by all workloads.
+//!
+//! Random numbers must cost real simulated instructions (they do in the
+//! paper's x86 binaries), so every workload inlines these sequences: an
+//! xorshift64\* step (3 shifts, 3 xors, 1 multiply), the `[0,1)`
+//! conversion (shift, int→fp, multiply) and the Box–Muller transform
+//! (ln, sqrt, sin, cos — long-latency FP ops in the timing model).
+//!
+//! [`HostRng`](crate::HostRng) mirrors the arithmetic exactly, making
+//! host-reference and ISA runs bit-identical.
+
+use probranch_isa::{ProgramBuilder, Reg};
+
+use crate::host::{F64_SCALE, XS_MULT};
+
+/// Register assignment for the inline RNG. The three persistent
+/// registers must not be clobbered by the surrounding workload; `tmp` is
+/// scratch, clobbered by every emitted sequence.
+#[derive(Debug, Clone, Copy)]
+pub struct RngAsm {
+    /// Persistent generator state.
+    pub state: Reg,
+    /// Persistent constant: the xorshift64\* multiplier.
+    pub mult: Reg,
+    /// Persistent constant: 2^-53.
+    pub scale: Reg,
+    /// Scratch register.
+    pub tmp: Reg,
+}
+
+impl RngAsm {
+    /// Emits the one-time initialization (seed and constants).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed` is zero (the invalid xorshift state) — callers
+    /// seed from [`HostRng`](crate::HostRng)-compatible nonzero values.
+    pub fn init(&self, b: &mut ProgramBuilder, seed: u64) {
+        assert_ne!(seed, 0, "xorshift seed must be nonzero");
+        b.li(self.state, seed as i64);
+        b.li(self.mult, XS_MULT as i64);
+        b.lif(self.scale, F64_SCALE);
+    }
+
+    /// Emits `out = next_u64()` (7 instructions). Clobbers `tmp`.
+    pub fn next_u64(&self, b: &mut ProgramBuilder, out: Reg) {
+        b.shr(self.tmp, self.state, 12).xor(self.state, self.state, self.tmp);
+        b.shl(self.tmp, self.state, 25).xor(self.state, self.state, self.tmp);
+        b.shr(self.tmp, self.state, 27).xor(self.state, self.state, self.tmp);
+        b.mul(out, self.state, self.mult);
+    }
+
+    /// Emits `out = next_f64()` in `[0, 1)` (10 instructions). Clobbers
+    /// `tmp`.
+    pub fn next_f64(&self, b: &mut ProgramBuilder, out: Reg) {
+        self.next_u64(b, out);
+        b.shr(out, out, 11);
+        b.itof(out, out);
+        b.fmul(out, out, self.scale);
+    }
+
+    /// Emits a standard-normal pair `(z0, z1)` via Box–Muller. Clobbers
+    /// `tmp`, `t1`, `t2`. All five named registers must be distinct.
+    pub fn next_gauss_pair(&self, b: &mut ProgramBuilder, z0: Reg, z1: Reg, t1: Reg, t2: Reg) {
+        self.next_f64(b, t1); // u1
+        self.next_f64(b, t2); // u2
+        b.fln(t1, t1);
+        b.lif(z1, -2.0);
+        b.fmul(t1, t1, z1); // -2 ln u1
+        b.fsqrt(t1, t1); // r
+        b.lif(z1, 2.0 * std::f64::consts::PI);
+        b.fmul(t2, t2, z1); // theta
+        b.fcos(z0, t2);
+        b.fmul(z0, t1, z0); // r cos(theta)
+        b.fsin(z1, t2);
+        b.fmul(z1, t1, z1); // r sin(theta)
+    }
+}
+
+/// The default register block used by the workloads: state/mult/scale in
+/// r24..r26, scratch r27. Workload code keeps r0..r23 for itself.
+pub const RNG: RngAsm = RngAsm { state: Reg::R24, mult: Reg::R25, scale: Reg::R26, tmp: Reg::R27 };
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::HostRng;
+    use probranch_pipeline::{Emulator, EmuConfig};
+
+    #[test]
+    fn isa_f64_stream_matches_host_bit_for_bit() {
+        let mut b = ProgramBuilder::new();
+        let top = b.label("top");
+        RNG.init(&mut b, 0xDEADBEEF);
+        b.li(Reg::R1, 0);
+        b.bind(top);
+        RNG.next_f64(&mut b, Reg::R2);
+        b.out(Reg::R2, 0);
+        b.add(Reg::R1, Reg::R1, 1);
+        b.br(probranch_isa::CmpOp::Lt, Reg::R1, 64, top);
+        b.halt();
+        let mut e = Emulator::new(b.build().unwrap(), EmuConfig::default());
+        e.run_to_halt(100_000).unwrap();
+        let mut host = HostRng::new(0xDEADBEEF);
+        for &bits in e.output(0) {
+            assert_eq!(f64::from_bits(bits), host.next_f64());
+        }
+    }
+
+    #[test]
+    fn isa_gauss_stream_matches_host_bit_for_bit() {
+        let mut b = ProgramBuilder::new();
+        let top = b.label("top");
+        RNG.init(&mut b, 777);
+        b.li(Reg::R1, 0);
+        b.bind(top);
+        RNG.next_gauss_pair(&mut b, Reg::R2, Reg::R3, Reg::R4, Reg::R5);
+        b.out(Reg::R2, 0);
+        b.out(Reg::R3, 0);
+        b.add(Reg::R1, Reg::R1, 1);
+        b.br(probranch_isa::CmpOp::Lt, Reg::R1, 32, top);
+        b.halt();
+        let mut e = Emulator::new(b.build().unwrap(), EmuConfig::default());
+        e.run_to_halt(100_000).unwrap();
+        let mut host = HostRng::new(777);
+        let out = e.output_f64(0);
+        for pair in out.chunks(2) {
+            let (z0, z1) = host.next_gauss_pair();
+            assert_eq!(pair[0], z0);
+            assert_eq!(pair[1], z1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_seed_rejected() {
+        let mut b = ProgramBuilder::new();
+        RNG.init(&mut b, 0);
+    }
+}

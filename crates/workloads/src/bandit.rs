@@ -1,0 +1,257 @@
+//! **Bandit** — an epsilon-greedy multi-armed bandit (paper Section
+//! II-A3, after Komiyama's BanditLib). One Category-1 probabilistic
+//! branch: the explore/exploit decision (`u < ε`), reached through a
+//! *non-inlined function call* from the pull loop — the structure that
+//! defeats both if-conversion and CFD in Table I while PBS's
+//! `Function-PC` context still covers it.
+//!
+//! Rewards are Bernoulli draws resolved branchlessly (`sltu`-style
+//! arithmetic), as a tuned bandit implementation would, so the only
+//! random *control flow* is the epsilon branch plus the argmax scan.
+
+use probranch_isa::{CmpOp, Program, ProgramBuilder, Reg};
+
+use crate::asmlib::RNG;
+use crate::host::HostRng;
+use crate::{Benchmark, Category, Scale};
+
+/// Number of arms.
+pub const ARMS: i64 = 8;
+
+const P_BASE: i64 = 0x100; // arm probabilities (f64 bits)
+const WINS_BASE: i64 = 0x200; // accumulated rewards per arm
+const PULLS_BASE: i64 = 0x300; // pulls per arm
+
+/// Multi-armed-bandit benchmark parameters.
+#[derive(Debug, Clone)]
+pub struct Bandit {
+    /// Total pulls.
+    pub pulls: i64,
+    /// Exploration probability.
+    pub epsilon: f64,
+    /// RNG seed (nonzero).
+    pub seed: u64,
+}
+
+impl Bandit {
+    /// Creates the benchmark at a scale preset.
+    pub fn new(scale: Scale, seed: u64) -> Bandit {
+        let pulls = match scale {
+            Scale::Smoke => 2_000,
+            Scale::Bench => 20_000,
+            Scale::Paper => 120_000,
+        };
+        Bandit { pulls, epsilon: 0.1, seed: seed.max(1) }
+    }
+
+    /// Arm success probabilities: `p_k = 0.1 + 0.8 k / ARMS`.
+    pub fn arm_probability(k: i64) -> f64 {
+        0.1 + 0.8 * k as f64 / ARMS as f64
+    }
+
+    /// Host reference: `(total_reward, pulls_of_best_arm)`.
+    pub fn reference(&self) -> (u64, u64) {
+        let mut rng = HostRng::new(self.seed);
+        let mut wins = [0u64; ARMS as usize];
+        let mut pulls = [0u64; ARMS as usize];
+        let mut total = 0u64;
+        for _ in 0..self.pulls {
+            let u = rng.next_f64();
+            let arm = if u < self.epsilon {
+                (rng.next_u64() & (ARMS as u64 - 1)) as usize
+            } else {
+                // Argmax of empirical mean, first-best wins ties; arms
+                // never pulled score 1.0 (optimistic initialization).
+                let mut best = 0usize;
+                let mut best_v = -1.0f64;
+                for k in 0..ARMS as usize {
+                    let v = if pulls[k] == 0 { 1.0 } else { wins[k] as f64 / pulls[k] as f64 };
+                    if v > best_v {
+                        best_v = v;
+                        best = k;
+                    }
+                }
+                best
+            };
+            let r = rng.next_f64();
+            let reward = (r < Bandit::arm_probability(arm as i64)) as u64;
+            wins[arm] += reward;
+            pulls[arm] += 1;
+            total += reward;
+        }
+        (total, pulls[ARMS as usize - 1])
+    }
+}
+
+impl Benchmark for Bandit {
+    fn name(&self) -> &'static str {
+        "Bandit"
+    }
+
+    fn category(&self) -> Category {
+        Category::Cat1
+    }
+
+    fn program(&self) -> Program {
+        let mut b = ProgramBuilder::new();
+        let pull_top = b.label("pull_top");
+        let select_fn = b.label("select_fn");
+        let exploit = b.label("exploit");
+        let select_done = b.label("select_done");
+        let arg_top = b.label("arg_top");
+        let arg_skip = b.label("arg_skip");
+        let arg_pulled = b.label("arg_pulled");
+        let arg_next = b.label("arg_next");
+        let init_top = b.label("init_top");
+        let end = b.label("end");
+        // r1 = pull index, r2 = total reward, r8 = arm,
+        // r10 = 0.0 const, r11 = epsilon, r12 = 1.0 const,
+        // scratch r3..r7, r9, r13..r15.
+        RNG.init(&mut b, self.seed);
+        b.li(Reg::R1, 0).li(Reg::R2, 0);
+        b.lif(Reg::R10, 0.0);
+        b.lif(Reg::R11, self.epsilon);
+        b.lif(Reg::R12, 1.0);
+        // Initialize arm probabilities in memory.
+        b.li(Reg::R3, 0);
+        b.bind(init_top);
+        b.itof(Reg::R4, Reg::R3);
+        b.lif(Reg::R5, 0.8 / ARMS as f64);
+        b.fmul(Reg::R4, Reg::R4, Reg::R5);
+        b.lif(Reg::R5, 0.1);
+        b.fadd(Reg::R4, Reg::R4, Reg::R5);
+        b.shl(Reg::R6, Reg::R3, 3);
+        b.st(Reg::R4, Reg::R6, P_BASE);
+        b.add(Reg::R3, Reg::R3, 1);
+        b.br(CmpOp::Lt, Reg::R3, ARMS, init_top);
+
+        b.bind(pull_top);
+        b.call(select_fn); // arm in r8
+        // Bernoulli reward, branchless: reward = (r < p[arm]).
+        RNG.next_f64(&mut b, Reg::R4);
+        b.shl(Reg::R6, Reg::R8, 3);
+        b.ld(Reg::R5, Reg::R6, P_BASE);
+        // Branchless Bernoulli: reward = sign bit of (r - p), since
+        // negative doubles have the top bit set and r == p yields +0.0.
+        b.fsub(Reg::R5, Reg::R4, Reg::R5); // r - p[arm]
+        b.shr(Reg::R7, Reg::R5, 63); // 1 when r < p
+        // wins[arm] += reward; pulls[arm] += 1; total += reward.
+        b.ld(Reg::R9, Reg::R6, WINS_BASE);
+        b.add(Reg::R9, Reg::R9, Reg::R7);
+        b.st(Reg::R9, Reg::R6, WINS_BASE);
+        b.ld(Reg::R9, Reg::R6, PULLS_BASE);
+        b.add(Reg::R9, Reg::R9, 1);
+        b.st(Reg::R9, Reg::R6, PULLS_BASE);
+        b.add(Reg::R2, Reg::R2, Reg::R7);
+        b.add(Reg::R1, Reg::R1, 1);
+        b.br(CmpOp::Lt, Reg::R1, self.pulls, pull_top);
+        // Outputs: total reward and pulls of the best arm (port 0).
+        b.out(Reg::R2, 0);
+        b.li(Reg::R6, (ARMS - 1) * 8);
+        b.ld(Reg::R9, Reg::R6, PULLS_BASE);
+        b.out(Reg::R9, 0);
+        b.jmp(end);
+
+        // ---- fn select_fn: returns arm index in r8 ----------------------
+        b.bind(select_fn);
+        RNG.next_f64(&mut b, Reg::R3);
+        // The probabilistic branch (Category 1): exploit when u >= eps.
+        b.prob_fcmp(CmpOp::Ge, Reg::R3, Reg::R11);
+        b.prob_jmp(None, exploit);
+        // Explore: uniform arm.
+        RNG.next_u64(&mut b, Reg::R8);
+        b.and(Reg::R8, Reg::R8, ARMS - 1);
+        b.jmp(select_done);
+        b.bind(exploit);
+        // Argmax of empirical means with optimistic init.
+        b.li(Reg::R8, 0);
+        b.lif(Reg::R4, -1.0); // best value
+        b.li(Reg::R5, 0); // k
+        b.bind(arg_top);
+        b.shl(Reg::R6, Reg::R5, 3);
+        b.ld(Reg::R7, Reg::R6, PULLS_BASE);
+        b.br(CmpOp::Ne, Reg::R7, 0, arg_pulled);
+        b.mov(Reg::R9, Reg::R12); // unpulled arm scores 1.0
+        b.jmp(arg_skip);
+        b.bind(arg_pulled);
+        b.ld(Reg::R9, Reg::R6, WINS_BASE);
+        b.itof(Reg::R9, Reg::R9);
+        b.itof(Reg::R7, Reg::R7);
+        b.fdiv(Reg::R9, Reg::R9, Reg::R7);
+        b.bind(arg_skip);
+        b.fbr(CmpOp::Le, Reg::R9, Reg::R4, arg_next);
+        b.mov(Reg::R4, Reg::R9);
+        b.mov(Reg::R8, Reg::R5);
+        b.bind(arg_next);
+        b.add(Reg::R5, Reg::R5, 1);
+        b.br(CmpOp::Lt, Reg::R5, ARMS, arg_top);
+        b.bind(select_done);
+        b.ret();
+
+        b.bind(end);
+        b.halt();
+        b.build().expect("Bandit program is well-formed")
+    }
+
+    fn reference_output(&self) -> Vec<u64> {
+        let (total, best_pulls) = self.reference();
+        vec![total, best_pulls]
+    }
+
+    fn uniform_controlled(&self) -> bool {
+        true
+    }
+
+    fn expected_prob_branches(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probranch_pipeline::run_functional;
+
+    #[test]
+    fn isa_matches_reference() {
+        let w = Bandit::new(Scale::Smoke, 7);
+        let r = run_functional(&w.program(), None, 50_000_000).unwrap();
+        assert_eq!(r.output(0), w.reference_output().as_slice());
+    }
+
+    #[test]
+    fn learns_to_prefer_the_best_arm() {
+        let w = Bandit::new(Scale::Bench, 3);
+        let (total, best_pulls) = w.reference();
+        // The best arm pays 0.8; epsilon-greedy should pull it most of
+        // the time, so the average reward approaches 0.8.
+        let avg = total as f64 / w.pulls as f64;
+        assert!(avg > 0.6, "average reward {avg}");
+        assert!(best_pulls as f64 / w.pulls as f64 > 0.5, "best-arm share {best_pulls}");
+    }
+
+    #[test]
+    fn reward_sign_trick_is_correct() {
+        // (r - p) >> 63 must equal (r < p) for the values in play
+        // (p in (0,1), r in [0,1)).
+        let mut rng = HostRng::new(5);
+        for _ in 0..10_000 {
+            let r = rng.next_f64();
+            let p = rng.next_f64().max(0.001);
+            let diff = r - p;
+            let trick = (diff.to_bits() >> 63) as u64;
+            let expect = (r < p) as u64;
+            assert_eq!(trick, expect, "r={r} p={p}");
+        }
+    }
+
+    #[test]
+    fn pbs_reward_error_is_small() {
+        let w = Bandit::new(Scale::Bench, 11);
+        let base = run_functional(&w.program(), None, 50_000_000).unwrap();
+        let pbs = run_functional(&w.program(), Some(Default::default()), 50_000_000).unwrap();
+        let a = base.output(0)[0] as f64;
+        let b = pbs.output(0)[0] as f64;
+        assert!((a - b).abs() / a < 0.05, "{a} vs {b}");
+    }
+}

@@ -1,0 +1,200 @@
+//! **DOP** — digital option pricing via Monte Carlo (paper Section VI-A,
+//! from QuantStart's "Digital option pricing with C++"). Two independent
+//! Category-1 probabilistic branches: the digital call and digital put
+//! in-the-money tests. The probabilistic values derive from a Gaussian
+//! (Box–Muller), so DOP is excluded from the Table III uniform-stream
+//! randomness tests, exactly as in the paper.
+
+use probranch_isa::{CmpOp, Program, ProgramBuilder, Reg};
+
+use crate::asmlib::RNG;
+use crate::host::HostRng;
+use crate::{Benchmark, Category, Scale};
+
+/// Digital option pricing parameters.
+#[derive(Debug, Clone)]
+pub struct Dop {
+    /// Monte-Carlo paths.
+    pub sims: i64,
+    /// RNG seed (nonzero).
+    pub seed: u64,
+    /// Spot price.
+    pub spot: f64,
+    /// Strike.
+    pub strike: f64,
+    /// Risk-free rate.
+    pub rate: f64,
+    /// Volatility.
+    pub vol: f64,
+    /// Maturity in years.
+    pub maturity: f64,
+}
+
+impl Dop {
+    /// Creates the benchmark at a scale preset.
+    pub fn new(scale: Scale, seed: u64) -> Dop {
+        let sims = match scale {
+            Scale::Smoke => 1_000,
+            Scale::Bench => 10_000,
+            Scale::Paper => 60_000,
+        };
+        Dop {
+            sims,
+            seed: seed.max(1),
+            spot: 100.0,
+            strike: 105.0,
+            rate: 0.05,
+            vol: 0.2,
+            maturity: 1.0,
+        }
+    }
+
+    fn s_adjust(&self) -> f64 {
+        self.spot * (self.maturity * (self.rate - 0.5 * self.vol * self.vol)).exp()
+    }
+
+    fn vol_sqrt_t(&self) -> f64 {
+        (self.vol * self.vol * self.maturity).sqrt()
+    }
+
+    /// Host reference: `(in-the-money call count, put count)`.
+    pub fn reference_counts(&self) -> (u64, u64) {
+        let mut rng = HostRng::new(self.seed);
+        let s_adjust = self.s_adjust();
+        let vst = self.vol_sqrt_t();
+        let mut calls = 0u64;
+        let mut puts = 0u64;
+        for _ in 0..self.sims {
+            let (z, _discarded) = rng.next_gauss_pair();
+            let s_cur = (z * vst).exp() * s_adjust;
+            let d_call = s_cur - self.strike;
+            if !(d_call <= 0.0) {
+                calls += 1;
+            }
+            let d_put = self.strike - s_cur;
+            if !(d_put <= 0.0) {
+                puts += 1;
+            }
+        }
+        (calls, puts)
+    }
+}
+
+impl Benchmark for Dop {
+    fn name(&self) -> &'static str {
+        "DOP"
+    }
+
+    fn category(&self) -> Category {
+        Category::Cat1
+    }
+
+    fn program(&self) -> Program {
+        let mut b = ProgramBuilder::new();
+        let top = b.label("top");
+        let skip_call = b.label("skip_call");
+        let skip_put = b.label("skip_put");
+        // r1 = call count, r2 = put count, r8 = i,
+        // r10 = 0.0, r11 = vol*sqrt(T), r12 = S_adjust, r13 = strike.
+        RNG.init(&mut b, self.seed);
+        b.li(Reg::R1, 0).li(Reg::R2, 0).li(Reg::R8, 0);
+        b.lif(Reg::R10, 0.0);
+        b.lif(Reg::R11, self.vol_sqrt_t());
+        b.lif(Reg::R12, self.s_adjust());
+        b.lif(Reg::R13, self.strike);
+        b.bind(top);
+        // Draw the Gaussian (z1 of the pair is discarded, like the
+        // classic non-caching Box-Muller call).
+        RNG.next_gauss_pair(&mut b, Reg::R3, Reg::R4, Reg::R5, Reg::R6);
+        b.fmul(Reg::R5, Reg::R3, Reg::R11);
+        b.fexp(Reg::R5, Reg::R5);
+        b.fmul(Reg::R5, Reg::R5, Reg::R12); // S_cur
+        // Digital call: pays when S_cur - K > 0 (Category-1 prob branch).
+        b.fsub(Reg::R6, Reg::R5, Reg::R13);
+        b.prob_fcmp(CmpOp::Le, Reg::R6, Reg::R10);
+        b.prob_jmp(None, skip_call);
+        b.add(Reg::R1, Reg::R1, 1);
+        b.bind(skip_call);
+        // Digital put: pays when K - S_cur > 0. Derived from the
+        // unswapped S_cur so the two branches stay independent.
+        b.fsub(Reg::R7, Reg::R13, Reg::R5);
+        b.prob_fcmp(CmpOp::Le, Reg::R7, Reg::R10);
+        b.prob_jmp(None, skip_put);
+        b.add(Reg::R2, Reg::R2, 1);
+        b.bind(skip_put);
+        b.add(Reg::R8, Reg::R8, 1);
+        b.br(CmpOp::Lt, Reg::R8, self.sims, top);
+        // Port 0: raw counts. Port 1: discounted digital prices.
+        b.out(Reg::R1, 0);
+        b.out(Reg::R2, 0);
+        let discount = (-self.rate * self.maturity).exp();
+        b.itof(Reg::R3, Reg::R1);
+        b.itof(Reg::R4, Reg::R8);
+        b.fdiv(Reg::R3, Reg::R3, Reg::R4);
+        b.lif(Reg::R5, discount);
+        b.fmul(Reg::R3, Reg::R3, Reg::R5);
+        b.out(Reg::R3, 1); // call price
+        b.itof(Reg::R3, Reg::R2);
+        b.fdiv(Reg::R3, Reg::R3, Reg::R4);
+        b.fmul(Reg::R3, Reg::R3, Reg::R5);
+        b.out(Reg::R3, 1); // put price
+        b.halt();
+        b.build().expect("DOP program is well-formed")
+    }
+
+    fn reference_output(&self) -> Vec<u64> {
+        let (c, p) = self.reference_counts();
+        vec![c, p]
+    }
+
+    fn uniform_controlled(&self) -> bool {
+        false // Gaussian-derived (paper excludes DOP from Table III)
+    }
+
+    fn expected_prob_branches(&self) -> usize {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probranch_pipeline::run_functional;
+
+    #[test]
+    fn isa_matches_reference() {
+        let d = Dop::new(Scale::Smoke, 7);
+        let r = run_functional(&d.program(), None, 10_000_000).unwrap();
+        let (c, p) = d.reference_counts();
+        assert_eq!(r.output(0), &[c, p]);
+    }
+
+    #[test]
+    fn prices_are_plausible() {
+        // Digital call price under Black-Scholes ~ exp(-rT) * N(d2);
+        // with S=100, K=105, r=5%, v=20%, T=1: N(d2) ~ 0.48.
+        let d = Dop::new(Scale::Bench, 3);
+        let r = run_functional(&d.program(), None, 50_000_000).unwrap();
+        let prices = r.output_f64(1);
+        assert!((prices[0] - 0.455).abs() < 0.05, "call {0}", prices[0]);
+        assert!((prices[1] - 0.495).abs() < 0.05, "put {0}", prices[1]);
+    }
+
+    #[test]
+    fn call_and_put_partition_paths() {
+        // Each path is in the money for exactly one of call/put (ties at
+        // S_cur == K have measure zero).
+        let d = Dop::new(Scale::Smoke, 11);
+        let (c, p) = d.reference_counts();
+        assert_eq!(c + p, d.sims as u64);
+    }
+
+    #[test]
+    fn pbs_error_is_tiny() {
+        let d = Dop::new(Scale::Bench, 5);
+        let base = run_functional(&d.program(), None, 50_000_000).unwrap();
+        let pbs = run_functional(&d.program(), Some(Default::default()), 50_000_000).unwrap();
+        let rel = (base.output_f64(1)[0] - pbs.output_f64(1)[0]).abs() / base.output_f64(1)[0];
+        assert!(rel < 0.01, "relative error {rel}");
+    }
+}

@@ -1,0 +1,217 @@
+//! **Greeks** — Monte-Carlo estimation of option price sensitivities via
+//! finite differences (paper Section II-A2, from QuantStart's
+//! "Calculating the Greeks"). Three *dependent* Category-2 probabilistic
+//! branches: the same Gaussian draw prices the option at three bumped
+//! spots, and each payoff test's probabilistic value (`S_cur − K`) is
+//! accumulated *after* the branch — the value-swap path of PBS.
+
+use probranch_isa::{CmpOp, Program, ProgramBuilder, Reg};
+
+use crate::asmlib::RNG;
+use crate::host::HostRng;
+use crate::{Benchmark, Category, Scale};
+
+/// Greeks benchmark parameters.
+#[derive(Debug, Clone)]
+pub struct Greeks {
+    /// Monte-Carlo paths.
+    pub sims: i64,
+    /// RNG seed (nonzero).
+    pub seed: u64,
+    /// Spot price.
+    pub spot: f64,
+    /// Finite-difference bump.
+    pub bump: f64,
+    /// Strike.
+    pub strike: f64,
+    /// Risk-free rate.
+    pub rate: f64,
+    /// Volatility.
+    pub vol: f64,
+    /// Maturity.
+    pub maturity: f64,
+}
+
+impl Greeks {
+    /// Creates the benchmark at a scale preset.
+    pub fn new(scale: Scale, seed: u64) -> Greeks {
+        let sims = match scale {
+            Scale::Smoke => 800,
+            Scale::Bench => 8_000,
+            Scale::Paper => 40_000,
+        };
+        Greeks {
+            sims,
+            seed: seed.max(1),
+            spot: 100.0,
+            bump: 1.0,
+            strike: 100.0,
+            rate: 0.05,
+            vol: 0.2,
+            maturity: 1.0,
+        }
+    }
+
+    fn drift(&self) -> f64 {
+        (self.maturity * (self.rate - 0.5 * self.vol * self.vol)).exp()
+    }
+
+    fn vol_sqrt_t(&self) -> f64 {
+        (self.vol * self.vol * self.maturity).sqrt()
+    }
+
+    /// Host reference: the three payoff sums (down, mid, up) as raw `f64`
+    /// bits.
+    pub fn reference_sums(&self) -> (f64, f64, f64) {
+        let mut rng = HostRng::new(self.seed);
+        let drift = self.drift();
+        let vst = self.vol_sqrt_t();
+        let spots = [self.spot - self.bump, self.spot, self.spot + self.bump];
+        let mut sums = [0.0f64; 3];
+        for _ in 0..self.sims {
+            let (z, _discarded) = rng.next_gauss_pair();
+            let growth = (z * vst).exp() * drift;
+            for (k, &s0) in spots.iter().enumerate() {
+                let s_cur = s0 * growth;
+                let d = s_cur - self.strike;
+                if !(d <= 0.0) {
+                    sums[k] += d;
+                }
+            }
+        }
+        (sums[0], sums[1], sums[2])
+    }
+
+    /// Host reference: `(price, delta, gamma)` from the payoff sums.
+    pub fn reference_greeks(&self) -> (f64, f64, f64) {
+        let (lo, mid, hi) = self.reference_sums();
+        let disc = (-self.rate * self.maturity).exp() / self.sims as f64;
+        let (lo, mid, hi) = (lo * disc, mid * disc, hi * disc);
+        let delta = (hi - lo) / (2.0 * self.bump);
+        let gamma = (hi - 2.0 * mid + lo) / (self.bump * self.bump);
+        (mid, delta, gamma)
+    }
+}
+
+impl Benchmark for Greeks {
+    fn name(&self) -> &'static str {
+        "Greeks"
+    }
+
+    fn category(&self) -> Category {
+        Category::Cat2
+    }
+
+    fn program(&self) -> Program {
+        let mut b = ProgramBuilder::new();
+        let top = b.label("top");
+        // r1/r2/r3 = payoff sums (down, mid, up), r8 = i,
+        // r10 = 0.0, r11 = vol*sqrt(T), r12 = drift, r13 = strike,
+        // r14/r15/r16 = bumped spots, r4 = growth, r5 = S_cur, r6 = d.
+        RNG.init(&mut b, self.seed);
+        b.lif(Reg::R1, 0.0).lif(Reg::R2, 0.0).lif(Reg::R3, 0.0);
+        b.li(Reg::R8, 0);
+        b.lif(Reg::R10, 0.0);
+        b.lif(Reg::R11, self.vol_sqrt_t());
+        b.lif(Reg::R12, self.drift());
+        b.lif(Reg::R13, self.strike);
+        b.lif(Reg::R14, self.spot - self.bump);
+        b.lif(Reg::R15, self.spot);
+        b.lif(Reg::R16, self.spot + self.bump);
+        b.bind(top);
+        RNG.next_gauss_pair(&mut b, Reg::R4, Reg::R5, Reg::R6, Reg::R7);
+        b.fmul(Reg::R4, Reg::R4, Reg::R11);
+        b.fexp(Reg::R4, Reg::R4);
+        b.fmul(Reg::R4, Reg::R4, Reg::R12); // growth factor
+        // Three dependent Category-2 probabilistic branches: the payoff
+        // accumulation reads the (swapped) probabilistic value d.
+        for (spot_reg, sum_reg, label) in
+            [(Reg::R14, Reg::R1, "skip_lo"), (Reg::R15, Reg::R2, "skip_mid"), (Reg::R16, Reg::R3, "skip_hi")]
+        {
+            let skip = b.label(label);
+            b.fmul(Reg::R5, spot_reg, Reg::R4); // S_cur
+            b.fsub(Reg::R6, Reg::R5, Reg::R13); // d = S_cur - K
+            b.prob_fcmp(CmpOp::Le, Reg::R6, Reg::R10);
+            b.prob_jmp(None, skip);
+            b.fadd(sum_reg, sum_reg, Reg::R6); // payoff_sum += d (swapped)
+            b.bind(skip);
+        }
+        b.add(Reg::R8, Reg::R8, 1);
+        b.br(CmpOp::Lt, Reg::R8, self.sims, top);
+        // Port 0: the three raw sums (bit patterns). Port 1: greeks.
+        b.out(Reg::R1, 0);
+        b.out(Reg::R2, 0);
+        b.out(Reg::R3, 0);
+        let disc = (-self.rate * self.maturity).exp();
+        b.itof(Reg::R4, Reg::R8);
+        b.lif(Reg::R5, disc);
+        b.fdiv(Reg::R5, Reg::R5, Reg::R4); // disc / n
+        b.fmul(Reg::R6, Reg::R2, Reg::R5); // price
+        b.out(Reg::R6, 1);
+        b.halt();
+        b.build().expect("Greeks program is well-formed")
+    }
+
+    fn reference_output(&self) -> Vec<u64> {
+        let (lo, mid, hi) = self.reference_sums();
+        vec![lo.to_bits(), mid.to_bits(), hi.to_bits()]
+    }
+
+    fn uniform_controlled(&self) -> bool {
+        false // Gaussian-derived (paper excludes Greeks from Table III)
+    }
+
+    fn expected_prob_branches(&self) -> usize {
+        3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probranch_pipeline::run_functional;
+
+    #[test]
+    fn isa_matches_reference() {
+        let g = Greeks::new(Scale::Smoke, 7);
+        let r = run_functional(&g.program(), None, 10_000_000).unwrap();
+        let (lo, mid, hi) = g.reference_sums();
+        assert_eq!(r.output(0), &[lo.to_bits(), mid.to_bits(), hi.to_bits()]);
+    }
+
+    #[test]
+    fn greeks_are_plausible() {
+        // ATM call, S=K=100, r=5%, v=20%, T=1: price ~ 10.45, delta ~
+        // 0.64, gamma ~ 0.019 (Black-Scholes).
+        let g = Greeks::new(Scale::Bench, 3);
+        let (price, delta, gamma) = g.reference_greeks();
+        assert!((price - 10.45).abs() < 1.0, "price {price}");
+        assert!((delta - 0.64).abs() < 0.08, "delta {delta}");
+        assert!(gamma > 0.0 && gamma < 0.06, "gamma {gamma}");
+    }
+
+    #[test]
+    fn category2_swap_keeps_sums_consistent_under_pbs() {
+        // Under PBS the accumulated d values are the *swapped* ones —
+        // each taken path adds a value that is genuinely positive, so
+        // sums remain close to the reference.
+        let g = Greeks::new(Scale::Bench, 5);
+        let base = run_functional(&g.program(), None, 50_000_000).unwrap();
+        let pbs = run_functional(&g.program(), Some(Default::default()), 50_000_000).unwrap();
+        for k in 0..3 {
+            let a = f64::from_bits(base.output(0)[k]);
+            let b = f64::from_bits(pbs.output(0)[k]);
+            assert!(b > 0.0);
+            let rel = (a - b).abs() / a;
+            assert!(rel < 0.02, "sum {k}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn three_sums_are_ordered() {
+        // Payoff is monotone in spot.
+        let g = Greeks::new(Scale::Smoke, 2);
+        let (lo, mid, hi) = g.reference_sums();
+        assert!(lo < mid && mid < hi);
+    }
+}

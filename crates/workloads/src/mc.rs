@@ -1,0 +1,245 @@
+//! The two Monte-Carlo kernel benchmarks: **PI** (area of the unit
+//! quarter-circle) and **MC-integ** (area under `x²` on `[0,1]`), paper
+//! Section II-A5. One Category-1 probabilistic branch each.
+//!
+//! Both compare a derived probabilistic value against a *constant*
+//! (`s - 1 < 0` and `x² - y > 0` respectively) so the PBS `Const-Val`
+//! rule holds over the whole run.
+
+use probranch_isa::{CmpOp, Program, ProgramBuilder, Reg};
+
+use crate::asmlib::RNG;
+use crate::host::HostRng;
+use crate::{Benchmark, Category, Scale};
+
+/// Monte-Carlo π estimation (paper's `PI` benchmark): draw `(dx, dy)`
+/// uniform in the unit square, count points inside the unit circle.
+#[derive(Debug, Clone)]
+pub struct Pi {
+    /// Number of sample points.
+    pub samples: i64,
+    /// RNG seed (nonzero).
+    pub seed: u64,
+}
+
+impl Pi {
+    /// Creates the benchmark at a scale preset.
+    pub fn new(scale: Scale, seed: u64) -> Pi {
+        let samples = match scale {
+            Scale::Smoke => 2_000,
+            Scale::Bench => 20_000,
+            Scale::Paper => 120_000,
+        };
+        Pi { samples, seed: seed.max(1) }
+    }
+
+    /// Host reference: the hit count.
+    pub fn reference_hits(&self) -> u64 {
+        let mut rng = HostRng::new(self.seed);
+        let mut hits = 0u64;
+        for _ in 0..self.samples {
+            let dx = rng.next_f64();
+            let dy = rng.next_f64();
+            let s = dx * dx + dy * dy;
+            // ISA computes s - 1.0 and tests < 0.
+            if s - 1.0 < 0.0 {
+                hits += 1;
+            }
+        }
+        hits
+    }
+}
+
+impl Benchmark for Pi {
+    fn name(&self) -> &'static str {
+        "PI"
+    }
+
+    fn category(&self) -> Category {
+        Category::Cat1
+    }
+
+    fn program(&self) -> Program {
+        let mut b = ProgramBuilder::new();
+        let top = b.label("top");
+        let skip = b.label("skip");
+        // r1 = hits, r2 = i, r3/r4 = dx/dy, r5 = s, r10 = 0.0 const.
+        RNG.init(&mut b, self.seed);
+        b.li(Reg::R1, 0).li(Reg::R2, 0).lif(Reg::R10, 0.0);
+        b.bind(top);
+        RNG.next_f64(&mut b, Reg::R3);
+        RNG.next_f64(&mut b, Reg::R4);
+        b.fmul(Reg::R3, Reg::R3, Reg::R3);
+        b.fmul(Reg::R4, Reg::R4, Reg::R4);
+        b.fadd(Reg::R5, Reg::R3, Reg::R4);
+        b.lif(Reg::R6, 1.0);
+        b.fsub(Reg::R5, Reg::R5, Reg::R6); // s - 1
+        // Probabilistic branch (Category 1): outside the circle -> skip.
+        b.prob_fcmp(CmpOp::Ge, Reg::R5, Reg::R10);
+        b.prob_jmp(None, skip);
+        b.add(Reg::R1, Reg::R1, 1); // hits++
+        b.bind(skip);
+        b.add(Reg::R2, Reg::R2, 1);
+        b.br(CmpOp::Lt, Reg::R2, self.samples, top);
+        // Outputs: hit count (port 0), pi estimate = 4*hits/samples (port 1).
+        b.out(Reg::R1, 0);
+        b.itof(Reg::R7, Reg::R1);
+        b.itof(Reg::R8, Reg::R2);
+        b.fdiv(Reg::R7, Reg::R7, Reg::R8);
+        b.lif(Reg::R9, 4.0);
+        b.fmul(Reg::R7, Reg::R7, Reg::R9);
+        b.out(Reg::R7, 1);
+        b.halt();
+        b.build().expect("PI program is well-formed")
+    }
+
+    fn reference_output(&self) -> Vec<u64> {
+        vec![self.reference_hits()]
+    }
+
+    fn uniform_controlled(&self) -> bool {
+        true
+    }
+
+    fn expected_prob_branches(&self) -> usize {
+        1
+    }
+}
+
+/// Monte-Carlo integration of `x²` over `[0,1]` (paper's `MC-integ`
+/// benchmark): draw `(x, y)`, count points under the curve.
+#[derive(Debug, Clone)]
+pub struct McInteg {
+    /// Number of sample points.
+    pub samples: i64,
+    /// RNG seed (nonzero).
+    pub seed: u64,
+}
+
+impl McInteg {
+    /// Creates the benchmark at a scale preset.
+    pub fn new(scale: Scale, seed: u64) -> McInteg {
+        let samples = match scale {
+            Scale::Smoke => 2_000,
+            Scale::Bench => 20_000,
+            Scale::Paper => 120_000,
+        };
+        McInteg { samples, seed: seed.max(1) }
+    }
+
+    /// Host reference: the under-curve count.
+    pub fn reference_hits(&self) -> u64 {
+        let mut rng = HostRng::new(self.seed);
+        let mut hits = 0u64;
+        for _ in 0..self.samples {
+            let x = rng.next_f64();
+            let y = rng.next_f64();
+            if x * x - y > 0.0 {
+                hits += 1;
+            }
+        }
+        hits
+    }
+}
+
+impl Benchmark for McInteg {
+    fn name(&self) -> &'static str {
+        "MC-integ"
+    }
+
+    fn category(&self) -> Category {
+        Category::Cat1
+    }
+
+    fn program(&self) -> Program {
+        let mut b = ProgramBuilder::new();
+        let top = b.label("top");
+        let skip = b.label("skip");
+        RNG.init(&mut b, self.seed);
+        b.li(Reg::R1, 0).li(Reg::R2, 0).lif(Reg::R10, 0.0);
+        b.bind(top);
+        RNG.next_f64(&mut b, Reg::R3); // x
+        RNG.next_f64(&mut b, Reg::R4); // y
+        b.fmul(Reg::R5, Reg::R3, Reg::R3);
+        b.fsub(Reg::R5, Reg::R5, Reg::R4); // x^2 - y
+        // Probabilistic branch (Category 1): above the curve -> skip.
+        b.prob_fcmp(CmpOp::Le, Reg::R5, Reg::R10);
+        b.prob_jmp(None, skip);
+        b.add(Reg::R1, Reg::R1, 1);
+        b.bind(skip);
+        b.add(Reg::R2, Reg::R2, 1);
+        b.br(CmpOp::Lt, Reg::R2, self.samples, top);
+        b.out(Reg::R1, 0);
+        b.itof(Reg::R7, Reg::R1);
+        b.itof(Reg::R8, Reg::R2);
+        b.fdiv(Reg::R7, Reg::R7, Reg::R8); // integral estimate ~ 1/3
+        b.out(Reg::R7, 1);
+        b.halt();
+        b.build().expect("MC-integ program is well-formed")
+    }
+
+    fn reference_output(&self) -> Vec<u64> {
+        vec![self.reference_hits()]
+    }
+
+    fn uniform_controlled(&self) -> bool {
+        true
+    }
+
+    fn expected_prob_branches(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probranch_pipeline::run_functional;
+
+    #[test]
+    fn pi_estimate_converges() {
+        let p = Pi::new(Scale::Bench, 9);
+        let report = run_functional(&p.program(), None, 50_000_000).unwrap();
+        let estimate = f64::from_bits(report.output(1)[0]);
+        assert!((estimate - std::f64::consts::PI).abs() < 0.05, "pi estimate {estimate}");
+    }
+
+    #[test]
+    fn mc_integ_estimate_converges() {
+        let p = McInteg::new(Scale::Bench, 9);
+        let report = run_functional(&p.program(), None, 50_000_000).unwrap();
+        let estimate = f64::from_bits(report.output(1)[0]);
+        assert!((estimate - 1.0 / 3.0).abs() < 0.02, "integral estimate {estimate}");
+    }
+
+    #[test]
+    fn pi_hits_match_reference_exactly() {
+        let p = Pi::new(Scale::Smoke, 42);
+        let report = run_functional(&p.program(), None, 10_000_000).unwrap();
+        assert_eq!(report.output(0), &[p.reference_hits()]);
+    }
+
+    #[test]
+    fn mc_hits_match_reference_exactly() {
+        let p = McInteg::new(Scale::Smoke, 42);
+        let report = run_functional(&p.program(), None, 10_000_000).unwrap();
+        assert_eq!(report.output(0), &[p.reference_hits()]);
+    }
+
+    #[test]
+    fn pbs_keeps_pi_estimate_statistically_sound() {
+        let p = Pi::new(Scale::Bench, 4);
+        let base = run_functional(&p.program(), None, 50_000_000).unwrap();
+        let pbs = run_functional(&p.program(), Some(Default::default()), 50_000_000).unwrap();
+        let h_base = base.output(0)[0] as f64;
+        let h_pbs = pbs.output(0)[0] as f64;
+        assert!((h_base - h_pbs).abs() / h_base < 0.01, "{h_base} vs {h_pbs}");
+    }
+
+    #[test]
+    fn different_seeds_give_different_counts() {
+        let a = Pi::new(Scale::Smoke, 1).reference_hits();
+        let b = Pi::new(Scale::Smoke, 2).reference_hits();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,277 @@
+//! **Photon** — stochastic light transport through a translucent slab
+//! (paper Section II-A4, after the Scratchapixel Monte-Carlo lesson).
+//! Two Category-2 probabilistic branches — the absorption test and the
+//! backscatter test — both comparing a fresh uniform draw against a
+//! run-constant threshold, with the draw reused *after* the branch
+//! (deposit weighting and scatter distance). The photon state (depth,
+//! weight) carries a loop dependence across bounces, the property that
+//! makes the loop "hard to split" for control-flow decoupling in the
+//! paper's Table I.
+//!
+//! Output: a 16-bin absorption-depth histogram (the paper compares
+//! Photon outputs as images via average RMS error) plus the reflected
+//! and transmitted weight sums.
+
+use probranch_isa::{CmpOp, Program, ProgramBuilder, Reg};
+
+use crate::asmlib::RNG;
+use crate::host::HostRng;
+use crate::{Benchmark, Category, Scale};
+
+/// Number of absorption histogram bins.
+pub const BINS: usize = 16;
+
+const BIN_BASE: i64 = 0x100;
+const MAX_BOUNCES: i64 = 64;
+
+/// Photon-transport benchmark parameters.
+#[derive(Debug, Clone)]
+pub struct Photon {
+    /// Photons to trace.
+    pub photons: i64,
+    /// RNG seed (nonzero).
+    pub seed: u64,
+    /// Absorption probability per interaction.
+    pub albedo_absorb: f64,
+    /// Backscatter probability per interaction.
+    pub p_backscatter: f64,
+}
+
+impl Photon {
+    /// Creates the benchmark at a scale preset.
+    pub fn new(scale: Scale, seed: u64) -> Photon {
+        let photons = match scale {
+            Scale::Smoke => 400,
+            Scale::Bench => 4_000,
+            Scale::Paper => 25_000,
+        };
+        Photon { photons, seed: seed.max(1), albedo_absorb: 0.3, p_backscatter: 0.5 }
+    }
+
+    /// Host reference: `(bins, reflected, transmitted)` — bins hold
+    /// absorbed weight per depth slice.
+    pub fn reference(&self) -> ([f64; BINS], f64, f64) {
+        let mut rng = HostRng::new(self.seed);
+        let mut bins = [0.0f64; BINS];
+        let mut reflected = 0.0f64;
+        let mut transmitted = 0.0f64;
+        for _ in 0..self.photons {
+            let mut z = 0.0f64;
+            let mut w = 1.0f64;
+            for _bounce in 0..MAX_BOUNCES {
+                let u1 = rng.next_f64();
+                let s = u1.ln() * -0.2;
+                z += s;
+                if z > 1.0 {
+                    transmitted += w;
+                    break;
+                }
+                let u2 = rng.next_f64();
+                if u2 < self.albedo_absorb {
+                    // Deposit w * (u2 + 0.5) into the depth bin.
+                    let dep = (u2 + 0.5) * w;
+                    let mut idx = (z * 16.0) as i64;
+                    if idx < 0 {
+                        idx = 0;
+                    }
+                    if idx > 15 {
+                        idx = 15;
+                    }
+                    bins[idx as usize] += dep;
+                    break;
+                }
+                let u3 = rng.next_f64();
+                if u3 < self.p_backscatter {
+                    z -= (u3 + 0.2) * 0.3;
+                }
+                if z < 0.0 {
+                    reflected += w;
+                    break;
+                }
+                w *= 0.9;
+            }
+        }
+        (bins, reflected, transmitted)
+    }
+}
+
+impl Benchmark for Photon {
+    fn name(&self) -> &'static str {
+        "Photon"
+    }
+
+    fn category(&self) -> Category {
+        Category::Cat2
+    }
+
+    fn program(&self) -> Program {
+        let mut b = ProgramBuilder::new();
+        let photon_top = b.label("photon_top");
+        let bounce_top = b.label("bounce_top");
+        let transmit = b.label("transmit");
+        let no_absorb = b.label("no_absorb");
+        let no_back = b.label("no_back");
+        let reflect = b.label("reflect");
+        let photon_done = b.label("photon_done");
+        let clamp_lo = b.label("clamp_lo");
+        let clamp_done = b.label("clamp_done");
+        let emit_top = b.label("emit_top");
+        // r1 = photon index, r2 = Rd, r3 = bounce, r4 = z, r5 = w,
+        // r6..r14 scratch, r15 = Tt,
+        // consts: r16 = 0.0, r17 = 1.0, r18 = absorb thr, r19 = 0.5,
+        // r20 = -0.2, r21 = 0.3, r22 = 0.9, r23 = 0.2.
+        RNG.init(&mut b, self.seed);
+        b.li(Reg::R1, 0);
+        b.lif(Reg::R2, 0.0);
+        b.lif(Reg::R15, 0.0);
+        b.lif(Reg::R16, 0.0);
+        b.lif(Reg::R17, 1.0);
+        b.lif(Reg::R18, self.albedo_absorb);
+        b.lif(Reg::R19, 0.5);
+        b.lif(Reg::R20, -0.2);
+        b.lif(Reg::R21, 0.3);
+        b.lif(Reg::R22, 0.9);
+        b.lif(Reg::R23, 0.2);
+
+        b.bind(photon_top);
+        b.mov(Reg::R4, Reg::R16); // z = 0
+        b.mov(Reg::R5, Reg::R17); // w = 1
+        b.li(Reg::R3, 0);
+        b.bind(bounce_top);
+        // Step: s = -0.2 * ln(u1); z += s.
+        RNG.next_f64(&mut b, Reg::R6);
+        b.fln(Reg::R7, Reg::R6);
+        b.fmul(Reg::R7, Reg::R7, Reg::R20);
+        b.fadd(Reg::R4, Reg::R4, Reg::R7);
+        // Transmission boundary (regular branch: derived from z, not a
+        // marked probabilistic branch — mirrors the paper's unmarked
+        // boundary tests).
+        b.fbr(CmpOp::Gt, Reg::R4, Reg::R17, transmit);
+        // Absorption (probabilistic branch 1, Category 2: u2 reused for
+        // the deposit weight after the branch).
+        RNG.next_f64(&mut b, Reg::R9);
+        b.prob_fcmp(CmpOp::Ge, Reg::R9, Reg::R18);
+        b.prob_jmp(None, no_absorb);
+        b.fadd(Reg::R10, Reg::R9, Reg::R19); // u2 + 0.5 (swapped u2)
+        b.fmul(Reg::R10, Reg::R10, Reg::R5); // deposit
+        b.lif(Reg::R11, 16.0);
+        b.fmul(Reg::R11, Reg::R4, Reg::R11);
+        b.ftoi(Reg::R12, Reg::R11);
+        b.br(CmpOp::Lt, Reg::R12, 0, clamp_lo);
+        b.br(CmpOp::Le, Reg::R12, 15, clamp_done);
+        b.li(Reg::R12, 15);
+        b.jmp(clamp_done);
+        b.bind(clamp_lo);
+        b.li(Reg::R12, 0);
+        b.bind(clamp_done);
+        b.shl(Reg::R13, Reg::R12, 3);
+        b.ld(Reg::R14, Reg::R13, BIN_BASE);
+        b.fadd(Reg::R14, Reg::R14, Reg::R10);
+        b.st(Reg::R14, Reg::R13, BIN_BASE);
+        b.jmp(photon_done);
+        b.bind(no_absorb);
+        // Backscatter (probabilistic branch 2, Category 2: u3 sets the
+        // scatter distance after the branch).
+        RNG.next_f64(&mut b, Reg::R9);
+        b.prob_fcmp(CmpOp::Ge, Reg::R9, Reg::R19);
+        b.prob_jmp(None, no_back);
+        b.fadd(Reg::R10, Reg::R9, Reg::R23); // u3 + 0.2 (swapped u3)
+        b.fmul(Reg::R10, Reg::R10, Reg::R21);
+        b.fsub(Reg::R4, Reg::R4, Reg::R10);
+        b.bind(no_back);
+        // Reflection boundary.
+        b.fbr(CmpOp::Lt, Reg::R4, Reg::R16, reflect);
+        // Weight decay (loop-carried dependence).
+        b.fmul(Reg::R5, Reg::R5, Reg::R22);
+        b.add(Reg::R3, Reg::R3, 1);
+        b.br(CmpOp::Lt, Reg::R3, MAX_BOUNCES, bounce_top);
+        b.jmp(photon_done); // bounce budget exhausted
+        b.bind(transmit);
+        b.fadd(Reg::R15, Reg::R15, Reg::R5);
+        b.jmp(photon_done);
+        b.bind(reflect);
+        b.fadd(Reg::R2, Reg::R2, Reg::R5);
+        b.bind(photon_done);
+        b.add(Reg::R1, Reg::R1, 1);
+        b.br(CmpOp::Lt, Reg::R1, self.photons, photon_top);
+
+        // Emit the histogram (port 0), then Rd and Tt (port 1).
+        b.li(Reg::R3, 0);
+        b.bind(emit_top);
+        b.shl(Reg::R13, Reg::R3, 3);
+        b.ld(Reg::R14, Reg::R13, BIN_BASE);
+        b.out(Reg::R14, 0);
+        b.add(Reg::R3, Reg::R3, 1);
+        b.br(CmpOp::Lt, Reg::R3, BINS as i64, emit_top);
+        b.out(Reg::R2, 1);
+        b.out(Reg::R15, 1);
+        b.halt();
+        b.build().expect("Photon program is well-formed")
+    }
+
+    fn reference_output(&self) -> Vec<u64> {
+        let (bins, _, _) = self.reference();
+        bins.iter().map(|v| v.to_bits()).collect()
+    }
+
+    fn uniform_controlled(&self) -> bool {
+        true
+    }
+
+    fn expected_prob_branches(&self) -> usize {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probranch_pipeline::run_functional;
+
+    #[test]
+    fn isa_matches_reference_bins_and_sums() {
+        let p = Photon::new(Scale::Smoke, 7);
+        let r = run_functional(&p.program(), None, 50_000_000).unwrap();
+        let (bins, rd, tt) = p.reference();
+        let got: Vec<u64> = r.output(0).to_vec();
+        let want: Vec<u64> = bins.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, want);
+        assert_eq!(r.output(1), &[rd.to_bits(), tt.to_bits()]);
+    }
+
+    #[test]
+    fn weight_is_conserved_approximately() {
+        // Absorbed + reflected + transmitted should account for most of
+        // the injected weight (decay and the bounce cap lose a little).
+        let p = Photon::new(Scale::Bench, 3);
+        let (bins, rd, tt) = p.reference();
+        let absorbed: f64 = bins.iter().sum();
+        let total = absorbed + rd + tt;
+        let injected = p.photons as f64;
+        assert!(total > 0.5 * injected && total <= injected * 1.5001, "total {total} of {injected}");
+    }
+
+    #[test]
+    fn absorption_profile_decays_with_depth() {
+        // Deeper bins receive less absorbed weight (beyond the first).
+        let p = Photon::new(Scale::Bench, 5);
+        let (bins, _, _) = p.reference();
+        let front: f64 = bins[..4].iter().sum();
+        let back: f64 = bins[12..].iter().sum();
+        assert!(front > back, "front {front} back {back}");
+    }
+
+    #[test]
+    fn pbs_rms_error_is_small() {
+        let p = Photon::new(Scale::Bench, 9);
+        let base = run_functional(&p.program(), None, 50_000_000).unwrap();
+        let pbs = run_functional(&p.program(), Some(Default::default()), 50_000_000).unwrap();
+        let a = base.output_f64(0);
+        let b = pbs.output_f64(0);
+        let scale: f64 = a.iter().sum::<f64>() / BINS as f64;
+        let rms = (a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / BINS as f64).sqrt();
+        let rel = rms / scale;
+        // Paper Section VII-D reports 3.9% for Photon; allow headroom.
+        assert!(rel < 0.15, "relative RMS {rel}");
+    }
+}

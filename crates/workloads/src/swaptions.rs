@@ -1,0 +1,208 @@
+//! **Swaptions** — a scaled-down swaption-portfolio pricing kernel in
+//! the spirit of PARSEC's `swaptions` (paper Section VI-A). Three
+//! Category-2 probabilistic branches that sit *inside a non-inlined
+//! function called from the trial loop* — the exact structural property
+//! that defeats both if-conversion and control-flow decoupling in the
+//! paper's Table I, while PBS's calling-context support (`Function-PC`)
+//! still handles it.
+//!
+//! Each trial simulates one scenario for a payer swaption: three
+//! uniform draws decide (1) whether the rate path spikes (adding a
+//! rate-dependent payoff), (2) whether the notional accrues a
+//! draw-dependent factor, and (3) whether an early-exercise haircut
+//! applies. All three probabilistic values are *used after* the branch
+//! (Category 2) and are compared against run-constant thresholds.
+
+use probranch_isa::{CmpOp, Program, ProgramBuilder, Reg};
+
+use crate::asmlib::RNG;
+use crate::host::HostRng;
+use crate::{Benchmark, Category, Scale};
+
+/// Swaptions benchmark parameters.
+#[derive(Debug, Clone)]
+pub struct Swaptions {
+    /// Monte-Carlo trials.
+    pub trials: i64,
+    /// RNG seed (nonzero).
+    pub seed: u64,
+    /// Threshold for the rate-spike scenario.
+    pub p_spike: f64,
+    /// Threshold for the accrual scenario.
+    pub p_accrue: f64,
+    /// Threshold for the early-exercise haircut.
+    pub p_exercise: f64,
+}
+
+impl Swaptions {
+    /// Creates the benchmark at a scale preset.
+    pub fn new(scale: Scale, seed: u64) -> Swaptions {
+        let trials = match scale {
+            Scale::Smoke => 1_200,
+            Scale::Bench => 12_000,
+            Scale::Paper => 80_000,
+        };
+        Swaptions { trials, seed: seed.max(1), p_spike: 0.7, p_accrue: 0.4, p_exercise: 0.5 }
+    }
+
+    /// Host mirror of the per-trial path function.
+    fn host_path(&self, rng: &mut HostRng) -> f64 {
+        let mut val = 1.0f64;
+        let u1 = rng.next_f64();
+        if u1 < self.p_spike {
+            val += u1 * 2.5; // payoff grows with the (probabilistic) rate draw
+        }
+        let u2 = rng.next_f64();
+        if u2 < self.p_accrue {
+            val *= u2 + 0.75; // accrual factor depends on the draw
+        }
+        let u3 = rng.next_f64();
+        if !(u3 <= self.p_exercise) {
+            val -= u3 * 0.5; // haircut depends on the draw
+        }
+        val
+    }
+
+    /// Host reference: the portfolio value sum (bit pattern on port 0).
+    pub fn reference_sum(&self) -> f64 {
+        let mut rng = HostRng::new(self.seed);
+        let mut sum = 0.0f64;
+        for _ in 0..self.trials {
+            sum += self.host_path(&mut rng);
+        }
+        sum
+    }
+}
+
+impl Benchmark for Swaptions {
+    fn name(&self) -> &'static str {
+        "Swaptions"
+    }
+
+    fn category(&self) -> Category {
+        Category::Cat2
+    }
+
+    fn program(&self) -> Program {
+        let mut b = ProgramBuilder::new();
+        let main_top = b.label("main_top");
+        let path_fn = b.label("path_fn");
+        let done = b.label("done");
+        // Globals: r1 = sum, r2 = i, r10 = 0.0,
+        // r11/r12/r13 = thresholds, r14 = 0.75, r15 = 2.5, r16 = 0.5,
+        // r17 = 1.0. Path fn: r3 = val, r4 = u, r5 = tmp.
+        RNG.init(&mut b, self.seed);
+        b.lif(Reg::R1, 0.0).li(Reg::R2, 0);
+        b.lif(Reg::R10, 0.0);
+        b.lif(Reg::R11, self.p_spike);
+        b.lif(Reg::R12, self.p_accrue);
+        b.lif(Reg::R13, self.p_exercise);
+        b.lif(Reg::R14, 0.75);
+        b.lif(Reg::R15, 2.5);
+        b.lif(Reg::R16, 0.5);
+        b.lif(Reg::R17, 1.0);
+        b.bind(main_top);
+        b.call(path_fn);
+        b.fadd(Reg::R1, Reg::R1, Reg::R3); // sum += val
+        b.add(Reg::R2, Reg::R2, 1);
+        b.br(CmpOp::Lt, Reg::R2, self.trials, main_top);
+        b.out(Reg::R1, 0);
+        // Port 1: average portfolio value.
+        b.itof(Reg::R4, Reg::R2);
+        b.fdiv(Reg::R4, Reg::R1, Reg::R4);
+        b.out(Reg::R4, 1);
+        b.jmp(done);
+
+        // ---- fn path_fn: returns val in r3 -------------------------------
+        b.bind(path_fn);
+        b.mov(Reg::R3, Reg::R17); // val = 1.0
+        // Scenario 1: rate spike (Category 2: u1 used after the branch).
+        let s1 = b.label("s1");
+        RNG.next_f64(&mut b, Reg::R4);
+        b.prob_fcmp(CmpOp::Ge, Reg::R4, Reg::R11);
+        b.prob_jmp(None, s1);
+        b.fmul(Reg::R5, Reg::R4, Reg::R15);
+        b.fadd(Reg::R3, Reg::R3, Reg::R5);
+        b.bind(s1);
+        // Scenario 2: accrual (Category 2).
+        let s2 = b.label("s2");
+        RNG.next_f64(&mut b, Reg::R4);
+        b.prob_fcmp(CmpOp::Ge, Reg::R4, Reg::R12);
+        b.prob_jmp(None, s2);
+        b.fadd(Reg::R5, Reg::R4, Reg::R14);
+        b.fmul(Reg::R3, Reg::R3, Reg::R5);
+        b.bind(s2);
+        // Scenario 3: early-exercise haircut (Category 2).
+        let s3 = b.label("s3");
+        RNG.next_f64(&mut b, Reg::R4);
+        b.prob_fcmp(CmpOp::Le, Reg::R4, Reg::R13);
+        b.prob_jmp(None, s3);
+        b.fmul(Reg::R5, Reg::R4, Reg::R16);
+        b.fsub(Reg::R3, Reg::R3, Reg::R5);
+        b.bind(s3);
+        b.ret();
+
+        b.bind(done);
+        b.halt();
+        b.build().expect("Swaptions program is well-formed")
+    }
+
+    fn reference_output(&self) -> Vec<u64> {
+        vec![self.reference_sum().to_bits()]
+    }
+
+    fn uniform_controlled(&self) -> bool {
+        true
+    }
+
+    fn expected_prob_branches(&self) -> usize {
+        3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probranch_pipeline::run_functional;
+
+    #[test]
+    fn isa_matches_reference() {
+        let s = Swaptions::new(Scale::Smoke, 7);
+        let r = run_functional(&s.program(), None, 10_000_000).unwrap();
+        assert_eq!(r.output(0), &[s.reference_sum().to_bits()]);
+    }
+
+    #[test]
+    fn average_value_is_plausible() {
+        // E[val] = 1 + 0.7*E[2.5 u | u<.7]... roughly: scenario1 adds
+        // ~0.61 on 70% of paths; scenario2 scales; scenario3 subtracts.
+        let s = Swaptions::new(Scale::Bench, 3);
+        let avg = s.reference_sum() / s.trials as f64;
+        assert!((1.0..2.5).contains(&avg), "avg {avg}");
+    }
+
+    #[test]
+    fn pbs_handles_branches_inside_called_function() {
+        // The paper's calling-context support: the three branches are
+        // reached through a call at depth 1, which PBS supports.
+        let s = Swaptions::new(Scale::Smoke, 5);
+        let r = run_functional(&s.program(), Some(Default::default()), 10_000_000).unwrap();
+        let stats = r.pbs.unwrap();
+        let total = 3 * s.trials as u64;
+        assert_eq!(stats.directed + stats.bootstrap + stats.bypassed, total);
+        assert!(
+            stats.directed as f64 / total as f64 > 0.95,
+            "directed fraction too low: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn pbs_portfolio_value_error_is_small() {
+        let s = Swaptions::new(Scale::Bench, 9);
+        let base = run_functional(&s.program(), None, 50_000_000).unwrap();
+        let pbs = run_functional(&s.program(), Some(Default::default()), 50_000_000).unwrap();
+        let a = f64::from_bits(base.output(0)[0]);
+        let b = f64::from_bits(pbs.output(0)[0]);
+        assert!((a - b).abs() / a < 0.02, "{a} vs {b}");
+    }
+}

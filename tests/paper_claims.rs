@@ -1,0 +1,126 @@
+//! Workspace-level checks of the paper's headline claims, run against
+//! the real experiment harness (smoke scale).
+
+use probranch::prelude::*;
+use probranch_bench::experiments::{self, ExperimentScale};
+
+#[test]
+fn abstract_claim_mpki_reduction_is_substantial() {
+    // Abstract: "PBS improves MPKI by 45% on average (and up to 99%)".
+    // Shape check: average reduction well above zero, maximum ~99%.
+    let rows = experiments::fig6(ExperimentScale::Smoke);
+    let tage_reductions: Vec<f64> = rows.iter().map(|r| r.tage_reduction()).collect();
+    let avg = tage_reductions.iter().sum::<f64>() / tage_reductions.len() as f64;
+    let max = tage_reductions.iter().cloned().fold(f64::MIN, f64::max);
+    assert!(avg > 40.0, "average TAGE MPKI reduction {avg:.1}%");
+    assert!(max > 95.0, "max TAGE MPKI reduction {max:.1}%");
+}
+
+#[test]
+fn abstract_claim_ipc_improves_on_average() {
+    // Abstract: "and IPC by 6.7% (up to 17%) over the TAGE-SC-L
+    // predictor".
+    let rows = experiments::fig7(ExperimentScale::Smoke);
+    let avg_tage_pbs: f64 = rows.iter().map(|r| r.tage_pbs / r.tage).sum::<f64>() / rows.len() as f64;
+    assert!(avg_tage_pbs > 1.05, "TAGE+PBS / TAGE average IPC ratio {avg_tage_pbs:.3}");
+}
+
+#[test]
+fn section_vii_tage_reduction_exceeds_tournament() {
+    // Section VII-A: "We achieve even higher reductions in MPKI for the
+    // TAGE-SC-L predictor" — because TAGE leaves probabilistic branches
+    // as a larger fraction of the remaining mispredictions.
+    let rows = experiments::fig6(ExperimentScale::Smoke);
+    let tour_avg: f64 = rows.iter().map(|r| r.tournament_reduction()).sum::<f64>() / rows.len() as f64;
+    let tage_avg: f64 = rows.iter().map(|r| r.tage_reduction()).sum::<f64>() / rows.len() as f64;
+    assert!(
+        tage_avg > tour_avg,
+        "TAGE reduction {tage_avg:.1}% should exceed tournament {tour_avg:.1}%"
+    );
+}
+
+#[test]
+fn figure1_misprediction_share_grows_under_better_predictor() {
+    // "Note also that the misprediction rate for the probabilistic
+    // branches tends to be higher for the more sophisticated TAGE-SC-L
+    // predictor."
+    let rows = experiments::fig1(ExperimentScale::Smoke);
+    let tour: f64 = rows.iter().map(|r| r.tournament_mispredict_share).sum::<f64>() / rows.len() as f64;
+    let tage: f64 = rows.iter().map(|r| r.tage_mispredict_share).sum::<f64>() / rows.len() as f64;
+    assert!(tage >= tour - 1.0, "TAGE share {tage:.1}% vs tournament {tour:.1}%");
+}
+
+#[test]
+fn table1_verdicts_match_paper_exactly() {
+    let rows = experiments::table1();
+    let expected = [
+        ("DOP", true, true),
+        ("Greeks", false, true),
+        ("Swaptions", false, false),
+        ("Genetic", false, true),
+        ("Photon", false, false),
+        ("MC-integ", true, true),
+        ("PI", true, true),
+        ("Bandit", false, false),
+    ];
+    for (name, pred, cfd) in expected {
+        let row = rows.iter().find(|r| r.name == name).unwrap();
+        assert_eq!((row.predication, row.cfd), (pred, cfd), "{name}");
+    }
+}
+
+#[test]
+fn hardware_cost_is_193_bytes() {
+    assert_eq!(probranch::pbs::cost::total_bytes(&PbsConfig::default()), 193);
+}
+
+#[test]
+fn accuracy_metrics_are_acceptable() {
+    for row in experiments::accuracy(ExperimentScale::Smoke) {
+        assert!(row.acceptable, "{}: {} = {}", row.name, row.metric, row.value);
+    }
+}
+
+#[test]
+fn randomness_battery_intervals_overlap_for_every_benchmark() {
+    // Table III's conclusion: "the results of PBS and the original code
+    // significantly overlap, indicating that the two techniques are
+    // statistically identical."
+    for row in experiments::table3(ExperimentScale::Smoke) {
+        assert!(row.orig_pass.overlaps(&row.pbs_pass), "{}: PASS intervals disjoint", row.name);
+        assert!(row.orig_fail.overlaps(&row.pbs_fail), "{}: FAIL intervals disjoint", row.name);
+    }
+}
+
+#[test]
+fn fig9_interference_is_bounded() {
+    // "reaching up to 5.8% and a couple of percents on average" — ours
+    // must stay in a plausible band (no runaway interference).
+    let rows = experiments::fig9(ExperimentScale::Smoke);
+    for r in &rows {
+        assert!(
+            (-1.0..30.0).contains(&r.max_increase_pct),
+            "{}: {}%",
+            r.name,
+            r.max_increase_pct
+        );
+    }
+}
+
+#[test]
+fn pbs_bootstrap_length_matches_in_flight_depth() {
+    // Section III-B: the first few executions are treated as a normal
+    // branch; the count equals the in-flight provisioning.
+    for depth in [1usize, 2, 4, 8] {
+        let mut unit = PbsUnit::new(PbsConfig { in_flight: depth, ..PbsConfig::default() });
+        let mut bootstraps = 0;
+        for i in 0..20u64 {
+            match unit.execute_prob_branch(5, &[i], 100, i < 100) {
+                BranchResolution::Bootstrap { .. } => bootstraps += 1,
+                BranchResolution::Directed { .. } => {}
+                BranchResolution::Bypassed { .. } => panic!("unexpected bypass"),
+            }
+        }
+        assert_eq!(bootstraps, depth, "in_flight {depth}");
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants, spanning crates.
+
+use proptest::prelude::*;
+
+use probranch::isa::{
+    decode, encode_inst, parse_asm, AluOp, CmpOp, FpBinOp, FpUnOp, Inst, Operand, Program, Reg,
+};
+use probranch::pbs::{BranchResolution, PbsConfig, PbsUnit};
+use probranch::pipeline::{Cache, EmuConfig, Emulator, SimConfig};
+use probranch::predictor::{BranchPredictor, TageScL, Tournament};
+
+fn reg_strategy() -> impl Strategy<Value = Reg> {
+    (0u32..32).prop_map(|i| Reg::new(i).unwrap())
+}
+
+fn operand_strategy() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        reg_strategy().prop_map(Operand::Reg),
+        any::<i64>().prop_map(Operand::Imm),
+    ]
+}
+
+fn cmp_strategy() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge)
+    ]
+}
+
+/// Arbitrary instructions excluding control flow (whose targets need a
+/// program context) — used for encode/display round-trips.
+fn dataflow_inst_strategy() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (proptest::sample::select(AluOp::ALL.to_vec()), reg_strategy(), reg_strategy(), operand_strategy())
+            .prop_map(|(op, dst, src1, src2)| Inst::Alu { op, dst, src1, src2 }),
+        (reg_strategy(), any::<u64>()).prop_map(|(dst, imm)| Inst::Li { dst, imm }),
+        (reg_strategy(), reg_strategy()).prop_map(|(dst, src)| Inst::Mov { dst, src }),
+        (proptest::sample::select(FpBinOp::ALL.to_vec()), reg_strategy(), reg_strategy(), reg_strategy())
+            .prop_map(|(op, dst, src1, src2)| Inst::FpBin { op, dst, src1, src2 }),
+        (proptest::sample::select(FpUnOp::ALL.to_vec()), reg_strategy(), reg_strategy())
+            .prop_map(|(op, dst, src)| Inst::FpUn { op, dst, src }),
+        (reg_strategy(), reg_strategy()).prop_map(|(dst, src)| Inst::IntToFp { dst, src }),
+        (reg_strategy(), reg_strategy()).prop_map(|(dst, src)| Inst::FpToInt { dst, src }),
+        (reg_strategy(), reg_strategy(), reg_strategy(), reg_strategy())
+            .prop_map(|(dst, cond, if_true, if_false)| Inst::CMov { dst, cond, if_true, if_false }),
+        (reg_strategy(), reg_strategy(), any::<i32>())
+            .prop_map(|(dst, base, offset)| Inst::Load { dst, base, offset: offset as i64 }),
+        (reg_strategy(), reg_strategy(), any::<i32>())
+            .prop_map(|(src, base, offset)| Inst::Store { src, base, offset: offset as i64 }),
+        (cmp_strategy(), reg_strategy(), operand_strategy())
+            .prop_map(|(op, lhs, rhs)| Inst::Cmp { op, fp: false, lhs, rhs }),
+        (reg_strategy(), any::<u16>()).prop_map(|(src, port)| Inst::Out { src, port }),
+        Just(Inst::Nop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn binary_encode_round_trips(inst in dataflow_inst_strategy()) {
+        let mut words = Vec::new();
+        encode_inst(&inst, &mut words);
+        let back = decode(&words).unwrap();
+        prop_assert_eq!(back, vec![inst]);
+    }
+
+    #[test]
+    fn text_round_trips(inst in dataflow_inst_strategy()) {
+        let text = format!("{inst}\nhalt");
+        let p = parse_asm(&text).unwrap();
+        prop_assert_eq!(*p.fetch(0), inst);
+    }
+
+    #[test]
+    fn emulator_is_deterministic_on_random_dataflow(
+        insts in proptest::collection::vec(dataflow_inst_strategy(), 1..60),
+        seed in any::<u64>(),
+    ) {
+        // Random base registers would fault; memory determinism is
+        // covered by the workload round-trip tests, so strip memory ops
+        // here and keep the pure dataflow.
+        let mut insts: Vec<Inst> = insts
+            .into_iter()
+            .map(|i| match i {
+                Inst::Load { dst, .. } => Inst::Li { dst, imm: 7 },
+                Inst::Store { .. } => Inst::Nop,
+                other => other,
+            })
+            .collect();
+        insts.push(Inst::Halt);
+        let program = Program::new(insts).unwrap();
+        let run = || {
+            let mut e = Emulator::new(program.clone(), EmuConfig { mem_words: 1024, max_call_depth: 8 });
+            e.set_reg(Reg::R0, 0);
+            e.set_reg(Reg::R1, seed);
+            e.run_to_halt(1_000).unwrap();
+            (0..32).map(|r| e.reg(Reg::new(r).unwrap())).collect::<Vec<u64>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn pbs_fifo_preserves_value_order(values in proptest::collection::vec(any::<u64>(), 8..100)) {
+        // Directed instances replay generated values in order, lagged by
+        // the in-flight depth.
+        let mut unit = PbsUnit::new(PbsConfig::default());
+        let depth = PbsConfig::default().in_flight;
+        let mut consumed = Vec::new();
+        for &v in &values {
+            match unit.execute_prob_branch(10, &[v], 12345, v % 2 == 0) {
+                BranchResolution::Directed { swapped, .. } => consumed.push(swapped[0]),
+                BranchResolution::Bootstrap { .. } => consumed.push(v),
+                BranchResolution::Bypassed { .. } => prop_assert!(false, "unexpected bypass"),
+            }
+        }
+        prop_assert_eq!(&consumed[..depth], &values[..depth]);
+        prop_assert_eq!(&consumed[depth..], &values[..values.len() - depth]);
+    }
+
+    #[test]
+    fn pbs_directed_outcome_matches_swapped_value(values in proptest::collection::vec(0u64..1000, 8..60)) {
+        let mut unit = PbsUnit::new(PbsConfig::default());
+        for &v in &values {
+            let taken = v < 500;
+            if let BranchResolution::Directed { taken: dir, swapped } =
+                unit.execute_prob_branch(7, &[v], 500, taken)
+            {
+                prop_assert_eq!(dir, swapped[0] < 500, "semantic consistency of the swap");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_invariants_hold_under_random_access(addrs in proptest::collection::vec(any::<u32>(), 1..500)) {
+        let mut c = Cache::new(4096, 4, 64);
+        for a in addrs {
+            c.access(a as u64);
+            prop_assert!(c.check_invariants());
+        }
+    }
+
+    #[test]
+    fn cache_hit_plus_miss_equals_accesses(addrs in proptest::collection::vec(0u64..100_000, 1..300)) {
+        let mut c = Cache::new(2048, 2, 64);
+        for &a in &addrs {
+            c.access(a);
+        }
+        prop_assert_eq!(c.hits() + c.misses(), addrs.len() as u64);
+    }
+
+    #[test]
+    fn predictors_never_panic_and_stay_in_budget(
+        pattern in proptest::collection::vec((0u64..64, any::<bool>()), 1..500)
+    ) {
+        let mut tour = Tournament::default();
+        let mut tage = TageScL::default();
+        for &(pc, taken) in &pattern {
+            let _ = tour.predict(pc);
+            tour.update(pc, taken);
+            let _ = tage.predict(pc);
+            tage.update(pc, taken);
+        }
+        prop_assert!(tour.storage_bits() <= 8 * 1024);
+        prop_assert!(tage.storage_bits() <= 8 * 8 * 1024);
+    }
+
+    #[test]
+    fn simulation_cycle_count_is_at_least_width_bound(iters in 100i64..2000) {
+        // cycles >= instructions / width: the core cannot beat its width.
+        let pi = probranch::workloads::Pi { samples: iters, seed: 7 };
+        use probranch::workloads::Benchmark;
+        let r = probranch::pipeline::simulate(&pi.program(), &SimConfig::default()).unwrap();
+        prop_assert!(r.timing.cycles >= r.timing.instructions / 4);
+    }
+}
