@@ -4,15 +4,21 @@
 //! simulation.
 use criterion::{criterion_group, criterion_main, Criterion};
 use probranch_bench::{experiments, render, ExperimentScale};
-use probranch_workloads::{Benchmark, BenchmarkId, Scale};
-use probranch_pipeline::{simulate, SimConfig, PredictorChoice};
 use probranch_core::PbsConfig;
+use probranch_pipeline::{simulate, PredictorChoice, SimConfig};
+use probranch_workloads::{Benchmark, BenchmarkId, Scale};
 
 fn bench(c: &mut Criterion) {
-    println!("{}", render::fig1(&experiments::fig1(ExperimentScale::from_env())));
+    println!(
+        "{}",
+        render::fig1(&experiments::fig1(ExperimentScale::from_env()))
+    );
     let prog = BenchmarkId::Dop.build(Scale::Smoke, 1).program();
     c.bench_function("fig1/dop_tournament_baseline_sim", |b| {
-        let cfg = SimConfig { predictor: PredictorChoice::Tournament, ..SimConfig::default() };
+        let cfg = SimConfig {
+            predictor: PredictorChoice::Tournament,
+            ..SimConfig::default()
+        };
         b.iter(|| simulate(&prog, &cfg).unwrap().timing.mpki())
     });
 }

@@ -3,15 +3,21 @@
 //! the PBS-enabled simulation.
 use criterion::{criterion_group, criterion_main, Criterion};
 use probranch_bench::{experiments, render, ExperimentScale};
-use probranch_workloads::{Benchmark, BenchmarkId, Scale};
-use probranch_pipeline::{simulate, SimConfig, PredictorChoice};
 use probranch_core::PbsConfig;
+use probranch_pipeline::{simulate, PredictorChoice, SimConfig};
+use probranch_workloads::{Benchmark, BenchmarkId, Scale};
 
 fn bench(c: &mut Criterion) {
-    println!("{}", render::fig6(&experiments::fig6(ExperimentScale::from_env())));
+    println!(
+        "{}",
+        render::fig6(&experiments::fig6(ExperimentScale::from_env()))
+    );
     let prog = BenchmarkId::Pi.build(Scale::Smoke, 1).program();
     c.bench_function("fig6/pi_tage_pbs_sim", |b| {
-        let cfg = SimConfig { pbs: Some(PbsConfig::default()), ..SimConfig::default() };
+        let cfg = SimConfig {
+            pbs: Some(PbsConfig::default()),
+            ..SimConfig::default()
+        };
         b.iter(|| simulate(&prog, &cfg).unwrap().timing.mpki())
     });
 }

@@ -2,16 +2,24 @@
 //! Regenerates paper Figure 7 (normalized IPC, 4-wide core).
 use criterion::{criterion_group, criterion_main, Criterion};
 use probranch_bench::{experiments, render, ExperimentScale};
-use probranch_workloads::{Benchmark, BenchmarkId, Scale};
-use probranch_pipeline::{simulate, SimConfig, PredictorChoice};
 use probranch_core::PbsConfig;
+use probranch_pipeline::{simulate, PredictorChoice, SimConfig};
+use probranch_workloads::{Benchmark, BenchmarkId, Scale};
 
 fn bench(c: &mut Criterion) {
-    println!("{}", render::ipc(&experiments::fig7(ExperimentScale::from_env()),
-        "FIG 7 — normalized IPC, 4-wide / 168-entry ROB"));
+    println!(
+        "{}",
+        render::ipc(
+            &experiments::fig7(ExperimentScale::from_env()),
+            "FIG 7 — normalized IPC, 4-wide / 168-entry ROB"
+        )
+    );
     let prog = BenchmarkId::Greeks.build(Scale::Smoke, 1).program();
     c.bench_function("fig7/greeks_4wide_pbs_sim", |b| {
-        let cfg = SimConfig { pbs: Some(PbsConfig::default()), ..SimConfig::default() };
+        let cfg = SimConfig {
+            pbs: Some(PbsConfig::default()),
+            ..SimConfig::default()
+        };
         b.iter(|| simulate(&prog, &cfg).unwrap().timing.ipc())
     });
 }

@@ -3,12 +3,15 @@
 //! probabilistic branches).
 use criterion::{criterion_group, criterion_main, Criterion};
 use probranch_bench::{experiments, render, ExperimentScale};
-use probranch_workloads::{Benchmark, BenchmarkId, Scale};
-use probranch_pipeline::{simulate, SimConfig, PredictorChoice};
 use probranch_core::PbsConfig;
+use probranch_pipeline::{simulate, PredictorChoice, SimConfig};
+use probranch_workloads::{Benchmark, BenchmarkId, Scale};
 
 fn bench(c: &mut Criterion) {
-    println!("{}", render::fig9(&experiments::fig9(ExperimentScale::from_env())));
+    println!(
+        "{}",
+        render::fig9(&experiments::fig9(ExperimentScale::from_env()))
+    );
     let prog = BenchmarkId::Bandit.build(Scale::Smoke, 1).program();
     c.bench_function("fig9/bandit_filtered_predictor_sim", |b| {
         let cfg = SimConfig {

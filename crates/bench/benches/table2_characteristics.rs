@@ -3,17 +3,25 @@
 //! functional workload run.
 use criterion::{criterion_group, criterion_main, Criterion};
 use probranch_bench::{experiments, render, ExperimentScale};
-use probranch_workloads::{Benchmark, BenchmarkId, Scale};
-use probranch_pipeline::{simulate, SimConfig, PredictorChoice};
 use probranch_core::PbsConfig;
+use probranch_pipeline::{simulate, PredictorChoice, SimConfig};
+use probranch_workloads::{Benchmark, BenchmarkId, Scale};
 
 use probranch_pipeline::run_functional;
 
 fn bench(c: &mut Criterion) {
-    println!("{}", render::table2(&experiments::table2(ExperimentScale::from_env())));
+    println!(
+        "{}",
+        render::table2(&experiments::table2(ExperimentScale::from_env()))
+    );
     let prog = BenchmarkId::Genetic.build(Scale::Smoke, 1).program();
     c.bench_function("table2/genetic_functional_run", |b| {
-        b.iter(|| run_functional(&prog, None, 100_000_000).unwrap().timing.instructions)
+        b.iter(|| {
+            run_functional(&prog, None, 100_000_000)
+                .unwrap()
+                .timing
+                .instructions
+        })
     });
 }
 

@@ -3,12 +3,15 @@
 //! PBS-processed value streams).
 use criterion::{criterion_group, criterion_main, Criterion};
 use probranch_bench::{experiments, render, ExperimentScale};
-use probranch_workloads::{Benchmark, BenchmarkId, Scale};
-use probranch_pipeline::{simulate, SimConfig, PredictorChoice};
 use probranch_core::PbsConfig;
+use probranch_pipeline::{simulate, PredictorChoice, SimConfig};
+use probranch_workloads::{Benchmark, BenchmarkId, Scale};
 
 fn bench(c: &mut Criterion) {
-    println!("{}", render::table3(&experiments::table3(ExperimentScale::from_env())));
+    println!(
+        "{}",
+        render::table3(&experiments::table3(ExperimentScale::from_env()))
+    );
     let (orig, _) = experiments::uniform_stream_pair(BenchmarkId::Pi, Scale::Bench, 7).unwrap();
     c.bench_function("table3/battery_20k_values", |b| {
         b.iter(|| probranch_stats::run_battery(&orig).len())

@@ -1,17 +1,48 @@
 //! Regenerates every table and figure of the PBS paper in one run.
 //!
 //! ```text
-//! PROBRANCH_SCALE=bench cargo run -p probranch-bench --bin figures --release
+//! cargo run -p probranch-bench --bin figures --release -- --scale bench
 //! ```
 //!
 //! Scales: `smoke` (seconds), `bench` (default, ~2 minutes), `paper`
-//! (figure-quality, ~10 minutes).
+//! (figure-quality, ~10 minutes). The scale can also be set through the
+//! `PROBRANCH_SCALE` environment variable; the flag wins when both are
+//! given.
 
 use probranch_bench::experiments::{self, ExperimentScale};
 use probranch_bench::render;
 
+fn scale_from_args() -> ExperimentScale {
+    let mut args = std::env::args().skip(1);
+    let Some(arg) = args.next() else {
+        return ExperimentScale::from_env();
+    };
+    let value = match arg.as_str() {
+        "--scale" => args
+            .next()
+            .unwrap_or_else(|| usage("--scale needs a value")),
+        _ if arg.starts_with("--scale=") => arg["--scale=".len()..].to_string(),
+        "--help" | "-h" => usage(""),
+        _ => usage(&format!("unknown argument `{arg}`")),
+    };
+    if let Some(extra) = args.next() {
+        usage(&format!("unexpected argument `{extra}`"));
+    }
+    ExperimentScale::parse(&value).unwrap_or_else(|| usage(&format!("unknown scale `{value}`")))
+}
+
+fn usage(error: &str) -> ! {
+    let text = "usage: figures [--scale smoke|bench|paper]\n       (or set PROBRANCH_SCALE; default: bench)";
+    if error.is_empty() {
+        println!("{text}");
+        std::process::exit(0);
+    }
+    eprintln!("error: {error}\n\n{text}");
+    std::process::exit(2);
+}
+
 fn main() {
-    let scale = ExperimentScale::from_env();
+    let scale = scale_from_args();
     let t0 = std::time::Instant::now();
     println!("probranch — regenerating all tables & figures at {scale:?} scale\n");
 
@@ -19,8 +50,20 @@ fn main() {
     println!("{}", render::table1(&experiments::table1()));
     println!("{}", render::fig1(&experiments::fig1(scale)));
     println!("{}", render::fig6(&experiments::fig6(scale)));
-    println!("{}", render::ipc(&experiments::fig7(scale), "FIG 7 — normalized IPC, 4-wide / 168-entry ROB"));
-    println!("{}", render::ipc(&experiments::fig8(scale), "FIG 8 — normalized IPC, 8-wide / 256-entry ROB"));
+    println!(
+        "{}",
+        render::ipc(
+            &experiments::fig7(scale),
+            "FIG 7 — normalized IPC, 4-wide / 168-entry ROB"
+        )
+    );
+    println!(
+        "{}",
+        render::ipc(
+            &experiments::fig8(scale),
+            "FIG 8 — normalized IPC, 8-wide / 256-entry ROB"
+        )
+    );
     println!("{}", render::fig9(&experiments::fig9(scale)));
     println!("{}", render::table3(&experiments::table3(scale)));
     println!("{}", render::accuracy(&experiments::accuracy(scale)));

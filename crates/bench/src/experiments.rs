@@ -1,11 +1,15 @@
 //! Experiment runners, one per paper table/figure.
 
 use probranch_core::PbsConfig;
-use probranch_pipeline::{run_functional, simulate, OooConfig, PredictorChoice, SimConfig, SimReport};
+use probranch_pipeline::{
+    run_functional, simulate, OooConfig, PredictorChoice, SimConfig, SimReport,
+};
 use probranch_stats::randomness::{run_battery, BatteryCounts};
 use probranch_stats::summary::Summary;
 use probranch_workloads::accuracy::{normalized_rms, relative_error, SuccessRate};
-use probranch_workloads::{all_benchmarks, Benchmark, BenchmarkId, Genetic, HostRng, McInteg, Pi, Scale};
+use probranch_workloads::{
+    all_benchmarks, Benchmark, BenchmarkId, Genetic, HostRng, McInteg, Pi, Scale,
+};
 
 /// Run-size selection for the whole harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,10 +26,20 @@ impl ExperimentScale {
     /// Reads `PROBRANCH_SCALE` (`smoke` / `bench` / `paper`), defaulting
     /// to `Bench`.
     pub fn from_env() -> ExperimentScale {
-        match std::env::var("PROBRANCH_SCALE").as_deref() {
-            Ok("smoke") => ExperimentScale::Smoke,
-            Ok("paper") => ExperimentScale::Paper,
-            _ => ExperimentScale::Bench,
+        std::env::var("PROBRANCH_SCALE")
+            .ok()
+            .and_then(|v| Self::parse(&v))
+            .unwrap_or(ExperimentScale::Bench)
+    }
+
+    /// Parses a scale name as accepted by `PROBRANCH_SCALE` and the
+    /// `figures --scale` flag.
+    pub fn parse(name: &str) -> Option<ExperimentScale> {
+        match name {
+            "smoke" => Some(ExperimentScale::Smoke),
+            "bench" => Some(ExperimentScale::Bench),
+            "paper" => Some(ExperimentScale::Paper),
+            _ => None,
         }
     }
 
@@ -51,7 +65,11 @@ const MAX_INSTS: u64 = 2_000_000_000;
 const BASE_SEED: u64 = 12345;
 
 fn sim(bench: &dyn Benchmark, predictor: PredictorChoice, pbs: bool, core: OooConfig) -> SimReport {
-    let mut cfg = SimConfig { core, predictor, ..SimConfig::default() };
+    let mut cfg = SimConfig {
+        core,
+        predictor,
+        ..SimConfig::default()
+    };
     if pbs {
         cfg.pbs = Some(PbsConfig::default());
     }
@@ -83,9 +101,21 @@ pub fn fig1(scale: ExperimentScale) -> Vec<Fig1Row> {
     all_benchmarks(scale.workload(), BASE_SEED)
         .iter()
         .map(|b| {
-            let tour = sim(b.as_ref(), PredictorChoice::Tournament, false, OooConfig::default());
-            let tage = sim(b.as_ref(), PredictorChoice::TageScL, false, OooConfig::default());
-            let share = |r: &SimReport| 100.0 * r.timing.prob_branches as f64 / r.timing.cond_branches.max(1) as f64;
+            let tour = sim(
+                b.as_ref(),
+                PredictorChoice::Tournament,
+                false,
+                OooConfig::default(),
+            );
+            let tage = sim(
+                b.as_ref(),
+                PredictorChoice::TageScL,
+                false,
+                OooConfig::default(),
+            );
+            let share = |r: &SimReport| {
+                100.0 * r.timing.prob_branches as f64 / r.timing.cond_branches.max(1) as f64
+            };
             let mshare = |r: &SimReport| {
                 100.0 * r.timing.mispredicts_prob as f64 / r.timing.mispredicts.max(1) as f64
             };
@@ -128,7 +158,8 @@ pub fn table1() -> Vec<Table1Row> {
             let pred = probranch_compiler::predication::analyze_program(&p);
             let cfd = probranch_compiler::cfd::analyze_program(&p);
             let first_err = |v: &[(u32, probranch_compiler::Applicability)]| {
-                v.iter().find_map(|(_, a)| a.as_ref().err().map(|e| e.to_string()))
+                v.iter()
+                    .find_map(|(_, a)| a.as_ref().err().map(|e| e.to_string()))
             };
             Table1Row {
                 name: b.name(),
@@ -168,7 +199,8 @@ pub fn table2(scale: ExperimentScale) -> Vec<Table2Row> {
         .map(|b| {
             let p = b.program();
             let (prob, total) = p.branch_counts();
-            let r = run_functional(&p, None, MAX_INSTS).unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+            let r =
+                run_functional(&p, None, MAX_INSTS).unwrap_or_else(|e| panic!("{}: {e}", b.name()));
             Table2Row {
                 name: b.name(),
                 prob_branches: prob,
@@ -217,10 +249,38 @@ pub fn fig6(scale: ExperimentScale) -> Vec<Fig6Row> {
         .iter()
         .map(|b| Fig6Row {
             name: b.name(),
-            tournament_base: sim(b.as_ref(), PredictorChoice::Tournament, false, OooConfig::default()).timing.mpki(),
-            tournament_pbs: sim(b.as_ref(), PredictorChoice::Tournament, true, OooConfig::default()).timing.mpki(),
-            tage_base: sim(b.as_ref(), PredictorChoice::TageScL, false, OooConfig::default()).timing.mpki(),
-            tage_pbs: sim(b.as_ref(), PredictorChoice::TageScL, true, OooConfig::default()).timing.mpki(),
+            tournament_base: sim(
+                b.as_ref(),
+                PredictorChoice::Tournament,
+                false,
+                OooConfig::default(),
+            )
+            .timing
+            .mpki(),
+            tournament_pbs: sim(
+                b.as_ref(),
+                PredictorChoice::Tournament,
+                true,
+                OooConfig::default(),
+            )
+            .timing
+            .mpki(),
+            tage_base: sim(
+                b.as_ref(),
+                PredictorChoice::TageScL,
+                false,
+                OooConfig::default(),
+            )
+            .timing
+            .mpki(),
+            tage_pbs: sim(
+                b.as_ref(),
+                PredictorChoice::TageScL,
+                true,
+                OooConfig::default(),
+            )
+            .timing
+            .mpki(),
         })
         .collect()
 }
@@ -245,10 +305,18 @@ fn ipc_rows(scale: ExperimentScale, core: OooConfig) -> Vec<IpcRow> {
     all_benchmarks(scale.workload(), BASE_SEED)
         .iter()
         .map(|b| {
-            let base = sim(b.as_ref(), PredictorChoice::Tournament, false, core.clone()).timing.ipc();
-            let tage = sim(b.as_ref(), PredictorChoice::TageScL, false, core.clone()).timing.ipc();
-            let tour_pbs = sim(b.as_ref(), PredictorChoice::Tournament, true, core.clone()).timing.ipc();
-            let tage_pbs = sim(b.as_ref(), PredictorChoice::TageScL, true, core.clone()).timing.ipc();
+            let base = sim(b.as_ref(), PredictorChoice::Tournament, false, core.clone())
+                .timing
+                .ipc();
+            let tage = sim(b.as_ref(), PredictorChoice::TageScL, false, core.clone())
+                .timing
+                .ipc();
+            let tour_pbs = sim(b.as_ref(), PredictorChoice::Tournament, true, core.clone())
+                .timing
+                .ipc();
+            let tage_pbs = sim(b.as_ref(), PredictorChoice::TageScL, true, core.clone())
+                .timing
+                .ipc();
             IpcRow {
                 name: b.name(),
                 tournament: base,
@@ -311,7 +379,10 @@ pub fn fig9(scale: ExperimentScale) -> Vec<Fig9Row> {
                     max_increase = max_increase.max(inc);
                 }
             }
-            Fig9Row { name, max_increase_pct: max_increase }
+            Fig9Row {
+                name,
+                max_increase_pct: max_increase,
+            }
         })
         .collect()
 }
@@ -323,7 +394,11 @@ pub fn fig9(scale: ExperimentScale) -> Vec<Fig9Row> {
 /// The `(original, PBS)` uniform value streams of one run, for the
 /// randomness battery. `None` for DOP and Greeks (Gaussian-derived, as
 /// the paper excludes them).
-pub fn uniform_stream_pair(id: BenchmarkId, scale: Scale, seed: u64) -> Option<(Vec<f64>, Vec<f64>)> {
+pub fn uniform_stream_pair(
+    id: BenchmarkId,
+    scale: Scale,
+    seed: u64,
+) -> Option<(Vec<f64>, Vec<f64>)> {
     let bench = id.build(scale, seed);
     if !bench.uniform_controlled() {
         return None;
@@ -340,11 +415,20 @@ pub fn uniform_stream_pair(id: BenchmarkId, scale: Scale, seed: u64) -> Option<(
                 _ => McInteg::new(scale, seed).samples,
             } as usize;
             let mut rng = HostRng::new(seed.max(1));
-            let pairs: Vec<(f64, f64)> = (0..samples).map(|_| (rng.next_f64(), rng.next_f64())).collect();
+            let pairs: Vec<(f64, f64)> = (0..samples)
+                .map(|_| (rng.next_f64(), rng.next_f64()))
+                .collect();
             let b = PbsConfig::default().in_flight;
             let original: Vec<f64> = pairs.iter().flat_map(|&(a, c)| [a, c]).collect();
-            let mut pbs: Vec<f64> = pairs[..b.min(samples)].iter().flat_map(|&(a, c)| [a, c]).collect();
-            pbs.extend(pairs[..samples.saturating_sub(b)].iter().flat_map(|&(a, c)| [a, c]));
+            let mut pbs: Vec<f64> = pairs[..b.min(samples)]
+                .iter()
+                .flat_map(|&(a, c)| [a, c])
+                .collect();
+            pbs.extend(
+                pairs[..samples.saturating_sub(b)]
+                    .iter()
+                    .flat_map(|&(a, c)| [a, c]),
+            );
             Some((original, pbs))
         }
         _ => {
@@ -352,10 +436,20 @@ pub fn uniform_stream_pair(id: BenchmarkId, scale: Scale, seed: u64) -> Option<(
             // record consumption order directly. The "original" order is
             // obtained with an effectively infinite in-flight window
             // (every instance bootstraps, consuming its own value).
-            let huge = PbsConfig { in_flight: usize::MAX / 2, ..PbsConfig::default() };
-            let orig = run_functional(&bench.program(), Some(huge), MAX_INSTS).expect("functional run");
-            let pbs = run_functional(&bench.program(), Some(PbsConfig::default()), MAX_INSTS).expect("functional run");
-            let tof = |r: &SimReport| r.prob_consumed.iter().map(|&b| f64::from_bits(b)).collect::<Vec<f64>>();
+            let huge = PbsConfig {
+                in_flight: usize::MAX / 2,
+                ..PbsConfig::default()
+            };
+            let orig =
+                run_functional(&bench.program(), Some(huge), MAX_INSTS).expect("functional run");
+            let pbs = run_functional(&bench.program(), Some(PbsConfig::default()), MAX_INSTS)
+                .expect("functional run");
+            let tof = |r: &SimReport| {
+                r.prob_consumed
+                    .iter()
+                    .map(|&b| f64::from_bits(b))
+                    .collect::<Vec<f64>>()
+            };
             Some((tof(&orig), tof(&pbs)))
         }
     }
@@ -400,10 +494,14 @@ pub fn table3(scale: ExperimentScale) -> Vec<Table3Row> {
                 let seed = BASE_SEED + s * 1000 + 1;
                 let bench = id.build(scale.workload(), seed);
                 name = bench.name();
-                let (orig, pbs) = uniform_stream_pair(id, scale.workload(), seed).expect("uniform benchmark");
+                let (orig, pbs) =
+                    uniform_stream_pair(id, scale.workload(), seed).expect("uniform benchmark");
                 let co = BatteryCounts::of(&run_battery(&orig));
                 let cp = BatteryCounts::of(&run_battery(&pbs));
-                for (i, v) in [co.pass, co.weak, co.fail, cp.pass, cp.weak, cp.fail].iter().enumerate() {
+                for (i, v) in [co.pass, co.weak, co.fail, cp.pass, cp.weak, cp.fail]
+                    .iter()
+                    .enumerate()
+                {
                     counts[i].push(*v as f64);
                 }
             }
@@ -445,7 +543,13 @@ pub fn accuracy(scale: ExperimentScale) -> Vec<AccuracyRow> {
     let pbs_cfg = Some(PbsConfig::default());
 
     // Relative-error benchmarks: DOP, Greeks, Swaptions, MC-integ, PI.
-    for id in [BenchmarkId::Dop, BenchmarkId::Greeks, BenchmarkId::Swaptions, BenchmarkId::McInteg, BenchmarkId::Pi] {
+    for id in [
+        BenchmarkId::Dop,
+        BenchmarkId::Greeks,
+        BenchmarkId::Swaptions,
+        BenchmarkId::McInteg,
+        BenchmarkId::Pi,
+    ] {
         let b = id.build(w, BASE_SEED);
         let base = run_functional(&b.program(), None, MAX_INSTS).expect("run");
         let pbs = run_functional(&b.program(), pbs_cfg.clone(), MAX_INSTS).expect("run");
@@ -459,8 +563,17 @@ pub fn accuracy(scale: ExperimentScale) -> Vec<AccuracyRow> {
         } else {
             (base.output_f64(1), pbs.output_f64(1))
         };
-        let err = a.iter().zip(&p).map(|(&x, &y)| relative_error(x, y)).fold(0.0, f64::max);
-        rows.push(AccuracyRow { name: b.name(), metric: "max relative error", value: err, acceptable: err < 0.02 });
+        let err = a
+            .iter()
+            .zip(&p)
+            .map(|(&x, &y)| relative_error(x, y))
+            .fold(0.0, f64::max);
+        rows.push(AccuracyRow {
+            name: b.name(),
+            metric: "max relative error",
+            value: err,
+            acceptable: err < 0.02,
+        });
     }
 
     // Genetic: success-rate confidence intervals over seeds.
@@ -502,7 +615,12 @@ pub fn accuracy(scale: ExperimentScale) -> Vec<AccuracyRow> {
             ExperimentScale::Bench => 0.20,
             ExperimentScale::Paper => 0.10,
         };
-        rows.push(AccuracyRow { name: "Photon", metric: "normalized RMS", value: rms, acceptable: rms < bound });
+        rows.push(AccuracyRow {
+            name: "Photon",
+            metric: "normalized RMS",
+            value: rms,
+            acceptable: rms < bound,
+        });
     }
 
     // Bandit: reward error.
@@ -511,7 +629,12 @@ pub fn accuracy(scale: ExperimentScale) -> Vec<AccuracyRow> {
         let base = run_functional(&bd.program(), None, MAX_INSTS).expect("run");
         let pbs = run_functional(&bd.program(), pbs_cfg, MAX_INSTS).expect("run");
         let err = relative_error(base.output(0)[0] as f64, pbs.output(0)[0] as f64);
-        rows.push(AccuracyRow { name: "Bandit", metric: "reward relative error", value: err, acceptable: err < 0.02 });
+        rows.push(AccuracyRow {
+            name: "Bandit",
+            metric: "reward relative error",
+            value: err,
+            acceptable: err < 0.02,
+        });
     }
 
     rows
@@ -535,13 +658,44 @@ pub struct CostRow {
 pub fn hardware_cost() -> Vec<CostRow> {
     let mut rows = Vec::new();
     for (desc, cfg) in [
-        ("paper default (4 br × 2 val × 4 in-flight + context)", PbsConfig::default()),
-        ("1 branch, no context", PbsConfig { num_branches: 1, context_tracking: false, ..PbsConfig::default() }),
-        ("8 branches", PbsConfig { num_branches: 8, ..PbsConfig::default() }),
-        ("Category-1 only (1 value)", PbsConfig { values_per_branch: 1, ..PbsConfig::default() }),
-        ("8 in flight", PbsConfig { in_flight: 8, ..PbsConfig::default() }),
+        (
+            "paper default (4 br × 2 val × 4 in-flight + context)",
+            PbsConfig::default(),
+        ),
+        (
+            "1 branch, no context",
+            PbsConfig {
+                num_branches: 1,
+                context_tracking: false,
+                ..PbsConfig::default()
+            },
+        ),
+        (
+            "8 branches",
+            PbsConfig {
+                num_branches: 8,
+                ..PbsConfig::default()
+            },
+        ),
+        (
+            "Category-1 only (1 value)",
+            PbsConfig {
+                values_per_branch: 1,
+                ..PbsConfig::default()
+            },
+        ),
+        (
+            "8 in flight",
+            PbsConfig {
+                in_flight: 8,
+                ..PbsConfig::default()
+            },
+        ),
     ] {
-        rows.push(CostRow { config: desc.to_string(), bytes: probranch_core::cost::total_bytes(&cfg) });
+        rows.push(CostRow {
+            config: desc.to_string(),
+            bytes: probranch_core::cost::total_bytes(&cfg),
+        });
     }
     rows
 }
@@ -567,8 +721,10 @@ mod tests {
     #[test]
     fn table1_matches_paper() {
         let rows = table1();
-        let by_name: std::collections::HashMap<&str, (bool, bool)> =
-            rows.iter().map(|r| (r.name, (r.predication, r.cfd))).collect();
+        let by_name: std::collections::HashMap<&str, (bool, bool)> = rows
+            .iter()
+            .map(|r| (r.name, (r.predication, r.cfd)))
+            .collect();
         assert_eq!(by_name["DOP"], (true, true));
         assert_eq!(by_name["Greeks"], (false, true));
         assert_eq!(by_name["Swaptions"], (false, false));
@@ -592,7 +748,11 @@ mod tests {
     #[test]
     fn fig6_pbs_reduces_mpki_everywhere() {
         for r in fig6(ExperimentScale::Smoke) {
-            assert!(r.tournament_pbs <= r.tournament_base + 0.05, "{}: {r:?}", r.name);
+            assert!(
+                r.tournament_pbs <= r.tournament_base + 0.05,
+                "{}: {r:?}",
+                r.name
+            );
             assert!(r.tage_pbs <= r.tage_base + 0.05, "{}: {r:?}", r.name);
         }
     }
@@ -614,7 +774,12 @@ mod tests {
             // may consume a different number of values under PBS; the
             // counts must still be in the same ballpark.
             let ratio = o.len() as f64 / p.len() as f64;
-            assert!((0.7..1.4).contains(&ratio), "{id:?}: {} vs {}", o.len(), p.len());
+            assert!(
+                (0.7..1.4).contains(&ratio),
+                "{id:?}: {} vs {}",
+                o.len(),
+                p.len()
+            );
             assert!(o.iter().all(|v| (0.0..1.0).contains(v)), "{id:?}");
         }
         assert!(uniform_stream_pair(BenchmarkId::Dop, Scale::Smoke, 3).is_none());

@@ -31,7 +31,10 @@ pub fn fig1(rows: &[Fig1Row]) -> String {
         "{:<12} {:>12.1} {:>18.1} {:>18.1}\n",
         "average",
         rows.iter().map(|r| r.prob_branch_share).sum::<f64>() / n,
-        rows.iter().map(|r| r.tournament_mispredict_share).sum::<f64>() / n,
+        rows.iter()
+            .map(|r| r.tournament_mispredict_share)
+            .sum::<f64>()
+            / n,
         rows.iter().map(|r| r.tage_mispredict_share).sum::<f64>() / n,
     ));
     s
@@ -41,7 +44,10 @@ pub fn fig1(rows: &[Fig1Row]) -> String {
 pub fn table1(rows: &[Table1Row]) -> String {
     let mut s = String::new();
     s.push_str("TABLE I — applicability of predication and CFD\n");
-    s.push_str(&format!("{:<12} {:>11} {:>6}   notes\n", "benchmark", "predication", "cfd"));
+    s.push_str(&format!(
+        "{:<12} {:>11} {:>6}   notes\n",
+        "benchmark", "predication", "cfd"
+    ));
     s.push_str(&rule(70));
     s.push('\n');
     for r in rows {
@@ -51,7 +57,13 @@ pub fn table1(rows: &[Table1Row]) -> String {
             .as_deref()
             .or(r.cfd_reason.as_deref())
             .unwrap_or("");
-        s.push_str(&format!("{:<12} {:>11} {:>6}   {}\n", r.name, mark(r.predication), mark(r.cfd), note));
+        s.push_str(&format!(
+            "{:<12} {:>11} {:>6}   {}\n",
+            r.name,
+            mark(r.predication),
+            mark(r.cfd),
+            note
+        ));
     }
     s
 }
@@ -186,7 +198,10 @@ pub fn table3(rows: &[Table3Row]) -> String {
 pub fn accuracy(rows: &[AccuracyRow]) -> String {
     let mut s = String::new();
     s.push_str("§VII-D — output accuracy under PBS\n");
-    s.push_str(&format!("{:<12} {:<26} {:>12} {:>8}\n", "benchmark", "metric", "value", "ok"));
+    s.push_str(&format!(
+        "{:<12} {:<26} {:>12} {:>8}\n",
+        "benchmark", "metric", "value", "ok"
+    ));
     s.push_str(&rule(62));
     s.push('\n');
     for r in rows {
@@ -229,7 +244,12 @@ mod tests {
 
     #[test]
     fn table3_interval_format() {
-        let s = Summary { mean: 44.0, lo: 40.2, hi: 48.4, n: 7 };
+        let s = Summary {
+            mean: 44.0,
+            lo: 40.2,
+            hi: 48.4,
+            n: 7,
+        };
         assert_eq!(interval(&s), "48-40");
     }
 }

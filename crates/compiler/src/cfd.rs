@@ -75,7 +75,7 @@ pub fn analyze(program: &Program, branch_pc: u32) -> Applicability {
             matches!(i, Inst::Call { target } if *target == entry)
                 && innermost_containing(&loops, pc).is_some()
         });
-        let branch_loop_inside_fn = enclosing.map_or(false, |l| l.head >= entry && l.latch <= ret);
+        let branch_loop_inside_fn = enclosing.is_some_and(|l| l.head >= entry && l.latch <= ret);
         if called_from_loop && !branch_loop_inside_fn {
             return Err(Inapplicable::ReachedThroughCall);
         }
@@ -111,7 +111,15 @@ pub fn analyze(program: &Program, branch_pc: u32) -> Applicability {
 pub fn analyze_program(program: &Program) -> Vec<(u32, Applicability)> {
     program
         .iter()
-        .filter(|(_, i)| matches!(i, Inst::ProbJmp { target: Some(_), .. }))
+        .filter(|(_, i)| {
+            matches!(
+                i,
+                Inst::ProbJmp {
+                    target: Some(_),
+                    ..
+                }
+            )
+        })
         .map(|(pc, _)| (pc, analyze(program, pc)))
         .collect()
 }
@@ -254,7 +262,10 @@ mod tests {
         for bench in all_benchmarks(Scale::Smoke, 1) {
             let verdicts = analyze_program(&bench.program());
             assert!(!verdicts.is_empty(), "{} has prob branches", bench.name());
-            by_name.insert(bench.name().to_string(), verdicts.iter().all(|(_, v)| v.is_ok()));
+            by_name.insert(
+                bench.name().to_string(),
+                verdicts.iter().all(|(_, v)| v.is_ok()),
+            );
         }
         for (name, ok) in expected {
             assert_eq!(by_name[name], ok, "{name}");

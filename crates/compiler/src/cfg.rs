@@ -42,16 +42,17 @@ impl Cfg {
                 Inst::Jf { target }
                 | Inst::Br { target, .. }
                 | Inst::Jmp { target }
-                | Inst::ProbJmp { target: Some(target), .. } => {
+                | Inst::ProbJmp {
+                    target: Some(target),
+                    ..
+                } => {
                     leaders[*target as usize] = true;
                     if pc + 1 < len {
                         leaders[(pc + 1) as usize] = true;
                     }
                 }
-                Inst::Call { .. } | Inst::Ret | Inst::Halt => {
-                    if pc + 1 < len {
-                        leaders[(pc + 1) as usize] = true;
-                    }
+                Inst::Call { .. } | Inst::Ret | Inst::Halt if pc + 1 < len => {
+                    leaders[(pc + 1) as usize] = true;
                 }
                 _ => {}
             }
@@ -71,7 +72,12 @@ impl Cfg {
             let mut succs = Vec::new();
             match last {
                 Inst::Jmp { target } => succs.push(*target),
-                Inst::Jf { target } | Inst::Br { target, .. } | Inst::ProbJmp { target: Some(target), .. } => {
+                Inst::Jf { target }
+                | Inst::Br { target, .. }
+                | Inst::ProbJmp {
+                    target: Some(target),
+                    ..
+                } => {
                     succs.push(*target);
                     if end < len {
                         succs.push(end);

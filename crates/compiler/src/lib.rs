@@ -67,7 +67,9 @@ impl std::fmt::Display for Inapplicable {
             Inapplicable::UsesProbValue => "probabilistic value is used inside the region",
             Inapplicable::RegionTooLarge => "region too large for profitable if-conversion",
             Inapplicable::ReachedThroughCall => "branch reached through a non-inlined call",
-            Inapplicable::LoopCarriedDependence => "control-dependent code carries a loop dependence",
+            Inapplicable::LoopCarriedDependence => {
+                "control-dependent code carries a loop dependence"
+            }
             Inapplicable::NotInLoop => "branch is not inside a loop",
             Inapplicable::IrregularRegion => "no single-exit guarded region",
         };

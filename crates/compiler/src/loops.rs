@@ -44,7 +44,10 @@ pub fn find_loops(program: &Program) -> Vec<Loop> {
             Inst::Jf { target }
             | Inst::Br { target, .. }
             | Inst::Jmp { target }
-            | Inst::ProbJmp { target: Some(target), .. } => *target,
+            | Inst::ProbJmp {
+                target: Some(target),
+                ..
+            } => *target,
             _ => continue,
         };
         if target <= pc {
@@ -54,12 +57,18 @@ pub fn find_loops(program: &Program) -> Vec<Loop> {
             }
         }
     }
-    by_head.into_iter().map(|(head, latch)| Loop { head, latch }).collect()
+    by_head
+        .into_iter()
+        .map(|(head, latch)| Loop { head, latch })
+        .collect()
 }
 
 /// The innermost loop containing `pc`, if any.
 pub fn innermost_containing(loops: &[Loop], pc: u32) -> Option<&Loop> {
-    loops.iter().filter(|l| l.contains(pc)).min_by_key(|l| l.len())
+    loops
+        .iter()
+        .filter(|l| l.contains(pc))
+        .min_by_key(|l| l.len())
 }
 
 #[cfg(test)]

@@ -29,16 +29,24 @@ pub struct Region {
 /// `branch_pc` (must be `br`, `jf` or a jumping `prob_jmp` with a
 /// forward target).
 pub fn guarded_region(program: &Program, branch_pc: u32) -> Result<Region, Inapplicable> {
-    let inst = program.get(branch_pc).ok_or(Inapplicable::IrregularRegion)?;
+    let inst = program
+        .get(branch_pc)
+        .ok_or(Inapplicable::IrregularRegion)?;
     let target = match inst {
         Inst::Br { target, .. } | Inst::Jf { target } => *target,
-        Inst::ProbJmp { target: Some(target), .. } => *target,
+        Inst::ProbJmp {
+            target: Some(target),
+            ..
+        } => *target,
         _ => return Err(Inapplicable::IrregularRegion),
     };
     if target <= branch_pc {
         return Err(Inapplicable::IrregularRegion);
     }
-    Ok(Region { start: branch_pc + 1, end: target })
+    Ok(Region {
+        start: branch_pc + 1,
+        end: target,
+    })
 }
 
 /// The probabilistic registers of the branch at `branch_pc` (the
@@ -68,7 +76,10 @@ fn condition_regs(program: &Program, branch_pc: u32) -> Vec<Reg> {
                         regs.push(*prob);
                         break;
                     }
-                    Inst::ProbJmp { prob: Some(p), target: None } => regs.push(*p),
+                    Inst::ProbJmp {
+                        prob: Some(p),
+                        target: None,
+                    } => regs.push(*p),
                     _ => break,
                 }
             }
@@ -94,9 +105,12 @@ pub fn analyze(program: &Program, branch_pc: u32) -> Applicability {
         match inst {
             Inst::Call { .. } | Inst::Ret => return Err(Inapplicable::ContainsCall),
             Inst::Load { .. } | Inst::Store { .. } => return Err(Inapplicable::ContainsStore),
-            Inst::Br { .. } | Inst::Jf { .. } | Inst::Jmp { .. } | Inst::ProbJmp { target: Some(_), .. } => {
-                return Err(Inapplicable::NestedControl)
-            }
+            Inst::Br { .. }
+            | Inst::Jf { .. }
+            | Inst::Jmp { .. }
+            | Inst::ProbJmp {
+                target: Some(_), ..
+            } => return Err(Inapplicable::NestedControl),
             _ => {}
         }
         if inst.uses().iter().any(|u| cond.contains(&u)) {
@@ -111,7 +125,15 @@ pub fn analyze(program: &Program, branch_pc: u32) -> Applicability {
 pub fn analyze_program(program: &Program) -> Vec<(u32, Applicability)> {
     program
         .iter()
-        .filter(|(_, i)| matches!(i, Inst::ProbJmp { target: Some(_), .. }))
+        .filter(|(_, i)| {
+            matches!(
+                i,
+                Inst::ProbJmp {
+                    target: Some(_),
+                    ..
+                }
+            )
+        })
         .map(|(pc, _)| (pc, analyze(program, pc)))
         .collect()
 }
@@ -153,10 +175,25 @@ fn materialize_predicate(
             CmpOp::Le => (rhs, lhs, true),
             CmpOp::Eq | CmpOp::Ne => return Err(Inapplicable::IrregularRegion),
         };
-        out.push(Inst::FpBin { op: probranch_isa::FpBinOp::Sub, dst: scratch, src1: a, src2: b });
-        out.push(Inst::Alu { op: AluOp::Shr, dst, src1: scratch, src2: Operand::Imm(63) });
+        out.push(Inst::FpBin {
+            op: probranch_isa::FpBinOp::Sub,
+            dst: scratch,
+            src1: a,
+            src2: b,
+        });
+        out.push(Inst::Alu {
+            op: AluOp::Shr,
+            dst,
+            src1: scratch,
+            src2: Operand::Imm(63),
+        });
         if negate {
-            out.push(Inst::Alu { op: AluOp::Xor, dst, src1: dst, src2: Operand::Imm(1) });
+            out.push(Inst::Alu {
+                op: AluOp::Xor,
+                dst,
+                src1: dst,
+                src2: Operand::Imm(1),
+            });
         }
     } else {
         let (a, b, negate) = match op {
@@ -165,29 +202,62 @@ fn materialize_predicate(
             CmpOp::Gt | CmpOp::Le => (None, Some((lhs, rhs)), matches!(op, CmpOp::Le)),
             CmpOp::Eq | CmpOp::Ne => {
                 // |a - b| <u 1
-                out.push(Inst::Alu { op: AluOp::Sub, dst: scratch, src1: lhs, src2: rhs });
-                out.push(Inst::Alu { op: AluOp::Sltu, dst, src1: scratch, src2: Operand::Imm(1) });
+                out.push(Inst::Alu {
+                    op: AluOp::Sub,
+                    dst: scratch,
+                    src1: lhs,
+                    src2: rhs,
+                });
+                out.push(Inst::Alu {
+                    op: AluOp::Sltu,
+                    dst,
+                    src1: scratch,
+                    src2: Operand::Imm(1),
+                });
                 if op == CmpOp::Ne {
-                    out.push(Inst::Alu { op: AluOp::Xor, dst, src1: dst, src2: Operand::Imm(1) });
+                    out.push(Inst::Alu {
+                        op: AluOp::Xor,
+                        dst,
+                        src1: dst,
+                        src2: Operand::Imm(1),
+                    });
                 }
                 return Ok(());
             }
         };
         if let Some((l, r)) = a {
-            out.push(Inst::Alu { op: AluOp::Slt, dst, src1: l, src2: r });
+            out.push(Inst::Alu {
+                op: AluOp::Slt,
+                dst,
+                src1: l,
+                src2: r,
+            });
         } else if let Some((l, r)) = b {
             // Gt/Le need swapped operands, which requires rhs in a register.
             let r = match r {
                 Operand::Reg(reg) => reg,
                 Operand::Imm(v) => {
-                    out.push(Inst::Li { dst: scratch, imm: v as u64 });
+                    out.push(Inst::Li {
+                        dst: scratch,
+                        imm: v as u64,
+                    });
                     scratch
                 }
             };
-            out.push(Inst::Alu { op: AluOp::Slt, dst, src1: r, src2: Operand::Reg(l) });
+            out.push(Inst::Alu {
+                op: AluOp::Slt,
+                dst,
+                src1: r,
+                src2: Operand::Reg(l),
+            });
         }
         if negate {
-            out.push(Inst::Alu { op: AluOp::Xor, dst, src1: dst, src2: Operand::Imm(1) });
+            out.push(Inst::Alu {
+                op: AluOp::Xor,
+                dst,
+                src1: dst,
+                src2: Operand::Imm(1),
+            });
         }
     }
     Ok(())
@@ -208,7 +278,9 @@ pub fn if_convert(program: &Program, branch_pc: u32) -> Result<Program, Inapplic
     analyze(program, branch_pc)?;
     let region = guarded_region(program, branch_pc)?;
     let (op, fp, lhs, rhs) = match *program.fetch(branch_pc) {
-        Inst::Br { op, fp, lhs, rhs, .. } => (op, fp, lhs, rhs),
+        Inst::Br {
+            op, fp, lhs, rhs, ..
+        } => (op, fp, lhs, rhs),
         // jf/prob_jmp would need the paired compare; restrict the
         // transform to fused branches (analysis still covers all forms).
         _ => return Err(Inapplicable::IrregularRegion),
@@ -245,7 +317,12 @@ pub fn if_convert(program: &Program, branch_pc: u32) -> Result<Program, Inapplic
             // Merge point: restore saved values where the branch would
             // have skipped the region.
             for (d, s) in defs.iter().zip(saves) {
-                new_insts.push(Inst::CMov { dst: *d, cond: pred, if_true: *s, if_false: *d });
+                new_insts.push(Inst::CMov {
+                    dst: *d,
+                    cond: pred,
+                    if_true: *s,
+                    if_false: *d,
+                });
             }
             new_insts.push(*inst);
         } else {

@@ -30,7 +30,9 @@ pub fn check_program(program: &Program) -> Vec<(u32, Safety)> {
     let loops = find_loops(program);
     let mut out = Vec::new();
     for (pc, inst) in program.iter() {
-        let Inst::ProbCmp { rhs, .. } = inst else { continue };
+        let Inst::ProbCmp { rhs, .. } = inst else {
+            continue;
+        };
         let verdict = match rhs {
             Operand::Reg(r) => {
                 // Safe iff the operand is set up once, outside every
@@ -43,7 +45,9 @@ pub fn check_program(program: &Program) -> Vec<(u32, Safety)> {
                     .filter(|(p, i)| *p != pc && i.defs().contains(*r))
                     .map(|(p, _)| p)
                     .collect();
-                let def_in_loop = defs.iter().any(|&d| innermost_containing(&loops, d).is_some());
+                let def_in_loop = defs
+                    .iter()
+                    .any(|&d| innermost_containing(&loops, d).is_some());
                 if def_in_loop || defs.len() > 1 {
                     Safety::VariesInContext
                 } else {
@@ -59,7 +63,9 @@ pub fn check_program(program: &Program) -> Vec<(u32, Safety)> {
 
 /// Whether all probabilistic compares in the program are safe.
 pub fn all_safe(program: &Program) -> bool {
-    check_program(program).iter().all(|(_, s)| *s == Safety::ConstantInContext)
+    check_program(program)
+        .iter()
+        .all(|(_, s)| *s == Safety::ConstantInContext)
 }
 
 #[cfg(test)]

@@ -22,9 +22,25 @@ pub fn detect_xorshift_roots(program: &Program) -> Vec<u32> {
     let mut roots = Vec::new();
     for pc in 2..insts.len() {
         let (a, b, c) = (&insts[pc - 2], &insts[pc - 1], &insts[pc]);
-        let (Inst::Alu { op: shr_op, dst: t, src1: s1, src2: Operand::Imm(27) },
-             Inst::Alu { op: xor_op, dst: s2, src1: s3, src2: Operand::Reg(t2) },
-             Inst::Alu { op: mul_op, src1: s4, .. }) = (a, b, c)
+        let (
+            Inst::Alu {
+                op: shr_op,
+                dst: t,
+                src1: s1,
+                src2: Operand::Imm(27),
+            },
+            Inst::Alu {
+                op: xor_op,
+                dst: s2,
+                src1: s3,
+                src2: Operand::Reg(t2),
+            },
+            Inst::Alu {
+                op: mul_op,
+                src1: s4,
+                ..
+            },
+        ) = (a, b, c)
         else {
             continue;
         };
@@ -117,7 +133,11 @@ pub fn find_candidates(program: &Program, taint: &Taint) -> Vec<ProbCandidate> {
             Inst::Br { lhs, rhs, .. } => {
                 let prob = pick_prob_reg(taint, lhs, rhs);
                 if let Some(prob_reg) = prob {
-                    out.push(ProbCandidate { cmp_pc: pc, jmp_pc: pc, prob_reg });
+                    out.push(ProbCandidate {
+                        cmp_pc: pc,
+                        jmp_pc: pc,
+                        prob_reg,
+                    });
                 }
             }
             Inst::Cmp { lhs, rhs, .. } => {
@@ -125,7 +145,11 @@ pub fn find_candidates(program: &Program, taint: &Taint) -> Vec<ProbCandidate> {
                 // code always pairs them adjacently).
                 if let Some(Inst::Jf { .. }) = insts.get(pc as usize + 1) {
                     if let Some(prob_reg) = pick_prob_reg(taint, lhs, rhs) {
-                        out.push(ProbCandidate { cmp_pc: pc, jmp_pc: pc + 1, prob_reg });
+                        out.push(ProbCandidate {
+                            cmp_pc: pc,
+                            jmp_pc: pc + 1,
+                            prob_reg,
+                        });
                     }
                 }
             }
@@ -174,9 +198,45 @@ pub fn mark_probabilistic(program: &Program, taint: &Taint) -> Program {
         };
         let _: CmpOp = op;
         insts[cand.cmp_pc as usize] = Inst::ProbCmp { op, fp, prob, rhs };
-        insts[cand.jmp_pc as usize] = Inst::ProbJmp { prob: None, target: Some(target) };
+        insts[cand.jmp_pc as usize] = Inst::ProbJmp {
+            prob: None,
+            target: Some(target),
+        };
     }
     Program::new(insts).expect("1:1 rewrite preserves validity")
+}
+
+/// Test-only access to the workload RNG emitter without a dependency
+/// cycle: a minimal re-implementation of the xorshift sequence the
+/// detector matches.
+#[cfg(test)]
+pub(crate) fn test_rng() -> TestRng {
+    TestRng
+}
+
+#[cfg(test)]
+pub(crate) struct TestRng;
+
+#[cfg(test)]
+impl TestRng {
+    pub fn init(&self, b: &mut probranch_isa::ProgramBuilder, seed: u64) {
+        b.li(Reg::R24, seed as i64);
+        b.li(Reg::R25, 0x2545F4914F6CDD1Du64 as i64);
+        b.lif(Reg::R26, 1.0 / (1u64 << 53) as f64);
+    }
+
+    pub fn next_f64(&self, b: &mut probranch_isa::ProgramBuilder, out: Reg) {
+        b.shr(Reg::R27, Reg::R24, 12)
+            .xor(Reg::R24, Reg::R24, Reg::R27);
+        b.shl(Reg::R27, Reg::R24, 25)
+            .xor(Reg::R24, Reg::R24, Reg::R27);
+        b.shr(Reg::R27, Reg::R24, 27)
+            .xor(Reg::R24, Reg::R24, Reg::R27);
+        b.mul(out, Reg::R24, Reg::R25);
+        b.shr(out, out, 11);
+        b.itof(out, out);
+        b.fmul(out, out, Reg::R26);
+    }
 }
 
 #[cfg(test)]
@@ -220,7 +280,10 @@ mod tests {
         let taint = propagate(&p, &roots);
         assert!(taint.regs.contains(&Reg::R3), "the drawn value is tainted");
         assert!(!taint.regs.contains(&Reg::R2), "the loop counter is not");
-        assert!(!taint.regs.contains(&Reg::R1), "the hit counter is control- not data-dependent");
+        assert!(
+            !taint.regs.contains(&Reg::R1),
+            "the hit counter is control- not data-dependent"
+        );
         assert!(!taint.memory);
     }
 
@@ -239,14 +302,19 @@ mod tests {
         let p = unmarked_kernel();
         let taint = propagate(&p, &detect_xorshift_roots(&p));
         let marked = mark_probabilistic(&p, &taint);
-        assert_eq!(marked.branch_counts().0, 1, "one probabilistic branch after marking");
+        assert_eq!(
+            marked.branch_counts().0,
+            1,
+            "one probabilistic branch after marking"
+        );
         assert_eq!(p.branch_counts().0, 0);
         // Functional equivalence without PBS hardware.
         let a = probranch_pipeline::run_functional(&p, None, 1_000_000).unwrap();
         let b = probranch_pipeline::run_functional(&marked, None, 1_000_000).unwrap();
         assert_eq!(a.output(0), b.output(0));
         // And the marked version engages PBS.
-        let c = probranch_pipeline::run_functional(&marked, Some(Default::default()), 1_000_000).unwrap();
+        let c = probranch_pipeline::run_functional(&marked, Some(Default::default()), 1_000_000)
+            .unwrap();
         assert!(c.pbs.unwrap().directed > 400);
     }
 
@@ -269,7 +337,10 @@ mod tests {
         assert_eq!(roots, vec![2]);
         let taint = propagate(&p, &roots);
         assert!(taint.memory);
-        assert!(taint.regs.contains(&Reg::R6), "load from tainted memory is tainted");
+        assert!(
+            taint.regs.contains(&Reg::R6),
+            "load from tainted memory is tainted"
+        );
         assert_eq!(find_candidates(&p, &taint).len(), 1);
     }
 
@@ -299,35 +370,5 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
-    }
-}
-
-/// Test-only access to the workload RNG emitter without a dependency
-/// cycle: a minimal re-implementation of the xorshift sequence the
-/// detector matches.
-#[cfg(test)]
-pub(crate) fn test_rng() -> TestRng {
-    TestRng
-}
-
-#[cfg(test)]
-pub(crate) struct TestRng;
-
-#[cfg(test)]
-impl TestRng {
-    pub fn init(&self, b: &mut probranch_isa::ProgramBuilder, seed: u64) {
-        b.li(Reg::R24, seed as i64);
-        b.li(Reg::R25, 0x2545F4914F6CDD1Du64 as i64);
-        b.lif(Reg::R26, 1.0 / (1u64 << 53) as f64);
-    }
-
-    pub fn next_f64(&self, b: &mut probranch_isa::ProgramBuilder, out: Reg) {
-        b.shr(Reg::R27, Reg::R24, 12).xor(Reg::R24, Reg::R24, Reg::R27);
-        b.shl(Reg::R27, Reg::R24, 25).xor(Reg::R24, Reg::R24, Reg::R27);
-        b.shr(Reg::R27, Reg::R24, 27).xor(Reg::R24, Reg::R24, Reg::R27);
-        b.mul(out, Reg::R24, Reg::R25);
-        b.shr(out, out, 11);
-        b.itof(out, out);
-        b.fmul(out, out, Reg::R26);
     }
 }

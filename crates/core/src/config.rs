@@ -44,7 +44,10 @@ impl PbsConfig {
     /// configuration bug, caught eagerly).
     pub fn validated(self) -> PbsConfig {
         assert!(self.num_branches > 0, "num_branches must be positive");
-        assert!(self.values_per_branch > 0, "values_per_branch must be positive");
+        assert!(
+            self.values_per_branch > 0,
+            "values_per_branch must be positive"
+        );
         assert!(self.in_flight > 0, "in_flight must be positive");
         self
     }
@@ -71,6 +74,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "in_flight must be positive")]
     fn validated_rejects_zero_inflight() {
-        PbsConfig { in_flight: 0, ..PbsConfig::default() }.validated();
+        PbsConfig {
+            in_flight: 0,
+            ..PbsConfig::default()
+        }
+        .validated();
     }
 }

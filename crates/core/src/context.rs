@@ -30,7 +30,10 @@ pub struct ContextKey {
 
 impl ContextKey {
     /// The context of code executing outside any tracked loop.
-    pub const TOP_LEVEL: ContextKey = ContextKey { loop_gen: 0, function_pc: 0 };
+    pub const TOP_LEVEL: ContextKey = ContextKey {
+        loop_gen: 0,
+        function_pc: 0,
+    };
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -55,7 +58,10 @@ pub struct ContextTable {
 impl ContextTable {
     /// Creates an empty table.
     pub fn new() -> ContextTable {
-        ContextTable { entries: Vec::with_capacity(2), next_gen: 1 }
+        ContextTable {
+            entries: Vec::with_capacity(2),
+            next_gen: 1,
+        }
     }
 
     /// Observes a conditional or unconditional direct branch. Backward
@@ -86,13 +92,23 @@ impl ContextTable {
                 }
                 let gen = self.next_gen;
                 self.next_gen += 1;
-                self.entries.push(LoopEntry { loop_pc: target, last_pc: pc, function_pc: 0, call_counter: 0, gen });
+                self.entries.push(LoopEntry {
+                    loop_pc: target,
+                    last_pc: pc,
+                    function_pc: 0,
+                    call_counter: 0,
+                    gen,
+                });
             }
         } else {
             // Not-taken backward branch at or beyond Last-PC terminates
             // the loop — and any loop allocated after it ("if the older
             // loop terminates before the newer one, both are erased").
-            if let Some(pos) = self.entries.iter().position(|e| e.loop_pc == target && pc >= e.last_pc) {
+            if let Some(pos) = self
+                .entries
+                .iter()
+                .position(|e| e.loop_pc == target && pc >= e.last_pc)
+            {
                 for e in self.entries.drain(pos..) {
                     flushed.push(e.gen);
                 }
@@ -130,8 +146,14 @@ impl ContextTable {
         match self.entries.last() {
             None => Some(ContextKey::TOP_LEVEL),
             Some(e) => match e.call_counter {
-                0 => Some(ContextKey { loop_gen: e.gen, function_pc: 0 }),
-                1 => Some(ContextKey { loop_gen: e.gen, function_pc: e.function_pc }),
+                0 => Some(ContextKey {
+                    loop_gen: e.gen,
+                    function_pc: 0,
+                }),
+                1 => Some(ContextKey {
+                    loop_gen: e.gen,
+                    function_pc: e.function_pc,
+                }),
                 _ => None,
             },
         }
@@ -200,7 +222,10 @@ mod tests {
         t.observe_branch(50, 10, false);
         t.observe_branch(50, 10, true);
         let g2 = t.active_gen().unwrap();
-        assert_ne!(g1, g2, "a re-executed loop is a new context (paper Section IV)");
+        assert_ne!(
+            g1, g2,
+            "a re-executed loop is a new context (paper Section IV)"
+        );
     }
 
     #[test]
@@ -262,14 +287,26 @@ mod tests {
         let gen = t.active_gen().unwrap();
         t.observe_call(42);
         let key = t.current().unwrap();
-        assert_eq!(key, ContextKey { loop_gen: gen, function_pc: 42 });
+        assert_eq!(
+            key,
+            ContextKey {
+                loop_gen: gen,
+                function_pc: 42
+            }
+        );
         // Second-level call: PBS unsupported.
         t.observe_call(43);
         assert_eq!(t.current(), None);
         t.observe_ret();
         assert_eq!(t.current().unwrap().function_pc, 42);
         t.observe_ret();
-        assert_eq!(t.current().unwrap(), ContextKey { loop_gen: gen, function_pc: 0 });
+        assert_eq!(
+            t.current().unwrap(),
+            ContextKey {
+                loop_gen: gen,
+                function_pc: 0
+            }
+        );
     }
 
     #[test]
@@ -281,7 +318,10 @@ mod tests {
         t.observe_ret();
         t.observe_call(77);
         let k2 = t.current().unwrap();
-        assert_ne!(k1, k2, "paper: different paths to the same branch get separate entries");
+        assert_ne!(
+            k1, k2,
+            "paper: different paths to the same branch get separate entries"
+        );
     }
 
     #[test]
@@ -293,7 +333,10 @@ mod tests {
         // inner branch) must NOT terminate the loop...
         t.observe_branch(55, 10, true);
         let flushed = t.observe_branch(50, 10, false);
-        assert!(flushed.is_empty(), "pc 50 < Last-PC 55 is not a termination");
+        assert!(
+            flushed.is_empty(),
+            "pc 50 < Last-PC 55 is not a termination"
+        );
         // ...but one at Last-PC does.
         let flushed = t.observe_branch(55, 10, false);
         assert_eq!(flushed.len(), 1);

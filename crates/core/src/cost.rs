@@ -43,7 +43,11 @@ pub fn total_bits(config: &PbsConfig) -> usize {
     let btb_and_swap = config.num_branches * (per_branch_btb + per_branch_swap);
     // In-flight instances record both the compare and the jump.
     let in_flight = config.in_flight * 2 * IN_FLIGHT_ENTRY_BITS;
-    let context = if config.context_tracking { CONTEXT_ENTRIES * CONTEXT_ENTRY_BITS } else { 0 };
+    let context = if config.context_tracking {
+        CONTEXT_ENTRIES * CONTEXT_ENTRY_BITS
+    } else {
+        0
+    };
     btb_and_swap + in_flight + context
 }
 
@@ -68,7 +72,11 @@ mod tests {
         // probabilistic values and four in-flight copies of the branch,
         // we need 51 bytes in the Prob-BTB, SwapTable, and
         // Prob-in-Flight."
-        let c = PbsConfig { num_branches: 1, context_tracking: false, ..PbsConfig::default() };
+        let c = PbsConfig {
+            num_branches: 1,
+            context_tracking: false,
+            ..PbsConfig::default()
+        };
         assert_eq!(total_bytes(&c), 51);
     }
 
@@ -76,7 +84,11 @@ mod tests {
     fn four_branches_without_in_flight_or_context_is_about_140_bytes() {
         // Paper: "Assuming four probabilistic branches, this amounts to
         // about 140 bytes."
-        let c = PbsConfig { context_tracking: false, in_flight: 4, ..PbsConfig::default() };
+        let c = PbsConfig {
+            context_tracking: false,
+            in_flight: 4,
+            ..PbsConfig::default()
+        };
         let btb_and_swap_bits = total_bits(&c) - 4 * 2 * IN_FLIGHT_ENTRY_BITS;
         let bytes = btb_and_swap_bits as f64 / 8.0;
         assert!((bytes - 140.0).abs() < 1.0, "{bytes} bytes");
@@ -90,17 +102,32 @@ mod tests {
 
     #[test]
     fn cost_scales_linearly_in_branches() {
-        let base = PbsConfig { context_tracking: false, ..PbsConfig::default() };
-        let b1 = total_bits(&PbsConfig { num_branches: 1, ..base.clone() });
-        let b2 = total_bits(&PbsConfig { num_branches: 2, ..base.clone() });
-        let b3 = total_bits(&PbsConfig { num_branches: 3, ..base });
+        let base = PbsConfig {
+            context_tracking: false,
+            ..PbsConfig::default()
+        };
+        let b1 = total_bits(&PbsConfig {
+            num_branches: 1,
+            ..base.clone()
+        });
+        let b2 = total_bits(&PbsConfig {
+            num_branches: 2,
+            ..base.clone()
+        });
+        let b3 = total_bits(&PbsConfig {
+            num_branches: 3,
+            ..base
+        });
         assert_eq!(b2 - b1, b3 - b2);
     }
 
     #[test]
     fn category1_only_design_is_cheaper() {
         // A Category-1-only unit needs no SwapTable entries.
-        let cat1 = PbsConfig { values_per_branch: 1, ..PbsConfig::default() };
+        let cat1 = PbsConfig {
+            values_per_branch: 1,
+            ..PbsConfig::default()
+        };
         assert!(total_bytes(&cat1) < total_bytes(&PbsConfig::default()));
     }
 }

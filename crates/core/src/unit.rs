@@ -142,13 +142,19 @@ impl PbsUnit {
     ) -> BranchResolution {
         if values.len() > self.config.values_per_branch {
             self.stats.bypassed += 1;
-            return BranchResolution::Bypassed { taken: taken_new, reason: BypassReason::TooManyValues };
+            return BranchResolution::Bypassed {
+                taken: taken_new,
+                reason: BypassReason::TooManyValues,
+            };
         }
         let context = match self.context.current() {
             Some(c) => c,
             None => {
                 self.stats.bypassed += 1;
-                return BranchResolution::Bypassed { taken: taken_new, reason: BypassReason::DeepCall };
+                return BranchResolution::Bypassed {
+                    taken: taken_new,
+                    reason: BypassReason::DeepCall,
+                };
             }
         };
 
@@ -163,14 +169,20 @@ impl PbsUnit {
             match self.btb.allocate(pc, context, const_val) {
                 Some(entry) => {
                     entry.executed = 1;
-                    entry.in_flight.push(InFlightRecord { values: values.to_vec(), outcome: taken_new });
+                    entry.in_flight.push(InFlightRecord {
+                        values: values.to_vec(),
+                        outcome: taken_new,
+                    });
                     self.stats.allocations += 1;
                     self.stats.bootstrap += 1;
                     return BranchResolution::Bootstrap { taken: taken_new };
                 }
                 None => {
                     self.stats.bypassed += 1;
-                    return BranchResolution::Bypassed { taken: taken_new, reason: BypassReason::BtbCapacity };
+                    return BranchResolution::Bypassed {
+                        taken: taken_new,
+                        reason: BypassReason::BtbCapacity,
+                    };
                 }
             }
         }
@@ -178,7 +190,10 @@ impl PbsUnit {
         let entry = self.btb.find_mut(pc, context).expect("checked above");
         if entry.risky {
             self.stats.bypassed += 1;
-            return BranchResolution::Bypassed { taken: taken_new, reason: BypassReason::ConstValChanged };
+            return BranchResolution::Bypassed {
+                taken: taken_new,
+                reason: BypassReason::ConstValChanged,
+            };
         }
         if entry.const_val != const_val {
             // Safety rule (Section V-C1): a changing comparison condition
@@ -187,13 +202,19 @@ impl PbsUnit {
             entry.in_flight.clear();
             self.stats.const_val_demotions += 1;
             self.stats.bypassed += 1;
-            return BranchResolution::Bypassed { taken: taken_new, reason: BypassReason::ConstValChanged };
+            return BranchResolution::Bypassed {
+                taken: taken_new,
+                reason: BypassReason::ConstValChanged,
+            };
         }
 
         entry.executed += 1;
         if entry.in_flight.len() < in_flight_limit {
             // Initialization: record while the pipeline window fills.
-            entry.in_flight.push(InFlightRecord { values: values.to_vec(), outcome: taken_new });
+            entry.in_flight.push(InFlightRecord {
+                values: values.to_vec(),
+                outcome: taken_new,
+            });
             self.stats.bootstrap += 1;
             return BranchResolution::Bootstrap { taken: taken_new };
         }
@@ -201,9 +222,15 @@ impl PbsUnit {
         // Steady state: pull the oldest record to direct this instance,
         // store the new values for a future instance.
         let old = entry.in_flight.pop().expect("FIFO at in-flight limit");
-        entry.in_flight.push(InFlightRecord { values: values.to_vec(), outcome: taken_new });
+        entry.in_flight.push(InFlightRecord {
+            values: values.to_vec(),
+            outcome: taken_new,
+        });
         self.stats.directed += 1;
-        BranchResolution::Directed { taken: old.outcome, swapped: old.values }
+        BranchResolution::Directed {
+            taken: old.outcome,
+            swapped: old.values,
+        }
     }
 
     /// Observes a direct branch (conditional or not) for loop detection.
@@ -342,7 +369,10 @@ mod tests {
         let r = u.execute_prob_branch(10, &[1, 2, 3], 5, true);
         assert_eq!(
             r,
-            BranchResolution::Bypassed { taken: true, reason: BypassReason::TooManyValues }
+            BranchResolution::Bypassed {
+                taken: true,
+                reason: BypassReason::TooManyValues
+            }
         );
     }
 
@@ -353,7 +383,13 @@ mod tests {
             drive(&mut u, pc, 1);
         }
         let r = u.execute_prob_branch(50, &[0], 100, true);
-        assert_eq!(r, BranchResolution::Bypassed { taken: true, reason: BypassReason::BtbCapacity });
+        assert_eq!(
+            r,
+            BranchResolution::Bypassed {
+                taken: true,
+                reason: BypassReason::BtbCapacity
+            }
+        );
     }
 
     #[test]
@@ -362,12 +398,24 @@ mod tests {
         drive(&mut u, 10, 6);
         // The comparison constant changes: correctness rule violated.
         let r = u.execute_prob_branch(10, &[7], 200, true);
-        assert_eq!(r, BranchResolution::Bypassed { taken: true, reason: BypassReason::ConstValChanged });
+        assert_eq!(
+            r,
+            BranchResolution::Bypassed {
+                taken: true,
+                reason: BypassReason::ConstValChanged
+            }
+        );
         assert_eq!(u.stats().const_val_demotions, 1);
         // Still demoted on subsequent executions, even with the original
         // constant.
         let r = u.execute_prob_branch(10, &[8], 100, true);
-        assert_eq!(r, BranchResolution::Bypassed { taken: true, reason: BypassReason::ConstValChanged });
+        assert_eq!(
+            r,
+            BranchResolution::Bypassed {
+                taken: true,
+                reason: BypassReason::ConstValChanged
+            }
+        );
     }
 
     #[test]
@@ -396,7 +444,13 @@ mod tests {
         assert_eq!(u.stats().bootstrap, 1);
         u.observe_call(8); // depth 2
         let r = u.execute_prob_branch(10, &[1], 100, true);
-        assert_eq!(r, BranchResolution::Bypassed { taken: true, reason: BypassReason::DeepCall });
+        assert_eq!(
+            r,
+            BranchResolution::Bypassed {
+                taken: true,
+                reason: BypassReason::DeepCall
+            }
+        );
         u.observe_ret();
         let r = u.execute_prob_branch(10, &[2], 100, true);
         assert!(!matches!(r, BranchResolution::Bypassed { .. }));
@@ -463,12 +517,18 @@ mod tests {
 
     #[test]
     fn context_disabled_unit_ignores_loops() {
-        let mut u = PbsUnit::new(PbsConfig { context_tracking: false, ..PbsConfig::default() });
+        let mut u = PbsUnit::new(PbsConfig {
+            context_tracking: false,
+            ..PbsConfig::default()
+        });
         u.observe_branch(90, 5, true);
         drive(&mut u, 10, 8);
         u.observe_branch(90, 5, false); // would flush with tracking on
         let r = u.execute_prob_branch(10, &[9], 100, true);
-        assert!(r.is_directed(), "no context tracking: entry survives loop end");
+        assert!(
+            r.is_directed(),
+            "no context tracking: entry survives loop end"
+        );
         assert_eq!(u.stats().context_flushes, 0);
     }
 }

@@ -130,13 +130,19 @@ impl ProgramBuilder {
 
     /// Emits `li dst, imm` (64-bit integer immediate).
     pub fn li(&mut self, dst: Reg, imm: impl Into<i64>) -> &mut Self {
-        self.emit(Inst::Li { dst, imm: imm.into() as u64 })
+        self.emit(Inst::Li {
+            dst,
+            imm: imm.into() as u64,
+        })
     }
 
     /// Emits `li dst, value` with an `f64` immediate stored as its bit
     /// pattern.
     pub fn lif(&mut self, dst: Reg, value: f64) -> &mut Self {
-        self.emit(Inst::Li { dst, imm: value.to_bits() })
+        self.emit(Inst::Li {
+            dst,
+            imm: value.to_bits(),
+        })
     }
 
     /// Emits `mov dst, src`.
@@ -172,7 +178,12 @@ impl ProgramBuilder {
 
     /// Emits `cmov dst, cond, if_true, if_false`.
     pub fn cmov(&mut self, dst: Reg, cond: Reg, if_true: Reg, if_false: Reg) -> &mut Self {
-        self.emit(Inst::CMov { dst, cond, if_true, if_false })
+        self.emit(Inst::CMov {
+            dst,
+            cond,
+            if_true,
+            if_false,
+        })
     }
 
     // ---- memory ---------------------------------------------------------
@@ -191,12 +202,22 @@ impl ProgramBuilder {
 
     /// Emits `cmp op, lhs, rhs` (integer compare, sets the flag).
     pub fn cmp(&mut self, op: CmpOp, lhs: Reg, rhs: impl Into<Operand>) -> &mut Self {
-        self.emit(Inst::Cmp { op, fp: false, lhs, rhs: rhs.into() })
+        self.emit(Inst::Cmp {
+            op,
+            fp: false,
+            lhs,
+            rhs: rhs.into(),
+        })
     }
 
     /// Emits `fcmp op, lhs, rhs` (floating-point compare).
     pub fn fcmp(&mut self, op: CmpOp, lhs: Reg, rhs: Reg) -> &mut Self {
-        self.emit(Inst::Cmp { op, fp: true, lhs, rhs: Operand::Reg(rhs) })
+        self.emit(Inst::Cmp {
+            op,
+            fp: true,
+            lhs,
+            rhs: Operand::Reg(rhs),
+        })
     }
 
     /// Emits `jf label` (jump if the flag is set).
@@ -206,12 +227,30 @@ impl ProgramBuilder {
 
     /// Emits a fused integer compare-and-branch to `label`.
     pub fn br(&mut self, op: CmpOp, lhs: Reg, rhs: impl Into<Operand>, label: Label) -> &mut Self {
-        self.emit_fixup(Inst::Br { op, fp: false, lhs, rhs: rhs.into(), target: 0 }, label)
+        self.emit_fixup(
+            Inst::Br {
+                op,
+                fp: false,
+                lhs,
+                rhs: rhs.into(),
+                target: 0,
+            },
+            label,
+        )
     }
 
     /// Emits a fused floating-point compare-and-branch to `label`.
     pub fn fbr(&mut self, op: CmpOp, lhs: Reg, rhs: Reg, label: Label) -> &mut Self {
-        self.emit_fixup(Inst::Br { op, fp: true, lhs, rhs: Operand::Reg(rhs), target: 0 }, label)
+        self.emit_fixup(
+            Inst::Br {
+                op,
+                fp: true,
+                lhs,
+                rhs: Operand::Reg(rhs),
+                target: 0,
+            },
+            label,
+        )
     }
 
     /// Emits `jmp label`.
@@ -233,23 +272,42 @@ impl ProgramBuilder {
 
     /// Emits `prob_cmp op, prob, rhs` (integer).
     pub fn prob_cmp(&mut self, op: CmpOp, prob: Reg, rhs: impl Into<Operand>) -> &mut Self {
-        self.emit(Inst::ProbCmp { op, fp: false, prob, rhs: rhs.into() })
+        self.emit(Inst::ProbCmp {
+            op,
+            fp: false,
+            prob,
+            rhs: rhs.into(),
+        })
     }
 
     /// Emits `prob_fcmp op, prob, rhs` (floating point).
     pub fn prob_fcmp(&mut self, op: CmpOp, prob: Reg, rhs: Reg) -> &mut Self {
-        self.emit(Inst::ProbCmp { op, fp: true, prob, rhs: Operand::Reg(rhs) })
+        self.emit(Inst::ProbCmp {
+            op,
+            fp: true,
+            prob,
+            rhs: Operand::Reg(rhs),
+        })
     }
 
     /// Emits the final, jumping `prob_jmp [prob,] label`.
     pub fn prob_jmp(&mut self, prob: Option<Reg>, label: Label) -> &mut Self {
-        self.emit_fixup(Inst::ProbJmp { prob, target: Some(0) }, label)
+        self.emit_fixup(
+            Inst::ProbJmp {
+                prob,
+                target: Some(0),
+            },
+            label,
+        )
     }
 
     /// Emits an intermediate `prob_jmp prob` that registers one more
     /// probabilistic register but does not jump (paper: `Immediate` = 0).
     pub fn prob_jmp_mid(&mut self, prob: Reg) -> &mut Self {
-        self.emit(Inst::ProbJmp { prob: Some(prob), target: None })
+        self.emit(Inst::ProbJmp {
+            prob: Some(prob),
+            target: None,
+        })
     }
 
     // ---- misc ------------------------------------------------------------

@@ -79,7 +79,16 @@ struct Fields {
 
 impl Fields {
     fn new(opcode: u8) -> Fields {
-        Fields { opcode, ra: 0, rb: 0, rc: 0, cmp: 0, flags: 0, imm32: 0, ext: None }
+        Fields {
+            opcode,
+            ra: 0,
+            rb: 0,
+            rc: 0,
+            cmp: 0,
+            flags: 0,
+            imm32: 0,
+            ext: None,
+        }
     }
 
     fn word(&self) -> u64 {
@@ -121,7 +130,12 @@ fn encode_offset(f: &mut Fields, v: i64) {
 /// Encodes one instruction, appending one or two words to `out`.
 pub fn encode_inst(inst: &Inst, out: &mut Vec<u64>) {
     let mut f = match *inst {
-        Inst::Alu { op, dst, src1, src2 } => {
+        Inst::Alu {
+            op,
+            dst,
+            src1,
+            src2,
+        } => {
             let mut f = Fields::new(OP_ALU_BASE + op as u8);
             f.ra = dst.index() as u8;
             f.rc = src1.index() as u8;
@@ -144,7 +158,12 @@ pub fn encode_inst(inst: &Inst, out: &mut Vec<u64>) {
             f.rb = src.index() as u8;
             f
         }
-        Inst::FpBin { op, dst, src1, src2 } => {
+        Inst::FpBin {
+            op,
+            dst,
+            src1,
+            src2,
+        } => {
             let mut f = Fields::new(OP_FPBIN_BASE + op as u8);
             f.ra = dst.index() as u8;
             f.rb = src2.index() as u8;
@@ -169,7 +188,12 @@ pub fn encode_inst(inst: &Inst, out: &mut Vec<u64>) {
             f.rb = src.index() as u8;
             f
         }
-        Inst::CMov { dst, cond, if_true, if_false } => {
+        Inst::CMov {
+            dst,
+            cond,
+            if_true,
+            if_false,
+        } => {
             let mut f = Fields::new(OP_CMOV);
             f.ra = dst.index() as u8;
             f.rb = cond.index() as u8;
@@ -207,7 +231,13 @@ pub fn encode_inst(inst: &Inst, out: &mut Vec<u64>) {
             f.imm32 = target;
             f
         }
-        Inst::Br { op, fp, lhs, rhs, target } => {
+        Inst::Br {
+            op,
+            fp,
+            lhs,
+            rhs,
+            target,
+        } => {
             // Branch targets always use the extension word because the
             // inline field may be occupied by the immediate operand.
             let mut f = Fields::new(OP_BR);
@@ -319,7 +349,10 @@ struct Decoder<'a> {
 
 impl Decoder<'_> {
     fn err(&self, msg: impl Into<String>) -> IsaError {
-        IsaError::Decode { word: self.pos, msg: msg.into() }
+        IsaError::Decode {
+            word: self.pos,
+            msg: msg.into(),
+        }
     }
 
     fn next_inst(&mut self) -> Result<Inst, IsaError> {
@@ -327,10 +360,10 @@ impl Decoder<'_> {
         let start = self.pos;
         self.pos += 1;
         let ext = if w & EXT_BIT != 0 {
-            let e = *self
-                .words
-                .get(self.pos)
-                .ok_or(IsaError::Decode { word: start, msg: "missing extension word".into() })?;
+            let e = *self.words.get(self.pos).ok_or(IsaError::Decode {
+                word: start,
+                msg: "missing extension word".into(),
+            })?;
             self.pos += 1;
             Some(e)
         } else {
@@ -378,17 +411,34 @@ impl Decoder<'_> {
                 dst: reg_a(w),
                 imm: ext.unwrap_or(imm32(w) as i32 as i64 as u64),
             },
-            OP_MOV => Inst::Mov { dst: reg_a(w), src: reg_b(w) },
-            OP_ITOF => Inst::IntToFp { dst: reg_a(w), src: reg_b(w) },
-            OP_FTOI => Inst::FpToInt { dst: reg_a(w), src: reg_b(w) },
+            OP_MOV => Inst::Mov {
+                dst: reg_a(w),
+                src: reg_b(w),
+            },
+            OP_ITOF => Inst::IntToFp {
+                dst: reg_a(w),
+                src: reg_b(w),
+            },
+            OP_FTOI => Inst::FpToInt {
+                dst: reg_a(w),
+                src: reg_b(w),
+            },
             OP_CMOV => Inst::CMov {
                 dst: reg_a(w),
                 cond: reg_b(w),
                 if_true: reg_c(w),
                 if_false: Reg::new(imm32(w) & 0x1f).expect("5-bit field"),
             },
-            OP_LD => Inst::Load { dst: reg_a(w), base: reg_b(w), offset: offset() },
-            OP_ST => Inst::Store { src: reg_a(w), base: reg_b(w), offset: offset() },
+            OP_LD => Inst::Load {
+                dst: reg_a(w),
+                base: reg_b(w),
+                offset: offset(),
+            },
+            OP_ST => Inst::Store {
+                src: reg_a(w),
+                base: reg_b(w),
+                offset: offset(),
+            },
             OP_CMP if prob => Inst::ProbCmp {
                 op: cmp_from_code((w >> 23) & 0x7),
                 fp,
@@ -402,8 +452,16 @@ impl Decoder<'_> {
                 rhs: operand_b(),
             },
             OP_JF if prob => {
-                let preg = if w & OPB_REG_BIT != 0 { Some(reg_b(w)) } else { None };
-                let target = if w & AUX_BIT != 0 { None } else { Some(imm32(w)) };
+                let preg = if w & OPB_REG_BIT != 0 {
+                    Some(reg_b(w))
+                } else {
+                    None
+                };
+                let target = if w & AUX_BIT != 0 {
+                    None
+                } else {
+                    Some(imm32(w))
+                };
                 Inst::ProbJmp { prob: preg, target }
             }
             OP_JF if w & PROB_BIT != 0 && w & AUX_BIT != 0 => {
@@ -418,17 +476,33 @@ impl Decoder<'_> {
                 let rhs = if w & OPB_REG_BIT != 0 {
                     Operand::Reg(reg_b(w))
                 } else {
-                    Operand::Imm(ext.ok_or_else(|| self.err("br immediate requires extension word"))? as i64)
+                    Operand::Imm(
+                        ext.ok_or_else(|| self.err("br immediate requires extension word"))? as i64,
+                    )
                 };
-                Inst::Br { op, fp, lhs: reg_a(w), rhs, target: imm32(w) }
+                Inst::Br {
+                    op,
+                    fp,
+                    lhs: reg_a(w),
+                    rhs,
+                    target: imm32(w),
+                }
             }
             OP_JMP => Inst::Jmp { target: imm32(w) },
             OP_CALL => Inst::Call { target: imm32(w) },
             OP_RET => Inst::Ret,
-            OP_OUT => Inst::Out { src: reg_a(w), port: imm32(w) as u16 },
+            OP_OUT => Inst::Out {
+                src: reg_a(w),
+                port: imm32(w) as u16,
+            },
             OP_HALT => Inst::Halt,
             OP_NOP => Inst::Nop,
-            other => return Err(IsaError::Decode { word: start, msg: format!("unknown opcode {other}") }),
+            other => {
+                return Err(IsaError::Decode {
+                    word: start,
+                    msg: format!("unknown opcode {other}"),
+                })
+            }
         };
         Ok(inst)
     }
@@ -448,7 +522,12 @@ impl Decoder<'_> {
 ///
 /// Returns [`IsaError::Decode`] for unknown opcodes or truncated images.
 pub fn decode(words: &[u64]) -> Result<Vec<Inst>, IsaError> {
-    Decoder { words, pos: 0, prob_support: true }.run()
+    Decoder {
+        words,
+        pos: 0,
+        prob_support: true,
+    }
+    .run()
 }
 
 /// Decodes a binary image the way a machine *without* PBS support would:
@@ -460,7 +539,12 @@ pub fn decode(words: &[u64]) -> Result<Vec<Inst>, IsaError> {
 ///
 /// Returns [`IsaError::Decode`] for unknown opcodes or truncated images.
 pub fn decode_compat(words: &[u64]) -> Result<Vec<Inst>, IsaError> {
-    Decoder { words, pos: 0, prob_support: false }.run()
+    Decoder {
+        words,
+        pos: 0,
+        prob_support: false,
+    }
+    .run()
 }
 
 #[cfg(test)]
@@ -476,34 +560,133 @@ mod tests {
 
     #[test]
     fn round_trip_representatives() {
-        round_trip(Inst::Alu { op: AluOp::Add, dst: Reg::R1, src1: Reg::R2, src2: Operand::imm(-7) });
-        round_trip(Inst::Alu { op: AluOp::Xor, dst: Reg::R31, src1: Reg::R30, src2: Operand::Reg(Reg::R29) });
-        round_trip(Inst::Alu { op: AluOp::Mul, dst: Reg::R1, src1: Reg::R1, src2: Operand::imm(i64::MIN) });
-        round_trip(Inst::Li { dst: Reg::R9, imm: u64::MAX });
-        round_trip(Inst::Li { dst: Reg::R9, imm: 12 });
-        round_trip(Inst::Li { dst: Reg::R9, imm: 0.5f64.to_bits() });
-        round_trip(Inst::Mov { dst: Reg::R1, src: Reg::R2 });
-        round_trip(Inst::FpBin { op: FpBinOp::Div, dst: Reg::R1, src1: Reg::R2, src2: Reg::R3 });
-        round_trip(Inst::FpUn { op: FpUnOp::Cos, dst: Reg::R1, src: Reg::R2 });
-        round_trip(Inst::IntToFp { dst: Reg::R1, src: Reg::R2 });
-        round_trip(Inst::FpToInt { dst: Reg::R1, src: Reg::R2 });
-        round_trip(Inst::CMov { dst: Reg::R1, cond: Reg::R2, if_true: Reg::R3, if_false: Reg::R31 });
-        round_trip(Inst::Load { dst: Reg::R1, base: Reg::R2, offset: -(1 << 40) });
-        round_trip(Inst::Store { src: Reg::R1, base: Reg::R2, offset: 8 });
-        round_trip(Inst::Cmp { op: CmpOp::Le, fp: false, lhs: Reg::R1, rhs: Operand::imm(3) });
-        round_trip(Inst::Cmp { op: CmpOp::Lt, fp: true, lhs: Reg::R1, rhs: Operand::Imm(0.5f64.to_bits() as i64) });
+        round_trip(Inst::Alu {
+            op: AluOp::Add,
+            dst: Reg::R1,
+            src1: Reg::R2,
+            src2: Operand::imm(-7),
+        });
+        round_trip(Inst::Alu {
+            op: AluOp::Xor,
+            dst: Reg::R31,
+            src1: Reg::R30,
+            src2: Operand::Reg(Reg::R29),
+        });
+        round_trip(Inst::Alu {
+            op: AluOp::Mul,
+            dst: Reg::R1,
+            src1: Reg::R1,
+            src2: Operand::imm(i64::MIN),
+        });
+        round_trip(Inst::Li {
+            dst: Reg::R9,
+            imm: u64::MAX,
+        });
+        round_trip(Inst::Li {
+            dst: Reg::R9,
+            imm: 12,
+        });
+        round_trip(Inst::Li {
+            dst: Reg::R9,
+            imm: 0.5f64.to_bits(),
+        });
+        round_trip(Inst::Mov {
+            dst: Reg::R1,
+            src: Reg::R2,
+        });
+        round_trip(Inst::FpBin {
+            op: FpBinOp::Div,
+            dst: Reg::R1,
+            src1: Reg::R2,
+            src2: Reg::R3,
+        });
+        round_trip(Inst::FpUn {
+            op: FpUnOp::Cos,
+            dst: Reg::R1,
+            src: Reg::R2,
+        });
+        round_trip(Inst::IntToFp {
+            dst: Reg::R1,
+            src: Reg::R2,
+        });
+        round_trip(Inst::FpToInt {
+            dst: Reg::R1,
+            src: Reg::R2,
+        });
+        round_trip(Inst::CMov {
+            dst: Reg::R1,
+            cond: Reg::R2,
+            if_true: Reg::R3,
+            if_false: Reg::R31,
+        });
+        round_trip(Inst::Load {
+            dst: Reg::R1,
+            base: Reg::R2,
+            offset: -(1 << 40),
+        });
+        round_trip(Inst::Store {
+            src: Reg::R1,
+            base: Reg::R2,
+            offset: 8,
+        });
+        round_trip(Inst::Cmp {
+            op: CmpOp::Le,
+            fp: false,
+            lhs: Reg::R1,
+            rhs: Operand::imm(3),
+        });
+        round_trip(Inst::Cmp {
+            op: CmpOp::Lt,
+            fp: true,
+            lhs: Reg::R1,
+            rhs: Operand::Imm(0.5f64.to_bits() as i64),
+        });
         round_trip(Inst::Jf { target: 123 });
-        round_trip(Inst::Br { op: CmpOp::Ge, fp: false, lhs: Reg::R1, rhs: Operand::imm(0), target: 77 });
-        round_trip(Inst::Br { op: CmpOp::Gt, fp: true, lhs: Reg::R1, rhs: Operand::Reg(Reg::R2), target: 1 });
+        round_trip(Inst::Br {
+            op: CmpOp::Ge,
+            fp: false,
+            lhs: Reg::R1,
+            rhs: Operand::imm(0),
+            target: 77,
+        });
+        round_trip(Inst::Br {
+            op: CmpOp::Gt,
+            fp: true,
+            lhs: Reg::R1,
+            rhs: Operand::Reg(Reg::R2),
+            target: 1,
+        });
         round_trip(Inst::Jmp { target: 1 });
         round_trip(Inst::Call { target: 0 });
         round_trip(Inst::Ret);
-        round_trip(Inst::ProbCmp { op: CmpOp::Lt, fp: true, prob: Reg::R4, rhs: Operand::Imm(0.25f64.to_bits() as i64) });
-        round_trip(Inst::ProbCmp { op: CmpOp::Gt, fp: false, prob: Reg::R4, rhs: Operand::Reg(Reg::R9) });
-        round_trip(Inst::ProbJmp { prob: Some(Reg::R5), target: Some(1) });
-        round_trip(Inst::ProbJmp { prob: None, target: Some(1) });
-        round_trip(Inst::ProbJmp { prob: Some(Reg::R5), target: None });
-        round_trip(Inst::Out { src: Reg::R1, port: 65535 });
+        round_trip(Inst::ProbCmp {
+            op: CmpOp::Lt,
+            fp: true,
+            prob: Reg::R4,
+            rhs: Operand::Imm(0.25f64.to_bits() as i64),
+        });
+        round_trip(Inst::ProbCmp {
+            op: CmpOp::Gt,
+            fp: false,
+            prob: Reg::R4,
+            rhs: Operand::Reg(Reg::R9),
+        });
+        round_trip(Inst::ProbJmp {
+            prob: Some(Reg::R5),
+            target: Some(1),
+        });
+        round_trip(Inst::ProbJmp {
+            prob: None,
+            target: Some(1),
+        });
+        round_trip(Inst::ProbJmp {
+            prob: Some(Reg::R5),
+            target: None,
+        });
+        round_trip(Inst::Out {
+            src: Reg::R1,
+            port: 65535,
+        });
         round_trip(Inst::Halt);
         round_trip(Inst::Nop);
     }
@@ -514,11 +697,39 @@ mod tests {
         // software that contains probabilistic branches by treating
         // probabilistic branches as normal branches."
         let mut words = Vec::new();
-        encode_inst(&Inst::ProbCmp { op: CmpOp::Lt, fp: true, prob: Reg::R4, rhs: Operand::Reg(Reg::R2) }, &mut words);
-        encode_inst(&Inst::ProbJmp { prob: Some(Reg::R5), target: Some(9) }, &mut words);
-        encode_inst(&Inst::ProbJmp { prob: Some(Reg::R5), target: None }, &mut words);
+        encode_inst(
+            &Inst::ProbCmp {
+                op: CmpOp::Lt,
+                fp: true,
+                prob: Reg::R4,
+                rhs: Operand::Reg(Reg::R2),
+            },
+            &mut words,
+        );
+        encode_inst(
+            &Inst::ProbJmp {
+                prob: Some(Reg::R5),
+                target: Some(9),
+            },
+            &mut words,
+        );
+        encode_inst(
+            &Inst::ProbJmp {
+                prob: Some(Reg::R5),
+                target: None,
+            },
+            &mut words,
+        );
         let legacy = decode_compat(&words).unwrap();
-        assert_eq!(legacy[0], Inst::Cmp { op: CmpOp::Lt, fp: true, lhs: Reg::R4, rhs: Operand::Reg(Reg::R2) });
+        assert_eq!(
+            legacy[0],
+            Inst::Cmp {
+                op: CmpOp::Lt,
+                fp: true,
+                lhs: Reg::R4,
+                rhs: Operand::Reg(Reg::R2)
+            }
+        );
         assert_eq!(legacy[1], Inst::Jf { target: 9 });
         assert_eq!(legacy[2], Inst::Nop);
     }
@@ -526,8 +737,17 @@ mod tests {
     #[test]
     fn compat_equals_full_decode_for_regular_programs() {
         let insts = vec![
-            Inst::Li { dst: Reg::R1, imm: 3 },
-            Inst::Br { op: CmpOp::Lt, fp: false, lhs: Reg::R1, rhs: Operand::imm(10), target: 0 },
+            Inst::Li {
+                dst: Reg::R1,
+                imm: 3,
+            },
+            Inst::Br {
+                op: CmpOp::Lt,
+                fp: false,
+                lhs: Reg::R1,
+                rhs: Operand::imm(10),
+                target: 0,
+            },
             Inst::Halt,
         ];
         let p = Program::new(insts.clone()).unwrap();
@@ -539,7 +759,13 @@ mod tests {
     #[test]
     fn truncated_image_errors() {
         let mut words = Vec::new();
-        encode_inst(&Inst::Li { dst: Reg::R1, imm: 1 << 40 }, &mut words);
+        encode_inst(
+            &Inst::Li {
+                dst: Reg::R1,
+                imm: 1 << 40,
+            },
+            &mut words,
+        );
         assert_eq!(words.len(), 2);
         let e = decode(&words[..1]).unwrap_err();
         assert!(matches!(e, IsaError::Decode { .. }));
@@ -554,10 +780,26 @@ mod tests {
     #[test]
     fn prob_bit_is_set_only_on_prob_instructions() {
         let mut w1 = Vec::new();
-        encode_inst(&Inst::Cmp { op: CmpOp::Lt, fp: false, lhs: Reg::R1, rhs: Operand::imm(0) }, &mut w1);
+        encode_inst(
+            &Inst::Cmp {
+                op: CmpOp::Lt,
+                fp: false,
+                lhs: Reg::R1,
+                rhs: Operand::imm(0),
+            },
+            &mut w1,
+        );
         assert_eq!(w1[0] & PROB_BIT, 0);
         let mut w2 = Vec::new();
-        encode_inst(&Inst::ProbCmp { op: CmpOp::Lt, fp: false, prob: Reg::R1, rhs: Operand::imm(0) }, &mut w2);
+        encode_inst(
+            &Inst::ProbCmp {
+                op: CmpOp::Lt,
+                fp: false,
+                prob: Reg::R1,
+                rhs: Operand::imm(0),
+            },
+            &mut w2,
+        );
         assert_ne!(w2[0] & PROB_BIT, 0);
         // The two encodings differ only in the PROB bit.
         assert_eq!(w1[0], w2[0] & !PROB_BIT);

@@ -44,11 +44,16 @@ pub enum IsaError {
 impl fmt::Display for IsaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            IsaError::InvalidRegister(r) => write!(f, "invalid register index {r} (expected 0..32)"),
+            IsaError::InvalidRegister(r) => {
+                write!(f, "invalid register index {r} (expected 0..32)")
+            }
             IsaError::UnboundLabel(l) => write!(f, "label `{l}` referenced but never bound"),
             IsaError::DuplicateLabel(l) => write!(f, "label `{l}` bound more than once"),
             IsaError::TargetOutOfRange { pc, target, len } => {
-                write!(f, "instruction at pc {pc} targets {target}, outside program of length {len}")
+                write!(
+                    f,
+                    "instruction at pc {pc} targets {target}, outside program of length {len}"
+                )
             }
             IsaError::MissingHalt => write!(f, "program contains no halt instruction"),
             IsaError::EmptyProgram => write!(f, "program is empty"),
@@ -80,7 +85,11 @@ mod tests {
 
     #[test]
     fn display_target_out_of_range() {
-        let e = IsaError::TargetOutOfRange { pc: 3, target: 42, len: 10 };
+        let e = IsaError::TargetOutOfRange {
+            pc: 3,
+            target: 42,
+            len: 10,
+        };
         let s = e.to_string();
         assert!(s.contains("pc 3") && s.contains("42") && s.contains("10"));
     }

@@ -309,14 +309,20 @@ impl Inst {
                 l.push(src1);
                 op_use(&mut l, src2);
             }
-            Inst::Mov { src, .. } | Inst::FpUn { src, .. } | Inst::IntToFp { src, .. } | Inst::FpToInt { src, .. } => {
-                l.push(src)
-            }
+            Inst::Mov { src, .. }
+            | Inst::FpUn { src, .. }
+            | Inst::IntToFp { src, .. }
+            | Inst::FpToInt { src, .. } => l.push(src),
             Inst::FpBin { src1, src2, .. } => {
                 l.push(src1);
                 l.push(src2);
             }
-            Inst::CMov { cond, if_true, if_false, .. } => {
+            Inst::CMov {
+                cond,
+                if_true,
+                if_false,
+                ..
+            } => {
                 l.push(cond);
                 l.push(if_true);
                 l.push(if_false);
@@ -346,7 +352,12 @@ impl Inst {
     pub fn is_cond_branch(&self) -> bool {
         matches!(
             self,
-            Inst::Br { .. } | Inst::Jf { .. } | Inst::ProbJmp { target: Some(_), .. }
+            Inst::Br { .. }
+                | Inst::Jf { .. }
+                | Inst::ProbJmp {
+                    target: Some(_),
+                    ..
+                }
         )
     }
 
@@ -364,7 +375,10 @@ impl Inst {
                 | Inst::Jmp { .. }
                 | Inst::Call { .. }
                 | Inst::Ret
-                | Inst::ProbJmp { target: Some(_), .. }
+                | Inst::ProbJmp {
+                    target: Some(_),
+                    ..
+                }
                 | Inst::Halt
         )
     }
@@ -394,7 +408,9 @@ impl Inst {
                 *target = new;
                 true
             }
-            Inst::ProbJmp { target: Some(t), .. } => {
+            Inst::ProbJmp {
+                target: Some(t), ..
+            } => {
                 *t = new;
                 true
             }
@@ -410,7 +426,9 @@ impl Inst {
                 AluOp::Div | AluOp::Rem => ExecClass::IntDiv,
                 _ => ExecClass::IntAlu,
             },
-            Inst::Li { .. } | Inst::Mov { .. } | Inst::CMov { .. } | Inst::Cmp { .. } => ExecClass::IntAlu,
+            Inst::Li { .. } | Inst::Mov { .. } | Inst::CMov { .. } | Inst::Cmp { .. } => {
+                ExecClass::IntAlu
+            }
             Inst::FpBin { op, .. } => match op {
                 FpBinOp::Mul => ExecClass::FpMul,
                 FpBinOp::Div => ExecClass::FpDiv,
@@ -464,11 +482,21 @@ mod tests {
 
     #[test]
     fn defs_and_uses_alu() {
-        let i = Inst::Alu { op: AluOp::Add, dst: Reg::R1, src1: Reg::R2, src2: Operand::Reg(Reg::R3) };
+        let i = Inst::Alu {
+            op: AluOp::Add,
+            dst: Reg::R1,
+            src1: Reg::R2,
+            src2: Operand::Reg(Reg::R3),
+        };
         assert!(i.defs().contains(Reg::R1));
         assert!(i.uses().contains(Reg::R2));
         assert!(i.uses().contains(Reg::R3));
-        let i = Inst::Alu { op: AluOp::Add, dst: Reg::R1, src1: Reg::R2, src2: Operand::imm(5) };
+        let i = Inst::Alu {
+            op: AluOp::Add,
+            dst: Reg::R1,
+            src1: Reg::R2,
+            src2: Operand::imm(5),
+        };
         assert_eq!(i.uses().len(), 1);
     }
 
@@ -477,23 +505,49 @@ mod tests {
         // Paper Section V-A3: "Both PROB_CMP and PROB_JMP specify
         // probabilistic registers as destination registers to preserve the
         // read-after-write dependency."
-        let i = Inst::ProbCmp { op: CmpOp::Lt, fp: true, prob: Reg::R4, rhs: Operand::Reg(Reg::R5) };
+        let i = Inst::ProbCmp {
+            op: CmpOp::Lt,
+            fp: true,
+            prob: Reg::R4,
+            rhs: Operand::Reg(Reg::R5),
+        };
         assert!(i.defs().contains(Reg::R4));
         assert!(i.uses().contains(Reg::R4));
-        let j = Inst::ProbJmp { prob: Some(Reg::R6), target: Some(10) };
+        let j = Inst::ProbJmp {
+            prob: Some(Reg::R6),
+            target: Some(10),
+        };
         assert!(j.defs().contains(Reg::R6));
         assert!(j.uses().contains(Reg::R6));
-        let j = Inst::ProbJmp { prob: None, target: Some(10) };
+        let j = Inst::ProbJmp {
+            prob: None,
+            target: Some(10),
+        };
         assert!(j.defs().is_empty());
         assert!(j.uses().is_empty());
     }
 
     #[test]
     fn branch_classification() {
-        assert!(Inst::Br { op: CmpOp::Lt, fp: false, lhs: Reg::R1, rhs: Operand::imm(0), target: 3 }.is_cond_branch());
+        assert!(Inst::Br {
+            op: CmpOp::Lt,
+            fp: false,
+            lhs: Reg::R1,
+            rhs: Operand::imm(0),
+            target: 3
+        }
+        .is_cond_branch());
         assert!(Inst::Jf { target: 3 }.is_cond_branch());
-        assert!(Inst::ProbJmp { prob: None, target: Some(3) }.is_cond_branch());
-        assert!(!Inst::ProbJmp { prob: Some(Reg::R1), target: None }.is_cond_branch());
+        assert!(Inst::ProbJmp {
+            prob: None,
+            target: Some(3)
+        }
+        .is_cond_branch());
+        assert!(!Inst::ProbJmp {
+            prob: Some(Reg::R1),
+            target: None
+        }
+        .is_cond_branch());
         assert!(!Inst::Jmp { target: 3 }.is_cond_branch());
         assert!(Inst::Jmp { target: 3 }.is_control());
         assert!(Inst::Ret.is_control());
@@ -502,30 +556,101 @@ mod tests {
 
     #[test]
     fn prob_classification() {
-        assert!(Inst::ProbCmp { op: CmpOp::Lt, fp: false, prob: Reg::R1, rhs: Operand::imm(0) }.is_prob());
-        assert!(Inst::ProbJmp { prob: None, target: None }.is_prob());
-        assert!(!Inst::Cmp { op: CmpOp::Lt, fp: false, lhs: Reg::R1, rhs: Operand::imm(0) }.is_prob());
+        assert!(Inst::ProbCmp {
+            op: CmpOp::Lt,
+            fp: false,
+            prob: Reg::R1,
+            rhs: Operand::imm(0)
+        }
+        .is_prob());
+        assert!(Inst::ProbJmp {
+            prob: None,
+            target: None
+        }
+        .is_prob());
+        assert!(!Inst::Cmp {
+            op: CmpOp::Lt,
+            fp: false,
+            lhs: Reg::R1,
+            rhs: Operand::imm(0)
+        }
+        .is_prob());
     }
 
     #[test]
     fn target_get_and_set() {
-        let mut i = Inst::Br { op: CmpOp::Lt, fp: false, lhs: Reg::R1, rhs: Operand::imm(0), target: 3 };
+        let mut i = Inst::Br {
+            op: CmpOp::Lt,
+            fp: false,
+            lhs: Reg::R1,
+            rhs: Operand::imm(0),
+            target: 3,
+        };
         assert_eq!(i.target(), Some(3));
         assert!(i.set_target(9));
         assert_eq!(i.target(), Some(9));
         let mut n = Inst::Nop;
         assert!(!n.set_target(1));
         assert_eq!(n.target(), None);
-        assert_eq!(Inst::ProbJmp { prob: None, target: None }.target(), None);
+        assert_eq!(
+            Inst::ProbJmp {
+                prob: None,
+                target: None
+            }
+            .target(),
+            None
+        );
     }
 
     #[test]
     fn exec_classes() {
-        assert_eq!(Inst::Alu { op: AluOp::Mul, dst: Reg::R1, src1: Reg::R1, src2: Operand::imm(2) }.exec_class(), ExecClass::IntMul);
-        assert_eq!(Inst::Alu { op: AluOp::Div, dst: Reg::R1, src1: Reg::R1, src2: Operand::imm(2) }.exec_class(), ExecClass::IntDiv);
-        assert_eq!(Inst::FpUn { op: FpUnOp::Exp, dst: Reg::R1, src: Reg::R1 }.exec_class(), ExecClass::FpLong);
-        assert_eq!(Inst::FpUn { op: FpUnOp::Sqrt, dst: Reg::R1, src: Reg::R1 }.exec_class(), ExecClass::FpDiv);
-        assert_eq!(Inst::Load { dst: Reg::R1, base: Reg::R2, offset: 0 }.exec_class(), ExecClass::Load);
+        assert_eq!(
+            Inst::Alu {
+                op: AluOp::Mul,
+                dst: Reg::R1,
+                src1: Reg::R1,
+                src2: Operand::imm(2)
+            }
+            .exec_class(),
+            ExecClass::IntMul
+        );
+        assert_eq!(
+            Inst::Alu {
+                op: AluOp::Div,
+                dst: Reg::R1,
+                src1: Reg::R1,
+                src2: Operand::imm(2)
+            }
+            .exec_class(),
+            ExecClass::IntDiv
+        );
+        assert_eq!(
+            Inst::FpUn {
+                op: FpUnOp::Exp,
+                dst: Reg::R1,
+                src: Reg::R1
+            }
+            .exec_class(),
+            ExecClass::FpLong
+        );
+        assert_eq!(
+            Inst::FpUn {
+                op: FpUnOp::Sqrt,
+                dst: Reg::R1,
+                src: Reg::R1
+            }
+            .exec_class(),
+            ExecClass::FpDiv
+        );
+        assert_eq!(
+            Inst::Load {
+                dst: Reg::R1,
+                base: Reg::R2,
+                offset: 0
+            }
+            .exec_class(),
+            ExecClass::Load
+        );
         assert_eq!(Inst::Halt.exec_class(), ExecClass::Other);
         assert_eq!(Inst::Ret.exec_class(), ExecClass::Branch);
     }

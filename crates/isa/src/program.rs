@@ -67,7 +67,11 @@ impl Program {
         for (pc, inst) in insts.iter().enumerate() {
             if let Some(target) = inst.target() {
                 if target >= len {
-                    return Err(IsaError::TargetOutOfRange { pc: pc as u32, target, len });
+                    return Err(IsaError::TargetOutOfRange {
+                        pc: pc as u32,
+                        target,
+                        len,
+                    });
                 }
             }
         }
@@ -118,13 +122,19 @@ impl Program {
             let pc = pc as u32;
             let kind = match inst {
                 Inst::Br { .. } | Inst::Jf { .. } => BranchKind::Conditional,
-                Inst::ProbJmp { target: Some(_), .. } => BranchKind::Probabilistic,
+                Inst::ProbJmp {
+                    target: Some(_), ..
+                } => BranchKind::Probabilistic,
                 Inst::Jmp { .. } => BranchKind::Unconditional,
                 Inst::Call { .. } => BranchKind::Call,
                 Inst::Ret => BranchKind::Return,
                 _ => continue,
             };
-            out.push(StaticBranch { pc, kind, target: inst.target() });
+            out.push(StaticBranch {
+                pc,
+                kind,
+                target: inst.target(),
+            });
         }
         out
     }
@@ -187,7 +197,14 @@ mod tests {
     #[test]
     fn rejects_out_of_range_target() {
         let p = Program::new(vec![Inst::Jmp { target: 5 }, Inst::Halt]);
-        assert_eq!(p, Err(IsaError::TargetOutOfRange { pc: 0, target: 5, len: 2 }));
+        assert_eq!(
+            p,
+            Err(IsaError::TargetOutOfRange {
+                pc: 0,
+                target: 5,
+                len: 2
+            })
+        );
     }
 
     #[test]
@@ -202,9 +219,21 @@ mod tests {
     #[test]
     fn static_branches_classification() {
         let insts = vec![
-            Inst::Br { op: CmpOp::Lt, fp: false, lhs: Reg::R1, rhs: Operand::imm(0), target: 0 },
-            Inst::ProbJmp { prob: None, target: Some(0) },
-            Inst::ProbJmp { prob: Some(Reg::R1), target: None }, // intermediate: not a branch site
+            Inst::Br {
+                op: CmpOp::Lt,
+                fp: false,
+                lhs: Reg::R1,
+                rhs: Operand::imm(0),
+                target: 0,
+            },
+            Inst::ProbJmp {
+                prob: None,
+                target: Some(0),
+            },
+            Inst::ProbJmp {
+                prob: Some(Reg::R1),
+                target: None,
+            }, // intermediate: not a branch site
             Inst::Jmp { target: 0 },
             Inst::Call { target: 0 },
             Inst::Ret,

@@ -22,17 +22,32 @@ fn fmt_operand(f: &mut fmt::Formatter<'_>, fp: bool, o: Operand) -> fmt::Result 
 impl fmt::Display for Inst {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            Inst::Alu { op, dst, src1, src2 } => {
+            Inst::Alu {
+                op,
+                dst,
+                src1,
+                src2,
+            } => {
                 write!(f, "{op} {dst}, {src1}, ")?;
                 fmt_operand(f, false, src2)
             }
             Inst::Li { dst, imm } => write!(f, "li {dst}, {}", imm as i64),
             Inst::Mov { dst, src } => write!(f, "mov {dst}, {src}"),
-            Inst::FpBin { op, dst, src1, src2 } => write!(f, "{op} {dst}, {src1}, {src2}"),
+            Inst::FpBin {
+                op,
+                dst,
+                src1,
+                src2,
+            } => write!(f, "{op} {dst}, {src1}, {src2}"),
             Inst::FpUn { op, dst, src } => write!(f, "{op} {dst}, {src}"),
             Inst::IntToFp { dst, src } => write!(f, "itof {dst}, {src}"),
             Inst::FpToInt { dst, src } => write!(f, "ftoi {dst}, {src}"),
-            Inst::CMov { dst, cond, if_true, if_false } => {
+            Inst::CMov {
+                dst,
+                cond,
+                if_true,
+                if_false,
+            } => {
                 write!(f, "cmov {dst}, {cond}, {if_true}, {if_false}")
             }
             Inst::Load { dst, base, offset } => write!(f, "ld {dst}, {offset}({base})"),
@@ -42,7 +57,13 @@ impl fmt::Display for Inst {
                 fmt_operand(f, fp, rhs)
             }
             Inst::Jf { target } => write!(f, "jf {target}"),
-            Inst::Br { op, fp, lhs, rhs, target } => {
+            Inst::Br {
+                op,
+                fp,
+                lhs,
+                rhs,
+                target,
+            } => {
                 write!(f, "{} {op}, {lhs}, ", if fp { "fbr" } else { "br" })?;
                 fmt_operand(f, fp, rhs)?;
                 write!(f, ", {target}")
@@ -51,7 +72,11 @@ impl fmt::Display for Inst {
             Inst::Call { target } => write!(f, "call {target}"),
             Inst::Ret => write!(f, "ret"),
             Inst::ProbCmp { op, fp, prob, rhs } => {
-                write!(f, "{} {op}, {prob}, ", if fp { "prob_fcmp" } else { "prob_cmp" })?;
+                write!(
+                    f,
+                    "{} {op}, {prob}, ",
+                    if fp { "prob_fcmp" } else { "prob_cmp" }
+                )?;
                 fmt_operand(f, fp, rhs)
             }
             Inst::ProbJmp { prob, target } => match (prob, target) {
@@ -74,7 +99,10 @@ struct LineCtx<'a> {
 
 impl LineCtx<'_> {
     fn err(&self, msg: impl Into<String>) -> IsaError {
-        IsaError::Parse { line: self.line_no, msg: msg.into() }
+        IsaError::Parse {
+            line: self.line_no,
+            msg: msg.into(),
+        }
     }
 
     fn reg(&self, tok: &str) -> Result<Reg, IsaError> {
@@ -133,12 +161,18 @@ impl LineCtx<'_> {
 
     fn mem_operand(&self, tok: &str) -> Result<(Reg, i64), IsaError> {
         // `offset(base)`
-        let open = tok.find('(').ok_or_else(|| self.err(format!("expected `offset(base)`, found `{tok}`")))?;
+        let open = tok
+            .find('(')
+            .ok_or_else(|| self.err(format!("expected `offset(base)`, found `{tok}`")))?;
         let close = tok.len() - 1;
         if !tok.ends_with(')') || close <= open {
             return Err(self.err(format!("expected `offset(base)`, found `{tok}`")));
         }
-        let offset = if open == 0 { 0 } else { self.int(&tok[..open])? };
+        let offset = if open == 0 {
+            0
+        } else {
+            self.int(&tok[..open])?
+        };
         let base = self.reg(&tok[open + 1..close])?;
         Ok((base, offset))
     }
@@ -154,7 +188,11 @@ fn split_line(body: &str) -> (&str, Vec<&str>) {
     match body.split_once(char::is_whitespace) {
         None => (body, Vec::new()),
         Some((mnem, rest)) => {
-            let ops = rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+            let ops = rest
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect();
             (mnem, ops)
         }
     }
@@ -166,7 +204,10 @@ fn parse_inst(ctx: &LineCtx<'_>, body: &str) -> Result<Inst, IsaError> {
         if ops.len() == n {
             Ok(())
         } else {
-            Err(ctx.err(format!("`{mnem}` expects {n} operand(s), found {}", ops.len())))
+            Err(ctx.err(format!(
+                "`{mnem}` expects {n} operand(s), found {}",
+                ops.len()
+            )))
         }
     };
 
@@ -181,29 +222,50 @@ fn parse_inst(ctx: &LineCtx<'_>, body: &str) -> Result<Inst, IsaError> {
     }
     if let Some(op) = FpBinOp::ALL.into_iter().find(|o| o.mnemonic() == mnem) {
         argc(3)?;
-        return Ok(Inst::FpBin { op, dst: ctx.reg(ops[0])?, src1: ctx.reg(ops[1])?, src2: ctx.reg(ops[2])? });
+        return Ok(Inst::FpBin {
+            op,
+            dst: ctx.reg(ops[0])?,
+            src1: ctx.reg(ops[1])?,
+            src2: ctx.reg(ops[2])?,
+        });
     }
     if let Some(op) = FpUnOp::ALL.into_iter().find(|o| o.mnemonic() == mnem) {
         argc(2)?;
-        return Ok(Inst::FpUn { op, dst: ctx.reg(ops[0])?, src: ctx.reg(ops[1])? });
+        return Ok(Inst::FpUn {
+            op,
+            dst: ctx.reg(ops[0])?,
+            src: ctx.reg(ops[1])?,
+        });
     }
 
     match mnem {
         "li" => {
             argc(2)?;
-            Ok(Inst::Li { dst: ctx.reg(ops[0])?, imm: ctx.int(ops[1])? as u64 })
+            Ok(Inst::Li {
+                dst: ctx.reg(ops[0])?,
+                imm: ctx.int(ops[1])? as u64,
+            })
         }
         "mov" => {
             argc(2)?;
-            Ok(Inst::Mov { dst: ctx.reg(ops[0])?, src: ctx.reg(ops[1])? })
+            Ok(Inst::Mov {
+                dst: ctx.reg(ops[0])?,
+                src: ctx.reg(ops[1])?,
+            })
         }
         "itof" => {
             argc(2)?;
-            Ok(Inst::IntToFp { dst: ctx.reg(ops[0])?, src: ctx.reg(ops[1])? })
+            Ok(Inst::IntToFp {
+                dst: ctx.reg(ops[0])?,
+                src: ctx.reg(ops[1])?,
+            })
         }
         "ftoi" => {
             argc(2)?;
-            Ok(Inst::FpToInt { dst: ctx.reg(ops[0])?, src: ctx.reg(ops[1])? })
+            Ok(Inst::FpToInt {
+                dst: ctx.reg(ops[0])?,
+                src: ctx.reg(ops[1])?,
+            })
         }
         "cmov" => {
             argc(4)?;
@@ -217,21 +279,36 @@ fn parse_inst(ctx: &LineCtx<'_>, body: &str) -> Result<Inst, IsaError> {
         "ld" => {
             argc(2)?;
             let (base, offset) = ctx.mem_operand(ops[1])?;
-            Ok(Inst::Load { dst: ctx.reg(ops[0])?, base, offset })
+            Ok(Inst::Load {
+                dst: ctx.reg(ops[0])?,
+                base,
+                offset,
+            })
         }
         "st" => {
             argc(2)?;
             let (base, offset) = ctx.mem_operand(ops[1])?;
-            Ok(Inst::Store { src: ctx.reg(ops[0])?, base, offset })
+            Ok(Inst::Store {
+                src: ctx.reg(ops[0])?,
+                base,
+                offset,
+            })
         }
         "cmp" | "fcmp" => {
             argc(3)?;
             let fp = mnem == "fcmp";
-            Ok(Inst::Cmp { op: ctx.cmp_op(ops[0])?, fp, lhs: ctx.reg(ops[1])?, rhs: ctx.operand(ops[2], fp)? })
+            Ok(Inst::Cmp {
+                op: ctx.cmp_op(ops[0])?,
+                fp,
+                lhs: ctx.reg(ops[1])?,
+                rhs: ctx.operand(ops[2], fp)?,
+            })
         }
         "jf" => {
             argc(1)?;
-            Ok(Inst::Jf { target: ctx.target(ops[0])? })
+            Ok(Inst::Jf {
+                target: ctx.target(ops[0])?,
+            })
         }
         "br" | "fbr" => {
             argc(4)?;
@@ -246,11 +323,15 @@ fn parse_inst(ctx: &LineCtx<'_>, body: &str) -> Result<Inst, IsaError> {
         }
         "jmp" => {
             argc(1)?;
-            Ok(Inst::Jmp { target: ctx.target(ops[0])? })
+            Ok(Inst::Jmp {
+                target: ctx.target(ops[0])?,
+            })
         }
         "call" => {
             argc(1)?;
-            Ok(Inst::Call { target: ctx.target(ops[0])? })
+            Ok(Inst::Call {
+                target: ctx.target(ops[0])?,
+            })
         }
         "ret" => {
             argc(0)?;
@@ -259,21 +340,41 @@ fn parse_inst(ctx: &LineCtx<'_>, body: &str) -> Result<Inst, IsaError> {
         "prob_cmp" | "prob_fcmp" => {
             argc(3)?;
             let fp = mnem == "prob_fcmp";
-            Ok(Inst::ProbCmp { op: ctx.cmp_op(ops[0])?, fp, prob: ctx.reg(ops[1])?, rhs: ctx.operand(ops[2], fp)? })
+            Ok(Inst::ProbCmp {
+                op: ctx.cmp_op(ops[0])?,
+                fp,
+                prob: ctx.reg(ops[1])?,
+                rhs: ctx.operand(ops[2], fp)?,
+            })
         }
         "prob_jmp" => {
             if ops.is_empty() || ops.len() > 2 {
-                return Err(ctx.err(format!("`prob_jmp` expects 1 or 2 operands, found {}", ops.len())));
+                return Err(ctx.err(format!(
+                    "`prob_jmp` expects 1 or 2 operands, found {}",
+                    ops.len()
+                )));
             }
-            let prob = if ops[0] == "-" { None } else { Some(ctx.reg(ops[0])?) };
-            let target = if ops.len() == 2 { Some(ctx.target(ops[1])?) } else { None };
+            let prob = if ops[0] == "-" {
+                None
+            } else {
+                Some(ctx.reg(ops[0])?)
+            };
+            let target = if ops.len() == 2 {
+                Some(ctx.target(ops[1])?)
+            } else {
+                None
+            };
             Ok(Inst::ProbJmp { prob, target })
         }
         "out" => {
             argc(2)?;
             let port = ctx.int(ops[1])?;
-            let port = u16::try_from(port).map_err(|_| ctx.err(format!("port out of range: {port}")))?;
-            Ok(Inst::Out { src: ctx.reg(ops[0])?, port })
+            let port =
+                u16::try_from(port).map_err(|_| ctx.err(format!("port out of range: {port}")))?;
+            Ok(Inst::Out {
+                src: ctx.reg(ops[0])?,
+                port,
+            })
         }
         "halt" => {
             argc(0)?;
@@ -315,7 +416,11 @@ pub fn parse_asm(source: &str) -> Result<Program, IsaError> {
         let mut body = strip_comment(raw);
         while let Some(colon) = body.find(':') {
             let name = body[..colon].trim();
-            if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.') {
+            if name.is_empty()
+                || !name
+                    .chars()
+                    .all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+            {
                 break; // not a label; leave for instruction parsing to reject
             }
             if labels.insert(name.to_owned(), pc).is_some() {
@@ -334,7 +439,11 @@ pub fn parse_asm(source: &str) -> Result<Program, IsaError> {
         let mut body = strip_comment(raw);
         while let Some(colon) = body.find(':') {
             let name = body[..colon].trim();
-            if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.') {
+            if name.is_empty()
+                || !name
+                    .chars()
+                    .all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+            {
                 break;
             }
             body = body[colon + 1..].trim();
@@ -342,7 +451,10 @@ pub fn parse_asm(source: &str) -> Result<Program, IsaError> {
         if body.is_empty() {
             continue;
         }
-        let ctx = LineCtx { line_no: idx + 1, labels: &labels };
+        let ctx = LineCtx {
+            line_no: idx + 1,
+            labels: &labels,
+        };
         insts.push(parse_inst(&ctx, body)?);
     }
     Program::new(insts)
@@ -360,31 +472,119 @@ mod tests {
 
     #[test]
     fn round_trip_representatives() {
-        round_trip(Inst::Alu { op: AluOp::Add, dst: Reg::R1, src1: Reg::R2, src2: Operand::imm(-7) });
-        round_trip(Inst::Alu { op: AluOp::Sltu, dst: Reg::R1, src1: Reg::R2, src2: Operand::Reg(Reg::R3) });
-        round_trip(Inst::Li { dst: Reg::R9, imm: u64::MAX });
-        round_trip(Inst::Mov { dst: Reg::R1, src: Reg::R2 });
-        round_trip(Inst::FpBin { op: FpBinOp::Mul, dst: Reg::R1, src1: Reg::R2, src2: Reg::R3 });
-        round_trip(Inst::FpUn { op: FpUnOp::Sqrt, dst: Reg::R1, src: Reg::R2 });
-        round_trip(Inst::IntToFp { dst: Reg::R1, src: Reg::R2 });
-        round_trip(Inst::FpToInt { dst: Reg::R1, src: Reg::R2 });
-        round_trip(Inst::CMov { dst: Reg::R1, cond: Reg::R2, if_true: Reg::R3, if_false: Reg::R4 });
-        round_trip(Inst::Load { dst: Reg::R1, base: Reg::R2, offset: -16 });
-        round_trip(Inst::Store { src: Reg::R1, base: Reg::R2, offset: 8 });
-        round_trip(Inst::Cmp { op: CmpOp::Le, fp: false, lhs: Reg::R1, rhs: Operand::imm(3) });
-        round_trip(Inst::Cmp { op: CmpOp::Lt, fp: true, lhs: Reg::R1, rhs: Operand::Imm(0.5f64.to_bits() as i64) });
+        round_trip(Inst::Alu {
+            op: AluOp::Add,
+            dst: Reg::R1,
+            src1: Reg::R2,
+            src2: Operand::imm(-7),
+        });
+        round_trip(Inst::Alu {
+            op: AluOp::Sltu,
+            dst: Reg::R1,
+            src1: Reg::R2,
+            src2: Operand::Reg(Reg::R3),
+        });
+        round_trip(Inst::Li {
+            dst: Reg::R9,
+            imm: u64::MAX,
+        });
+        round_trip(Inst::Mov {
+            dst: Reg::R1,
+            src: Reg::R2,
+        });
+        round_trip(Inst::FpBin {
+            op: FpBinOp::Mul,
+            dst: Reg::R1,
+            src1: Reg::R2,
+            src2: Reg::R3,
+        });
+        round_trip(Inst::FpUn {
+            op: FpUnOp::Sqrt,
+            dst: Reg::R1,
+            src: Reg::R2,
+        });
+        round_trip(Inst::IntToFp {
+            dst: Reg::R1,
+            src: Reg::R2,
+        });
+        round_trip(Inst::FpToInt {
+            dst: Reg::R1,
+            src: Reg::R2,
+        });
+        round_trip(Inst::CMov {
+            dst: Reg::R1,
+            cond: Reg::R2,
+            if_true: Reg::R3,
+            if_false: Reg::R4,
+        });
+        round_trip(Inst::Load {
+            dst: Reg::R1,
+            base: Reg::R2,
+            offset: -16,
+        });
+        round_trip(Inst::Store {
+            src: Reg::R1,
+            base: Reg::R2,
+            offset: 8,
+        });
+        round_trip(Inst::Cmp {
+            op: CmpOp::Le,
+            fp: false,
+            lhs: Reg::R1,
+            rhs: Operand::imm(3),
+        });
+        round_trip(Inst::Cmp {
+            op: CmpOp::Lt,
+            fp: true,
+            lhs: Reg::R1,
+            rhs: Operand::Imm(0.5f64.to_bits() as i64),
+        });
         round_trip(Inst::Jf { target: 1 });
-        round_trip(Inst::Br { op: CmpOp::Ge, fp: false, lhs: Reg::R1, rhs: Operand::imm(0), target: 0 });
-        round_trip(Inst::Br { op: CmpOp::Gt, fp: true, lhs: Reg::R1, rhs: Operand::Reg(Reg::R2), target: 1 });
+        round_trip(Inst::Br {
+            op: CmpOp::Ge,
+            fp: false,
+            lhs: Reg::R1,
+            rhs: Operand::imm(0),
+            target: 0,
+        });
+        round_trip(Inst::Br {
+            op: CmpOp::Gt,
+            fp: true,
+            lhs: Reg::R1,
+            rhs: Operand::Reg(Reg::R2),
+            target: 1,
+        });
         round_trip(Inst::Jmp { target: 1 });
         round_trip(Inst::Call { target: 0 });
         round_trip(Inst::Ret);
-        round_trip(Inst::ProbCmp { op: CmpOp::Lt, fp: true, prob: Reg::R4, rhs: Operand::Imm(0.25f64.to_bits() as i64) });
-        round_trip(Inst::ProbCmp { op: CmpOp::Gt, fp: false, prob: Reg::R4, rhs: Operand::imm(10) });
-        round_trip(Inst::ProbJmp { prob: Some(Reg::R5), target: Some(1) });
-        round_trip(Inst::ProbJmp { prob: None, target: Some(1) });
-        round_trip(Inst::ProbJmp { prob: Some(Reg::R5), target: None });
-        round_trip(Inst::Out { src: Reg::R1, port: 3 });
+        round_trip(Inst::ProbCmp {
+            op: CmpOp::Lt,
+            fp: true,
+            prob: Reg::R4,
+            rhs: Operand::Imm(0.25f64.to_bits() as i64),
+        });
+        round_trip(Inst::ProbCmp {
+            op: CmpOp::Gt,
+            fp: false,
+            prob: Reg::R4,
+            rhs: Operand::imm(10),
+        });
+        round_trip(Inst::ProbJmp {
+            prob: Some(Reg::R5),
+            target: Some(1),
+        });
+        round_trip(Inst::ProbJmp {
+            prob: None,
+            target: Some(1),
+        });
+        round_trip(Inst::ProbJmp {
+            prob: Some(Reg::R5),
+            target: None,
+        });
+        round_trip(Inst::Out {
+            src: Reg::R1,
+            port: 3,
+        });
         round_trip(Inst::Nop);
     }
 
@@ -444,19 +644,37 @@ mod tests {
     #[test]
     fn hex_immediates() {
         let p = parse_asm("li r1, 0xff\nhalt").unwrap();
-        assert_eq!(*p.fetch(0), Inst::Li { dst: Reg::R1, imm: 0xff });
+        assert_eq!(
+            *p.fetch(0),
+            Inst::Li {
+                dst: Reg::R1,
+                imm: 0xff
+            }
+        );
     }
 
     #[test]
     fn mem_operand_without_offset() {
         let p = parse_asm("ld r1, (r2)\nhalt").unwrap();
-        assert_eq!(*p.fetch(0), Inst::Load { dst: Reg::R1, base: Reg::R2, offset: 0 });
+        assert_eq!(
+            *p.fetch(0),
+            Inst::Load {
+                dst: Reg::R1,
+                base: Reg::R2,
+                offset: 0
+            }
+        );
     }
 
     #[test]
     fn fp_immediate_round_trip_special_values() {
         for v in [0.0, -0.0, 1.5e-300, f64::INFINITY, f64::NEG_INFINITY, 1e18] {
-            round_trip(Inst::Cmp { op: CmpOp::Lt, fp: true, lhs: Reg::R1, rhs: Operand::Imm(v.to_bits() as i64) });
+            round_trip(Inst::Cmp {
+                op: CmpOp::Lt,
+                fp: true,
+                lhs: Reg::R1,
+                rhs: Operand::Imm(v.to_bits() as i64),
+            });
         }
     }
 

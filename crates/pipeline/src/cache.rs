@@ -43,7 +43,10 @@ impl Cache {
 
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
         let line = addr >> self.line_shift;
-        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+        (
+            (line & self.set_mask) as usize,
+            line >> self.set_mask.count_ones(),
+        )
     }
 
     /// Accesses `addr`; returns `true` on hit. Misses allocate (the model
@@ -108,7 +111,11 @@ pub struct MemLatencies {
 
 impl Default for MemLatencies {
     fn default() -> MemLatencies {
-        MemLatencies { l1: 4, l2: 12, mem: 200 }
+        MemLatencies {
+            l1: 4,
+            l2: 12,
+            mem: 200,
+        }
     }
 }
 

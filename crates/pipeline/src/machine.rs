@@ -20,7 +20,10 @@ pub struct EmuConfig {
 
 impl Default for EmuConfig {
     fn default() -> EmuConfig {
-        EmuConfig { mem_words: 1 << 20, max_call_depth: 1024 }
+        EmuConfig {
+            mem_words: 1 << 20,
+            max_call_depth: 1024,
+        }
     }
 }
 
@@ -56,10 +59,16 @@ pub enum EmuError {
 impl fmt::Display for EmuError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EmuError::MemoryFault { addr, pc } => write!(f, "memory fault at address {addr:#x} (pc {pc})"),
+            EmuError::MemoryFault { addr, pc } => {
+                write!(f, "memory fault at address {addr:#x} (pc {pc})")
+            }
             EmuError::CallStackOverflow { pc } => write!(f, "call stack overflow (pc {pc})"),
-            EmuError::CallStackUnderflow { pc } => write!(f, "return with empty call stack (pc {pc})"),
-            EmuError::InstLimitExceeded { limit } => write!(f, "instruction limit of {limit} exceeded"),
+            EmuError::CallStackUnderflow { pc } => {
+                write!(f, "return with empty call stack (pc {pc})")
+            }
+            EmuError::InstLimitExceeded { limit } => {
+                write!(f, "instruction limit of {limit} exceeded")
+            }
         }
     }
 }
@@ -200,7 +209,10 @@ impl Emulator {
 
     /// The values emitted on `port`, reinterpreted as doubles.
     pub fn output_f64(&self, port: u16) -> Vec<f64> {
-        self.output(port).iter().map(|&v| f64::from_bits(v)).collect()
+        self.output(port)
+            .iter()
+            .map(|&v| f64::from_bits(v))
+            .collect()
     }
 
     /// The probabilistic values in consumption order (see the paper's
@@ -297,7 +309,12 @@ impl Emulator {
         let mut mem_addr = None;
 
         match inst {
-            Inst::Alu { op, dst, src1, src2 } => {
+            Inst::Alu {
+                op,
+                dst,
+                src1,
+                src2,
+            } => {
                 let a = self.regs[src1.index()];
                 let b = self.operand(src2);
                 let r = match op {
@@ -331,7 +348,12 @@ impl Emulator {
             }
             Inst::Li { dst, imm } => self.regs[dst.index()] = imm,
             Inst::Mov { dst, src } => self.regs[dst.index()] = self.regs[src.index()],
-            Inst::FpBin { op, dst, src1, src2 } => {
+            Inst::FpBin {
+                op,
+                dst,
+                src1,
+                src2,
+            } => {
                 let a = f64::from_bits(self.regs[src1.index()]);
                 let b = f64::from_bits(self.regs[src2.index()]);
                 let r = match op {
@@ -365,7 +387,12 @@ impl Emulator {
                 let v = f64::from_bits(self.regs[src.index()]);
                 self.regs[dst.index()] = (v as i64) as u64;
             }
-            Inst::CMov { dst, cond, if_true, if_false } => {
+            Inst::CMov {
+                dst,
+                cond,
+                if_true,
+                if_false,
+            } => {
                 self.regs[dst.index()] = if self.regs[cond.index()] != 0 {
                     self.regs[if_true.index()]
                 } else {
@@ -373,12 +400,16 @@ impl Emulator {
                 };
             }
             Inst::Load { dst, base, offset } => {
-                let idx = self.mem_index(base, offset, pc).inspect_err(|_| self.halted = true)?;
+                let idx = self
+                    .mem_index(base, offset, pc)
+                    .inspect_err(|_| self.halted = true)?;
                 mem_addr = Some(idx as u64 * 8);
                 self.regs[dst.index()] = self.memory[idx];
             }
             Inst::Store { src, base, offset } => {
-                let idx = self.mem_index(base, offset, pc).inspect_err(|_| self.halted = true)?;
+                let idx = self
+                    .mem_index(base, offset, pc)
+                    .inspect_err(|_| self.halted = true)?;
                 mem_addr = Some(idx as u64 * 8);
                 self.memory[idx] = self.regs[src.index()];
             }
@@ -390,20 +421,38 @@ impl Emulator {
                 if taken {
                     next_pc = target;
                 }
-                branch = Some(BranchEvent { taken, kind: BranchEventKind::Conditional, is_prob: false });
+                branch = Some(BranchEvent {
+                    taken,
+                    kind: BranchEventKind::Conditional,
+                    is_prob: false,
+                });
                 self.observe_control(pc, &inst, taken);
             }
-            Inst::Br { op, fp, lhs, rhs, target } => {
+            Inst::Br {
+                op,
+                fp,
+                lhs,
+                rhs,
+                target,
+            } => {
                 let taken = self.eval_cmp(op, fp, self.regs[lhs.index()], self.operand(rhs));
                 if taken {
                     next_pc = target;
                 }
-                branch = Some(BranchEvent { taken, kind: BranchEventKind::Conditional, is_prob: false });
+                branch = Some(BranchEvent {
+                    taken,
+                    kind: BranchEventKind::Conditional,
+                    is_prob: false,
+                });
                 self.observe_control(pc, &inst, taken);
             }
             Inst::Jmp { target } => {
                 next_pc = target;
-                branch = Some(BranchEvent { taken: true, kind: BranchEventKind::Unconditional, is_prob: false });
+                branch = Some(BranchEvent {
+                    taken: true,
+                    kind: BranchEventKind::Unconditional,
+                    is_prob: false,
+                });
                 self.observe_control(pc, &inst, true);
             }
             Inst::Call { target } => {
@@ -413,7 +462,11 @@ impl Emulator {
                 }
                 self.call_stack.push(pc + 1);
                 next_pc = target;
-                branch = Some(BranchEvent { taken: true, kind: BranchEventKind::Call, is_prob: false });
+                branch = Some(BranchEvent {
+                    taken: true,
+                    kind: BranchEventKind::Call,
+                    is_prob: false,
+                });
                 self.observe_control(pc, &inst, true);
             }
             Inst::Ret => {
@@ -424,7 +477,11 @@ impl Emulator {
                         return Err(EmuError::CallStackUnderflow { pc });
                     }
                 }
-                branch = Some(BranchEvent { taken: true, kind: BranchEventKind::Ret, is_prob: false });
+                branch = Some(BranchEvent {
+                    taken: true,
+                    kind: BranchEventKind::Ret,
+                    is_prob: false,
+                });
                 self.observe_control(pc, &inst, true);
             }
             Inst::ProbCmp { op, fp, prob, rhs } => {
@@ -433,7 +490,11 @@ impl Emulator {
                 let outcome = self.eval_cmp(op, fp, value, const_val);
                 self.flag = outcome;
                 if self.pbs.is_some() {
-                    self.pending_prob = PendingProb { values: vec![(prob, value)], const_val, outcome };
+                    self.pending_prob = PendingProb {
+                        values: vec![(prob, value)],
+                        const_val,
+                        outcome,
+                    };
                 }
                 // Without PBS hardware this is exactly a `cmp` (legacy
                 // decode), and `pending_prob` stays unused.
@@ -455,13 +516,20 @@ impl Emulator {
                         if taken {
                             next_pc = target;
                         }
-                        branch = Some(BranchEvent { taken, kind, is_prob: true });
+                        branch = Some(BranchEvent {
+                            taken,
+                            kind,
+                            is_prob: true,
+                        });
                         self.observe_control(pc, &inst, taken);
                     }
                 }
             }
             Inst::Out { src, port } => {
-                self.outputs.entry(port).or_default().push(self.regs[src.index()]);
+                self.outputs
+                    .entry(port)
+                    .or_default()
+                    .push(self.regs[src.index()]);
             }
             Inst::Halt => {
                 self.halted = true;
@@ -471,7 +539,12 @@ impl Emulator {
 
         self.pc = next_pc;
         self.executed += 1;
-        Ok(Some(DynInst { pc, inst, branch, mem_addr }))
+        Ok(Some(DynInst {
+            pc,
+            inst,
+            branch,
+            mem_addr,
+        }))
     }
 
     /// Resolves the jumping `PROB_JMP` at `pc` through the PBS unit (or
@@ -482,7 +555,8 @@ impl Emulator {
         };
         let pending = std::mem::take(&mut self.pending_prob);
         let new_values: Vec<u64> = pending.values.iter().map(|&(_, v)| v).collect();
-        let resolution = pbs.execute_prob_branch(pc, &new_values, pending.const_val, pending.outcome);
+        let resolution =
+            pbs.execute_prob_branch(pc, &new_values, pending.const_val, pending.outcome);
         match resolution {
             BranchResolution::Directed { taken, swapped } => {
                 // The execute stage swaps the newly generated values with
@@ -609,7 +683,10 @@ mod tests {
     fn cmp_jf_pair() {
         let mut b = ProgramBuilder::new();
         let skip = b.label("skip");
-        b.li(Reg::R1, 5).cmp(CmpOp::Gt, Reg::R1, 3).jf(skip).li(Reg::R2, 111);
+        b.li(Reg::R1, 5)
+            .cmp(CmpOp::Gt, Reg::R1, 3)
+            .jf(skip)
+            .li(Reg::R2, 111);
         b.bind(skip);
         b.halt();
         let e = run(b);
@@ -643,8 +720,17 @@ mod tests {
     fn memory_fault_out_of_bounds() {
         let mut b = ProgramBuilder::new();
         b.li(Reg::R1, i64::MAX - 7).ld(Reg::R2, Reg::R1, 0).halt();
-        let mut e = Emulator::new(b.build().unwrap(), EmuConfig { mem_words: 16, max_call_depth: 4 });
-        assert!(matches!(e.run_to_halt(10), Err(EmuError::MemoryFault { .. })));
+        let mut e = Emulator::new(
+            b.build().unwrap(),
+            EmuConfig {
+                mem_words: 16,
+                max_call_depth: 4,
+            },
+        );
+        assert!(matches!(
+            e.run_to_halt(10),
+            Err(EmuError::MemoryFault { .. })
+        ));
     }
 
     #[test]
@@ -666,7 +752,10 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.ret().halt();
         let mut e = Emulator::new(b.build().unwrap(), EmuConfig::default());
-        assert_eq!(e.run_to_halt(10), Err(EmuError::CallStackUnderflow { pc: 0 }));
+        assert_eq!(
+            e.run_to_halt(10),
+            Err(EmuError::CallStackUnderflow { pc: 0 })
+        );
     }
 
     #[test]
@@ -676,8 +765,17 @@ mod tests {
         b.bind(f);
         b.call(f);
         b.halt();
-        let mut e = Emulator::new(b.build().unwrap(), EmuConfig { mem_words: 16, max_call_depth: 8 });
-        assert!(matches!(e.run_to_halt(100), Err(EmuError::CallStackOverflow { .. })));
+        let mut e = Emulator::new(
+            b.build().unwrap(),
+            EmuConfig {
+                mem_words: 16,
+                max_call_depth: 8,
+            },
+        );
+        assert!(matches!(
+            e.run_to_halt(100),
+            Err(EmuError::CallStackOverflow { .. })
+        ));
     }
 
     #[test]
@@ -686,7 +784,10 @@ mod tests {
         let top = b.here("top");
         b.jmp(top).halt();
         let mut e = Emulator::new(b.build().unwrap(), EmuConfig::default());
-        assert_eq!(e.run_to_halt(100), Err(EmuError::InstLimitExceeded { limit: 100 }));
+        assert_eq!(
+            e.run_to_halt(100),
+            Err(EmuError::InstLimitExceeded { limit: 100 })
+        );
     }
 
     #[test]
@@ -741,7 +842,10 @@ mod tests {
         let count = e.output(0)[0];
         // ~50% not-taken.
         assert!((350..650).contains(&count), "count {count}");
-        assert!(e.prob_consumed().is_empty(), "no PBS, no consumption record");
+        assert!(
+            e.prob_consumed().is_empty(),
+            "no PBS, no consumption record"
+        );
     }
 
     #[test]
@@ -762,7 +866,8 @@ mod tests {
     fn pbs_is_deterministic_and_replays_the_value_stream() {
         let run_once = || {
             let p = prob_loop_program(500);
-            let mut e = Emulator::with_pbs(p, EmuConfig::default(), PbsUnit::new(PbsConfig::default()));
+            let mut e =
+                Emulator::with_pbs(p, EmuConfig::default(), PbsUnit::new(PbsConfig::default()));
             e.run_to_halt(100_000).unwrap();
             (e.output(0).to_vec(), e.prob_consumed().to_vec())
         };
@@ -778,7 +883,11 @@ mod tests {
         // (bootstrap, consumed as generated), then the generated stream
         // replayed from the start (paper Section III-B determinism).
         let p = prob_loop_program(100);
-        let mut with = Emulator::with_pbs(p.clone(), EmuConfig::default(), PbsUnit::new(PbsConfig::default()));
+        let mut with = Emulator::with_pbs(
+            p.clone(),
+            EmuConfig::default(),
+            PbsUnit::new(PbsConfig::default()),
+        );
         with.run_to_halt(100_000).unwrap();
         // Reference: run without PBS and reconstruct generated values by
         // re-running with a unit whose in_flight is huge (always
@@ -786,7 +895,10 @@ mod tests {
         let mut gen = Emulator::with_pbs(
             p,
             EmuConfig::default(),
-            PbsUnit::new(PbsConfig { in_flight: 1_000_000, ..PbsConfig::default() }),
+            PbsUnit::new(PbsConfig {
+                in_flight: 1_000_000,
+                ..PbsConfig::default()
+            }),
         );
         gen.run_to_halt(100_000).unwrap();
         let generated = gen.prob_consumed();
@@ -799,7 +911,12 @@ mod tests {
     #[test]
     fn out_ports_are_separate() {
         let mut b = ProgramBuilder::new();
-        b.li(Reg::R1, 1).li(Reg::R2, 2).out(Reg::R1, 0).out(Reg::R2, 1).out(Reg::R1, 0).halt();
+        b.li(Reg::R1, 1)
+            .li(Reg::R2, 2)
+            .out(Reg::R1, 0)
+            .out(Reg::R2, 1)
+            .out(Reg::R1, 0)
+            .halt();
         let e = run(b);
         assert_eq!(e.output(0), &[1, 1]);
         assert_eq!(e.output(1), &[2]);
@@ -810,7 +927,9 @@ mod tests {
     fn dyn_inst_stream_reports_branches_and_mem() {
         let mut b = ProgramBuilder::new();
         let l = b.label("l");
-        b.li(Reg::R1, 64).st(Reg::R1, Reg::R1, 0).br(CmpOp::Eq, Reg::R1, 64, l);
+        b.li(Reg::R1, 64)
+            .st(Reg::R1, Reg::R1, 0)
+            .br(CmpOp::Eq, Reg::R1, 64, l);
         b.bind(l);
         b.halt();
         let mut e = Emulator::new(b.build().unwrap(), EmuConfig::default());

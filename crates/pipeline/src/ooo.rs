@@ -103,7 +103,11 @@ impl OooConfig {
     /// The paper's 8-wide configuration (Figure 8): 8-wide, 256-entry
     /// ROB.
     pub fn wide() -> OooConfig {
-        OooConfig { width: 8, rob_size: 256, ..OooConfig::default() }
+        OooConfig {
+            width: 8,
+            rob_size: 256,
+            ..OooConfig::default()
+        }
     }
 }
 
@@ -313,7 +317,9 @@ impl OooTimingModel {
                 // Direct jumps/calls resolve in the front end; returns
                 // are covered by a return-address-stack model assumed
                 // perfect for our call depths.
-                BranchEventKind::Unconditional | BranchEventKind::Call | BranchEventKind::Ret => false,
+                BranchEventKind::Unconditional | BranchEventKind::Call | BranchEventKind::Ret => {
+                    false
+                }
             };
             if mispredicted {
                 self.stats.mispredicts += 1;
@@ -376,7 +382,12 @@ mod tests {
     fn alu(pc: u32, dst: Reg, src: Reg) -> DynInst {
         DynInst {
             pc,
-            inst: Inst::Alu { op: AluOp::Add, dst, src1: src, src2: Operand::imm(1) },
+            inst: Inst::Alu {
+                op: AluOp::Add,
+                dst,
+                src1: src,
+                src2: Operand::imm(1),
+            },
             branch: None,
             mem_addr: None,
         }
@@ -385,8 +396,18 @@ mod tests {
     fn branch(pc: u32, taken: bool) -> DynInst {
         DynInst {
             pc,
-            inst: Inst::Br { op: CmpOp::Lt, fp: false, lhs: Reg::R1, rhs: Operand::imm(0), target: 0 },
-            branch: Some(crate::machine::BranchEvent { taken, kind: BranchEventKind::Conditional, is_prob: false }),
+            inst: Inst::Br {
+                op: CmpOp::Lt,
+                fp: false,
+                lhs: Reg::R1,
+                rhs: Operand::imm(0),
+                target: 0,
+            },
+            branch: Some(crate::machine::BranchEvent {
+                taken,
+                kind: BranchEventKind::Conditional,
+                is_prob: false,
+            }),
             mem_addr: None,
         }
     }
@@ -486,7 +507,11 @@ mod tests {
         let mut p = StaticPredictor::taken();
         let load = |pc: u32, addr: u64| DynInst {
             pc,
-            inst: Inst::Load { dst: Reg::R1, base: Reg::R2, offset: 0 },
+            inst: Inst::Load {
+                dst: Reg::R1,
+                base: Reg::R2,
+                offset: 0,
+            },
             branch: None,
             mem_addr: Some(addr),
         };

@@ -113,7 +113,10 @@ impl SimReport {
 
     /// The values emitted on `port`, as doubles.
     pub fn output_f64(&self, port: u16) -> Vec<f64> {
-        self.output(port).iter().map(|&v| f64::from_bits(v)).collect()
+        self.output(port)
+            .iter()
+            .map(|&v| f64::from_bits(v))
+            .collect()
     }
 }
 
@@ -140,7 +143,11 @@ impl SimReport {
 /// ```
 pub fn simulate(program: &Program, config: &SimConfig) -> Result<SimReport, EmuError> {
     let mut emu = match &config.pbs {
-        Some(pbs_cfg) => Emulator::with_pbs(program.clone(), config.emu.clone(), PbsUnit::new(pbs_cfg.clone())),
+        Some(pbs_cfg) => Emulator::with_pbs(
+            program.clone(),
+            config.emu.clone(),
+            PbsUnit::new(pbs_cfg.clone()),
+        ),
         None => Emulator::new(program.clone(), config.emu.clone()),
     };
     let mut predictor = config.predictor.build();
@@ -151,7 +158,9 @@ pub fn simulate(program: &Program, config: &SimConfig) -> Result<SimReport, EmuE
         timing.consume(&d, predictor.as_mut(), config.filter_prob_from_predictor);
         executed += 1;
         if executed >= config.max_insts {
-            return Err(EmuError::InstLimitExceeded { limit: config.max_insts });
+            return Err(EmuError::InstLimitExceeded {
+                limit: config.max_insts,
+            });
         }
     }
 
@@ -171,14 +180,23 @@ pub fn simulate(program: &Program, config: &SimConfig) -> Result<SimReport, EmuE
 /// # Errors
 ///
 /// Propagates any [`EmuError`].
-pub fn run_functional(program: &Program, pbs: Option<PbsConfig>, max_insts: u64) -> Result<SimReport, EmuError> {
+pub fn run_functional(
+    program: &Program,
+    pbs: Option<PbsConfig>,
+    max_insts: u64,
+) -> Result<SimReport, EmuError> {
     let mut emu = match pbs {
-        Some(pbs_cfg) => Emulator::with_pbs(program.clone(), EmuConfig::default(), PbsUnit::new(pbs_cfg)),
+        Some(pbs_cfg) => {
+            Emulator::with_pbs(program.clone(), EmuConfig::default(), PbsUnit::new(pbs_cfg))
+        }
         None => Emulator::new(program.clone(), EmuConfig::default()),
     };
     emu.run_to_halt(max_insts)?;
     Ok(SimReport {
-        timing: TimingStats { instructions: emu.executed(), ..TimingStats::default() },
+        timing: TimingStats {
+            instructions: emu.executed(),
+            ..TimingStats::default()
+        },
         pbs: emu.pbs_stats(),
         outputs: drain_outputs(&emu),
         prob_consumed: emu.prob_consumed().to_vec(),
@@ -235,7 +253,11 @@ mod tests {
         let base = simulate(&p, &SimConfig::default()).unwrap();
         let pbs = simulate(&p, &SimConfig::default().with_pbs()).unwrap();
         // Baseline: the ~50% branch mispredicts heavily.
-        assert!(base.timing.mispredicts_prob > 5000, "baseline prob mispredicts: {}", base.timing.mispredicts_prob);
+        assert!(
+            base.timing.mispredicts_prob > 5000,
+            "baseline prob mispredicts: {}",
+            base.timing.mispredicts_prob
+        );
         // PBS: only the bootstrap instances can mispredict.
         assert!(
             pbs.timing.mispredicts_prob < 50,
@@ -263,7 +285,10 @@ mod tests {
         let c_pbs = pbs.output(0)[0] as f64;
         // Not-taken counts agree within a few per mille (the bootstrap
         // phase shifts consumption by 4 values).
-        assert!((c_base - c_pbs).abs() / c_base < 0.05, "{c_base} vs {c_pbs}");
+        assert!(
+            (c_base - c_pbs).abs() / c_base < 0.05,
+            "{c_base} vs {c_pbs}"
+        );
     }
 
     #[test]
@@ -272,10 +297,16 @@ mod tests {
         // tournament branch predictor with PBS outperforms the
         // TAGE-SC-L predictor."
         let p = prob_workload(20_000);
-        let tage = simulate(&p, &SimConfig::default().predictor(PredictorChoice::TageScL)).unwrap();
+        let tage = simulate(
+            &p,
+            &SimConfig::default().predictor(PredictorChoice::TageScL),
+        )
+        .unwrap();
         let tour_pbs = simulate(
             &p,
-            &SimConfig::default().predictor(PredictorChoice::Tournament).with_pbs(),
+            &SimConfig::default()
+                .predictor(PredictorChoice::Tournament)
+                .with_pbs(),
         )
         .unwrap();
         assert!(
@@ -293,7 +324,11 @@ mod tests {
         cfg.filter_prob_from_predictor = true;
         let filtered = simulate(&p, &cfg).unwrap();
         assert_eq!(filtered.timing.mispredicts_prob, 0);
-        let unfiltered = simulate(&p, &SimConfig::default().predictor(PredictorChoice::Tournament)).unwrap();
+        let unfiltered = simulate(
+            &p,
+            &SimConfig::default().predictor(PredictorChoice::Tournament),
+        )
+        .unwrap();
         // Interference: filtering prob branches out cannot hurt the
         // regular branches.
         assert!(filtered.timing.mpki_regular() <= unfiltered.timing.mpki_regular() + 0.01);
@@ -312,9 +347,14 @@ mod tests {
     #[test]
     fn inst_limit_guards() {
         let p = prob_workload(1_000_000);
-        let mut cfg = SimConfig::default();
-        cfg.max_insts = 1000;
-        assert!(matches!(simulate(&p, &cfg), Err(EmuError::InstLimitExceeded { .. })));
+        let cfg = SimConfig {
+            max_insts: 1000,
+            ..SimConfig::default()
+        };
+        assert!(matches!(
+            simulate(&p, &cfg),
+            Err(EmuError::InstLimitExceeded { .. })
+        ));
     }
 
     #[test]
@@ -336,8 +376,10 @@ mod tests {
     fn wide_core_does_not_regress_ipc() {
         let p = prob_workload(5_000);
         let narrow = simulate(&p, &SimConfig::default()).unwrap();
-        let mut wide_cfg = SimConfig::default();
-        wide_cfg.core = OooConfig::wide();
+        let wide_cfg = SimConfig {
+            core: OooConfig::wide(),
+            ..SimConfig::default()
+        };
         let wide = simulate(&p, &wide_cfg).unwrap();
         assert!(wide.timing.ipc() >= narrow.timing.ipc() * 0.99);
     }

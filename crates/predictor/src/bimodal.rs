@@ -103,10 +103,15 @@ mod tests {
         let mut p = Bimodal::new(8);
         let mut x = 99u64;
         let pattern = (0..20_000).map(move |_| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (0x20u64, (x >> 63) & 1 == 1)
         });
         let acc = accuracy_on(&mut p, pattern);
-        assert!(acc < 0.6, "accuracy {acc} suspiciously high on random pattern");
+        assert!(
+            acc < 0.6,
+            "accuracy {acc} suspiciously high on random pattern"
+        );
     }
 }

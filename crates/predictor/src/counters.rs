@@ -27,9 +27,15 @@ impl SatCounter {
     ///
     /// Panics if `bits` is 0 or greater than 7.
     pub fn new(bits: u8, initial: u8) -> SatCounter {
-        assert!(bits >= 1 && bits <= 7, "counter width {bits} out of range 1..=7");
+        assert!(
+            (1..=7).contains(&bits),
+            "counter width {bits} out of range 1..=7"
+        );
         let max = (1u8 << bits) - 1;
-        SatCounter { value: initial.min(max), max }
+        SatCounter {
+            value: initial.min(max),
+            max,
+        }
     }
 
     /// A `bits`-bit counter initialized to the weakly-not-taken midpoint.

@@ -14,7 +14,11 @@ impl HistoryBuffer {
     /// multiple of 64).
     pub fn new(capacity: usize) -> HistoryBuffer {
         let words = capacity.div_ceil(64).max(1);
-        HistoryBuffer { bits: vec![0; words], capacity: words * 64, head: 0 }
+        HistoryBuffer {
+            bits: vec![0; words],
+            capacity: words * 64,
+            head: 0,
+        }
     }
 
     /// Pushes the newest outcome; the oldest is dropped.
@@ -79,7 +83,12 @@ impl FoldedHistory {
     /// Panics if `compressed_len` is 0 or exceeds 63.
     pub fn new(original_len: usize, compressed_len: usize) -> FoldedHistory {
         assert!(compressed_len > 0 && compressed_len < 64);
-        FoldedHistory { comp: 0, original_len, compressed_len, outpoint: original_len % compressed_len }
+        FoldedHistory {
+            comp: 0,
+            original_len,
+            compressed_len,
+            outpoint: original_len % compressed_len,
+        }
     }
 
     /// Incorporates the newest outcome. `history` must be the

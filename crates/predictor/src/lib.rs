@@ -117,7 +117,10 @@ pub(crate) mod test_util {
     use super::BranchPredictor;
 
     /// Drives a predictor over a synthetic pattern and returns accuracy.
-    pub fn accuracy_on<P: BranchPredictor>(p: &mut P, pattern: impl Iterator<Item = (u64, bool)>) -> f64 {
+    pub fn accuracy_on<P: BranchPredictor>(
+        p: &mut P,
+        pattern: impl Iterator<Item = (u64, bool)>,
+    ) -> f64 {
         let mut correct = 0usize;
         let mut total = 0usize;
         for (pc, taken) in pattern {
@@ -163,8 +166,16 @@ mod tests {
     #[test]
     fn budget_claims_hold() {
         let tour = Tournament::default();
-        assert!(tour.storage_bits() <= 1024 * 8, "tournament exceeds 1 KB: {} bits", tour.storage_bits());
+        assert!(
+            tour.storage_bits() <= 1024 * 8,
+            "tournament exceeds 1 KB: {} bits",
+            tour.storage_bits()
+        );
         let tage = TageScL::default();
-        assert!(tage.storage_bits() <= 8 * 1024 * 8, "TAGE-SC-L exceeds 8 KB: {} bits", tage.storage_bits());
+        assert!(
+            tage.storage_bits() <= 8 * 1024 * 8,
+            "TAGE-SC-L exceeds 8 KB: {} bits",
+            tage.storage_bits()
+        );
     }
 }

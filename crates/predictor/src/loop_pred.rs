@@ -53,8 +53,13 @@ impl LoopPredictor {
     ///
     /// Panics if `entries` is not a power of two.
     pub fn new(entries: usize) -> LoopPredictor {
-        assert!(entries.is_power_of_two(), "entry count must be a power of two");
-        LoopPredictor { entries: vec![LoopEntry::default(); entries] }
+        assert!(
+            entries.is_power_of_two(),
+            "entry count must be a power of two"
+        );
+        LoopPredictor {
+            entries: vec![LoopEntry::default(); entries],
+        }
     }
 
     fn slot(&self, pc: u64) -> usize {
@@ -69,7 +74,11 @@ impl LoopPredictor {
     pub fn lookup(&self, pc: u64) -> Option<bool> {
         let e = &self.entries[self.slot(pc)];
         if e.valid && e.tag == self.tag(pc) && e.confidence >= CONF_MAX {
-            Some(if e.current_iter < e.past_iter { e.body_dir } else { !e.body_dir })
+            Some(if e.current_iter < e.past_iter {
+                e.body_dir
+            } else {
+                !e.body_dir
+            })
         } else {
             None
         }
@@ -199,7 +208,10 @@ mod tests {
         run_loop(&mut p, 0x40, 5, 20);
         assert!(p.confident(0x40));
         run_loop(&mut p, 0x40, 9, 1);
-        assert!(!p.confident(0x40), "trip-count change must reset confidence");
+        assert!(
+            !p.confident(0x40),
+            "trip-count change must reset confidence"
+        );
     }
 
     #[test]

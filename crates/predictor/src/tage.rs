@@ -70,7 +70,11 @@ struct TageEntry {
 
 impl TageEntry {
     fn empty() -> TageEntry {
-        TageEntry { ctr: SatCounter::weak_not_taken(3), tag: 0, useful: SatCounter::new(2, 0) }
+        TageEntry {
+            ctr: SatCounter::weak_not_taken(3),
+            tag: 0,
+            useful: SatCounter::new(2, 0),
+        }
     }
 }
 
@@ -140,8 +144,14 @@ impl TageScL {
         let histories = config.history_lengths();
         let max_h = *histories.iter().max().unwrap_or(&1);
         let tables = vec![vec![TageEntry::empty(); 1 << config.index_bits]; config.num_tables];
-        let index_folds = histories.iter().map(|&h| FoldedHistory::new(h, config.index_bits as usize)).collect();
-        let tag_folds1 = histories.iter().map(|&h| FoldedHistory::new(h, config.tag_bits as usize)).collect();
+        let index_folds = histories
+            .iter()
+            .map(|&h| FoldedHistory::new(h, config.index_bits as usize))
+            .collect();
+        let tag_folds1 = histories
+            .iter()
+            .map(|&h| FoldedHistory::new(h, config.tag_bits as usize))
+            .collect();
         let tag_folds2 = histories
             .iter()
             .map(|&h| FoldedHistory::new(h, (config.tag_bits - 1) as usize))
@@ -183,12 +193,14 @@ impl TageScL {
     fn table_index(&self, pc: u64, table: usize) -> usize {
         let mask = (1usize << self.config.index_bits) - 1;
         let fold = self.index_folds[table].value() as usize;
-        (pc as usize ^ (pc as usize >> self.config.index_bits as usize) ^ fold ^ (table << 1)) & mask
+        (pc as usize ^ (pc as usize >> self.config.index_bits as usize) ^ fold ^ (table << 1))
+            & mask
     }
 
     fn table_tag(&self, pc: u64, table: usize) -> u16 {
         let mask = (1u64 << self.config.tag_bits) - 1;
-        ((pc ^ self.tag_folds1[table].value() ^ (self.tag_folds2[table].value() << 1)) & mask) as u16
+        ((pc ^ self.tag_folds1[table].value() ^ (self.tag_folds2[table].value() << 1)) & mask)
+            as u16
     }
 
     fn base_index(&self, pc: u64) -> usize {
@@ -250,14 +262,17 @@ impl TageScL {
         // is consulted only when TAGE itself is unconfident (weak or
         // absent provider) and the vote is decisive — a *corrector*, not
         // a competing predictor.
-        let sc_indices: Vec<usize> = (0..self.sc_tables.len()).map(|t| self.sc_index(pc, t)).collect();
+        let sc_indices: Vec<usize> = (0..self.sc_tables.len())
+            .map(|t| self.sc_index(pc, t))
+            .collect();
         let sc_sum: i32 = self
             .sc_tables
             .iter()
             .zip(&sc_indices)
             .map(|(tbl, &i)| 2 * tbl[i].signed() as i32 + 1)
             .sum();
-        let tage_confident = matches!(provider, Some(t) if !self.tables[t][indices[t]].ctr.is_weak());
+        let tage_confident =
+            matches!(provider, Some(t) if !self.tables[t][indices[t]].ctr.is_weak());
         let sc_pred = if !tage_confident && sc_sum.abs() >= SC_THETA {
             sc_sum >= 0
         } else {
@@ -327,8 +342,12 @@ impl BranchPredictor for TageScL {
         // Train only in the regime where the SC is consulted (unconfident
         // TAGE), so it specializes in TAGE's blind spots instead of
         // shadowing it.
-        let provider_strong = matches!(st.provider, Some(t) if !self.tables[t][st.indices[t]].ctr.is_weak());
-        if !st.loop_used && !provider_strong && (st.final_pred != taken || st.sc_sum.abs() < 2 * SC_THETA) {
+        let provider_strong =
+            matches!(st.provider, Some(t) if !self.tables[t][st.indices[t]].ctr.is_weak());
+        if !st.loop_used
+            && !provider_strong
+            && (st.final_pred != taken || st.sc_sum.abs() < 2 * SC_THETA)
+        {
             for (t, &i) in st.sc_indices.iter().enumerate() {
                 self.sc_tables[t][i].train(taken);
             }
@@ -430,7 +449,8 @@ impl BranchPredictor for TageScL {
             .chain(&self.sc_folds)
             .map(|f| f.compressed_len())
             .sum();
-        tagged + base + sc + self.loops.storage_bits() + hist + folds + 4 /* use_alt */ + 16 /* lfsr */
+        tagged + base + sc + self.loops.storage_bits() + hist + folds + 4 /* use_alt */ + 16
+        /* lfsr */
     }
 
     fn name(&self) -> &'static str {
@@ -451,7 +471,10 @@ mod tests {
         assert_eq!(h.len(), 6);
         assert_eq!(h[0], 4);
         assert_eq!(*h.last().unwrap(), 144);
-        assert!(h.windows(2).all(|w| w[0] < w[1]), "lengths {h:?} not increasing");
+        assert!(
+            h.windows(2).all(|w| w[0] < w[1]),
+            "lengths {h:?} not increasing"
+        );
     }
 
     #[test]
@@ -459,7 +482,10 @@ mod tests {
         let p = TageScL::default();
         let bits = p.storage_bits();
         assert!(bits <= 8 * 8192, "{bits} bits > 8 KB");
-        assert!(bits >= 6 * 8192, "{bits} bits: suspiciously small for an 8 KB design");
+        assert!(
+            bits >= 6 * 8192,
+            "{bits} bits: suspiciously small for an 8 KB design"
+        );
     }
 
     #[test]
@@ -498,7 +524,10 @@ mod tests {
         let acc_t = accuracy_on(&mut tage, p.iter().copied());
         let mut tour = Tournament::default();
         let acc_m = accuracy_on(&mut tour, p.iter().copied());
-        assert!(acc_t > acc_m + 0.005, "tage {acc_t} should beat tournament {acc_m}");
+        assert!(
+            acc_t > acc_m + 0.005,
+            "tage {acc_t} should beat tournament {acc_m}"
+        );
         assert!(acc_t > 0.98, "tage accuracy {acc_t}");
     }
 
@@ -507,11 +536,16 @@ mod tests {
         let mut tage = TageScL::default();
         let mut x = 3u64;
         let pattern = (0..50_000).map(move |_| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (0x77u64, (x >> 63) & 1 == 1)
         });
         let acc = accuracy_on(&mut tage, pattern);
-        assert!((0.4..0.6).contains(&acc), "accuracy {acc} on true randomness");
+        assert!(
+            (0.4..0.6).contains(&acc),
+            "accuracy {acc} on true randomness"
+        );
     }
 
     #[test]
@@ -553,6 +587,9 @@ mod tests {
                 p.update(0x900, taken);
             }
         }
-        assert!(exit_correct as f64 / exits as f64 > 0.9, "{exit_correct}/{exits}");
+        assert!(
+            exit_correct as f64 / exits as f64 > 0.9,
+            "{exit_correct}/{exits}"
+        );
     }
 }

@@ -64,7 +64,11 @@ impl BranchPredictor for Tournament {
     fn predict(&mut self, pc: u64) -> bool {
         let bimodal_pred = self.bimodal.lookup(pc);
         let global_pred = self.global.lookup(pc);
-        self.last = Some(LastPred { pc, bimodal_pred, global_pred });
+        self.last = Some(LastPred {
+            pc,
+            bimodal_pred,
+            global_pred,
+        });
         if let Some(loop_pred) = self.loops.lookup(pc) {
             return loop_pred;
         }
@@ -117,7 +121,10 @@ mod tests {
         let p = Tournament::new();
         let bits = p.storage_bits();
         assert!(bits <= 8192, "{bits} bits > 1 KB");
-        assert!(bits >= 6000, "{bits} bits suspiciously small for a 1 KB design");
+        assert!(
+            bits >= 6000,
+            "{bits} bits suspiciously small for a 1 KB design"
+        );
     }
 
     #[test]
@@ -127,9 +134,9 @@ mod tests {
         // (loop-predictor-friendly).
         fn pattern() -> impl Iterator<Item = (u64, bool)> {
             (0..30_000).map(|i| match i % 3 {
-                0 => (0x100u64, i % 30 != 0),          // 90% taken
-                1 => (0x200u64, (i / 3) % 2 == 0),     // alternating
-                _ => (0x300u64, (i / 3) % 9 != 8),     // loop, trip 8
+                0 => (0x100u64, i % 30 != 0),      // 90% taken
+                1 => (0x200u64, (i / 3) % 2 == 0), // alternating
+                _ => (0x300u64, (i / 3) % 9 != 8), // loop, trip 8
             })
         }
         let mut t = Tournament::new();
@@ -142,7 +149,10 @@ mod tests {
         let mut t = Tournament::new();
         let pattern = (0..8000).map(|i| (0x40u64, i % 2 == 0));
         let acc = accuracy_on(&mut t, pattern);
-        assert!(acc > 0.9, "accuracy {acc}: chooser failed to migrate to global");
+        assert!(
+            acc > 0.9,
+            "accuracy {acc}: chooser failed to migrate to global"
+        );
     }
 
     #[test]

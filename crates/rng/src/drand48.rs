@@ -25,12 +25,16 @@ pub struct Drand48 {
 impl Drand48 {
     /// Seeds like `srand48(seed)`.
     pub fn seed(seed: u32) -> Drand48 {
-        Drand48 { state: ((seed as u64) << 16) | 0x330E }
+        Drand48 {
+            state: ((seed as u64) << 16) | 0x330E,
+        }
     }
 
     /// Constructs from a raw 48-bit state, like `seed48`.
     pub fn from_state(state: u64) -> Drand48 {
-        Drand48 { state: state & MASK48 }
+        Drand48 {
+            state: state & MASK48,
+        }
     }
 
     /// The current 48-bit internal state.
@@ -68,7 +72,12 @@ mod tests {
         // Reference values computed independently from the POSIX
         // definition with srand48(12345).
         let mut r = Drand48::seed(12345);
-        let expect = [0.22532851279629895, 0.919183068533556, 0.20684125324818226, 0.7247797202753148];
+        let expect = [
+            0.22532851279629895,
+            0.919183068533556,
+            0.20684125324818226,
+            0.7247797202753148,
+        ];
         for e in expect {
             assert!((r.next_f64() - e).abs() < 1e-15);
         }
@@ -77,7 +86,12 @@ mod tests {
     #[test]
     fn matches_posix_reference_states_seed_zero() {
         let mut r = Drand48::seed(0);
-        let states = [0x2bbb62dc5101u64, 0xbff993816378, 0x18abd0152a23, 0xded6cf2262f2];
+        let states = [
+            0x2bbb62dc5101u64,
+            0xbff993816378,
+            0x18abd0152a23,
+            0xded6cf2262f2,
+        ];
         for s in states {
             r.next_f64();
             assert_eq!(r.state(), s);

@@ -23,7 +23,10 @@ pub struct BoxMuller<S> {
 impl<S: UniformSource> BoxMuller<S> {
     /// Wraps a uniform source.
     pub fn new(source: S) -> BoxMuller<S> {
-        BoxMuller { source, cached: None }
+        BoxMuller {
+            source,
+            cached: None,
+        }
     }
 
     /// The next standard-normal deviate.

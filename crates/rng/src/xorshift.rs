@@ -23,7 +23,11 @@ impl XorShift64Star {
     /// Creates a generator. A zero seed (the one invalid xorshift state)
     /// is re-mixed through splitmix64, so all seeds are valid.
     pub fn seed(seed: u64) -> XorShift64Star {
-        let state = if seed == 0 { SplitMix64::mix(0xDEAD_BEEF) } else { seed };
+        let state = if seed == 0 {
+            SplitMix64::mix(0xDEAD_BEEF)
+        } else {
+            seed
+        };
         XorShift64Star { state }
     }
 

@@ -53,7 +53,11 @@ fn classify(p: f64) -> Outcome {
 }
 
 fn result(name: &'static str, p: f64) -> TestResult {
-    TestResult { name, p_value: p, outcome: classify(p) }
+    TestResult {
+        name,
+        p_value: p,
+        outcome: classify(p),
+    }
 }
 
 /// Aggregate PASS/WEAK/FAIL counts.
@@ -88,11 +92,16 @@ impl BatteryCounts {
 }
 
 fn to_bits(values: &[f64]) -> Vec<u32> {
-    values.iter().map(|&v| (v.clamp(0.0, 1.0 - 1e-12) * 4294967296.0) as u32).collect()
+    values
+        .iter()
+        .map(|&v| (v.clamp(0.0, 1.0 - 1e-12) * 4294967296.0) as u32)
+        .collect()
 }
 
 fn bit_iter(words: &[u32]) -> impl Iterator<Item = bool> + '_ {
-    words.iter().flat_map(|w| (0..32).map(move |b| (w >> b) & 1 == 1))
+    words
+        .iter()
+        .flat_map(|w| (0..32).map(move |b| (w >> b) & 1 == 1))
 }
 
 fn monobit(words: &[u32]) -> TestResult {
@@ -110,7 +119,10 @@ fn block_frequency(words: &[u32], block_bits: usize) -> TestResult {
     }
     let mut chi2 = 0.0;
     for b in 0..blocks {
-        let ones = bits[b * block_bits..(b + 1) * block_bits].iter().filter(|&&x| x).count();
+        let ones = bits[b * block_bits..(b + 1) * block_bits]
+            .iter()
+            .filter(|&&x| x)
+            .count();
         let pi = ones as f64 / block_bits as f64;
         chi2 += 4.0 * block_bits as f64 * (pi - 0.5) * (pi - 0.5);
     }
@@ -140,7 +152,10 @@ fn serial_pairs(words: &[u32]) -> TestResult {
     }
     let n: u64 = counts.iter().sum();
     let expect = n as f64 / 4.0;
-    let chi2: f64 = counts.iter().map(|&c| (c as f64 - expect) * (c as f64 - expect) / expect).sum();
+    let chi2: f64 = counts
+        .iter()
+        .map(|&c| (c as f64 - expect) * (c as f64 - expect) / expect)
+        .sum();
     result("serial-2bit", chi2_sf(chi2, 3.0))
 }
 
@@ -153,7 +168,10 @@ fn poker4(words: &[u32]) -> TestResult {
     }
     let n: u64 = counts.iter().sum();
     let expect = n as f64 / 16.0;
-    let chi2: f64 = counts.iter().map(|&c| (c as f64 - expect) * (c as f64 - expect) / expect).sum();
+    let chi2: f64 = counts
+        .iter()
+        .map(|&c| (c as f64 - expect) * (c as f64 - expect) / expect)
+        .sum();
     result("poker-4bit", chi2_sf(chi2, 15.0))
 }
 
@@ -177,7 +195,11 @@ fn gap_test(values: &[f64]) -> TestResult {
     }
     let mut chi2 = 0.0;
     for (k, &c) in counts.iter().enumerate() {
-        let p = if k < CATS { 0.5f64.powi(k as i32 + 1) } else { 0.5f64.powi(CATS as i32) };
+        let p = if k < CATS {
+            0.5f64.powi(k as i32 + 1)
+        } else {
+            0.5f64.powi(CATS as i32)
+        };
         let e = total as f64 * p;
         chi2 += (c as f64 - e) * (c as f64 - e) / e;
     }
@@ -236,12 +258,12 @@ fn permutation_triples(values: &[f64]) -> TestResult {
     for t in values.chunks_exact(3) {
         let (a, b, c) = (t[0], t[1], t[2]);
         let idx = match (a < b, b < c, a < c) {
-            (true, true, _) => 0,    // a<b<c
-            (true, false, true) => 1, // a<c<=b
+            (true, true, _) => 0,      // a<b<c
+            (true, false, true) => 1,  // a<c<=b
             (true, false, false) => 2, // c<=a<b
-            (false, true, true) => 3, // b<=a<c
+            (false, true, true) => 3,  // b<=a<c
             (false, true, false) => 4, // b<c<=a
-            (false, false, _) => 5,  // c<=b<=a
+            (false, false, _) => 5,    // c<=b<=a
         };
         counts[idx] += 1;
     }
@@ -250,7 +272,10 @@ fn permutation_triples(values: &[f64]) -> TestResult {
         return result("permutation-triples", 1.0);
     }
     let e = n as f64 / 6.0;
-    let chi2: f64 = counts.iter().map(|&c| (c as f64 - e) * (c as f64 - e) / e).sum();
+    let chi2: f64 = counts
+        .iter()
+        .map(|&c| (c as f64 - e) * (c as f64 - e) / e)
+        .sum();
     result("permutation-triples", chi2_sf(chi2, 5.0))
 }
 
@@ -269,7 +294,11 @@ fn mean_test(values: &[f64]) -> TestResult {
 /// Panics if the stream is shorter than 100 values (the battery needs a
 /// minimal sample).
 pub fn run_battery(values: &[f64]) -> Vec<TestResult> {
-    assert!(values.len() >= 100, "battery needs at least 100 values, got {}", values.len());
+    assert!(
+        values.len() >= 100,
+        "battery needs at least 100 values, got {}",
+        values.len()
+    );
     let words = to_bits(values);
     vec![
         monobit(&words),
@@ -328,18 +357,26 @@ mod tests {
     fn biased_stream_fails_frequency_family() {
         let values: Vec<f64> = uniform_stream(7, 10_000).iter().map(|v| v * 0.5).collect();
         let results = run_battery(&values);
-        let failing: Vec<&str> =
-            results.iter().filter(|r| r.outcome == Outcome::Fail).map(|r| r.name).collect();
+        let failing: Vec<&str> = results
+            .iter()
+            .filter(|r| r.outcome == Outcome::Fail)
+            .map(|r| r.name)
+            .collect();
         assert!(failing.contains(&"ks-uniformity"), "{failing:?}");
         assert!(failing.contains(&"sample-mean"), "{failing:?}");
     }
 
     #[test]
     fn alternating_stream_fails_correlation_family() {
-        let values: Vec<f64> = (0..10_000).map(|i| if i % 2 == 0 { 0.1 } else { 0.9 }).collect();
+        let values: Vec<f64> = (0..10_000)
+            .map(|i| if i % 2 == 0 { 0.1 } else { 0.9 })
+            .collect();
         let results = run_battery(&values);
-        let failing: Vec<&str> =
-            results.iter().filter(|r| r.outcome == Outcome::Fail).map(|r| r.name).collect();
+        let failing: Vec<&str> = results
+            .iter()
+            .filter(|r| r.outcome == Outcome::Fail)
+            .map(|r| r.name)
+            .collect();
         assert!(failing.contains(&"autocorrelation-lag1"), "{failing:?}");
     }
 

@@ -38,7 +38,10 @@ pub fn geometric_mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return 1.0;
     }
-    assert!(xs.iter().all(|&x| x > 0.0), "geometric mean needs positive values");
+    assert!(
+        xs.iter().all(|&x| x > 0.0),
+        "geometric mean needs positive values"
+    );
     (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
 }
 
@@ -60,7 +63,12 @@ impl Summary {
     pub fn of(xs: &[f64]) -> Summary {
         let m = mean(xs);
         let h = ci95(xs);
-        Summary { mean: m, lo: m - h, hi: m + h, n: xs.len() }
+        Summary {
+            mean: m,
+            lo: m - h,
+            hi: m + h,
+            n: xs.len(),
+        }
     }
 
     /// Whether two intervals overlap (the paper's statistical-equality
@@ -72,7 +80,11 @@ impl Summary {
 
 impl std::fmt::Display for Summary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:.4} [{:.4}, {:.4}] (n={})", self.mean, self.lo, self.hi, self.n)
+        write!(
+            f,
+            "{:.4} [{:.4}, {:.4}] (n={})",
+            self.mean, self.lo, self.hi, self.n
+        )
     }
 }
 

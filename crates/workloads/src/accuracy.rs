@@ -23,7 +23,10 @@ pub fn relative_error(a: f64, b: f64) -> f64 {
 /// program must align).
 pub fn max_relative_error(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "output vectors must align");
-    a.iter().zip(b).map(|(&x, &y)| relative_error(x, y)).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| relative_error(x, y))
+        .fold(0.0, f64::max)
 }
 
 /// Normalized root-mean-square error between two "images" (histograms),
@@ -38,7 +41,13 @@ pub fn normalized_rms(a: &[f64], b: &[f64]) -> f64 {
     if a.is_empty() {
         return 0.0;
     }
-    let rms = (a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum::<f64>() / a.len() as f64).sqrt();
+    let rms = (a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum::<f64>()
+        / a.len() as f64)
+        .sqrt();
     let scale = a.iter().map(|v| v.abs()).sum::<f64>() / a.len() as f64;
     if scale == 0.0 {
         if rms == 0.0 {
@@ -73,7 +82,11 @@ impl SuccessRate {
         assert!(trials > 0, "success rate needs at least one trial");
         let p = successes as f64 / trials as f64;
         let half = 1.96 * (p * (1.0 - p) / trials as f64).sqrt();
-        SuccessRate { rate: p, lo: (p - half).max(0.0), hi: (p + half).min(1.0) }
+        SuccessRate {
+            rate: p,
+            lo: (p - half).max(0.0),
+            hi: (p + half).min(1.0),
+        }
     }
 
     /// Whether two confidence intervals overlap — the paper's criterion

@@ -44,9 +44,12 @@ impl RngAsm {
 
     /// Emits `out = next_u64()` (7 instructions). Clobbers `tmp`.
     pub fn next_u64(&self, b: &mut ProgramBuilder, out: Reg) {
-        b.shr(self.tmp, self.state, 12).xor(self.state, self.state, self.tmp);
-        b.shl(self.tmp, self.state, 25).xor(self.state, self.state, self.tmp);
-        b.shr(self.tmp, self.state, 27).xor(self.state, self.state, self.tmp);
+        b.shr(self.tmp, self.state, 12)
+            .xor(self.state, self.state, self.tmp);
+        b.shl(self.tmp, self.state, 25)
+            .xor(self.state, self.state, self.tmp);
+        b.shr(self.tmp, self.state, 27)
+            .xor(self.state, self.state, self.tmp);
         b.mul(out, self.state, self.mult);
     }
 
@@ -79,13 +82,18 @@ impl RngAsm {
 
 /// The default register block used by the workloads: state/mult/scale in
 /// r24..r26, scratch r27. Workload code keeps r0..r23 for itself.
-pub const RNG: RngAsm = RngAsm { state: Reg::R24, mult: Reg::R25, scale: Reg::R26, tmp: Reg::R27 };
+pub const RNG: RngAsm = RngAsm {
+    state: Reg::R24,
+    mult: Reg::R25,
+    scale: Reg::R26,
+    tmp: Reg::R27,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::host::HostRng;
-    use probranch_pipeline::{Emulator, EmuConfig};
+    use probranch_pipeline::{EmuConfig, Emulator};
 
     #[test]
     fn isa_f64_stream_matches_host_bit_for_bit() {

@@ -41,7 +41,11 @@ impl Bandit {
             Scale::Bench => 20_000,
             Scale::Paper => 120_000,
         };
-        Bandit { pulls, epsilon: 0.1, seed: seed.max(1) }
+        Bandit {
+            pulls,
+            epsilon: 0.1,
+            seed: seed.max(1),
+        }
     }
 
     /// Arm success probabilities: `p_k = 0.1 + 0.8 k / ARMS`.
@@ -65,7 +69,11 @@ impl Bandit {
                 let mut best = 0usize;
                 let mut best_v = -1.0f64;
                 for k in 0..ARMS as usize {
-                    let v = if pulls[k] == 0 { 1.0 } else { wins[k] as f64 / pulls[k] as f64 };
+                    let v = if pulls[k] == 0 {
+                        1.0
+                    } else {
+                        wins[k] as f64 / pulls[k] as f64
+                    };
                     if v > best_v {
                         best_v = v;
                         best = k;
@@ -127,7 +135,7 @@ impl Benchmark for Bandit {
 
         b.bind(pull_top);
         b.call(select_fn); // arm in r8
-        // Bernoulli reward, branchless: reward = (r < p[arm]).
+                           // Bernoulli reward, branchless: reward = (r < p[arm]).
         RNG.next_f64(&mut b, Reg::R4);
         b.shl(Reg::R6, Reg::R8, 3);
         b.ld(Reg::R5, Reg::R6, P_BASE);
@@ -135,7 +143,7 @@ impl Benchmark for Bandit {
         // negative doubles have the top bit set and r == p yields +0.0.
         b.fsub(Reg::R5, Reg::R4, Reg::R5); // r - p[arm]
         b.shr(Reg::R7, Reg::R5, 63); // 1 when r < p
-        // wins[arm] += reward; pulls[arm] += 1; total += reward.
+                                     // wins[arm] += reward; pulls[arm] += 1; total += reward.
         b.ld(Reg::R9, Reg::R6, WINS_BASE);
         b.add(Reg::R9, Reg::R9, Reg::R7);
         b.st(Reg::R9, Reg::R6, WINS_BASE);
@@ -227,7 +235,10 @@ mod tests {
         // the time, so the average reward approaches 0.8.
         let avg = total as f64 / w.pulls as f64;
         assert!(avg > 0.6, "average reward {avg}");
-        assert!(best_pulls as f64 / w.pulls as f64 > 0.5, "best-arm share {best_pulls}");
+        assert!(
+            best_pulls as f64 / w.pulls as f64 > 0.5,
+            "best-arm share {best_pulls}"
+        );
     }
 
     #[test]
@@ -239,7 +250,7 @@ mod tests {
             let r = rng.next_f64();
             let p = rng.next_f64().max(0.001);
             let diff = r - p;
-            let trick = (diff.to_bits() >> 63) as u64;
+            let trick = diff.to_bits() >> 63;
             let expect = (r < p) as u64;
             assert_eq!(trick, expect, "r={r} p={p}");
         }

@@ -68,11 +68,11 @@ impl Dop {
             let (z, _discarded) = rng.next_gauss_pair();
             let s_cur = (z * vst).exp() * s_adjust;
             let d_call = s_cur - self.strike;
-            if !(d_call <= 0.0) {
+            if d_call > 0.0 {
                 calls += 1;
             }
             let d_put = self.strike - s_cur;
-            if !(d_put <= 0.0) {
+            if d_put > 0.0 {
                 puts += 1;
             }
         }
@@ -109,7 +109,7 @@ impl Benchmark for Dop {
         b.fmul(Reg::R5, Reg::R3, Reg::R11);
         b.fexp(Reg::R5, Reg::R5);
         b.fmul(Reg::R5, Reg::R5, Reg::R12); // S_cur
-        // Digital call: pays when S_cur - K > 0 (Category-1 prob branch).
+                                            // Digital call: pays when S_cur - K > 0 (Category-1 prob branch).
         b.fsub(Reg::R6, Reg::R5, Reg::R13);
         b.prob_fcmp(CmpOp::Le, Reg::R6, Reg::R10);
         b.prob_jmp(None, skip_call);

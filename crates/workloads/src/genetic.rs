@@ -123,7 +123,10 @@ impl Genetic {
     pub fn reference_success_rate(&self, first_seed: u64, seeds: u64) -> f64 {
         let mut ok = 0u64;
         for s in 0..seeds {
-            let g = Genetic { seed: first_seed + s, ..self.clone() };
+            let g = Genetic {
+                seed: first_seed + s,
+                ..self.clone()
+            };
             ok += g.reference_result().0;
         }
         ok as f64 / seeds as f64
@@ -182,7 +185,10 @@ impl Benchmark for Genetic {
         b.li(Reg::R1, 0); // gen = 0
         b.bind(gen_top);
         // ---- selection ---------------------------------------------------
-        b.li(Reg::R6, 64).li(Reg::R4, 0).li(Reg::R7, 64).li(Reg::R5, 0);
+        b.li(Reg::R6, 64)
+            .li(Reg::R4, 0)
+            .li(Reg::R7, 64)
+            .li(Reg::R5, 0);
         b.li(Reg::R2, 0);
         b.bind(fit_top);
         b.shl(Reg::R9, Reg::R2, 3);
@@ -331,7 +337,10 @@ mod tests {
 
     #[test]
     fn target_depends_on_seed() {
-        assert_ne!(Genetic::new(Scale::Smoke, 1).target(), Genetic::new(Scale::Smoke, 2).target());
+        assert_ne!(
+            Genetic::new(Scale::Smoke, 1).target(),
+            Genetic::new(Scale::Smoke, 2).target()
+        );
         assert!(Genetic::new(Scale::Smoke, 1).target() <= 0xFFFF_FFFF);
     }
 
@@ -361,4 +370,3 @@ mod tests {
         assert!(r.pbs.unwrap().directed > 0);
     }
 }
-

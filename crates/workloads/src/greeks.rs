@@ -74,7 +74,7 @@ impl Greeks {
             for (k, &s0) in spots.iter().enumerate() {
                 let s_cur = s0 * growth;
                 let d = s_cur - self.strike;
-                if !(d <= 0.0) {
+                if d > 0.0 {
                     sums[k] += d;
                 }
             }
@@ -123,11 +123,13 @@ impl Benchmark for Greeks {
         b.fmul(Reg::R4, Reg::R4, Reg::R11);
         b.fexp(Reg::R4, Reg::R4);
         b.fmul(Reg::R4, Reg::R4, Reg::R12); // growth factor
-        // Three dependent Category-2 probabilistic branches: the payoff
-        // accumulation reads the (swapped) probabilistic value d.
-        for (spot_reg, sum_reg, label) in
-            [(Reg::R14, Reg::R1, "skip_lo"), (Reg::R15, Reg::R2, "skip_mid"), (Reg::R16, Reg::R3, "skip_hi")]
-        {
+                                            // Three dependent Category-2 probabilistic branches: the payoff
+                                            // accumulation reads the (swapped) probabilistic value d.
+        for (spot_reg, sum_reg, label) in [
+            (Reg::R14, Reg::R1, "skip_lo"),
+            (Reg::R15, Reg::R2, "skip_mid"),
+            (Reg::R16, Reg::R3, "skip_hi"),
+        ] {
             let skip = b.label(label);
             b.fmul(Reg::R5, spot_reg, Reg::R4); // S_cur
             b.fsub(Reg::R6, Reg::R5, Reg::R13); // d = S_cur - K

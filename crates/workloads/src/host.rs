@@ -29,7 +29,9 @@ impl HostRng {
     /// Creates a generator; a zero seed is remapped to a fixed nonzero
     /// constant (zero is the one invalid xorshift state).
     pub fn new(seed: u64) -> HostRng {
-        HostRng { state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed } }
+        HostRng {
+            state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+        }
     }
 
     /// Next raw value (xorshift64\*: shift-register step, then multiply).

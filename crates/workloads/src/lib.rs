@@ -158,7 +158,10 @@ impl BenchmarkId {
 
 /// Builds all eight benchmarks.
 pub fn all_benchmarks(scale: Scale, seed: u64) -> Vec<Box<dyn Benchmark>> {
-    BenchmarkId::ALL.iter().map(|id| id.build(scale, seed)).collect()
+    BenchmarkId::ALL
+        .iter()
+        .map(|id| id.build(scale, seed))
+        .collect()
 }
 
 #[cfg(test)]
@@ -170,7 +173,19 @@ mod tests {
         let all = all_benchmarks(Scale::Smoke, 3);
         assert_eq!(all.len(), 8);
         let names: Vec<&str> = all.iter().map(|b| b.name()).collect();
-        assert_eq!(names, ["DOP", "Greeks", "Swaptions", "Genetic", "Photon", "MC-integ", "PI", "Bandit"]);
+        assert_eq!(
+            names,
+            [
+                "DOP",
+                "Greeks",
+                "Swaptions",
+                "Genetic",
+                "Photon",
+                "MC-integ",
+                "PI",
+                "Bandit"
+            ]
+        );
     }
 
     #[test]
@@ -196,7 +211,11 @@ mod tests {
         for b in all_benchmarks(Scale::Smoke, 3) {
             let (prob, total) = b.program().branch_counts();
             assert_eq!(prob, b.expected_prob_branches(), "{}", b.name());
-            assert!(total > prob, "{} must also contain regular branches", b.name());
+            assert!(
+                total > prob,
+                "{} must also contain regular branches",
+                b.name()
+            );
         }
     }
 

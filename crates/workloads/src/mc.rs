@@ -30,7 +30,10 @@ impl Pi {
             Scale::Bench => 20_000,
             Scale::Paper => 120_000,
         };
-        Pi { samples, seed: seed.max(1) }
+        Pi {
+            samples,
+            seed: seed.max(1),
+        }
     }
 
     /// Host reference: the hit count.
@@ -74,7 +77,7 @@ impl Benchmark for Pi {
         b.fadd(Reg::R5, Reg::R3, Reg::R4);
         b.lif(Reg::R6, 1.0);
         b.fsub(Reg::R5, Reg::R5, Reg::R6); // s - 1
-        // Probabilistic branch (Category 1): outside the circle -> skip.
+                                           // Probabilistic branch (Category 1): outside the circle -> skip.
         b.prob_fcmp(CmpOp::Ge, Reg::R5, Reg::R10);
         b.prob_jmp(None, skip);
         b.add(Reg::R1, Reg::R1, 1); // hits++
@@ -124,7 +127,10 @@ impl McInteg {
             Scale::Bench => 20_000,
             Scale::Paper => 120_000,
         };
-        McInteg { samples, seed: seed.max(1) }
+        McInteg {
+            samples,
+            seed: seed.max(1),
+        }
     }
 
     /// Host reference: the under-curve count.
@@ -162,7 +168,7 @@ impl Benchmark for McInteg {
         RNG.next_f64(&mut b, Reg::R4); // y
         b.fmul(Reg::R5, Reg::R3, Reg::R3);
         b.fsub(Reg::R5, Reg::R5, Reg::R4); // x^2 - y
-        // Probabilistic branch (Category 1): above the curve -> skip.
+                                           // Probabilistic branch (Category 1): above the curve -> skip.
         b.prob_fcmp(CmpOp::Le, Reg::R5, Reg::R10);
         b.prob_jmp(None, skip);
         b.add(Reg::R1, Reg::R1, 1);
@@ -201,7 +207,10 @@ mod tests {
         let p = Pi::new(Scale::Bench, 9);
         let report = run_functional(&p.program(), None, 50_000_000).unwrap();
         let estimate = f64::from_bits(report.output(1)[0]);
-        assert!((estimate - std::f64::consts::PI).abs() < 0.05, "pi estimate {estimate}");
+        assert!(
+            (estimate - std::f64::consts::PI).abs() < 0.05,
+            "pi estimate {estimate}"
+        );
     }
 
     #[test]
@@ -209,7 +218,10 @@ mod tests {
         let p = McInteg::new(Scale::Bench, 9);
         let report = run_functional(&p.program(), None, 50_000_000).unwrap();
         let estimate = f64::from_bits(report.output(1)[0]);
-        assert!((estimate - 1.0 / 3.0).abs() < 0.02, "integral estimate {estimate}");
+        assert!(
+            (estimate - 1.0 / 3.0).abs() < 0.02,
+            "integral estimate {estimate}"
+        );
     }
 
     #[test]
@@ -233,7 +245,10 @@ mod tests {
         let pbs = run_functional(&p.program(), Some(Default::default()), 50_000_000).unwrap();
         let h_base = base.output(0)[0] as f64;
         let h_pbs = pbs.output(0)[0] as f64;
-        assert!((h_base - h_pbs).abs() / h_base < 0.01, "{h_base} vs {h_pbs}");
+        assert!(
+            (h_base - h_pbs).abs() / h_base < 0.01,
+            "{h_base} vs {h_pbs}"
+        );
     }
 
     #[test]

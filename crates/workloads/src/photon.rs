@@ -45,7 +45,12 @@ impl Photon {
             Scale::Bench => 4_000,
             Scale::Paper => 25_000,
         };
-        Photon { photons, seed: seed.max(1), albedo_absorb: 0.3, p_backscatter: 0.5 }
+        Photon {
+            photons,
+            seed: seed.max(1),
+            albedo_absorb: 0.3,
+            p_backscatter: 0.5,
+        }
     }
 
     /// Host reference: `(bins, reflected, transmitted)` — bins hold
@@ -70,13 +75,7 @@ impl Photon {
                 if u2 < self.albedo_absorb {
                     // Deposit w * (u2 + 0.5) into the depth bin.
                     let dep = (u2 + 0.5) * w;
-                    let mut idx = (z * 16.0) as i64;
-                    if idx < 0 {
-                        idx = 0;
-                    }
-                    if idx > 15 {
-                        idx = 15;
-                    }
+                    let idx = ((z * 16.0) as i64).clamp(0, 15);
                     bins[idx as usize] += dep;
                     break;
                 }
@@ -248,7 +247,10 @@ mod tests {
         let absorbed: f64 = bins.iter().sum();
         let total = absorbed + rd + tt;
         let injected = p.photons as f64;
-        assert!(total > 0.5 * injected && total <= injected * 1.5001, "total {total} of {injected}");
+        assert!(
+            total > 0.5 * injected && total <= injected * 1.5001,
+            "total {total} of {injected}"
+        );
     }
 
     #[test]
@@ -269,7 +271,13 @@ mod tests {
         let a = base.output_f64(0);
         let b = pbs.output_f64(0);
         let scale: f64 = a.iter().sum::<f64>() / BINS as f64;
-        let rms = (a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / BINS as f64).sqrt();
+        let rms = (a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            / BINS as f64)
+            .sqrt();
         let rel = rms / scale;
         // Paper Section VII-D reports 3.9% for Photon; allow headroom.
         assert!(rel < 0.15, "relative RMS {rel}");

@@ -42,7 +42,13 @@ impl Swaptions {
             Scale::Bench => 12_000,
             Scale::Paper => 80_000,
         };
-        Swaptions { trials, seed: seed.max(1), p_spike: 0.7, p_accrue: 0.4, p_exercise: 0.5 }
+        Swaptions {
+            trials,
+            seed: seed.max(1),
+            p_spike: 0.7,
+            p_accrue: 0.4,
+            p_exercise: 0.5,
+        }
     }
 
     /// Host mirror of the per-trial path function.
@@ -57,7 +63,7 @@ impl Swaptions {
             val *= u2 + 0.75; // accrual factor depends on the draw
         }
         let u3 = rng.next_f64();
-        if !(u3 <= self.p_exercise) {
+        if u3 > self.p_exercise {
             val -= u3 * 0.5; // haircut depends on the draw
         }
         val
@@ -116,7 +122,7 @@ impl Benchmark for Swaptions {
         // ---- fn path_fn: returns val in r3 -------------------------------
         b.bind(path_fn);
         b.mov(Reg::R3, Reg::R17); // val = 1.0
-        // Scenario 1: rate spike (Category 2: u1 used after the branch).
+                                  // Scenario 1: rate spike (Category 2: u1 used after the branch).
         let s1 = b.label("s1");
         RNG.next_f64(&mut b, Reg::R4);
         b.prob_fcmp(CmpOp::Ge, Reg::R4, Reg::R11);

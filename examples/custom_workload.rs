@@ -25,9 +25,12 @@ fn build_unmarked() -> Result<probranch::isa::Program, Box<dyn std::error::Error
     b.li(Reg::R2, 0); // i
     b.lif(Reg::R10, 0.25); // replacement probability (run constant)
     b.bind(top);
-    b.shr(Reg::R27, Reg::R24, 12).xor(Reg::R24, Reg::R24, Reg::R27);
-    b.shl(Reg::R27, Reg::R24, 25).xor(Reg::R24, Reg::R24, Reg::R27);
-    b.shr(Reg::R27, Reg::R24, 27).xor(Reg::R24, Reg::R24, Reg::R27);
+    b.shr(Reg::R27, Reg::R24, 12)
+        .xor(Reg::R24, Reg::R24, Reg::R27);
+    b.shl(Reg::R27, Reg::R24, 25)
+        .xor(Reg::R24, Reg::R24, Reg::R27);
+    b.shr(Reg::R27, Reg::R24, 27)
+        .xor(Reg::R24, Reg::R24, Reg::R27);
     b.mul(Reg::R3, Reg::R24, Reg::R25);
     b.shr(Reg::R3, Reg::R3, 11);
     b.itof(Reg::R3, Reg::R3);
@@ -46,18 +49,30 @@ fn build_unmarked() -> Result<probranch::isa::Program, Box<dyn std::error::Error
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let unmarked = build_unmarked()?;
-    println!("unmarked program: {} probabilistic branches", unmarked.branch_counts().0);
+    println!(
+        "unmarked program: {} probabilistic branches",
+        unmarked.branch_counts().0
+    );
 
     // 1. Find the random-number generators.
     let roots = taint::detect_xorshift_roots(&unmarked);
-    println!("detected {} inline RNG root(s) at pcs {roots:?}", roots.len());
+    println!(
+        "detected {} inline RNG root(s) at pcs {roots:?}",
+        roots.len()
+    );
 
     // 2. Propagate taint and mark controlled branches.
     let t = taint::propagate(&unmarked, &roots);
     let candidates = taint::find_candidates(&unmarked, &t);
-    println!("taint analysis found {} candidate branch(es)", candidates.len());
+    println!(
+        "taint analysis found {} candidate branch(es)",
+        candidates.len()
+    );
     let marked = taint::mark_probabilistic(&unmarked, &t);
-    println!("marked program:   {} probabilistic branches", marked.branch_counts().0);
+    println!(
+        "marked program:   {} probabilistic branches",
+        marked.branch_counts().0
+    );
 
     // 3. Static safety: the threshold must be constant in context.
     for (pc, verdict) in safety::check_program(&marked) {
@@ -67,7 +82,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Compare all three machines.
     println!();
-    println!("{:<34} {:>8} {:>8} {:>12}", "machine", "MPKI", "IPC", "replacements");
+    println!(
+        "{:<34} {:>8} {:>8} {:>12}",
+        "machine", "MPKI", "IPC", "replacements"
+    );
     for (label, program, pbs) in [
         ("legacy (unmarked binary)", &unmarked, false),
         ("PBS hardware, unmarked binary", &unmarked, true),

@@ -55,6 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "prob-branch mispredicts: baseline {}, PBS {}",
         base.timing.mispredicts_prob, pbs.timing.mispredicts_prob
     );
-    println!("MPKI: baseline {:.3}, PBS {:.3}", base.timing.mpki(), pbs.timing.mpki());
+    println!(
+        "MPKI: baseline {:.3}, PBS {:.3}",
+        base.timing.mpki(),
+        pbs.timing.mpki()
+    );
     Ok(())
 }

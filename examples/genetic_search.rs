@@ -25,9 +25,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ok_pbs += pbs.output(0)[0];
         println!(
             "  seed {seed:>2}: baseline {} in {} gens | PBS {} in {} gens",
-            if base.output(0)[0] == 1 { "hit " } else { "miss" },
+            if base.output(0)[0] == 1 {
+                "hit "
+            } else {
+                "miss"
+            },
             base.output(0)[1],
-            if pbs.output(0)[0] == 1 { "hit " } else { "miss" },
+            if pbs.output(0)[0] == 1 {
+                "hit "
+            } else {
+                "miss"
+            },
             pbs.output(0)[1],
         );
     }
@@ -35,8 +43,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let a = SuccessRate::from_counts(ok_base, trials);
     let b = SuccessRate::from_counts(ok_pbs, trials);
     println!();
-    println!("success rate, baseline: {:.3} [{:.3}, {:.3}]", a.rate, a.lo, a.hi);
-    println!("success rate, PBS:      {:.3} [{:.3}, {:.3}]", b.rate, b.lo, b.hi);
+    println!(
+        "success rate, baseline: {:.3} [{:.3}, {:.3}]",
+        a.rate, a.lo, a.hi
+    );
+    println!(
+        "success rate, PBS:      {:.3} [{:.3}, {:.3}]",
+        b.rate, b.lo, b.hi
+    );
     if a.overlaps(&b) {
         println!("confidence intervals overlap: no statistical evidence that PBS differs");
     } else {

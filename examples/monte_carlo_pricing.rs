@@ -10,7 +10,10 @@ use probranch::prelude::*;
 
 fn run(name: &str, program: &probranch::isa::Program) -> Result<(), Box<dyn std::error::Error>> {
     println!("== {name} ==");
-    println!("{:<24} {:>8} {:>8} {:>10}", "configuration", "MPKI", "IPC", "cycles");
+    println!(
+        "{:<24} {:>8} {:>8} {:>10}",
+        "configuration", "MPKI", "IPC", "cycles"
+    );
     let mut baseline_cycles = 0u64;
     for (label, predictor, pbs) in [
         ("tournament", PredictorChoice::Tournament, false),
@@ -54,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
 
     let greeks = Greeks::new(Scale::Bench, 7);
-    run("Greeks — option sensitivities (Category 2, value swap)", &greeks.program())?;
+    run(
+        "Greeks — option sensitivities (Category 2, value swap)",
+        &greeks.program(),
+    )?;
     let (price, delta, gamma) = greeks.reference_greeks();
     println!("reference greeks: price {price:.3}, delta {delta:.3}, gamma {gamma:.4}");
     Ok(())

@@ -26,9 +26,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     b.bind(top);
     // xorshift64* + [0,1) conversion — random numbers cost real
     // simulated instructions.
-    b.shr(Reg::R27, Reg::R24, 12).xor(Reg::R24, Reg::R24, Reg::R27);
-    b.shl(Reg::R27, Reg::R24, 25).xor(Reg::R24, Reg::R24, Reg::R27);
-    b.shr(Reg::R27, Reg::R24, 27).xor(Reg::R24, Reg::R24, Reg::R27);
+    b.shr(Reg::R27, Reg::R24, 12)
+        .xor(Reg::R24, Reg::R24, Reg::R27);
+    b.shl(Reg::R27, Reg::R24, 25)
+        .xor(Reg::R24, Reg::R24, Reg::R27);
+    b.shr(Reg::R27, Reg::R24, 27)
+        .xor(Reg::R24, Reg::R24, Reg::R27);
     b.mul(Reg::R3, Reg::R24, Reg::R25);
     b.shr(Reg::R3, Reg::R3, 11);
     b.itof(Reg::R3, Reg::R3);
@@ -54,9 +57,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("heads (PBS):      {}", pbs.output(0)[0]);
     println!();
     println!("                 baseline        PBS");
-    println!("MPKI        {:>10.3} {:>10.3}", base.timing.mpki(), pbs.timing.mpki());
-    println!("IPC         {:>10.3} {:>10.3}", base.timing.ipc(), pbs.timing.ipc());
-    println!("cycles      {:>10} {:>10}", base.timing.cycles, pbs.timing.cycles);
+    println!(
+        "MPKI        {:>10.3} {:>10.3}",
+        base.timing.mpki(),
+        pbs.timing.mpki()
+    );
+    println!(
+        "IPC         {:>10.3} {:>10.3}",
+        base.timing.ipc(),
+        pbs.timing.ipc()
+    );
+    println!(
+        "cycles      {:>10} {:>10}",
+        base.timing.cycles, pbs.timing.cycles
+    );
     let stats = pbs.pbs.expect("PBS attached");
     println!();
     println!(

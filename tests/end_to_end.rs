@@ -58,13 +58,18 @@ fn paper_headline_tournament_pbs_beats_plain_tage_on_average() {
     let mut tour_pbs_cycles = 0u64;
     for b in all_benchmarks(Scale::Smoke, 5) {
         let program = b.program();
-        tage_cycles += simulate(&program, &SimConfig::default().predictor(PredictorChoice::TageScL))
-            .unwrap()
-            .timing
-            .cycles;
+        tage_cycles += simulate(
+            &program,
+            &SimConfig::default().predictor(PredictorChoice::TageScL),
+        )
+        .unwrap()
+        .timing
+        .cycles;
         tour_pbs_cycles += simulate(
             &program,
-            &SimConfig::default().predictor(PredictorChoice::Tournament).with_pbs(),
+            &SimConfig::default()
+                .predictor(PredictorChoice::Tournament)
+                .with_pbs(),
         )
         .unwrap()
         .timing
@@ -88,11 +93,15 @@ fn wider_core_gets_larger_pbs_benefit() {
             (OooConfig::default(), &mut narrow_speedup),
             (OooConfig::wide(), &mut wide_speedup),
         ] {
-            let mut base_cfg = SimConfig::default();
-            base_cfg.core = cfgs.clone();
+            let base_cfg = SimConfig {
+                core: cfgs.clone(),
+                ..SimConfig::default()
+            };
             let base = simulate(&program, &base_cfg).unwrap();
-            let mut pbs_cfg = SimConfig::default().with_pbs();
-            pbs_cfg.core = cfgs;
+            let pbs_cfg = SimConfig {
+                core: cfgs,
+                ..SimConfig::default().with_pbs()
+            };
             let pbs = simulate(&program, &pbs_cfg).unwrap();
             *acc += base.timing.cycles as f64 / pbs.timing.cycles as f64;
         }
@@ -125,8 +134,13 @@ fn legacy_decode_runs_probabilistic_binaries_as_regular() {
     let b = McInteg::new(Scale::Smoke, 3);
     let program = b.program();
     let image = probranch::isa::encode(&program);
-    let legacy = probranch::isa::Program::new(probranch::isa::decode_compat(&image).unwrap()).unwrap();
-    assert_eq!(legacy.branch_counts().0, 0, "no probabilistic branches after legacy decode");
+    let legacy =
+        probranch::isa::Program::new(probranch::isa::decode_compat(&image).unwrap()).unwrap();
+    assert_eq!(
+        legacy.branch_counts().0,
+        0,
+        "no probabilistic branches after legacy decode"
+    );
     let marked = run_functional(&program, None, 10_000_000).unwrap();
     let unmarked = run_functional(&legacy, None, 10_000_000).unwrap();
     assert_eq!(marked.output(0), unmarked.output(0));
@@ -176,7 +190,11 @@ fn context_switch_flush_rebootstraps() {
     use probranch::pipeline::{EmuConfig, Emulator};
 
     let b = Pi::new(Scale::Smoke, 3);
-    let mut emu = Emulator::with_pbs(b.program(), EmuConfig::default(), PbsUnit::new(PbsConfig::default()));
+    let mut emu = Emulator::with_pbs(
+        b.program(),
+        EmuConfig::default(),
+        PbsUnit::new(PbsConfig::default()),
+    );
     // Run half the program, then model an unsaved context switch.
     for _ in 0..5_000 {
         emu.step().unwrap();

@@ -21,8 +21,12 @@ fn abstract_claim_ipc_improves_on_average() {
     // Abstract: "and IPC by 6.7% (up to 17%) over the TAGE-SC-L
     // predictor".
     let rows = experiments::fig7(ExperimentScale::Smoke);
-    let avg_tage_pbs: f64 = rows.iter().map(|r| r.tage_pbs / r.tage).sum::<f64>() / rows.len() as f64;
-    assert!(avg_tage_pbs > 1.05, "TAGE+PBS / TAGE average IPC ratio {avg_tage_pbs:.3}");
+    let avg_tage_pbs: f64 =
+        rows.iter().map(|r| r.tage_pbs / r.tage).sum::<f64>() / rows.len() as f64;
+    assert!(
+        avg_tage_pbs > 1.05,
+        "TAGE+PBS / TAGE average IPC ratio {avg_tage_pbs:.3}"
+    );
 }
 
 #[test]
@@ -31,7 +35,8 @@ fn section_vii_tage_reduction_exceeds_tournament() {
     // TAGE-SC-L predictor" — because TAGE leaves probabilistic branches
     // as a larger fraction of the remaining mispredictions.
     let rows = experiments::fig6(ExperimentScale::Smoke);
-    let tour_avg: f64 = rows.iter().map(|r| r.tournament_reduction()).sum::<f64>() / rows.len() as f64;
+    let tour_avg: f64 =
+        rows.iter().map(|r| r.tournament_reduction()).sum::<f64>() / rows.len() as f64;
     let tage_avg: f64 = rows.iter().map(|r| r.tage_reduction()).sum::<f64>() / rows.len() as f64;
     assert!(
         tage_avg > tour_avg,
@@ -45,9 +50,16 @@ fn figure1_misprediction_share_grows_under_better_predictor() {
     // branches tends to be higher for the more sophisticated TAGE-SC-L
     // predictor."
     let rows = experiments::fig1(ExperimentScale::Smoke);
-    let tour: f64 = rows.iter().map(|r| r.tournament_mispredict_share).sum::<f64>() / rows.len() as f64;
+    let tour: f64 = rows
+        .iter()
+        .map(|r| r.tournament_mispredict_share)
+        .sum::<f64>()
+        / rows.len() as f64;
     let tage: f64 = rows.iter().map(|r| r.tage_mispredict_share).sum::<f64>() / rows.len() as f64;
-    assert!(tage >= tour - 1.0, "TAGE share {tage:.1}% vs tournament {tour:.1}%");
+    assert!(
+        tage >= tour - 1.0,
+        "TAGE share {tage:.1}% vs tournament {tour:.1}%"
+    );
 }
 
 #[test]
@@ -71,13 +83,20 @@ fn table1_verdicts_match_paper_exactly() {
 
 #[test]
 fn hardware_cost_is_193_bytes() {
-    assert_eq!(probranch::pbs::cost::total_bytes(&PbsConfig::default()), 193);
+    assert_eq!(
+        probranch::pbs::cost::total_bytes(&PbsConfig::default()),
+        193
+    );
 }
 
 #[test]
 fn accuracy_metrics_are_acceptable() {
     for row in experiments::accuracy(ExperimentScale::Smoke) {
-        assert!(row.acceptable, "{}: {} = {}", row.name, row.metric, row.value);
+        assert!(
+            row.acceptable,
+            "{}: {} = {}",
+            row.name, row.metric, row.value
+        );
     }
 }
 
@@ -87,8 +106,16 @@ fn randomness_battery_intervals_overlap_for_every_benchmark() {
     // significantly overlap, indicating that the two techniques are
     // statistically identical."
     for row in experiments::table3(ExperimentScale::Smoke) {
-        assert!(row.orig_pass.overlaps(&row.pbs_pass), "{}: PASS intervals disjoint", row.name);
-        assert!(row.orig_fail.overlaps(&row.pbs_fail), "{}: FAIL intervals disjoint", row.name);
+        assert!(
+            row.orig_pass.overlaps(&row.pbs_pass),
+            "{}: PASS intervals disjoint",
+            row.name
+        );
+        assert!(
+            row.orig_fail.overlaps(&row.pbs_fail),
+            "{}: FAIL intervals disjoint",
+            row.name
+        );
     }
 }
 
@@ -112,7 +139,10 @@ fn pbs_bootstrap_length_matches_in_flight_depth() {
     // Section III-B: the first few executions are treated as a normal
     // branch; the count equals the in-flight provisioning.
     for depth in [1usize, 2, 4, 8] {
-        let mut unit = PbsUnit::new(PbsConfig { in_flight: depth, ..PbsConfig::default() });
+        let mut unit = PbsUnit::new(PbsConfig {
+            in_flight: depth,
+            ..PbsConfig::default()
+        });
         let mut bootstraps = 0;
         for i in 0..20u64 {
             match unit.execute_prob_branch(5, &[i], 100, i < 100) {

@@ -5,15 +5,23 @@
 use probranch::prelude::*;
 
 fn run_with(pbs: PbsConfig, bench: &dyn Benchmark) -> probranch::pipeline::SimReport {
-    let mut cfg = SimConfig::default();
-    cfg.pbs = Some(pbs);
+    let cfg = SimConfig {
+        pbs: Some(pbs),
+        ..SimConfig::default()
+    };
     simulate(&bench.program(), &cfg).unwrap_or_else(|e| panic!("{}: {e}", bench.name()))
 }
 
 #[test]
 fn single_btb_entry_still_works_for_single_branch_workloads() {
     let b = Pi::new(Scale::Smoke, 3);
-    let r = run_with(PbsConfig { num_branches: 1, ..PbsConfig::default() }, &b);
+    let r = run_with(
+        PbsConfig {
+            num_branches: 1,
+            ..PbsConfig::default()
+        },
+        &b,
+    );
     let stats = r.pbs.unwrap();
     assert!(stats.directed > stats.bypassed, "{stats:?}");
 }
@@ -24,7 +32,13 @@ fn single_btb_entry_thrashes_on_multi_branch_workloads() {
     // forces constant eviction, but execution stays correct.
     let b = Greeks::new(Scale::Smoke, 3);
     let full = run_with(PbsConfig::default(), &b);
-    let tiny = run_with(PbsConfig { num_branches: 1, ..PbsConfig::default() }, &b);
+    let tiny = run_with(
+        PbsConfig {
+            num_branches: 1,
+            ..PbsConfig::default()
+        },
+        &b,
+    );
     let s_full = full.pbs.unwrap();
     let s_tiny = tiny.pbs.unwrap();
     assert!(
@@ -38,8 +52,20 @@ fn single_btb_entry_thrashes_on_multi_branch_workloads() {
 #[test]
 fn deeper_in_flight_lengthens_bootstrap_but_still_directs() {
     let b = McInteg::new(Scale::Smoke, 3);
-    let shallow = run_with(PbsConfig { in_flight: 1, ..PbsConfig::default() }, &b);
-    let deep = run_with(PbsConfig { in_flight: 16, ..PbsConfig::default() }, &b);
+    let shallow = run_with(
+        PbsConfig {
+            in_flight: 1,
+            ..PbsConfig::default()
+        },
+        &b,
+    );
+    let deep = run_with(
+        PbsConfig {
+            in_flight: 16,
+            ..PbsConfig::default()
+        },
+        &b,
+    );
     let s_shallow = shallow.pbs.unwrap();
     let s_deep = deep.pbs.unwrap();
     assert!(s_deep.bootstrap >= s_shallow.bootstrap);
@@ -49,7 +75,13 @@ fn deeper_in_flight_lengthens_bootstrap_but_still_directs() {
 #[test]
 fn context_tracking_off_is_functional_on_flat_loops() {
     let b = Pi::new(Scale::Smoke, 3);
-    let r = run_with(PbsConfig { context_tracking: false, ..PbsConfig::default() }, &b);
+    let r = run_with(
+        PbsConfig {
+            context_tracking: false,
+            ..PbsConfig::default()
+        },
+        &b,
+    );
     let stats = r.pbs.unwrap();
     assert_eq!(stats.context_flushes, 0);
     assert!(stats.directed > 0);
@@ -64,11 +96,26 @@ fn all_design_points_preserve_output_statistics() {
     let base_hits = base.output(0)[0] as f64;
     for cfg in [
         PbsConfig::default(),
-        PbsConfig { num_branches: 1, ..PbsConfig::default() },
-        PbsConfig { in_flight: 1, ..PbsConfig::default() },
-        PbsConfig { in_flight: 16, ..PbsConfig::default() },
-        PbsConfig { context_tracking: false, ..PbsConfig::default() },
-        PbsConfig { values_per_branch: 1, ..PbsConfig::default() },
+        PbsConfig {
+            num_branches: 1,
+            ..PbsConfig::default()
+        },
+        PbsConfig {
+            in_flight: 1,
+            ..PbsConfig::default()
+        },
+        PbsConfig {
+            in_flight: 16,
+            ..PbsConfig::default()
+        },
+        PbsConfig {
+            context_tracking: false,
+            ..PbsConfig::default()
+        },
+        PbsConfig {
+            values_per_branch: 1,
+            ..PbsConfig::default()
+        },
     ] {
         let r = run_functional(&b.program(), Some(cfg.clone()), 1_000_000_000).unwrap();
         let hits = r.output(0)[0] as f64;
@@ -85,7 +132,13 @@ fn category2_workload_needs_swap_capacity() {
     // zero-swap-capacity... the minimum is 1 value (the PROB_CMP
     // register), which suffices here.
     let b = Swaptions::new(Scale::Smoke, 3);
-    let r = run_with(PbsConfig { values_per_branch: 1, ..PbsConfig::default() }, &b);
+    let r = run_with(
+        PbsConfig {
+            values_per_branch: 1,
+            ..PbsConfig::default()
+        },
+        &b,
+    );
     assert!(r.pbs.unwrap().directed > 0);
 }
 
@@ -94,8 +147,7 @@ fn every_workload_disassembles_and_reassembles() {
     for b in all_benchmarks(Scale::Smoke, 3) {
         let p = b.program();
         let text = p.to_string();
-        let back = probranch::isa::parse_asm(&text)
-            .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+        let back = probranch::isa::parse_asm(&text).unwrap_or_else(|e| panic!("{}: {e}", b.name()));
         assert_eq!(p, back, "{}", b.name());
     }
 }

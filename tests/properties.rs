@@ -36,24 +36,70 @@ fn cmp_strategy() -> impl Strategy<Value = CmpOp> {
 /// program context) — used for encode/display round-trips.
 fn dataflow_inst_strategy() -> impl Strategy<Value = Inst> {
     prop_oneof![
-        (proptest::sample::select(AluOp::ALL.to_vec()), reg_strategy(), reg_strategy(), operand_strategy())
-            .prop_map(|(op, dst, src1, src2)| Inst::Alu { op, dst, src1, src2 }),
+        (
+            proptest::sample::select(AluOp::ALL.to_vec()),
+            reg_strategy(),
+            reg_strategy(),
+            operand_strategy()
+        )
+            .prop_map(|(op, dst, src1, src2)| Inst::Alu {
+                op,
+                dst,
+                src1,
+                src2
+            }),
         (reg_strategy(), any::<u64>()).prop_map(|(dst, imm)| Inst::Li { dst, imm }),
         (reg_strategy(), reg_strategy()).prop_map(|(dst, src)| Inst::Mov { dst, src }),
-        (proptest::sample::select(FpBinOp::ALL.to_vec()), reg_strategy(), reg_strategy(), reg_strategy())
-            .prop_map(|(op, dst, src1, src2)| Inst::FpBin { op, dst, src1, src2 }),
-        (proptest::sample::select(FpUnOp::ALL.to_vec()), reg_strategy(), reg_strategy())
+        (
+            proptest::sample::select(FpBinOp::ALL.to_vec()),
+            reg_strategy(),
+            reg_strategy(),
+            reg_strategy()
+        )
+            .prop_map(|(op, dst, src1, src2)| Inst::FpBin {
+                op,
+                dst,
+                src1,
+                src2
+            }),
+        (
+            proptest::sample::select(FpUnOp::ALL.to_vec()),
+            reg_strategy(),
+            reg_strategy()
+        )
             .prop_map(|(op, dst, src)| Inst::FpUn { op, dst, src }),
         (reg_strategy(), reg_strategy()).prop_map(|(dst, src)| Inst::IntToFp { dst, src }),
         (reg_strategy(), reg_strategy()).prop_map(|(dst, src)| Inst::FpToInt { dst, src }),
-        (reg_strategy(), reg_strategy(), reg_strategy(), reg_strategy())
-            .prop_map(|(dst, cond, if_true, if_false)| Inst::CMov { dst, cond, if_true, if_false }),
-        (reg_strategy(), reg_strategy(), any::<i32>())
-            .prop_map(|(dst, base, offset)| Inst::Load { dst, base, offset: offset as i64 }),
-        (reg_strategy(), reg_strategy(), any::<i32>())
-            .prop_map(|(src, base, offset)| Inst::Store { src, base, offset: offset as i64 }),
-        (cmp_strategy(), reg_strategy(), operand_strategy())
-            .prop_map(|(op, lhs, rhs)| Inst::Cmp { op, fp: false, lhs, rhs }),
+        (
+            reg_strategy(),
+            reg_strategy(),
+            reg_strategy(),
+            reg_strategy()
+        )
+            .prop_map(|(dst, cond, if_true, if_false)| Inst::CMov {
+                dst,
+                cond,
+                if_true,
+                if_false
+            }),
+        (reg_strategy(), reg_strategy(), any::<i32>()).prop_map(|(dst, base, offset)| Inst::Load {
+            dst,
+            base,
+            offset: offset as i64
+        }),
+        (reg_strategy(), reg_strategy(), any::<i32>()).prop_map(|(src, base, offset)| {
+            Inst::Store {
+                src,
+                base,
+                offset: offset as i64,
+            }
+        }),
+        (cmp_strategy(), reg_strategy(), operand_strategy()).prop_map(|(op, lhs, rhs)| Inst::Cmp {
+            op,
+            fp: false,
+            lhs,
+            rhs
+        }),
         (reg_strategy(), any::<u16>()).prop_map(|(src, port)| Inst::Out { src, port }),
         Just(Inst::Nop),
     ]
