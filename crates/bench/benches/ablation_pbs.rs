@@ -4,7 +4,7 @@
 //! reports MPKI on a representative workload, quantifying each
 //! mechanism's contribution.
 use criterion::{criterion_group, criterion_main, Criterion};
-use probranch_bench::{experiments, render, ExperimentScale};
+use probranch_bench::{experiments, render, ExperimentScale, Jobs};
 use probranch_core::PbsConfig;
 use probranch_pipeline::{simulate, PredictorChoice, SimConfig};
 use probranch_workloads::{Benchmark, BenchmarkId, Scale};

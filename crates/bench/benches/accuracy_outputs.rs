@@ -1,7 +1,7 @@
 #![allow(unused_imports)]
 //! Regenerates the paper's §VII-D output-accuracy results.
 use criterion::{criterion_group, criterion_main, Criterion};
-use probranch_bench::{experiments, render, ExperimentScale};
+use probranch_bench::{experiments, render, ExperimentScale, Jobs};
 use probranch_core::PbsConfig;
 use probranch_pipeline::{simulate, PredictorChoice, SimConfig};
 use probranch_workloads::{Benchmark, BenchmarkId, Scale};
@@ -11,7 +11,10 @@ use probranch_pipeline::run_functional;
 fn bench(c: &mut Criterion) {
     println!(
         "{}",
-        render::accuracy(&experiments::accuracy(ExperimentScale::from_env()))
+        render::accuracy(&experiments::accuracy(
+            ExperimentScale::from_env(),
+            Jobs::from_env()
+        ))
     );
     println!("{}", render::cost(&experiments::hardware_cost()));
     let prog = BenchmarkId::Photon.build(Scale::Smoke, 1).program();

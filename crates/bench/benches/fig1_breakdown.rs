@@ -3,7 +3,7 @@
 //! misprediction breakdown) and times the underlying baseline
 //! simulation.
 use criterion::{criterion_group, criterion_main, Criterion};
-use probranch_bench::{experiments, render, ExperimentScale};
+use probranch_bench::{experiments, render, ExperimentScale, Jobs};
 use probranch_core::PbsConfig;
 use probranch_pipeline::{simulate, PredictorChoice, SimConfig};
 use probranch_workloads::{Benchmark, BenchmarkId, Scale};
@@ -11,7 +11,10 @@ use probranch_workloads::{Benchmark, BenchmarkId, Scale};
 fn bench(c: &mut Criterion) {
     println!(
         "{}",
-        render::fig1(&experiments::fig1(ExperimentScale::from_env()))
+        render::fig1(&experiments::fig1(
+            ExperimentScale::from_env(),
+            Jobs::from_env()
+        ))
     );
     let prog = BenchmarkId::Dop.build(Scale::Smoke, 1).program();
     c.bench_function("fig1/dop_tournament_baseline_sim", |b| {

@@ -2,7 +2,7 @@
 //! Regenerates paper Figure 6 (MPKI reduction through PBS) and times
 //! the PBS-enabled simulation.
 use criterion::{criterion_group, criterion_main, Criterion};
-use probranch_bench::{experiments, render, ExperimentScale};
+use probranch_bench::{experiments, render, ExperimentScale, Jobs};
 use probranch_core::PbsConfig;
 use probranch_pipeline::{simulate, PredictorChoice, SimConfig};
 use probranch_workloads::{Benchmark, BenchmarkId, Scale};
@@ -10,7 +10,10 @@ use probranch_workloads::{Benchmark, BenchmarkId, Scale};
 fn bench(c: &mut Criterion) {
     println!(
         "{}",
-        render::fig6(&experiments::fig6(ExperimentScale::from_env()))
+        render::fig6(&experiments::fig6(
+            ExperimentScale::from_env(),
+            Jobs::from_env()
+        ))
     );
     let prog = BenchmarkId::Pi.build(Scale::Smoke, 1).program();
     c.bench_function("fig6/pi_tage_pbs_sim", |b| {

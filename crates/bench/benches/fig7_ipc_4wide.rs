@@ -1,7 +1,7 @@
 #![allow(unused_imports)]
 //! Regenerates paper Figure 7 (normalized IPC, 4-wide core).
 use criterion::{criterion_group, criterion_main, Criterion};
-use probranch_bench::{experiments, render, ExperimentScale};
+use probranch_bench::{experiments, render, ExperimentScale, Jobs};
 use probranch_core::PbsConfig;
 use probranch_pipeline::{simulate, PredictorChoice, SimConfig};
 use probranch_workloads::{Benchmark, BenchmarkId, Scale};
@@ -10,7 +10,7 @@ fn bench(c: &mut Criterion) {
     println!(
         "{}",
         render::ipc(
-            &experiments::fig7(ExperimentScale::from_env()),
+            &experiments::fig7(ExperimentScale::from_env(), Jobs::from_env()),
             "FIG 7 — normalized IPC, 4-wide / 168-entry ROB"
         )
     );

@@ -1,7 +1,7 @@
 #![allow(unused_imports)]
 //! Regenerates paper Figure 8 (normalized IPC, 8-wide core).
 use criterion::{criterion_group, criterion_main, Criterion};
-use probranch_bench::{experiments, render, ExperimentScale};
+use probranch_bench::{experiments, render, ExperimentScale, Jobs};
 use probranch_core::PbsConfig;
 use probranch_pipeline::{simulate, PredictorChoice, SimConfig};
 use probranch_workloads::{Benchmark, BenchmarkId, Scale};
@@ -12,7 +12,7 @@ fn bench(c: &mut Criterion) {
     println!(
         "{}",
         render::ipc(
-            &experiments::fig8(ExperimentScale::from_env()),
+            &experiments::fig8(ExperimentScale::from_env(), Jobs::from_env()),
             "FIG 8 — normalized IPC, 8-wide / 256-entry ROB"
         )
     );

@@ -2,7 +2,7 @@
 //! Regenerates paper Table II (benchmark characteristics) and times a
 //! functional workload run.
 use criterion::{criterion_group, criterion_main, Criterion};
-use probranch_bench::{experiments, render, ExperimentScale};
+use probranch_bench::{experiments, render, ExperimentScale, Jobs};
 use probranch_core::PbsConfig;
 use probranch_pipeline::{simulate, PredictorChoice, SimConfig};
 use probranch_workloads::{Benchmark, BenchmarkId, Scale};
@@ -12,7 +12,10 @@ use probranch_pipeline::run_functional;
 fn bench(c: &mut Criterion) {
     println!(
         "{}",
-        render::table2(&experiments::table2(ExperimentScale::from_env()))
+        render::table2(&experiments::table2(
+            ExperimentScale::from_env(),
+            Jobs::from_env()
+        ))
     );
     let prog = BenchmarkId::Genetic.build(Scale::Smoke, 1).program();
     c.bench_function("table2/genetic_functional_run", |b| {

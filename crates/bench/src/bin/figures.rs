@@ -1,38 +1,82 @@
 //! Regenerates every table and figure of the PBS paper in one run.
 //!
 //! ```text
-//! cargo run -p probranch-bench --bin figures --release -- --scale bench
+//! cargo run -p probranch-bench --bin figures --release -- --scale bench --jobs 8
 //! ```
 //!
 //! Scales: `smoke` (seconds), `bench` (default, ~2 minutes), `paper`
 //! (figure-quality, ~10 minutes). The scale can also be set through the
 //! `PROBRANCH_SCALE` environment variable; the flag wins when both are
 //! given.
+//!
+//! `--jobs N` selects the worker count of the parallel experiment
+//! engine (default: `PROBRANCH_JOBS`, else all available cores). The
+//! printed tables are byte-identical for every worker count — only the
+//! wall time changes, which is why the timing line goes to stderr.
 
 use probranch_bench::experiments::{self, ExperimentScale};
 use probranch_bench::render;
+use probranch_harness::Jobs;
 
-fn scale_from_args() -> ExperimentScale {
+struct Options {
+    scale: ExperimentScale,
+    jobs: Jobs,
+}
+
+fn parse_args() -> Options {
+    let mut scale: Option<ExperimentScale> = None;
+    let mut jobs: Option<Jobs> = None;
     let mut args = std::env::args().skip(1);
-    let Some(arg) = args.next() else {
-        return ExperimentScale::from_env();
-    };
-    let value = match arg.as_str() {
-        "--scale" => args
-            .next()
-            .unwrap_or_else(|| usage("--scale needs a value")),
-        _ if arg.starts_with("--scale=") => arg["--scale=".len()..].to_string(),
-        "--help" | "-h" => usage(""),
-        _ => usage(&format!("unknown argument `{arg}`")),
-    };
-    if let Some(extra) = args.next() {
-        usage(&format!("unexpected argument `{extra}`"));
+    while let Some(arg) = args.next() {
+        let (flag, value) = match arg.as_str() {
+            "--help" | "-h" => usage(""),
+            "--scale" | "--jobs" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage(&format!("{arg} needs a value")));
+                (arg.clone(), v)
+            }
+            _ if arg.starts_with("--scale=") || arg.starts_with("--jobs=") => {
+                let (f, v) = arg.split_once('=').expect("checked above");
+                (f.to_string(), v.to_string())
+            }
+            _ => usage(&format!("unknown argument `{arg}`")),
+        };
+        match flag.as_str() {
+            "--scale" => {
+                if scale.is_some() {
+                    usage("--scale given twice");
+                }
+                scale = Some(
+                    ExperimentScale::parse(&value)
+                        .unwrap_or_else(|| usage(&format!("unknown scale `{value}`"))),
+                );
+            }
+            "--jobs" => {
+                if jobs.is_some() {
+                    usage("--jobs given twice");
+                }
+                let n: usize = value
+                    .parse()
+                    .unwrap_or_else(|_| usage(&format!("invalid job count `{value}`")));
+                // 0 means "auto", matching PROBRANCH_JOBS.
+                jobs = Some(if n == 0 {
+                    Jobs::available()
+                } else {
+                    Jobs::new(n)
+                });
+            }
+            _ => unreachable!(),
+        }
     }
-    ExperimentScale::parse(&value).unwrap_or_else(|| usage(&format!("unknown scale `{value}`")))
+    Options {
+        scale: scale.unwrap_or_else(ExperimentScale::from_env),
+        jobs: jobs.unwrap_or_else(Jobs::from_env),
+    }
 }
 
 fn usage(error: &str) -> ! {
-    let text = "usage: figures [--scale smoke|bench|paper]\n       (or set PROBRANCH_SCALE; default: bench)";
+    let text = "usage: figures [--scale smoke|bench|paper] [--jobs N]\n       (or set PROBRANCH_SCALE / PROBRANCH_JOBS; default: bench scale,\n        all cores; --jobs 0 also means all cores)";
     if error.is_empty() {
         println!("{text}");
         std::process::exit(0);
@@ -42,32 +86,37 @@ fn usage(error: &str) -> ! {
 }
 
 fn main() {
-    let scale = scale_from_args();
+    let opts = parse_args();
+    let (scale, jobs) = (opts.scale, opts.jobs);
     let t0 = std::time::Instant::now();
+    // The job count goes to stderr: stdout must stay byte-identical
+    // across worker counts (the determinism guarantee CI diffs on).
     println!("probranch — regenerating all tables & figures at {scale:?} scale\n");
+    eprintln!("running with {jobs} jobs");
 
-    println!("{}", render::table2(&experiments::table2(scale)));
-    println!("{}", render::table1(&experiments::table1()));
-    println!("{}", render::fig1(&experiments::fig1(scale)));
-    println!("{}", render::fig6(&experiments::fig6(scale)));
+    println!("{}", render::table2(&experiments::table2(scale, jobs)));
+    println!("{}", render::table1(&experiments::table1(jobs)));
+    println!("{}", render::fig1(&experiments::fig1(scale, jobs)));
+    println!("{}", render::fig6(&experiments::fig6(scale, jobs)));
     println!(
         "{}",
         render::ipc(
-            &experiments::fig7(scale),
+            &experiments::fig7(scale, jobs),
             "FIG 7 — normalized IPC, 4-wide / 168-entry ROB"
         )
     );
     println!(
         "{}",
         render::ipc(
-            &experiments::fig8(scale),
+            &experiments::fig8(scale, jobs),
             "FIG 8 — normalized IPC, 8-wide / 256-entry ROB"
         )
     );
-    println!("{}", render::fig9(&experiments::fig9(scale)));
-    println!("{}", render::table3(&experiments::table3(scale)));
-    println!("{}", render::accuracy(&experiments::accuracy(scale)));
+    println!("{}", render::fig9(&experiments::fig9(scale, jobs)));
+    println!("{}", render::table3(&experiments::table3(scale, jobs)));
+    println!("{}", render::accuracy(&experiments::accuracy(scale, jobs)));
     println!("{}", render::cost(&experiments::hardware_cost()));
 
-    println!("total wall time: {:.1}s", t0.elapsed().as_secs_f64());
+    // Stderr, so stdout stays byte-identical across worker counts.
+    eprintln!("total wall time: {:.1}s", t0.elapsed().as_secs_f64());
 }

@@ -1,15 +1,21 @@
 //! Experiment runners, one per paper table/figure.
+//!
+//! Every sweep is expressed as a grid of independent cells and executed
+//! through [`probranch_harness::run_cells`], so a run with `N` workers
+//! produces byte-identical rows to a serial run (the determinism
+//! integration tests lock this in). Per-cell workload seeds are derived
+//! from the cell identity ([`Cell::workload_seed`]) — no RNG state is
+//! shared across cells.
 
 use probranch_core::PbsConfig;
+use probranch_harness::{run_cells, workload_seed, Cell, Jobs};
 use probranch_pipeline::{
     run_functional, simulate, OooConfig, PredictorChoice, SimConfig, SimReport,
 };
 use probranch_stats::randomness::{run_battery, BatteryCounts};
 use probranch_stats::summary::Summary;
 use probranch_workloads::accuracy::{normalized_rms, relative_error, SuccessRate};
-use probranch_workloads::{
-    all_benchmarks, Benchmark, BenchmarkId, Genetic, HostRng, McInteg, Pi, Scale,
-};
+use probranch_workloads::{BenchmarkId, HostRng, McInteg, Pi, Scale};
 
 /// Run-size selection for the whole harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,15 +68,23 @@ impl ExperimentScale {
 }
 
 const MAX_INSTS: u64 = 2_000_000_000;
-const BASE_SEED: u64 = 12345;
 
-fn sim(bench: &dyn Benchmark, predictor: PredictorChoice, pbs: bool, core: OooConfig) -> SimReport {
+/// The benchmark's paper name, without running anything (benchmark
+/// constructors only store parameters).
+fn name_of(id: BenchmarkId) -> &'static str {
+    id.build(Scale::Smoke, 0).name()
+}
+
+/// Builds the cell's workload (at its derived seed) and simulates it
+/// under the cell's predictor/PBS configuration.
+fn sim_cell(cell: &Cell, scale: ExperimentScale, core: OooConfig) -> SimReport {
+    let bench = cell.workload.build(scale.workload(), cell.workload_seed());
     let mut cfg = SimConfig {
         core,
-        predictor,
+        predictor: cell.predictor,
         ..SimConfig::default()
     };
-    if pbs {
+    if cell.pbs {
         cfg.pbs = Some(PbsConfig::default());
     }
     cfg.max_insts = MAX_INSTS;
@@ -97,33 +111,31 @@ pub struct Fig1Row {
 
 /// Figure 1: probabilistic branches are a small fraction of dynamic
 /// branches but a disproportionate fraction of mispredictions.
-pub fn fig1(scale: ExperimentScale) -> Vec<Fig1Row> {
-    all_benchmarks(scale.workload(), BASE_SEED)
+pub fn fig1(scale: ExperimentScale, jobs: Jobs) -> Vec<Fig1Row> {
+    let cells: Vec<Cell> = BenchmarkId::ALL
         .iter()
-        .map(|b| {
-            let tour = sim(
-                b.as_ref(),
-                PredictorChoice::Tournament,
-                false,
-                OooConfig::default(),
-            );
-            let tage = sim(
-                b.as_ref(),
-                PredictorChoice::TageScL,
-                false,
-                OooConfig::default(),
-            );
-            let share = |r: &SimReport| {
-                100.0 * r.timing.prob_branches as f64 / r.timing.cond_branches.max(1) as f64
-            };
-            let mshare = |r: &SimReport| {
-                100.0 * r.timing.mispredicts_prob as f64 / r.timing.mispredicts.max(1) as f64
-            };
+        .flat_map(|&w| {
+            [PredictorChoice::Tournament, PredictorChoice::TageScL]
+                .map(|p| Cell::new(w, p, false, 0))
+        })
+        .collect();
+    let reports = run_cells(&cells, jobs, |c| sim_cell(c, scale, OooConfig::default()));
+    let share = |r: &SimReport| {
+        100.0 * r.timing.prob_branches as f64 / r.timing.cond_branches.max(1) as f64
+    };
+    let mshare = |r: &SimReport| {
+        100.0 * r.timing.mispredicts_prob as f64 / r.timing.mispredicts.max(1) as f64
+    };
+    BenchmarkId::ALL
+        .iter()
+        .zip(reports.chunks_exact(2))
+        .map(|(&id, pair)| {
+            let (tour, tage) = (&pair[0], &pair[1]);
             Fig1Row {
-                name: b.name(),
-                prob_branch_share: share(&tour),
-                tournament_mispredict_share: mshare(&tour),
-                tage_mispredict_share: mshare(&tage),
+                name: name_of(id),
+                prob_branch_share: share(tour),
+                tournament_mispredict_share: mshare(tour),
+                tage_mispredict_share: mshare(tage),
             }
         })
         .collect()
@@ -150,26 +162,25 @@ pub struct Table1Row {
 
 /// Table I: whether predication and control-flow decoupling can be
 /// applied (static analysis of the eight workloads).
-pub fn table1() -> Vec<Table1Row> {
-    all_benchmarks(Scale::Smoke, BASE_SEED)
-        .iter()
-        .map(|b| {
-            let p = b.program();
-            let pred = probranch_compiler::predication::analyze_program(&p);
-            let cfd = probranch_compiler::cfd::analyze_program(&p);
-            let first_err = |v: &[(u32, probranch_compiler::Applicability)]| {
-                v.iter()
-                    .find_map(|(_, a)| a.as_ref().err().map(|e| e.to_string()))
-            };
-            Table1Row {
-                name: b.name(),
-                predication: pred.iter().all(|(_, a)| a.is_ok()),
-                predication_reason: first_err(&pred),
-                cfd: cfd.iter().all(|(_, a)| a.is_ok()),
-                cfd_reason: first_err(&cfd),
-            }
-        })
-        .collect()
+pub fn table1(jobs: Jobs) -> Vec<Table1Row> {
+    // No predictor/PBS axis: the cells are the benchmarks themselves.
+    run_cells(&BenchmarkId::ALL, jobs, |&id| {
+        let b = id.build(Scale::Smoke, workload_seed(id, 0));
+        let p = b.program();
+        let pred = probranch_compiler::predication::analyze_program(&p);
+        let cfd = probranch_compiler::cfd::analyze_program(&p);
+        let first_err = |v: &[(u32, probranch_compiler::Applicability)]| {
+            v.iter()
+                .find_map(|(_, a)| a.as_ref().err().map(|e| e.to_string()))
+        };
+        Table1Row {
+            name: b.name(),
+            predication: pred.iter().all(|(_, a)| a.is_ok()),
+            predication_reason: first_err(&pred),
+            cfd: cfd.iter().all(|(_, a)| a.is_ok()),
+            cfd_reason: first_err(&cfd),
+        }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -193,23 +204,20 @@ pub struct Table2Row {
 
 /// Table II: benchmark characteristics (branch counts, category,
 /// instruction counts).
-pub fn table2(scale: ExperimentScale) -> Vec<Table2Row> {
-    all_benchmarks(scale.workload(), BASE_SEED)
-        .iter()
-        .map(|b| {
-            let p = b.program();
-            let (prob, total) = p.branch_counts();
-            let r =
-                run_functional(&p, None, MAX_INSTS).unwrap_or_else(|e| panic!("{}: {e}", b.name()));
-            Table2Row {
-                name: b.name(),
-                prob_branches: prob,
-                total_branches: total,
-                category: b.category().to_string(),
-                dynamic_insts: r.timing.instructions,
-            }
-        })
-        .collect()
+pub fn table2(scale: ExperimentScale, jobs: Jobs) -> Vec<Table2Row> {
+    run_cells(&BenchmarkId::ALL, jobs, |&id| {
+        let b = id.build(scale.workload(), workload_seed(id, 0));
+        let p = b.program();
+        let (prob, total) = p.branch_counts();
+        let r = run_functional(&p, None, MAX_INSTS).unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+        Table2Row {
+            name: b.name(),
+            prob_branches: prob,
+            total_branches: total,
+            category: b.category().to_string(),
+            dynamic_insts: r.timing.instructions,
+        }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -243,44 +251,40 @@ impl Fig6Row {
     }
 }
 
-/// Figure 6: MPKI reduction through PBS for both predictors.
-pub fn fig6(scale: ExperimentScale) -> Vec<Fig6Row> {
-    all_benchmarks(scale.workload(), BASE_SEED)
+/// The four machine configurations every benchmark is swept over:
+/// tournament / TAGE-SC-L, each without and with PBS.
+const FOUR_CONFIGS: [(PredictorChoice, bool); 4] = [
+    (PredictorChoice::Tournament, false),
+    (PredictorChoice::Tournament, true),
+    (PredictorChoice::TageScL, false),
+    (PredictorChoice::TageScL, true),
+];
+
+/// The benchmark × [`FOUR_CONFIGS`] grid, one run per cell, merged back
+/// per benchmark in config order.
+fn four_config_reports(scale: ExperimentScale, core: OooConfig, jobs: Jobs) -> Vec<Vec<SimReport>> {
+    let cells: Vec<Cell> = BenchmarkId::ALL
         .iter()
-        .map(|b| Fig6Row {
-            name: b.name(),
-            tournament_base: sim(
-                b.as_ref(),
-                PredictorChoice::Tournament,
-                false,
-                OooConfig::default(),
-            )
-            .timing
-            .mpki(),
-            tournament_pbs: sim(
-                b.as_ref(),
-                PredictorChoice::Tournament,
-                true,
-                OooConfig::default(),
-            )
-            .timing
-            .mpki(),
-            tage_base: sim(
-                b.as_ref(),
-                PredictorChoice::TageScL,
-                false,
-                OooConfig::default(),
-            )
-            .timing
-            .mpki(),
-            tage_pbs: sim(
-                b.as_ref(),
-                PredictorChoice::TageScL,
-                true,
-                OooConfig::default(),
-            )
-            .timing
-            .mpki(),
+        .flat_map(|&w| FOUR_CONFIGS.map(|(p, pbs)| Cell::new(w, p, pbs, 0)))
+        .collect();
+    let reports = run_cells(&cells, jobs, |c| sim_cell(c, scale, core.clone()));
+    reports
+        .chunks_exact(FOUR_CONFIGS.len())
+        .map(<[SimReport]>::to_vec)
+        .collect()
+}
+
+/// Figure 6: MPKI reduction through PBS for both predictors.
+pub fn fig6(scale: ExperimentScale, jobs: Jobs) -> Vec<Fig6Row> {
+    BenchmarkId::ALL
+        .iter()
+        .zip(four_config_reports(scale, OooConfig::default(), jobs))
+        .map(|(&id, r)| Fig6Row {
+            name: name_of(id),
+            tournament_base: r[0].timing.mpki(),
+            tournament_pbs: r[1].timing.mpki(),
+            tage_base: r[2].timing.mpki(),
+            tage_pbs: r[3].timing.mpki(),
         })
         .collect()
 }
@@ -301,41 +305,31 @@ pub struct IpcRow {
     pub tage_pbs: f64,
 }
 
-fn ipc_rows(scale: ExperimentScale, core: OooConfig) -> Vec<IpcRow> {
-    all_benchmarks(scale.workload(), BASE_SEED)
+fn ipc_rows(scale: ExperimentScale, core: OooConfig, jobs: Jobs) -> Vec<IpcRow> {
+    BenchmarkId::ALL
         .iter()
-        .map(|b| {
-            let base = sim(b.as_ref(), PredictorChoice::Tournament, false, core.clone())
-                .timing
-                .ipc();
-            let tage = sim(b.as_ref(), PredictorChoice::TageScL, false, core.clone())
-                .timing
-                .ipc();
-            let tour_pbs = sim(b.as_ref(), PredictorChoice::Tournament, true, core.clone())
-                .timing
-                .ipc();
-            let tage_pbs = sim(b.as_ref(), PredictorChoice::TageScL, true, core.clone())
-                .timing
-                .ipc();
+        .zip(four_config_reports(scale, core, jobs))
+        .map(|(&id, r)| {
+            let base = r[0].timing.ipc();
             IpcRow {
-                name: b.name(),
+                name: name_of(id),
                 tournament: base,
-                tage: tage / base,
-                tournament_pbs: tour_pbs / base,
-                tage_pbs: tage_pbs / base,
+                tage: r[2].timing.ipc() / base,
+                tournament_pbs: r[1].timing.ipc() / base,
+                tage_pbs: r[3].timing.ipc() / base,
             }
         })
         .collect()
 }
 
 /// Figure 7: normalized IPC on the 4-wide, 168-ROB core.
-pub fn fig7(scale: ExperimentScale) -> Vec<IpcRow> {
-    ipc_rows(scale, OooConfig::default())
+pub fn fig7(scale: ExperimentScale, jobs: Jobs) -> Vec<IpcRow> {
+    ipc_rows(scale, OooConfig::default(), jobs)
 }
 
 /// Figure 8: normalized IPC on the 8-wide, 256-ROB core.
-pub fn fig8(scale: ExperimentScale) -> Vec<IpcRow> {
-    ipc_rows(scale, OooConfig::wide())
+pub fn fig8(scale: ExperimentScale, jobs: Jobs) -> Vec<IpcRow> {
+    ipc_rows(scale, OooConfig::wide(), jobs)
 }
 
 // ---------------------------------------------------------------------------
@@ -356,33 +350,38 @@ pub struct Fig9Row {
 /// 1 KB tournament predictor — the maximum (over seeds) increase in
 /// regular-branch MPKI when probabilistic branches access the predictor
 /// versus when they are filtered out.
-pub fn fig9(scale: ExperimentScale) -> Vec<Fig9Row> {
+pub fn fig9(scale: ExperimentScale, jobs: Jobs) -> Vec<Fig9Row> {
+    // One cell per (benchmark, seed): both the unfiltered and the
+    // filtered run need the same workload instance, so they pair up
+    // inside the cell rather than across cells.
+    let seeds = scale.seeds();
+    let cells: Vec<Cell> = BenchmarkId::ALL
+        .iter()
+        .flat_map(|&w| (0..seeds).map(move |s| Cell::new(w, PredictorChoice::Tournament, false, s)))
+        .collect();
+    let increases = run_cells(&cells, jobs, |cell| {
+        let b = cell.workload.build(scale.workload(), cell.workload_seed());
+        let mut cfg = SimConfig {
+            predictor: cell.predictor,
+            max_insts: MAX_INSTS,
+            ..SimConfig::default()
+        };
+        let unfiltered = simulate(&b.program(), &cfg).expect("sim");
+        cfg.filter_prob_from_predictor = true;
+        let filtered = simulate(&b.program(), &cfg).expect("sim");
+        let base = filtered.timing.mpki_regular();
+        if base > 0.0 {
+            100.0 * (unfiltered.timing.mpki_regular() - base) / base
+        } else {
+            0.0
+        }
+    });
     BenchmarkId::ALL
         .iter()
-        .map(|id| {
-            let mut max_increase: f64 = 0.0;
-            let mut name = "";
-            for s in 0..scale.seeds() {
-                let b = id.build(scale.workload(), BASE_SEED + s);
-                name = b.name();
-                let mut cfg = SimConfig {
-                    predictor: PredictorChoice::Tournament,
-                    max_insts: MAX_INSTS,
-                    ..SimConfig::default()
-                };
-                let unfiltered = simulate(&b.program(), &cfg).expect("sim");
-                cfg.filter_prob_from_predictor = true;
-                let filtered = simulate(&b.program(), &cfg).expect("sim");
-                let base = filtered.timing.mpki_regular();
-                if base > 0.0 {
-                    let inc = 100.0 * (unfiltered.timing.mpki_regular() - base) / base;
-                    max_increase = max_increase.max(inc);
-                }
-            }
-            Fig9Row {
-                name,
-                max_increase_pct: max_increase,
-            }
+        .zip(increases.chunks_exact(seeds as usize))
+        .map(|(&id, incs)| Fig9Row {
+            name: name_of(id),
+            max_increase_pct: incs.iter().fold(0.0f64, |a, &b| a.max(b)),
         })
         .collect()
 }
@@ -475,44 +474,45 @@ pub struct Table3Row {
     pub pbs_fail: Summary,
 }
 
+/// The six uniform-controlled benchmarks of Table III, in paper order.
+const TABLE3_IDS: [BenchmarkId; 6] = [
+    BenchmarkId::Swaptions,
+    BenchmarkId::Genetic,
+    BenchmarkId::Photon,
+    BenchmarkId::McInteg,
+    BenchmarkId::Pi,
+    BenchmarkId::Bandit,
+];
+
 /// Table III: the randomness battery over original versus PBS-processed
 /// value streams, for the uniform-controlled benchmarks.
-pub fn table3(scale: ExperimentScale) -> Vec<Table3Row> {
-    let ids = [
-        BenchmarkId::Swaptions,
-        BenchmarkId::Genetic,
-        BenchmarkId::Photon,
-        BenchmarkId::McInteg,
-        BenchmarkId::Pi,
-        BenchmarkId::Bandit,
-    ];
-    ids.iter()
-        .map(|&id| {
-            let mut counts: [Vec<f64>; 6] = Default::default();
-            let mut name = "";
-            for s in 0..scale.seeds() {
-                let seed = BASE_SEED + s * 1000 + 1;
-                let bench = id.build(scale.workload(), seed);
-                name = bench.name();
-                let (orig, pbs) =
-                    uniform_stream_pair(id, scale.workload(), seed).expect("uniform benchmark");
-                let co = BatteryCounts::of(&run_battery(&orig));
-                let cp = BatteryCounts::of(&run_battery(&pbs));
-                for (i, v) in [co.pass, co.weak, co.fail, cp.pass, cp.weak, cp.fail]
-                    .iter()
-                    .enumerate()
-                {
-                    counts[i].push(*v as f64);
-                }
-            }
+pub fn table3(scale: ExperimentScale, jobs: Jobs) -> Vec<Table3Row> {
+    let seeds = scale.seeds();
+    let cells: Vec<Cell> = TABLE3_IDS
+        .iter()
+        .flat_map(|&w| (0..seeds).map(move |s| Cell::new(w, PredictorChoice::Tournament, true, s)))
+        .collect();
+    let batteries = run_cells(&cells, jobs, |cell| {
+        let (orig, pbs) =
+            uniform_stream_pair(cell.workload, scale.workload(), cell.workload_seed())
+                .expect("uniform benchmark");
+        let co = BatteryCounts::of(&run_battery(&orig));
+        let cp = BatteryCounts::of(&run_battery(&pbs));
+        [co.pass, co.weak, co.fail, cp.pass, cp.weak, cp.fail]
+    });
+    TABLE3_IDS
+        .iter()
+        .zip(batteries.chunks_exact(seeds as usize))
+        .map(|(&id, per_seed)| {
+            let column = |i: usize| per_seed.iter().map(|c| c[i] as f64).collect::<Vec<f64>>();
             Table3Row {
-                name,
-                orig_pass: Summary::of(&counts[0]),
-                orig_weak: Summary::of(&counts[1]),
-                orig_fail: Summary::of(&counts[2]),
-                pbs_pass: Summary::of(&counts[3]),
-                pbs_weak: Summary::of(&counts[4]),
-                pbs_fail: Summary::of(&counts[5]),
+                name: name_of(id),
+                orig_pass: Summary::of(&column(0)),
+                orig_weak: Summary::of(&column(1)),
+                orig_fail: Summary::of(&column(2)),
+                pbs_pass: Summary::of(&column(3)),
+                pbs_weak: Summary::of(&column(4)),
+                pbs_fail: Summary::of(&column(5)),
             }
         })
         .collect()
@@ -536,107 +536,137 @@ pub struct AccuracyRow {
     pub acceptable: bool,
 }
 
+/// One unit of §VII-D work: a benchmark's base-vs-PBS functional run
+/// pair, or one Genetic success-rate trial.
+#[derive(Debug, Clone, Copy)]
+enum AccuracyCell {
+    /// Max relative error over the primary outputs.
+    RelErr(BenchmarkId),
+    /// One Genetic trial at a seed index; trials aggregate into one row.
+    GeneticTrial(u64),
+    /// Normalized RMS over the absorption histogram.
+    Photon,
+    /// Reward relative error.
+    Bandit,
+}
+
+/// Base and PBS functional runs of the same workload instance.
+fn base_pbs_pair(id: BenchmarkId, w: Scale, seed_index: u64) -> (SimReport, SimReport) {
+    let b = id.build(w, workload_seed(id, seed_index));
+    let base = run_functional(&b.program(), None, MAX_INSTS).expect("run");
+    let pbs = run_functional(&b.program(), Some(PbsConfig::default()), MAX_INSTS).expect("run");
+    (base, pbs)
+}
+
 /// Section VII-D: output accuracy of PBS versus the original run.
-pub fn accuracy(scale: ExperimentScale) -> Vec<AccuracyRow> {
-    let mut rows = Vec::new();
+pub fn accuracy(scale: ExperimentScale, jobs: Jobs) -> Vec<AccuracyRow> {
     let w = scale.workload();
-    let pbs_cfg = Some(PbsConfig::default());
+    let trials = match scale {
+        ExperimentScale::Smoke => 8,
+        _ => 24,
+    };
 
     // Relative-error benchmarks: DOP, Greeks, Swaptions, MC-integ, PI.
-    for id in [
+    const REL_ERR_IDS: [BenchmarkId; 5] = [
         BenchmarkId::Dop,
         BenchmarkId::Greeks,
         BenchmarkId::Swaptions,
         BenchmarkId::McInteg,
         BenchmarkId::Pi,
-    ] {
-        let b = id.build(w, BASE_SEED);
-        let base = run_functional(&b.program(), None, MAX_INSTS).expect("run");
-        let pbs = run_functional(&b.program(), pbs_cfg.clone(), MAX_INSTS).expect("run");
-        // Compare the primary result values (port 1 when present, port 0
-        // counts otherwise), interpreting counts as magnitudes.
-        let (a, p) = if base.output(1).is_empty() {
-            (
-                base.output(0).iter().map(|&v| v as f64).collect::<Vec<_>>(),
-                pbs.output(0).iter().map(|&v| v as f64).collect::<Vec<_>>(),
-            )
-        } else {
-            (base.output_f64(1), pbs.output_f64(1))
-        };
-        let err = a
-            .iter()
-            .zip(&p)
-            .map(|(&x, &y)| relative_error(x, y))
-            .fold(0.0, f64::max);
-        rows.push(AccuracyRow {
-            name: b.name(),
-            metric: "max relative error",
-            value: err,
-            acceptable: err < 0.02,
-        });
-    }
+    ];
+    let mut cells: Vec<AccuracyCell> = REL_ERR_IDS.map(AccuracyCell::RelErr).to_vec();
+    cells.extend((0..trials).map(AccuracyCell::GeneticTrial));
+    cells.push(AccuracyCell::Photon);
+    cells.push(AccuracyCell::Bandit);
 
-    // Genetic: success-rate confidence intervals over seeds.
-    {
-        let trials = match scale {
-            ExperimentScale::Smoke => 8,
-            _ => 24,
-        };
-        let (mut ok_base, mut ok_pbs) = (0u64, 0u64);
-        for s in 0..trials {
-            let g = Genetic::new(w, BASE_SEED + s);
-            let base = run_functional(&g.program(), None, MAX_INSTS).expect("run");
-            let pbs = run_functional(&g.program(), pbs_cfg.clone(), MAX_INSTS).expect("run");
-            ok_base += base.output(0)[0];
-            ok_pbs += pbs.output(0)[0];
+    // Each cell yields either a finished row (Err) or one Genetic
+    // (ok_base, ok_pbs) sample (Ok) to be aggregated below.
+    let outcomes = run_cells(&cells, jobs, |cell| match *cell {
+        AccuracyCell::RelErr(id) => {
+            let (base, pbs) = base_pbs_pair(id, w, 0);
+            // Compare the primary result values (port 1 when present,
+            // port 0 counts otherwise), interpreting counts as
+            // magnitudes.
+            let (a, p) = if base.output(1).is_empty() {
+                (
+                    base.output(0).iter().map(|&v| v as f64).collect::<Vec<_>>(),
+                    pbs.output(0).iter().map(|&v| v as f64).collect::<Vec<_>>(),
+                )
+            } else {
+                (base.output_f64(1), pbs.output_f64(1))
+            };
+            let err = a
+                .iter()
+                .zip(&p)
+                .map(|(&x, &y)| relative_error(x, y))
+                .fold(0.0, f64::max);
+            Err(AccuracyRow {
+                name: name_of(id),
+                metric: "max relative error",
+                value: err,
+                acceptable: err < 0.02,
+            })
         }
-        let a = SuccessRate::from_counts(ok_base, trials);
-        let b = SuccessRate::from_counts(ok_pbs, trials);
-        rows.push(AccuracyRow {
+        AccuracyCell::GeneticTrial(s) => {
+            let (base, pbs) = base_pbs_pair(BenchmarkId::Genetic, w, s);
+            Ok((base.output(0)[0], pbs.output(0)[0]))
+        }
+        AccuracyCell::Photon => {
+            let (base, pbs) = base_pbs_pair(BenchmarkId::Photon, w, 0);
+            let rms = normalized_rms(&base.output_f64(0), &pbs.output_f64(0));
+            // The paper observed 3.9% at 6.2G instructions; the per-bin
+            // Monte-Carlo variance scales as 1/sqrt(photons), so the
+            // acceptance bound is scale-aware (AxBench-style
+            // image-quality ranges). EXPERIMENTS.md records the measured
+            // value per scale.
+            let bound = match scale {
+                ExperimentScale::Smoke => 0.40,
+                ExperimentScale::Bench => 0.20,
+                ExperimentScale::Paper => 0.10,
+            };
+            Err(AccuracyRow {
+                name: "Photon",
+                metric: "normalized RMS",
+                value: rms,
+                acceptable: rms < bound,
+            })
+        }
+        AccuracyCell::Bandit => {
+            let (base, pbs) = base_pbs_pair(BenchmarkId::Bandit, w, 0);
+            let err = relative_error(base.output(0)[0] as f64, pbs.output(0)[0] as f64);
+            Err(AccuracyRow {
+                name: "Bandit",
+                metric: "reward relative error",
+                value: err,
+                acceptable: err < 0.02,
+            })
+        }
+    });
+
+    let mut rows = Vec::new();
+    let (mut ok_base, mut ok_pbs) = (0u64, 0u64);
+    for outcome in outcomes {
+        match outcome {
+            Err(row) => rows.push(row),
+            Ok((b, p)) => {
+                ok_base += b;
+                ok_pbs += p;
+            }
+        }
+    }
+    // Genetic: success-rate confidence intervals over the trials,
+    // re-inserted at its paper position (after the relative-error rows).
+    let a = SuccessRate::from_counts(ok_base, trials);
+    let b = SuccessRate::from_counts(ok_pbs, trials);
+    rows.insert(
+        REL_ERR_IDS.len(),
+        AccuracyRow {
             name: "Genetic",
             metric: "success-rate CI overlap",
             value: (a.rate - b.rate).abs(),
             acceptable: a.overlaps(&b),
-        });
-    }
-
-    // Photon: normalized RMS over the absorption histogram ("image").
-    {
-        let ph = BenchmarkId::Photon.build(w, BASE_SEED);
-        let base = run_functional(&ph.program(), None, MAX_INSTS).expect("run");
-        let pbs = run_functional(&ph.program(), pbs_cfg.clone(), MAX_INSTS).expect("run");
-        let rms = normalized_rms(&base.output_f64(0), &pbs.output_f64(0));
-        // The paper observed 3.9% at 6.2G instructions; the per-bin
-        // Monte-Carlo variance scales as 1/sqrt(photons), so the
-        // acceptance bound is scale-aware (AxBench-style image-quality
-        // ranges). EXPERIMENTS.md records the measured value per scale.
-        let bound = match scale {
-            ExperimentScale::Smoke => 0.40,
-            ExperimentScale::Bench => 0.20,
-            ExperimentScale::Paper => 0.10,
-        };
-        rows.push(AccuracyRow {
-            name: "Photon",
-            metric: "normalized RMS",
-            value: rms,
-            acceptable: rms < bound,
-        });
-    }
-
-    // Bandit: reward error.
-    {
-        let bd = BenchmarkId::Bandit.build(w, BASE_SEED);
-        let base = run_functional(&bd.program(), None, MAX_INSTS).expect("run");
-        let pbs = run_functional(&bd.program(), pbs_cfg, MAX_INSTS).expect("run");
-        let err = relative_error(base.output(0)[0] as f64, pbs.output(0)[0] as f64);
-        rows.push(AccuracyRow {
-            name: "Bandit",
-            metric: "reward relative error",
-            value: err,
-            acceptable: err < 0.02,
-        });
-    }
-
+        },
+    );
     rows
 }
 
@@ -706,7 +736,7 @@ mod tests {
 
     #[test]
     fn fig1_shape_holds_at_smoke_scale() {
-        let rows = fig1(ExperimentScale::Smoke);
+        let rows = fig1(ExperimentScale::Smoke, Jobs::default());
         assert_eq!(rows.len(), 8);
         // Averages: the misprediction share must exceed the execution
         // share (the paper's headline observation).
@@ -720,7 +750,7 @@ mod tests {
 
     #[test]
     fn table1_matches_paper() {
-        let rows = table1();
+        let rows = table1(Jobs::default());
         let by_name: std::collections::HashMap<&str, (bool, bool)> = rows
             .iter()
             .map(|r| (r.name, (r.predication, r.cfd)))
@@ -737,7 +767,7 @@ mod tests {
 
     #[test]
     fn table2_counts() {
-        let rows = table2(ExperimentScale::Smoke);
+        let rows = table2(ExperimentScale::Smoke, Jobs::default());
         let expected = [2, 3, 3, 2, 2, 1, 1, 1];
         for (r, e) in rows.iter().zip(expected) {
             assert_eq!(r.prob_branches, e, "{}", r.name);
@@ -747,7 +777,7 @@ mod tests {
 
     #[test]
     fn fig6_pbs_reduces_mpki_everywhere() {
-        for r in fig6(ExperimentScale::Smoke) {
+        for r in fig6(ExperimentScale::Smoke, Jobs::default()) {
             assert!(
                 r.tournament_pbs <= r.tournament_base + 0.05,
                 "{}: {r:?}",

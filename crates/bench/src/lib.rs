@@ -18,6 +18,12 @@
 //!
 //! The `figures` binary prints all of them; set `PROBRANCH_SCALE` to
 //! `smoke`, `bench` (default) or `paper` to choose run sizes.
+//!
+//! Every sweep runs on the deterministic parallel engine of
+//! [`probranch_harness`]: pass a [`Jobs`] (worker count) to any runner —
+//! the rows are byte-identical whether it computes serially or across
+//! all cores. `figures --jobs N` and the `PROBRANCH_JOBS` environment
+//! variable control the default.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,3 +32,4 @@ pub mod experiments;
 pub mod render;
 
 pub use experiments::ExperimentScale;
+pub use probranch_harness::{run_cells, Cell, Jobs};

@@ -63,3 +63,13 @@ pub use config::PbsConfig;
 pub use context::{ContextKey, ContextTable};
 pub use tables::{InFlightRecord, ProbBtb, ProbBtbEntry, ProbInFlight};
 pub use unit::{BranchResolution, BypassReason, PbsStats, PbsUnit};
+
+// The parallel experiment harness ships PBS configurations and result
+// counters across worker threads; assert thread-safety at compile time
+// so a future interior-mutability field cannot silently break it.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PbsConfig>();
+    assert_send_sync::<PbsStats>();
+    assert_send_sync::<PbsUnit>();
+};

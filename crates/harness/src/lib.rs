@@ -1,0 +1,294 @@
+//! # probranch-harness
+//!
+//! The deterministic parallel experiment engine behind the `figures`
+//! binary and the Criterion benches.
+//!
+//! The paper's seed-averaged sweeps (Figures 1/6/7/8/9, Tables I–III)
+//! are grids of independent **cells** — one (workload, predictor,
+//! PBS on/off, seed) point each. This crate runs those grids across
+//! `std::thread` workers while keeping the results **bit-identical to a
+//! serial run**:
+//!
+//! * every cell is self-contained: its RNG seed is derived with
+//!   [`SplitMix64::mix`] from a stable hash of the cell's identity
+//!   ([`Cell::workload_seed`]), so no RNG state is shared between cells
+//!   and no cell's stream depends on how many cells ran before it;
+//! * workers pull cell *indices* from an atomic counter — scheduling
+//!   decides only *when* a cell runs, never *what* it computes;
+//! * [`run_cells`] writes each result into the slot of its cell index
+//!   and returns the slots in index order, so the merged output is
+//!   independent of thread interleaving.
+//!
+//! Consequently `run_cells(cells, Jobs::serial(), f)` and
+//! `run_cells(cells, Jobs::new(8), f)` return equal vectors for any
+//! deterministic `f`, which `tests/determinism.rs` locks in for the
+//! fig6/table3 pipelines end to end.
+//!
+//! ```
+//! use probranch_harness::{run_cells, Jobs};
+//! let squares = run_cells(&[1u64, 2, 3, 4], Jobs::new(2), |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use probranch_pipeline::PredictorChoice;
+use probranch_rng::SplitMix64;
+use probranch_workloads::BenchmarkId;
+
+/// Worker-count selection for [`run_cells`].
+///
+/// The value is always at least 1; [`Jobs::from_env`] (also
+/// `Default::default()`) honours the `PROBRANCH_JOBS` environment
+/// variable (`0` or unset: all available cores), which is how the CI
+/// matrix forces a serial run next to the parallel one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Jobs(usize);
+
+impl Jobs {
+    /// Exactly `n` workers (clamped to at least 1).
+    pub fn new(n: usize) -> Jobs {
+        Jobs(n.max(1))
+    }
+
+    /// A single worker: the serial reference schedule.
+    pub fn serial() -> Jobs {
+        Jobs(1)
+    }
+
+    /// One worker per available core.
+    pub fn available() -> Jobs {
+        Jobs::new(std::thread::available_parallelism().map_or(1, |n| n.get()))
+    }
+
+    /// Reads `PROBRANCH_JOBS`; `0`, unset, or unparsable means
+    /// [`Jobs::available`].
+    pub fn from_env() -> Jobs {
+        match std::env::var("PROBRANCH_JOBS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            Some(n) if n > 0 => Jobs(n),
+            _ => Jobs::available(),
+        }
+    }
+
+    /// The worker count.
+    pub fn get(self) -> usize {
+        self.0
+    }
+}
+
+impl Default for Jobs {
+    fn default() -> Jobs {
+        Jobs::from_env()
+    }
+}
+
+impl std::fmt::Display for Jobs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One point of an experiment grid: a workload instance simulated under
+/// one predictor/PBS configuration.
+///
+/// `seed` is a small per-cell *index* (0, 1, 2, … within a sweep), not
+/// the RNG seed itself: the actual workload seed is derived by hashing,
+/// see [`Cell::workload_seed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cell {
+    /// The benchmark this cell simulates.
+    pub workload: BenchmarkId,
+    /// The baseline branch predictor.
+    pub predictor: PredictorChoice,
+    /// Whether the PBS hardware is enabled.
+    pub pbs: bool,
+    /// Seed index within the sweep (a counter, not an RNG seed).
+    pub seed: u64,
+}
+
+impl Cell {
+    /// A cell for `workload` under `predictor`, PBS `pbs`, seed index
+    /// `seed`.
+    pub fn new(workload: BenchmarkId, predictor: PredictorChoice, pbs: bool, seed: u64) -> Cell {
+        Cell {
+            workload,
+            predictor,
+            pbs,
+            seed,
+        }
+    }
+
+    /// A stable 64-bit hash of the full cell identity (all four fields).
+    ///
+    /// Stable across runs and thread counts — it folds only the cell's
+    /// declarative fields, never addresses or global counters.
+    pub fn stable_hash(&self) -> u64 {
+        SplitMix64::mix_fold(&[
+            self.workload as u64,
+            self.predictor as u64,
+            self.pbs as u64,
+            self.seed,
+        ])
+    }
+
+    /// The derived RNG seed used to construct this cell's workload.
+    ///
+    /// Deliberately hashes only the *workload-identity* fields
+    /// (benchmark, seed index): the predictor choice and the PBS switch
+    /// must not change the dynamic instruction stream, otherwise a
+    /// "PBS on vs. off" column pair would compare two different program
+    /// runs instead of two machine configurations of the same run.
+    pub fn workload_seed(&self) -> u64 {
+        workload_seed(self.workload, self.seed)
+    }
+}
+
+/// Fixed stream constant folded into every derived workload seed. It
+/// plays the role of the harness's former `BASE_SEED`: one global pick
+/// that versions the entire experiment stream (bump it to re-roll all
+/// sweeps at once).
+const SEED_STREAM: u64 = 1;
+
+/// The derived RNG seed for `(workload, seed index)` — the free-function
+/// form of [`Cell::workload_seed`], for sweeps (static analyses,
+/// functional accuracy runs) whose cells have no predictor axis.
+pub fn workload_seed(workload: BenchmarkId, seed: u64) -> u64 {
+    SplitMix64::mix(SplitMix64::mix_fold(&[SEED_STREAM, workload as u64, seed]))
+}
+
+/// Runs one closure per cell across `jobs` workers and returns the
+/// results **in cell-index order**.
+///
+/// Workers claim cell indices from a shared atomic counter and deposit
+/// each result into its cell's dedicated slot, so the returned vector —
+/// and therefore everything downstream of it — is byte-identical no
+/// matter how many workers ran or how they interleaved. A panic inside
+/// `run` propagates after all workers have stopped.
+///
+/// The driver is generic over the item type: the paper sweeps pass
+/// [`Cell`]s, but any `Sync` descriptor works.
+pub fn run_cells<T, R, F>(cells: &[T], jobs: Jobs, run: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = cells.len();
+    let workers = jobs.get().min(n);
+    if workers <= 1 {
+        return cells.iter().map(run).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = run(&cells[i]);
+                *slots[i].lock().expect("slot lock") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .expect("slot lock")
+                .unwrap_or_else(|| panic!("cell {i} produced no result"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_cell_index_order() {
+        let cells: Vec<u64> = (0..100).collect();
+        for jobs in [Jobs::serial(), Jobs::new(3), Jobs::new(16)] {
+            let out = run_cells(&cells, jobs, |&c| c * 10);
+            assert_eq!(out, (0..100).map(|c| c * 10).collect::<Vec<u64>>());
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial_under_uneven_load() {
+        // Deliberately skewed per-cell cost so workers finish out of
+        // order; the merged output must not care.
+        let cells: Vec<u64> = (0..64).collect();
+        let work = |&c: &u64| {
+            let mut acc = c;
+            for _ in 0..(c % 7) * 10_000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (c, acc)
+        };
+        assert_eq!(
+            run_cells(&cells, Jobs::serial(), work),
+            run_cells(&cells, Jobs::new(8), work)
+        );
+    }
+
+    #[test]
+    fn more_workers_than_cells_is_fine() {
+        let out = run_cells(&[1u32, 2], Jobs::new(64), |&c| c + 1);
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn empty_grid_yields_empty_results() {
+        let out = run_cells(&[] as &[u8], Jobs::new(4), |_| 0u8);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn jobs_clamps_and_parses() {
+        assert_eq!(Jobs::new(0).get(), 1);
+        assert_eq!(Jobs::serial().get(), 1);
+        assert!(Jobs::available().get() >= 1);
+        assert_eq!(Jobs::new(5).to_string(), "5");
+    }
+
+    #[test]
+    fn workload_seed_ignores_machine_config() {
+        use probranch_pipeline::PredictorChoice as P;
+        use probranch_workloads::BenchmarkId as B;
+        let base = Cell::new(B::Pi, P::Tournament, false, 3);
+        let pbs = Cell::new(B::Pi, P::TageScL, true, 3);
+        // Same workload instance under every machine configuration…
+        assert_eq!(base.workload_seed(), pbs.workload_seed());
+        // …but the full identity hash still tells the cells apart.
+        assert_ne!(base.stable_hash(), pbs.stable_hash());
+        // Different benchmark or seed index ⇒ different stream.
+        assert_ne!(
+            base.workload_seed(),
+            Cell::new(B::Bandit, P::Tournament, false, 3).workload_seed()
+        );
+        assert_ne!(
+            base.workload_seed(),
+            Cell::new(B::Pi, P::Tournament, false, 4).workload_seed()
+        );
+    }
+
+    #[test]
+    fn stable_hash_is_reproducible() {
+        use probranch_pipeline::PredictorChoice as P;
+        use probranch_workloads::BenchmarkId as B;
+        let c = Cell::new(B::Photon, P::TageScL, true, 6);
+        assert_eq!(c.stable_hash(), c.stable_hash());
+        assert_eq!(c.workload_seed(), c.workload_seed());
+    }
+}

@@ -47,5 +47,5 @@ mod sim;
 
 pub use cache::{Cache, MemLatencies, MemoryHierarchy};
 pub use machine::{BranchEvent, BranchEventKind, DynInst, EmuConfig, EmuError, Emulator};
-pub use ooo::{ExecLatencies, OooConfig, OooTimingModel, TimingStats};
+pub use ooo::{BranchTraceEntry, ExecLatencies, OooConfig, OooTimingModel, TimingStats};
 pub use sim::{run_functional, simulate, PredictorChoice, SimConfig, SimReport};

@@ -111,6 +111,25 @@ impl OooConfig {
     }
 }
 
+/// One predictor-consulted conditional branch, as recorded by the
+/// optional branch trace (golden-trace regression testing).
+///
+/// Only branches that actually query the predictor appear: PBS-directed
+/// instances and filtered probabilistic branches resolve without a
+/// prediction and are excluded, so the trace is exactly the predictor's
+/// observable behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchTraceEntry {
+    /// Program counter of the branch.
+    pub pc: u32,
+    /// The predictor's direction guess.
+    pub predicted: bool,
+    /// The architecturally resolved direction.
+    pub taken: bool,
+    /// Whether this was a probabilistic branch.
+    pub is_prob: bool,
+}
+
 /// Aggregate statistics of a timing-model run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TimingStats {
@@ -187,6 +206,8 @@ pub struct OooTimingModel {
     last_commit: u64,
     committed_in_commit_cycle: u32,
     stats: TimingStats,
+    /// Per-branch (pc, predicted, actual) log; `None` unless enabled.
+    trace: Option<Vec<BranchTraceEntry>>,
 }
 
 impl OooTimingModel {
@@ -203,8 +224,22 @@ impl OooTimingModel {
             last_commit: 0,
             committed_in_commit_cycle: 0,
             stats: TimingStats::default(),
+            trace: None,
             cfg,
         }
+    }
+
+    /// Starts recording every predictor-consulted conditional branch as
+    /// a [`BranchTraceEntry`]; retrieve the log with
+    /// [`take_trace`](Self::take_trace).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Takes the recorded branch trace (empty if tracing was never
+    /// enabled).
+    pub fn take_trace(&mut self) -> Vec<BranchTraceEntry> {
+        self.trace.take().unwrap_or_default()
     }
 
     fn latency_of(&mut self, d: &DynInst) -> u64 {
@@ -305,6 +340,14 @@ impl OooTimingModel {
                     } else {
                         let predicted = predictor.predict(d.pc as u64);
                         predictor.update(d.pc as u64, ev.taken);
+                        if let Some(trace) = &mut self.trace {
+                            trace.push(BranchTraceEntry {
+                                pc: d.pc,
+                                predicted,
+                                taken: ev.taken,
+                                is_prob: ev.is_prob,
+                            });
+                        }
                         predicted != ev.taken
                     }
                 }

@@ -62,6 +62,10 @@ pub struct SimConfig {
     pub emu: EmuConfig,
     /// Instruction budget (guards against authoring bugs).
     pub max_insts: u64,
+    /// Record every predictor-consulted conditional branch into
+    /// [`SimReport::branch_trace`] (golden-trace regression tests; off
+    /// by default — tracing a long run allocates per branch).
+    pub collect_branch_trace: bool,
 }
 
 impl Default for SimConfig {
@@ -73,6 +77,7 @@ impl Default for SimConfig {
             filter_prob_from_predictor: false,
             emu: EmuConfig::default(),
             max_insts: 200_000_000,
+            collect_branch_trace: false,
         }
     }
 }
@@ -103,6 +108,9 @@ pub struct SimReport {
     pub outputs: HashMap<u16, Vec<u64>>,
     /// Probabilistic values in consumption order (Table III input).
     pub prob_consumed: Vec<u64>,
+    /// Per-branch (pc, predicted, actual) log; empty unless
+    /// [`SimConfig::collect_branch_trace`] was set.
+    pub branch_trace: Vec<crate::ooo::BranchTraceEntry>,
 }
 
 impl SimReport {
@@ -152,6 +160,9 @@ pub fn simulate(program: &Program, config: &SimConfig) -> Result<SimReport, EmuE
     };
     let mut predictor = config.predictor.build();
     let mut timing = OooTimingModel::new(config.core.clone());
+    if config.collect_branch_trace {
+        timing.enable_trace();
+    }
 
     let mut executed: u64 = 0;
     while let Some(d) = emu.step()? {
@@ -169,6 +180,7 @@ pub fn simulate(program: &Program, config: &SimConfig) -> Result<SimReport, EmuE
         pbs: emu.pbs_stats(),
         outputs: drain_outputs(&emu),
         prob_consumed: emu.prob_consumed().to_vec(),
+        branch_trace: timing.take_trace(),
     })
 }
 
@@ -200,8 +212,19 @@ pub fn run_functional(
         pbs: emu.pbs_stats(),
         outputs: drain_outputs(&emu),
         prob_consumed: emu.prob_consumed().to_vec(),
+        branch_trace: Vec::new(),
     })
 }
+
+// The parallel experiment harness moves configurations into worker
+// threads and results back out; keep that capability a compile-time
+// guarantee rather than an accident of field choices.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SimConfig>();
+    assert_send_sync::<SimReport>();
+    assert_send_sync::<PredictorChoice>();
+};
 
 fn drain_outputs(emu: &Emulator) -> HashMap<u16, Vec<u64>> {
     let mut out = HashMap::new();

@@ -1,0 +1,182 @@
+//! Property tests over the predictor building blocks and the five
+//! predictors (bimodal, gshare, loop, tournament, TAGE-SC-L):
+//! saturating-counter bounds, TAGE table-index safety under arbitrary
+//! configurations, and same-history prediction determinism — the
+//! invariants the golden-trace and parallel-harness tests build on.
+
+use proptest::prelude::*;
+
+use probranch_predictor::{
+    Bimodal, BranchPredictor, Gshare, LoopPredictor, SatCounter, TageConfig, TageScL, Tournament,
+};
+
+/// Drives `p` over `pattern` and returns the prediction sequence.
+fn drive(p: &mut dyn BranchPredictor, pattern: &[(u64, bool)]) -> Vec<bool> {
+    pattern
+        .iter()
+        .map(|&(pc, taken)| {
+            let pred = p.predict(pc);
+            p.update(pc, taken);
+            pred
+        })
+        .collect()
+}
+
+/// An arbitrary but *valid* TAGE configuration, spanning degenerate
+/// single-table setups to larger-than-default geometries.
+fn tage_config_strategy() -> impl Strategy<Value = TageConfig> {
+    (
+        (1usize..7, 4u32..11, 5u32..12),
+        (1usize..9, 0usize..220, 6u32..13),
+        // The loop predictor requires a power-of-two entry count.
+        ((0u32..6).prop_map(|e| 1usize << e), 4u32..10),
+        proptest::collection::vec(1usize..40, 1..5),
+    )
+        .prop_map(
+            |(
+                (num_tables, index_bits, tag_bits),
+                (min_history, extra_history, base_bits),
+                (loop_entries, sc_index_bits),
+                sc_histories,
+            )| {
+                TageConfig {
+                    num_tables,
+                    index_bits,
+                    tag_bits,
+                    min_history,
+                    max_history: min_history + extra_history,
+                    base_bits,
+                    loop_entries,
+                    sc_index_bits,
+                    sc_histories,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- saturating counters --------------------------------------------
+
+    #[test]
+    fn sat_counter_stays_in_bounds(
+        bits in 1u8..8,
+        initial in any::<u8>(),
+        ops in proptest::collection::vec(0u8..4, 1..200),
+    ) {
+        let mut c = SatCounter::new(bits, initial);
+        let max = (1u16 << bits) as u8 - 1;
+        prop_assert_eq!(c.max(), max);
+        prop_assert!(c.value() <= max, "clamped init {} > {}", c.value(), max);
+        for op in ops {
+            match op {
+                0 => c.inc(),
+                1 => c.dec(),
+                2 => c.train(true),
+                _ => c.train(false),
+            }
+            // The invariant under every operation: 0 <= value <= max.
+            prop_assert!(c.value() <= max, "{} > {}", c.value(), max);
+            // The signed view stays centered: [-2^(n-1), 2^(n-1) - 1].
+            let half = 1i16 << (bits - 1);
+            prop_assert!((c.signed() as i16) >= -half);
+            prop_assert!((c.signed() as i16) < half);
+            // taken() is exactly "strictly above the midpoint".
+            prop_assert_eq!(c.taken(), c.value() > max / 2);
+        }
+    }
+
+    #[test]
+    fn sat_counter_saturation_is_stable(bits in 1u8..8, extra in 1u8..50) {
+        let max = (1u16 << bits) as u8 - 1;
+        let mut c = SatCounter::new(bits, max);
+        for _ in 0..extra {
+            c.inc();
+        }
+        prop_assert_eq!(c.value(), max);
+        let mut c = SatCounter::new(bits, 0);
+        for _ in 0..extra {
+            c.dec();
+        }
+        prop_assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn sat_counter_reset_weak_is_weak(bits in 1u8..8, initial in any::<u8>(), taken in any::<bool>()) {
+        let mut c = SatCounter::new(bits, initial);
+        c.reset_weak(taken);
+        prop_assert!(c.is_weak());
+        prop_assert_eq!(c.taken(), taken);
+    }
+
+    // ---- TAGE index safety ----------------------------------------------
+
+    // Arbitrary geometries × full-range PCs: every table access in
+    // predict/update is masked, so any out-of-bounds index would panic
+    // here. 64 configs × 300 branches exercises allocation, aging,
+    // the SC and the loop predictor.
+    #[test]
+    fn tage_never_indexes_out_of_bounds(
+        config in tage_config_strategy(),
+        pattern in proptest::collection::vec((any::<u64>(), any::<bool>()), 1..300),
+    ) {
+        let mut p = TageScL::new(config);
+        let preds = drive(&mut p, &pattern);
+        prop_assert_eq!(preds.len(), pattern.len());
+        prop_assert!(p.storage_bits() > 0);
+    }
+
+    #[test]
+    fn tage_history_lengths_stay_monotonic(config in tage_config_strategy()) {
+        let p = TageScL::new(config);
+        let h = p.history_lengths();
+        prop_assert!(!h.is_empty());
+        prop_assert!(
+            h.windows(2).all(|w| w[0] <= w[1]),
+            "history lengths {:?} not monotonic", h
+        );
+    }
+
+    // ---- determinism -----------------------------------------------------
+
+    // Two fresh instances of the same predictor fed the same history
+    // produce the same prediction sequence — the invariant that makes
+    // parallel sweep cells reproducible and golden traces stable.
+    #[test]
+    fn all_five_predictors_are_deterministic(
+        pattern in proptest::collection::vec((any::<u64>(), any::<bool>()), 1..400),
+    ) {
+        let run_pair = |a: &mut dyn BranchPredictor, b: &mut dyn BranchPredictor| {
+            (drive(a, &pattern), drive(b, &pattern))
+        };
+        let (a, b) = run_pair(&mut Bimodal::new(10), &mut Bimodal::new(10));
+        prop_assert_eq!(a, b, "bimodal diverged");
+        let (a, b) = run_pair(&mut Gshare::new(10, 10), &mut Gshare::new(10, 10));
+        prop_assert_eq!(a, b, "gshare diverged");
+        let (a, b) = run_pair(&mut LoopPredictor::new(16), &mut LoopPredictor::new(16));
+        prop_assert_eq!(a, b, "loop diverged");
+        let (a, b) = run_pair(&mut Tournament::default(), &mut Tournament::default());
+        prop_assert_eq!(a, b, "tournament diverged");
+        let (a, b) = run_pair(&mut TageScL::default(), &mut TageScL::default());
+        prop_assert_eq!(a, b, "tage-sc-l diverged");
+    }
+
+    // Determinism also survives interleaving with *other* PCs as long as
+    // the history seen per instance is identical (no hidden global
+    // state such as a time-based tick).
+    #[test]
+    fn tage_replay_from_clone_matches(
+        warmup in proptest::collection::vec((0u64..256, any::<bool>()), 1..200),
+        tail in proptest::collection::vec((0u64..256, any::<bool>()), 1..100),
+    ) {
+        let mut original = TageScL::default();
+        drive(&mut original, &warmup);
+        let mut replay = original.clone();
+        prop_assert_eq!(
+            drive(&mut original, &tail),
+            drive(&mut replay, &tail),
+            "clone diverged from original on the same tail"
+        );
+    }
+}

@@ -90,7 +90,12 @@ pub enum Scale {
 }
 
 /// A paper benchmark: an ISA program plus its host reference.
-pub trait Benchmark {
+///
+/// `Send` is a supertrait so built benchmarks (and `Box<dyn Benchmark>`
+/// collections from [`all_benchmarks`]) can move into the worker
+/// threads of the parallel experiment harness; implementations are
+/// plain parameter structs, so this costs nothing.
+pub trait Benchmark: Send {
     /// The paper's benchmark name ("DOP", "Greeks", ...).
     fn name(&self) -> &'static str;
 

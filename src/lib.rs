@@ -23,7 +23,9 @@
 //! * [`compiler`] — taint marking, predication, CFD, safety analyses
 //!   ([`probranch_compiler`]);
 //! * [`stats`] — summary statistics and the randomness battery
-//!   ([`probranch_stats`]).
+//!   ([`probranch_stats`]);
+//! * [`harness`] — the deterministic parallel experiment engine driving
+//!   all sweeps ([`probranch_harness`]).
 //!
 //! ## Quickstart
 //!
@@ -43,6 +45,7 @@
 
 pub use probranch_compiler as compiler;
 pub use probranch_core as pbs;
+pub use probranch_harness as harness;
 pub use probranch_isa as isa;
 pub use probranch_pipeline as pipeline;
 pub use probranch_predictor as predictor;
@@ -53,6 +56,7 @@ pub use probranch_workloads as workloads;
 /// The most common imports for experiments.
 pub mod prelude {
     pub use probranch_core::{BranchResolution, PbsConfig, PbsUnit};
+    pub use probranch_harness::{run_cells, Cell, Jobs};
     pub use probranch_isa::{CmpOp, Inst, Program, ProgramBuilder, Reg};
     pub use probranch_pipeline::{
         run_functional, simulate, OooConfig, PredictorChoice, SimConfig, SimReport,

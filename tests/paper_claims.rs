@@ -8,7 +8,7 @@ use probranch_bench::experiments::{self, ExperimentScale};
 fn abstract_claim_mpki_reduction_is_substantial() {
     // Abstract: "PBS improves MPKI by 45% on average (and up to 99%)".
     // Shape check: average reduction well above zero, maximum ~99%.
-    let rows = experiments::fig6(ExperimentScale::Smoke);
+    let rows = experiments::fig6(ExperimentScale::Smoke, Jobs::default());
     let tage_reductions: Vec<f64> = rows.iter().map(|r| r.tage_reduction()).collect();
     let avg = tage_reductions.iter().sum::<f64>() / tage_reductions.len() as f64;
     let max = tage_reductions.iter().cloned().fold(f64::MIN, f64::max);
@@ -20,7 +20,7 @@ fn abstract_claim_mpki_reduction_is_substantial() {
 fn abstract_claim_ipc_improves_on_average() {
     // Abstract: "and IPC by 6.7% (up to 17%) over the TAGE-SC-L
     // predictor".
-    let rows = experiments::fig7(ExperimentScale::Smoke);
+    let rows = experiments::fig7(ExperimentScale::Smoke, Jobs::default());
     let avg_tage_pbs: f64 =
         rows.iter().map(|r| r.tage_pbs / r.tage).sum::<f64>() / rows.len() as f64;
     assert!(
@@ -34,7 +34,7 @@ fn section_vii_tage_reduction_exceeds_tournament() {
     // Section VII-A: "We achieve even higher reductions in MPKI for the
     // TAGE-SC-L predictor" — because TAGE leaves probabilistic branches
     // as a larger fraction of the remaining mispredictions.
-    let rows = experiments::fig6(ExperimentScale::Smoke);
+    let rows = experiments::fig6(ExperimentScale::Smoke, Jobs::default());
     let tour_avg: f64 =
         rows.iter().map(|r| r.tournament_reduction()).sum::<f64>() / rows.len() as f64;
     let tage_avg: f64 = rows.iter().map(|r| r.tage_reduction()).sum::<f64>() / rows.len() as f64;
@@ -49,7 +49,7 @@ fn figure1_misprediction_share_grows_under_better_predictor() {
     // "Note also that the misprediction rate for the probabilistic
     // branches tends to be higher for the more sophisticated TAGE-SC-L
     // predictor."
-    let rows = experiments::fig1(ExperimentScale::Smoke);
+    let rows = experiments::fig1(ExperimentScale::Smoke, Jobs::default());
     let tour: f64 = rows
         .iter()
         .map(|r| r.tournament_mispredict_share)
@@ -64,7 +64,7 @@ fn figure1_misprediction_share_grows_under_better_predictor() {
 
 #[test]
 fn table1_verdicts_match_paper_exactly() {
-    let rows = experiments::table1();
+    let rows = experiments::table1(Jobs::default());
     let expected = [
         ("DOP", true, true),
         ("Greeks", false, true),
@@ -91,7 +91,7 @@ fn hardware_cost_is_193_bytes() {
 
 #[test]
 fn accuracy_metrics_are_acceptable() {
-    for row in experiments::accuracy(ExperimentScale::Smoke) {
+    for row in experiments::accuracy(ExperimentScale::Smoke, Jobs::default()) {
         assert!(
             row.acceptable,
             "{}: {} = {}",
@@ -105,7 +105,7 @@ fn randomness_battery_intervals_overlap_for_every_benchmark() {
     // Table III's conclusion: "the results of PBS and the original code
     // significantly overlap, indicating that the two techniques are
     // statistically identical."
-    for row in experiments::table3(ExperimentScale::Smoke) {
+    for row in experiments::table3(ExperimentScale::Smoke, Jobs::default()) {
         assert!(
             row.orig_pass.overlaps(&row.pbs_pass),
             "{}: PASS intervals disjoint",
@@ -123,7 +123,7 @@ fn randomness_battery_intervals_overlap_for_every_benchmark() {
 fn fig9_interference_is_bounded() {
     // "reaching up to 5.8% and a couple of percents on average" — ours
     // must stay in a plausible band (no runaway interference).
-    let rows = experiments::fig9(ExperimentScale::Smoke);
+    let rows = experiments::fig9(ExperimentScale::Smoke, Jobs::default());
     for r in &rows {
         assert!(
             (-1.0..30.0).contains(&r.max_increase_pct),
