@@ -1,0 +1,142 @@
+//! CI gate for the `sim-throughput` benchmark.
+//!
+//! ```text
+//! check_throughput BASELINE.json FRESH.json [--tolerance 0.30]
+//! ```
+//!
+//! Compares the fused-engine MIPS of every cell in `FRESH` against the
+//! committed `BASELINE` and exits nonzero if any cell regressed by more
+//! than the tolerance (default 30%, absorbing runner-to-runner noise).
+//! Skips — exit 0 with a notice — when the baseline file is missing, the
+//! schemas differ, or the two reports were measured at different scales.
+//!
+//! Both files use the line-oriented layout of
+//! `probranch_bench::throughput::ThroughputReport::to_json` (one cell
+//! object per line), which this checker parses with plain string
+//! scanning so it needs no JSON dependency.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Extracts the raw text of `"key":<value>` from a single line, value
+/// ending at `,` or `}`.
+fn raw_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"').to_string())
+}
+
+/// `"key": "value"` on a whole-report line (schema/scale headers).
+fn header_field(text: &str, key: &str) -> Option<String> {
+    text.lines().find_map(|l| {
+        let l = l.trim();
+        l.strip_prefix(&format!("\"{key}\": \""))
+            .and_then(|r| r.strip_suffix("\","))
+            .map(str::to_string)
+    })
+}
+
+/// Parses `(header scale, cell key → fused MIPS)` from a report.
+fn parse(text: &str) -> (Option<String>, BTreeMap<String, f64>) {
+    let mut cells = BTreeMap::new();
+    for line in text.lines().filter(|l| l.contains("\"workload\"")) {
+        let (Some(w), Some(p), Some(pbs), Some(mips)) = (
+            raw_field(line, "workload"),
+            raw_field(line, "predictor"),
+            raw_field(line, "pbs"),
+            raw_field(line, "fused_mips"),
+        ) else {
+            continue;
+        };
+        if let Ok(mips) = mips.parse::<f64>() {
+            cells.insert(format!("{w}|{p}|{pbs}"), mips);
+        }
+    }
+    (header_field(text, "scale"), cells)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (baseline_path, fresh_path) = match (args.first(), args.get(1)) {
+        (Some(b), Some(f)) => (b.clone(), f.clone()),
+        _ => {
+            eprintln!("usage: check_throughput BASELINE.json FRESH.json [--tolerance 0.30]");
+            return ExitCode::from(2);
+        }
+    };
+    let tolerance: f64 = match args.iter().position(|a| a == "--tolerance") {
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse().ok()) {
+            Some(t) => t,
+            None => {
+                eprintln!("--tolerance needs a fractional value, e.g. 0.30");
+                return ExitCode::from(2);
+            }
+        },
+        None => 0.30,
+    };
+
+    let Ok(baseline_text) = std::fs::read_to_string(&baseline_path) else {
+        println!("check_throughput: no baseline at {baseline_path}; skipping regression check");
+        return ExitCode::SUCCESS;
+    };
+    let fresh_text = match std::fs::read_to_string(&fresh_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check_throughput: cannot read fresh report {fresh_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for (name, text) in [("baseline", &baseline_text), ("fresh", &fresh_text)] {
+        match header_field(text, "schema").as_deref() {
+            Some("probranch-throughput/1") => {}
+            other => {
+                println!(
+                    "check_throughput: {name} schema {other:?} is not probranch-throughput/1; skipping"
+                );
+                return ExitCode::SUCCESS;
+            }
+        }
+    }
+
+    let (base_scale, baseline) = parse(&baseline_text);
+    let (fresh_scale, fresh) = parse(&fresh_text);
+    if base_scale != fresh_scale {
+        println!("check_throughput: scale mismatch ({base_scale:?} vs {fresh_scale:?}); skipping");
+        return ExitCode::SUCCESS;
+    }
+    if baseline.is_empty() {
+        println!("check_throughput: baseline has no cells; skipping");
+        return ExitCode::SUCCESS;
+    }
+
+    let mut failures = 0usize;
+    let mut compared = 0usize;
+    for (key, base_mips) in &baseline {
+        let Some(fresh_mips) = fresh.get(key) else {
+            eprintln!("REGRESSION {key}: cell missing from fresh report");
+            failures += 1;
+            continue;
+        };
+        compared += 1;
+        let floor = base_mips * (1.0 - tolerance);
+        if *fresh_mips < floor {
+            eprintln!(
+                "REGRESSION {key}: {fresh_mips:.2} MIPS < {floor:.2} (baseline {base_mips:.2}, tolerance {:.0}%)",
+                tolerance * 100.0
+            );
+            failures += 1;
+        }
+    }
+    println!(
+        "check_throughput: {compared} cells compared, {failures} regressions (tolerance {:.0}%)",
+        tolerance * 100.0
+    );
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

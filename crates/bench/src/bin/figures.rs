@@ -11,32 +11,43 @@
 //!
 //! `--jobs N` selects the worker count of the parallel experiment
 //! engine (default: `PROBRANCH_JOBS`, else all available cores). The
-//! printed tables are byte-identical for every worker count — only the
-//! wall time changes, which is why the timing line goes to stderr.
+//! printed tables are byte-identical for every worker count — the
+//! default run performs **no wall-clock measurement at all**, so stdout
+//! and stderr stay byte-diffable across machines and worker counts.
+//!
+//! `--emit-bench-json PATH` switches to throughput-benchmark mode: runs
+//! the `sim-throughput` sweep (fig6 grid, fused and reference engines),
+//! writes the measured-MIPS report as JSON to `PATH`, and prints the
+//! summary plus wall time to stderr. All timing lives behind this flag.
 
 use probranch_bench::experiments::{self, ExperimentScale};
-use probranch_bench::render;
+use probranch_bench::{render, throughput};
 use probranch_harness::Jobs;
 
 struct Options {
     scale: ExperimentScale,
-    jobs: Jobs,
+    jobs: Option<Jobs>,
+    bench_json: Option<String>,
 }
 
 fn parse_args() -> Options {
     let mut scale: Option<ExperimentScale> = None;
     let mut jobs: Option<Jobs> = None;
+    let mut bench_json: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let (flag, value) = match arg.as_str() {
             "--help" | "-h" => usage(""),
-            "--scale" | "--jobs" => {
+            "--scale" | "--jobs" | "--emit-bench-json" => {
                 let v = args
                     .next()
                     .unwrap_or_else(|| usage(&format!("{arg} needs a value")));
                 (arg.clone(), v)
             }
-            _ if arg.starts_with("--scale=") || arg.starts_with("--jobs=") => {
+            _ if arg.starts_with("--scale=")
+                || arg.starts_with("--jobs=")
+                || arg.starts_with("--emit-bench-json=") =>
+            {
                 let (f, v) = arg.split_once('=').expect("checked above");
                 (f.to_string(), v.to_string())
             }
@@ -66,17 +77,24 @@ fn parse_args() -> Options {
                     Jobs::new(n)
                 });
             }
+            "--emit-bench-json" => {
+                if bench_json.is_some() {
+                    usage("--emit-bench-json given twice");
+                }
+                bench_json = Some(value);
+            }
             _ => unreachable!(),
         }
     }
     Options {
         scale: scale.unwrap_or_else(ExperimentScale::from_env),
-        jobs: jobs.unwrap_or_else(Jobs::from_env),
+        jobs,
+        bench_json,
     }
 }
 
 fn usage(error: &str) -> ! {
-    let text = "usage: figures [--scale smoke|bench|paper] [--jobs N]\n       (or set PROBRANCH_SCALE / PROBRANCH_JOBS; default: bench scale,\n        all cores; --jobs 0 also means all cores)";
+    let text = "usage: figures [--scale smoke|bench|paper] [--jobs N] [--emit-bench-json PATH]\n       (or set PROBRANCH_SCALE / PROBRANCH_JOBS; default: bench scale,\n        all cores; --jobs 0 also means all cores)\n       --emit-bench-json PATH: run the sim-throughput sweep instead of\n        the figures, writing measured MIPS per cell to PATH (serial\n        unless --jobs is given; all wall-clock timing lives here)";
     if error.is_empty() {
         println!("{text}");
         std::process::exit(0);
@@ -85,10 +103,31 @@ fn usage(error: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Throughput-benchmark mode: the only code path in this binary allowed
+/// to read the wall clock.
+fn run_bench_json(path: &str, scale: ExperimentScale, jobs: Option<Jobs>) {
+    // Serial by default: per-cell wall times on an otherwise idle
+    // machine, not contention artifacts.
+    let jobs = jobs.unwrap_or_else(Jobs::serial);
+    eprintln!("sim-throughput: {} scale, {jobs} jobs", scale.name());
+    let t0 = std::time::Instant::now();
+    let report = throughput::measure(scale, jobs);
+    std::fs::write(path, report.to_json()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    eprint!("{}", report.summary());
+    eprintln!(
+        "wrote {path}; total wall time {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
+}
+
 fn main() {
     let opts = parse_args();
-    let (scale, jobs) = (opts.scale, opts.jobs);
-    let t0 = std::time::Instant::now();
+    if let Some(path) = &opts.bench_json {
+        run_bench_json(path, opts.scale, opts.jobs);
+        return;
+    }
+    let scale = opts.scale;
+    let jobs = opts.jobs.unwrap_or_else(Jobs::from_env);
     // The job count goes to stderr: stdout must stay byte-identical
     // across worker counts (the determinism guarantee CI diffs on).
     println!("probranch — regenerating all tables & figures at {scale:?} scale\n");
@@ -116,7 +155,4 @@ fn main() {
     println!("{}", render::table3(&experiments::table3(scale, jobs)));
     println!("{}", render::accuracy(&experiments::accuracy(scale, jobs)));
     println!("{}", render::cost(&experiments::hardware_cost()));
-
-    // Stderr, so stdout stays byte-identical across worker counts.
-    eprintln!("total wall time: {:.1}s", t0.elapsed().as_secs_f64());
 }

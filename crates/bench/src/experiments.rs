@@ -49,6 +49,15 @@ impl ExperimentScale {
         }
     }
 
+    /// The scale's name, as accepted by [`ExperimentScale::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            ExperimentScale::Smoke => "smoke",
+            ExperimentScale::Bench => "bench",
+            ExperimentScale::Paper => "paper",
+        }
+    }
+
     /// The workload scale preset.
     pub fn workload(self) -> Scale {
         match self {

@@ -30,6 +30,7 @@
 
 pub mod experiments;
 pub mod render;
+pub mod throughput;
 
 pub use experiments::ExperimentScale;
 pub use probranch_harness::{run_cells, Cell, Jobs};

@@ -1,0 +1,282 @@
+//! The `sim-throughput` benchmark: simulator speed (MIPS — millions of
+//! simulated instructions per wall-clock second) per
+//! workload × predictor × PBS cell, for the fused engine and for the
+//! unfused reference engine.
+//!
+//! This is the perf trajectory of the project: `figures
+//! --emit-bench-json BENCH_throughput.json` serializes a report whose
+//! committed copy at the repo root is the baseline CI's
+//! `check_throughput` gate compares fresh measurements against.
+//!
+//! Measurements are wall-clock and therefore machine-dependent; the
+//! *results* of every timed run are still checked for engine agreement
+//! (each cell asserts the fused and reference reports are identical), so
+//! a throughput run doubles as an equivalence sweep.
+
+use std::time::Duration;
+
+use probranch_harness::{run_cells_timed, workload_seed, Cell, Jobs};
+use probranch_pipeline::{simulate, simulate_reference, PredictorChoice, SimConfig, SimReport};
+use probranch_workloads::BenchmarkId;
+
+use crate::experiments::ExperimentScale;
+
+/// Schema tag written into the JSON (bump on layout changes so the CI
+/// gate skips rather than misparses).
+pub const SCHEMA: &str = "probranch-throughput/1";
+
+/// One measured grid point.
+#[derive(Debug, Clone)]
+pub struct ThroughputCell {
+    /// Benchmark name.
+    pub workload: &'static str,
+    /// Predictor name.
+    pub predictor: &'static str,
+    /// Whether PBS was enabled.
+    pub pbs: bool,
+    /// Simulated (committed) instructions.
+    pub instructions: u64,
+    /// Wall time of the fused engine.
+    pub fused: Duration,
+    /// Wall time of the unfused reference engine.
+    pub reference: Duration,
+}
+
+impl ThroughputCell {
+    /// Millions of simulated instructions per second, fused engine.
+    pub fn fused_mips(&self) -> f64 {
+        mips(self.instructions, self.fused)
+    }
+
+    /// Millions of simulated instructions per second, reference engine.
+    pub fn reference_mips(&self) -> f64 {
+        mips(self.instructions, self.reference)
+    }
+
+    /// Stable identity for baseline comparison.
+    pub fn key(&self) -> String {
+        format!("{}|{}|{}", self.workload, self.predictor, self.pbs)
+    }
+}
+
+fn mips(instructions: u64, wall: Duration) -> f64 {
+    let s = wall.as_secs_f64();
+    if s <= 0.0 {
+        0.0
+    } else {
+        instructions as f64 / s / 1e6
+    }
+}
+
+/// A full throughput sweep over the Figure 6 grid.
+#[derive(Debug, Clone)]
+pub struct ThroughputReport {
+    /// The experiment scale the sweep ran at.
+    pub scale: ExperimentScale,
+    /// Per-cell measurements, in grid order.
+    pub cells: Vec<ThroughputCell>,
+}
+
+impl ThroughputReport {
+    /// Total simulated instructions across cells (fused == reference by
+    /// the per-cell equivalence assertion).
+    pub fn total_instructions(&self) -> u64 {
+        self.cells.iter().map(|c| c.instructions).sum()
+    }
+
+    /// Aggregate fused MIPS (total instructions over total wall time).
+    pub fn fused_mips(&self) -> f64 {
+        mips(
+            self.total_instructions(),
+            self.cells.iter().map(|c| c.fused).sum(),
+        )
+    }
+
+    /// Aggregate reference MIPS.
+    pub fn reference_mips(&self) -> f64 {
+        mips(
+            self.total_instructions(),
+            self.cells.iter().map(|c| c.reference).sum(),
+        )
+    }
+
+    /// Aggregate fused-over-reference speedup.
+    pub fn speedup(&self) -> f64 {
+        let r = self.reference_mips();
+        if r <= 0.0 {
+            0.0
+        } else {
+            self.fused_mips() / r
+        }
+    }
+
+    /// Serializes the report as JSON, one cell object per line (the
+    /// line-oriented layout `check_throughput` parses without a JSON
+    /// dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale.name()));
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let comma = if i + 1 < self.cells.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"workload\":\"{}\",\"predictor\":\"{}\",\"pbs\":{},\"instructions\":{},\"fused_seconds\":{:.6},\"fused_mips\":{:.3},\"reference_seconds\":{:.6},\"reference_mips\":{:.3}}}{comma}\n",
+                c.workload,
+                c.predictor,
+                c.pbs,
+                c.instructions,
+                c.fused.as_secs_f64(),
+                c.fused_mips(),
+                c.reference.as_secs_f64(),
+                c.reference_mips(),
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"aggregate\": {{\"instructions\":{},\"fused_mips\":{:.3},\"reference_mips\":{:.3},\"speedup\":{:.3}}}\n",
+            self.total_instructions(),
+            self.fused_mips(),
+            self.reference_mips(),
+            self.speedup(),
+        ));
+        out.push_str("}\n");
+        out
+    }
+
+    /// A human-readable per-cell summary (for stderr).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "sim-throughput ({} scale, fig6 grid): {} cells, {} simulated instructions\n",
+            self.scale.name(),
+            self.cells.len(),
+            self.total_instructions()
+        ));
+        for c in &self.cells {
+            out.push_str(&format!(
+                "  {:<10} {:<15} pbs={:<5} {:>10} insts  fused {:>8.2} MIPS  reference {:>8.2} MIPS\n",
+                c.workload,
+                c.predictor,
+                c.pbs,
+                c.instructions,
+                c.fused_mips(),
+                c.reference_mips()
+            ));
+        }
+        out.push_str(&format!(
+            "aggregate: fused {:.2} MIPS vs reference {:.2} MIPS ({:.2}x)\n",
+            self.fused_mips(),
+            self.reference_mips(),
+            self.speedup()
+        ));
+        out
+    }
+}
+
+/// The Figure 6 measurement grid: every benchmark under tournament and
+/// TAGE-SC-L, each without and with PBS.
+pub fn grid() -> Vec<Cell> {
+    BenchmarkId::ALL
+        .iter()
+        .flat_map(|&w| {
+            [
+                (PredictorChoice::Tournament, false),
+                (PredictorChoice::Tournament, true),
+                (PredictorChoice::TageScL, false),
+                (PredictorChoice::TageScL, true),
+            ]
+            .map(|(p, pbs)| Cell::new(w, p, pbs, 0))
+        })
+        .collect()
+}
+
+/// Measures the fig6 grid at `scale`: per cell, wall time of one fused
+/// and one reference full-timing simulation of the same workload
+/// instance — asserting the two engines return identical reports.
+///
+/// Cells run through [`run_cells_timed`]; pass [`Jobs::serial`] (the
+/// `figures --emit-bench-json` default) for uncontended numbers.
+///
+/// # Panics
+///
+/// Panics if a workload faults, or if the fused and reference engines
+/// disagree — a correctness bug this benchmark refuses to time.
+pub fn measure(scale: ExperimentScale, jobs: Jobs) -> ThroughputReport {
+    let cells = grid();
+    // Fused timings first (one pass), then reference timings, so neither
+    // engine systematically runs on a warmer allocator.
+    let fused = run_cells_timed(&cells, jobs, |cell| run_engine(cell, scale, false));
+    let reference = run_cells_timed(&cells, jobs, |cell| run_engine(cell, scale, true));
+    let cell_rows = cells
+        .iter()
+        .zip(fused)
+        .zip(reference)
+        .map(|((cell, ((name, fr), ft)), ((_, rr), rt))| {
+            assert_eq!(fr, rr, "fused and reference engines disagree on {cell:?}");
+            ThroughputCell {
+                workload: name,
+                predictor: cell.predictor.name(),
+                pbs: cell.pbs,
+                instructions: fr.timing.instructions,
+                fused: ft,
+                reference: rt,
+            }
+        })
+        .collect();
+    ThroughputReport {
+        scale,
+        cells: cell_rows,
+    }
+}
+
+fn run_engine(cell: &Cell, scale: ExperimentScale, reference: bool) -> (&'static str, SimReport) {
+    let bench = cell
+        .workload
+        .build(scale.workload(), workload_seed(cell.workload, cell.seed));
+    let mut cfg = SimConfig {
+        predictor: cell.predictor,
+        ..SimConfig::default()
+    };
+    if cell.pbs {
+        cfg.pbs = Some(probranch_core::PbsConfig::default());
+    }
+    let program = bench.program();
+    let run = if reference {
+        simulate_reference
+    } else {
+        simulate
+    };
+    let report = run(&program, &cfg).unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
+    (bench.name(), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_fig6() {
+        let g = grid();
+        assert_eq!(g.len(), BenchmarkId::ALL.len() * 4);
+    }
+
+    #[test]
+    fn measure_produces_consistent_json_at_smoke_scale() {
+        // Restrict to a sub-grid-sized smoke run: the full measure() is
+        // exercised by the figures binary and CI; here one pass checks
+        // shape, equivalence assertion, and JSON layout.
+        let report = measure(ExperimentScale::Smoke, Jobs::serial());
+        assert_eq!(report.cells.len(), 32);
+        assert!(report.total_instructions() > 0);
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"probranch-throughput/1\""));
+        assert!(json.contains("\"scale\": \"smoke\""));
+        assert!(json.contains("\"fused_mips\""));
+        assert_eq!(
+            json.lines().filter(|l| l.contains("\"workload\"")).count(),
+            32
+        );
+    }
+}

@@ -68,6 +68,7 @@ impl ContextTable {
     /// branches drive loop detection. Returns the generation numbers of
     /// any loop contexts that ended (the caller must flush matching PBS
     /// entries).
+    #[inline]
     pub fn observe_branch(&mut self, pc: u32, target: u32, taken: bool) -> Vec<u64> {
         let mut flushed = Vec::new();
         if target > pc {

@@ -106,6 +106,10 @@ pub struct PbsUnit {
     btb: ProbBtb,
     context: ContextTable,
     stats: PbsStats,
+    /// Recycled value buffers for in-flight records: the driver hands
+    /// consumed swap buffers back through [`PbsUnit::recycle`], making
+    /// the steady-state directed path allocation-free.
+    spare: Vec<Vec<u64>>,
 }
 
 impl PbsUnit {
@@ -121,7 +125,26 @@ impl PbsUnit {
             btb: ProbBtb::new(config.num_branches),
             context: ContextTable::new(),
             stats: PbsStats::default(),
+            spare: Vec::new(),
             config,
+        }
+    }
+
+    /// Copies `values` into a recycled buffer (or a fresh one when the
+    /// pool is empty).
+    fn record_buf(&mut self, values: &[u64]) -> Vec<u64> {
+        let mut v = self.spare.pop().unwrap_or_default();
+        v.clear();
+        v.extend_from_slice(values);
+        v
+    }
+
+    /// Returns a spent swap buffer (from
+    /// [`BranchResolution::Directed::swapped`]) to the recycle pool.
+    /// Optional — purely an allocation optimization for hot drivers.
+    pub fn recycle(&mut self, buffer: Vec<u64>) {
+        if self.spare.len() < 8 {
+            self.spare.push(buffer);
         }
     }
 
@@ -159,6 +182,7 @@ impl PbsUnit {
         };
 
         let in_flight_limit = self.config.in_flight;
+        let new_values = self.record_buf(values);
         if self.btb.find_mut(pc, context).is_none() {
             // First encounter in this context: allocate and bootstrap.
             // On a full table, evict an entry from a stale/outer context
@@ -170,7 +194,7 @@ impl PbsUnit {
                 Some(entry) => {
                     entry.executed = 1;
                     entry.in_flight.push(InFlightRecord {
-                        values: values.to_vec(),
+                        values: new_values,
                         outcome: taken_new,
                     });
                     self.stats.allocations += 1;
@@ -178,6 +202,7 @@ impl PbsUnit {
                     return BranchResolution::Bootstrap { taken: taken_new };
                 }
                 None => {
+                    self.recycle(new_values);
                     self.stats.bypassed += 1;
                     return BranchResolution::Bypassed {
                         taken: taken_new,
@@ -189,6 +214,8 @@ impl PbsUnit {
 
         let entry = self.btb.find_mut(pc, context).expect("checked above");
         if entry.risky {
+            let spent = new_values;
+            self.recycle(spent);
             self.stats.bypassed += 1;
             return BranchResolution::Bypassed {
                 taken: taken_new,
@@ -200,6 +227,7 @@ impl PbsUnit {
             // breaks the correctness argument — flush and demote.
             entry.risky = true;
             entry.in_flight.clear();
+            self.recycle(new_values);
             self.stats.const_val_demotions += 1;
             self.stats.bypassed += 1;
             return BranchResolution::Bypassed {
@@ -212,7 +240,7 @@ impl PbsUnit {
         if entry.in_flight.len() < in_flight_limit {
             // Initialization: record while the pipeline window fills.
             entry.in_flight.push(InFlightRecord {
-                values: values.to_vec(),
+                values: new_values,
                 outcome: taken_new,
             });
             self.stats.bootstrap += 1;
@@ -223,7 +251,7 @@ impl PbsUnit {
         // store the new values for a future instance.
         let old = entry.in_flight.pop().expect("FIFO at in-flight limit");
         entry.in_flight.push(InFlightRecord {
-            values: values.to_vec(),
+            values: new_values,
             outcome: taken_new,
         });
         self.stats.directed += 1;
@@ -236,6 +264,7 @@ impl PbsUnit {
     /// Observes a direct branch (conditional or not) for loop detection.
     /// Must be called for every control transfer with a static target,
     /// *including* probabilistic jumps.
+    #[inline]
     pub fn observe_branch(&mut self, pc: u32, target: u32, taken: bool) {
         if !self.config.context_tracking {
             return;
@@ -247,6 +276,7 @@ impl PbsUnit {
     }
 
     /// Observes a call instruction at `pc`.
+    #[inline]
     pub fn observe_call(&mut self, pc: u32) {
         if self.config.context_tracking {
             self.context.observe_call(pc);
@@ -254,6 +284,7 @@ impl PbsUnit {
     }
 
     /// Observes a return instruction.
+    #[inline]
     pub fn observe_ret(&mut self) {
         if self.config.context_tracking {
             self.context.observe_ret();

@@ -211,6 +211,30 @@ where
         .collect()
 }
 
+/// Like [`run_cells`], additionally measuring each cell's wall-clock
+/// execution time — the backbone of the throughput benchmark.
+///
+/// The *results* keep the engine's determinism guarantee (cell-index
+/// order, scheduling-independent); the attached [`Duration`]s are
+/// measurements and naturally vary run to run, so anything downstream of
+/// them must stay off the byte-diffable output paths. Pass
+/// [`Jobs::serial`] for clean per-cell numbers — with concurrent workers
+/// the durations include contention on shared cores.
+///
+/// [`Duration`]: std::time::Duration
+pub fn run_cells_timed<T, R, F>(cells: &[T], jobs: Jobs, run: F) -> Vec<(R, std::time::Duration)>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    run_cells(cells, jobs, |cell| {
+        let t0 = std::time::Instant::now();
+        let result = run(cell);
+        (result, t0.elapsed())
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,6 +270,16 @@ mod tests {
     fn more_workers_than_cells_is_fine() {
         let out = run_cells(&[1u32, 2], Jobs::new(64), |&c| c + 1);
         assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn timed_runs_keep_results_in_order_and_measure_something() {
+        let cells: Vec<u64> = (0..16).collect();
+        let timed = run_cells_timed(&cells, Jobs::new(4), |&c| c * 3);
+        let plain: Vec<u64> = timed.iter().map(|(r, _)| *r).collect();
+        assert_eq!(plain, run_cells(&cells, Jobs::serial(), |&c| c * 3));
+        // Durations are measurements, not zero-sized placeholders.
+        assert_eq!(timed.len(), 16);
     }
 
     #[test]

@@ -84,6 +84,20 @@ pub enum ExecClass {
     Other,
 }
 
+impl ExecClass {
+    /// Number of execution classes (the size of a latency table indexed
+    /// by [`ExecClass::index`]).
+    pub const COUNT: usize = 11;
+
+    /// A dense index in `0..COUNT`, stable across runs — timing models
+    /// resolve per-class latencies into a flat table once and index it
+    /// per dynamic instruction instead of re-matching the enum.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+}
+
 /// One `probranch` instruction.
 ///
 /// Control-transfer targets are absolute instruction indices within the
@@ -277,6 +291,7 @@ impl Inst {
     /// destinations: the paper specifies them as destination operands "to
     /// preserve the read-after-write dependency" for instructions after
     /// the branch.
+    #[inline]
     pub fn defs(&self) -> RegList {
         let mut l = RegList::new();
         match *self {
@@ -297,6 +312,7 @@ impl Inst {
     }
 
     /// Registers read by this instruction.
+    #[inline]
     pub fn uses(&self) -> RegList {
         let mut l = RegList::new();
         fn op_use(l: &mut RegList, o: Operand) {
@@ -349,6 +365,7 @@ impl Inst {
 
     /// Whether this is a conditional branch (its direction is predicted or
     /// PBS-directed): `Br`, `Jf`, or a jumping `ProbJmp`.
+    #[inline]
     pub fn is_cond_branch(&self) -> bool {
         matches!(
             self,
@@ -362,11 +379,13 @@ impl Inst {
     }
 
     /// Whether this is one of the probabilistic instructions.
+    #[inline]
     pub fn is_prob(&self) -> bool {
         matches!(self, Inst::ProbCmp { .. } | Inst::ProbJmp { .. })
     }
 
     /// Whether this instruction can redirect control flow.
+    #[inline]
     pub fn is_control(&self) -> bool {
         matches!(
             self,
@@ -384,6 +403,7 @@ impl Inst {
     }
 
     /// The static target of a direct control transfer, if any.
+    #[inline]
     pub fn target(&self) -> Option<u32> {
         match *self {
             Inst::Jf { target }
@@ -419,6 +439,7 @@ impl Inst {
     }
 
     /// The functional-unit class used by the timing model.
+    #[inline]
     pub fn exec_class(&self) -> ExecClass {
         match self {
             Inst::Alu { op, .. } => match op {

@@ -54,9 +54,14 @@ impl Reg {
     }
 
     /// The register's index in `0..32`.
+    ///
+    /// The mask is a no-op (the constructor guarantees `self.0 < 32`)
+    /// that makes the `< 32` range visible to the optimizer, eliding the
+    /// bounds check on every register-file access in the emulator and
+    /// timing-model hot loops.
     #[inline]
     pub fn index(self) -> usize {
-        self.0 as usize
+        (self.0 & 31) as usize
     }
 
     /// Iterates over all 32 architectural registers in index order.

@@ -16,6 +16,13 @@ pub struct Cache {
     set_mask: u64,
     hits: u64,
     misses: u64,
+    /// The line index of the previous access. Re-touching the line just
+    /// accessed is *exactly* a hit whose LRU update is a no-op (the line
+    /// is already most-recently-used), so the hot sequential-fetch /
+    /// same-line-load case skips the set scan entirely. `u64::MAX` is
+    /// the "none" sentinel (unreachable as a real line index: line
+    /// indices are addresses shifted right by at least 1).
+    last_line: u64,
 }
 
 impl Cache {
@@ -38,6 +45,7 @@ impl Cache {
             set_mask: num_sets as u64 - 1,
             hits: 0,
             misses: 0,
+            last_line: u64::MAX,
         }
     }
 
@@ -52,7 +60,16 @@ impl Cache {
     /// Accesses `addr`; returns `true` on hit. Misses allocate (the model
     /// is write-allocate for simplicity; dirty-line writeback latency is
     /// folded into the miss latency of the level below).
+    #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        if line == self.last_line {
+            // Same line as the previous access: a guaranteed hit, and
+            // the MRU reshuffle would move position 0 to position 0.
+            self.hits += 1;
+            return true;
+        }
+        self.last_line = line;
         let (set, tag) = self.set_and_tag(addr);
         let lines = &mut self.sets[set];
         if let Some(pos) = lines.iter().position(|&t| t == tag) {
@@ -147,6 +164,7 @@ impl MemoryHierarchy {
     }
 
     /// A data access (load or store): returns the load-to-use latency.
+    #[inline]
     pub fn data_access(&mut self, addr: u64) -> u64 {
         if self.l1d.access(addr) {
             self.latencies.l1
@@ -159,6 +177,7 @@ impl MemoryHierarchy {
 
     /// An instruction fetch: returns the extra front-end stall cycles
     /// (0 on an L1-I hit, which is pipelined into the front end).
+    #[inline]
     pub fn inst_access(&mut self, addr: u64) -> u64 {
         if self.l1i.access(addr) {
             0

@@ -17,9 +17,14 @@
 //! * [`Cache`], [`MemoryHierarchy`] — set-associative LRU caches;
 //! * [`OooTimingModel`] — fetch/dispatch/issue/complete/commit cycle
 //!   accounting with ROB back-pressure and misprediction redirects;
+//! * [`DecodedProgram`] — the one-time predecode pass feeding the fused
+//!   engine (see `decode`);
 //! * [`simulate`] / [`run_functional`] — one-call experiment drivers
 //!   returning [`SimReport`]s with IPC, MPKI, PBS counters, program
 //!   outputs and the consumed probabilistic-value stream.
+//!   [`simulate`] is the fused/predecoded engine;
+//!   [`simulate_reference`] keeps the original unfused loop as a
+//!   differential baseline producing identical reports.
 //!
 //! ```
 //! use probranch_isa::{ProgramBuilder, Reg, CmpOp};
@@ -41,11 +46,17 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod decode;
 mod machine;
 mod ooo;
 mod sim;
 
 pub use cache::{Cache, MemLatencies, MemoryHierarchy};
-pub use machine::{BranchEvent, BranchEventKind, DynInst, EmuConfig, EmuError, Emulator};
+pub use decode::{DecOp, DecodedInst, DecodedProgram, InstTiming, FLAG_REG};
+pub use machine::{
+    BranchEvent, BranchEventKind, DynInst, EmuConfig, EmuError, Emulator, StepRecord,
+};
 pub use ooo::{BranchTraceEntry, ExecLatencies, OooConfig, OooTimingModel, TimingStats};
-pub use sim::{run_functional, simulate, PredictorChoice, SimConfig, SimReport};
+pub use sim::{
+    run_functional, simulate, simulate_reference, PredictorChoice, SimConfig, SimReport,
+};

@@ -2,12 +2,13 @@
 //! instruction, drives the PBS unit, and streams [`DynInst`] records into
 //! the timing model.
 
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
 use probranch_core::{BranchResolution, PbsStats, PbsUnit};
 use probranch_isa::{AluOp, CmpOp, FpBinOp, FpUnOp, Inst, Operand, Program, Reg};
+
+use crate::decode::{DecOp, DecodedProgram};
 
 /// Emulator configuration.
 #[derive(Debug, Clone)]
@@ -116,13 +117,141 @@ pub struct DynInst {
     pub mem_addr: Option<u64>,
 }
 
+/// One element of the compact dynamic stream produced by the fused
+/// engine ([`Emulator::step_block`]): just the facts the timing model
+/// needs, with the static instruction looked up by `pc` in the shared
+/// [`DecodedProgram`] instead of being copied per dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepRecord {
+    /// PC of the instruction.
+    pub pc: u32,
+    /// Branch resolution, for control instructions.
+    pub branch: Option<BranchEvent>,
+    /// Data address for loads/stores, with `u64::MAX` as the "none"
+    /// sentinel — keeps the record at 16 bytes (a `Option<u64>` would
+    /// double the field). Read through [`StepRecord::mem_addr`].
+    mem_addr: u64,
+}
+
+impl StepRecord {
+    /// Sentinel for "no data address" (unreachable as a real address:
+    /// data addresses are word-aligned indices into bounded memory).
+    const NO_ADDR: u64 = u64::MAX;
+
+    /// Data address, for loads and stores.
+    #[inline]
+    pub fn mem_addr(&self) -> Option<u64> {
+        if self.mem_addr == Self::NO_ADDR {
+            None
+        } else {
+            Some(self.mem_addr)
+        }
+    }
+}
+
 #[derive(Debug, Clone, Default)]
 struct PendingProb {
-    /// `(register, newly generated value)` in instruction order.
+    /// `(register, newly generated value)` in instruction order. The
+    /// vector is a persistent scratch buffer: cleared and refilled per
+    /// probabilistic branch, never reallocated in steady state.
     values: Vec<(Reg, u64)>,
     const_val: u64,
     /// Outcome of the comparison on the *new* value.
     outcome: bool,
+}
+
+/// Output channels as a dense, port-indexed table: iteration order is
+/// structurally ascending-by-port rather than hash-order-by-luck, and
+/// the hot `out` path is a bounds-checked index instead of a hash probe.
+#[derive(Debug, Clone, Default)]
+struct PortTable {
+    lanes: Vec<Vec<u64>>,
+}
+
+impl PortTable {
+    #[inline]
+    fn push(&mut self, port: u16, value: u64) {
+        let i = port as usize;
+        if i >= self.lanes.len() {
+            self.lanes.resize_with(i + 1, Vec::new);
+        }
+        self.lanes[i].push(value);
+    }
+
+    fn get(&self, port: u16) -> &[u64] {
+        self.lanes.get(port as usize).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Non-empty ports in ascending port order.
+    fn sorted(&self) -> Vec<(u16, Vec<u64>)> {
+        self.lanes
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(p, v)| (p as u16, v.clone()))
+            .collect()
+    }
+}
+
+/// Integer ALU datapath, shared verbatim by the reference and the
+/// decoded interpreters so they cannot drift apart.
+#[inline]
+fn alu_eval(op: AluOp, a: u64, b: u64) -> u64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => {
+            if b == 0 {
+                0
+            } else {
+                ((a as i64).wrapping_div(b as i64)) as u64
+            }
+        }
+        AluOp::Rem => {
+            if b == 0 {
+                0
+            } else {
+                ((a as i64).wrapping_rem(b as i64)) as u64
+            }
+        }
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Shl => a << (b & 63),
+        AluOp::Shr => a >> (b & 63),
+        AluOp::Sar => ((a as i64) >> (b & 63)) as u64,
+        AluOp::Slt => ((a as i64) < (b as i64)) as u64,
+        AluOp::Sltu => (a < b) as u64,
+    }
+}
+
+/// FP two-source datapath, shared by both interpreters.
+#[inline]
+fn fp_bin_eval(op: FpBinOp, a: f64, b: f64) -> f64 {
+    match op {
+        FpBinOp::Add => a + b,
+        FpBinOp::Sub => a - b,
+        FpBinOp::Mul => a * b,
+        FpBinOp::Div => a / b,
+        FpBinOp::Min => a.min(b),
+        FpBinOp::Max => a.max(b),
+    }
+}
+
+/// FP one-source datapath, shared by both interpreters.
+#[inline]
+fn fp_un_eval(op: FpUnOp, a: f64) -> f64 {
+    match op {
+        FpUnOp::Neg => -a,
+        FpUnOp::Abs => a.abs(),
+        FpUnOp::Sqrt => a.sqrt(),
+        FpUnOp::Exp => a.exp(),
+        FpUnOp::Ln => a.ln(),
+        FpUnOp::Sin => a.sin(),
+        FpUnOp::Cos => a.cos(),
+        FpUnOp::Floor => a.floor(),
+    }
 }
 
 /// The functional emulator.
@@ -141,6 +270,9 @@ struct PendingProb {
 #[derive(Debug)]
 pub struct Emulator {
     program: Program,
+    /// The program lowered once at construction; [`Emulator::step_decoded`]
+    /// executes from this form.
+    decoded: DecodedProgram,
     config: EmuConfig,
     regs: [u64; 32],
     flag: bool,
@@ -148,9 +280,12 @@ pub struct Emulator {
     halted: bool,
     memory: Vec<u64>,
     call_stack: Vec<u32>,
-    outputs: HashMap<u16, Vec<u64>>,
+    outputs: PortTable,
     pbs: Option<PbsUnit>,
     pending_prob: PendingProb,
+    /// Scratch for [`Emulator::resolve_prob_jump`]: the newly generated
+    /// values handed to the PBS unit, reused across branches.
+    prob_vals_scratch: Vec<u64>,
     /// Probabilistic values in the order the algorithm consumed them
     /// (swapped-in values for PBS-directed instances) — the stream the
     /// paper feeds to DieHarder in Table III.
@@ -164,15 +299,17 @@ impl Emulator {
     /// the paper's backward-compatible legacy machine.
     pub fn new(program: Program, config: EmuConfig) -> Emulator {
         Emulator {
+            decoded: DecodedProgram::of(&program),
             regs: [0; 32],
             flag: false,
             pc: 0,
             halted: false,
             memory: vec![0; config.mem_words],
             call_stack: Vec::new(),
-            outputs: HashMap::new(),
+            outputs: PortTable::default(),
             pbs: None,
             pending_prob: PendingProb::default(),
+            prob_vals_scratch: Vec::new(),
             prob_consumed: Vec::new(),
             executed: 0,
             program,
@@ -204,7 +341,19 @@ impl Emulator {
 
     /// The values emitted on `port` so far.
     pub fn output(&self, port: u16) -> &[u64] {
-        self.outputs.get(&port).map_or(&[], |v| v.as_slice())
+        self.outputs.get(port)
+    }
+
+    /// All non-empty output ports with their value streams, in ascending
+    /// port order (structurally deterministic — no hash iteration).
+    pub fn outputs_sorted(&self) -> Vec<(u16, Vec<u64>)> {
+        self.outputs.sorted()
+    }
+
+    /// The predecoded form of the program (lowered once at
+    /// construction), shared with the timing model by the fused engine.
+    pub fn decoded(&self) -> &DecodedProgram {
+        &self.decoded
     }
 
     /// The values emitted on `port`, reinterpreted as doubles.
@@ -254,6 +403,7 @@ impl Emulator {
         self.memory[word] = value;
     }
 
+    #[inline]
     fn operand(&self, o: Operand) -> u64 {
         match o {
             Operand::Reg(r) => self.regs[r.index()],
@@ -261,6 +411,7 @@ impl Emulator {
         }
     }
 
+    #[inline]
     fn eval_cmp(&self, op: CmpOp, fp: bool, lhs: u64, rhs: u64) -> bool {
         if fp {
             op.eval_fp(f64::from_bits(lhs), f64::from_bits(rhs))
@@ -269,6 +420,7 @@ impl Emulator {
         }
     }
 
+    #[inline]
     fn mem_index(&self, base: Reg, offset: i64, pc: u32) -> Result<usize, EmuError> {
         let addr = self.regs[base.index()].wrapping_add(offset as u64);
         if addr % 8 != 0 || (addr / 8) as usize >= self.memory.len() {
@@ -317,34 +469,7 @@ impl Emulator {
             } => {
                 let a = self.regs[src1.index()];
                 let b = self.operand(src2);
-                let r = match op {
-                    AluOp::Add => a.wrapping_add(b),
-                    AluOp::Sub => a.wrapping_sub(b),
-                    AluOp::Mul => a.wrapping_mul(b),
-                    AluOp::Div => {
-                        if b == 0 {
-                            0
-                        } else {
-                            ((a as i64).wrapping_div(b as i64)) as u64
-                        }
-                    }
-                    AluOp::Rem => {
-                        if b == 0 {
-                            0
-                        } else {
-                            ((a as i64).wrapping_rem(b as i64)) as u64
-                        }
-                    }
-                    AluOp::And => a & b,
-                    AluOp::Or => a | b,
-                    AluOp::Xor => a ^ b,
-                    AluOp::Shl => a << (b & 63),
-                    AluOp::Shr => a >> (b & 63),
-                    AluOp::Sar => ((a as i64) >> (b & 63)) as u64,
-                    AluOp::Slt => ((a as i64) < (b as i64)) as u64,
-                    AluOp::Sltu => (a < b) as u64,
-                };
-                self.regs[dst.index()] = r;
+                self.regs[dst.index()] = alu_eval(op, a, b);
             }
             Inst::Li { dst, imm } => self.regs[dst.index()] = imm,
             Inst::Mov { dst, src } => self.regs[dst.index()] = self.regs[src.index()],
@@ -356,29 +481,11 @@ impl Emulator {
             } => {
                 let a = f64::from_bits(self.regs[src1.index()]);
                 let b = f64::from_bits(self.regs[src2.index()]);
-                let r = match op {
-                    FpBinOp::Add => a + b,
-                    FpBinOp::Sub => a - b,
-                    FpBinOp::Mul => a * b,
-                    FpBinOp::Div => a / b,
-                    FpBinOp::Min => a.min(b),
-                    FpBinOp::Max => a.max(b),
-                };
-                self.regs[dst.index()] = r.to_bits();
+                self.regs[dst.index()] = fp_bin_eval(op, a, b).to_bits();
             }
             Inst::FpUn { op, dst, src } => {
                 let a = f64::from_bits(self.regs[src.index()]);
-                let r = match op {
-                    FpUnOp::Neg => -a,
-                    FpUnOp::Abs => a.abs(),
-                    FpUnOp::Sqrt => a.sqrt(),
-                    FpUnOp::Exp => a.exp(),
-                    FpUnOp::Ln => a.ln(),
-                    FpUnOp::Sin => a.sin(),
-                    FpUnOp::Cos => a.cos(),
-                    FpUnOp::Floor => a.floor(),
-                };
-                self.regs[dst.index()] = r.to_bits();
+                self.regs[dst.index()] = fp_un_eval(op, a).to_bits();
             }
             Inst::IntToFp { dst, src } => {
                 self.regs[dst.index()] = (self.regs[src.index()] as i64 as f64).to_bits();
@@ -490,11 +597,10 @@ impl Emulator {
                 let outcome = self.eval_cmp(op, fp, value, const_val);
                 self.flag = outcome;
                 if self.pbs.is_some() {
-                    self.pending_prob = PendingProb {
-                        values: vec![(prob, value)],
-                        const_val,
-                        outcome,
-                    };
+                    self.pending_prob.values.clear();
+                    self.pending_prob.values.push((prob, value));
+                    self.pending_prob.const_val = const_val;
+                    self.pending_prob.outcome = outcome;
                 }
                 // Without PBS hardware this is exactly a `cmp` (legacy
                 // decode), and `pending_prob` stays unused.
@@ -526,10 +632,7 @@ impl Emulator {
                 }
             }
             Inst::Out { src, port } => {
-                self.outputs
-                    .entry(port)
-                    .or_default()
-                    .push(self.regs[src.index()]);
+                self.outputs.push(port, self.regs[src.index()]);
             }
             Inst::Halt => {
                 self.halted = true;
@@ -549,31 +652,333 @@ impl Emulator {
 
     /// Resolves the jumping `PROB_JMP` at `pc` through the PBS unit (or
     /// as a plain flag jump on a legacy machine).
+    ///
+    /// Allocation-free in steady state: the pending-value list and the
+    /// value slice handed to the PBS unit are persistent scratch buffers
+    /// cleared per branch, not rebuilt per branch.
     fn resolve_prob_jump(&mut self, pc: u32) -> (bool, BranchEventKind) {
-        let Some(pbs) = self.pbs.as_mut() else {
-            return (self.flag, BranchEventKind::Conditional);
+        // Split borrows: the PBS unit takes the scratch slice while the
+        // register file and consumption log are written independently.
+        let Emulator {
+            pbs,
+            pending_prob,
+            prob_vals_scratch,
+            regs,
+            prob_consumed,
+            flag,
+            ..
+        } = self;
+        let Some(pbs) = pbs.as_mut() else {
+            return (*flag, BranchEventKind::Conditional);
         };
-        let pending = std::mem::take(&mut self.pending_prob);
-        let new_values: Vec<u64> = pending.values.iter().map(|&(_, v)| v).collect();
-        let resolution =
-            pbs.execute_prob_branch(pc, &new_values, pending.const_val, pending.outcome);
-        match resolution {
+        prob_vals_scratch.clear();
+        prob_vals_scratch.extend(pending_prob.values.iter().map(|&(_, v)| v));
+        let resolution = pbs.execute_prob_branch(
+            pc,
+            prob_vals_scratch,
+            pending_prob.const_val,
+            pending_prob.outcome,
+        );
+        let out = match resolution {
             BranchResolution::Directed { taken, swapped } => {
                 // The execute stage swaps the newly generated values with
                 // the recorded ones matching the followed direction.
-                for (&(reg, _), &old) in pending.values.iter().zip(&swapped) {
-                    self.regs[reg.index()] = old;
-                    self.prob_consumed.push(old);
+                for (&(reg, _), &old) in pending_prob.values.iter().zip(&swapped) {
+                    regs[reg.index()] = old;
+                    prob_consumed.push(old);
                 }
+                // Hand the spent buffer back so the steady-state PBS
+                // path allocates nothing.
+                pbs.recycle(swapped);
                 (taken, BranchEventKind::PbsDirected)
             }
             BranchResolution::Bootstrap { taken } | BranchResolution::Bypassed { taken, .. } => {
-                for &(_, v) in &pending.values {
-                    self.prob_consumed.push(v);
+                for &(_, v) in &pending_prob.values {
+                    prob_consumed.push(v);
                 }
                 (taken, BranchEventKind::Conditional)
             }
+        };
+        pending_prob.values.clear();
+        out
+    }
+
+    /// Executes one instruction from the predecoded form, returning a
+    /// compact [`StepRecord`], or `None` if the machine is halted.
+    ///
+    /// Architecturally identical to [`Emulator::step`] — the golden-trace
+    /// and engine-equivalence suites lock the two interpreters together —
+    /// but monomorphic over [`DecOp`]: no nested operand dispatch and no
+    /// per-instruction [`Inst`] copy into a [`DynInst`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EmuError`] on memory faults and call-stack misuse;
+    /// the machine halts on error.
+    #[inline(always)]
+    pub fn step_decoded(&mut self) -> Result<Option<StepRecord>, EmuError> {
+        if self.halted {
+            return Ok(None);
         }
+        let pc = self.pc;
+        let op = self.decoded.fetch(pc).op;
+        let mut next_pc = pc + 1;
+        let mut branch = None;
+        let mut mem_addr = StepRecord::NO_ADDR;
+
+        match op {
+            DecOp::AluRR {
+                op,
+                dst,
+                src1,
+                src2,
+            } => {
+                let a = self.regs[src1.index()];
+                let b = self.regs[src2.index()];
+                self.regs[dst.index()] = alu_eval(op, a, b);
+            }
+            DecOp::AluRI { op, dst, src1, imm } => {
+                let a = self.regs[src1.index()];
+                self.regs[dst.index()] = alu_eval(op, a, imm);
+            }
+            DecOp::Li { dst, imm } => self.regs[dst.index()] = imm,
+            DecOp::Mov { dst, src } => self.regs[dst.index()] = self.regs[src.index()],
+            DecOp::FpBin {
+                op,
+                dst,
+                src1,
+                src2,
+            } => {
+                let a = f64::from_bits(self.regs[src1.index()]);
+                let b = f64::from_bits(self.regs[src2.index()]);
+                self.regs[dst.index()] = fp_bin_eval(op, a, b).to_bits();
+            }
+            DecOp::FpUn { op, dst, src } => {
+                let a = f64::from_bits(self.regs[src.index()]);
+                self.regs[dst.index()] = fp_un_eval(op, a).to_bits();
+            }
+            DecOp::IntToFp { dst, src } => {
+                self.regs[dst.index()] = (self.regs[src.index()] as i64 as f64).to_bits();
+            }
+            DecOp::FpToInt { dst, src } => {
+                let v = f64::from_bits(self.regs[src.index()]);
+                self.regs[dst.index()] = (v as i64) as u64;
+            }
+            DecOp::CMov {
+                dst,
+                cond,
+                if_true,
+                if_false,
+            } => {
+                self.regs[dst.index()] = if self.regs[cond.index()] != 0 {
+                    self.regs[if_true.index()]
+                } else {
+                    self.regs[if_false.index()]
+                };
+            }
+            DecOp::Load { dst, base, offset } => {
+                let idx = self
+                    .mem_index(base, offset, pc)
+                    .inspect_err(|_| self.halted = true)?;
+                mem_addr = idx as u64 * 8;
+                self.regs[dst.index()] = self.memory[idx];
+            }
+            DecOp::Store { src, base, offset } => {
+                let idx = self
+                    .mem_index(base, offset, pc)
+                    .inspect_err(|_| self.halted = true)?;
+                mem_addr = idx as u64 * 8;
+                self.memory[idx] = self.regs[src.index()];
+            }
+            DecOp::CmpRR { op, fp, lhs, rhs } => {
+                self.flag = self.eval_cmp(op, fp, self.regs[lhs.index()], self.regs[rhs.index()]);
+            }
+            DecOp::CmpRI { op, fp, lhs, imm } => {
+                self.flag = self.eval_cmp(op, fp, self.regs[lhs.index()], imm);
+            }
+            DecOp::Jf { target } => {
+                let taken = self.flag;
+                if taken {
+                    next_pc = target;
+                }
+                branch = Some(BranchEvent {
+                    taken,
+                    kind: BranchEventKind::Conditional,
+                    is_prob: false,
+                });
+                if let Some(pbs) = self.pbs.as_mut() {
+                    pbs.observe_branch(pc, target, taken);
+                }
+            }
+            DecOp::BrRR {
+                op,
+                fp,
+                lhs,
+                rhs,
+                target,
+            } => {
+                let taken = self.eval_cmp(op, fp, self.regs[lhs.index()], self.regs[rhs.index()]);
+                if taken {
+                    next_pc = target;
+                }
+                branch = Some(BranchEvent {
+                    taken,
+                    kind: BranchEventKind::Conditional,
+                    is_prob: false,
+                });
+                if let Some(pbs) = self.pbs.as_mut() {
+                    pbs.observe_branch(pc, target, taken);
+                }
+            }
+            DecOp::BrRI {
+                op,
+                fp,
+                lhs,
+                imm,
+                target,
+            } => {
+                let taken = self.eval_cmp(op, fp, self.regs[lhs.index()], imm);
+                if taken {
+                    next_pc = target;
+                }
+                branch = Some(BranchEvent {
+                    taken,
+                    kind: BranchEventKind::Conditional,
+                    is_prob: false,
+                });
+                if let Some(pbs) = self.pbs.as_mut() {
+                    pbs.observe_branch(pc, target, taken);
+                }
+            }
+            DecOp::Jmp { target } => {
+                next_pc = target;
+                branch = Some(BranchEvent {
+                    taken: true,
+                    kind: BranchEventKind::Unconditional,
+                    is_prob: false,
+                });
+                if let Some(pbs) = self.pbs.as_mut() {
+                    pbs.observe_branch(pc, target, true);
+                }
+            }
+            DecOp::Call { target } => {
+                if self.call_stack.len() >= self.config.max_call_depth {
+                    self.halted = true;
+                    return Err(EmuError::CallStackOverflow { pc });
+                }
+                self.call_stack.push(pc + 1);
+                next_pc = target;
+                branch = Some(BranchEvent {
+                    taken: true,
+                    kind: BranchEventKind::Call,
+                    is_prob: false,
+                });
+                if let Some(pbs) = self.pbs.as_mut() {
+                    pbs.observe_call(pc);
+                }
+            }
+            DecOp::Ret => {
+                match self.call_stack.pop() {
+                    Some(ra) => next_pc = ra,
+                    None => {
+                        self.halted = true;
+                        return Err(EmuError::CallStackUnderflow { pc });
+                    }
+                }
+                branch = Some(BranchEvent {
+                    taken: true,
+                    kind: BranchEventKind::Ret,
+                    is_prob: false,
+                });
+                if let Some(pbs) = self.pbs.as_mut() {
+                    pbs.observe_ret();
+                }
+            }
+            DecOp::ProbCmpRR { op, fp, prob, rhs } => {
+                let value = self.regs[prob.index()];
+                let const_val = self.regs[rhs.index()];
+                let outcome = self.eval_cmp(op, fp, value, const_val);
+                self.flag = outcome;
+                if self.pbs.is_some() {
+                    self.pending_prob.values.clear();
+                    self.pending_prob.values.push((prob, value));
+                    self.pending_prob.const_val = const_val;
+                    self.pending_prob.outcome = outcome;
+                }
+            }
+            DecOp::ProbCmpRI { op, fp, prob, imm } => {
+                let value = self.regs[prob.index()];
+                let outcome = self.eval_cmp(op, fp, value, imm);
+                self.flag = outcome;
+                if self.pbs.is_some() {
+                    self.pending_prob.values.clear();
+                    self.pending_prob.values.push((prob, value));
+                    self.pending_prob.const_val = imm;
+                    self.pending_prob.outcome = outcome;
+                }
+            }
+            DecOp::ProbJmpPush { prob } => {
+                let v = self.regs[prob.index()];
+                if self.pbs.is_some() {
+                    self.pending_prob.values.push((prob, v));
+                }
+            }
+            DecOp::ProbJmpQuiet => {}
+            DecOp::ProbJmp { prob, target } => {
+                if let Some(p) = prob {
+                    let v = self.regs[p.index()];
+                    if self.pbs.is_some() {
+                        self.pending_prob.values.push((p, v));
+                    }
+                }
+                let (taken, kind) = self.resolve_prob_jump(pc);
+                if taken {
+                    next_pc = target;
+                }
+                branch = Some(BranchEvent {
+                    taken,
+                    kind,
+                    is_prob: true,
+                });
+                if let Some(pbs) = self.pbs.as_mut() {
+                    pbs.observe_branch(pc, target, taken);
+                }
+            }
+            DecOp::Out { src, port } => {
+                self.outputs.push(port, self.regs[src.index()]);
+            }
+            DecOp::Halt => {
+                self.halted = true;
+            }
+            DecOp::Nop => {}
+        }
+
+        self.pc = next_pc;
+        self.executed += 1;
+        Ok(Some(StepRecord {
+            pc,
+            branch,
+            mem_addr,
+        }))
+    }
+
+    /// Executes up to `max` instructions from the predecoded form,
+    /// refilling `buf` (cleared first) with their [`StepRecord`]s — the
+    /// batch half of the fused emulate→time loop. Stops early at `halt`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`EmuError`]; records buffered before the
+    /// fault are left in `buf`.
+    pub fn step_block(&mut self, buf: &mut Vec<StepRecord>, max: usize) -> Result<(), EmuError> {
+        buf.clear();
+        while buf.len() < max {
+            match self.step_decoded()? {
+                Some(rec) => buf.push(rec),
+                None => break,
+            }
+        }
+        Ok(())
     }
 
     /// Runs until `halt`, with an instruction budget.
@@ -589,7 +994,10 @@ impl Emulator {
             if self.executed - start >= max_insts {
                 return Err(EmuError::InstLimitExceeded { limit: max_insts });
             }
-            self.step()?;
+            // The decoded interpreter: architecturally identical to
+            // `step`, without the per-instruction record construction
+            // costs of the reference path.
+            self.step_decoded()?;
         }
         Ok(self.executed - start)
     }
@@ -921,6 +1329,53 @@ mod tests {
         assert_eq!(e.output(0), &[1, 1]);
         assert_eq!(e.output(1), &[2]);
         assert_eq!(e.output(9), &[] as &[u64]);
+    }
+
+    #[test]
+    fn decoded_interpreter_matches_reference_step_stream() {
+        // Lock-step the `Inst` interpreter against the predecoded one on
+        // a PBS workload: identical records, outputs, consumed stream.
+        let p = prob_loop_program(300);
+        let mut a = Emulator::with_pbs(
+            p.clone(),
+            EmuConfig::default(),
+            PbsUnit::new(PbsConfig::default()),
+        );
+        let mut b = Emulator::with_pbs(p, EmuConfig::default(), PbsUnit::new(PbsConfig::default()));
+        loop {
+            match (a.step().unwrap(), b.step_decoded().unwrap()) {
+                (None, None) => break,
+                (Some(da), Some(db)) => {
+                    assert_eq!(db.pc, da.pc);
+                    assert_eq!(db.branch, da.branch);
+                    assert_eq!(db.mem_addr(), da.mem_addr);
+                }
+                (x, y) => panic!("stream length mismatch: {x:?} vs {y:?}"),
+            }
+        }
+        assert_eq!(a.output(0), b.output(0));
+        assert_eq!(a.prob_consumed(), b.prob_consumed());
+        assert_eq!(a.pbs_stats(), b.pbs_stats());
+    }
+
+    #[test]
+    fn step_block_batches_and_stops_at_halt() {
+        let mut bld = ProgramBuilder::new();
+        bld.li(Reg::R1, 1)
+            .add(Reg::R1, Reg::R1, 1)
+            .out(Reg::R1, 3)
+            .halt();
+        let mut e = Emulator::new(bld.build().unwrap(), EmuConfig::default());
+        let mut buf = Vec::new();
+        e.step_block(&mut buf, 3).unwrap();
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf[0].pc, 0);
+        e.step_block(&mut buf, 64).unwrap();
+        assert_eq!(buf.len(), 1, "only the halt remains");
+        e.step_block(&mut buf, 64).unwrap();
+        assert!(buf.is_empty(), "halted machine yields an empty block");
+        assert_eq!(e.output(3), &[2]);
+        assert_eq!(e.outputs_sorted(), vec![(3u16, vec![2u64])]);
     }
 
     #[test]

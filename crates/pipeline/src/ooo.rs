@@ -20,11 +20,12 @@
 //! Wrong-path instructions are not simulated; their cost is the redirect
 //! bubble — the standard trace-driven approximation.
 
-use probranch_isa::{ExecClass, Inst};
+use probranch_isa::ExecClass;
 use probranch_predictor::BranchPredictor;
 
 use crate::cache::MemoryHierarchy;
-use crate::machine::{BranchEventKind, DynInst};
+use crate::decode::{DecodedInst, InstTiming};
+use crate::machine::{BranchEvent, BranchEventKind, DynInst, StepRecord};
 
 /// Functional-unit latencies in cycles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +66,27 @@ impl Default for ExecLatencies {
             branch: 1,
             other: 1,
         }
+    }
+}
+
+impl ExecLatencies {
+    /// Resolves the per-class latencies into a flat table indexed by
+    /// [`ExecClass::index`], so the hot loop replaces an enum match with
+    /// one array load. The [`ExecClass::Load`] slot is unused (loads
+    /// defer to the cache hierarchy) and stays 0.
+    pub fn table(&self) -> [u64; ExecClass::COUNT] {
+        let mut t = [0u64; ExecClass::COUNT];
+        t[ExecClass::IntAlu.index()] = self.int_alu;
+        t[ExecClass::IntMul.index()] = self.int_mul;
+        t[ExecClass::IntDiv.index()] = self.int_div;
+        t[ExecClass::FpAdd.index()] = self.fp_add;
+        t[ExecClass::FpMul.index()] = self.fp_mul;
+        t[ExecClass::FpDiv.index()] = self.fp_div;
+        t[ExecClass::FpLong.index()] = self.fp_long;
+        t[ExecClass::Store.index()] = self.store;
+        t[ExecClass::Branch.index()] = self.branch;
+        t[ExecClass::Other.index()] = self.other;
+        t
     }
 }
 
@@ -184,9 +206,34 @@ impl TimingStats {
     }
 }
 
-const ISSUE_RING: usize = 1 << 16;
-/// Pseudo-register index modeling the condition flag.
-const FLAG_REG: usize = 32;
+/// The issue-bandwidth ring length for `cfg`: the ring may only alias
+/// two cycles that can never be live at the same time. In-flight
+/// instructions are bounded by the ROB, and one instruction's issue
+/// cycle exceeds the window's oldest by at most the largest single
+/// latency (memory, the slowest functional unit, the misprediction
+/// refill) plus the front end, so the live span is bounded by
+/// `rob_size * (max latency + frontend + penalty + 1)`. Rounded up to a
+/// power of two for mask indexing; 64 Ki entries (1 MiB) for the
+/// default 168-entry ROB with 200-cycle memory.
+fn issue_ring_len(cfg: &OooConfig) -> usize {
+    let l = &cfg.latencies;
+    let max_exec = [
+        l.int_alu, l.int_mul, l.int_div, l.fp_add, l.fp_mul, l.fp_div, l.fp_long, l.store,
+        l.branch, l.other,
+    ]
+    .into_iter()
+    .max()
+    .unwrap_or(1);
+    // Memory latency of the default hierarchy (the model constructs its
+    // own `MemoryHierarchy::default()`).
+    let max_lat = max_exec.max(crate::cache::MemLatencies::default().mem);
+    let span = (cfg.rob_size as u64)
+        .saturating_mul(max_lat + cfg.frontend_depth + cfg.mispredict_penalty + 1)
+        .max(1);
+    usize::try_from(span)
+        .unwrap_or(usize::MAX / 2)
+        .next_power_of_two()
+}
 
 /// The trace-driven out-of-order timing model.
 #[derive(Debug, Clone)]
@@ -197,15 +244,32 @@ pub struct OooTimingModel {
     fetch_cycle: u64,
     /// Instructions already fetched in `fetch_cycle`.
     fetched_in_cycle: u32,
-    /// Ready cycle per architectural register + flag.
-    reg_ready: [u64; 33],
-    /// Commit cycles of in-flight instructions (ROB occupancy).
-    rob: std::collections::VecDeque<u64>,
-    /// Issue-bandwidth ring: (cycle, issued count).
-    issue_ring: Vec<(u64, u32)>,
+    /// Ready cycle per architectural register + flag. Sized 64 (only
+    /// 0..=32 are used) so `u8 & 63` indexing needs no bounds check.
+    reg_ready: [u64; 64],
+    /// Commit cycles of in-flight instructions (ROB occupancy), as a
+    /// fixed-capacity ring buffer: `rob_len` entries starting at
+    /// `rob_head`, capacity `cfg.rob_size` — no deque bookkeeping on the
+    /// per-instruction push/pop pair.
+    rob: Vec<u64>,
+    rob_head: usize,
+    rob_len: usize,
+    /// Issue-bandwidth ring, sized at construction to a power of two
+    /// covering the worst-case span of live issue cycles (see
+    /// [`issue_ring_len`]) and indexed by mask. Each slot packs
+    /// `cycle | count << 48` into one word (cycle counts stay far below
+    /// 2^48 for any feasible run length), halving the ring's cache
+    /// footprint versus a `(u64, u32)` pair.
+    issue_ring: Box<[u64]>,
+    /// `issue_ring.len() - 1`.
+    issue_mask: usize,
     last_commit: u64,
     committed_in_commit_cycle: u32,
     stats: TimingStats,
+    /// `cfg.latencies` resolved per [`ExecClass::index`] (Load slot
+    /// unused — loads ask the cache hierarchy). Padded to 16 entries so
+    /// `class & 15` indexing needs no bounds check.
+    lat_table: [u64; 16],
     /// Per-branch (pc, predicted, actual) log; `None` unless enabled.
     trace: Option<Vec<BranchTraceEntry>>,
 }
@@ -218,12 +282,24 @@ impl OooTimingModel {
             hierarchy: MemoryHierarchy::default(),
             fetch_cycle: 0,
             fetched_in_cycle: 0,
-            reg_ready: [0; 33],
-            rob: std::collections::VecDeque::with_capacity(cfg.rob_size),
-            issue_ring: vec![(u64::MAX, 0); ISSUE_RING],
+            reg_ready: [0; 64],
+            rob: vec![0; cfg.rob_size],
+            rob_head: 0,
+            rob_len: 0,
+            // All-zero init is exact: a zero slot reads as "cycle 0,
+            // nothing issued yet", which the probe treats identically to
+            // an unused slot — and `vec![0]` is an `alloc_zeroed` of
+            // untouched pages instead of a sentinel fill per model.
+            issue_ring: vec![0u64; issue_ring_len(&cfg)].into_boxed_slice(),
+            issue_mask: issue_ring_len(&cfg) - 1,
             last_commit: 0,
             committed_in_commit_cycle: 0,
             stats: TimingStats::default(),
+            lat_table: {
+                let mut t = [0u64; 16];
+                t[..ExecClass::COUNT].copy_from_slice(&cfg.latencies.table());
+                t
+            },
             trace: None,
             cfg,
         }
@@ -242,50 +318,83 @@ impl OooTimingModel {
         self.trace.take().unwrap_or_default()
     }
 
-    fn latency_of(&mut self, d: &DynInst) -> u64 {
-        match d.inst.exec_class() {
-            ExecClass::IntAlu => self.cfg.latencies.int_alu,
-            ExecClass::IntMul => self.cfg.latencies.int_mul,
-            ExecClass::IntDiv => self.cfg.latencies.int_div,
-            ExecClass::FpAdd => self.cfg.latencies.fp_add,
-            ExecClass::FpMul => self.cfg.latencies.fp_mul,
-            ExecClass::FpDiv => self.cfg.latencies.fp_div,
-            ExecClass::FpLong => self.cfg.latencies.fp_long,
-            ExecClass::Store => self.cfg.latencies.store,
-            ExecClass::Branch => self.cfg.latencies.branch,
-            ExecClass::Other => self.cfg.latencies.other,
-            ExecClass::Load => {
-                let addr = d.mem_addr.expect("loads carry an address");
-                self.hierarchy.data_access(addr)
-            }
-        }
-    }
-
+    #[inline]
     fn issue_slot(&mut self, from: u64) -> u64 {
+        const COUNT_SHIFT: u32 = 48;
+        const CYCLE_MASK: u64 = (1 << COUNT_SHIFT) - 1;
         let mut c = from;
         loop {
-            let slot = &mut self.issue_ring[(c as usize) % ISSUE_RING];
-            if slot.0 != c {
-                *slot = (c, 1);
+            debug_assert!(c < 1 << COUNT_SHIFT, "cycle count exceeds ring packing");
+            let slot = &mut self.issue_ring[(c as usize) & self.issue_mask];
+            if *slot & CYCLE_MASK != c {
+                *slot = c | (1 << COUNT_SHIFT);
                 return c;
             }
-            if slot.1 < self.cfg.width {
-                slot.1 += 1;
+            if (*slot >> COUNT_SHIFT) < u64::from(self.cfg.width) {
+                *slot += 1 << COUNT_SHIFT;
                 return c;
             }
             c += 1;
         }
     }
 
-    /// Consumes one dynamic instruction.
+    /// Consumes one dynamic instruction from the reference
+    /// ([`DynInst`]-streaming) engine.
     ///
     /// `predictor` is consulted for conditional branches; when
     /// `filter_prob` is set, probabilistic branches neither access nor
     /// update the predictor and are treated as perfectly resolved — the
     /// Figure 9 interference-isolation mode.
+    ///
+    /// Derives the dataflow/latency metadata from the carried
+    /// [`Inst`](probranch_isa::Inst) on the fly and feeds the same
+    /// cycle-accounting core as
+    /// [`consume_decoded`](Self::consume_decoded), so the two entry
+    /// points cannot diverge.
     pub fn consume(&mut self, d: &DynInst, predictor: &mut dyn BranchPredictor, filter_prob: bool) {
+        let timing = InstTiming::of(&d.inst);
+        self.consume_inner(d.pc, &timing, d.branch, d.mem_addr, predictor, filter_prob);
+    }
+
+    /// Consumes one dynamic instruction from the fused engine: the
+    /// predecoded metadata comes from the shared [`DecodedInst`] and the
+    /// dynamic facts from the emulator's [`StepRecord`].
+    ///
+    /// Generic over the predictor so a concrete dispatch type (e.g.
+    /// `PredictorDispatch`) monomorphizes and inlines the per-branch
+    /// predict/update pair instead of paying two virtual calls.
+    #[inline]
+    pub fn consume_decoded<P: BranchPredictor + ?Sized>(
+        &mut self,
+        dec: &DecodedInst,
+        rec: &StepRecord,
+        predictor: &mut P,
+        filter_prob: bool,
+    ) {
+        self.consume_inner(
+            rec.pc,
+            &dec.timing,
+            rec.branch,
+            rec.mem_addr(),
+            predictor,
+            filter_prob,
+        );
+    }
+
+    /// The cycle-accounting core shared by [`consume`](Self::consume)
+    /// and [`consume_decoded`](Self::consume_decoded).
+    #[inline(always)]
+    fn consume_inner<P: BranchPredictor + ?Sized>(
+        &mut self,
+        pc: u32,
+        timing: &InstTiming,
+        branch: Option<BranchEvent>,
+        mem_addr: Option<u64>,
+        predictor: &mut P,
+        filter_prob: bool,
+    ) {
         // ---- fetch -----------------------------------------------------------
-        let istall = self.hierarchy.inst_access(d.pc as u64 * 8);
+        let istall = self.hierarchy.inst_access(pc as u64 * 8);
         if istall > 0 {
             self.fetch_cycle += istall;
             self.fetched_in_cycle = 0;
@@ -296,38 +405,45 @@ impl OooTimingModel {
         }
         // ROB back-pressure: the instruction cannot enter until the entry
         // `rob_size` older has committed.
-        if self.rob.len() >= self.cfg.rob_size {
-            let free_at = self.rob.pop_front().expect("rob non-empty");
-            if free_at > self.fetch_cycle {
-                self.fetch_cycle = free_at;
-                self.fetched_in_cycle = 0;
+        if self.rob_len >= self.cfg.rob_size {
+            let free_at = self.rob[self.rob_head];
+            self.rob_head += 1;
+            if self.rob_head == self.cfg.rob_size {
+                self.rob_head = 0;
             }
+            self.rob_len -= 1;
+            // Written to favour conditional moves: the stall condition is
+            // data-dependent and mispredicts as a branch.
+            let stalled = free_at > self.fetch_cycle;
+            self.fetch_cycle = if stalled { free_at } else { self.fetch_cycle };
+            self.fetched_in_cycle = if stalled { 0 } else { self.fetched_in_cycle };
         }
         let fetch = self.fetch_cycle;
         self.fetched_in_cycle += 1;
 
         // ---- dispatch / register dataflow -----------------------------------
+        // The flag pseudo-register is already folded into uses/defs.
         let dispatch = fetch + self.cfg.frontend_depth;
         let mut ready = dispatch;
-        for r in d.inst.uses().iter() {
-            ready = ready.max(self.reg_ready[r.index()]);
-        }
-        if matches!(d.inst, Inst::Jf { .. } | Inst::ProbJmp { .. }) {
-            ready = ready.max(self.reg_ready[FLAG_REG]);
+        for &r in timing.uses() {
+            ready = ready.max(self.reg_ready[(r & 63) as usize]);
         }
 
         // ---- issue / execute --------------------------------------------------
         let issue = self.issue_slot(ready);
-        let complete = issue + self.latency_of(d);
-        for r in d.inst.defs().iter() {
-            self.reg_ready[r.index()] = complete;
-        }
-        if matches!(d.inst, Inst::Cmp { .. } | Inst::ProbCmp { .. }) {
-            self.reg_ready[FLAG_REG] = complete;
+        let latency = if timing.class as usize == ExecClass::Load.index() {
+            let addr = mem_addr.expect("loads carry an address");
+            self.hierarchy.data_access(addr)
+        } else {
+            self.lat_table[(timing.class & 15) as usize]
+        };
+        let complete = issue + latency;
+        for &r in timing.defs() {
+            self.reg_ready[(r & 63) as usize] = complete;
         }
 
         // ---- branch resolution -------------------------------------------------
-        if let Some(ev) = d.branch {
+        if let Some(ev) = branch {
             self.stats.dyn_branches += 1;
             let mispredicted = match ev.kind {
                 BranchEventKind::Conditional => {
@@ -338,11 +454,10 @@ impl OooTimingModel {
                     if ev.is_prob && filter_prob {
                         false // oracle-resolved, predictor untouched
                     } else {
-                        let predicted = predictor.predict(d.pc as u64);
-                        predictor.update(d.pc as u64, ev.taken);
+                        let predicted = predictor.predict_and_update(pc as u64, ev.taken);
                         if let Some(trace) = &mut self.trace {
                             trace.push(BranchTraceEntry {
-                                pc: d.pc,
+                                pc,
                                 predicted,
                                 taken: ev.taken,
                                 is_prob: ev.is_prob,
@@ -383,26 +498,34 @@ impl OooTimingModel {
         }
 
         // ---- commit -------------------------------------------------------------
+        // Commit-bandwidth bump, in conditional-move form (the cycle
+        // comparison is data-dependent).
         let mut commit = complete.max(self.last_commit);
-        if commit == self.last_commit {
-            if self.committed_in_commit_cycle >= self.cfg.width {
-                commit += 1;
-                self.committed_in_commit_cycle = 1;
-            } else {
-                self.committed_in_commit_cycle += 1;
-            }
+        let same_cycle = commit == self.last_commit;
+        let full = same_cycle && self.committed_in_commit_cycle >= self.cfg.width;
+        commit += full as u64;
+        self.committed_in_commit_cycle = if same_cycle && !full {
+            self.committed_in_commit_cycle + 1
         } else {
-            self.committed_in_commit_cycle = 1;
-        }
+            1
+        };
         self.last_commit = commit;
-        self.rob.push_back(commit);
+        let mut slot = self.rob_head + self.rob_len;
+        if slot >= self.cfg.rob_size {
+            slot -= self.cfg.rob_size;
+        }
+        self.rob[slot] = commit;
+        self.rob_len += 1;
         self.stats.instructions += 1;
-        self.stats.cycles = commit;
+        // `stats.cycles` is derived from `last_commit` in `stats()`
+        // rather than stored per instruction.
     }
 
     /// The accumulated statistics.
     pub fn stats(&self) -> TimingStats {
-        self.stats
+        let mut s = self.stats;
+        s.cycles = self.last_commit;
+        s
     }
 
     /// The memory hierarchy (for cache statistics).
@@ -419,7 +542,7 @@ impl OooTimingModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use probranch_isa::{AluOp, CmpOp, Operand, Reg};
+    use probranch_isa::{AluOp, CmpOp, Inst, Operand, Reg};
     use probranch_predictor::StaticPredictor;
 
     fn alu(pc: u32, dst: Reg, src: Reg) -> DynInst {

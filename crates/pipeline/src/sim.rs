@@ -1,13 +1,25 @@
 //! The top-level simulator: functional emulation co-simulated with the
 //! branch predictor, the PBS unit and the out-of-order timing model.
-
-use std::collections::HashMap;
+//!
+//! Two engines produce identical results:
+//!
+//! * [`simulate`] — the **fused** engine: the emulator executes from the
+//!   predecoded program and writes compact [`StepRecord`]s into a small
+//!   batch buffer that the timing model drains, with the branch
+//!   predictor dispatched statically through [`PredictorDispatch`] so
+//!   the per-branch predict/update pair inlines;
+//! * [`simulate_reference`] — the original unfused loop (a
+//!   [`DynInst`](crate::DynInst) stream into `Box<dyn BranchPredictor>`),
+//!   kept as the differential baseline the equivalence suite checks the
+//!   fused engine against.
 
 use probranch_core::{PbsConfig, PbsStats, PbsUnit};
 use probranch_isa::Program;
-use probranch_predictor::{BranchPredictor, StaticPredictor, TageScL, Tournament};
+use probranch_predictor::{
+    BranchPredictor, PredictorDispatch, StaticPredictor, TageScL, Tournament,
+};
 
-use crate::machine::{EmuConfig, EmuError, Emulator};
+use crate::machine::{EmuConfig, EmuError, Emulator, StepRecord};
 use crate::ooo::{OooConfig, OooTimingModel, TimingStats};
 
 /// Which baseline branch predictor to instantiate (paper Section VI-B).
@@ -24,13 +36,28 @@ pub enum PredictorChoice {
 }
 
 impl PredictorChoice {
-    /// Instantiates the predictor.
+    /// Instantiates the predictor as a trait object (the reference
+    /// engine's dispatch; prefer [`build_dispatch`](Self::build_dispatch)
+    /// on hot paths).
     pub fn build(self) -> Box<dyn BranchPredictor> {
         match self {
             PredictorChoice::Tournament => Box::new(Tournament::default()),
             PredictorChoice::TageScL => Box::new(TageScL::default()),
             PredictorChoice::StaticTaken => Box::new(StaticPredictor::taken()),
             PredictorChoice::StaticNotTaken => Box::new(StaticPredictor::not_taken()),
+        }
+    }
+
+    /// Instantiates the predictor behind the static [`PredictorDispatch`]
+    /// enum, letting per-branch lookups inline into the fused engine.
+    pub fn build_dispatch(self) -> PredictorDispatch {
+        match self {
+            PredictorChoice::Tournament => PredictorDispatch::from(Tournament::default()),
+            PredictorChoice::TageScL => PredictorDispatch::from(TageScL::default()),
+            PredictorChoice::StaticTaken => PredictorDispatch::from(StaticPredictor::taken()),
+            PredictorChoice::StaticNotTaken => {
+                PredictorDispatch::from(StaticPredictor::not_taken())
+            }
         }
     }
 
@@ -98,14 +125,20 @@ impl SimConfig {
 }
 
 /// The result of a simulation run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field — the engine-equivalence suite
+/// asserts whole-report equality between the fused and reference
+/// engines.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Timing statistics (cycles, IPC, MPKI, branch breakdown).
     pub timing: TimingStats,
     /// PBS event counters, when PBS was enabled.
     pub pbs: Option<PbsStats>,
-    /// Program outputs per port.
-    pub outputs: HashMap<u16, Vec<u64>>,
+    /// Program outputs: `(port, values)` pairs in ascending port order —
+    /// a dense table whose iteration order is structural, not
+    /// hash-order-by-luck.
+    pub outputs: Vec<(u16, Vec<u64>)>,
     /// Probabilistic values in consumption order (Table III input).
     pub prob_consumed: Vec<u64>,
     /// Per-branch (pc, predicted, actual) log; empty unless
@@ -116,7 +149,10 @@ pub struct SimReport {
 impl SimReport {
     /// The values emitted on `port`.
     pub fn output(&self, port: u16) -> &[u64] {
-        self.outputs.get(&port).map_or(&[], |v| v.as_slice())
+        self.outputs
+            .iter()
+            .find(|(p, _)| *p == port)
+            .map_or(&[], |(_, v)| v.as_slice())
     }
 
     /// The values emitted on `port`, as doubles.
@@ -150,14 +186,60 @@ impl SimReport {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn simulate(program: &Program, config: &SimConfig) -> Result<SimReport, EmuError> {
-    let mut emu = match &config.pbs {
-        Some(pbs_cfg) => Emulator::with_pbs(
-            program.clone(),
-            config.emu.clone(),
-            PbsUnit::new(pbs_cfg.clone()),
-        ),
-        None => Emulator::new(program.clone(), config.emu.clone()),
-    };
+    let mut emu = build_emulator(program, config);
+    let mut predictor = config.predictor.build_dispatch();
+    let mut timing = OooTimingModel::new(config.core.clone());
+    if config.collect_branch_trace {
+        timing.enable_trace();
+    }
+
+    // The fused emulate→time loop: the emulator fills a small batch of
+    // compact records from the predecoded program, then the timing model
+    // drains it against the statically dispatched predictor. Batches are
+    // capped at the remaining instruction budget so the limit trips at
+    // exactly the same dynamic instruction as the reference engine.
+    const BATCH: u64 = 64;
+    let mut buf: Vec<StepRecord> = Vec::with_capacity(BATCH as usize);
+    let mut executed: u64 = 0;
+    loop {
+        let budget = (config.max_insts - executed).clamp(1, BATCH) as usize;
+        emu.step_block(&mut buf, budget)?;
+        if buf.is_empty() {
+            break; // halted
+        }
+        let decoded = emu.decoded();
+        for rec in &buf {
+            timing.consume_decoded(
+                decoded.fetch(rec.pc),
+                rec,
+                &mut predictor,
+                config.filter_prob_from_predictor,
+            );
+        }
+        executed += buf.len() as u64;
+        if executed >= config.max_insts {
+            return Err(EmuError::InstLimitExceeded {
+                limit: config.max_insts,
+            });
+        }
+    }
+
+    Ok(report_of(emu, timing))
+}
+
+/// Runs a program under the original **unfused** engine: per-instruction
+/// [`DynInst`](crate::DynInst) records and a `Box<dyn BranchPredictor>`.
+///
+/// Architecturally identical to [`simulate`] — this is the differential
+/// baseline for `tests/engine_equivalence.rs` and the throughput
+/// benchmark's "before" measurement, not a path production sweeps should
+/// take.
+///
+/// # Errors
+///
+/// Propagates any [`EmuError`], exactly as [`simulate`] does.
+pub fn simulate_reference(program: &Program, config: &SimConfig) -> Result<SimReport, EmuError> {
+    let mut emu = build_emulator(program, config);
     let mut predictor = config.predictor.build();
     let mut timing = OooTimingModel::new(config.core.clone());
     if config.collect_branch_trace {
@@ -175,13 +257,28 @@ pub fn simulate(program: &Program, config: &SimConfig) -> Result<SimReport, EmuE
         }
     }
 
-    Ok(SimReport {
+    Ok(report_of(emu, timing))
+}
+
+fn build_emulator(program: &Program, config: &SimConfig) -> Emulator {
+    match &config.pbs {
+        Some(pbs_cfg) => Emulator::with_pbs(
+            program.clone(),
+            config.emu.clone(),
+            PbsUnit::new(pbs_cfg.clone()),
+        ),
+        None => Emulator::new(program.clone(), config.emu.clone()),
+    }
+}
+
+fn report_of(emu: Emulator, mut timing: OooTimingModel) -> SimReport {
+    SimReport {
         timing: timing.stats(),
         pbs: emu.pbs_stats(),
-        outputs: drain_outputs(&emu),
+        outputs: emu.outputs_sorted(),
         prob_consumed: emu.prob_consumed().to_vec(),
         branch_trace: timing.take_trace(),
-    })
+    }
 }
 
 /// Runs a program functionally only (no timing model) — used for output
@@ -210,7 +307,7 @@ pub fn run_functional(
             ..TimingStats::default()
         },
         pbs: emu.pbs_stats(),
-        outputs: drain_outputs(&emu),
+        outputs: emu.outputs_sorted(),
         prob_consumed: emu.prob_consumed().to_vec(),
         branch_trace: Vec::new(),
     })
@@ -225,17 +322,6 @@ const _: () = {
     assert_send_sync::<SimReport>();
     assert_send_sync::<PredictorChoice>();
 };
-
-fn drain_outputs(emu: &Emulator) -> HashMap<u16, Vec<u64>> {
-    let mut out = HashMap::new();
-    for port in 0..16u16 {
-        let v = emu.output(port);
-        if !v.is_empty() {
-            out.insert(port, v.to_vec());
-        }
-    }
-    out
-}
 
 #[cfg(test)]
 mod tests {

@@ -43,10 +43,12 @@ impl Bimodal {
 }
 
 impl BranchPredictor for Bimodal {
+    #[inline]
     fn predict(&mut self, pc: u64) -> bool {
         self.lookup(pc)
     }
 
+    #[inline]
     fn update(&mut self, pc: u64, taken: bool) {
         self.train(pc, taken);
     }

@@ -96,12 +96,14 @@ impl SatCounter {
 
     /// Whether the counter sits at one of its two weak states (the states
     /// adjacent to the decision boundary).
+    #[inline]
     pub fn is_weak(&self) -> bool {
         let mid = self.max / 2;
         self.value == mid || self.value == mid + 1
     }
 
     /// Resets to the weakly-taken state if `taken`, else weakly-not-taken.
+    #[inline]
     pub fn reset_weak(&mut self, taken: bool) {
         let mid = self.max / 2;
         self.value = if taken { mid + 1 } else { mid };

@@ -1,0 +1,155 @@
+//! Static predictor dispatch: a closed enum over the predictor models
+//! the simulator instantiates, replacing `Box<dyn BranchPredictor>` on
+//! the per-branch hot path.
+//!
+//! A trace-driven simulation consults the predictor twice per dynamic
+//! conditional branch (`predict` then `update`). Through a trait object
+//! each call is a virtual dispatch the optimizer cannot see through;
+//! through [`PredictorDispatch`] the pair is one predictable match whose
+//! arms inline into the (monomorphized) simulation loop. The open trait
+//! remains the extension point — this enum only closes the set the
+//! simulator itself ships.
+
+use crate::{BranchPredictor, StaticPredictor, TageScL, Tournament};
+
+/// A closed sum of the simulator's baseline predictors, dispatching
+/// [`BranchPredictor`] statically.
+///
+/// ```
+/// use probranch_predictor::{BranchPredictor, PredictorDispatch, Tournament};
+/// let mut p = PredictorDispatch::from(Tournament::default());
+/// let guess = p.predict(0x40);
+/// p.update(0x40, true);
+/// assert_eq!(p.name(), "tournament");
+/// let _ = guess;
+/// ```
+#[derive(Debug, Clone)]
+pub enum PredictorDispatch {
+    /// The 1 KB Pentium-M-style tournament predictor.
+    Tournament(Tournament),
+    /// The 8 KB TAGE-SC-L predictor.
+    TageScL(Box<TageScL>),
+    /// A static always-taken / always-not-taken predictor.
+    Static(StaticPredictor),
+}
+
+impl From<Tournament> for PredictorDispatch {
+    fn from(p: Tournament) -> PredictorDispatch {
+        PredictorDispatch::Tournament(p)
+    }
+}
+
+impl From<TageScL> for PredictorDispatch {
+    fn from(p: TageScL) -> PredictorDispatch {
+        PredictorDispatch::TageScL(Box::new(p))
+    }
+}
+
+impl From<StaticPredictor> for PredictorDispatch {
+    fn from(p: StaticPredictor) -> PredictorDispatch {
+        PredictorDispatch::Static(p)
+    }
+}
+
+impl BranchPredictor for PredictorDispatch {
+    #[inline]
+    fn predict(&mut self, pc: u64) -> bool {
+        match self {
+            PredictorDispatch::Tournament(p) => p.predict(pc),
+            PredictorDispatch::TageScL(p) => p.predict(pc),
+            PredictorDispatch::Static(p) => p.predict(pc),
+        }
+    }
+
+    #[inline]
+    fn update(&mut self, pc: u64, taken: bool) {
+        match self {
+            PredictorDispatch::Tournament(p) => p.update(pc, taken),
+            PredictorDispatch::TageScL(p) => p.update(pc, taken),
+            PredictorDispatch::Static(p) => p.update(pc, taken),
+        }
+    }
+
+    #[inline]
+    fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
+        // One match for the whole per-branch pair; each arm resolves to
+        // the concrete type's (default) predict-then-update body.
+        match self {
+            PredictorDispatch::Tournament(p) => p.predict_and_update(pc, taken),
+            PredictorDispatch::TageScL(p) => p.predict_and_update(pc, taken),
+            PredictorDispatch::Static(p) => p.predict_and_update(pc, taken),
+        }
+    }
+
+    fn storage_bits(&self) -> usize {
+        match self {
+            PredictorDispatch::Tournament(p) => p.storage_bits(),
+            PredictorDispatch::TageScL(p) => p.storage_bits(),
+            PredictorDispatch::Static(p) => p.storage_bits(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            PredictorDispatch::Tournament(p) => p.name(),
+            PredictorDispatch::TageScL(p) => p.name(),
+            PredictorDispatch::Static(p) => p.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Any (pc, taken) sequence must drive the dispatch enum and the
+    /// boxed trait object to identical predictions.
+    fn lockstep(mut a: PredictorDispatch, mut b: Box<dyn BranchPredictor>) {
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for i in 0..5000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let pc = (x >> 32) % 97;
+            let taken = (x & 3) != 0 || i % 7 == 0;
+            assert_eq!(a.predict(pc), b.predict(pc), "iteration {i}");
+            a.update(pc, taken);
+            b.update(pc, taken);
+        }
+    }
+
+    #[test]
+    fn dispatch_matches_dyn_tournament() {
+        lockstep(
+            PredictorDispatch::from(Tournament::default()),
+            Box::new(Tournament::default()),
+        );
+    }
+
+    #[test]
+    fn dispatch_matches_dyn_tage() {
+        lockstep(
+            PredictorDispatch::from(TageScL::default()),
+            Box::new(TageScL::default()),
+        );
+    }
+
+    #[test]
+    fn dispatch_matches_dyn_static() {
+        lockstep(
+            PredictorDispatch::from(StaticPredictor::not_taken()),
+            Box::new(StaticPredictor::not_taken()),
+        );
+    }
+
+    #[test]
+    fn names_and_budgets_pass_through() {
+        let t = PredictorDispatch::from(Tournament::default());
+        assert_eq!(t.name(), "tournament");
+        assert_eq!(t.storage_bits(), Tournament::default().storage_bits());
+        assert_eq!(
+            PredictorDispatch::from(StaticPredictor::taken()).storage_bits(),
+            0
+        );
+    }
+}

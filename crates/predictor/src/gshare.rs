@@ -54,10 +54,12 @@ impl Gshare {
 }
 
 impl BranchPredictor for Gshare {
+    #[inline]
     fn predict(&mut self, pc: u64) -> bool {
         self.lookup(pc)
     }
 
+    #[inline]
     fn update(&mut self, pc: u64, taken: bool) {
         self.train(pc, taken);
     }

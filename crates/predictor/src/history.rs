@@ -5,25 +5,32 @@
 pub struct HistoryBuffer {
     bits: Vec<u64>,
     capacity: usize,
+    /// `capacity - 1`; the capacity is kept a power of two so the hot
+    /// ring arithmetic (one `get` per folded history per branch) is a
+    /// mask instead of an integer division.
+    mask: usize,
     /// Index of the most recent bit (position 0).
     head: usize,
 }
 
 impl HistoryBuffer {
-    /// Creates an all-zero history of the given capacity (rounded up to a
-    /// multiple of 64).
+    /// Creates an all-zero history of the given capacity (rounded up to
+    /// a power-of-two multiple of 64; extra retention beyond the
+    /// requested capacity is unobservable through `get`).
     pub fn new(capacity: usize) -> HistoryBuffer {
-        let words = capacity.div_ceil(64).max(1);
+        let words = capacity.div_ceil(64).max(1).next_power_of_two();
         HistoryBuffer {
             bits: vec![0; words],
             capacity: words * 64,
+            mask: words * 64 - 1,
             head: 0,
         }
     }
 
     /// Pushes the newest outcome; the oldest is dropped.
+    #[inline]
     pub fn push(&mut self, taken: bool) {
-        self.head = (self.head + self.capacity - 1) % self.capacity;
+        self.head = (self.head + self.capacity - 1) & self.mask;
         let w = self.head / 64;
         let b = self.head % 64;
         if taken {
@@ -38,9 +45,20 @@ impl HistoryBuffer {
     /// # Panics
     ///
     /// Panics if `age >= capacity`.
+    #[inline]
     pub fn get(&self, age: usize) -> bool {
         assert!(age < self.capacity, "history age {age} out of range");
-        let pos = (self.head + age) % self.capacity;
+        let pos = (self.head + age) & self.mask;
+        (self.bits[pos / 64] >> (pos % 64)) & 1 == 1
+    }
+
+    /// The outcome `age` branches ago without the range assertion, for
+    /// in-crate callers whose ages are validated at construction time
+    /// (the fold-update loops pay this lookup many times per branch).
+    #[inline]
+    pub(crate) fn get_unchecked_age(&self, age: usize) -> bool {
+        debug_assert!(age < self.capacity);
+        let pos = (self.head + age) & self.mask;
         (self.bits[pos / 64] >> (pos % 64)) & 1 == 1
     }
 
@@ -69,9 +87,12 @@ impl HistoryBuffer {
 #[derive(Debug, Clone)]
 pub struct FoldedHistory {
     comp: u64,
-    original_len: usize,
-    compressed_len: usize,
-    outpoint: usize,
+    // u32 fields keep the struct at 16 bytes, packing four folds per
+    // cache line in the predictor's fold vectors (21 folds are updated
+    // per branch).
+    original_len: u32,
+    compressed_len: u32,
+    outpoint: u32,
 }
 
 impl FoldedHistory {
@@ -83,23 +104,36 @@ impl FoldedHistory {
     /// Panics if `compressed_len` is 0 or exceeds 63.
     pub fn new(original_len: usize, compressed_len: usize) -> FoldedHistory {
         assert!(compressed_len > 0 && compressed_len < 64);
+        assert!(original_len <= u32::MAX as usize, "window length overflow");
         FoldedHistory {
             comp: 0,
-            original_len,
-            compressed_len,
-            outpoint: original_len % compressed_len,
+            original_len: original_len as u32,
+            compressed_len: compressed_len as u32,
+            outpoint: (original_len % compressed_len) as u32,
         }
     }
 
     /// Incorporates the newest outcome. `history` must be the
     /// [`HistoryBuffer`] *before* this outcome is pushed (so the bit
     /// leaving the window is still visible).
+    #[inline]
     pub fn update(&mut self, history: &HistoryBuffer, newest: bool) {
         let evicted = if self.original_len == 0 {
             false
         } else {
-            history.get(self.original_len - 1)
+            history.get(self.original_len as usize - 1)
         };
+        self.update_with(newest, evicted);
+        // (Public path keeps the asserted lookup; TAGE's batched update
+        // uses `update_with` with a shared unchecked lookup.)
+    }
+
+    /// [`update`](Self::update) with the evicted bit (the outcome
+    /// `original_len` branches ago, *before* pushing `newest`) supplied
+    /// by the caller — lets predictors with several folds over the same
+    /// window length share one history lookup per length.
+    #[inline]
+    pub fn update_with(&mut self, newest: bool, evicted: bool) {
         self.comp = (self.comp << 1) | newest as u64;
         self.comp ^= (evicted as u64) << self.outpoint;
         self.comp ^= self.comp >> self.compressed_len;
@@ -107,13 +141,20 @@ impl FoldedHistory {
     }
 
     /// The folded value.
+    #[inline]
     pub fn value(&self) -> u64 {
         self.comp
     }
 
     /// The compressed width in bits.
     pub fn compressed_len(&self) -> usize {
-        self.compressed_len
+        self.compressed_len as usize
+    }
+
+    /// The window length in bits.
+    #[inline]
+    pub fn original_len(&self) -> usize {
+        self.original_len as usize
     }
 
     /// Recomputes the fold from scratch — O(original_len); used to verify
@@ -124,9 +165,9 @@ impl FoldedHistory {
         // (original_len - 1 - i) mod compressed_len, matching the shift
         // direction of `update` (the newest bit enters at position 0 and
         // ages upward).
-        for i in 0..self.original_len {
+        for i in 0..self.original_len as usize {
             if history.get(i) {
-                v ^= 1 << (i % self.compressed_len);
+                v ^= 1 << (i as u32 % self.compressed_len);
             }
         }
         v & ((1u64 << self.compressed_len) - 1)

@@ -39,6 +39,7 @@
 
 mod bimodal;
 mod counters;
+mod dispatch;
 mod gshare;
 mod history;
 mod loop_pred;
@@ -47,6 +48,7 @@ mod tournament;
 
 pub use bimodal::Bimodal;
 pub use counters::SatCounter;
+pub use dispatch::PredictorDispatch;
 pub use gshare::Gshare;
 pub use history::{FoldedHistory, HistoryBuffer};
 pub use loop_pred::LoopPredictor;
@@ -66,6 +68,17 @@ pub trait BranchPredictor {
     /// Trains with the actual outcome of the branch at `pc`. Must follow
     /// the matching [`predict`](Self::predict) call.
     fn update(&mut self, pc: u64, taken: bool);
+
+    /// The simulator's per-branch pair — [`predict`](Self::predict)
+    /// immediately followed by [`update`](Self::update) — as one call,
+    /// returning the prediction. Closed dispatch types override this to
+    /// pay a single dispatch per branch instead of two.
+    #[inline]
+    fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
+        let predicted = self.predict(pc);
+        self.update(pc, taken);
+        predicted
+    }
 
     /// Total storage in bits (for hardware-budget accounting).
     fn storage_bits(&self) -> usize;

@@ -71,6 +71,7 @@ impl LoopPredictor {
     }
 
     /// The confident loop prediction for `pc`, if any.
+    #[inline]
     pub fn lookup(&self, pc: u64) -> Option<bool> {
         let e = &self.entries[self.slot(pc)];
         if e.valid && e.tag == self.tag(pc) && e.confidence >= CONF_MAX {

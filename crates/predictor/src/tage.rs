@@ -79,7 +79,11 @@ impl TageEntry {
 }
 
 /// Per-prediction metadata carried from `predict` to `update`.
-#[derive(Debug, Clone)]
+///
+/// The index/tag vectors are persistent scratch buffers: one `PredState`
+/// lives inside the predictor and is cleared and refilled per branch, so
+/// the steady-state predict/update pair performs no heap allocation.
+#[derive(Debug, Clone, Default)]
 struct PredState {
     pc: u64,
     indices: Vec<usize>,
@@ -91,6 +95,9 @@ struct PredState {
     sc_sum: i32,
     sc_indices: Vec<usize>,
     loop_used: bool,
+    /// Provider present with a non-weak counter, snapshotted at predict
+    /// time (tables cannot change before the paired update).
+    provider_strong: bool,
     final_pred: bool,
 }
 
@@ -118,22 +125,31 @@ pub struct TageScL {
     config: TageConfig,
     histories: Vec<usize>,
     base: Vec<SatCounter>,
-    tables: Vec<Vec<TageEntry>>,
+    /// Tagged tables flattened into one strided array
+    /// (`table * (1 << index_bits) + index`): one bounds check and no
+    /// per-access pointer chase on the hottest predictor data.
+    tables: Vec<TageEntry>,
     ghist: HistoryBuffer,
     index_folds: Vec<FoldedHistory>,
     tag_folds1: Vec<FoldedHistory>,
     tag_folds2: Vec<FoldedHistory>,
     /// "Use alternate prediction on newly allocated" counter.
     use_alt: SatCounter,
-    /// SC: bias table (index 0) then one table per configured history.
-    sc_tables: Vec<Vec<SatCounter>>,
+    /// SC: bias table (table 0) then one table per configured history,
+    /// flattened with stride `1 << sc_index_bits`.
+    sc_tables: Vec<SatCounter>,
     sc_folds: Vec<FoldedHistory>,
     loops: LoopPredictor,
     /// Simple LFSR for allocation randomization.
     lfsr: u32,
     /// Update counter driving periodic useful-bit aging.
     ticks: u64,
-    last: Option<PredState>,
+    /// Reused per-prediction scratch (see [`PredState`]), boxed so the
+    /// predict/update handoff moves one pointer instead of copying the
+    /// whole struct twice per call.
+    state: Option<Box<PredState>>,
+    /// Whether `state` holds the metadata of an un-consumed `predict`.
+    state_valid: bool,
 }
 
 const SC_THETA: i32 = 10;
@@ -142,8 +158,15 @@ impl TageScL {
     /// Creates a predictor with the given configuration.
     pub fn new(config: TageConfig) -> TageScL {
         let histories = config.history_lengths();
-        let max_h = *histories.iter().max().unwrap_or(&1);
-        let tables = vec![vec![TageEntry::empty(); 1 << config.index_bits]; config.num_tables];
+        // The global history must retain every window any fold reads —
+        // tagged-table lengths *and* SC lengths — so the fold-update
+        // loops can use the unchecked history lookup.
+        let max_h = *histories
+            .iter()
+            .chain(&config.sc_histories)
+            .max()
+            .unwrap_or(&1);
+        let tables = vec![TageEntry::empty(); config.num_tables << config.index_bits];
         let index_folds = histories
             .iter()
             .map(|&h| FoldedHistory::new(h, config.index_bits as usize))
@@ -156,9 +179,10 @@ impl TageScL {
             .iter()
             .map(|&h| FoldedHistory::new(h, (config.tag_bits - 1) as usize))
             .collect();
-        let sc_tables = (0..=config.sc_histories.len())
-            .map(|_| vec![SatCounter::weak_not_taken(6); 1 << config.sc_index_bits])
-            .collect();
+        let sc_tables = vec![
+            SatCounter::weak_not_taken(6);
+            (config.sc_histories.len() + 1) << config.sc_index_bits
+        ];
         let sc_folds = config
             .sc_histories
             .iter()
@@ -176,11 +200,23 @@ impl TageScL {
             loops: LoopPredictor::new(config.loop_entries),
             lfsr: 0xACE1,
             ticks: 0,
-            last: None,
+            state: Some(Box::default()),
+            state_valid: false,
             histories,
             tables,
             config,
         }
+    }
+
+    /// The flattened-entry index of `(table, index)`.
+    #[inline]
+    fn slot(&self, table: usize, index: usize) -> usize {
+        (table << self.config.index_bits) + index
+    }
+
+    /// Number of statistical-corrector tables (bias + per-history).
+    fn num_sc_tables(&self) -> usize {
+        self.config.sc_histories.len() + 1
     }
 
     fn next_rand(&mut self) -> u32 {
@@ -188,19 +224,6 @@ impl TageScL {
         let bit = (self.lfsr ^ (self.lfsr >> 2) ^ (self.lfsr >> 3) ^ (self.lfsr >> 5)) & 1;
         self.lfsr = (self.lfsr >> 1) | (bit << 15);
         self.lfsr
-    }
-
-    fn table_index(&self, pc: u64, table: usize) -> usize {
-        let mask = (1usize << self.config.index_bits) - 1;
-        let fold = self.index_folds[table].value() as usize;
-        (pc as usize ^ (pc as usize >> self.config.index_bits as usize) ^ fold ^ (table << 1))
-            & mask
-    }
-
-    fn table_tag(&self, pc: u64, table: usize) -> u16 {
-        let mask = (1u64 << self.config.tag_bits) - 1;
-        ((pc ^ self.tag_folds1[table].value() ^ (self.tag_folds2[table].value() << 1)) & mask)
-            as u16
     }
 
     fn base_index(&self, pc: u64) -> usize {
@@ -216,39 +239,77 @@ impl TageScL {
         }
     }
 
-    fn compute(&self, pc: u64) -> PredState {
+    /// Computes the full prediction into the reused scratch `st`.
+    fn compute_into(&self, pc: u64, st: &mut PredState) {
         let n = self.config.num_tables;
-        let indices: Vec<usize> = (0..n).map(|t| self.table_index(pc, t)).collect();
-        let tags: Vec<u16> = (0..n).map(|t| self.table_tag(pc, t)).collect();
+        // Iterator forms of `table_index`/`table_tag`: constants hoisted,
+        // no per-table bounds checks on the fold vectors.
+        let ib = self.config.index_bits as usize;
+        let idx_mask = (1usize << ib) - 1;
+        st.indices.clear();
+        st.indices
+            .extend(self.index_folds.iter().enumerate().map(|(t, f)| {
+                (pc as usize ^ (pc as usize >> ib) ^ f.value() as usize ^ (t << 1)) & idx_mask
+            }));
+        let tag_mask = (1u64 << self.config.tag_bits) - 1;
+        st.tags.clear();
+        st.tags.extend(
+            self.tag_folds1
+                .iter()
+                .zip(&self.tag_folds2)
+                .map(|(f1, f2)| ((pc ^ f1.value() ^ (f2.value() << 1)) & tag_mask) as u16),
+        );
+        let (indices, tags) = (&st.indices, &st.tags);
 
         // Longest matching table provides; next match (or base) is alt.
-        let mut provider = None;
-        let mut alt_table = None;
-        for t in (0..n).rev() {
-            if self.tables[t][indices[t]].tag == tags[t] {
-                if provider.is_none() {
-                    provider = Some(t);
-                } else {
-                    alt_table = Some(t);
-                    break;
+        // The tag comparisons are data-dependent and essentially random,
+        // so the scan is done branchlessly (a match bitmask + leading-bit
+        // arithmetic) instead of a conditional walk the host branch
+        // predictor keeps missing.
+        let (mut provider, mut alt_table) = (None, None);
+        if n <= 64 {
+            let mut mask = 0u64;
+            for (t, (&i, &tag)) in indices.iter().zip(tags).enumerate() {
+                mask |= u64::from(self.tables[self.slot(t, i)].tag == tag) << t;
+            }
+            if mask != 0 {
+                let p = 63 - mask.leading_zeros() as usize;
+                provider = Some(p);
+                let rest = mask & !(1u64 << p);
+                if rest != 0 {
+                    alt_table = Some(63 - rest.leading_zeros() as usize);
+                }
+            }
+        } else {
+            // Oversized custom configurations: the straightforward walk.
+            for t in (0..n).rev() {
+                if self.tables[self.slot(t, indices[t])].tag == tags[t] {
+                    if provider.is_none() {
+                        provider = Some(t);
+                    } else {
+                        alt_table = Some(t);
+                        break;
+                    }
                 }
             }
         }
         let base_pred = self.base[self.base_index(pc)].taken();
-        let alt_pred = alt_table.map_or(base_pred, |t| self.tables[t][indices[t]].ctr.taken());
-        let (provider_pred, provider_weak) = match provider {
-            Some(t) => {
-                let e = &self.tables[t][indices[t]];
-                (e.ctr.taken(), e.ctr.is_weak())
-            }
+        let alt_pred = alt_table.map_or(base_pred, |t| {
+            self.tables[self.slot(t, indices[t])].ctr.taken()
+        });
+        // One copy of the (4-byte) provider entry serves the prediction,
+        // weakness, newly-allocated and confidence questions.
+        let provider_entry = provider.map(|t| self.tables[self.slot(t, indices[t])]);
+        let (provider_pred, provider_weak) = match provider_entry {
+            Some(e) => (e.ctr.taken(), e.ctr.is_weak()),
             None => (base_pred, false),
         };
         // "Use alt on newly allocated": for weak providers with no
         // established usefulness, prefer the alternate prediction when
         // the use_alt counter says so.
-        let tage_pred = match provider {
-            Some(t) => {
-                let newly = provider_weak && self.tables[t][indices[t]].useful.value() == 0;
+        let tage_pred = match provider_entry {
+            Some(e) => {
+                let newly = provider_weak && e.useful.value() == 0;
                 if newly && self.use_alt.taken() {
                     alt_pred
                 } else {
@@ -262,17 +323,28 @@ impl TageScL {
         // is consulted only when TAGE itself is unconfident (weak or
         // absent provider) and the vote is decisive — a *corrector*, not
         // a competing predictor.
-        let sc_indices: Vec<usize> = (0..self.sc_tables.len())
-            .map(|t| self.sc_index(pc, t))
-            .collect();
-        let sc_sum: i32 = self
-            .sc_tables
-            .iter()
-            .zip(&sc_indices)
-            .map(|(tbl, &i)| 2 * tbl[i].signed() as i32 + 1)
-            .sum();
-        let tage_confident =
-            matches!(provider, Some(t) if !self.tables[t][indices[t]].ctr.is_weak());
+        //
+        // Computed lazily: with a confident provider the vote influences
+        // neither the prediction nor the update (`update`'s SC-training
+        // gate re-derives the same confidence from the same unmodified
+        // entry), so the table reads are skipped entirely. `sc_indices`
+        // is left empty in that case, which also empties the training
+        // loop — behaviourally identical, measurably cheaper on the
+        // steady-state majority of branches.
+        let tage_confident = provider_entry.is_some_and(|e| !e.ctr.is_weak());
+        st.sc_indices.clear();
+        let mut sc_sum = 0i32;
+        if !tage_confident {
+            st.sc_indices
+                .extend((0..self.num_sc_tables()).map(|t| self.sc_index(pc, t)));
+            let sc_stride = 1usize << self.config.sc_index_bits;
+            sc_sum = st
+                .sc_indices
+                .iter()
+                .enumerate()
+                .map(|(t, &i)| 2 * self.sc_tables[t * sc_stride + i].signed() as i32 + 1)
+                .sum();
+        }
         let sc_pred = if !tage_confident && sc_sum.abs() >= SC_THETA {
             sc_sum >= 0
         } else {
@@ -285,26 +357,20 @@ impl TageScL {
             None => (false, sc_pred),
         };
 
-        PredState {
-            pc,
-            indices,
-            tags,
-            provider,
-            provider_pred,
-            alt_pred,
-            tage_pred,
-            sc_sum,
-            sc_indices,
-            loop_used,
-            final_pred,
-        }
+        st.pc = pc;
+        st.provider = provider;
+        st.provider_pred = provider_pred;
+        st.alt_pred = alt_pred;
+        st.tage_pred = tage_pred;
+        st.sc_sum = sc_sum;
+        st.loop_used = loop_used;
+        st.provider_strong = tage_confident;
+        st.final_pred = final_pred;
     }
 
     fn age_useful_bits(&mut self) {
-        for table in &mut self.tables {
-            for e in table.iter_mut() {
-                e.useful.dec();
-            }
+        for e in self.tables.iter_mut() {
+            e.useful.dec();
         }
     }
 
@@ -321,18 +387,24 @@ impl Default for TageScL {
 }
 
 impl BranchPredictor for TageScL {
+    #[inline]
     fn predict(&mut self, pc: u64) -> bool {
-        let st = self.compute(pc);
+        // Move the boxed scratch out (a pointer swap, no allocation in
+        // steady state) so `compute_into` can borrow `self` immutably.
+        let mut st = self.state.take().unwrap_or_default();
+        self.compute_into(pc, &mut st);
         let pred = st.final_pred;
-        self.last = Some(st);
+        self.state = Some(st);
+        self.state_valid = true;
         pred
     }
 
+    #[inline]
     fn update(&mut self, pc: u64, taken: bool) {
-        let st = match self.last.take() {
-            Some(s) if s.pc == pc => s,
-            _ => self.compute(pc),
-        };
+        let mut st = self.state.take().unwrap_or_default();
+        if !(std::mem::take(&mut self.state_valid) && st.pc == pc) {
+            self.compute_into(pc, &mut st);
+        }
         let n = self.config.num_tables;
 
         // ---- loop component ------------------------------------------------
@@ -342,28 +414,30 @@ impl BranchPredictor for TageScL {
         // Train only in the regime where the SC is consulted (unconfident
         // TAGE), so it specializes in TAGE's blind spots instead of
         // shadowing it.
-        let provider_strong =
-            matches!(st.provider, Some(t) if !self.tables[t][st.indices[t]].ctr.is_weak());
+        // Snapshotted at predict time; the strict predict/update
+        // alternation means no table write happened in between.
+        let provider_strong = st.provider_strong;
         if !st.loop_used
             && !provider_strong
             && (st.final_pred != taken || st.sc_sum.abs() < 2 * SC_THETA)
         {
+            let sc_stride = 1usize << self.config.sc_index_bits;
             for (t, &i) in st.sc_indices.iter().enumerate() {
-                self.sc_tables[t][i].train(taken);
+                self.sc_tables[t * sc_stride + i].train(taken);
             }
         }
 
         // ---- TAGE tables ----------------------------------------------------
         match st.provider {
             Some(t) => {
-                let idx = st.indices[t];
+                let idx = self.slot(t, st.indices[t]);
                 // use_alt bookkeeping: when the provider was weak and the
                 // alternate disagreed, learn which to trust.
-                let weak = self.tables[t][idx].ctr.is_weak();
+                let weak = self.tables[idx].ctr.is_weak();
                 if weak && st.provider_pred != st.alt_pred {
                     self.use_alt.train(st.alt_pred == taken);
                 }
-                let e = &mut self.tables[t][idx];
+                let e = &mut self.tables[idx];
                 e.ctr.train(taken);
                 if st.provider_pred != st.alt_pred {
                     e.useful.train(st.provider_pred == taken);
@@ -389,9 +463,9 @@ impl BranchPredictor for TageScL {
                 let mut allocated = false;
                 for k in 0..(n - start) {
                     let t = start + (offset + k) % (n - start);
-                    let idx = st.indices[t];
-                    if self.tables[t][idx].useful.value() == 0 {
-                        self.tables[t][idx] = TageEntry {
+                    let idx = self.slot(t, st.indices[t]);
+                    if self.tables[idx].useful.value() == 0 {
+                        self.tables[idx] = TageEntry {
                             ctr: {
                                 let mut c = SatCounter::weak_not_taken(3);
                                 c.reset_weak(taken);
@@ -406,8 +480,8 @@ impl BranchPredictor for TageScL {
                 }
                 if !allocated {
                     for t in start..n {
-                        let idx = st.indices[t];
-                        self.tables[t][idx].useful.dec();
+                        let idx = self.slot(t, st.indices[t]);
+                        self.tables[idx].useful.dec();
                     }
                 }
             }
@@ -420,26 +494,40 @@ impl BranchPredictor for TageScL {
         }
 
         // ---- histories ---------------------------------------------------------
-        for f in self.index_folds.iter_mut() {
-            f.update(&self.ghist, taken);
+        // The three fold families of table `t` share the same window
+        // length, so the evicted bit is looked up once per table instead
+        // of once per fold.
+        {
+            let folds = self
+                .index_folds
+                .iter_mut()
+                .zip(self.tag_folds1.iter_mut())
+                .zip(self.tag_folds2.iter_mut());
+            for ((fi, f1), f2) in folds {
+                let h = fi.original_len();
+                // Ages are bounded by the constructor (`ghist` holds
+                // `max_history + 64` bits).
+                let evicted = h > 0 && self.ghist.get_unchecked_age(h - 1);
+                fi.update_with(taken, evicted);
+                f1.update_with(taken, evicted);
+                f2.update_with(taken, evicted);
+            }
         }
-        for f in self.tag_folds1.iter_mut() {
-            f.update(&self.ghist, taken);
-        }
-        for f in self.tag_folds2.iter_mut() {
-            f.update(&self.ghist, taken);
-        }
-        for f in self.sc_folds.iter_mut() {
-            f.update(&self.ghist, taken);
+        for (f, &h) in self.sc_folds.iter_mut().zip(&self.config.sc_histories) {
+            let evicted = h > 0 && self.ghist.get_unchecked_age(h - 1);
+            f.update_with(taken, evicted);
         }
         self.ghist.push(taken);
+
+        // Hand the scratch buffers back for the next prediction.
+        self.state = Some(st);
     }
 
     fn storage_bits(&self) -> usize {
         let c = &self.config;
         let tagged = c.num_tables * (1usize << c.index_bits) * (3 + 2 + c.tag_bits as usize);
         let base = (1usize << c.base_bits) * 2;
-        let sc = self.sc_tables.len() * (1usize << c.sc_index_bits) * 6;
+        let sc = self.num_sc_tables() * (1usize << c.sc_index_bits) * 6;
         let hist = self.ghist.capacity();
         let folds: usize = self
             .index_folds

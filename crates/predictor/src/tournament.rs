@@ -61,6 +61,7 @@ impl Default for Tournament {
 }
 
 impl BranchPredictor for Tournament {
+    #[inline]
     fn predict(&mut self, pc: u64) -> bool {
         let bimodal_pred = self.bimodal.lookup(pc);
         let global_pred = self.global.lookup(pc);
@@ -80,6 +81,7 @@ impl BranchPredictor for Tournament {
         }
     }
 
+    #[inline]
     fn update(&mut self, pc: u64, taken: bool) {
         let last = self.last.take();
         // Recover component predictions; if predict() was skipped (which

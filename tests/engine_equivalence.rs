@@ -1,0 +1,165 @@
+//! Engine-equivalence suite: the fused/predecoded engine (`simulate`)
+//! must produce a `SimReport` **identical** to the unfused reference
+//! engine (`simulate_reference`) — timing statistics, PBS counters,
+//! outputs, the consumed probabilistic-value stream, and the per-branch
+//! trace — for every workload of the golden/determinism suites, under
+//! every machine configuration the paper sweeps.
+//!
+//! The comparison sweeps run through the parallel experiment harness
+//! with default jobs, so the CI matrix (PROBRANCH_JOBS=1 vs default)
+//! exercises the suite both serially and in parallel.
+
+use probranch::harness::{run_cells, workload_seed, Cell, Jobs};
+use probranch::pbs::PbsConfig;
+use probranch::pipeline::{
+    simulate, simulate_reference, OooConfig, PredictorChoice, SimConfig, SimReport,
+};
+use probranch::workloads::{BenchmarkId, Scale};
+
+/// The golden-trace suite's fixed workload seed: equivalence at exactly
+/// the stream the golden files pin.
+const GOLDEN_SEED: u64 = 0xB5EED;
+
+fn config_for(cell: &Cell, core: OooConfig, trace: bool) -> SimConfig {
+    let mut cfg = SimConfig {
+        core,
+        predictor: cell.predictor,
+        collect_branch_trace: trace,
+        ..SimConfig::default()
+    };
+    if cell.pbs {
+        cfg.pbs = Some(PbsConfig::default());
+    }
+    cfg
+}
+
+fn assert_reports_equal(cell: &Cell, fused: &SimReport, reference: &SimReport) {
+    // Field-by-field first, so a drift names the diverging component…
+    assert_eq!(fused.timing, reference.timing, "timing drift on {cell:?}");
+    assert_eq!(fused.pbs, reference.pbs, "PBS-counter drift on {cell:?}");
+    assert_eq!(fused.outputs, reference.outputs, "output drift on {cell:?}");
+    assert_eq!(
+        fused.prob_consumed, reference.prob_consumed,
+        "consumed-stream drift on {cell:?}"
+    );
+    assert_eq!(
+        fused.branch_trace, reference.branch_trace,
+        "branch-trace drift on {cell:?}"
+    );
+    // …then the whole report, so no future field escapes the net.
+    assert_eq!(fused, reference, "report drift on {cell:?}");
+}
+
+/// Every benchmark × {tournament, TAGE-SC-L} × {PBS off, on} on the
+/// default 4-wide core — the fig6/fig7 grid the determinism suite runs.
+#[test]
+fn fused_engine_matches_reference_on_the_fig6_grid() {
+    let cells: Vec<Cell> = BenchmarkId::ALL
+        .iter()
+        .flat_map(|&w| {
+            [
+                (PredictorChoice::Tournament, false),
+                (PredictorChoice::Tournament, true),
+                (PredictorChoice::TageScL, false),
+                (PredictorChoice::TageScL, true),
+            ]
+            .map(|(p, pbs)| Cell::new(w, p, pbs, 0))
+        })
+        .collect();
+    let outcomes = run_cells(&cells, Jobs::default(), |cell| {
+        let program = cell
+            .workload
+            .build(Scale::Smoke, cell.workload_seed())
+            .program();
+        let cfg = config_for(cell, OooConfig::default(), false);
+        (
+            simulate(&program, &cfg).expect("fused"),
+            simulate_reference(&program, &cfg).expect("reference"),
+        )
+    });
+    for (cell, (fused, reference)) in cells.iter().zip(&outcomes) {
+        assert_reports_equal(cell, fused, reference);
+    }
+}
+
+/// The golden-trace workloads with branch tracing enabled: the traces —
+/// the predictor's observable behaviour — must match entry for entry.
+#[test]
+fn fused_engine_matches_reference_traces_on_golden_workloads() {
+    let cells = [
+        Cell::new(BenchmarkId::Pi, PredictorChoice::TageScL, false, 0),
+        Cell::new(BenchmarkId::Bandit, PredictorChoice::Tournament, false, 0),
+        Cell::new(BenchmarkId::Pi, PredictorChoice::TageScL, true, 0),
+        Cell::new(BenchmarkId::Bandit, PredictorChoice::Tournament, true, 0),
+    ];
+    let outcomes = run_cells(&cells, Jobs::default(), |cell| {
+        let program = cell.workload.build(Scale::Smoke, GOLDEN_SEED).program();
+        let cfg = config_for(cell, OooConfig::default(), true);
+        (
+            simulate(&program, &cfg).expect("fused"),
+            simulate_reference(&program, &cfg).expect("reference"),
+        )
+    });
+    for (cell, (fused, reference)) in cells.iter().zip(&outcomes) {
+        assert!(
+            !fused.branch_trace.is_empty(),
+            "trace must be populated for {cell:?}"
+        );
+        assert_reports_equal(cell, fused, reference);
+    }
+}
+
+/// The wide (8-wide / 256-ROB) core, the static predictors, and the
+/// Figure 9 filter mode — the remaining machine axes.
+#[test]
+fn fused_engine_matches_reference_on_remaining_machine_axes() {
+    let program = BenchmarkId::Photon
+        .build(Scale::Smoke, workload_seed(BenchmarkId::Photon, 1))
+        .program();
+    for predictor in [
+        PredictorChoice::Tournament,
+        PredictorChoice::TageScL,
+        PredictorChoice::StaticTaken,
+        PredictorChoice::StaticNotTaken,
+    ] {
+        for (core, filter, pbs) in [
+            (OooConfig::wide(), false, true),
+            (OooConfig::default(), true, false),
+            (OooConfig::wide(), true, true),
+        ] {
+            let mut cfg = SimConfig {
+                core,
+                predictor,
+                collect_branch_trace: true,
+                ..SimConfig::default()
+            };
+            cfg.filter_prob_from_predictor = filter;
+            if pbs {
+                cfg.pbs = Some(PbsConfig::default());
+            }
+            let fused = simulate(&program, &cfg).expect("fused");
+            let reference = simulate_reference(&program, &cfg).expect("reference");
+            assert_eq!(
+                fused, reference,
+                "report drift: {predictor:?}, filter={filter}, pbs={pbs}"
+            );
+        }
+    }
+}
+
+/// Both engines must also agree on *errors*: the instruction budget
+/// trips at the same dynamic instruction.
+#[test]
+fn fused_engine_matches_reference_on_instruction_limits() {
+    let program = BenchmarkId::Pi.build(Scale::Smoke, GOLDEN_SEED).program();
+    for max_insts in [1, 2, 64, 65, 1000] {
+        let cfg = SimConfig {
+            max_insts,
+            ..SimConfig::default()
+        };
+        let fused = simulate(&program, &cfg);
+        let reference = simulate_reference(&program, &cfg);
+        assert_eq!(fused, reference, "limit {max_insts}");
+        assert!(fused.is_err(), "limit {max_insts} must trip");
+    }
+}
