@@ -5,10 +5,15 @@
 //! ```
 //!
 //! Compares the fused-engine MIPS of every cell in `FRESH` against the
-//! committed `BASELINE` and exits nonzero if any cell regressed by more
-//! than the tolerance (default 30%, absorbing runner-to-runner noise).
-//! Skips — exit 0 with a notice — when the baseline file is missing, the
-//! schemas differ, or the two reports were measured at different scales.
+//! committed `BASELINE` — and, when both reports carry them
+//! (`probranch-throughput/2`), the replay-engine MIPS too — exiting
+//! nonzero if any compared number regressed by more than the tolerance
+//! (default 30%, absorbing runner-to-runner noise). A v1 baseline
+//! (`probranch-throughput/1`, no replay fields) is still accepted: its
+//! fused cells gate as before and the replay comparison is skipped per
+//! cell, never failed. Skips entirely — exit 0 with a notice — when the
+//! baseline file is missing, a schema is unknown, or the two reports
+//! were measured at different scales.
 //!
 //! Both files use the line-oriented layout of
 //! `probranch_bench::throughput::ThroughputReport::to_json` (one cell
@@ -17,6 +22,8 @@
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
+
+const KNOWN_SCHEMAS: [&str; 2] = ["probranch-throughput/1", "probranch-throughput/2"];
 
 /// Extracts the raw text of `"key":<value>` from a single line, value
 /// ending at `,` or `}`.
@@ -38,8 +45,16 @@ fn header_field(text: &str, key: &str) -> Option<String> {
     })
 }
 
-/// Parses `(header scale, cell key → fused MIPS)` from a report.
-fn parse(text: &str) -> (Option<String>, BTreeMap<String, f64>) {
+/// Per-cell measurements: fused MIPS always, replay MIPS when the
+/// report's schema carries it.
+struct CellMips {
+    fused: f64,
+    replay: Option<f64>,
+}
+
+/// Parses `(header scale, cell key → MIPS)` from a report. Capture-
+/// overhead lines (no `predictor` field) are skipped.
+fn parse(text: &str) -> (Option<String>, BTreeMap<String, CellMips>) {
     let mut cells = BTreeMap::new();
     for line in text.lines().filter(|l| l.contains("\"workload\"")) {
         let (Some(w), Some(p), Some(pbs), Some(mips)) = (
@@ -50,8 +65,9 @@ fn parse(text: &str) -> (Option<String>, BTreeMap<String, f64>) {
         ) else {
             continue;
         };
-        if let Ok(mips) = mips.parse::<f64>() {
-            cells.insert(format!("{w}|{p}|{pbs}"), mips);
+        if let Ok(fused) = mips.parse::<f64>() {
+            let replay = raw_field(line, "replay_mips").and_then(|v| v.parse::<f64>().ok());
+            cells.insert(format!("{w}|{p}|{pbs}"), CellMips { fused, replay });
         }
     }
     (header_field(text, "scale"), cells)
@@ -91,10 +107,10 @@ fn main() -> ExitCode {
 
     for (name, text) in [("baseline", &baseline_text), ("fresh", &fresh_text)] {
         match header_field(text, "schema").as_deref() {
-            Some("probranch-throughput/1") => {}
+            Some(s) if KNOWN_SCHEMAS.contains(&s) => {}
             other => {
                 println!(
-                    "check_throughput: {name} schema {other:?} is not probranch-throughput/1; skipping"
+                    "check_throughput: {name} schema {other:?} is not one of {KNOWN_SCHEMAS:?}; skipping"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -114,24 +130,40 @@ fn main() -> ExitCode {
 
     let mut failures = 0usize;
     let mut compared = 0usize;
-    for (key, base_mips) in &baseline {
-        let Some(fresh_mips) = fresh.get(key) else {
+    let mut replay_compared = 0usize;
+    for (key, base) in &baseline {
+        let Some(fresh_cell) = fresh.get(key) else {
             eprintln!("REGRESSION {key}: cell missing from fresh report");
             failures += 1;
             continue;
         };
         compared += 1;
-        let floor = base_mips * (1.0 - tolerance);
-        if *fresh_mips < floor {
+        let floor = base.fused * (1.0 - tolerance);
+        if fresh_cell.fused < floor {
             eprintln!(
-                "REGRESSION {key}: {fresh_mips:.2} MIPS < {floor:.2} (baseline {base_mips:.2}, tolerance {:.0}%)",
+                "REGRESSION {key} (fused): {:.2} MIPS < {floor:.2} (baseline {:.2}, tolerance {:.0}%)",
+                fresh_cell.fused,
+                base.fused,
                 tolerance * 100.0
             );
             failures += 1;
         }
+        // Replay cells gate only when both reports carry them — a v1
+        // baseline simply has no replay numbers to regress against.
+        if let (Some(base_replay), Some(fresh_replay)) = (base.replay, fresh_cell.replay) {
+            replay_compared += 1;
+            let floor = base_replay * (1.0 - tolerance);
+            if fresh_replay < floor {
+                eprintln!(
+                    "REGRESSION {key} (replay): {fresh_replay:.2} MIPS < {floor:.2} (baseline {base_replay:.2}, tolerance {:.0}%)",
+                    tolerance * 100.0
+                );
+                failures += 1;
+            }
+        }
     }
     println!(
-        "check_throughput: {compared} cells compared, {failures} regressions (tolerance {:.0}%)",
+        "check_throughput: {compared} cells compared ({replay_compared} incl. replay), {failures} regressions (tolerance {:.0}%)",
         tolerance * 100.0
     );
     if failures > 0 {

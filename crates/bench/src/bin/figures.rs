@@ -20,25 +20,27 @@
 //! writes the measured-MIPS report as JSON to `PATH`, and prints the
 //! summary plus wall time to stderr. All timing lives behind this flag.
 
-use probranch_bench::experiments::{self, ExperimentScale};
+use probranch_bench::experiments::{self, Engine, ExperimentScale};
 use probranch_bench::{render, throughput};
 use probranch_harness::Jobs;
 
 struct Options {
     scale: ExperimentScale,
     jobs: Option<Jobs>,
+    engine: Engine,
     bench_json: Option<String>,
 }
 
 fn parse_args() -> Options {
     let mut scale: Option<ExperimentScale> = None;
     let mut jobs: Option<Jobs> = None;
+    let mut engine: Option<Engine> = None;
     let mut bench_json: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let (flag, value) = match arg.as_str() {
             "--help" | "-h" => usage(""),
-            "--scale" | "--jobs" | "--emit-bench-json" => {
+            "--scale" | "--jobs" | "--engine" | "--emit-bench-json" => {
                 let v = args
                     .next()
                     .unwrap_or_else(|| usage(&format!("{arg} needs a value")));
@@ -46,6 +48,7 @@ fn parse_args() -> Options {
             }
             _ if arg.starts_with("--scale=")
                 || arg.starts_with("--jobs=")
+                || arg.starts_with("--engine=")
                 || arg.starts_with("--emit-bench-json=") =>
             {
                 let (f, v) = arg.split_once('=').expect("checked above");
@@ -77,6 +80,15 @@ fn parse_args() -> Options {
                     Jobs::new(n)
                 });
             }
+            "--engine" => {
+                if engine.is_some() {
+                    usage("--engine given twice");
+                }
+                engine = Some(
+                    Engine::parse(&value)
+                        .unwrap_or_else(|| usage(&format!("unknown engine `{value}`"))),
+                );
+            }
             "--emit-bench-json" => {
                 if bench_json.is_some() {
                     usage("--emit-bench-json given twice");
@@ -89,12 +101,13 @@ fn parse_args() -> Options {
     Options {
         scale: scale.unwrap_or_else(ExperimentScale::from_env),
         jobs,
+        engine: engine.unwrap_or_default(),
         bench_json,
     }
 }
 
 fn usage(error: &str) -> ! {
-    let text = "usage: figures [--scale smoke|bench|paper] [--jobs N] [--emit-bench-json PATH]\n       (or set PROBRANCH_SCALE / PROBRANCH_JOBS; default: bench scale,\n        all cores; --jobs 0 also means all cores)\n       --emit-bench-json PATH: run the sim-throughput sweep instead of\n        the figures, writing measured MIPS per cell to PATH (serial\n        unless --jobs is given; all wall-clock timing lives here)";
+    let text = "usage: figures [--scale smoke|bench|paper] [--jobs N]\n               [--engine replay|fused|reference] [--emit-bench-json PATH]\n       (or set PROBRANCH_SCALE / PROBRANCH_JOBS; default: bench scale,\n        all cores; --jobs 0 also means all cores)\n       --engine: simulation engine for the timing sweeps (default:\n        replay — emulate each workload once per (workload, PBS) key and\n        replay the shared trace for every predictor; fused/reference\n        re-simulate every cell, for differential debugging). All three\n        print byte-identical tables.\n       --emit-bench-json PATH: run the sim-throughput sweep instead of\n        the figures, writing measured MIPS per cell (fused, reference\n        and replay engines plus per-key trace-capture overhead) to PATH\n        (serial unless --jobs is given; all wall-clock timing lives\n        here)";
     if error.is_empty() {
         println!("{text}");
         std::process::exit(0);
@@ -128,30 +141,41 @@ fn main() {
     }
     let scale = opts.scale;
     let jobs = opts.jobs.unwrap_or_else(Jobs::from_env);
-    // The job count goes to stderr: stdout must stay byte-identical
-    // across worker counts (the determinism guarantee CI diffs on).
+    let engine = opts.engine;
+    // The job count and engine go to stderr: stdout must stay
+    // byte-identical across worker counts *and* engines (the
+    // determinism guarantees CI diffs on).
     println!("probranch — regenerating all tables & figures at {scale:?} scale\n");
-    eprintln!("running with {jobs} jobs");
+    eprintln!("running with {jobs} jobs, {} engine", engine.name());
 
     println!("{}", render::table2(&experiments::table2(scale, jobs)));
     println!("{}", render::table1(&experiments::table1(jobs)));
-    println!("{}", render::fig1(&experiments::fig1(scale, jobs)));
-    println!("{}", render::fig6(&experiments::fig6(scale, jobs)));
+    println!(
+        "{}",
+        render::fig1(&experiments::fig1_with(scale, jobs, engine))
+    );
+    println!(
+        "{}",
+        render::fig6(&experiments::fig6_with(scale, jobs, engine))
+    );
     println!(
         "{}",
         render::ipc(
-            &experiments::fig7(scale, jobs),
+            &experiments::fig7_with(scale, jobs, engine),
             "FIG 7 — normalized IPC, 4-wide / 168-entry ROB"
         )
     );
     println!(
         "{}",
         render::ipc(
-            &experiments::fig8(scale, jobs),
+            &experiments::fig8_with(scale, jobs, engine),
             "FIG 8 — normalized IPC, 8-wide / 256-entry ROB"
         )
     );
-    println!("{}", render::fig9(&experiments::fig9(scale, jobs)));
+    println!(
+        "{}",
+        render::fig9(&experiments::fig9_with(scale, jobs, engine))
+    );
     println!("{}", render::table3(&experiments::table3(scale, jobs)));
     println!("{}", render::accuracy(&experiments::accuracy(scale, jobs)));
     println!("{}", render::cost(&experiments::hardware_cost()));

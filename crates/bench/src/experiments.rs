@@ -6,11 +6,21 @@
 //! integration tests lock this in). Per-cell workload seeds are derived
 //! from the cell identity ([`Cell::workload_seed`]) — no RNG state is
 //! shared across cells.
+//!
+//! The timing sweeps run through the **shared-trace replay engine** by
+//! default ([`Engine::Replay`]): cells that differ only in predictor or
+//! filter configuration share one captured [`DynTrace`] per emulation
+//! key instead of re-emulating the workload, via a worker-shared
+//! [`TraceCache`] (Figures 1/6/7/8) or a streamed two-consumer convoy
+//! (Figure 9). The fused and reference engines remain selectable for
+//! differential debugging (`figures --engine`); all three produce
+//! byte-identical rows.
 
 use probranch_core::PbsConfig;
-use probranch_harness::{run_cells, workload_seed, Cell, Jobs};
+use probranch_harness::{run_cells, workload_seed, Cell, Jobs, TraceCache};
 use probranch_pipeline::{
-    run_functional, simulate, OooConfig, PredictorChoice, SimConfig, SimReport,
+    run_functional, simulate, simulate_convoy, simulate_reference, simulate_replay, DynTrace,
+    OooConfig, PredictorChoice, SimConfig, SimReport,
 };
 use probranch_stats::randomness::{run_battery, BatteryCounts};
 use probranch_stats::summary::Summary;
@@ -78,16 +88,59 @@ impl ExperimentScale {
 
 const MAX_INSTS: u64 = 2_000_000_000;
 
+/// Which simulation engine a sweep runs its timing cells through. The
+/// engines produce byte-identical `SimReport`s (locked in by
+/// `tests/engine_equivalence.rs`); the figures binary exposes the
+/// choice as `--engine` for differential debugging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The emulate-once/time-many shared-trace engine (default): cells
+    /// sharing an emulation key `(workload, seed, PBS)` replay one
+    /// captured trace through a worker-shared [`TraceCache`]; paired
+    /// runs (Figure 9) stream through a convoy.
+    #[default]
+    Replay,
+    /// The fused emulate→time engine, re-emulating every cell.
+    Fused,
+    /// The original unfused engine (`DynInst` stream into a boxed
+    /// predictor) — the slow differential baseline.
+    Reference,
+}
+
+impl Engine {
+    /// Parses an engine name as accepted by `figures --engine`.
+    pub fn parse(name: &str) -> Option<Engine> {
+        match name {
+            "replay" => Some(Engine::Replay),
+            "fused" => Some(Engine::Fused),
+            "reference" => Some(Engine::Reference),
+            _ => None,
+        }
+    }
+
+    /// The engine's name, as accepted by [`Engine::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Replay => "replay",
+            Engine::Fused => "fused",
+            Engine::Reference => "reference",
+        }
+    }
+}
+
+/// The emulation key of a timing cell: the fields that determine the
+/// dynamic instruction stream. Predictor and core configuration are
+/// deliberately absent — cells differing only in those share a trace.
+type EmuKey = (BenchmarkId, u64, bool);
+
 /// The benchmark's paper name, without running anything (benchmark
 /// constructors only store parameters).
 fn name_of(id: BenchmarkId) -> &'static str {
     id.build(Scale::Smoke, 0).name()
 }
 
-/// Builds the cell's workload (at its derived seed) and simulates it
-/// under the cell's predictor/PBS configuration.
-fn sim_cell(cell: &Cell, scale: ExperimentScale, core: OooConfig) -> SimReport {
-    let bench = cell.workload.build(scale.workload(), cell.workload_seed());
+/// The cell's full simulation configuration.
+fn cell_config(cell: &Cell, core: OooConfig) -> SimConfig {
     let mut cfg = SimConfig {
         core,
         predictor: cell.predictor,
@@ -97,7 +150,47 @@ fn sim_cell(cell: &Cell, scale: ExperimentScale, core: OooConfig) -> SimReport {
         cfg.pbs = Some(PbsConfig::default());
     }
     cfg.max_insts = MAX_INSTS;
+    cfg
+}
+
+/// Builds the cell's workload (at its derived seed) and simulates it
+/// under the cell's predictor/PBS configuration with the fused engine.
+fn sim_cell(cell: &Cell, scale: ExperimentScale, core: OooConfig) -> SimReport {
+    let bench = cell.workload.build(scale.workload(), cell.workload_seed());
+    let cfg = cell_config(cell, core);
     simulate(&bench.program(), &cfg).unwrap_or_else(|e| panic!("{}: {e}", bench.name()))
+}
+
+/// [`sim_cell`] behind an engine choice. Under [`Engine::Replay`] the
+/// cell's emulation key is looked up in the worker-shared `cache`: the
+/// first cell of a key captures the [`DynTrace`], every later cell —
+/// possibly on another worker thread — replays it without re-emulating.
+fn sim_cell_engine(
+    cell: &Cell,
+    scale: ExperimentScale,
+    core: OooConfig,
+    engine: Engine,
+    cache: &TraceCache<EmuKey>,
+) -> SimReport {
+    match engine {
+        Engine::Fused => sim_cell(cell, scale, core),
+        Engine::Reference => {
+            let bench = cell.workload.build(scale.workload(), cell.workload_seed());
+            let cfg = cell_config(cell, core);
+            simulate_reference(&bench.program(), &cfg)
+                .unwrap_or_else(|e| panic!("{}: {e}", bench.name()))
+        }
+        Engine::Replay => {
+            let cfg = cell_config(cell, core);
+            let trace = cache
+                .get_or_capture((cell.workload, cell.seed, cell.pbs), || {
+                    let bench = cell.workload.build(scale.workload(), cell.workload_seed());
+                    DynTrace::capture(&bench.program(), &cfg)
+                })
+                .unwrap_or_else(|e| panic!("{:?}: {e}", cell.workload));
+            simulate_replay(&trace, &cfg).unwrap_or_else(|e| panic!("{:?}: {e}", cell.workload))
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -121,6 +214,13 @@ pub struct Fig1Row {
 /// Figure 1: probabilistic branches are a small fraction of dynamic
 /// branches but a disproportionate fraction of mispredictions.
 pub fn fig1(scale: ExperimentScale, jobs: Jobs) -> Vec<Fig1Row> {
+    fig1_with(scale, jobs, Engine::default())
+}
+
+/// [`fig1`] under an explicit engine. The two predictor cells of each
+/// benchmark share one emulation key, so the replay engine emulates
+/// each workload once.
+pub fn fig1_with(scale: ExperimentScale, jobs: Jobs, engine: Engine) -> Vec<Fig1Row> {
     let cells: Vec<Cell> = BenchmarkId::ALL
         .iter()
         .flat_map(|&w| {
@@ -128,7 +228,10 @@ pub fn fig1(scale: ExperimentScale, jobs: Jobs) -> Vec<Fig1Row> {
                 .map(|p| Cell::new(w, p, false, 0))
         })
         .collect();
-    let reports = run_cells(&cells, jobs, |c| sim_cell(c, scale, OooConfig::default()));
+    let cache = TraceCache::new();
+    let reports = run_cells(&cells, jobs, |c| {
+        sim_cell_engine(c, scale, OooConfig::default(), engine, &cache)
+    });
     let share = |r: &SimReport| {
         100.0 * r.timing.prob_branches as f64 / r.timing.cond_branches.max(1) as f64
     };
@@ -270,13 +373,24 @@ const FOUR_CONFIGS: [(PredictorChoice, bool); 4] = [
 ];
 
 /// The benchmark × [`FOUR_CONFIGS`] grid, one run per cell, merged back
-/// per benchmark in config order.
-fn four_config_reports(scale: ExperimentScale, core: OooConfig, jobs: Jobs) -> Vec<Vec<SimReport>> {
+/// per benchmark in config order. Under the replay engine each
+/// benchmark's four cells collapse onto two emulation keys (PBS off /
+/// on), each captured once into a worker-shared [`TraceCache`] and
+/// replayed for both predictors.
+fn four_config_reports(
+    scale: ExperimentScale,
+    core: OooConfig,
+    jobs: Jobs,
+    engine: Engine,
+) -> Vec<Vec<SimReport>> {
     let cells: Vec<Cell> = BenchmarkId::ALL
         .iter()
         .flat_map(|&w| FOUR_CONFIGS.map(|(p, pbs)| Cell::new(w, p, pbs, 0)))
         .collect();
-    let reports = run_cells(&cells, jobs, |c| sim_cell(c, scale, core.clone()));
+    let cache = TraceCache::new();
+    let reports = run_cells(&cells, jobs, |c| {
+        sim_cell_engine(c, scale, core.clone(), engine, &cache)
+    });
     reports
         .chunks_exact(FOUR_CONFIGS.len())
         .map(<[SimReport]>::to_vec)
@@ -285,9 +399,19 @@ fn four_config_reports(scale: ExperimentScale, core: OooConfig, jobs: Jobs) -> V
 
 /// Figure 6: MPKI reduction through PBS for both predictors.
 pub fn fig6(scale: ExperimentScale, jobs: Jobs) -> Vec<Fig6Row> {
+    fig6_with(scale, jobs, Engine::default())
+}
+
+/// [`fig6`] under an explicit engine.
+pub fn fig6_with(scale: ExperimentScale, jobs: Jobs, engine: Engine) -> Vec<Fig6Row> {
     BenchmarkId::ALL
         .iter()
-        .zip(four_config_reports(scale, OooConfig::default(), jobs))
+        .zip(four_config_reports(
+            scale,
+            OooConfig::default(),
+            jobs,
+            engine,
+        ))
         .map(|(&id, r)| Fig6Row {
             name: name_of(id),
             tournament_base: r[0].timing.mpki(),
@@ -314,10 +438,10 @@ pub struct IpcRow {
     pub tage_pbs: f64,
 }
 
-fn ipc_rows(scale: ExperimentScale, core: OooConfig, jobs: Jobs) -> Vec<IpcRow> {
+fn ipc_rows(scale: ExperimentScale, core: OooConfig, jobs: Jobs, engine: Engine) -> Vec<IpcRow> {
     BenchmarkId::ALL
         .iter()
-        .zip(four_config_reports(scale, core, jobs))
+        .zip(four_config_reports(scale, core, jobs, engine))
         .map(|(&id, r)| {
             let base = r[0].timing.ipc();
             IpcRow {
@@ -333,12 +457,22 @@ fn ipc_rows(scale: ExperimentScale, core: OooConfig, jobs: Jobs) -> Vec<IpcRow> 
 
 /// Figure 7: normalized IPC on the 4-wide, 168-ROB core.
 pub fn fig7(scale: ExperimentScale, jobs: Jobs) -> Vec<IpcRow> {
-    ipc_rows(scale, OooConfig::default(), jobs)
+    fig7_with(scale, jobs, Engine::default())
+}
+
+/// [`fig7`] under an explicit engine.
+pub fn fig7_with(scale: ExperimentScale, jobs: Jobs, engine: Engine) -> Vec<IpcRow> {
+    ipc_rows(scale, OooConfig::default(), jobs, engine)
 }
 
 /// Figure 8: normalized IPC on the 8-wide, 256-ROB core.
 pub fn fig8(scale: ExperimentScale, jobs: Jobs) -> Vec<IpcRow> {
-    ipc_rows(scale, OooConfig::wide(), jobs)
+    fig8_with(scale, jobs, Engine::default())
+}
+
+/// [`fig8`] under an explicit engine.
+pub fn fig8_with(scale: ExperimentScale, jobs: Jobs, engine: Engine) -> Vec<IpcRow> {
+    ipc_rows(scale, OooConfig::wide(), jobs, engine)
 }
 
 // ---------------------------------------------------------------------------
@@ -360,6 +494,15 @@ pub struct Fig9Row {
 /// regular-branch MPKI when probabilistic branches access the predictor
 /// versus when they are filtered out.
 pub fn fig9(scale: ExperimentScale, jobs: Jobs) -> Vec<Fig9Row> {
+    fig9_with(scale, jobs, Engine::default())
+}
+
+/// [`fig9`] under an explicit engine. The unfiltered and filtered runs
+/// of a cell share the dynamic instruction stream, so the replay engine
+/// runs them as a two-consumer convoy over a single streamed capture —
+/// one emulation, one chunk-sized buffer, both timing models fed while
+/// each chunk is cache-hot.
+pub fn fig9_with(scale: ExperimentScale, jobs: Jobs, engine: Engine) -> Vec<Fig9Row> {
     // One cell per (benchmark, seed): both the unfiltered and the
     // filtered run need the same workload instance, so they pair up
     // inside the cell rather than across cells.
@@ -375,9 +518,29 @@ pub fn fig9(scale: ExperimentScale, jobs: Jobs) -> Vec<Fig9Row> {
             max_insts: MAX_INSTS,
             ..SimConfig::default()
         };
-        let unfiltered = simulate(&b.program(), &cfg).expect("sim");
-        cfg.filter_prob_from_predictor = true;
-        let filtered = simulate(&b.program(), &cfg).expect("sim");
+        let (unfiltered, filtered) = match engine {
+            Engine::Replay => {
+                let mut filtered_cfg = cfg.clone();
+                filtered_cfg.filter_prob_from_predictor = true;
+                let mut reports = simulate_convoy(&b.program(), &[cfg, filtered_cfg])
+                    .expect("convoy")
+                    .into_iter();
+                (
+                    reports.next().expect("unfiltered report"),
+                    reports.next().expect("filtered report"),
+                )
+            }
+            Engine::Fused | Engine::Reference => {
+                let run = if engine == Engine::Fused {
+                    simulate
+                } else {
+                    simulate_reference
+                };
+                let unfiltered = run(&b.program(), &cfg).expect("sim");
+                cfg.filter_prob_from_predictor = true;
+                (unfiltered, run(&b.program(), &cfg).expect("sim"))
+            }
+        };
         let base = filtered.timing.mpki_regular();
         if base > 0.0 {
             100.0 * (unfiltered.timing.mpki_regular() - base) / base

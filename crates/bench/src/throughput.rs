@@ -1,29 +1,46 @@
 //! The `sim-throughput` benchmark: simulator speed (MIPS — millions of
 //! simulated instructions per wall-clock second) per
-//! workload × predictor × PBS cell, for the fused engine and for the
-//! unfused reference engine.
+//! workload × predictor × PBS cell, for the fused engine, the unfused
+//! reference engine, and the shared-trace **replay** engine.
 //!
 //! This is the perf trajectory of the project: `figures
 //! --emit-bench-json BENCH_throughput.json` serializes a report whose
 //! committed copy at the repo root is the baseline CI's
 //! `check_throughput` gate compares fresh measurements against.
 //!
+//! Replay cells are measured in **convoy** mode, the way the sweeps
+//! consume them: per emulation key `(workload, PBS)` one capture stream
+//! fills a single chunk-sized buffer, and each chunk is drained by
+//! every predictor's timing consumer while still cache-hot. The capture
+//! wall time is recorded per key (`captures` in the JSON) and *included*
+//! in the aggregate replay MIPS — `replay_mips` is honest end-to-end
+//! throughput, not just the re-timing half. Peak trace memory (the
+//! bounded chunk buffer) and chunk count are reported per cell so
+//! memory regressions are visible alongside MIPS.
+//!
 //! Measurements are wall-clock and therefore machine-dependent; the
 //! *results* of every timed run are still checked for engine agreement
-//! (each cell asserts the fused and reference reports are identical), so
-//! a throughput run doubles as an equivalence sweep.
+//! (each cell asserts the fused, reference and replay reports are
+//! identical), so a throughput run doubles as an equivalence sweep.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use probranch_harness::{run_cells_timed, workload_seed, Cell, Jobs};
-use probranch_pipeline::{simulate, simulate_reference, PredictorChoice, SimConfig, SimReport};
+use probranch_pipeline::{
+    simulate, simulate_reference, PredictorChoice, ReplayConsumer, SimConfig, SimReport,
+    TraceChunk, TraceStream,
+};
 use probranch_workloads::BenchmarkId;
 
 use crate::experiments::ExperimentScale;
 
 /// Schema tag written into the JSON (bump on layout changes so the CI
-/// gate skips rather than misparses).
-pub const SCHEMA: &str = "probranch-throughput/1";
+/// gate skips rather than misparses). `check_throughput` accepts the
+/// `/1` baseline (which lacks replay fields) without failing.
+pub const SCHEMA: &str = "probranch-throughput/2";
+
+/// The v1 schema tag, still accepted as a comparison baseline.
+pub const SCHEMA_V1: &str = "probranch-throughput/1";
 
 /// One measured grid point.
 #[derive(Debug, Clone)]
@@ -40,6 +57,15 @@ pub struct ThroughputCell {
     pub fused: Duration,
     /// Wall time of the unfused reference engine.
     pub reference: Duration,
+    /// Wall time of this cell's replay consumer in the convoy (capture
+    /// excluded — that is accounted once per key in
+    /// [`ThroughputReport::captures`]).
+    pub replay: Duration,
+    /// Peak trace memory backing this cell's replay: the convoy's
+    /// bounded chunk buffer.
+    pub trace_peak_bytes: usize,
+    /// Chunks streamed through this cell's consumer.
+    pub trace_chunks: usize,
 }
 
 impl ThroughputCell {
@@ -53,9 +79,36 @@ impl ThroughputCell {
         mips(self.instructions, self.reference)
     }
 
+    /// Millions of simulated instructions per second through this
+    /// cell's replay consumer (capture excluded).
+    pub fn replay_mips(&self) -> f64 {
+        mips(self.instructions, self.replay)
+    }
+
     /// Stable identity for baseline comparison.
     pub fn key(&self) -> String {
         format!("{}|{}|{}", self.workload, self.predictor, self.pbs)
+    }
+}
+
+/// One emulation key's capture overhead in the replay sweep.
+#[derive(Debug, Clone)]
+pub struct CaptureCell {
+    /// Benchmark name.
+    pub workload: &'static str,
+    /// Whether PBS was enabled.
+    pub pbs: bool,
+    /// Dynamic instructions emulated (shared by every cell of the key).
+    pub instructions: u64,
+    /// Wall time of the capture stream (emulation, cache pre-simulation
+    /// and record packing).
+    pub capture: Duration,
+}
+
+impl CaptureCell {
+    /// Millions of emulated instructions per second of capture.
+    pub fn capture_mips(&self) -> f64 {
+        mips(self.instructions, self.capture)
     }
 }
 
@@ -75,11 +128,13 @@ pub struct ThroughputReport {
     pub scale: ExperimentScale,
     /// Per-cell measurements, in grid order.
     pub cells: Vec<ThroughputCell>,
+    /// Per-key capture overhead of the replay sweep, in key order.
+    pub captures: Vec<CaptureCell>,
 }
 
 impl ThroughputReport {
-    /// Total simulated instructions across cells (fused == reference by
-    /// the per-cell equivalence assertion).
+    /// Total simulated instructions across cells (fused == reference ==
+    /// replay by the per-cell equivalence assertion).
     pub fn total_instructions(&self) -> u64 {
         self.cells.iter().map(|c| c.instructions).sum()
     }
@@ -100,6 +155,21 @@ impl ThroughputReport {
         )
     }
 
+    /// Total capture wall time across keys.
+    pub fn capture_seconds(&self) -> Duration {
+        self.captures.iter().map(|c| c.capture).sum()
+    }
+
+    /// Aggregate replay MIPS: total simulated instructions over the
+    /// *end-to-end* replay-sweep wall time — every key's capture plus
+    /// every cell's replay.
+    pub fn replay_mips(&self) -> f64 {
+        mips(
+            self.total_instructions(),
+            self.capture_seconds() + self.cells.iter().map(|c| c.replay).sum::<Duration>(),
+        )
+    }
+
     /// Aggregate fused-over-reference speedup.
     pub fn speedup(&self) -> f64 {
         let r = self.reference_mips();
@@ -107,6 +177,16 @@ impl ThroughputReport {
             0.0
         } else {
             self.fused_mips() / r
+        }
+    }
+
+    /// Aggregate replay-over-fused speedup (capture included).
+    pub fn replay_speedup(&self) -> f64 {
+        let f = self.fused_mips();
+        if f <= 0.0 {
+            0.0
+        } else {
+            self.replay_mips() / f
         }
     }
 
@@ -122,7 +202,7 @@ impl ThroughputReport {
         for (i, c) in self.cells.iter().enumerate() {
             let comma = if i + 1 < self.cells.len() { "," } else { "" };
             out.push_str(&format!(
-                "    {{\"workload\":\"{}\",\"predictor\":\"{}\",\"pbs\":{},\"instructions\":{},\"fused_seconds\":{:.6},\"fused_mips\":{:.3},\"reference_seconds\":{:.6},\"reference_mips\":{:.3}}}{comma}\n",
+                "    {{\"workload\":\"{}\",\"predictor\":\"{}\",\"pbs\":{},\"instructions\":{},\"fused_seconds\":{:.6},\"fused_mips\":{:.3},\"reference_seconds\":{:.6},\"reference_mips\":{:.3},\"replay_seconds\":{:.6},\"replay_mips\":{:.3},\"trace_peak_bytes\":{},\"trace_chunks\":{}}}{comma}\n",
                 c.workload,
                 c.predictor,
                 c.pbs,
@@ -131,15 +211,35 @@ impl ThroughputReport {
                 c.fused_mips(),
                 c.reference.as_secs_f64(),
                 c.reference_mips(),
+                c.replay.as_secs_f64(),
+                c.replay_mips(),
+                c.trace_peak_bytes,
+                c.trace_chunks,
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"captures\": [\n");
+        for (i, c) in self.captures.iter().enumerate() {
+            let comma = if i + 1 < self.captures.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"workload\":\"{}\",\"pbs\":{},\"instructions\":{},\"capture_seconds\":{:.6},\"capture_mips\":{:.3}}}{comma}\n",
+                c.workload,
+                c.pbs,
+                c.instructions,
+                c.capture.as_secs_f64(),
+                c.capture_mips(),
             ));
         }
         out.push_str("  ],\n");
         out.push_str(&format!(
-            "  \"aggregate\": {{\"instructions\":{},\"fused_mips\":{:.3},\"reference_mips\":{:.3},\"speedup\":{:.3}}}\n",
+            "  \"aggregate\": {{\"instructions\":{},\"fused_mips\":{:.3},\"reference_mips\":{:.3},\"speedup\":{:.3},\"capture_seconds\":{:.6},\"replay_mips\":{:.3},\"replay_speedup\":{:.3}}}\n",
             self.total_instructions(),
             self.fused_mips(),
             self.reference_mips(),
             self.speedup(),
+            self.capture_seconds().as_secs_f64(),
+            self.replay_mips(),
+            self.replay_speedup(),
         ));
         out.push_str("}\n");
         out
@@ -156,65 +256,182 @@ impl ThroughputReport {
         ));
         for c in &self.cells {
             out.push_str(&format!(
-                "  {:<10} {:<15} pbs={:<5} {:>10} insts  fused {:>8.2} MIPS  reference {:>8.2} MIPS\n",
+                "  {:<10} {:<15} pbs={:<5} {:>10} insts  fused {:>8.2} MIPS  reference {:>8.2} MIPS  replay {:>8.2} MIPS  ({} chunks, peak {} KiB)\n",
                 c.workload,
                 c.predictor,
                 c.pbs,
                 c.instructions,
                 c.fused_mips(),
-                c.reference_mips()
+                c.reference_mips(),
+                c.replay_mips(),
+                c.trace_chunks,
+                c.trace_peak_bytes / 1024,
             ));
         }
         out.push_str(&format!(
-            "aggregate: fused {:.2} MIPS vs reference {:.2} MIPS ({:.2}x)\n",
+            "aggregate: fused {:.2} MIPS vs reference {:.2} MIPS ({:.2}x); replay {:.2} MIPS incl. {:.3}s capture ({:.2}x over fused)\n",
             self.fused_mips(),
             self.reference_mips(),
-            self.speedup()
+            self.speedup(),
+            self.replay_mips(),
+            self.capture_seconds().as_secs_f64(),
+            self.replay_speedup(),
         ));
         out
     }
 }
 
-/// The Figure 6 measurement grid: every benchmark under tournament and
-/// TAGE-SC-L, each without and with PBS.
+/// The two predictors of every fig6 key, in grid order.
+const PREDICTORS: [PredictorChoice; 2] = [PredictorChoice::Tournament, PredictorChoice::TageScL];
+
+/// The Figure 6 measurement grid: every benchmark under each
+/// [`PREDICTORS`] entry, without and with PBS — derived from the same
+/// predictor list the replay convoy consumes, so the two orderings
+/// cannot drift.
 pub fn grid() -> Vec<Cell> {
     BenchmarkId::ALL
         .iter()
         .flat_map(|&w| {
-            [
-                (PredictorChoice::Tournament, false),
-                (PredictorChoice::Tournament, true),
-                (PredictorChoice::TageScL, false),
-                (PredictorChoice::TageScL, true),
-            ]
-            .map(|(p, pbs)| Cell::new(w, p, pbs, 0))
+            PREDICTORS
+                .iter()
+                .flat_map(move |&p| [false, true].map(move |pbs| Cell::new(w, p, pbs, 0)))
         })
         .collect()
 }
 
+/// The emulation keys of the fig6 grid, in grid order: every benchmark
+/// without and with PBS.
+fn keys() -> Vec<(BenchmarkId, bool)> {
+    BenchmarkId::ALL
+        .iter()
+        .flat_map(|&w| [(w, false), (w, true)])
+        .collect()
+}
+
+/// One key's timed convoy run: capture streamed once through one
+/// reusable chunk buffer, each chunk drained by every predictor's
+/// consumer in lockstep, per-consumer wall time accumulated across
+/// chunks.
+struct ConvoyMeasurement {
+    name: &'static str,
+    capture: Duration,
+    instructions: u64,
+    chunk_bytes: usize,
+    chunks: usize,
+    /// Per predictor (in [`PREDICTORS`] order): the report and the
+    /// accumulated consume time.
+    cells: Vec<(SimReport, Duration)>,
+}
+
+fn run_convoy_key(workload: BenchmarkId, pbs: bool, scale: ExperimentScale) -> ConvoyMeasurement {
+    let bench = workload.build(scale.workload(), workload_seed(workload, 0));
+    let program = bench.program();
+    let configs: Vec<SimConfig> = PREDICTORS
+        .iter()
+        .map(|&p| {
+            let mut cfg = SimConfig::default().predictor(p);
+            if pbs {
+                cfg.pbs = Some(probranch_core::PbsConfig::default());
+            }
+            cfg
+        })
+        .collect();
+    let mut stream = TraceStream::new(&program, &configs[0]);
+    let mut consumers: Vec<ReplayConsumer> = configs.iter().map(ReplayConsumer::new).collect();
+    let mut chunk = TraceChunk::with_chunk_capacity();
+    let mut capture = Duration::ZERO;
+    let mut per_consumer = vec![Duration::ZERO; consumers.len()];
+    let mut chunks = 0usize;
+    loop {
+        let t0 = Instant::now();
+        let more = stream
+            .fill(&mut chunk)
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
+        capture += t0.elapsed();
+        if !more {
+            break;
+        }
+        chunks += 1;
+        for (consumer, slot) in consumers.iter_mut().zip(&mut per_consumer) {
+            let t1 = Instant::now();
+            consumer.consume_chunk(stream.timings(), &chunk);
+            *slot += t1.elapsed();
+        }
+    }
+    let chunk_bytes = chunk.bytes();
+    let functional = stream.finish();
+    ConvoyMeasurement {
+        name: bench.name(),
+        capture,
+        instructions: functional.instructions,
+        chunk_bytes,
+        chunks,
+        cells: consumers
+            .into_iter()
+            .zip(per_consumer)
+            .map(|(c, d)| (c.into_report(&functional), d))
+            .collect(),
+    }
+}
+
 /// Measures the fig6 grid at `scale`: per cell, wall time of one fused
 /// and one reference full-timing simulation of the same workload
-/// instance — asserting the two engines return identical reports.
+/// instance, plus a per-key convoy replay — asserting that all three
+/// engines return identical reports.
 ///
-/// Cells run through [`run_cells_timed`]; pass [`Jobs::serial`] (the
-/// `figures --emit-bench-json` default) for uncontended numbers.
+/// Fused/reference cells run through [`run_cells_timed`]; pass
+/// [`Jobs::serial`] (the `figures --emit-bench-json` default) for
+/// uncontended numbers. The replay convoy is measured serially per key
+/// regardless (its per-chunk consumer timings interleave on one
+/// thread).
 ///
 /// # Panics
 ///
-/// Panics if a workload faults, or if the fused and reference engines
-/// disagree — a correctness bug this benchmark refuses to time.
+/// Panics if a workload faults, or if any two engines disagree — a
+/// correctness bug this benchmark refuses to time.
 pub fn measure(scale: ExperimentScale, jobs: Jobs) -> ThroughputReport {
     let cells = grid();
     // Fused timings first (one pass), then reference timings, so neither
     // engine systematically runs on a warmer allocator.
     let fused = run_cells_timed(&cells, jobs, |cell| run_engine(cell, scale, false));
     let reference = run_cells_timed(&cells, jobs, |cell| run_engine(cell, scale, true));
+    // Replay pass: one convoy per emulation key, two cells each.
+    let mut captures = Vec::new();
+    let mut replay_cells = Vec::new();
+    for (workload, pbs) in keys() {
+        let m = run_convoy_key(workload, pbs, scale);
+        captures.push(CaptureCell {
+            workload: m.name,
+            pbs,
+            instructions: m.instructions,
+            capture: m.capture,
+        });
+        for (i, (report, duration)) in m.cells.into_iter().enumerate() {
+            replay_cells.push((
+                Cell::new(workload, PREDICTORS[i], pbs, 0),
+                report,
+                duration,
+                m.chunk_bytes,
+                m.chunks,
+            ));
+        }
+    }
+    // Merge: fused/reference are in grid order; replay cells are in
+    // key-major order. Match by cell identity.
     let cell_rows = cells
         .iter()
         .zip(fused)
         .zip(reference)
         .map(|((cell, ((name, fr), ft)), ((_, rr), rt))| {
             assert_eq!(fr, rr, "fused and reference engines disagree on {cell:?}");
+            let (_, replay_report, replay_dur, peak, chunks) = replay_cells
+                .iter()
+                .find(|(c, ..)| c == cell)
+                .unwrap_or_else(|| panic!("replay sweep missing cell {cell:?}"));
+            assert_eq!(
+                &fr, replay_report,
+                "fused and replay engines disagree on {cell:?}"
+            );
             ThroughputCell {
                 workload: name,
                 predictor: cell.predictor.name(),
@@ -222,12 +439,16 @@ pub fn measure(scale: ExperimentScale, jobs: Jobs) -> ThroughputReport {
                 instructions: fr.timing.instructions,
                 fused: ft,
                 reference: rt,
+                replay: *replay_dur,
+                trace_peak_bytes: *peak,
+                trace_chunks: *chunks,
             }
         })
         .collect();
     ThroughputReport {
         scale,
         cells: cell_rows,
+        captures,
     }
 }
 
@@ -260,23 +481,29 @@ mod tests {
     fn grid_covers_fig6() {
         let g = grid();
         assert_eq!(g.len(), BenchmarkId::ALL.len() * 4);
+        assert_eq!(keys().len(), BenchmarkId::ALL.len() * 2);
     }
 
     #[test]
     fn measure_produces_consistent_json_at_smoke_scale() {
         // Restrict to a sub-grid-sized smoke run: the full measure() is
         // exercised by the figures binary and CI; here one pass checks
-        // shape, equivalence assertion, and JSON layout.
+        // shape, equivalence assertions, and JSON layout.
         let report = measure(ExperimentScale::Smoke, Jobs::serial());
         assert_eq!(report.cells.len(), 32);
+        assert_eq!(report.captures.len(), 16);
         assert!(report.total_instructions() > 0);
+        assert!(report.capture_seconds() > Duration::ZERO);
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"probranch-throughput/1\""));
+        assert!(json.contains("\"schema\": \"probranch-throughput/2\""));
         assert!(json.contains("\"scale\": \"smoke\""));
         assert!(json.contains("\"fused_mips\""));
+        assert!(json.contains("\"replay_mips\""));
+        assert!(json.contains("\"capture_seconds\""));
+        assert!(json.contains("\"trace_peak_bytes\""));
         assert_eq!(
             json.lines().filter(|l| l.contains("\"workload\"")).count(),
-            32
+            32 + 16
         );
     }
 }

@@ -33,10 +33,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::collections::HashMap;
+use std::hash::Hash;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
-use probranch_pipeline::PredictorChoice;
+use probranch_pipeline::{DynTrace, PredictorChoice};
 use probranch_rng::SplitMix64;
 use probranch_workloads::BenchmarkId;
 
@@ -211,6 +213,106 @@ where
         .collect()
 }
 
+/// A cache slot: empty until its key's one capture completes.
+type TraceSlot = Arc<Mutex<Option<Arc<DynTrace>>>>;
+
+/// A worker-shared cache of captured [`DynTrace`]s, keyed by emulation
+/// key.
+///
+/// Sweeps whose cells differ only in timing-side configuration
+/// (predictor, core, filter mode) share one trace per emulation key:
+/// the first cell to reach a key captures, every later cell replays the
+/// `Arc`-shared trace. The cache is safe to share across [`run_cells`]
+/// worker threads — and scheduling-independent: each key is captured by
+/// exactly one worker (a deterministic function of the key), and racing
+/// workers wait on that key's slot rather than re-emulating.
+///
+/// The key type is caller-chosen (any `Eq + Hash`); sweeps typically
+/// use `(BenchmarkId, seed, pbs)` tuples.
+///
+/// The cache never evicts: every captured trace (~8 bytes per dynamic
+/// instruction) stays live until the cache is dropped, so scope one
+/// cache per sweep — peak memory is then one sweep's keys, surfaced by
+/// [`TraceCache::bytes`]. Sweeps whose per-key cell count is known
+/// up front can instead stream a bounded-memory convoy
+/// (`probranch_pipeline::simulate_convoy`) and skip caching entirely.
+#[derive(Debug, Default)]
+pub struct TraceCache<K> {
+    /// One slot per key. The outer lock is held only for slot lookup;
+    /// the capture runs under the *slot's* lock, so workers racing on
+    /// the same key wait for the one in-flight capture instead of
+    /// re-emulating (same-key cells are adjacent in sweep grids, making
+    /// that race the common case at `--jobs > 1`), while captures for
+    /// different keys proceed in parallel.
+    slots: Mutex<HashMap<K, TraceSlot>>,
+}
+
+impl<K: Eq + Hash> TraceCache<K> {
+    /// An empty cache.
+    pub fn new() -> TraceCache<K> {
+        TraceCache {
+            slots: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The trace for `key`, capturing it with `capture` on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `capture`'s error; the slot stays empty, so a later
+    /// caller retries the capture.
+    pub fn get_or_capture<E>(
+        &self,
+        key: K,
+        capture: impl FnOnce() -> Result<DynTrace, E>,
+    ) -> Result<Arc<DynTrace>, E> {
+        let slot = Arc::clone(
+            self.slots
+                .lock()
+                .expect("trace cache lock")
+                .entry(key)
+                .or_default(),
+        );
+        let mut guard = slot.lock().expect("trace slot lock");
+        if let Some(trace) = &*guard {
+            return Ok(Arc::clone(trace));
+        }
+        let trace = Arc::new(capture()?);
+        *guard = Some(Arc::clone(&trace));
+        Ok(trace)
+    }
+
+    /// Number of captured traces.
+    pub fn len(&self) -> usize {
+        self.slots
+            .lock()
+            .expect("trace cache lock")
+            .values()
+            .filter(|s| s.lock().expect("trace slot lock").is_some())
+            .count()
+    }
+
+    /// Whether the cache holds no traces.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total heap bytes held by the captured traces.
+    pub fn bytes(&self) -> usize {
+        self.slots
+            .lock()
+            .expect("trace cache lock")
+            .values()
+            .filter_map(|s| {
+                s.lock()
+                    .expect("trace slot lock")
+                    .as_ref()
+                    .map(|t| t.bytes())
+            })
+            .sum()
+    }
+}
+
 /// Like [`run_cells`], additionally measuring each cell's wall-clock
 /// execution time — the backbone of the throughput benchmark.
 ///
@@ -315,6 +417,30 @@ mod tests {
             base.workload_seed(),
             Cell::new(B::Pi, P::Tournament, false, 4).workload_seed()
         );
+    }
+
+    #[test]
+    fn trace_cache_captures_once_and_is_shared_across_threads() {
+        use probranch_pipeline::{simulate_replay, DynTrace, SimConfig};
+        use probranch_workloads::{BenchmarkId as B, Scale};
+
+        let cache: TraceCache<(B, u64, bool)> = TraceCache::new();
+        let program = B::Pi.build(Scale::Smoke, workload_seed(B::Pi, 0)).program();
+        // Eight cells over two keys, claimed by four workers sharing the
+        // cache; every cell replays the same Arc-shared trace.
+        let cells: Vec<u64> = (0..8).collect();
+        let reports = run_cells(&cells, Jobs::new(4), |&c| {
+            let key = (B::Pi, c % 2, false);
+            let trace = cache
+                .get_or_capture(key, || DynTrace::capture(&program, &SimConfig::default()))
+                .expect("capture");
+            simulate_replay(&trace, &SimConfig::default()).expect("replay")
+        });
+        assert!(cache.len() <= 2 && !cache.is_empty());
+        assert!(cache.bytes() > 0);
+        for r in &reports[1..] {
+            assert_eq!(r, &reports[0], "shared-trace replays must agree");
+        }
     }
 
     #[test]

@@ -4,28 +4,44 @@
 
 /// A single set-associative cache with true-LRU replacement.
 ///
-/// Tracks hits and misses; replacement state is exact (per-set recency
-/// ordering).
+/// Tracks hits and misses; replacement state is exact. Recency is kept
+/// as a per-line monotonic stamp rather than a per-set ordered list:
+/// a hit writes one stamp (no most-recently-used reshuffle of the set),
+/// and only a miss scans for the least-recent victim — the same
+/// true-LRU hit/miss/eviction sequence as an ordered list, minus the
+/// per-hit memmove that used to dominate the model's cost.
 #[derive(Debug, Clone)]
 pub struct Cache {
-    /// Per set: lines ordered most-recently-used first. Values are line
-    /// tags.
-    sets: Vec<Vec<u64>>,
+    /// Line tags, `num_sets * ways` flat; [`Cache::EMPTY`] marks an
+    /// unfilled way.
+    tags: Box<[u64]>,
+    /// Last-touch stamp per way, parallel to `tags`. The victim on a
+    /// full-set miss is the minimum stamp — exactly the
+    /// least-recently-used line.
+    stamps: Box<[u64]>,
+    /// Monotonic access clock feeding the stamps.
+    clock: u64,
     ways: usize,
     line_shift: u32,
     set_mask: u64,
     hits: u64,
     misses: u64,
     /// The line index of the previous access. Re-touching the line just
-    /// accessed is *exactly* a hit whose LRU update is a no-op (the line
-    /// is already most-recently-used), so the hot sequential-fetch /
-    /// same-line-load case skips the set scan entirely. `u64::MAX` is
-    /// the "none" sentinel (unreachable as a real line index: line
-    /// indices are addresses shifted right by at least 1).
+    /// accessed is *exactly* a hit whose recency update is irrelevant to
+    /// any future victim choice (the line is already the most recent),
+    /// so the hot sequential-fetch / same-line-load case skips the set
+    /// scan entirely. `u64::MAX` is the "none" sentinel (unreachable as
+    /// a real line index: line indices are addresses shifted right by at
+    /// least 1).
     last_line: u64,
 }
 
 impl Cache {
+    /// Tag sentinel for a way that holds no line yet. Unreachable as a
+    /// real tag: tags are addresses shifted right by the line and set
+    /// bits.
+    const EMPTY: u64 = u64::MAX;
+
     /// Creates a cache of `size_bytes` with `ways` associativity and
     /// `line_bytes` lines.
     ///
@@ -39,7 +55,9 @@ impl Cache {
         assert_eq!(num_lines % ways, 0);
         let num_sets = num_lines / ways;
         Cache {
-            sets: vec![Vec::with_capacity(ways); num_sets],
+            tags: vec![Cache::EMPTY; num_lines].into_boxed_slice(),
+            stamps: vec![0; num_lines].into_boxed_slice(),
+            clock: 0,
             ways,
             line_shift: line_bytes.trailing_zeros(),
             set_mask: num_sets as u64 - 1,
@@ -65,26 +83,39 @@ impl Cache {
         let line = addr >> self.line_shift;
         if line == self.last_line {
             // Same line as the previous access: a guaranteed hit, and
-            // the MRU reshuffle would move position 0 to position 0.
+            // its stamp is already the set's maximum.
             self.hits += 1;
             return true;
         }
         self.last_line = line;
         let (set, tag) = self.set_and_tag(addr);
-        let lines = &mut self.sets[set];
-        if let Some(pos) = lines.iter().position(|&t| t == tag) {
-            let t = lines.remove(pos);
-            lines.insert(0, t);
+        let base = set * self.ways;
+        let ways = &mut self.tags[base..base + self.ways];
+        self.clock += 1;
+        if let Some(pos) = ways.iter().position(|&t| t == tag) {
+            self.stamps[base + pos] = self.clock;
             self.hits += 1;
-            true
-        } else {
-            if lines.len() == self.ways {
-                lines.pop();
-            }
-            lines.insert(0, tag);
-            self.misses += 1;
-            false
+            return true;
         }
+        // Miss: fill an empty way first, otherwise evict the
+        // least-recently-stamped line.
+        let victim = match ways.iter().position(|&t| t == Cache::EMPTY) {
+            Some(empty) => empty,
+            None => {
+                let stamps = &self.stamps[base..base + self.ways];
+                let mut min = 0;
+                for (i, &s) in stamps.iter().enumerate().skip(1) {
+                    if s < stamps[min] {
+                        min = i;
+                    }
+                }
+                min
+            }
+        };
+        self.tags[base + victim] = tag;
+        self.stamps[base + victim] = self.clock;
+        self.misses += 1;
+        false
     }
 
     /// Hit count.
@@ -99,19 +130,32 @@ impl Cache {
 
     /// Number of sets (for tests).
     pub fn num_sets(&self) -> usize {
-        self.sets.len()
+        self.tags.len() / self.ways
     }
 
-    /// Invariant check: no set exceeds associativity and holds no
-    /// duplicate tags. Used by property tests.
+    /// Total line capacity (sets × ways). A working set of at most this
+    /// many *consecutive* lines can never be evicted: consecutive line
+    /// indices round-robin over the sets, filling each with at most
+    /// `ways` lines.
+    pub fn capacity_lines(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Bytes covered by one line.
+    pub fn line_bytes(&self) -> usize {
+        1 << self.line_shift
+    }
+
+    /// Invariant check: no set holds duplicate tags, and stamps never
+    /// exceed the access clock. Used by property tests.
     pub fn check_invariants(&self) -> bool {
-        self.sets.iter().all(|s| {
-            s.len() <= self.ways && {
-                let mut sorted = s.clone();
-                sorted.sort_unstable();
-                sorted.windows(2).all(|w| w[0] != w[1])
-            }
-        })
+        self.stamps.iter().all(|&s| s <= self.clock)
+            && self.tags.chunks_exact(self.ways).all(|set| {
+                let mut filled: Vec<u64> =
+                    set.iter().copied().filter(|&t| t != Cache::EMPTY).collect();
+                filled.sort_unstable();
+                filled.windows(2).all(|w| w[0] != w[1])
+            })
     }
 }
 

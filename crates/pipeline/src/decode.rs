@@ -29,6 +29,16 @@ use probranch_isa::{AluOp, CmpOp, FpBinOp, FpUnOp, Inst, Operand, Program, Reg};
 /// registers).
 pub const FLAG_REG: usize = 32;
 
+/// Scoreboard index padding unused `uses` slots: never written by any
+/// instruction, so its ready cycle stays 0 and a fixed-trip max over
+/// all four slots equals the max over the live prefix.
+pub const PAD_USE_REG: usize = 63;
+
+/// Scoreboard index padding unused `defs` slots: never read by any
+/// instruction (real uses are `0..=32` plus [`PAD_USE_REG`]), so a
+/// fixed-trip write of both slots is invisible to the dataflow.
+pub const PAD_DEF_REG: usize = 62;
+
 /// A fully decoded micro-operation: the execution form of one [`Inst`]
 /// with every operand kind resolved at decode time.
 ///
@@ -152,14 +162,20 @@ pub enum DecOp {
 /// `uses`/`defs` hold ready-cycle scoreboard indices — architectural
 /// register indices in `0..32` plus [`FLAG_REG`] for the condition flag
 /// (reads by `jf`/`prob_jmp`, writes by `cmp`/`prob_cmp`), exactly
-/// mirroring the reference model's flag handling.
+/// mirroring the reference model's flag handling. Unused slots are
+/// padded with [`PAD_USE_REG`] / [`PAD_DEF_REG`], so the hot loops read
+/// and write a fixed number of slots with no data-dependent trip count;
+/// the live prefixes remain available through
+/// [`uses`](InstTiming::uses) / [`defs`](InstTiming::defs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InstTiming {
-    /// Scoreboard indices whose ready cycles gate issue.
+    /// Scoreboard indices whose ready cycles gate issue, padded with
+    /// [`PAD_USE_REG`].
     pub uses: [u8; 4],
     /// Number of live entries in `uses`.
     pub n_uses: u8,
-    /// Scoreboard indices written at complete.
+    /// Scoreboard indices written at complete, padded with
+    /// [`PAD_DEF_REG`].
     pub defs: [u8; 2],
     /// Number of live entries in `defs`.
     pub n_defs: u8,
@@ -172,7 +188,7 @@ impl InstTiming {
     /// Derives the timing metadata of `inst` — the same facts the
     /// reference timing model recomputes per dynamic instruction.
     pub fn of(inst: &Inst) -> InstTiming {
-        let mut uses = [0u8; 4];
+        let mut uses = [PAD_USE_REG as u8; 4];
         let mut n_uses = 0u8;
         for r in inst.uses().iter() {
             uses[n_uses as usize] = r.index() as u8;
@@ -182,7 +198,7 @@ impl InstTiming {
             uses[n_uses as usize] = FLAG_REG as u8;
             n_uses += 1;
         }
-        let mut defs = [0u8; 2];
+        let mut defs = [PAD_DEF_REG as u8; 2];
         let mut n_defs = 0u8;
         for r in inst.defs().iter() {
             defs[n_defs as usize] = r.index() as u8;

@@ -24,7 +24,13 @@
 //!   outputs and the consumed probabilistic-value stream.
 //!   [`simulate`] is the fused/predecoded engine;
 //!   [`simulate_reference`] keeps the original unfused loop as a
-//!   differential baseline producing identical reports.
+//!   differential baseline producing identical reports;
+//! * [`DynTrace`] / [`simulate_replay`] / [`simulate_convoy`] — the
+//!   emulate-once/time-many engine: the dynamic record stream (plus
+//!   pre-simulated cache latencies) is captured once per emulation key
+//!   `(workload, PBS config, emulator config)` and replayed against any
+//!   number of predictor/core configurations, byte-identically to the
+//!   fused engine (see `trace`).
 //!
 //! ```
 //! use probranch_isa::{ProgramBuilder, Reg, CmpOp};
@@ -50,13 +56,21 @@ mod decode;
 mod machine;
 mod ooo;
 mod sim;
+mod trace;
 
 pub use cache::{Cache, MemLatencies, MemoryHierarchy};
-pub use decode::{DecOp, DecodedInst, DecodedProgram, InstTiming, FLAG_REG};
+pub use decode::{
+    DecOp, DecodedInst, DecodedProgram, InstTiming, FLAG_REG, PAD_DEF_REG, PAD_USE_REG,
+};
 pub use machine::{
     BranchEvent, BranchEventKind, DynInst, EmuConfig, EmuError, Emulator, StepRecord,
 };
 pub use ooo::{BranchTraceEntry, ExecLatencies, OooConfig, OooTimingModel, TimingStats};
 pub use sim::{
-    run_functional, simulate, simulate_reference, PredictorChoice, SimConfig, SimReport,
+    run_functional, simulate, simulate_convoy, simulate_reference, simulate_replay,
+    PredictorChoice, SimConfig, SimReport,
+};
+pub use trace::{
+    DynTrace, ReplayConsumer, ReplayRec, TraceChunk, TraceFunctional, TraceStream,
+    TRACE_CHUNK_RECORDS,
 };

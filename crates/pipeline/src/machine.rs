@@ -11,7 +11,7 @@ use probranch_isa::{AluOp, CmpOp, FpBinOp, FpUnOp, Inst, Operand, Program, Reg};
 use crate::decode::{DecOp, DecodedProgram};
 
 /// Emulator configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EmuConfig {
     /// Data-memory size in 64-bit words (byte-addressed, 8-aligned).
     pub mem_words: usize,
@@ -972,13 +972,36 @@ impl Emulator {
     /// fault are left in `buf`.
     pub fn step_block(&mut self, buf: &mut Vec<StepRecord>, max: usize) -> Result<(), EmuError> {
         buf.clear();
-        while buf.len() < max {
+        self.step_block_with(max, |rec| buf.push(rec)).map(|_| ())
+    }
+
+    /// Executes up to `max` instructions, handing each [`StepRecord`] to
+    /// `sink` as it is produced — the zero-buffer form of
+    /// [`step_block`](Self::step_block) used by trace capture, which
+    /// packs records into its own chunk layout and would otherwise pay a
+    /// buffer round-trip per record. Returns the number of instructions
+    /// executed (0 once halted).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`EmuError`]; records already handed to
+    /// `sink` stay consumed.
+    pub fn step_block_with<F: FnMut(StepRecord)>(
+        &mut self,
+        max: usize,
+        mut sink: F,
+    ) -> Result<usize, EmuError> {
+        let mut n = 0;
+        while n < max {
             match self.step_decoded()? {
-                Some(rec) => buf.push(rec),
+                Some(rec) => {
+                    n += 1;
+                    sink(rec);
+                }
                 None => break,
             }
         }
-        Ok(())
+        Ok(n)
     }
 
     /// Runs until `halt`, with an instruction budget.

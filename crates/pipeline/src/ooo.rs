@@ -381,8 +381,16 @@ impl OooTimingModel {
         );
     }
 
-    /// The cycle-accounting core shared by [`consume`](Self::consume)
-    /// and [`consume_decoded`](Self::consume_decoded).
+    /// The latency-resolving half shared by [`consume`](Self::consume)
+    /// and [`consume_decoded`](Self::consume_decoded): asks the live
+    /// memory hierarchy for the fetch stall and (for loads) the data
+    /// latency, then feeds the cycle-accounting core.
+    ///
+    /// The replay engine calls [`consume_core`](Self::consume_core)
+    /// directly instead, with latencies pre-simulated at trace-capture
+    /// time — the hierarchy's evolution depends only on the pc/address
+    /// stream, which the trace fixes, never on the predictor or core
+    /// configuration.
     #[inline(always)]
     fn consume_inner<P: BranchPredictor + ?Sized>(
         &mut self,
@@ -393,16 +401,57 @@ impl OooTimingModel {
         predictor: &mut P,
         filter_prob: bool,
     ) {
-        // ---- fetch -----------------------------------------------------------
         let istall = self.hierarchy.inst_access(pc as u64 * 8);
-        if istall > 0 {
-            self.fetch_cycle += istall;
-            self.fetched_in_cycle = 0;
-        }
-        if self.fetched_in_cycle >= self.cfg.width {
-            self.fetch_cycle += 1;
-            self.fetched_in_cycle = 0;
-        }
+        // Resolving the load latency here instead of at issue is exact:
+        // the issue-slot probe touches no hierarchy state, and the
+        // access order the caches observe (instruction fetch, then data
+        // access, per record in program order) is unchanged.
+        let exec_lat = if timing.class as usize == ExecClass::Load.index() {
+            let addr = mem_addr.expect("loads carry an address");
+            self.hierarchy.data_access(addr)
+        } else {
+            self.lat_table[(timing.class & 15) as usize]
+        };
+        self.consume_core(pc, timing, branch, istall, exec_lat, predictor, filter_prob);
+    }
+
+    /// The per-class latency table entry for `class` (replay helper).
+    #[inline(always)]
+    pub(crate) fn static_latency(&self, class: u8) -> u64 {
+        self.lat_table[(class & 15) as usize]
+    }
+
+    /// The cycle-accounting core: everything downstream of the memory
+    /// hierarchy, with the fetch stall and the execute latency already
+    /// resolved. Shared verbatim by the live engines (through
+    /// [`consume_inner`](Self::consume_inner)) and the trace-replay
+    /// engine, so the two paths cannot drift apart.
+    // The argument list mirrors the record layout of the hot loops; a
+    // grouping struct would be rebuilt per dynamic instruction.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    pub(crate) fn consume_core<P: BranchPredictor + ?Sized>(
+        &mut self,
+        pc: u32,
+        timing: &InstTiming,
+        branch: Option<BranchEvent>,
+        istall: u64,
+        exec_lat: u64,
+        predictor: &mut P,
+        filter_prob: bool,
+    ) {
+        // ---- fetch -----------------------------------------------------------
+        // Both stall conditions are data-dependent and mispredict as
+        // host branches; written in conditional-move form (an I-miss
+        // resets the fetch group, then a full group bumps the cycle —
+        // with a reset group `0 >= width` can't fire, exactly as the
+        // branchy original).
+        let istalled = istall > 0;
+        self.fetch_cycle += istall;
+        let fic = if istalled { 0 } else { self.fetched_in_cycle };
+        let group_full = fic >= self.cfg.width;
+        self.fetch_cycle += group_full as u64;
+        self.fetched_in_cycle = if group_full { 0 } else { fic };
         // ROB back-pressure: the instruction cannot enter until the entry
         // `rob_size` older has committed.
         if self.rob_len >= self.cfg.rob_size {
@@ -423,22 +472,22 @@ impl OooTimingModel {
 
         // ---- dispatch / register dataflow -----------------------------------
         // The flag pseudo-register is already folded into uses/defs.
+        // Fixed-trip over all four (padded) slots: the PAD_USE_REG slot
+        // is never written, so its ready cycle is always 0 and the max
+        // equals the max over the live prefix — with no data-dependent
+        // loop bound in the hottest path.
         let dispatch = fetch + self.cfg.frontend_depth;
         let mut ready = dispatch;
-        for &r in timing.uses() {
+        for &r in &timing.uses {
             ready = ready.max(self.reg_ready[(r & 63) as usize]);
         }
 
         // ---- issue / execute --------------------------------------------------
         let issue = self.issue_slot(ready);
-        let latency = if timing.class as usize == ExecClass::Load.index() {
-            let addr = mem_addr.expect("loads carry an address");
-            self.hierarchy.data_access(addr)
-        } else {
-            self.lat_table[(timing.class & 15) as usize]
-        };
-        let complete = issue + latency;
-        for &r in timing.defs() {
+        let complete = issue + exec_lat;
+        // Fixed-trip over both (padded) slots: PAD_DEF_REG is never
+        // read, so writing its ready cycle is invisible to the dataflow.
+        for &r in &timing.defs {
             self.reg_ready[(r & 63) as usize] = complete;
         }
 
@@ -448,9 +497,7 @@ impl OooTimingModel {
             let mispredicted = match ev.kind {
                 BranchEventKind::Conditional => {
                     self.stats.cond_branches += 1;
-                    if ev.is_prob {
-                        self.stats.prob_branches += 1;
-                    }
+                    self.stats.prob_branches += ev.is_prob as u64;
                     if ev.is_prob && filter_prob {
                         false // oracle-resolved, predictor untouched
                     } else {
@@ -479,22 +526,29 @@ impl OooTimingModel {
                     false
                 }
             };
-            if mispredicted {
-                self.stats.mispredicts += 1;
-                if ev.is_prob {
-                    self.stats.mispredicts_prob += 1;
-                } else {
-                    self.stats.mispredicts_regular += 1;
-                }
-                // Redirect: fetch resumes after the branch resolves plus
-                // the front-end refill penalty.
-                self.fetch_cycle = complete + self.cfg.mispredict_penalty;
-                self.fetched_in_cycle = 0;
-            } else if ev.taken {
-                // Taken branches end the fetch group.
-                self.fetch_cycle = fetch + 1;
-                self.fetched_in_cycle = 0;
-            }
+            // Redirect/fetch-group bookkeeping in conditional-move form:
+            // `ev.taken` on a correctly predicted branch is essentially a
+            // coin flip to the *host's* branch predictor, and a
+            // mispredicted model branch is rare — both were costly
+            // branches here. A mispredicted branch redirects fetch to
+            // `complete + penalty` (the front-end refill); a correctly
+            // predicted taken branch merely ends the fetch group.
+            self.stats.mispredicts += mispredicted as u64;
+            self.stats.mispredicts_prob += (mispredicted && ev.is_prob) as u64;
+            self.stats.mispredicts_regular += (mispredicted && !ev.is_prob) as u64;
+            let fg_break = !mispredicted && ev.taken;
+            let redirected_fetch = if mispredicted {
+                complete + self.cfg.mispredict_penalty
+            } else {
+                fetch + 1
+            };
+            let bumped = mispredicted || fg_break;
+            self.fetch_cycle = if bumped {
+                redirected_fetch
+            } else {
+                self.fetch_cycle
+            };
+            self.fetched_in_cycle = if bumped { 0 } else { self.fetched_in_cycle };
         }
 
         // ---- commit -------------------------------------------------------------

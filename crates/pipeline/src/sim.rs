@@ -21,6 +21,7 @@ use probranch_predictor::{
 
 use crate::machine::{EmuConfig, EmuError, Emulator, StepRecord};
 use crate::ooo::{OooConfig, OooTimingModel, TimingStats};
+use crate::trace::{DynTrace, ReplayConsumer, TraceChunk, TraceStream};
 
 /// Which baseline branch predictor to instantiate (paper Section VI-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -258,6 +259,93 @@ pub fn simulate_reference(program: &Program, config: &SimConfig) -> Result<SimRe
     }
 
     Ok(report_of(emu, timing))
+}
+
+/// Re-times a captured [`DynTrace`] under `config`'s timing side
+/// (predictor, core, filter mode, branch tracing) without re-emulating —
+/// the "emulate once, time many" replay engine.
+///
+/// The report is byte-identical to what [`simulate`] would return for
+/// the same program and configuration, including the
+/// [`EmuError::InstLimitExceeded`] error when `config.max_insts` is at
+/// or below the trace's dynamic instruction count (the trace carries a
+/// completed run, so any tighter budget would have tripped).
+///
+/// # Panics
+///
+/// Panics if `config`'s emulation key (PBS and emulator configuration)
+/// differs from the one the trace was captured under.
+///
+/// # Errors
+///
+/// [`EmuError::InstLimitExceeded`] exactly when [`simulate`] would
+/// return it.
+pub fn simulate_replay(trace: &DynTrace, config: &SimConfig) -> Result<SimReport, EmuError> {
+    trace.check_compatible(config);
+    if trace.instructions() >= config.max_insts {
+        return Err(EmuError::InstLimitExceeded {
+            limit: config.max_insts,
+        });
+    }
+    let mut consumer = ReplayConsumer::new(config);
+    for chunk in trace.chunks() {
+        consumer.consume_chunk(trace.timings(), chunk);
+    }
+    Ok(consumer.into_report(trace.functional()))
+}
+
+/// Convoy replay: emulates `program` once, streaming each captured
+/// chunk through one timing consumer per configuration in lockstep.
+///
+/// Equivalent to calling [`simulate`] once per configuration — the
+/// returned reports are byte-identical, in input order — but the
+/// emulation and cache pre-simulation run once, only a single
+/// chunk-sized buffer is ever live (bounded memory on arbitrarily long
+/// workloads), and each chunk is still cache-hot when the second and
+/// later consumers drain it.
+///
+/// All configurations must share the emulation key: equal `pbs`, `emu`
+/// and `max_insts` fields (the timing-side fields are free).
+///
+/// # Panics
+///
+/// Panics if `configs` is empty or the emulation keys differ.
+///
+/// # Errors
+///
+/// Propagates any [`EmuError`], exactly as [`simulate`] would for each
+/// cell (a capture error means every cell errors identically).
+pub fn simulate_convoy(
+    program: &Program,
+    configs: &[SimConfig],
+) -> Result<Vec<SimReport>, EmuError> {
+    let key = configs
+        .first()
+        .expect("simulate_convoy needs at least one configuration");
+    for cfg in &configs[1..] {
+        assert_eq!(cfg.pbs, key.pbs, "convoy cells must share the PBS config");
+        assert_eq!(
+            cfg.emu, key.emu,
+            "convoy cells must share the emulator config"
+        );
+        assert_eq!(
+            cfg.max_insts, key.max_insts,
+            "convoy cells must share the instruction budget"
+        );
+    }
+    let mut stream = TraceStream::new(program, key);
+    let mut consumers: Vec<ReplayConsumer> = configs.iter().map(ReplayConsumer::new).collect();
+    let mut chunk = TraceChunk::with_chunk_capacity();
+    while stream.fill(&mut chunk)? {
+        for consumer in &mut consumers {
+            consumer.consume_chunk(stream.timings(), &chunk);
+        }
+    }
+    let functional = stream.finish();
+    Ok(consumers
+        .into_iter()
+        .map(|c| c.into_report(&functional))
+        .collect())
 }
 
 fn build_emulator(program: &Program, config: &SimConfig) -> Emulator {

@@ -1,0 +1,673 @@
+//! Trace capture and replay: emulate once, time many.
+//!
+//! Every timing cell that shares an *emulation key* — the workload
+//! instance plus the architectural configuration `(PBS config, emulator
+//! config)` — executes the same dynamic instruction stream: the
+//! predictor, the core width, the Figure 9 filter switch and branch
+//! tracing live entirely in the timing model and feed nothing back into
+//! the emulator. This module makes that stream a first-class artifact:
+//!
+//! * [`TraceStream`] — the capture half of the fused engine, split out:
+//!   drains the emulator's [`StepRecord`] stream (branch outcomes and
+//!   prob-branch resolutions ride inside the records) into
+//!   [`TraceChunk`]s of packed 8-byte [`ReplayRec`]s, pre-simulating
+//!   the memory hierarchy — whose evolution also depends only on the
+//!   pc/address stream — into per-record latencies along the way;
+//! * [`DynTrace`] — a materialized, chunked trace captured once per
+//!   emulation key and shared (`Arc<DynTrace>`) across every timing
+//!   cell of a sweep;
+//! * [`ReplayConsumer`] — the consume half: an
+//!   [`OooTimingModel`] + statically dispatched predictor pair that
+//!   drains chunks through the same cycle-accounting core as the live
+//!   engines ([`OooTimingModel::consume_core`]), with the whole chunk
+//!   loop monomorphized per predictor type via
+//!   [`PredictorVisitor`](probranch_predictor::PredictorVisitor).
+//!
+//! Two replay modes sit on top (see `sim.rs`):
+//! [`simulate_replay`](crate::simulate_replay) re-times a materialized
+//! [`DynTrace`], and [`simulate_convoy`](crate::simulate_convoy)
+//! streams each freshly captured chunk through *k* consumers in
+//! lockstep — one chunk buffer of bounded size, hot in cache for every
+//! consumer, never a materialized trace.
+//!
+//! Replay is byte-identical to the fused engine — `SimReport` equality
+//! including `branch_trace`, `prob_consumed` and the error paths — which
+//! `tests/engine_equivalence.rs` and the capture-then-replay property
+//! test lock in.
+
+use probranch_core::{PbsConfig, PbsStats, PbsUnit};
+use probranch_isa::{ExecClass, Program};
+use probranch_predictor::{BranchPredictor, PredictorDispatch, PredictorVisitor};
+
+use crate::cache::MemoryHierarchy;
+use crate::decode::InstTiming;
+use crate::machine::{BranchEvent, BranchEventKind, EmuConfig, EmuError, Emulator, StepRecord};
+use crate::ooo::OooTimingModel;
+use crate::sim::{SimConfig, SimReport};
+
+/// Records per [`TraceChunk`]: 64 Ki packed records = 512 KiB — small
+/// enough to stay cache-resident while a convoy streams it through
+/// several consumers (and the bounded-memory figure for streaming
+/// convoys), large enough to amortize the per-chunk bookkeeping and
+/// consumer switches.
+pub const TRACE_CHUNK_RECORDS: usize = 1 << 16;
+
+/// One dynamic instruction of a captured trace, packed to 8 bytes.
+///
+/// A timing-only pass needs less than the 16-byte live [`StepRecord`]:
+/// the data address is replaced by its pre-simulated cache latency, and
+/// the branch event fits one byte. Halving the record halves the memory
+/// a trace holds *and* the bandwidth every replay consumer streams.
+///
+/// The two latency fields are exact pre-simulations of the timing
+/// model's `MemoryHierarchy::default()`: the hierarchy is deterministic
+/// given the interleaved access stream (instruction fetch, then the
+/// data access for loads, in program order), and that stream is fixed
+/// by the trace — so capture resolves the cache model once and replay
+/// consumers read two bytes instead of re-simulating three LRU caches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayRec {
+    /// PC of the instruction.
+    pub pc: u32,
+    /// Packed branch event; see [`ReplayRec::branch`].
+    branch: u8,
+    /// Extra front-end stall cycles of the instruction fetch (0 on an
+    /// L1-I hit).
+    pub istall: u8,
+    /// Load-to-use latency for loads; 0 for every other class.
+    pub dlat: u8,
+}
+
+impl ReplayRec {
+    const PRESENT: u8 = 1 << 0;
+    const TAKEN: u8 = 1 << 1;
+    const PROB: u8 = 1 << 2;
+    const KIND_SHIFT: u32 = 3;
+
+    /// Packs a live record's branch resolution.
+    #[inline]
+    fn pack(rec: &StepRecord, istall: u8, dlat: u8) -> ReplayRec {
+        let branch = match rec.branch {
+            None => 0,
+            Some(ev) => {
+                let kind = match ev.kind {
+                    BranchEventKind::Conditional => 0u8,
+                    BranchEventKind::PbsDirected => 1,
+                    BranchEventKind::Unconditional => 2,
+                    BranchEventKind::Call => 3,
+                    BranchEventKind::Ret => 4,
+                };
+                Self::PRESENT
+                    | (Self::TAKEN * ev.taken as u8)
+                    | (Self::PROB * ev.is_prob as u8)
+                    | (kind << Self::KIND_SHIFT)
+            }
+        };
+        ReplayRec {
+            pc: rec.pc,
+            branch,
+            istall,
+            dlat,
+        }
+    }
+
+    /// The branch resolution, exactly as the live [`StepRecord`]
+    /// carried it.
+    #[inline(always)]
+    pub fn branch(&self) -> Option<BranchEvent> {
+        if self.branch & Self::PRESENT == 0 {
+            return None;
+        }
+        let kind = match self.branch >> Self::KIND_SHIFT {
+            0 => BranchEventKind::Conditional,
+            1 => BranchEventKind::PbsDirected,
+            2 => BranchEventKind::Unconditional,
+            3 => BranchEventKind::Call,
+            _ => BranchEventKind::Ret,
+        };
+        Some(BranchEvent {
+            taken: self.branch & Self::TAKEN != 0,
+            kind,
+            is_prob: self.branch & Self::PROB != 0,
+        })
+    }
+}
+
+/// One chunk of a dynamic trace: a dense run of [`ReplayRec`]s.
+#[derive(Debug, Clone, Default)]
+pub struct TraceChunk {
+    recs: Vec<ReplayRec>,
+}
+
+impl TraceChunk {
+    /// An empty chunk with capacity for [`TRACE_CHUNK_RECORDS`] —
+    /// allocate once, refill per [`TraceStream::fill`] call.
+    pub fn with_chunk_capacity() -> TraceChunk {
+        TraceChunk {
+            recs: Vec::with_capacity(TRACE_CHUNK_RECORDS),
+        }
+    }
+
+    /// Number of records in the chunk.
+    pub fn len(&self) -> usize {
+        self.recs.len()
+    }
+
+    /// Whether the chunk holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.recs.is_empty()
+    }
+
+    /// The records.
+    pub fn records(&self) -> &[ReplayRec] {
+        &self.recs
+    }
+
+    /// Heap bytes held by the chunk's buffer (capacity, not length —
+    /// the number that matters for peak-memory accounting).
+    pub fn bytes(&self) -> usize {
+        self.recs.capacity() * std::mem::size_of::<ReplayRec>()
+    }
+}
+
+/// The architectural results of a captured run — everything a
+/// [`SimReport`] carries that the timing model does not produce.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceFunctional {
+    /// Committed dynamic instructions (== total trace records).
+    pub instructions: u64,
+    /// Program outputs, ascending by port.
+    pub outputs: Vec<(u16, Vec<u64>)>,
+    /// Probabilistic values in consumption order.
+    pub prob_consumed: Vec<u64>,
+    /// PBS event counters, when PBS was enabled.
+    pub pbs: Option<PbsStats>,
+}
+
+/// The capture half of the fused engine, split out as a chunk stream.
+///
+/// Drive it with [`fill`](TraceStream::fill) until it reports the
+/// machine halted, then take the architectural results with
+/// [`finish`](TraceStream::finish). Only the emulation-key fields of the
+/// passed [`SimConfig`] matter (`pbs`, `emu`, `max_insts`); predictor,
+/// core and filter settings are timing-side and ignored.
+#[derive(Debug)]
+pub struct TraceStream {
+    emu: Emulator,
+    /// The pre-simulated hierarchy. Must evolve exactly as the timing
+    /// model's own `MemoryHierarchy::default()` would: instruction
+    /// fetch, then the data access for loads, per record in order.
+    presim: MemoryHierarchy,
+    timings: Box<[InstTiming]>,
+    /// Per-instruction-cache-line first-touch flags, when the program is
+    /// small enough that the L1-I provably never evicts a program line
+    /// (≤ its 512-line capacity, consecutive line indices → at most
+    /// `ways` lines per set). In that regime an instruction fetch
+    /// touches the rest of the hierarchy only on the line's first
+    /// access, so the full cache walk runs once per line and every
+    /// later fetch is a known `istall = 0` — byte-identical to the full
+    /// pre-simulation, measurably cheaper on the per-record hot path.
+    /// Empty for larger programs (full pre-simulation per fetch).
+    itouched: Box<[bool]>,
+    /// Consecutive pcs per L1-I line (`line_bytes / 8`-byte
+    /// instructions) — the divisor `itouched` was sized with.
+    pcs_per_line: usize,
+    executed: u64,
+    max_insts: u64,
+    halted: bool,
+}
+
+impl TraceStream {
+    /// Starts capturing `program` under `config`'s emulation key.
+    pub fn new(program: &Program, config: &SimConfig) -> TraceStream {
+        let emu = match &config.pbs {
+            Some(pbs_cfg) => Emulator::with_pbs(
+                program.clone(),
+                config.emu.clone(),
+                PbsUnit::new(pbs_cfg.clone()),
+            ),
+            None => Emulator::new(program.clone(), config.emu.clone()),
+        };
+        let timings: Box<[InstTiming]> = emu.decoded().insts().iter().map(|d| d.timing).collect();
+        let presim = MemoryHierarchy::default();
+        // Instructions are 8 bytes in the timing model's address space,
+        // so one cache line covers `line_bytes / 8` consecutive pcs.
+        let pcs_per_line = (presim.l1i().line_bytes() / 8).max(1);
+        let line_count = timings.len().div_ceil(pcs_per_line);
+        let itouched = if line_count <= presim.l1i().capacity_lines() {
+            vec![false; line_count].into_boxed_slice()
+        } else {
+            Box::default()
+        };
+        TraceStream {
+            emu,
+            presim,
+            timings,
+            itouched,
+            pcs_per_line,
+            executed: 0,
+            max_insts: config.max_insts,
+            halted: false,
+        }
+    }
+
+    /// The per-pc timing metadata replay consumers index by
+    /// [`StepRecord::pc`] — the only part of the decoded program a
+    /// timing-only pass needs.
+    pub fn timings(&self) -> &[InstTiming] {
+        &self.timings
+    }
+
+    /// Refills `chunk` with the next run of records (clearing it first)
+    /// and pre-simulates their latencies. Returns `false` — with `chunk`
+    /// left empty — once the machine has halted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates emulator faults, and returns
+    /// [`EmuError::InstLimitExceeded`] at exactly the dynamic
+    /// instruction where the fused engine would: when the dynamic
+    /// instruction count reaches `max_insts` without a halt.
+    pub fn fill(&mut self, chunk: &mut TraceChunk) -> Result<bool, EmuError> {
+        chunk.recs.clear();
+        if self.halted {
+            return Ok(false);
+        }
+        // Cap the chunk at the remaining instruction budget so the limit
+        // trips at exactly the same dynamic instruction as the fused
+        // engine's batch loop.
+        let budget = (self.max_insts - self.executed).clamp(1, TRACE_CHUNK_RECORDS as u64) as usize;
+        let load_class = ExecClass::Load.index() as u8;
+        let small_program = !self.itouched.is_empty();
+        let pcs_per_line = self.pcs_per_line;
+        let TraceStream {
+            emu,
+            presim,
+            timings,
+            itouched,
+            ..
+        } = self;
+        // Emulate, pre-simulate and pack in one pass: each record is
+        // handed straight from the interpreter to the chunk, no
+        // intermediate record buffer.
+        let n = emu.step_block_with(budget, |rec| {
+            // L1-I-resident fast path: once a line has been fetched it
+            // can never leave the L1-I (see `itouched`), so only the
+            // first touch walks the hierarchy (and inserts into the
+            // shared L2, exactly as the full simulation would).
+            let istall = if small_program {
+                let line = rec.pc as usize / pcs_per_line;
+                if itouched[line] {
+                    0
+                } else {
+                    itouched[line] = true;
+                    presim.inst_access(rec.pc as u64 * 8)
+                }
+            } else {
+                presim.inst_access(rec.pc as u64 * 8)
+            };
+            let dlat = if timings[rec.pc as usize].class == load_class {
+                let addr = rec.mem_addr().expect("loads carry an address");
+                presim.data_access(addr)
+            } else {
+                0
+            };
+            debug_assert!(istall <= u8::MAX as u64 && dlat <= u8::MAX as u64);
+            chunk
+                .recs
+                .push(ReplayRec::pack(&rec, istall as u8, dlat as u8));
+        })?;
+        if n == 0 {
+            self.halted = true;
+            return Ok(false);
+        }
+        self.executed += n as u64;
+        if self.executed >= self.max_insts {
+            self.halted = true;
+            return Err(EmuError::InstLimitExceeded {
+                limit: self.max_insts,
+            });
+        }
+        Ok(true)
+    }
+
+    /// The architectural results, once [`fill`](TraceStream::fill) has
+    /// reported the machine halted.
+    pub fn finish(self) -> TraceFunctional {
+        TraceFunctional {
+            instructions: self.emu.executed(),
+            outputs: self.emu.outputs_sorted(),
+            prob_consumed: self.emu.prob_consumed().to_vec(),
+            pbs: self.emu.pbs_stats(),
+        }
+    }
+}
+
+/// A materialized dynamic trace: one emulation key's full record stream
+/// in chunks, the per-pc timing metadata, the pre-simulated cache
+/// latencies and the architectural results — everything `N` timing
+/// models need to replay the run without re-emulating it.
+#[derive(Debug, Clone)]
+pub struct DynTrace {
+    timings: Box<[InstTiming]>,
+    chunks: Vec<TraceChunk>,
+    functional: TraceFunctional,
+    /// The emulation key the trace was captured under, re-checked at
+    /// replay time.
+    pbs: Option<PbsConfig>,
+    emu: EmuConfig,
+}
+
+impl DynTrace {
+    /// Captures the full trace of `program` under `config`'s emulation
+    /// key (`pbs`, `emu`, `max_insts`).
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors [`simulate`](crate::simulate) would return:
+    /// emulator faults, or [`EmuError::InstLimitExceeded`] when the
+    /// program does not halt within `config.max_insts` — a trace only
+    /// exists for a run that completed.
+    pub fn capture(program: &Program, config: &SimConfig) -> Result<DynTrace, EmuError> {
+        let mut stream = TraceStream::new(program, config);
+        let mut chunks = Vec::new();
+        loop {
+            let mut chunk = TraceChunk::with_chunk_capacity();
+            if !stream.fill(&mut chunk)? {
+                break;
+            }
+            chunks.push(chunk);
+        }
+        if let Some(last) = chunks.last_mut() {
+            last.recs.shrink_to_fit();
+        }
+        Ok(DynTrace {
+            timings: stream.timings.clone(),
+            functional: stream.finish(),
+            chunks,
+            pbs: config.pbs.clone(),
+            emu: config.emu.clone(),
+        })
+    }
+
+    /// Total dynamic instructions recorded.
+    pub fn instructions(&self) -> u64 {
+        self.functional.instructions
+    }
+
+    /// Number of chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// The chunks, in program order.
+    pub fn chunks(&self) -> &[TraceChunk] {
+        &self.chunks
+    }
+
+    /// The per-pc timing metadata for replay consumers.
+    pub fn timings(&self) -> &[InstTiming] {
+        &self.timings
+    }
+
+    /// The architectural results of the captured run.
+    pub fn functional(&self) -> &TraceFunctional {
+        &self.functional
+    }
+
+    /// Heap bytes held by the trace (records, latencies, timing table
+    /// and architectural results) — the peak-memory figure the
+    /// throughput report surfaces per cell.
+    pub fn bytes(&self) -> usize {
+        self.chunks.iter().map(TraceChunk::bytes).sum::<usize>()
+            + self.timings.len() * std::mem::size_of::<InstTiming>()
+            + self.functional.prob_consumed.capacity() * 8
+            + self
+                .functional
+                .outputs
+                .iter()
+                .map(|(_, v)| v.capacity() * 8)
+                .sum::<usize>()
+    }
+
+    /// Panics unless `config` shares the trace's emulation key — a
+    /// replay under a different PBS or emulator configuration would
+    /// silently time a different program run.
+    pub fn check_compatible(&self, config: &SimConfig) {
+        assert_eq!(
+            self.pbs, config.pbs,
+            "replay PBS config differs from the captured trace's"
+        );
+        assert_eq!(
+            self.emu, config.emu,
+            "replay emulator config differs from the captured trace's"
+        );
+    }
+}
+
+/// The consume half of the fused engine: one timing model and its
+/// statically dispatched predictor, fed chunks of a captured trace.
+#[derive(Debug)]
+pub struct ReplayConsumer {
+    timing: OooTimingModel,
+    predictor: PredictorDispatch,
+    filter_prob: bool,
+}
+
+/// The chunk-drain loop as a [`PredictorVisitor`], so
+/// [`PredictorDispatch`] resolves to the concrete predictor *once per
+/// chunk* and the whole loop body — predict/update included —
+/// monomorphizes per predictor type.
+struct DrainChunk<'a> {
+    timing: &'a mut OooTimingModel,
+    timings: &'a [InstTiming],
+    chunk: &'a TraceChunk,
+    filter_prob: bool,
+}
+
+impl PredictorVisitor for DrainChunk<'_> {
+    type Out = ();
+
+    #[inline]
+    fn visit<P: BranchPredictor + ?Sized>(self, predictor: &mut P) {
+        let load_class = ExecClass::Load.index() as u8;
+        for rec in &self.chunk.recs {
+            let t = &self.timings[rec.pc as usize];
+            let exec_lat = if t.class == load_class {
+                rec.dlat as u64
+            } else {
+                self.timing.static_latency(t.class)
+            };
+            self.timing.consume_core(
+                rec.pc,
+                t,
+                rec.branch(),
+                rec.istall as u64,
+                exec_lat,
+                predictor,
+                self.filter_prob,
+            );
+        }
+    }
+}
+
+impl ReplayConsumer {
+    /// A consumer for `config`'s timing side (core, predictor, filter
+    /// mode, branch tracing).
+    pub fn new(config: &SimConfig) -> ReplayConsumer {
+        let mut timing = OooTimingModel::new(config.core.clone());
+        if config.collect_branch_trace {
+            timing.enable_trace();
+        }
+        ReplayConsumer {
+            timing,
+            predictor: config.predictor.build_dispatch(),
+            filter_prob: config.filter_prob_from_predictor,
+        }
+    }
+
+    /// Drains one chunk through the timing model. `timings` is the
+    /// per-pc metadata of the trace the chunk came from.
+    #[inline]
+    pub fn consume_chunk(&mut self, timings: &[InstTiming], chunk: &TraceChunk) {
+        let ReplayConsumer {
+            timing,
+            predictor,
+            filter_prob,
+        } = self;
+        predictor.visit_mut(DrainChunk {
+            timing,
+            timings,
+            chunk,
+            filter_prob: *filter_prob,
+        });
+    }
+
+    /// Finishes the replay: the timing model's statistics joined with
+    /// the trace's architectural results into the same [`SimReport`] the
+    /// fused engine would have produced.
+    pub fn into_report(mut self, functional: &TraceFunctional) -> SimReport {
+        SimReport {
+            timing: self.timing.stats(),
+            pbs: functional.pbs,
+            outputs: functional.outputs.clone(),
+            prob_consumed: functional.prob_consumed.clone(),
+            branch_trace: self.timing.take_trace(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{simulate, PredictorChoice};
+    use probranch_isa::{CmpOp, ProgramBuilder, Reg};
+
+    /// A loop mixing regular branches, a ~50% probabilistic branch and
+    /// memory traffic — every record shape a trace can hold.
+    fn workload(iters: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        let top = b.label("top");
+        let join = b.label("join");
+        b.li(Reg::R1, 0x9E3779B97F4A7C15u64 as i64);
+        b.li(Reg::R2, 0);
+        b.li(Reg::R3, 0);
+        b.li(Reg::R4, (u64::MAX / 2) as i64);
+        b.li(Reg::R6, 0x2545F4914F6CDD1Du64 as i64);
+        b.li(Reg::R9, 64);
+        b.bind(top);
+        b.shr(Reg::R5, Reg::R1, 12).xor(Reg::R1, Reg::R1, Reg::R5);
+        b.shl(Reg::R5, Reg::R1, 25).xor(Reg::R1, Reg::R1, Reg::R5);
+        b.shr(Reg::R5, Reg::R1, 27).xor(Reg::R1, Reg::R1, Reg::R5);
+        b.mul(Reg::R7, Reg::R1, Reg::R6);
+        b.st(Reg::R7, Reg::R9, 0).ld(Reg::R8, Reg::R9, 0);
+        b.sltu(Reg::R8, Reg::R7, Reg::R4);
+        b.prob_cmp(CmpOp::Eq, Reg::R8, 1);
+        b.prob_jmp(None, join);
+        b.add(Reg::R3, Reg::R3, 1);
+        b.bind(join);
+        b.add(Reg::R2, Reg::R2, 1);
+        b.br(CmpOp::Lt, Reg::R2, iters, top);
+        b.out(Reg::R3, 0);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    fn configs() -> Vec<SimConfig> {
+        let mut v = Vec::new();
+        for pbs in [false, true] {
+            for p in [PredictorChoice::Tournament, PredictorChoice::TageScL] {
+                let mut cfg = SimConfig::default().predictor(p);
+                if pbs {
+                    cfg = cfg.with_pbs();
+                }
+                cfg.collect_branch_trace = true;
+                v.push(cfg);
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn capture_then_replay_equals_fused_for_every_config() {
+        let p = workload(3000);
+        for cfg in configs() {
+            let fused = simulate(&p, &cfg).unwrap();
+            let trace = DynTrace::capture(&p, &cfg).unwrap();
+            assert_eq!(trace.instructions(), fused.timing.instructions);
+            let replayed = crate::sim::simulate_replay(&trace, &cfg).unwrap();
+            assert_eq!(replayed, fused, "replay drift under {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn one_trace_serves_many_timing_configs() {
+        let p = workload(2000);
+        let key = SimConfig::default().with_pbs();
+        let trace = DynTrace::capture(&p, &key).unwrap();
+        for predictor in [
+            PredictorChoice::Tournament,
+            PredictorChoice::TageScL,
+            PredictorChoice::StaticTaken,
+        ] {
+            let cfg = SimConfig::default().with_pbs().predictor(predictor);
+            let fused = simulate(&p, &cfg).unwrap();
+            let replayed = crate::sim::simulate_replay(&trace, &cfg).unwrap();
+            assert_eq!(replayed, fused, "replay drift for {predictor:?}");
+        }
+    }
+
+    #[test]
+    fn trace_spans_multiple_chunks_on_long_runs() {
+        let p = workload(TRACE_CHUNK_RECORDS as i64 / 4);
+        let cfg = SimConfig::default();
+        let trace = DynTrace::capture(&p, &cfg).unwrap();
+        assert!(trace.chunk_count() > 1, "chunks: {}", trace.chunk_count());
+        assert!(trace.bytes() > 0);
+        let total: usize = trace.chunks().iter().map(TraceChunk::len).sum();
+        assert_eq!(total as u64, trace.instructions());
+        let fused = simulate(&p, &cfg).unwrap();
+        assert_eq!(crate::sim::simulate_replay(&trace, &cfg).unwrap(), fused);
+    }
+
+    #[test]
+    fn capture_reports_inst_limit_like_the_fused_engine() {
+        let p = workload(100_000);
+        for max_insts in [1, 2, 1000, TRACE_CHUNK_RECORDS as u64 + 1] {
+            let cfg = SimConfig {
+                max_insts,
+                ..SimConfig::default()
+            };
+            let fused = simulate(&p, &cfg);
+            let captured = DynTrace::capture(&p, &cfg).map(|_| ());
+            assert_eq!(
+                captured.unwrap_err(),
+                fused.unwrap_err(),
+                "limit {max_insts}"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_honours_a_smaller_instruction_budget() {
+        let p = workload(500);
+        let key = SimConfig::default();
+        let trace = DynTrace::capture(&p, &key).unwrap();
+        let tight = SimConfig {
+            max_insts: trace.instructions(),
+            ..SimConfig::default()
+        };
+        assert_eq!(
+            crate::sim::simulate_replay(&trace, &tight),
+            simulate(&p, &tight)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "replay PBS config differs")]
+    fn replay_rejects_mismatched_pbs_key() {
+        let p = workload(100);
+        let trace = DynTrace::capture(&p, &SimConfig::default()).unwrap();
+        let _ = crate::sim::simulate_replay(&trace, &SimConfig::default().with_pbs());
+    }
+}

@@ -51,6 +51,51 @@ impl From<StaticPredictor> for PredictorDispatch {
     }
 }
 
+/// A generic visitor over the concrete predictor behind a
+/// [`PredictorDispatch`] — the monomorphization hook for timing-only
+/// consume loops.
+///
+/// [`BranchPredictor::predict_and_update`] on the enum is one match per
+/// branch; a trace-replay loop that runs millions of records against one
+/// predictor wants the match hoisted out of the loop entirely. A visitor
+/// has a *generic* `visit`, which a plain closure cannot express: the
+/// dispatch matches once and hands the visitor the concrete `&mut P`, so
+/// the whole loop body monomorphizes per predictor type.
+///
+/// ```
+/// use probranch_predictor::{BranchPredictor, PredictorDispatch, PredictorVisitor, Tournament};
+/// struct CountTaken<'a>(&'a [(u64, bool)]);
+/// impl PredictorVisitor for CountTaken<'_> {
+///     type Out = u32;
+///     fn visit<P: BranchPredictor + ?Sized>(self, p: &mut P) -> u32 {
+///         // This loop compiles against the concrete predictor type.
+///         self.0.iter().map(|&(pc, t)| p.predict_and_update(pc, t) as u32).sum()
+///     }
+/// }
+/// let mut d = PredictorDispatch::from(Tournament::default());
+/// let _hits = d.visit_mut(CountTaken(&[(4, true), (8, false)]));
+/// ```
+pub trait PredictorVisitor {
+    /// The visit result.
+    type Out;
+
+    /// Runs against the concrete predictor.
+    fn visit<P: BranchPredictor + ?Sized>(self, predictor: &mut P) -> Self::Out;
+}
+
+impl PredictorDispatch {
+    /// Applies `visitor` to the concrete predictor behind the enum: one
+    /// dispatch for the visitor's whole (monomorphized) body.
+    #[inline]
+    pub fn visit_mut<V: PredictorVisitor>(&mut self, visitor: V) -> V::Out {
+        match self {
+            PredictorDispatch::Tournament(p) => visitor.visit(p),
+            PredictorDispatch::TageScL(p) => visitor.visit(&mut **p),
+            PredictorDispatch::Static(p) => visitor.visit(p),
+        }
+    }
+}
+
 impl BranchPredictor for PredictorDispatch {
     #[inline]
     fn predict(&mut self, pc: u64) -> bool {

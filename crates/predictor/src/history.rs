@@ -174,6 +174,106 @@ impl FoldedHistory {
     }
 }
 
+/// A family of equal-width [`FoldedHistory`]s packed into one `u64`,
+/// lane `t` at bits `[t·clen, (t+1)·clen)` — TAGE updates its ~20 folds
+/// per branch, and packing turns each family's per-fold shift/XOR chain
+/// into one word-wide operation.
+///
+/// The packed update is bit-for-bit the scalar recurrence. Per lane,
+/// [`FoldedHistory::update_with`] computes
+/// `((comp << 1 | newest) ^ (evicted << outpoint) ^ (msb at bit 0))`
+/// masked to `clen` bits, where `msb` is the pre-shift bit `clen − 1`
+/// (the only bit the `comp ^= comp >> clen` fold can move). The packed
+/// form extracts all lanes' msbs first, shifts the msb-cleared word,
+/// ORs the broadcast `newest` bit, folds the msbs down, and XORs the
+/// per-lane evicted bits — same algebra, one word at a time.
+#[derive(Debug, Clone)]
+pub struct PackedFoldFamily {
+    comp: u64,
+    clen: u32,
+    lanes: u32,
+    /// Bit `t·clen` of every lane.
+    lsb_mask: u64,
+    /// Bit `t·clen + clen − 1` of every lane.
+    msb_mask: u64,
+    /// Evicted-bit XOR word per `ebits` value: entry `m` has bit
+    /// `t·clen + original_len_t % clen` set for every lane `t` set in
+    /// `m` (zero-length lanes contribute nothing). One load replaces
+    /// the per-lane scatter loop on the hot path.
+    evict_xor: Box<[u64]>,
+}
+
+impl PackedFoldFamily {
+    /// Hard lane cap: bounds the evicted-bit lookup table at
+    /// 2⁶ × 8 bytes (real families are ≤ 7 lanes at TAGE's ≥ 8-bit fold
+    /// widths, and a 9-bit-wide family already exceeds one word at 8
+    /// lanes).
+    pub const MAX_LANES: usize = 6;
+
+    /// Packs one fold per window in `original_lens`, each compressed to
+    /// `clen` bits — or `None` when the family does not fit one word or
+    /// exceeds [`MAX_LANES`](Self::MAX_LANES).
+    pub fn try_new(original_lens: &[usize], clen: usize) -> Option<PackedFoldFamily> {
+        let lanes = original_lens.len();
+        if clen == 0 || lanes == 0 || lanes > Self::MAX_LANES || lanes * clen > 64 {
+            return None;
+        }
+        let mut lsb_mask = 0u64;
+        for t in 0..lanes {
+            lsb_mask |= 1u64 << (t * clen);
+        }
+        let evict_xor = (0..1usize << lanes)
+            .map(|m| {
+                original_lens
+                    .iter()
+                    .enumerate()
+                    .filter(|&(t, &h)| h > 0 && m >> t & 1 == 1)
+                    .map(|(t, &h)| 1u64 << (t * clen + h % clen))
+                    .sum()
+            })
+            .collect();
+        Some(PackedFoldFamily {
+            comp: 0,
+            clen: clen as u32,
+            lanes: lanes as u32,
+            lsb_mask,
+            msb_mask: lsb_mask << (clen - 1),
+            evict_xor,
+        })
+    }
+
+    /// Incorporates the newest outcome into every lane. Bit `t` of
+    /// `ebits` is the outcome leaving lane `t`'s window (the bit
+    /// `original_len_t − 1` branches ago, *before* this outcome is
+    /// pushed) — zero-length lanes ignore their bit.
+    #[inline]
+    pub fn update(&mut self, newest: bool, ebits: u64) {
+        // Lane bit 0 is zero after the msb-cleared shift, so the
+        // `newest` broadcast can OR in; the msb fold and the evicted
+        // bits then combine by XOR, exactly as the scalar recurrence.
+        let msbs = self.comp & self.msb_mask;
+        let comp = (((self.comp ^ msbs) << 1) | (if newest { self.lsb_mask } else { 0 }))
+            ^ (msbs >> (self.clen - 1));
+        self.comp = comp ^ self.evict_xor[(ebits & ((1 << self.lanes) - 1)) as usize];
+    }
+
+    /// Lane `t`'s folded value.
+    #[inline]
+    pub fn value(&self, t: usize) -> u64 {
+        (self.comp >> (t as u32 * self.clen)) & ((1u64 << self.clen) - 1)
+    }
+
+    /// The compressed width shared by the lanes.
+    pub fn compressed_len(&self) -> usize {
+        self.clen as usize
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes as usize
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,5 +351,54 @@ mod tests {
     fn get_rejects_out_of_range_age() {
         let h = HistoryBuffer::new(64);
         h.get(64);
+    }
+
+    #[test]
+    fn packed_family_matches_scalar_folds() {
+        // TAGE's default geometries, plus a zero-length lane.
+        for (lens, clen) in [
+            (vec![4usize, 8, 16, 34, 70, 144], 9usize),
+            (vec![4, 8, 16, 34, 70, 144], 8),
+            (vec![3, 8, 21], 8),
+            (vec![0, 5, 9], 7),
+        ] {
+            let mut scalars: Vec<FoldedHistory> =
+                lens.iter().map(|&h| FoldedHistory::new(h, clen)).collect();
+            let mut packed = PackedFoldFamily::try_new(&lens, clen).expect("fits one word");
+            assert_eq!(packed.lanes(), lens.len());
+            assert_eq!(packed.compressed_len(), clen);
+            let mut h = HistoryBuffer::new(256);
+            let mut x = 0x1234_5678u64;
+            for _ in 0..2000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let bit = (x >> 63) & 1 == 1;
+                let mut ebits = 0u64;
+                for (t, &hl) in lens.iter().enumerate() {
+                    if hl > 0 && h.get(hl - 1) {
+                        ebits |= 1 << t;
+                    }
+                }
+                for f in &mut scalars {
+                    f.update(&h, bit);
+                }
+                packed.update(bit, ebits);
+                h.push(bit);
+                for (t, f) in scalars.iter().enumerate() {
+                    assert_eq!(packed.value(t), f.value(), "lane {t} drifted");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_family_rejects_oversized_or_degenerate() {
+        assert!(PackedFoldFamily::try_new(&[1; 8], 9).is_none(), "72 bits");
+        assert!(
+            PackedFoldFamily::try_new(&[1; 7], 9).is_none(),
+            "lane cap exceeded"
+        );
+        assert!(PackedFoldFamily::try_new(&[], 9).is_none(), "no lanes");
+        assert!(PackedFoldFamily::try_new(&[4], 0).is_none(), "zero width");
+        assert!(PackedFoldFamily::try_new(&[1; 6], 10).is_some(), "60 bits");
     }
 }

@@ -48,9 +48,9 @@ mod tournament;
 
 pub use bimodal::Bimodal;
 pub use counters::SatCounter;
-pub use dispatch::PredictorDispatch;
+pub use dispatch::{PredictorDispatch, PredictorVisitor};
 pub use gshare::Gshare;
-pub use history::{FoldedHistory, HistoryBuffer};
+pub use history::{FoldedHistory, HistoryBuffer, PackedFoldFamily};
 pub use loop_pred::LoopPredictor;
 pub use tage::{TageConfig, TageScL};
 pub use tournament::Tournament;

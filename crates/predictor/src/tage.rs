@@ -1,4 +1,6 @@
-use crate::{BranchPredictor, FoldedHistory, HistoryBuffer, LoopPredictor, SatCounter};
+use crate::{
+    BranchPredictor, FoldedHistory, HistoryBuffer, LoopPredictor, PackedFoldFamily, SatCounter,
+};
 
 /// Configuration of the [`TageScL`] predictor.
 ///
@@ -101,6 +103,93 @@ struct PredState {
     final_pred: bool,
 }
 
+/// The predictor's folded-history state: one fold per tagged table for
+/// the index, two per table for the tag, and one per SC history.
+///
+/// When every family fits a single word (the default 8 KB geometry
+/// does), the folds live as [`PackedFoldFamily`]s and the ~20 per-branch
+/// fold updates collapse into four word-wide operations; arbitrary
+/// configurations fall back to the scalar [`FoldedHistory`] vectors.
+/// Both representations compute bit-identical fold values (locked in by
+/// the `history` unit tests and the golden traces).
+#[derive(Debug, Clone)]
+enum FoldBank {
+    Packed {
+        idx: PackedFoldFamily,
+        tag1: PackedFoldFamily,
+        tag2: PackedFoldFamily,
+        /// `None` when the SC is disabled (`sc_histories` empty).
+        sc: Option<PackedFoldFamily>,
+    },
+    Scalar {
+        idx: Vec<FoldedHistory>,
+        tag1: Vec<FoldedHistory>,
+        tag2: Vec<FoldedHistory>,
+        sc: Vec<FoldedHistory>,
+    },
+}
+
+/// Read access to the fold values, monomorphizing `compute_with` per
+/// representation.
+trait FoldRead {
+    fn idx(&self, t: usize) -> u64;
+    fn tag1(&self, t: usize) -> u64;
+    fn tag2(&self, t: usize) -> u64;
+    fn sc(&self, t: usize) -> u64;
+}
+
+struct PackedRead<'a> {
+    idx: &'a PackedFoldFamily,
+    tag1: &'a PackedFoldFamily,
+    tag2: &'a PackedFoldFamily,
+    sc: &'a Option<PackedFoldFamily>,
+}
+
+impl FoldRead for PackedRead<'_> {
+    #[inline(always)]
+    fn idx(&self, t: usize) -> u64 {
+        self.idx.value(t)
+    }
+    #[inline(always)]
+    fn tag1(&self, t: usize) -> u64 {
+        self.tag1.value(t)
+    }
+    #[inline(always)]
+    fn tag2(&self, t: usize) -> u64 {
+        self.tag2.value(t)
+    }
+    #[inline(always)]
+    fn sc(&self, t: usize) -> u64 {
+        self.sc.as_ref().expect("SC enabled").value(t)
+    }
+}
+
+struct ScalarRead<'a> {
+    idx: &'a [FoldedHistory],
+    tag1: &'a [FoldedHistory],
+    tag2: &'a [FoldedHistory],
+    sc: &'a [FoldedHistory],
+}
+
+impl FoldRead for ScalarRead<'_> {
+    #[inline(always)]
+    fn idx(&self, t: usize) -> u64 {
+        self.idx[t].value()
+    }
+    #[inline(always)]
+    fn tag1(&self, t: usize) -> u64 {
+        self.tag1[t].value()
+    }
+    #[inline(always)]
+    fn tag2(&self, t: usize) -> u64 {
+        self.tag2[t].value()
+    }
+    #[inline(always)]
+    fn sc(&self, t: usize) -> u64 {
+        self.sc[t].value()
+    }
+}
+
 /// An 8 KB TAGE-SC-L branch predictor: TAgged GEometric-history tables
 /// with a statistical corrector and a loop predictor, following Seznec's
 /// CBP-2016 design at reduced size.
@@ -130,15 +219,12 @@ pub struct TageScL {
     /// per-access pointer chase on the hottest predictor data.
     tables: Vec<TageEntry>,
     ghist: HistoryBuffer,
-    index_folds: Vec<FoldedHistory>,
-    tag_folds1: Vec<FoldedHistory>,
-    tag_folds2: Vec<FoldedHistory>,
+    folds: FoldBank,
     /// "Use alternate prediction on newly allocated" counter.
     use_alt: SatCounter,
     /// SC: bias table (table 0) then one table per configured history,
     /// flattened with stride `1 << sc_index_bits`.
     sc_tables: Vec<SatCounter>,
-    sc_folds: Vec<FoldedHistory>,
     loops: LoopPredictor,
     /// Simple LFSR for allocation randomization.
     lfsr: u32,
@@ -167,40 +253,64 @@ impl TageScL {
             .max()
             .unwrap_or(&1);
         let tables = vec![TageEntry::empty(); config.num_tables << config.index_bits];
-        let index_folds = histories
-            .iter()
-            .map(|&h| FoldedHistory::new(h, config.index_bits as usize))
-            .collect();
-        let tag_folds1 = histories
-            .iter()
-            .map(|&h| FoldedHistory::new(h, config.tag_bits as usize))
-            .collect();
-        let tag_folds2 = histories
-            .iter()
-            .map(|&h| FoldedHistory::new(h, (config.tag_bits - 1) as usize))
-            .collect();
         let sc_tables = vec![
             SatCounter::weak_not_taken(6);
             (config.sc_histories.len() + 1) << config.sc_index_bits
         ];
-        let sc_folds = config
-            .sc_histories
-            .iter()
-            .map(|&h| FoldedHistory::new(h, config.sc_index_bits as usize))
-            .collect();
+        // Pack each fold family into one word when the geometry fits
+        // (the default configuration does); otherwise fall back to the
+        // scalar per-fold representation. Both compute identical values.
+        let packed = (|| {
+            let idx = PackedFoldFamily::try_new(&histories, config.index_bits as usize)?;
+            let tag1 = PackedFoldFamily::try_new(&histories, config.tag_bits as usize)?;
+            let tag2 = PackedFoldFamily::try_new(&histories, (config.tag_bits - 1) as usize)?;
+            let sc = if config.sc_histories.is_empty() {
+                None
+            } else {
+                Some(PackedFoldFamily::try_new(
+                    &config.sc_histories,
+                    config.sc_index_bits as usize,
+                )?)
+            };
+            Some(FoldBank::Packed {
+                idx,
+                tag1,
+                tag2,
+                sc,
+            })
+        })();
+        let folds = packed.unwrap_or_else(|| FoldBank::Scalar {
+            idx: histories
+                .iter()
+                .map(|&h| FoldedHistory::new(h, config.index_bits as usize))
+                .collect(),
+            tag1: histories
+                .iter()
+                .map(|&h| FoldedHistory::new(h, config.tag_bits as usize))
+                .collect(),
+            tag2: histories
+                .iter()
+                .map(|&h| FoldedHistory::new(h, (config.tag_bits - 1) as usize))
+                .collect(),
+            sc: config
+                .sc_histories
+                .iter()
+                .map(|&h| FoldedHistory::new(h, config.sc_index_bits as usize))
+                .collect(),
+        });
+        let mut state = Box::<PredState>::default();
+        state.indices.resize(config.num_tables, 0);
+        state.tags.resize(config.num_tables, 0);
         TageScL {
             base: vec![SatCounter::weak_not_taken(2); 1 << config.base_bits],
             ghist: HistoryBuffer::new(max_h + 64),
-            index_folds,
-            tag_folds1,
-            tag_folds2,
+            folds,
             use_alt: SatCounter::weak_not_taken(4),
             sc_tables,
-            sc_folds,
             loops: LoopPredictor::new(config.loop_entries),
             lfsr: 0xACE1,
             ticks: 0,
-            state: Some(Box::default()),
+            state: Some(state),
             state_valid: false,
             histories,
             tables,
@@ -230,34 +340,68 @@ impl TageScL {
         (pc as usize) & ((1 << self.config.base_bits) - 1)
     }
 
-    fn sc_index(&self, pc: u64, table: usize) -> usize {
+    fn sc_index_with<F: FoldRead>(&self, folds: &F, pc: u64, table: usize) -> usize {
         let mask = (1usize << self.config.sc_index_bits) - 1;
         if table == 0 {
             (pc as usize) & mask
         } else {
-            (pc as usize ^ self.sc_folds[table - 1].value() as usize ^ (table << 2)) & mask
+            (pc as usize ^ folds.sc(table - 1) as usize ^ (table << 2)) & mask
         }
     }
 
-    /// Computes the full prediction into the reused scratch `st`.
+    /// Computes the full prediction into the reused scratch `st`,
+    /// dispatching once on the fold representation.
     fn compute_into(&self, pc: u64, st: &mut PredState) {
+        match &self.folds {
+            FoldBank::Packed {
+                idx,
+                tag1,
+                tag2,
+                sc,
+            } => self.compute_with(
+                pc,
+                st,
+                &PackedRead {
+                    idx,
+                    tag1,
+                    tag2,
+                    sc,
+                },
+            ),
+            FoldBank::Scalar {
+                idx,
+                tag1,
+                tag2,
+                sc,
+            } => self.compute_with(
+                pc,
+                st,
+                &ScalarRead {
+                    idx,
+                    tag1,
+                    tag2,
+                    sc,
+                },
+            ),
+        }
+    }
+
+    /// The prediction pipeline, monomorphized per fold representation.
+    fn compute_with<F: FoldRead>(&self, pc: u64, st: &mut PredState, folds: &F) {
         let n = self.config.num_tables;
-        // Iterator forms of `table_index`/`table_tag`: constants hoisted,
-        // no per-table bounds checks on the fold vectors.
+        // Separate fill passes (constants hoisted, no table loads in the
+        // loop bodies) so the index/tag arithmetic vectorizes and the
+        // match scan then issues its table loads back to back.
         let ib = self.config.index_bits as usize;
         let idx_mask = (1usize << ib) - 1;
         st.indices.clear();
-        st.indices
-            .extend(self.index_folds.iter().enumerate().map(|(t, f)| {
-                (pc as usize ^ (pc as usize >> ib) ^ f.value() as usize ^ (t << 1)) & idx_mask
-            }));
+        st.indices.extend((0..n).map(|t| {
+            (pc as usize ^ (pc as usize >> ib) ^ folds.idx(t) as usize ^ (t << 1)) & idx_mask
+        }));
         let tag_mask = (1u64 << self.config.tag_bits) - 1;
         st.tags.clear();
         st.tags.extend(
-            self.tag_folds1
-                .iter()
-                .zip(&self.tag_folds2)
-                .map(|(f1, f2)| ((pc ^ f1.value() ^ (f2.value() << 1)) & tag_mask) as u16),
+            (0..n).map(|t| ((pc ^ folds.tag1(t) ^ (folds.tag2(t) << 1)) & tag_mask) as u16),
         );
         let (indices, tags) = (&st.indices, &st.tags);
 
@@ -336,7 +480,7 @@ impl TageScL {
         let mut sc_sum = 0i32;
         if !tage_confident {
             st.sc_indices
-                .extend((0..self.num_sc_tables()).map(|t| self.sc_index(pc, t)));
+                .extend((0..self.num_sc_tables()).map(|t| self.sc_index_with(folds, pc, t)));
             let sc_stride = 1usize << self.config.sc_index_bits;
             sc_sum = st
                 .sc_indices
@@ -495,27 +639,51 @@ impl BranchPredictor for TageScL {
 
         // ---- histories ---------------------------------------------------------
         // The three fold families of table `t` share the same window
-        // length, so the evicted bit is looked up once per table instead
-        // of once per fold.
-        {
-            let folds = self
-                .index_folds
-                .iter_mut()
-                .zip(self.tag_folds1.iter_mut())
-                .zip(self.tag_folds2.iter_mut());
-            for ((fi, f1), f2) in folds {
-                let h = fi.original_len();
-                // Ages are bounded by the constructor (`ghist` holds
-                // `max_history + 64` bits).
-                let evicted = h > 0 && self.ghist.get_unchecked_age(h - 1);
-                fi.update_with(taken, evicted);
-                f1.update_with(taken, evicted);
-                f2.update_with(taken, evicted);
+        // length, so the evicted bit is looked up once per table and
+        // broadcast — as a packed lane bitmask when the families fit one
+        // word each, per scalar fold otherwise.
+        // (Ages are bounded by the constructor: `ghist` holds
+        // `max_history + 64` bits.)
+        match &mut self.folds {
+            FoldBank::Packed {
+                idx,
+                tag1,
+                tag2,
+                sc,
+            } => {
+                let mut ebits = 0u64;
+                for (t, &h) in self.histories.iter().enumerate() {
+                    ebits |= u64::from(h > 0 && self.ghist.get_unchecked_age(h - 1)) << t;
+                }
+                idx.update(taken, ebits);
+                tag1.update(taken, ebits);
+                tag2.update(taken, ebits);
+                if let Some(sc) = sc {
+                    let mut sc_ebits = 0u64;
+                    for (t, &h) in self.config.sc_histories.iter().enumerate() {
+                        sc_ebits |= u64::from(h > 0 && self.ghist.get_unchecked_age(h - 1)) << t;
+                    }
+                    sc.update(taken, sc_ebits);
+                }
             }
-        }
-        for (f, &h) in self.sc_folds.iter_mut().zip(&self.config.sc_histories) {
-            let evicted = h > 0 && self.ghist.get_unchecked_age(h - 1);
-            f.update_with(taken, evicted);
+            FoldBank::Scalar {
+                idx,
+                tag1,
+                tag2,
+                sc,
+            } => {
+                for ((fi, f1), f2) in idx.iter_mut().zip(tag1.iter_mut()).zip(tag2.iter_mut()) {
+                    let h = fi.original_len();
+                    let evicted = h > 0 && self.ghist.get_unchecked_age(h - 1);
+                    fi.update_with(taken, evicted);
+                    f1.update_with(taken, evicted);
+                    f2.update_with(taken, evicted);
+                }
+                for (f, &h) in sc.iter_mut().zip(&self.config.sc_histories) {
+                    let evicted = h > 0 && self.ghist.get_unchecked_age(h - 1);
+                    f.update_with(taken, evicted);
+                }
+            }
         }
         self.ghist.push(taken);
 
@@ -529,14 +697,11 @@ impl BranchPredictor for TageScL {
         let base = (1usize << c.base_bits) * 2;
         let sc = self.num_sc_tables() * (1usize << c.sc_index_bits) * 6;
         let hist = self.ghist.capacity();
-        let folds: usize = self
-            .index_folds
-            .iter()
-            .chain(&self.tag_folds1)
-            .chain(&self.tag_folds2)
-            .chain(&self.sc_folds)
-            .map(|f| f.compressed_len())
-            .sum();
+        // Fold widths are fixed by the configuration, independent of
+        // the packed/scalar representation.
+        let folds = c.num_tables
+            * (c.index_bits as usize + c.tag_bits as usize + (c.tag_bits - 1) as usize)
+            + c.sc_histories.len() * c.sc_index_bits as usize;
         tagged + base + sc + self.loops.storage_bits() + hist + folds + 4 /* use_alt */ + 16
         /* lfsr */
     }

@@ -1,18 +1,24 @@
-//! Engine-equivalence suite: the fused/predecoded engine (`simulate`)
-//! must produce a `SimReport` **identical** to the unfused reference
-//! engine (`simulate_reference`) — timing statistics, PBS counters,
+//! Engine-equivalence suite: the fused/predecoded engine (`simulate`),
+//! the unfused reference engine (`simulate_reference`) and the
+//! shared-trace replay engines (`DynTrace::capture` + `simulate_replay`,
+//! and the chunk-streaming `simulate_convoy`) must all produce
+//! **identical** `SimReport`s — timing statistics, PBS counters,
 //! outputs, the consumed probabilistic-value stream, and the per-branch
 //! trace — for every workload of the golden/determinism suites, under
-//! every machine configuration the paper sweeps.
+//! every machine configuration the paper sweeps. Error paths included:
+//! the instruction budget trips at the same dynamic instruction in
+//! every engine.
 //!
 //! The comparison sweeps run through the parallel experiment harness
 //! with default jobs, so the CI matrix (PROBRANCH_JOBS=1 vs default)
-//! exercises the suite both serially and in parallel.
+//! exercises the suite — including the trace captures and replays —
+//! both serially and in parallel.
 
 use probranch::harness::{run_cells, workload_seed, Cell, Jobs};
 use probranch::pbs::PbsConfig;
 use probranch::pipeline::{
-    simulate, simulate_reference, OooConfig, PredictorChoice, SimConfig, SimReport,
+    simulate, simulate_convoy, simulate_reference, simulate_replay, DynTrace, OooConfig,
+    PredictorChoice, SimConfig, SimReport,
 };
 use probranch::workloads::{BenchmarkId, Scale};
 
@@ -31,6 +37,12 @@ fn config_for(cell: &Cell, core: OooConfig, trace: bool) -> SimConfig {
         cfg.pbs = Some(PbsConfig::default());
     }
     cfg
+}
+
+/// Runs the replay engine (capture once, replay once) for `cfg`.
+fn replayed(program: &probranch::isa::Program, cfg: &SimConfig) -> SimReport {
+    let trace = DynTrace::capture(program, cfg).expect("capture");
+    simulate_replay(&trace, cfg).expect("replay")
 }
 
 fn assert_reports_equal(cell: &Cell, fused: &SimReport, reference: &SimReport) {
@@ -75,10 +87,61 @@ fn fused_engine_matches_reference_on_the_fig6_grid() {
         (
             simulate(&program, &cfg).expect("fused"),
             simulate_reference(&program, &cfg).expect("reference"),
+            replayed(&program, &cfg),
         )
     });
-    for (cell, (fused, reference)) in cells.iter().zip(&outcomes) {
+    for (cell, (fused, reference, replay)) in cells.iter().zip(&outcomes) {
         assert_reports_equal(cell, fused, reference);
+        assert_eq!(fused, replay, "replay drift on {cell:?}");
+    }
+}
+
+/// One trace per (workload, PBS) emulation key must serve *every*
+/// predictor and filter configuration — including a convoy draining all
+/// of them in lockstep from a single streamed capture.
+#[test]
+fn one_trace_serves_every_timing_configuration() {
+    let keys: Vec<Cell> = BenchmarkId::ALL
+        .iter()
+        .flat_map(|&w| [false, true].map(|pbs| Cell::new(w, PredictorChoice::Tournament, pbs, 0)))
+        .collect();
+    let outcomes = run_cells(&keys, Jobs::default(), |key| {
+        let program = key
+            .workload
+            .build(Scale::Smoke, key.workload_seed())
+            .program();
+        let configs: Vec<SimConfig> = [
+            PredictorChoice::Tournament,
+            PredictorChoice::TageScL,
+            PredictorChoice::StaticTaken,
+            PredictorChoice::StaticNotTaken,
+        ]
+        .iter()
+        .flat_map(|&p| {
+            let mut plain = config_for(key, OooConfig::default(), false);
+            plain.predictor = p;
+            let mut filtered = plain.clone();
+            filtered.filter_prob_from_predictor = true;
+            [plain, filtered]
+        })
+        .collect();
+        let fused: Vec<SimReport> = configs
+            .iter()
+            .map(|cfg| simulate(&program, cfg).expect("fused"))
+            .collect();
+        // Mode (a): one materialized trace, one replay per config.
+        let trace = DynTrace::capture(&program, &configs[0]).expect("capture");
+        let replays: Vec<SimReport> = configs
+            .iter()
+            .map(|cfg| simulate_replay(&trace, cfg).expect("replay"))
+            .collect();
+        // Mode (b): one streamed convoy over all configs in lockstep.
+        let convoy = simulate_convoy(&program, &configs).expect("convoy");
+        (fused, replays, convoy)
+    });
+    for (key, (fused, replays, convoy)) in keys.iter().zip(&outcomes) {
+        assert_eq!(fused, replays, "shared-trace replay drift on {key:?}");
+        assert_eq!(fused, convoy, "convoy drift on {key:?}");
     }
 }
 
@@ -98,14 +161,20 @@ fn fused_engine_matches_reference_traces_on_golden_workloads() {
         (
             simulate(&program, &cfg).expect("fused"),
             simulate_reference(&program, &cfg).expect("reference"),
+            replayed(&program, &cfg),
         )
     });
-    for (cell, (fused, reference)) in cells.iter().zip(&outcomes) {
+    for (cell, (fused, reference, replay)) in cells.iter().zip(&outcomes) {
         assert!(
             !fused.branch_trace.is_empty(),
             "trace must be populated for {cell:?}"
         );
         assert_reports_equal(cell, fused, reference);
+        assert_eq!(
+            fused.branch_trace, replay.branch_trace,
+            "replayed branch-trace drift on {cell:?}"
+        );
+        assert_eq!(fused, replay, "replay drift on {cell:?}");
     }
 }
 
@@ -143,14 +212,21 @@ fn fused_engine_matches_reference_on_remaining_machine_axes() {
                 fused, reference,
                 "report drift: {predictor:?}, filter={filter}, pbs={pbs}"
             );
+            assert_eq!(
+                fused,
+                replayed(&program, &cfg),
+                "replay drift: {predictor:?}, filter={filter}, pbs={pbs}"
+            );
         }
     }
 }
 
-/// Both engines must also agree on *errors*: the instruction budget
-/// trips at the same dynamic instruction.
+/// Every engine must also agree on *errors*: the instruction budget
+/// trips at the same dynamic instruction — at capture time, and at
+/// replay time when a completed trace is re-timed under a tighter
+/// budget.
 #[test]
-fn fused_engine_matches_reference_on_instruction_limits() {
+fn engines_match_on_instruction_limits() {
     let program = BenchmarkId::Pi.build(Scale::Smoke, GOLDEN_SEED).program();
     for max_insts in [1, 2, 64, 65, 1000] {
         let cfg = SimConfig {
@@ -161,5 +237,33 @@ fn fused_engine_matches_reference_on_instruction_limits() {
         let reference = simulate_reference(&program, &cfg);
         assert_eq!(fused, reference, "limit {max_insts}");
         assert!(fused.is_err(), "limit {max_insts} must trip");
+        // Capture under the same budget errors identically…
+        let captured = DynTrace::capture(&program, &cfg);
+        assert_eq!(
+            captured.as_ref().err(),
+            fused.as_ref().err(),
+            "capture limit {max_insts}"
+        );
+        // …and a convoy propagates it to every cell.
+        let convoy = simulate_convoy(&program, std::slice::from_ref(&cfg));
+        assert_eq!(
+            convoy.err(),
+            fused.clone().err(),
+            "convoy limit {max_insts}"
+        );
+    }
+    // A completed trace replayed under budgets at/below its length must
+    // return the same error the live engines would.
+    let full = DynTrace::capture(&program, &SimConfig::default()).expect("capture");
+    for max_insts in [1, full.instructions(), full.instructions() + 1] {
+        let cfg = SimConfig {
+            max_insts,
+            ..SimConfig::default()
+        };
+        assert_eq!(
+            simulate_replay(&full, &cfg),
+            simulate(&program, &cfg),
+            "replay limit {max_insts}"
+        );
     }
 }

@@ -7,7 +7,10 @@ use probranch::isa::{
     decode, encode_inst, parse_asm, AluOp, CmpOp, FpBinOp, FpUnOp, Inst, Operand, Program, Reg,
 };
 use probranch::pbs::{BranchResolution, PbsConfig, PbsUnit};
-use probranch::pipeline::{Cache, EmuConfig, Emulator, SimConfig};
+use probranch::pipeline::{
+    simulate, simulate_replay, Cache, DynTrace, EmuConfig, Emulator, ExecLatencies, OooConfig,
+    PredictorChoice, SimConfig,
+};
 use probranch::predictor::{BranchPredictor, TageScL, Tournament};
 
 fn reg_strategy() -> impl Strategy<Value = Reg> {
@@ -105,8 +108,104 @@ fn dataflow_inst_strategy() -> impl Strategy<Value = Inst> {
     ]
 }
 
+/// Arbitrary full-system simulation configurations: core geometry,
+/// functional-unit latencies, predictor, PBS, the Figure 9 filter,
+/// branch tracing and the instruction budget (small enough to trip on
+/// longer runs, exercising the error paths).
+fn sim_config_strategy() -> impl Strategy<Value = SimConfig> {
+    (
+        (1u32..9, 8usize..96, 1u64..7, 0u64..16),
+        (1u64..4, 2u64..24, 4u64..30),
+        prop_oneof![
+            Just(PredictorChoice::Tournament),
+            Just(PredictorChoice::TageScL),
+            Just(PredictorChoice::StaticTaken),
+            Just(PredictorChoice::StaticNotTaken),
+        ],
+        (any::<bool>(), any::<bool>(), any::<bool>()),
+        800u64..40_000,
+    )
+        .prop_map(
+            |(
+                (width, rob_size, frontend_depth, mispredict_penalty),
+                (int_mul, int_div, fp_long),
+                predictor,
+                (pbs, filter, trace),
+                max_insts,
+            )| {
+                SimConfig {
+                    core: OooConfig {
+                        width,
+                        rob_size,
+                        frontend_depth,
+                        mispredict_penalty,
+                        latencies: ExecLatencies {
+                            int_mul,
+                            int_div,
+                            fp_long,
+                            ..ExecLatencies::default()
+                        },
+                    },
+                    predictor,
+                    pbs: pbs.then(PbsConfig::default),
+                    filter_prob_from_predictor: filter,
+                    collect_branch_trace: trace,
+                    max_insts,
+                    ..SimConfig::default()
+                }
+            },
+        )
+}
+
+/// A small workload with probabilistic branches, regular branches and
+/// memory traffic — every record shape a trace can carry.
+fn replay_workload(iters: i64) -> Program {
+    let mut b = probranch::isa::ProgramBuilder::new();
+    let top = b.label("top");
+    let join = b.label("join");
+    b.li(Reg::R1, 0x9E3779B97F4A7C15u64 as i64);
+    b.li(Reg::R2, 0);
+    b.li(Reg::R3, 0);
+    b.li(Reg::R4, (u64::MAX / 2) as i64);
+    b.li(Reg::R6, 0x2545F4914F6CDD1Du64 as i64);
+    b.li(Reg::R9, 128);
+    b.bind(top);
+    b.shr(Reg::R5, Reg::R1, 12).xor(Reg::R1, Reg::R1, Reg::R5);
+    b.shl(Reg::R5, Reg::R1, 25).xor(Reg::R1, Reg::R1, Reg::R5);
+    b.shr(Reg::R5, Reg::R1, 27).xor(Reg::R1, Reg::R1, Reg::R5);
+    b.mul(Reg::R7, Reg::R1, Reg::R6);
+    b.st(Reg::R7, Reg::R9, 0).ld(Reg::R8, Reg::R9, 0);
+    b.sltu(Reg::R8, Reg::R7, Reg::R4);
+    b.prob_cmp(CmpOp::Eq, Reg::R8, 1);
+    b.prob_jmp(None, join);
+    b.add(Reg::R3, Reg::R3, 1);
+    b.bind(join);
+    b.add(Reg::R2, Reg::R2, 1);
+    b.br(CmpOp::Lt, Reg::R2, iters, top);
+    b.out(Reg::R3, 0);
+    b.halt();
+    b.build().unwrap()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn capture_then_replay_equals_direct_simulation(
+        cfg in sim_config_strategy(),
+        iters in 40i64..400,
+    ) {
+        // The tentpole invariant of the shared-trace engine: for any
+        // machine configuration, capturing the dynamic trace once and
+        // re-timing it produces the *identical* `SimReport` (timing,
+        // outputs, `prob_consumed`, `branch_trace`) — or the identical
+        // error — as the fused engine simulating directly.
+        let program = replay_workload(iters);
+        let direct = simulate(&program, &cfg);
+        let via_trace = DynTrace::capture(&program, &cfg)
+            .and_then(|trace| simulate_replay(&trace, &cfg));
+        prop_assert_eq!(via_trace, direct);
+    }
 
     #[test]
     fn binary_encode_round_trips(inst in dataflow_inst_strategy()) {
