@@ -5,15 +5,19 @@
 //! ```
 //!
 //! Compares the fused-engine MIPS of every cell in `FRESH` against the
-//! committed `BASELINE` — and, when both reports carry them
-//! (`probranch-throughput/2`), the replay-engine MIPS too — exiting
-//! nonzero if any compared number regressed by more than the tolerance
-//! (default 30%, absorbing runner-to-runner noise). A v1 baseline
-//! (`probranch-throughput/1`, no replay fields) is still accepted: its
-//! fused cells gate as before and the replay comparison is skipped per
-//! cell, never failed. Skips entirely — exit 0 with a notice — when the
-//! baseline file is missing, a schema is unknown, or the two reports
-//! were measured at different scales.
+//! committed `BASELINE` — and, when both reports carry them, the
+//! replay-engine (`probranch-throughput/2`+) and fused-convoy
+//! (`probranch-throughput/3`+) MIPS too — exiting nonzero if any
+//! compared number regressed by more than the tolerance (default 30%,
+//! absorbing runner-to-runner noise). Older baselines are still
+//! accepted: a v1 (no replay fields) or v2 (no convoy fields) report
+//! gates the fields it carries and the rest is skipped per cell, never
+//! failed. (Across v2→v3 the replay semantics changed from a convoy
+//! consumer share to a materialized-trace `simulate_replay`; both
+//! measure the same drain loop, so the cross-schema comparison stays
+//! meaningful within the gate's tolerance.) Skips entirely — exit 0
+//! with a notice — when the baseline file is missing, a schema is
+//! unknown, or the two reports were measured at different scales.
 //!
 //! Both files use the line-oriented layout of
 //! `probranch_bench::throughput::ThroughputReport::to_json` (one cell
@@ -23,7 +27,11 @@
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-const KNOWN_SCHEMAS: [&str; 2] = ["probranch-throughput/1", "probranch-throughput/2"];
+const KNOWN_SCHEMAS: [&str; 3] = [
+    "probranch-throughput/1",
+    "probranch-throughput/2",
+    "probranch-throughput/3",
+];
 
 /// Extracts the raw text of `"key":<value>` from a single line, value
 /// ending at `,` or `}`.
@@ -45,11 +53,12 @@ fn header_field(text: &str, key: &str) -> Option<String> {
     })
 }
 
-/// Per-cell measurements: fused MIPS always, replay MIPS when the
-/// report's schema carries it.
+/// Per-cell measurements: fused MIPS always, replay/convoy MIPS when
+/// the report's schema carries them.
 struct CellMips {
     fused: f64,
     replay: Option<f64>,
+    convoy: Option<f64>,
 }
 
 /// Parses `(header scale, cell key → MIPS)` from a report. Capture-
@@ -67,7 +76,15 @@ fn parse(text: &str) -> (Option<String>, BTreeMap<String, CellMips>) {
         };
         if let Ok(fused) = mips.parse::<f64>() {
             let replay = raw_field(line, "replay_mips").and_then(|v| v.parse::<f64>().ok());
-            cells.insert(format!("{w}|{p}|{pbs}"), CellMips { fused, replay });
+            let convoy = raw_field(line, "convoy_mips").and_then(|v| v.parse::<f64>().ok());
+            cells.insert(
+                format!("{w}|{p}|{pbs}"),
+                CellMips {
+                    fused,
+                    replay,
+                    convoy,
+                },
+            );
         }
     }
     (header_field(text, "scale"), cells)
@@ -148,14 +165,21 @@ fn main() -> ExitCode {
             );
             failures += 1;
         }
-        // Replay cells gate only when both reports carry them — a v1
-        // baseline simply has no replay numbers to regress against.
-        if let (Some(base_replay), Some(fresh_replay)) = (base.replay, fresh_cell.replay) {
+        // Replay/convoy cells gate only when both reports carry them —
+        // an older baseline simply has no such numbers to regress
+        // against.
+        for (what, base_v, fresh_v) in [
+            ("replay", base.replay, fresh_cell.replay),
+            ("convoy", base.convoy, fresh_cell.convoy),
+        ] {
+            let (Some(base_v), Some(fresh_v)) = (base_v, fresh_v) else {
+                continue;
+            };
             replay_compared += 1;
-            let floor = base_replay * (1.0 - tolerance);
-            if fresh_replay < floor {
+            let floor = base_v * (1.0 - tolerance);
+            if fresh_v < floor {
                 eprintln!(
-                    "REGRESSION {key} (replay): {fresh_replay:.2} MIPS < {floor:.2} (baseline {base_replay:.2}, tolerance {:.0}%)",
+                    "REGRESSION {key} ({what}): {fresh_v:.2} MIPS < {floor:.2} (baseline {base_v:.2}, tolerance {:.0}%)",
                     tolerance * 100.0
                 );
                 failures += 1;
@@ -163,7 +187,7 @@ fn main() -> ExitCode {
         }
     }
     println!(
-        "check_throughput: {compared} cells compared ({replay_compared} incl. replay), {failures} regressions (tolerance {:.0}%)",
+        "check_throughput: {compared} cells compared (+{replay_compared} replay/convoy comparisons), {failures} regressions (tolerance {:.0}%)",
         tolerance * 100.0
     );
     if failures > 0 {

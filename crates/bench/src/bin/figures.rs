@@ -13,12 +13,22 @@
 //! engine (default: `PROBRANCH_JOBS`, else all available cores). The
 //! printed tables are byte-identical for every worker count — the
 //! default run performs **no wall-clock measurement at all**, so stdout
-//! and stderr stay byte-diffable across machines and worker counts.
+//! stays byte-diffable across machines and worker counts.
+//!
+//! All timing sweeps share **one trace pool** for the whole run (an
+//! [`experiments::Context`]): Figures 1, 6, 7 and 8 revisit the same
+//! emulation keys, so each key is emulated exactly once per
+//! invocation. `--trace-dir DIR` extends the pool to disk — traces are
+//! persisted per content-hashed key and later runs load instead of
+//! emulating, with stale/corrupt files falling back to capture. The
+//! printed tables are byte-identical with or without a (warm or cold)
+//! trace directory.
 //!
 //! `--emit-bench-json PATH` switches to throughput-benchmark mode: runs
-//! the `sim-throughput` sweep (fig6 grid, fused and reference engines),
-//! writes the measured-MIPS report as JSON to `PATH`, and prints the
-//! summary plus wall time to stderr. All timing lives behind this flag.
+//! the `sim-throughput` sweep (fig6 grid; fused, reference, replay and
+//! fused-convoy engines plus the shared-pool fig6+fig7 sweep), writes
+//! the measured-MIPS report as JSON to `PATH`, and prints the summary
+//! plus wall time to stderr. All timing lives behind this flag.
 
 use probranch_bench::experiments::{self, Engine, ExperimentScale};
 use probranch_bench::{render, throughput};
@@ -29,6 +39,7 @@ struct Options {
     jobs: Option<Jobs>,
     engine: Engine,
     bench_json: Option<String>,
+    trace_dir: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -36,11 +47,12 @@ fn parse_args() -> Options {
     let mut jobs: Option<Jobs> = None;
     let mut engine: Option<Engine> = None;
     let mut bench_json: Option<String> = None;
+    let mut trace_dir: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let (flag, value) = match arg.as_str() {
             "--help" | "-h" => usage(""),
-            "--scale" | "--jobs" | "--engine" | "--emit-bench-json" => {
+            "--scale" | "--jobs" | "--engine" | "--emit-bench-json" | "--trace-dir" => {
                 let v = args
                     .next()
                     .unwrap_or_else(|| usage(&format!("{arg} needs a value")));
@@ -49,7 +61,8 @@ fn parse_args() -> Options {
             _ if arg.starts_with("--scale=")
                 || arg.starts_with("--jobs=")
                 || arg.starts_with("--engine=")
-                || arg.starts_with("--emit-bench-json=") =>
+                || arg.starts_with("--emit-bench-json=")
+                || arg.starts_with("--trace-dir=") =>
             {
                 let (f, v) = arg.split_once('=').expect("checked above");
                 (f.to_string(), v.to_string())
@@ -95,6 +108,12 @@ fn parse_args() -> Options {
                 }
                 bench_json = Some(value);
             }
+            "--trace-dir" => {
+                if trace_dir.is_some() {
+                    usage("--trace-dir given twice");
+                }
+                trace_dir = Some(value);
+            }
             _ => unreachable!(),
         }
     }
@@ -103,11 +122,12 @@ fn parse_args() -> Options {
         jobs,
         engine: engine.unwrap_or_default(),
         bench_json,
+        trace_dir,
     }
 }
 
 fn usage(error: &str) -> ! {
-    let text = "usage: figures [--scale smoke|bench|paper] [--jobs N]\n               [--engine replay|fused|reference] [--emit-bench-json PATH]\n       (or set PROBRANCH_SCALE / PROBRANCH_JOBS; default: bench scale,\n        all cores; --jobs 0 also means all cores)\n       --engine: simulation engine for the timing sweeps (default:\n        replay — emulate each workload once per (workload, PBS) key and\n        replay the shared trace for every predictor; fused/reference\n        re-simulate every cell, for differential debugging). All three\n        print byte-identical tables.\n       --emit-bench-json PATH: run the sim-throughput sweep instead of\n        the figures, writing measured MIPS per cell (fused, reference\n        and replay engines plus per-key trace-capture overhead) to PATH\n        (serial unless --jobs is given; all wall-clock timing lives\n        here)";
+    let text = "usage: figures [--scale smoke|bench|paper] [--jobs N]\n               [--engine replay|convoy|fused|reference]\n               [--trace-dir DIR] [--emit-bench-json PATH]\n       (or set PROBRANCH_SCALE / PROBRANCH_JOBS; default: bench scale,\n        all cores; --jobs 0 also means all cores)\n       --engine: simulation engine for the timing sweeps (default:\n        replay — emulate each workload once per (workload, seed, PBS)\n        key into a run-wide trace pool shared by every sweep, and\n        re-time the pooled trace for every predictor/core/filter cell;\n        convoy regroups each sweep into streamed fused per-key convoys,\n        fused/reference re-simulate every cell — both for differential\n        debugging). All four print byte-identical tables.\n       --trace-dir DIR: persist captured traces under DIR, keyed by a\n        content hash of (workload, seed derivation, PBS/emulator\n        config, ISA version); later runs load instead of emulating.\n        Stale or corrupt files fall back to capture. stdout stays\n        byte-identical with or without the flag.\n       --emit-bench-json PATH: run the sim-throughput sweep instead of\n        the figures, writing measured MIPS per cell (fused, reference,\n        replay and fused-convoy engines, per-key trace-capture\n        overhead, plus the shared-pool fig6+fig7 sweep aggregate) to\n        PATH (serial unless --jobs is given; all wall-clock timing\n        lives here)";
     if error.is_empty() {
         println!("{text}");
         std::process::exit(0);
@@ -142,9 +162,16 @@ fn main() {
     let scale = opts.scale;
     let jobs = opts.jobs.unwrap_or_else(Jobs::from_env);
     let engine = opts.engine;
+    // One trace pool for the whole run: every timing sweep below shares
+    // it, so an emulation key is captured (or disk-loaded) exactly once
+    // per invocation no matter how many figures revisit it.
+    let ctx = match &opts.trace_dir {
+        Some(dir) => experiments::Context::with_trace_dir(dir),
+        None => experiments::Context::new(),
+    };
     // The job count and engine go to stderr: stdout must stay
-    // byte-identical across worker counts *and* engines (the
-    // determinism guarantees CI diffs on).
+    // byte-identical across worker counts, engines *and* warm/cold
+    // trace directories (the determinism guarantees CI diffs on).
     println!("probranch — regenerating all tables & figures at {scale:?} scale\n");
     eprintln!("running with {jobs} jobs, {} engine", engine.name());
 
@@ -152,31 +179,39 @@ fn main() {
     println!("{}", render::table1(&experiments::table1(jobs)));
     println!(
         "{}",
-        render::fig1(&experiments::fig1_with(scale, jobs, engine))
+        render::fig1(&experiments::fig1_with_ctx(scale, jobs, engine, &ctx))
     );
     println!(
         "{}",
-        render::fig6(&experiments::fig6_with(scale, jobs, engine))
+        render::fig6(&experiments::fig6_with_ctx(scale, jobs, engine, &ctx))
     );
     println!(
         "{}",
         render::ipc(
-            &experiments::fig7_with(scale, jobs, engine),
+            &experiments::fig7_with_ctx(scale, jobs, engine, &ctx),
             "FIG 7 — normalized IPC, 4-wide / 168-entry ROB"
         )
     );
     println!(
         "{}",
         render::ipc(
-            &experiments::fig8_with(scale, jobs, engine),
+            &experiments::fig8_with_ctx(scale, jobs, engine, &ctx),
             "FIG 8 — normalized IPC, 8-wide / 256-entry ROB"
         )
     );
     println!(
         "{}",
-        render::fig9(&experiments::fig9_with(scale, jobs, engine))
+        render::fig9(&experiments::fig9_with_ctx(scale, jobs, engine, &ctx))
     );
     println!("{}", render::table3(&experiments::table3(scale, jobs)));
     println!("{}", render::accuracy(&experiments::accuracy(scale, jobs)));
     println!("{}", render::cost(&experiments::hardware_cost()));
+    eprintln!(
+        "run pool: {} keys, {} captures, {} disk loads, {} grid hits, {} MiB",
+        ctx.keys(),
+        ctx.captures(),
+        ctx.disk_loads(),
+        ctx.grid_hits(),
+        ctx.bytes() / (1 << 20)
+    );
 }

@@ -8,27 +8,31 @@
 //! shared across cells.
 //!
 //! The timing sweeps run through the **shared-trace replay engine** by
-//! default ([`Engine::Replay`]): cells that differ only in predictor or
-//! filter configuration share one captured [`DynTrace`] per emulation
-//! key instead of re-emulating the workload, via a worker-shared
-//! [`TraceCache`] (Figures 1/6/7/8) or a streamed two-consumer convoy
-//! (Figure 9). The fused and reference engines remain selectable for
-//! differential debugging (`figures --engine`); all three produce
-//! byte-identical rows.
+//! default ([`Engine::Replay`]): cells that differ only in predictor,
+//! core or filter configuration share one captured [`DynTrace`] per
+//! emulation key instead of re-emulating the workload, through a
+//! run-wide [`EngineContext`] trace pool — Figures 1, 6, 7 and 8 sweep
+//! the *same* keys, so one `figures` invocation emulates each key
+//! exactly once, and Figure 9 replays pooled/persisted traces where its
+//! keys overlap, streaming fused two-consumer convoys with bounded
+//! memory where they don't. The convoy, fused and reference engines
+//! remain selectable for differential debugging (`figures --engine`);
+//! all four produce byte-identical rows.
 
 use probranch_core::PbsConfig;
-use probranch_harness::{run_cells, workload_seed, Cell, Jobs, TraceCache};
+use probranch_harness::{run_cells, workload_seed, Cell, EngineContext, Jobs};
 use probranch_pipeline::{
     run_functional, simulate, simulate_convoy, simulate_reference, simulate_replay, DynTrace,
     OooConfig, PredictorChoice, SimConfig, SimReport,
 };
+use probranch_rng::SplitMix64;
 use probranch_stats::randomness::{run_battery, BatteryCounts};
 use probranch_stats::summary::Summary;
 use probranch_workloads::accuracy::{normalized_rms, relative_error, SuccessRate};
 use probranch_workloads::{BenchmarkId, HostRng, McInteg, Pi, Scale};
 
 /// Run-size selection for the whole harness.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ExperimentScale {
     /// Seconds-long smoke runs.
     Smoke,
@@ -92,14 +96,22 @@ const MAX_INSTS: u64 = 2_000_000_000;
 /// engines produce byte-identical `SimReport`s (locked in by
 /// `tests/engine_equivalence.rs`); the figures binary exposes the
 /// choice as `--engine` for differential debugging.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Engine {
     /// The emulate-once/time-many shared-trace engine (default): cells
     /// sharing an emulation key `(workload, seed, PBS)` replay one
-    /// captured trace through a worker-shared [`TraceCache`]; paired
-    /// runs (Figure 9) stream through a convoy.
+    /// captured trace pooled in the run-wide [`EngineContext`]; paired
+    /// runs (Figure 9) re-time a materialized (pooled or persisted)
+    /// trace, or drain one streamed fused two-consumer convoy when
+    /// there is none.
     #[default]
     Replay,
+    /// Every sweep grid regrouped into per-emulation-key **streamed
+    /// fused convoys**: one capture per key with all of the key's
+    /// timing cells advancing in lockstep, no materialized traces at
+    /// all. Differential coverage for the fused convoy loop (and the
+    /// bounded-memory path for arbitrarily long workloads).
+    Convoy,
     /// The fused emulate→time engine, re-emulating every cell.
     Fused,
     /// The original unfused engine (`DynInst` stream into a boxed
@@ -112,6 +124,7 @@ impl Engine {
     pub fn parse(name: &str) -> Option<Engine> {
         match name {
             "replay" => Some(Engine::Replay),
+            "convoy" => Some(Engine::Convoy),
             "fused" => Some(Engine::Fused),
             "reference" => Some(Engine::Reference),
             _ => None,
@@ -122,6 +135,7 @@ impl Engine {
     pub fn name(self) -> &'static str {
         match self {
             Engine::Replay => "replay",
+            Engine::Convoy => "convoy",
             Engine::Fused => "fused",
             Engine::Reference => "reference",
         }
@@ -131,7 +145,140 @@ impl Engine {
 /// The emulation key of a timing cell: the fields that determine the
 /// dynamic instruction stream. Predictor and core configuration are
 /// deliberately absent — cells differing only in those share a trace.
-type EmuKey = (BenchmarkId, u64, bool);
+/// The scale is included so one [`EngineContext`] could serve runs at
+/// several scales without ever conflating their streams.
+pub type EmuKey = (BenchmarkId, u64, bool, ExperimentScale);
+
+/// The content hash identifying one emulation key's captured stream on
+/// disk: the workload identity (benchmark, scale, derived RNG seed) and
+/// the architectural fingerprint (PBS/emulator configuration,
+/// instruction budget, ISA version). Everything that shapes a captured
+/// trace, nothing timing-side.
+fn trace_content_hash(cell: &Cell, scale: ExperimentScale, cfg: &SimConfig) -> u64 {
+    SplitMix64::mix_fold(&[
+        cell.workload as u64,
+        scale as u64,
+        cell.workload_seed(),
+        cfg.emu_key_fingerprint(),
+    ])
+}
+
+/// A stable fingerprint of a core (timing) configuration, for grid
+/// memo keys: every field that can change a timing result.
+fn core_fingerprint(core: &OooConfig) -> u64 {
+    let l = &core.latencies;
+    SplitMix64::mix_fold(&[
+        core.width as u64,
+        core.rob_size as u64,
+        core.frontend_depth,
+        core.mispredict_penalty,
+        l.int_alu,
+        l.int_mul,
+        l.int_div,
+        l.fp_add,
+        l.fp_mul,
+        l.fp_div,
+        l.fp_long,
+        l.store,
+        l.branch,
+        l.other,
+    ])
+}
+
+/// One memoized benchmark × [`FOUR_CONFIGS`] grid (see
+/// [`four_config_reports`]), keyed by everything that shapes its rows.
+type GridKey = (ExperimentScale, Engine, u64);
+
+/// The run-wide simulation context: the trace pool plus a memo of the
+/// four-config report grids several figures share.
+///
+/// Figures 6 and 7 sweep the *identical* timing cells (same predictors,
+/// same default core) and differ only in which statistic they render;
+/// Figure 8 re-times the same traces on the wide core. The context
+/// therefore pools at two levels: captured [`DynTrace`]s per emulation
+/// key (each key emulated — or disk-loaded, see
+/// [`EngineContext`] — exactly once per run) and finished
+/// [`SimReport`] grids per (scale, engine, core) point, so a `figures`
+/// run never re-times a cell grid it has already retired. Both pools
+/// are deterministic memoizations of pure functions, so rows are
+/// byte-identical with or without sharing — the engine-diff and
+/// determinism gates check exactly that.
+#[derive(Debug, Default)]
+pub struct Context {
+    traces: EngineContext<EmuKey>,
+    grids:
+        std::sync::Mutex<std::collections::HashMap<GridKey, std::sync::Arc<Vec<Vec<SimReport>>>>>,
+    grid_hits: std::sync::atomic::AtomicUsize,
+}
+
+impl Context {
+    /// A context with empty pools and no disk persistence.
+    pub fn new() -> Context {
+        Context::default()
+    }
+
+    /// A context whose trace pool is backed by trace files under `dir`.
+    pub fn with_trace_dir(dir: impl Into<std::path::PathBuf>) -> Context {
+        Context {
+            traces: EngineContext::with_trace_dir(dir),
+            ..Context::default()
+        }
+    }
+
+    /// The underlying trace pool.
+    pub fn traces(&self) -> &EngineContext<EmuKey> {
+        &self.traces
+    }
+
+    /// Emulations actually performed through this context.
+    pub fn captures(&self) -> usize {
+        self.traces.captures()
+    }
+
+    /// Traces served from the trace directory instead of captured.
+    pub fn disk_loads(&self) -> usize {
+        self.traces.disk_loads()
+    }
+
+    /// Distinct emulation keys currently pooled.
+    pub fn keys(&self) -> usize {
+        self.traces.keys()
+    }
+
+    /// Total heap bytes held by the pooled traces.
+    pub fn bytes(&self) -> usize {
+        self.traces.bytes()
+    }
+
+    /// Four-config grids served from the grid memo instead of re-timed.
+    pub fn grid_hits(&self) -> usize {
+        self.grid_hits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The memoized grid for `key`, computing it with `compute` on
+    /// first use.
+    fn grid(
+        &self,
+        key: GridKey,
+        compute: impl FnOnce() -> Vec<Vec<SimReport>>,
+    ) -> std::sync::Arc<Vec<Vec<SimReport>>> {
+        if let Some(grid) = self.grids.lock().expect("grid memo lock").get(&key) {
+            self.grid_hits
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return std::sync::Arc::clone(grid);
+        }
+        // Computed outside the lock: grids are deterministic, so a
+        // racing duplicate compute is waste, never a wrong answer —
+        // and in practice the figures run retires sweeps sequentially.
+        let grid = std::sync::Arc::new(compute());
+        self.grids
+            .lock()
+            .expect("grid memo lock")
+            .entry(key)
+            .or_insert_with(|| std::sync::Arc::clone(&grid))
+            .clone()
+    }
+}
 
 /// The benchmark's paper name, without running anything (benchmark
 /// constructors only store parameters).
@@ -161,16 +308,36 @@ fn sim_cell(cell: &Cell, scale: ExperimentScale, core: OooConfig) -> SimReport {
     simulate(&bench.program(), &cfg).unwrap_or_else(|e| panic!("{}: {e}", bench.name()))
 }
 
+/// The cell's trace, through the run-wide pool: the first cell of an
+/// emulation key captures (or disk-loads) the [`DynTrace`], every later
+/// cell — possibly on another worker thread, possibly in a *different
+/// sweep* — replays the shared copy without re-emulating.
+fn cell_trace(
+    cell: &Cell,
+    scale: ExperimentScale,
+    cfg: &SimConfig,
+    ctx: &Context,
+) -> std::sync::Arc<DynTrace> {
+    let key = (cell.workload, cell.seed, cell.pbs, scale);
+    ctx.traces
+        .get_or_capture(key, trace_content_hash(cell, scale, cfg), cfg, || {
+            let bench = cell.workload.build(scale.workload(), cell.workload_seed());
+            DynTrace::capture(&bench.program(), cfg)
+        })
+        .unwrap_or_else(|e| panic!("{:?}: {e}", cell.workload))
+}
+
 /// [`sim_cell`] behind an engine choice. Under [`Engine::Replay`] the
-/// cell's emulation key is looked up in the worker-shared `cache`: the
-/// first cell of a key captures the [`DynTrace`], every later cell —
-/// possibly on another worker thread — replays it without re-emulating.
+/// cell replays the pooled trace of its emulation key (see
+/// [`cell_trace`]). [`Engine::Convoy`] cells are grouped per key by the
+/// sweep runners and drain streamed fused convoys instead of reaching
+/// this per-cell path.
 fn sim_cell_engine(
     cell: &Cell,
     scale: ExperimentScale,
     core: OooConfig,
     engine: Engine,
-    cache: &TraceCache<EmuKey>,
+    ctx: &Context,
 ) -> SimReport {
     match engine {
         Engine::Fused => sim_cell(cell, scale, core),
@@ -180,17 +347,25 @@ fn sim_cell_engine(
             simulate_reference(&bench.program(), &cfg)
                 .unwrap_or_else(|e| panic!("{}: {e}", bench.name()))
         }
-        Engine::Replay => {
+        Engine::Replay | Engine::Convoy => {
             let cfg = cell_config(cell, core);
-            let trace = cache
-                .get_or_capture((cell.workload, cell.seed, cell.pbs), || {
-                    let bench = cell.workload.build(scale.workload(), cell.workload_seed());
-                    DynTrace::capture(&bench.program(), &cfg)
-                })
-                .unwrap_or_else(|e| panic!("{:?}: {e}", cell.workload));
+            let trace = cell_trace(cell, scale, &cfg, ctx);
             simulate_replay(&trace, &cfg).unwrap_or_else(|e| panic!("{:?}: {e}", cell.workload))
         }
     }
+}
+
+/// One emulation key's cells as a **streamed fused convoy**: builds the
+/// key's workload once and drains every configuration in lockstep from
+/// a single capture stream — the [`Engine::Convoy`] execution shape.
+fn convoy_key(
+    workload: BenchmarkId,
+    seed: u64,
+    scale: ExperimentScale,
+    configs: &[SimConfig],
+) -> Vec<SimReport> {
+    let bench = workload.build(scale.workload(), workload_seed(workload, seed));
+    simulate_convoy(&bench.program(), configs).unwrap_or_else(|e| panic!("{}: {e}", bench.name()))
 }
 
 // ---------------------------------------------------------------------------
@@ -217,21 +392,43 @@ pub fn fig1(scale: ExperimentScale, jobs: Jobs) -> Vec<Fig1Row> {
     fig1_with(scale, jobs, Engine::default())
 }
 
-/// [`fig1`] under an explicit engine. The two predictor cells of each
-/// benchmark share one emulation key, so the replay engine emulates
-/// each workload once.
+/// [`fig1`] under an explicit engine and a private trace pool.
 pub fn fig1_with(scale: ExperimentScale, jobs: Jobs, engine: Engine) -> Vec<Fig1Row> {
-    let cells: Vec<Cell> = BenchmarkId::ALL
-        .iter()
-        .flat_map(|&w| {
-            [PredictorChoice::Tournament, PredictorChoice::TageScL]
-                .map(|p| Cell::new(w, p, false, 0))
+    fig1_with_ctx(scale, jobs, engine, &Context::new())
+}
+
+/// [`fig1`] under an explicit engine and the run-wide trace pool. The
+/// two predictor cells of each benchmark share one emulation key, so
+/// the replay engine emulates each workload at most once per `ctx` —
+/// zero times when an earlier sweep already pooled the key.
+pub fn fig1_with_ctx(
+    scale: ExperimentScale,
+    jobs: Jobs,
+    engine: Engine,
+    ctx: &Context,
+) -> Vec<Fig1Row> {
+    const PREDICTORS: [PredictorChoice; 2] =
+        [PredictorChoice::Tournament, PredictorChoice::TageScL];
+    let reports: Vec<SimReport> = if engine == Engine::Convoy {
+        // One streamed fused convoy per benchmark: both predictors in
+        // lockstep from a single capture stream.
+        run_cells(&BenchmarkId::ALL, jobs, |&w| {
+            let configs =
+                PREDICTORS.map(|p| cell_config(&Cell::new(w, p, false, 0), OooConfig::default()));
+            convoy_key(w, 0, scale, &configs)
         })
-        .collect();
-    let cache = TraceCache::new();
-    let reports = run_cells(&cells, jobs, |c| {
-        sim_cell_engine(c, scale, OooConfig::default(), engine, &cache)
-    });
+        .into_iter()
+        .flatten()
+        .collect()
+    } else {
+        let cells: Vec<Cell> = BenchmarkId::ALL
+            .iter()
+            .flat_map(|&w| PREDICTORS.map(|p| Cell::new(w, p, false, 0)))
+            .collect();
+        run_cells(&cells, jobs, |c| {
+            sim_cell_engine(c, scale, OooConfig::default(), engine, ctx)
+        })
+    };
     let share = |r: &SimReport| {
         100.0 * r.timing.prob_branches as f64 / r.timing.cond_branches.max(1) as f64
     };
@@ -375,26 +572,51 @@ const FOUR_CONFIGS: [(PredictorChoice, bool); 4] = [
 /// The benchmark × [`FOUR_CONFIGS`] grid, one run per cell, merged back
 /// per benchmark in config order. Under the replay engine each
 /// benchmark's four cells collapse onto two emulation keys (PBS off /
-/// on), each captured once into a worker-shared [`TraceCache`] and
-/// replayed for both predictors.
+/// on), each captured at most once into the run-wide pool and replayed
+/// for both predictors; under [`Engine::Convoy`] each key runs as one
+/// streamed fused convoy of its two predictor cells.
 fn four_config_reports(
     scale: ExperimentScale,
     core: OooConfig,
     jobs: Jobs,
     engine: Engine,
-) -> Vec<Vec<SimReport>> {
-    let cells: Vec<Cell> = BenchmarkId::ALL
-        .iter()
-        .flat_map(|&w| FOUR_CONFIGS.map(|(p, pbs)| Cell::new(w, p, pbs, 0)))
-        .collect();
-    let cache = TraceCache::new();
-    let reports = run_cells(&cells, jobs, |c| {
-        sim_cell_engine(c, scale, core.clone(), engine, &cache)
-    });
-    reports
-        .chunks_exact(FOUR_CONFIGS.len())
-        .map(<[SimReport]>::to_vec)
-        .collect()
+    ctx: &Context,
+) -> std::sync::Arc<Vec<Vec<SimReport>>> {
+    ctx.grid((scale, engine, core_fingerprint(&core)), || {
+        if engine == Engine::Convoy {
+            // One (benchmark, PBS) key per convoy, both predictors in
+            // lockstep; regrouped below into FOUR_CONFIGS order.
+            let keys: Vec<(BenchmarkId, bool)> = BenchmarkId::ALL
+                .iter()
+                .flat_map(|&w| [false, true].map(|pbs| (w, pbs)))
+                .collect();
+            let per_key = run_cells(&keys, jobs, |&(w, pbs)| {
+                let configs = [PredictorChoice::Tournament, PredictorChoice::TageScL]
+                    .map(|p| cell_config(&Cell::new(w, p, pbs, 0), core.clone()));
+                convoy_key(w, 0, scale, &configs)
+            });
+            return per_key
+                .chunks_exact(2)
+                .map(|key_pair| {
+                    let (off, on) = (&key_pair[0], &key_pair[1]);
+                    // FOUR_CONFIGS order: (T, off), (T, on), (Tg, off),
+                    // (Tg, on).
+                    vec![off[0].clone(), on[0].clone(), off[1].clone(), on[1].clone()]
+                })
+                .collect();
+        }
+        let cells: Vec<Cell> = BenchmarkId::ALL
+            .iter()
+            .flat_map(|&w| FOUR_CONFIGS.map(|(p, pbs)| Cell::new(w, p, pbs, 0)))
+            .collect();
+        let reports = run_cells(&cells, jobs, |c| {
+            sim_cell_engine(c, scale, core.clone(), engine, ctx)
+        });
+        reports
+            .chunks_exact(FOUR_CONFIGS.len())
+            .map(<[SimReport]>::to_vec)
+            .collect()
+    })
 }
 
 /// Figure 6: MPKI reduction through PBS for both predictors.
@@ -402,16 +624,21 @@ pub fn fig6(scale: ExperimentScale, jobs: Jobs) -> Vec<Fig6Row> {
     fig6_with(scale, jobs, Engine::default())
 }
 
-/// [`fig6`] under an explicit engine.
+/// [`fig6`] under an explicit engine and a private trace pool.
 pub fn fig6_with(scale: ExperimentScale, jobs: Jobs, engine: Engine) -> Vec<Fig6Row> {
+    fig6_with_ctx(scale, jobs, engine, &Context::new())
+}
+
+/// [`fig6`] under an explicit engine and the run-wide trace pool.
+pub fn fig6_with_ctx(
+    scale: ExperimentScale,
+    jobs: Jobs,
+    engine: Engine,
+    ctx: &Context,
+) -> Vec<Fig6Row> {
     BenchmarkId::ALL
         .iter()
-        .zip(four_config_reports(
-            scale,
-            OooConfig::default(),
-            jobs,
-            engine,
-        ))
+        .zip(four_config_reports(scale, OooConfig::default(), jobs, engine, ctx).iter())
         .map(|(&id, r)| Fig6Row {
             name: name_of(id),
             tournament_base: r[0].timing.mpki(),
@@ -438,10 +665,16 @@ pub struct IpcRow {
     pub tage_pbs: f64,
 }
 
-fn ipc_rows(scale: ExperimentScale, core: OooConfig, jobs: Jobs, engine: Engine) -> Vec<IpcRow> {
+fn ipc_rows(
+    scale: ExperimentScale,
+    core: OooConfig,
+    jobs: Jobs,
+    engine: Engine,
+    ctx: &Context,
+) -> Vec<IpcRow> {
     BenchmarkId::ALL
         .iter()
-        .zip(four_config_reports(scale, core, jobs, engine))
+        .zip(four_config_reports(scale, core, jobs, engine, ctx).iter())
         .map(|(&id, r)| {
             let base = r[0].timing.ipc();
             IpcRow {
@@ -460,9 +693,21 @@ pub fn fig7(scale: ExperimentScale, jobs: Jobs) -> Vec<IpcRow> {
     fig7_with(scale, jobs, Engine::default())
 }
 
-/// [`fig7`] under an explicit engine.
+/// [`fig7`] under an explicit engine and a private trace pool.
 pub fn fig7_with(scale: ExperimentScale, jobs: Jobs, engine: Engine) -> Vec<IpcRow> {
-    ipc_rows(scale, OooConfig::default(), jobs, engine)
+    fig7_with_ctx(scale, jobs, engine, &Context::new())
+}
+
+/// [`fig7`] under an explicit engine and the run-wide trace pool —
+/// Figures 6, 7 and 8 sweep the *same* emulation keys, so a shared
+/// `ctx` re-times pooled traces instead of re-emulating anything.
+pub fn fig7_with_ctx(
+    scale: ExperimentScale,
+    jobs: Jobs,
+    engine: Engine,
+    ctx: &Context,
+) -> Vec<IpcRow> {
+    ipc_rows(scale, OooConfig::default(), jobs, engine, ctx)
 }
 
 /// Figure 8: normalized IPC on the 8-wide, 256-ROB core.
@@ -470,9 +715,21 @@ pub fn fig8(scale: ExperimentScale, jobs: Jobs) -> Vec<IpcRow> {
     fig8_with(scale, jobs, Engine::default())
 }
 
-/// [`fig8`] under an explicit engine.
+/// [`fig8`] under an explicit engine and a private trace pool.
 pub fn fig8_with(scale: ExperimentScale, jobs: Jobs, engine: Engine) -> Vec<IpcRow> {
-    ipc_rows(scale, OooConfig::wide(), jobs, engine)
+    fig8_with_ctx(scale, jobs, engine, &Context::new())
+}
+
+/// [`fig8`] under an explicit engine and the run-wide trace pool. The
+/// 8-wide core is timing-side only: Figure 8 replays the very traces
+/// Figures 6 and 7 captured.
+pub fn fig8_with_ctx(
+    scale: ExperimentScale,
+    jobs: Jobs,
+    engine: Engine,
+    ctx: &Context,
+) -> Vec<IpcRow> {
+    ipc_rows(scale, OooConfig::wide(), jobs, engine, ctx)
 }
 
 // ---------------------------------------------------------------------------
@@ -497,12 +754,27 @@ pub fn fig9(scale: ExperimentScale, jobs: Jobs) -> Vec<Fig9Row> {
     fig9_with(scale, jobs, Engine::default())
 }
 
-/// [`fig9`] under an explicit engine. The unfiltered and filtered runs
-/// of a cell share the dynamic instruction stream, so the replay engine
-/// runs them as a two-consumer convoy over a single streamed capture —
-/// one emulation, one chunk-sized buffer, both timing models fed while
-/// each chunk is cache-hot.
+/// [`fig9`] under an explicit engine and a private trace pool.
 pub fn fig9_with(scale: ExperimentScale, jobs: Jobs, engine: Engine) -> Vec<Fig9Row> {
+    fig9_with_ctx(scale, jobs, engine, &Context::new())
+}
+
+/// [`fig9`] under an explicit engine and the run-wide trace pool. The
+/// unfiltered and filtered runs of a cell share the dynamic instruction
+/// stream: the replay engine re-times a materialized trace twice when
+/// one is available — the pooled trace when the run-wide context
+/// already holds the cell's key (its seed-0 keys are exactly
+/// Figures 1/6/7/8's), or an ephemeral load-or-capture trace when a
+/// trace directory is configured (persisted but never pooled — no
+/// later sweep revisits a fig9-private seed) — and otherwise drains a
+/// single bounded-memory capture stream as a fused two-consumer
+/// convoy. Either way the extra seeds never bloat the pool.
+pub fn fig9_with_ctx(
+    scale: ExperimentScale,
+    jobs: Jobs,
+    engine: Engine,
+    ctx: &Context,
+) -> Vec<Fig9Row> {
     // One cell per (benchmark, seed): both the unfiltered and the
     // filtered run need the same workload instance, so they pair up
     // inside the cell rather than across cells.
@@ -512,25 +784,66 @@ pub fn fig9_with(scale: ExperimentScale, jobs: Jobs, engine: Engine) -> Vec<Fig9
         .flat_map(|&w| (0..seeds).map(move |s| Cell::new(w, PredictorChoice::Tournament, false, s)))
         .collect();
     let increases = run_cells(&cells, jobs, |cell| {
-        let b = cell.workload.build(scale.workload(), cell.workload_seed());
         let mut cfg = SimConfig {
             predictor: cell.predictor,
             max_insts: MAX_INSTS,
             ..SimConfig::default()
         };
         let (unfiltered, filtered) = match engine {
-            Engine::Replay => {
+            Engine::Replay | Engine::Convoy => {
                 let mut filtered_cfg = cfg.clone();
                 filtered_cfg.filter_prob_from_predictor = true;
-                let mut reports = simulate_convoy(&b.program(), &[cfg, filtered_cfg])
-                    .expect("convoy")
-                    .into_iter();
+                let pair = [cfg, filtered_cfg];
+                let key = (cell.workload, cell.seed, cell.pbs, scale);
+                let pooled = if engine == Engine::Replay {
+                    ctx.traces.peek(&key)
+                } else {
+                    None
+                };
+                // Once a trace is materialized, two independent
+                // replays beat the fused pair drain (two issue rings
+                // interleaved per record thrash — see CHANGES.md); the
+                // fused convoy earns its keep on the streamed path,
+                // where it shares the one capture pass.
+                let replay_pair = |trace: &DynTrace| {
+                    pair.iter()
+                        .map(|cfg| simulate_replay(trace, cfg).expect("replay"))
+                        .collect::<Vec<SimReport>>()
+                };
+                let mut reports = match pooled {
+                    // The run-wide pool already holds this key (its
+                    // seed-0 keys are exactly Figures 1/6/7/8's).
+                    Some(trace) => replay_pair(&trace),
+                    // Fig9-private key with a trace directory: load or
+                    // capture+persist WITHOUT pooling — no later sweep
+                    // revisits it, and the pool never evicts.
+                    None if engine == Engine::Replay && ctx.traces.persistent() => {
+                        let trace = ctx
+                            .traces
+                            .load_or_capture_unpooled(
+                                trace_content_hash(cell, scale, &pair[0]),
+                                &pair[0],
+                                || {
+                                    let bench =
+                                        cell.workload.build(scale.workload(), cell.workload_seed());
+                                    DynTrace::capture(&bench.program(), &pair[0])
+                                },
+                            )
+                            .unwrap_or_else(|e| panic!("{:?}: {e}", cell.workload));
+                        replay_pair(&trace)
+                    }
+                    // No pool hit, no disk: one streamed fused convoy,
+                    // bounded memory.
+                    None => convoy_key(cell.workload, cell.seed, scale, &pair),
+                }
+                .into_iter();
                 (
                     reports.next().expect("unfiltered report"),
                     reports.next().expect("filtered report"),
                 )
             }
             Engine::Fused | Engine::Reference => {
+                let b = cell.workload.build(scale.workload(), cell.workload_seed());
                 let run = if engine == Engine::Fused {
                     simulate
                 } else {

@@ -1,46 +1,63 @@
 //! The `sim-throughput` benchmark: simulator speed (MIPS — millions of
 //! simulated instructions per wall-clock second) per
 //! workload × predictor × PBS cell, for the fused engine, the unfused
-//! reference engine, and the shared-trace **replay** engine.
+//! reference engine, the shared-trace **replay** engine and the fused
+//! **convoy** engine.
 //!
 //! This is the perf trajectory of the project: `figures
 //! --emit-bench-json BENCH_throughput.json` serializes a report whose
 //! committed copy at the repo root is the baseline CI's
 //! `check_throughput` gate compares fresh measurements against.
 //!
-//! Replay cells are measured in **convoy** mode, the way the sweeps
-//! consume them: per emulation key `(workload, PBS)` one capture stream
-//! fills a single chunk-sized buffer, and each chunk is drained by
-//! every predictor's timing consumer while still cache-hot. The capture
-//! wall time is recorded per key (`captures` in the JSON) and *included*
-//! in the aggregate replay MIPS — `replay_mips` is honest end-to-end
-//! throughput, not just the re-timing half. Peak trace memory (the
-//! bounded chunk buffer) and chunk count are reported per cell so
-//! memory regressions are visible alongside MIPS.
+//! Per cell the report carries four engine measurements:
+//!
+//! * `fused` / `reference` — one full simulation each, as before;
+//! * `replay` — the cell re-timed from a **materialized** trace
+//!   (`simulate_replay`), the way the figure sweeps consume pooled
+//!   traces; the one capture per emulation key is timed separately
+//!   (`captures` in the JSON) and *included* in the aggregate replay
+//!   MIPS, which therefore stays honest end-to-end throughput;
+//! * `convoy` — the cell's equal share of its key's **streamed fused
+//!   convoy** (`simulate_convoy`: capture and all consumers in
+//!   lockstep, capture time included), the bounded-memory execution
+//!   shape. A fused convoy advances all k consumers per record, so
+//!   per-consumer time is not separable — the share is the key's wall
+//!   time over k.
+//!
+//! The report also carries the **sweep** section: the fig6 + fig7
+//! grids run back to back through one shared
+//! [`EngineContext`](probranch_harness::EngineContext) trace pool —
+//! the paper's actual figures workload — with the pool's global
+//! capture count, which must equal the number of distinct emulation
+//! keys (each key emulated exactly once for the whole run).
 //!
 //! Measurements are wall-clock and therefore machine-dependent; the
 //! *results* of every timed run are still checked for engine agreement
-//! (each cell asserts the fused, reference and replay reports are
-//! identical), so a throughput run doubles as an equivalence sweep.
+//! (each cell asserts the fused, reference, replay and convoy reports
+//! are identical), so a throughput run doubles as an equivalence sweep.
 
 use std::time::{Duration, Instant};
 
 use probranch_harness::{run_cells_timed, workload_seed, Cell, Jobs};
 use probranch_pipeline::{
-    simulate, simulate_reference, PredictorChoice, ReplayConsumer, SimConfig, SimReport,
-    TraceChunk, TraceStream,
+    simulate, simulate_convoy, simulate_reference, simulate_replay, DynTrace, PredictorChoice,
+    SimConfig, SimReport,
 };
 use probranch_workloads::BenchmarkId;
 
-use crate::experiments::ExperimentScale;
+use crate::experiments::{self, Engine, ExperimentScale};
 
 /// Schema tag written into the JSON (bump on layout changes so the CI
 /// gate skips rather than misparses). `check_throughput` accepts the
-/// `/1` baseline (which lacks replay fields) without failing.
-pub const SCHEMA: &str = "probranch-throughput/2";
+/// older `/1` (fused/reference only) and `/2` (adds replay) baselines
+/// without failing; fields both reports carry are gated.
+pub const SCHEMA: &str = "probranch-throughput/3";
 
 /// The v1 schema tag, still accepted as a comparison baseline.
 pub const SCHEMA_V1: &str = "probranch-throughput/1";
+
+/// The v2 schema tag, still accepted as a comparison baseline.
+pub const SCHEMA_V2: &str = "probranch-throughput/2";
 
 /// One measured grid point.
 #[derive(Debug, Clone)]
@@ -57,14 +74,17 @@ pub struct ThroughputCell {
     pub fused: Duration,
     /// Wall time of the unfused reference engine.
     pub reference: Duration,
-    /// Wall time of this cell's replay consumer in the convoy (capture
-    /// excluded — that is accounted once per key in
-    /// [`ThroughputReport::captures`]).
+    /// Wall time of this cell's `simulate_replay` over the key's
+    /// materialized trace (capture excluded — that is accounted once
+    /// per key in [`ThroughputReport::captures`]).
     pub replay: Duration,
-    /// Peak trace memory backing this cell's replay: the convoy's
-    /// bounded chunk buffer.
+    /// This cell's equal share of its key's streamed fused convoy
+    /// (capture *included*; a fused loop has no per-consumer split).
+    pub convoy: Duration,
+    /// Heap bytes of the key's materialized trace backing this cell's
+    /// replay.
     pub trace_peak_bytes: usize,
-    /// Chunks streamed through this cell's consumer.
+    /// Chunks in the key's materialized trace.
     pub trace_chunks: usize,
 }
 
@@ -79,10 +99,16 @@ impl ThroughputCell {
         mips(self.instructions, self.reference)
     }
 
-    /// Millions of simulated instructions per second through this
-    /// cell's replay consumer (capture excluded).
+    /// Millions of simulated instructions per second re-timing the
+    /// materialized trace (capture excluded).
     pub fn replay_mips(&self) -> f64 {
         mips(self.instructions, self.replay)
+    }
+
+    /// Millions of simulated instructions per second through this
+    /// cell's share of the fused convoy (capture included).
+    pub fn convoy_mips(&self) -> f64 {
+        mips(self.instructions, self.convoy)
     }
 
     /// Stable identity for baseline comparison.
@@ -100,8 +126,8 @@ pub struct CaptureCell {
     pub pbs: bool,
     /// Dynamic instructions emulated (shared by every cell of the key).
     pub instructions: u64,
-    /// Wall time of the capture stream (emulation, cache pre-simulation
-    /// and record packing).
+    /// Wall time of the trace capture (emulation, cache pre-simulation
+    /// and SoA packing).
     pub capture: Duration,
 }
 
@@ -109,6 +135,42 @@ impl CaptureCell {
     /// Millions of emulated instructions per second of capture.
     pub fn capture_mips(&self) -> f64 {
         mips(self.instructions, self.capture)
+    }
+}
+
+/// The shared-pool figures measurement: fig6 + fig7 run back to back
+/// through one [`EngineContext`](probranch_harness::EngineContext).
+#[derive(Debug, Clone)]
+pub struct SweepStats {
+    /// Timing cells retired across the two sweeps.
+    pub cells: usize,
+    /// Distinct emulation keys the pool ended up holding.
+    pub keys: usize,
+    /// Emulations actually performed — **exactly once per key** is the
+    /// invariant this field verifies globally.
+    pub captures: usize,
+    /// Traces served from a trace directory (0 without `--trace-dir`).
+    pub disk_loads: usize,
+    /// Report grids served from the run-wide grid memo instead of
+    /// re-timed — fig7 re-serves fig6's grid (identical cells, same
+    /// core), so this is 1 for the sweep.
+    pub grid_hits: usize,
+    /// Simulated instructions' worth of figure cells *served* across
+    /// both sweeps (a memo-served grid counts its cells' instructions:
+    /// the sweep delivers the same figures the unpooled engine computed
+    /// twice).
+    pub instructions: u64,
+    /// End-to-end wall time of both sweeps.
+    pub wall: Duration,
+    /// Peak bytes held by the trace pool.
+    pub trace_bytes: usize,
+}
+
+impl SweepStats {
+    /// Aggregate MIPS of the shared-pool fig6+fig7 run (all captures
+    /// and replays included).
+    pub fn mips(&self) -> f64 {
+        mips(self.instructions, self.wall)
     }
 }
 
@@ -130,11 +192,14 @@ pub struct ThroughputReport {
     pub cells: Vec<ThroughputCell>,
     /// Per-key capture overhead of the replay sweep, in key order.
     pub captures: Vec<CaptureCell>,
+    /// The shared-pool fig6+fig7 sweep measurement.
+    pub sweep: SweepStats,
 }
 
 impl ThroughputReport {
-    /// Total simulated instructions across cells (fused == reference ==
-    /// replay by the per-cell equivalence assertion).
+    /// Total simulated instructions across cells (all four engines
+    /// simulate identical streams by the per-cell equivalence
+    /// assertion).
     pub fn total_instructions(&self) -> u64 {
         self.cells.iter().map(|c| c.instructions).sum()
     }
@@ -170,6 +235,15 @@ impl ThroughputReport {
         )
     }
 
+    /// Aggregate fused-convoy MIPS (capture shares included — convoy
+    /// cell times already carry their key's capture).
+    pub fn convoy_mips(&self) -> f64 {
+        mips(
+            self.total_instructions(),
+            self.cells.iter().map(|c| c.convoy).sum(),
+        )
+    }
+
     /// Aggregate fused-over-reference speedup.
     pub fn speedup(&self) -> f64 {
         let r = self.reference_mips();
@@ -202,7 +276,7 @@ impl ThroughputReport {
         for (i, c) in self.cells.iter().enumerate() {
             let comma = if i + 1 < self.cells.len() { "," } else { "" };
             out.push_str(&format!(
-                "    {{\"workload\":\"{}\",\"predictor\":\"{}\",\"pbs\":{},\"instructions\":{},\"fused_seconds\":{:.6},\"fused_mips\":{:.3},\"reference_seconds\":{:.6},\"reference_mips\":{:.3},\"replay_seconds\":{:.6},\"replay_mips\":{:.3},\"trace_peak_bytes\":{},\"trace_chunks\":{}}}{comma}\n",
+                "    {{\"workload\":\"{}\",\"predictor\":\"{}\",\"pbs\":{},\"instructions\":{},\"fused_seconds\":{:.6},\"fused_mips\":{:.3},\"reference_seconds\":{:.6},\"reference_mips\":{:.3},\"replay_seconds\":{:.6},\"replay_mips\":{:.3},\"convoy_seconds\":{:.6},\"convoy_mips\":{:.3},\"trace_peak_bytes\":{},\"trace_chunks\":{}}}{comma}\n",
                 c.workload,
                 c.predictor,
                 c.pbs,
@@ -213,6 +287,8 @@ impl ThroughputReport {
                 c.reference_mips(),
                 c.replay.as_secs_f64(),
                 c.replay_mips(),
+                c.convoy.as_secs_f64(),
+                c.convoy_mips(),
                 c.trace_peak_bytes,
                 c.trace_chunks,
             ));
@@ -231,8 +307,21 @@ impl ThroughputReport {
             ));
         }
         out.push_str("  ],\n");
+        let s = &self.sweep;
         out.push_str(&format!(
-            "  \"aggregate\": {{\"instructions\":{},\"fused_mips\":{:.3},\"reference_mips\":{:.3},\"speedup\":{:.3},\"capture_seconds\":{:.6},\"replay_mips\":{:.3},\"replay_speedup\":{:.3}}}\n",
+            "  \"sweep\": {{\"grids\":\"fig6+fig7\",\"cells\":{},\"keys\":{},\"captures\":{},\"disk_loads\":{},\"grid_hits\":{},\"instructions\":{},\"seconds\":{:.6},\"mips\":{:.3},\"trace_bytes\":{}}},\n",
+            s.cells,
+            s.keys,
+            s.captures,
+            s.disk_loads,
+            s.grid_hits,
+            s.instructions,
+            s.wall.as_secs_f64(),
+            s.mips(),
+            s.trace_bytes,
+        ));
+        out.push_str(&format!(
+            "  \"aggregate\": {{\"instructions\":{},\"fused_mips\":{:.3},\"reference_mips\":{:.3},\"speedup\":{:.3},\"capture_seconds\":{:.6},\"replay_mips\":{:.3},\"replay_speedup\":{:.3},\"convoy_mips\":{:.3}}}\n",
             self.total_instructions(),
             self.fused_mips(),
             self.reference_mips(),
@@ -240,6 +329,7 @@ impl ThroughputReport {
             self.capture_seconds().as_secs_f64(),
             self.replay_mips(),
             self.replay_speedup(),
+            self.convoy_mips(),
         ));
         out.push_str("}\n");
         out
@@ -256,7 +346,7 @@ impl ThroughputReport {
         ));
         for c in &self.cells {
             out.push_str(&format!(
-                "  {:<10} {:<15} pbs={:<5} {:>10} insts  fused {:>8.2} MIPS  reference {:>8.2} MIPS  replay {:>8.2} MIPS  ({} chunks, peak {} KiB)\n",
+                "  {:<10} {:<15} pbs={:<5} {:>10} insts  fused {:>8.2}  reference {:>8.2}  replay {:>8.2}  convoy {:>8.2} MIPS  ({} chunks, trace {} KiB)\n",
                 c.workload,
                 c.predictor,
                 c.pbs,
@@ -264,18 +354,32 @@ impl ThroughputReport {
                 c.fused_mips(),
                 c.reference_mips(),
                 c.replay_mips(),
+                c.convoy_mips(),
                 c.trace_chunks,
                 c.trace_peak_bytes / 1024,
             ));
         }
         out.push_str(&format!(
-            "aggregate: fused {:.2} MIPS vs reference {:.2} MIPS ({:.2}x); replay {:.2} MIPS incl. {:.3}s capture ({:.2}x over fused)\n",
+            "aggregate: fused {:.2} MIPS vs reference {:.2} MIPS ({:.2}x); replay {:.2} MIPS incl. {:.3}s capture ({:.2}x over fused); convoy {:.2} MIPS\n",
             self.fused_mips(),
             self.reference_mips(),
             self.speedup(),
             self.replay_mips(),
             self.capture_seconds().as_secs_f64(),
             self.replay_speedup(),
+            self.convoy_mips(),
+        ));
+        let s = &self.sweep;
+        out.push_str(&format!(
+            "sweep (fig6+fig7, shared pool): {} cells over {} keys, {} captures + {} disk loads + {} grid hits, {:.3}s = {:.2} MIPS, pool {} KiB\n",
+            s.cells,
+            s.keys,
+            s.captures,
+            s.disk_loads,
+            s.grid_hits,
+            s.wall.as_secs_f64(),
+            s.mips(),
+            s.trace_bytes / 1024,
         ));
         out
     }
@@ -308,22 +412,25 @@ fn keys() -> Vec<(BenchmarkId, bool)> {
         .collect()
 }
 
-/// One key's timed convoy run: capture streamed once through one
-/// reusable chunk buffer, each chunk drained by every predictor's
-/// consumer in lockstep, per-consumer wall time accumulated across
-/// chunks.
-struct ConvoyMeasurement {
+/// One key's timed replay + convoy measurements: one timed capture
+/// into a materialized trace, one timed `simulate_replay` per
+/// predictor over it, and one timed streamed fused convoy of both
+/// predictors.
+struct KeyMeasurement {
     name: &'static str,
     capture: Duration,
+    convoy: Duration,
     instructions: u64,
-    chunk_bytes: usize,
+    trace_bytes: usize,
     chunks: usize,
-    /// Per predictor (in [`PREDICTORS`] order): the report and the
-    /// accumulated consume time.
+    /// Per predictor (in [`PREDICTORS`] order): the replay report and
+    /// its `simulate_replay` wall time.
     cells: Vec<(SimReport, Duration)>,
+    /// The convoy's reports, in the same order.
+    convoy_reports: Vec<SimReport>,
 }
 
-fn run_convoy_key(workload: BenchmarkId, pbs: bool, scale: ExperimentScale) -> ConvoyMeasurement {
+fn run_key(workload: BenchmarkId, pbs: bool, scale: ExperimentScale) -> KeyMeasurement {
     let bench = workload.build(scale.workload(), workload_seed(workload, 0));
     let program = bench.program();
     let configs: Vec<SimConfig> = PREDICTORS
@@ -336,54 +443,72 @@ fn run_convoy_key(workload: BenchmarkId, pbs: bool, scale: ExperimentScale) -> C
             cfg
         })
         .collect();
-    let mut stream = TraceStream::new(&program, &configs[0]);
-    let mut consumers: Vec<ReplayConsumer> = configs.iter().map(ReplayConsumer::new).collect();
-    let mut chunk = TraceChunk::with_chunk_capacity();
-    let mut capture = Duration::ZERO;
-    let mut per_consumer = vec![Duration::ZERO; consumers.len()];
-    let mut chunks = 0usize;
-    loop {
-        let t0 = Instant::now();
-        let more = stream
-            .fill(&mut chunk)
-            .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
-        capture += t0.elapsed();
-        if !more {
-            break;
-        }
-        chunks += 1;
-        for (consumer, slot) in consumers.iter_mut().zip(&mut per_consumer) {
+    // Materialized-trace path: capture once, re-time per predictor.
+    let t0 = Instant::now();
+    let trace = DynTrace::capture(&program, &configs[0])
+        .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
+    let capture = t0.elapsed();
+    let cells: Vec<(SimReport, Duration)> = configs
+        .iter()
+        .map(|cfg| {
             let t1 = Instant::now();
-            consumer.consume_chunk(stream.timings(), &chunk);
-            *slot += t1.elapsed();
-        }
-    }
-    let chunk_bytes = chunk.bytes();
-    let functional = stream.finish();
-    ConvoyMeasurement {
+            let report =
+                simulate_replay(&trace, cfg).unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
+            (report, t1.elapsed())
+        })
+        .collect();
+    // Streamed fused convoy of the same cells.
+    let t2 = Instant::now();
+    let convoy_reports =
+        simulate_convoy(&program, &configs).unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
+    let convoy = t2.elapsed();
+    KeyMeasurement {
         name: bench.name(),
         capture,
-        instructions: functional.instructions,
-        chunk_bytes,
-        chunks,
-        cells: consumers
-            .into_iter()
-            .zip(per_consumer)
-            .map(|(c, d)| (c.into_report(&functional), d))
-            .collect(),
+        convoy,
+        instructions: trace.instructions(),
+        trace_bytes: trace.bytes(),
+        chunks: trace.chunk_count(),
+        cells,
+        convoy_reports,
+    }
+}
+
+/// Runs the fig6 + fig7 sweeps back to back through one shared trace
+/// pool and reports the pool's global accounting — the figures run's
+/// actual execution shape.
+fn run_sweep(scale: ExperimentScale, per_cell_instructions: u64) -> SweepStats {
+    let ctx = experiments::Context::new();
+    let jobs = Jobs::serial();
+    let t0 = Instant::now();
+    let f6 = experiments::fig6_with_ctx(scale, jobs, Engine::Replay, &ctx);
+    let f7 = experiments::fig7_with_ctx(scale, jobs, Engine::Replay, &ctx);
+    let wall = t0.elapsed();
+    // fig6 and fig7 each serve the full 4-config grid per benchmark.
+    let cells = (f6.len() + f7.len()) * 4;
+    SweepStats {
+        cells,
+        keys: ctx.keys(),
+        captures: ctx.captures(),
+        disk_loads: ctx.disk_loads(),
+        grid_hits: ctx.grid_hits(),
+        // Both sweeps serve the same grid the per-cell phase measured.
+        instructions: 2 * per_cell_instructions,
+        wall,
+        trace_bytes: ctx.bytes(),
     }
 }
 
 /// Measures the fig6 grid at `scale`: per cell, wall time of one fused
 /// and one reference full-timing simulation of the same workload
-/// instance, plus a per-key convoy replay — asserting that all three
-/// engines return identical reports.
+/// instance, a per-key timed capture with per-cell timed replays, and a
+/// per-key streamed fused convoy — asserting that all four engines
+/// return identical reports — plus the shared-pool fig6+fig7 sweep.
 ///
 /// Fused/reference cells run through [`run_cells_timed`]; pass
 /// [`Jobs::serial`] (the `figures --emit-bench-json` default) for
-/// uncontended numbers. The replay convoy is measured serially per key
-/// regardless (its per-chunk consumer timings interleave on one
-/// thread).
+/// uncontended numbers. The replay/convoy measurements and the sweep
+/// run serially regardless.
 ///
 /// # Panics
 ///
@@ -395,36 +520,45 @@ pub fn measure(scale: ExperimentScale, jobs: Jobs) -> ThroughputReport {
     // engine systematically runs on a warmer allocator.
     let fused = run_cells_timed(&cells, jobs, |cell| run_engine(cell, scale, false));
     let reference = run_cells_timed(&cells, jobs, |cell| run_engine(cell, scale, true));
-    // Replay pass: one convoy per emulation key, two cells each.
+    // Replay + convoy pass: one measurement per emulation key.
     let mut captures = Vec::new();
     let mut replay_cells = Vec::new();
     for (workload, pbs) in keys() {
-        let m = run_convoy_key(workload, pbs, scale);
+        let m = run_key(workload, pbs, scale);
         captures.push(CaptureCell {
             workload: m.name,
             pbs,
             instructions: m.instructions,
             capture: m.capture,
         });
-        for (i, (report, duration)) in m.cells.into_iter().enumerate() {
+        let share = m.convoy / m.cells.len() as u32;
+        for (i, ((report, duration), convoy_report)) in
+            m.cells.into_iter().zip(m.convoy_reports).enumerate()
+        {
+            assert_eq!(
+                report, convoy_report,
+                "replay and convoy engines disagree on {workload:?} pbs={pbs} {:?}",
+                PREDICTORS[i]
+            );
             replay_cells.push((
                 Cell::new(workload, PREDICTORS[i], pbs, 0),
                 report,
                 duration,
-                m.chunk_bytes,
+                share,
+                m.trace_bytes,
                 m.chunks,
             ));
         }
     }
     // Merge: fused/reference are in grid order; replay cells are in
     // key-major order. Match by cell identity.
-    let cell_rows = cells
+    let cell_rows: Vec<ThroughputCell> = cells
         .iter()
         .zip(fused)
         .zip(reference)
         .map(|((cell, ((name, fr), ft)), ((_, rr), rt))| {
             assert_eq!(fr, rr, "fused and reference engines disagree on {cell:?}");
-            let (_, replay_report, replay_dur, peak, chunks) = replay_cells
+            let (_, replay_report, replay_dur, convoy_share, trace_bytes, chunks) = replay_cells
                 .iter()
                 .find(|(c, ..)| c == cell)
                 .unwrap_or_else(|| panic!("replay sweep missing cell {cell:?}"));
@@ -440,15 +574,24 @@ pub fn measure(scale: ExperimentScale, jobs: Jobs) -> ThroughputReport {
                 fused: ft,
                 reference: rt,
                 replay: *replay_dur,
-                trace_peak_bytes: *peak,
+                convoy: *convoy_share,
+                trace_peak_bytes: *trace_bytes,
                 trace_chunks: *chunks,
             }
         })
         .collect();
+    let per_cell_instructions = cell_rows.iter().map(|c| c.instructions).sum();
+    let sweep = run_sweep(scale, per_cell_instructions);
+    assert_eq!(
+        sweep.captures + sweep.disk_loads,
+        sweep.keys,
+        "shared pool must emulate (or load) each key exactly once"
+    );
     ThroughputReport {
         scale,
         cells: cell_rows,
         captures,
+        sweep,
     }
 }
 
@@ -494,13 +637,22 @@ mod tests {
         assert_eq!(report.captures.len(), 16);
         assert!(report.total_instructions() > 0);
         assert!(report.capture_seconds() > Duration::ZERO);
+        // The shared pool's headline invariant: one emulation per key.
+        assert_eq!(report.sweep.keys, 16);
+        assert_eq!(report.sweep.captures, 16);
+        assert_eq!(report.sweep.disk_loads, 0);
+        assert_eq!(report.sweep.grid_hits, 1, "fig7 must re-serve fig6's grid");
+        assert_eq!(report.sweep.cells, 64);
+        assert_eq!(report.sweep.instructions, 2 * report.total_instructions());
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"probranch-throughput/2\""));
+        assert!(json.contains("\"schema\": \"probranch-throughput/3\""));
         assert!(json.contains("\"scale\": \"smoke\""));
         assert!(json.contains("\"fused_mips\""));
         assert!(json.contains("\"replay_mips\""));
+        assert!(json.contains("\"convoy_mips\""));
         assert!(json.contains("\"capture_seconds\""));
         assert!(json.contains("\"trace_peak_bytes\""));
+        assert!(json.contains("\"sweep\": {\"grids\":\"fig6+fig7\""));
         assert_eq!(
             json.lines().filter(|l| l.contains("\"workload\"")).count(),
             32 + 16

@@ -282,6 +282,13 @@ impl<K: Eq + Hash> TraceCache<K> {
         Ok(trace)
     }
 
+    /// The trace already captured for `key`, if any — never captures.
+    pub fn peek(&self, key: &K) -> Option<Arc<DynTrace>> {
+        let slot = Arc::clone(self.slots.lock().expect("trace cache lock").get(key)?);
+        let guard = slot.lock().expect("trace slot lock");
+        guard.as_ref().map(Arc::clone)
+    }
+
     /// Number of captured traces.
     pub fn len(&self) -> usize {
         self.slots
@@ -310,6 +317,166 @@ impl<K: Eq + Hash> TraceCache<K> {
                     .map(|t| t.bytes())
             })
             .sum()
+    }
+}
+
+/// The engine-wide simulation context: one process-wide trace pool —
+/// and, optionally, its on-disk extension — threaded through every
+/// sweep of a `figures` run.
+///
+/// PR 4 scoped one [`TraceCache`] per sweep, so Figures 6, 7 and 8 —
+/// which run the *identical* `(workload, seed, PBS)` cell grid — each
+/// re-captured every key. An `EngineContext` hoists the cache to the
+/// whole run: the first sweep to reach a key captures (or loads) its
+/// trace, every later sweep replays the `Arc`-shared copy, and the
+/// context counts what actually happened ([`captures`]
+/// (EngineContext::captures), [`disk_loads`](EngineContext::disk_loads))
+/// so the throughput report can verify each emulation key was emulated
+/// **exactly once** per run.
+///
+/// With a trace directory ([`EngineContext::with_trace_dir`]) the pool
+/// extends across *processes*: [`get_or_capture`]
+/// (EngineContext::get_or_capture) first tries
+/// [`DynTrace::read_file`] under the key's caller-supplied content
+/// hash, and persists fresh captures with [`DynTrace::write_file`]. A
+/// missing, stale or corrupt file silently falls back to capture —
+/// persistence can save a re-emulation, never change a result. Disk
+/// write failures are reported to stderr and otherwise ignored (the
+/// in-memory pool still serves the run).
+#[derive(Debug)]
+pub struct EngineContext<K> {
+    cache: TraceCache<K>,
+    trace_dir: Option<std::path::PathBuf>,
+    captures: AtomicUsize,
+    disk_loads: AtomicUsize,
+}
+
+impl<K: Eq + Hash> Default for EngineContext<K> {
+    fn default() -> EngineContext<K> {
+        EngineContext::new()
+    }
+}
+
+impl<K: Eq + Hash> EngineContext<K> {
+    /// A context with an empty in-memory pool and no disk persistence.
+    pub fn new() -> EngineContext<K> {
+        EngineContext {
+            cache: TraceCache::new(),
+            trace_dir: None,
+            captures: AtomicUsize::new(0),
+            disk_loads: AtomicUsize::new(0),
+        }
+    }
+
+    /// A context whose pool is backed by trace files under `dir`
+    /// (created on first write if missing).
+    pub fn with_trace_dir(dir: impl Into<std::path::PathBuf>) -> EngineContext<K> {
+        EngineContext {
+            trace_dir: Some(dir.into()),
+            ..EngineContext::new()
+        }
+    }
+
+    /// Whether this context persists traces to disk.
+    pub fn persistent(&self) -> bool {
+        self.trace_dir.is_some()
+    }
+
+    /// The trace file path for a content hash under `dir`.
+    fn trace_path(dir: &std::path::Path, content_hash: u64) -> std::path::PathBuf {
+        dir.join(format!("trace-{content_hash:016x}.bin"))
+    }
+
+    /// The trace for `key`, loading it from the trace directory (when
+    /// configured and valid) or capturing it with `capture` on first
+    /// use. `content_hash` must identify everything that shapes the
+    /// captured stream (see
+    /// [`SimConfig::emu_key_fingerprint`](probranch_pipeline::SimConfig::emu_key_fingerprint)
+    /// and the sweep's workload identity); `config` supplies the
+    /// emulation key a loaded trace replays under.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `capture`'s error; the slot stays empty, so a later
+    /// caller retries.
+    pub fn get_or_capture<E>(
+        &self,
+        key: K,
+        content_hash: u64,
+        config: &probranch_pipeline::SimConfig,
+        capture: impl FnOnce() -> Result<DynTrace, E>,
+    ) -> Result<Arc<DynTrace>, E> {
+        self.cache.get_or_capture(key, || {
+            self.load_or_capture_unpooled(content_hash, config, capture)
+        })
+    }
+
+    /// [`get_or_capture`](EngineContext::get_or_capture) without the
+    /// in-memory pool: loads from the trace directory (when configured
+    /// and valid) or captures — persisting a fresh capture — and hands
+    /// the trace to the caller to drop when done. For one-shot
+    /// consumers whose key no other sweep will revisit (Figure 9's
+    /// per-seed pairs), where pooling a never-evicted multi-megabyte
+    /// trace would buy nothing but peak memory. Capture/disk-load
+    /// accounting is shared with the pooled path.
+    ///
+    /// Unlike the pooled path there is no per-key lock: callers racing
+    /// on the same hash may capture twice (and atomically overwrite
+    /// each other's identical file) — wasteful, never wrong.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `capture`'s error.
+    pub fn load_or_capture_unpooled<E>(
+        &self,
+        content_hash: u64,
+        config: &probranch_pipeline::SimConfig,
+        capture: impl FnOnce() -> Result<DynTrace, E>,
+    ) -> Result<DynTrace, E> {
+        if let Some(dir) = &self.trace_dir {
+            let path = Self::trace_path(dir, content_hash);
+            if let Some(trace) = DynTrace::read_file(&path, content_hash, config) {
+                self.disk_loads.fetch_add(1, Ordering::Relaxed);
+                return Ok(trace);
+            }
+        }
+        let trace = capture()?;
+        self.captures.fetch_add(1, Ordering::Relaxed);
+        if let Some(dir) = &self.trace_dir {
+            let write = std::fs::create_dir_all(dir).and_then(|()| {
+                trace.write_file(&Self::trace_path(dir, content_hash), content_hash)
+            });
+            if let Err(e) = write {
+                eprintln!("warning: could not persist trace {content_hash:016x}: {e}");
+            }
+        }
+        Ok(trace)
+    }
+
+    /// The trace already pooled for `key`, if any — never captures and
+    /// never touches the disk.
+    pub fn peek(&self, key: &K) -> Option<Arc<DynTrace>> {
+        self.cache.peek(key)
+    }
+
+    /// Emulations actually performed through this context.
+    pub fn captures(&self) -> usize {
+        self.captures.load(Ordering::Relaxed)
+    }
+
+    /// Traces served from the trace directory instead of captured.
+    pub fn disk_loads(&self) -> usize {
+        self.disk_loads.load(Ordering::Relaxed)
+    }
+
+    /// Distinct emulation keys currently pooled.
+    pub fn keys(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Total heap bytes held by the pooled traces.
+    pub fn bytes(&self) -> usize {
+        self.cache.bytes()
     }
 }
 
@@ -441,6 +608,87 @@ mod tests {
         for r in &reports[1..] {
             assert_eq!(r, &reports[0], "shared-trace replays must agree");
         }
+    }
+
+    #[test]
+    fn engine_context_pools_across_sweeps_and_counts_captures() {
+        use probranch_pipeline::{simulate_replay, DynTrace, SimConfig};
+        use probranch_workloads::{BenchmarkId as B, Scale};
+
+        let ctx: EngineContext<(B, u64, bool)> = EngineContext::new();
+        let program = B::Pi.build(Scale::Smoke, workload_seed(B::Pi, 0)).program();
+        let cfg = SimConfig::default();
+        let hash = cfg.emu_key_fingerprint();
+        let key = (B::Pi, 0u64, false);
+        assert!(ctx.peek(&key).is_none());
+        // Two "sweeps" over the same key across worker threads: one
+        // capture total, every cell replaying the shared trace.
+        for _sweep in 0..2 {
+            let reports = run_cells(&[0u64, 1, 2, 3], Jobs::new(4), |_| {
+                let trace = ctx
+                    .get_or_capture(key, hash, &cfg, || DynTrace::capture(&program, &cfg))
+                    .expect("capture");
+                simulate_replay(&trace, &cfg).expect("replay")
+            });
+            for r in &reports[1..] {
+                assert_eq!(r, &reports[0]);
+            }
+        }
+        assert_eq!(ctx.captures(), 1, "one emulation for eight cells");
+        assert_eq!(ctx.disk_loads(), 0);
+        assert_eq!(ctx.keys(), 1);
+        assert!(ctx.peek(&key).is_some());
+        assert!(ctx.bytes() > 0);
+    }
+
+    #[test]
+    fn engine_context_trace_dir_round_trips_and_survives_corruption() {
+        use probranch_pipeline::{simulate_replay, DynTrace, SimConfig};
+        use probranch_workloads::{BenchmarkId as B, Scale};
+
+        let dir = std::env::temp_dir().join(format!("probranch-ctx-traces-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let program = B::Pi.build(Scale::Smoke, workload_seed(B::Pi, 0)).program();
+        let cfg = SimConfig::default();
+        let hash = cfg.emu_key_fingerprint();
+        let key = (B::Pi, 0u64, false);
+        let run = |ctx: &EngineContext<(B, u64, bool)>| {
+            let trace = ctx
+                .get_or_capture(key, hash, &cfg, || DynTrace::capture(&program, &cfg))
+                .expect("capture");
+            simulate_replay(&trace, &cfg).expect("replay")
+        };
+
+        // Cold: captures and persists.
+        let cold_ctx = EngineContext::with_trace_dir(&dir);
+        assert!(cold_ctx.persistent());
+        let cold = run(&cold_ctx);
+        assert_eq!((cold_ctx.captures(), cold_ctx.disk_loads()), (1, 0));
+
+        // Warm: a fresh context loads from disk, zero emulations, and
+        // the replay is byte-identical.
+        let warm_ctx = EngineContext::with_trace_dir(&dir);
+        let warm = run(&warm_ctx);
+        assert_eq!((warm_ctx.captures(), warm_ctx.disk_loads()), (0, 1));
+        assert_eq!(warm, cold);
+
+        // Corrupt the file: the next context falls back to capture and
+        // rewrites it.
+        let file = std::fs::read_dir(&dir)
+            .expect("trace dir")
+            .next()
+            .expect("one trace file")
+            .expect("dir entry")
+            .path();
+        let mut bytes = std::fs::read(&file).expect("trace bytes");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&file, &bytes).expect("corrupt");
+        let healed_ctx = EngineContext::with_trace_dir(&dir);
+        let healed = run(&healed_ctx);
+        assert_eq!((healed_ctx.captures(), healed_ctx.disk_loads()), (1, 0));
+        assert_eq!(healed, cold);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -58,6 +58,13 @@ mod program;
 mod reg;
 mod text;
 
+/// Version of the ISA's semantics and encodings, folded into the
+/// content hash of persisted dynamic traces: bump it whenever an
+/// instruction's meaning, operand encoding or execution class changes,
+/// so stale on-disk traces captured under the old semantics are
+/// rejected instead of silently replayed.
+pub const ISA_VERSION: u32 = 1;
+
 pub use builder::{Label, ProgramBuilder};
 pub use encode::{decode, decode_compat, encode, encode_inst, PROB_BIT};
 pub use error::IsaError;

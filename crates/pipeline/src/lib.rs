@@ -25,12 +25,15 @@
 //!   [`simulate`] is the fused/predecoded engine;
 //!   [`simulate_reference`] keeps the original unfused loop as a
 //!   differential baseline producing identical reports;
-//! * [`DynTrace`] / [`simulate_replay`] / [`simulate_convoy`] — the
-//!   emulate-once/time-many engine: the dynamic record stream (plus
-//!   pre-simulated cache latencies) is captured once per emulation key
-//!   `(workload, PBS config, emulator config)` and replayed against any
-//!   number of predictor/core configurations, byte-identically to the
-//!   fused engine (see `trace`).
+//! * [`DynTrace`] / [`simulate_replay`] / [`simulate_convoy`] /
+//!   [`simulate_replay_convoy`] — the emulate-once/time-many engine:
+//!   the dynamic record stream (plus pre-simulated cache latencies) is
+//!   captured once per emulation key `(workload, PBS config, emulator
+//!   config)` into structure-of-arrays chunks and replayed against any
+//!   number of predictor/core configurations — one consumer at a time
+//!   or as a fused lockstep convoy — byte-identically to the fused
+//!   engine (see `trace`), with optional on-disk persistence keyed by
+//!   content hash (see `persist`).
 //!
 //! ```
 //! use probranch_isa::{ProgramBuilder, Reg, CmpOp};
@@ -55,6 +58,7 @@ mod cache;
 mod decode;
 mod machine;
 mod ooo;
+mod persist;
 mod sim;
 mod trace;
 
@@ -66,9 +70,10 @@ pub use machine::{
     BranchEvent, BranchEventKind, DynInst, EmuConfig, EmuError, Emulator, StepRecord,
 };
 pub use ooo::{BranchTraceEntry, ExecLatencies, OooConfig, OooTimingModel, TimingStats};
+pub use persist::TRACE_FILE_VERSION;
 pub use sim::{
     run_functional, simulate, simulate_convoy, simulate_reference, simulate_replay,
-    PredictorChoice, SimConfig, SimReport,
+    simulate_replay_convoy, PredictorChoice, SimConfig, SimReport,
 };
 pub use trace::{
     DynTrace, ReplayConsumer, ReplayRec, TraceChunk, TraceFunctional, TraceStream,

@@ -213,8 +213,22 @@ impl TimingStats {
 /// latency (memory, the slowest functional unit, the misprediction
 /// refill) plus the front end, so the live span is bounded by
 /// `rob_size * (max latency + frontend + penalty + 1)`. Rounded up to a
-/// power of two for mask indexing; 64 Ki entries (1 MiB) for the
-/// default 168-entry ROB with 200-cycle memory.
+/// power of two for mask indexing; 64 Ki entries (256 KiB at 4 bytes
+/// per slot, see [`OooTimingModel::issue_ring`]) for the default
+/// 168-entry ROB with 200-cycle memory.
+/// Bits of an issue-ring slot holding the per-cycle issue count; the
+/// remaining 16 bits hold the cycle's epoch tag.
+const RING_COUNT_BITS: u32 = 16;
+/// Mask of the count field.
+const RING_COUNT_MASK: u32 = (1 << RING_COUNT_BITS) - 1;
+/// Mask of an (unshifted) epoch tag.
+const RING_TAG_MASK: u32 = (1 << (32 - RING_COUNT_BITS)) - 1;
+/// Epochs between issue-ring scrub passes: half the 16-bit tag space,
+/// so at every scrub a stale slot's *wrapped* tag age equals its true
+/// age (no slot can get within half a wrap of aliasing between two
+/// passes) and the `age > 3` test is unambiguous.
+const RING_SCRUB_EPOCHS: u64 = 1 << 15;
+
 fn issue_ring_len(cfg: &OooConfig) -> usize {
     let l = &cfg.latencies;
     let max_exec = [
@@ -256,13 +270,30 @@ pub struct OooTimingModel {
     rob_len: usize,
     /// Issue-bandwidth ring, sized at construction to a power of two
     /// covering the worst-case span of live issue cycles (see
-    /// [`issue_ring_len`]) and indexed by mask. Each slot packs
-    /// `cycle | count << 48` into one word (cycle counts stay far below
-    /// 2^48 for any feasible run length), halving the ring's cache
-    /// footprint versus a `(u64, u32)` pair.
-    issue_ring: Box<[u64]>,
+    /// [`issue_ring_len`]) and indexed by mask. Each `u32` slot packs
+    /// `epoch_tag << 16 | count`, where the epoch tag is the low 16
+    /// bits of `cycle >> ring_bits` — together with the slot index that
+    /// identifies the cycle a slot's count belongs to, at half the
+    /// cache footprint of the previous full-cycle `u64` packing
+    /// (256 KiB instead of 512 KiB per consumer for the default core).
+    /// Tag aliasing (two cycles 2^16 epochs apart) is made impossible
+    /// by [`scrub_issue_ring`](Self::scrub_issue_ring), which zeroes
+    /// every non-live slot at least once per 2^15 epochs — a zeroed
+    /// slot reads as "no issues recorded" for every future probe, which
+    /// is exact for any slot whose true cycle has passed.
+    issue_ring: Box<[u32]>,
     /// `issue_ring.len() - 1`.
     issue_mask: usize,
+    /// `issue_ring.len().trailing_zeros()` — the epoch shift.
+    ring_bits: u32,
+    /// Fetch cycle at which the next [`scrub_issue_ring`]
+    /// (Self::scrub_issue_ring) pass runs.
+    ring_scrub_at: u64,
+    /// `cfg.width` capped to the ring's 16-bit count field. Exact for
+    /// every feasible core: a cycle can only reach 2^16 issues with
+    /// more than 2^16 instructions in flight, i.e. `rob_size` ≥ 2^16
+    /// *and* `width` ≥ 2^16 (asserted against in [`OooTimingModel::new`]).
+    width_cap: u32,
     last_commit: u64,
     committed_in_commit_cycle: u32,
     stats: TimingStats,
@@ -278,6 +309,11 @@ impl OooTimingModel {
     /// Creates a model with the given configuration and a default memory
     /// hierarchy.
     pub fn new(cfg: OooConfig) -> OooTimingModel {
+        let ring_len = issue_ring_len(&cfg);
+        assert!(
+            cfg.width < 1 << 16 || cfg.rob_size < 1 << 16,
+            "issue ring count field cannot express a 2^16-wide, 2^16-deep core"
+        );
         OooTimingModel {
             hierarchy: MemoryHierarchy::default(),
             fetch_cycle: 0,
@@ -286,12 +322,16 @@ impl OooTimingModel {
             rob: vec![0; cfg.rob_size],
             rob_head: 0,
             rob_len: 0,
-            // All-zero init is exact: a zero slot reads as "cycle 0,
-            // nothing issued yet", which the probe treats identically to
-            // an unused slot — and `vec![0]` is an `alloc_zeroed` of
-            // untouched pages instead of a sentinel fill per model.
-            issue_ring: vec![0u64; issue_ring_len(&cfg)].into_boxed_slice(),
-            issue_mask: issue_ring_len(&cfg) - 1,
+            // All-zero init is exact: a zero slot reads as "no issues
+            // recorded at this slot's cycle yet", which the probe treats
+            // identically to an unused slot — and `vec![0]` is an
+            // `alloc_zeroed` of untouched pages instead of a sentinel
+            // fill per model.
+            issue_ring: vec![0u32; ring_len].into_boxed_slice(),
+            issue_mask: ring_len - 1,
+            ring_bits: ring_len.trailing_zeros(),
+            ring_scrub_at: RING_SCRUB_EPOCHS << ring_len.trailing_zeros(),
+            width_cap: cfg.width.min((1 << 16) - 1),
             last_commit: 0,
             committed_in_commit_cycle: 0,
             stats: TimingStats::default(),
@@ -320,22 +360,48 @@ impl OooTimingModel {
 
     #[inline]
     fn issue_slot(&mut self, from: u64) -> u64 {
-        const COUNT_SHIFT: u32 = 48;
-        const CYCLE_MASK: u64 = (1 << COUNT_SHIFT) - 1;
         let mut c = from;
         loop {
-            debug_assert!(c < 1 << COUNT_SHIFT, "cycle count exceeds ring packing");
+            let tag = (((c >> self.ring_bits) as u32) & RING_TAG_MASK) << RING_COUNT_BITS;
             let slot = &mut self.issue_ring[(c as usize) & self.issue_mask];
-            if *slot & CYCLE_MASK != c {
-                *slot = c | (1 << COUNT_SHIFT);
+            if *slot & !RING_COUNT_MASK != tag {
+                *slot = tag | 1;
                 return c;
             }
-            if (*slot >> COUNT_SHIFT) < u64::from(self.cfg.width) {
-                *slot += 1 << COUNT_SHIFT;
+            if (*slot & RING_COUNT_MASK) < self.width_cap {
+                *slot += 1;
                 return c;
             }
             c += 1;
         }
+    }
+
+    /// Re-zeroes every issue-ring slot whose epoch tag is outside the
+    /// live window, so a slot written ≥ 2^16 epochs ago can never be
+    /// misread as current once the 16-bit tags wrap.
+    ///
+    /// Exactness: all probe-able cycles lie in
+    /// `[fetch_cycle, fetch_cycle + live span]` with the live span ≤ one
+    /// ring length (the ring-sizing invariant the previous full-cycle
+    /// encoding relied on too), i.e. within epochs `E ..= E + 1` of
+    /// `E = fetch_cycle >> ring_bits`. Slots tagged inside a
+    /// four-epoch window around `E` are preserved verbatim; everything
+    /// else is architecturally dead — a zeroed slot then reads as "no
+    /// issues recorded", which is exactly what a fresh probe of a
+    /// passed cycle would conclude — so a pass costs one linear sweep
+    /// (256 KiB) per 2^15 epochs (≥ 2 × 10^9 cycles for the default
+    /// core) and changes no observable timing.
+    #[cold]
+    fn scrub_issue_ring(&mut self) {
+        let live_base = (self.fetch_cycle >> self.ring_bits) as u32 & RING_TAG_MASK;
+        for slot in self.issue_ring.iter_mut() {
+            let age = (*slot >> RING_COUNT_BITS).wrapping_sub(live_base) & RING_TAG_MASK;
+            if age > 3 {
+                *slot = 0;
+            }
+        }
+        self.ring_scrub_at =
+            ((self.fetch_cycle >> self.ring_bits) + RING_SCRUB_EPOCHS) << self.ring_bits;
     }
 
     /// Consumes one dynamic instruction from the reference
@@ -440,6 +506,12 @@ impl OooTimingModel {
         predictor: &mut P,
         filter_prob: bool,
     ) {
+        // Epoch-tag maintenance for the u32 issue ring: at most one
+        // linear sweep per 2^15 ring epochs (one predictable
+        // never-taken compare per record otherwise).
+        if self.fetch_cycle >= self.ring_scrub_at {
+            self.scrub_issue_ring();
+        }
         // ---- fetch -----------------------------------------------------------
         // Both stall conditions are data-dependent and mispredict as
         // host branches; written in conditional-move form (an I-miss
@@ -772,6 +844,65 @@ mod tests {
         let narrow = run(OooConfig::default());
         let wide = run(OooConfig::wide());
         assert!(wide < narrow, "8-wide {wide} cycles vs 4-wide {narrow}");
+    }
+
+    #[test]
+    fn issue_ring_stays_exact_across_epoch_scrubs() {
+        // A tiny core gives a small ring (fast epochs); a serial
+        // dependent chain on a 20-cycle divider walks the clock past
+        // several scrub passes. The run's cycle count has a closed
+        // form — one divide issuing every `int_div` cycles once the
+        // pipeline fills — so a stale-count misread or an over-eager
+        // scrub of a live slot would show up as an exact-cycle drift.
+        let cfg = OooConfig {
+            width: 2,
+            rob_size: 1,
+            latencies: ExecLatencies {
+                int_div: 20,
+                ..ExecLatencies::default()
+            },
+            ..OooConfig::default()
+        };
+        let div = |pc: u32| DynInst {
+            pc,
+            inst: Inst::Alu {
+                op: AluOp::Div,
+                dst: Reg::R1,
+                src1: Reg::R1,
+                src2: Operand::imm(3),
+            },
+            branch: None,
+            mem_addr: None,
+        };
+        let run = |n: u64| {
+            let mut m = OooTimingModel::new(cfg.clone());
+            let mut p = StaticPredictor::taken();
+            for i in 0..n {
+                m.consume(&div((i % 16) as u32), &mut p, false);
+            }
+            (m.stats().cycles, m.issue_ring.len() as u64)
+        };
+        // Calibrate the chain's exact steady-state period on short
+        // (scrub-free) runs…
+        let (c1, ring_len) = run(10_000);
+        let (c2, _) = run(20_000);
+        let period = (c2 - c1) / 10_000;
+        assert_eq!((c2 - c1) % 10_000, 0, "chain must be exactly periodic");
+        // …then extrapolate across several scrub passes: any stale
+        // count misread or over-eager scrub of a live slot breaks the
+        // exact linearity.
+        let scrub_span = RING_SCRUB_EPOCHS * ring_len;
+        let n = (5 * scrub_span / 2) / period + 1000;
+        let (cycles, _) = run(n);
+        assert!(
+            cycles > 2 * scrub_span,
+            "run must cross scrub passes: {cycles} cycles vs {scrub_span}-cycle span"
+        );
+        assert_eq!(
+            cycles,
+            c1 + period * (n - 10_000),
+            "dependent divide chain drifted across ring scrubs (period {period})"
+        );
     }
 
     #[test]

@@ -1,0 +1,476 @@
+//! On-disk persistence for captured [`DynTrace`]s.
+//!
+//! A persisted trace lets repeated `figures` invocations (and CI) skip
+//! functional emulation entirely: the SoA chunk streams, the per-pc
+//! timing metadata and the architectural results are written once per
+//! emulation key and re-loaded byte-identically. Files are keyed and
+//! validated by a caller-supplied **content hash** of everything that
+//! shapes the captured stream — workload identity, seed derivation,
+//! PBS/emulator configuration, ISA version (see
+//! [`SimConfig::emu_key_fingerprint`]) — plus a whole-file digest, a
+//! format magic and a format version. *Any* validation failure —
+//! missing file, truncation, bit rot, a stale format or a stale content
+//! hash — makes [`DynTrace::read_file`] return `None`, and the caller
+//! falls back to a fresh capture: a bad file can cost a re-emulation,
+//! never a wrong result.
+//!
+//! The format is a flat little-endian byte stream (no external
+//! dependencies), written atomically via a temp file + rename so a
+//! crashed or concurrent writer can never leave a half-written file
+//! under the final name.
+
+use std::io::Write;
+use std::path::Path;
+
+use probranch_core::PbsStats;
+use probranch_rng::SplitMix64;
+
+use crate::decode::InstTiming;
+use crate::sim::SimConfig;
+use crate::trace::{DynTrace, TraceChunk, TraceFunctional};
+
+/// File magic: identifies a probranch trace file.
+const MAGIC: &[u8; 8] = b"PBTRACE\0";
+
+/// Version of the on-disk layout. Bump on any layout change; readers
+/// reject other versions (falling back to capture).
+pub const TRACE_FILE_VERSION: u32 = 1;
+
+/// Word-folding digest over a byte stream (SplitMix64-mixed FNV-style
+/// accumulation): not cryptographic, but any truncation or flipped bit
+/// changes it with overwhelming probability.
+fn digest(bytes: &[u8]) -> u64 {
+    let mut h = 0x9E37_79B9_7F4A_7C15u64 ^ (bytes.len() as u64);
+    let mut words = bytes.chunks_exact(8);
+    for w in &mut words {
+        let v = u64::from_le_bytes(w.try_into().expect("8-byte chunk"));
+        h = SplitMix64::mix(h ^ v);
+    }
+    let mut tail = [0u8; 8];
+    let rest = words.remainder();
+    tail[..rest.len()].copy_from_slice(rest);
+    SplitMix64::mix(h ^ u64::from_le_bytes(tail))
+}
+
+// ---- writer ---------------------------------------------------------------
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+    fn u32s(&mut self, v: &[u32]) {
+        for &x in v {
+            self.u32(x);
+        }
+    }
+    fn u64s(&mut self, v: &[u64]) {
+        for &x in v {
+            self.u64(x);
+        }
+    }
+}
+
+// ---- reader ---------------------------------------------------------------
+
+/// A bounds-checked cursor over the file bytes; every accessor returns
+/// `None` past the end, which bubbles up as "fall back to capture".
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Option<u16> {
+        Some(u16::from_le_bytes(self.take(2)?.try_into().ok()?))
+    }
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+    /// A length field that must also be plausible for the remaining
+    /// bytes (guards against allocating huge buffers for corrupt
+    /// lengths before the digest check would catch them).
+    fn len(&mut self, elem_bytes: usize) -> Option<usize> {
+        let n = usize::try_from(self.u64()?).ok()?;
+        if n.checked_mul(elem_bytes.max(1))? > self.buf.len() - self.pos {
+            return None;
+        }
+        Some(n)
+    }
+    fn u32s(&mut self, n: usize) -> Option<Vec<u32>> {
+        let raw = self.take(n.checked_mul(4)?)?;
+        Some(
+            raw.chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+                .collect(),
+        )
+    }
+    fn u64s(&mut self, n: usize) -> Option<Vec<u64>> {
+        let raw = self.take(n.checked_mul(8)?)?;
+        Some(
+            raw.chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+                .collect(),
+        )
+    }
+}
+
+impl DynTrace {
+    /// Serializes the trace (with its identifying `content_hash`) into
+    /// the on-disk format.
+    fn encode(&self, content_hash: u64) -> Vec<u8> {
+        let mut e = Enc {
+            buf: Vec::with_capacity(64 + self.bytes()),
+        };
+        e.bytes(MAGIC);
+        e.u32(TRACE_FILE_VERSION);
+        e.u64(content_hash);
+        e.u64(self.functional.instructions);
+        e.u64(self.timings.len() as u64);
+        for t in self.timings.iter() {
+            e.bytes(&t.uses);
+            e.u8(t.n_uses);
+            e.bytes(&t.defs);
+            e.u8(t.n_defs);
+            e.u8(t.class);
+        }
+        e.u64(self.functional.outputs.len() as u64);
+        for (port, values) in &self.functional.outputs {
+            e.u16(*port);
+            e.u64(values.len() as u64);
+            e.u64s(values);
+        }
+        e.u64(self.functional.prob_consumed.len() as u64);
+        e.u64s(&self.functional.prob_consumed);
+        match &self.functional.pbs {
+            None => e.u8(0),
+            Some(s) => {
+                e.u8(1);
+                e.u64s(&[
+                    s.directed,
+                    s.bootstrap,
+                    s.bypassed,
+                    s.allocations,
+                    s.const_val_demotions,
+                    s.evictions,
+                    s.context_flushes,
+                ]);
+            }
+        }
+        e.u64(self.chunks.len() as u64);
+        for c in &self.chunks {
+            e.u64(c.pcs.len() as u64);
+            e.u64(c.branches.len() as u64);
+            e.u32(c.open_run);
+            e.u32s(&c.runs);
+            e.bytes(&c.branches);
+            e.u32s(&c.pcs);
+            e.bytes(&c.istalls);
+            e.bytes(&c.dlats);
+        }
+        let d = digest(&e.buf);
+        e.u64(d);
+        e.buf
+    }
+
+    /// Writes the trace to `path` atomically (temp file + rename), so a
+    /// crash or a concurrent writer can never leave a torn file under
+    /// the final name.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from creating, writing or renaming the temp file.
+    pub fn write_file(&self, path: &Path, content_hash: u64) -> std::io::Result<()> {
+        // The temp name must be unique per *writer*, not just per
+        // process: concurrent same-process writers of one key would
+        // otherwise share a temp file and could publish a torn (digest-
+        // failing) trace.
+        static WRITER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let bytes = self.encode(content_hash);
+        let tmp = path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            WRITER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        match std::fs::rename(&tmp, path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    /// Loads a trace previously persisted with
+    /// [`write_file`](DynTrace::write_file), returning `None` — never a
+    /// wrong trace — unless the file exists, parses, carries the
+    /// expected format version *and* `content_hash`, passes the
+    /// whole-file digest, and is structurally consistent. `config`
+    /// supplies the emulation key the returned trace replays under (the
+    /// content hash asserts it matches what was captured).
+    pub fn read_file(path: &Path, content_hash: u64, config: &SimConfig) -> Option<DynTrace> {
+        let bytes = std::fs::read(path).ok()?;
+        Self::decode(&bytes, content_hash, config)
+    }
+
+    fn decode(bytes: &[u8], content_hash: u64, config: &SimConfig) -> Option<DynTrace> {
+        if bytes.len() < MAGIC.len() + 8 {
+            return None;
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        if u64::from_le_bytes(tail.try_into().ok()?) != digest(body) {
+            return None;
+        }
+        let mut d = Dec { buf: body, pos: 0 };
+        if d.take(MAGIC.len())? != MAGIC
+            || d.u32()? != TRACE_FILE_VERSION
+            || d.u64()? != content_hash
+        {
+            return None;
+        }
+        let instructions = d.u64()?;
+        let n_timings = d.len(9)?;
+        let mut timings = Vec::with_capacity(n_timings);
+        for _ in 0..n_timings {
+            let raw = d.take(9)?;
+            timings.push(InstTiming {
+                uses: raw[..4].try_into().expect("4 use slots"),
+                n_uses: raw[4],
+                defs: raw[5..7].try_into().expect("2 def slots"),
+                n_defs: raw[7],
+                class: raw[8],
+            });
+        }
+        let n_ports = d.len(10)?;
+        let mut outputs = Vec::with_capacity(n_ports);
+        for _ in 0..n_ports {
+            let port = d.u16()?;
+            let n = d.len(8)?;
+            outputs.push((port, d.u64s(n)?));
+        }
+        let n_prob = d.len(8)?;
+        let prob_consumed = d.u64s(n_prob)?;
+        let pbs = match d.u8()? {
+            0 => None,
+            1 => {
+                let v = d.u64s(7)?;
+                Some(PbsStats {
+                    directed: v[0],
+                    bootstrap: v[1],
+                    bypassed: v[2],
+                    allocations: v[3],
+                    const_val_demotions: v[4],
+                    evictions: v[5],
+                    context_flushes: v[6],
+                })
+            }
+            _ => return None,
+        };
+        let n_chunks = d.len(1)?;
+        let mut chunks = Vec::with_capacity(n_chunks);
+        let mut total = 0u64;
+        for _ in 0..n_chunks {
+            let len = d.len(6)?;
+            let n_branches = d.len(1)?;
+            let open_run = d.u32()?;
+            let runs = d.u32s(n_branches)?;
+            let branches = d.take(n_branches)?.to_vec();
+            let pcs = d.u32s(len)?;
+            let istalls = d.take(len)?.to_vec();
+            let dlats = d.take(len)?.to_vec();
+            // Structural consistency: the run index must tile the
+            // record count, and every pc must index the timing table —
+            // the invariants replay consumers rely on.
+            let indexed: u64 = runs.iter().map(|&r| u64::from(r)).sum::<u64>()
+                + n_branches as u64
+                + u64::from(open_run);
+            if indexed != len as u64 || pcs.iter().any(|&pc| pc as usize >= timings.len()) {
+                return None;
+            }
+            total += len as u64;
+            chunks.push(TraceChunk {
+                pcs,
+                istalls,
+                dlats,
+                branches,
+                runs,
+                open_run,
+            });
+        }
+        if d.pos != body.len() || total != instructions {
+            return None;
+        }
+        Some(DynTrace {
+            timings: timings.into_boxed_slice(),
+            chunks,
+            functional: TraceFunctional {
+                instructions,
+                outputs,
+                prob_consumed,
+                pbs,
+            },
+            pbs: config.pbs.clone(),
+            emu: config.emu.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{simulate_replay, PredictorChoice};
+    use probranch_isa::{CmpOp, ProgramBuilder, Reg};
+
+    fn workload(iters: i64) -> probranch_isa::Program {
+        let mut b = ProgramBuilder::new();
+        let top = b.label("top");
+        let join = b.label("join");
+        b.li(Reg::R1, 0x243F6A8885A308D3u64 as i64);
+        b.li(Reg::R2, 0);
+        b.li(Reg::R3, 0);
+        b.li(Reg::R4, (u64::MAX / 3) as i64);
+        b.li(Reg::R6, 0x2545F4914F6CDD1Du64 as i64);
+        b.li(Reg::R9, 256);
+        b.bind(top);
+        b.shr(Reg::R5, Reg::R1, 12).xor(Reg::R1, Reg::R1, Reg::R5);
+        b.shl(Reg::R5, Reg::R1, 25).xor(Reg::R1, Reg::R1, Reg::R5);
+        b.mul(Reg::R7, Reg::R1, Reg::R6);
+        b.st(Reg::R7, Reg::R9, 0).ld(Reg::R8, Reg::R9, 0);
+        b.sltu(Reg::R8, Reg::R7, Reg::R4);
+        b.prob_cmp(CmpOp::Eq, Reg::R8, 1);
+        b.prob_jmp(None, join);
+        b.add(Reg::R3, Reg::R3, 1);
+        b.bind(join);
+        b.add(Reg::R2, Reg::R2, 1);
+        b.br(CmpOp::Lt, Reg::R2, iters, top);
+        b.out(Reg::R3, 0);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("probranch-persist-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    #[test]
+    fn trace_file_round_trips_byte_identically() {
+        let cfg = SimConfig::default().with_pbs();
+        let trace = DynTrace::capture(&workload(3000), &cfg).unwrap();
+        let hash = cfg.emu_key_fingerprint();
+        let dir = tempdir("roundtrip");
+        let path = dir.join("trace.bin");
+        trace.write_file(&path, hash).expect("write");
+        let back = DynTrace::read_file(&path, hash, &cfg).expect("load");
+        assert_eq!(back, trace, "persisted trace must round-trip exactly");
+        // And the replay through the loaded trace is byte-identical.
+        let timing_cfg = cfg.clone().predictor(PredictorChoice::Tournament);
+        assert_eq!(
+            simulate_replay(&back, &timing_cfg),
+            simulate_replay(&trace, &timing_cfg)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_or_corrupt_files_are_rejected_not_misread() {
+        let cfg = SimConfig::default();
+        let trace = DynTrace::capture(&workload(500), &cfg).unwrap();
+        let hash = cfg.emu_key_fingerprint();
+        let dir = tempdir("corrupt");
+        let path = dir.join("trace.bin");
+        trace.write_file(&path, hash).expect("write");
+
+        // Wrong content hash (a stale file for a different key).
+        assert!(DynTrace::read_file(&path, hash ^ 1, &cfg).is_none());
+        // Missing file.
+        assert!(DynTrace::read_file(&dir.join("absent.bin"), hash, &cfg).is_none());
+
+        let pristine = std::fs::read(&path).unwrap();
+        // Truncations at every region boundary-ish size.
+        for cut in [0, 7, 16, pristine.len() / 2, pristine.len() - 1] {
+            std::fs::write(&path, &pristine[..cut]).unwrap();
+            assert!(
+                DynTrace::read_file(&path, hash, &cfg).is_none(),
+                "truncated at {cut}"
+            );
+        }
+        // Single flipped bits across the file (magic, header, streams,
+        // digest).
+        for pos in [0, 9, 13, 21, pristine.len() / 3, pristine.len() - 3] {
+            let mut bad = pristine.clone();
+            bad[pos] ^= 0x40;
+            std::fs::write(&path, &bad).unwrap();
+            assert!(
+                DynTrace::read_file(&path, hash, &cfg).is_none(),
+                "bit flip at {pos}"
+            );
+        }
+        // A different format version.
+        let mut bad = pristine.clone();
+        bad[8] = bad[8].wrapping_add(1);
+        std::fs::write(&path, &bad).unwrap();
+        assert!(DynTrace::read_file(&path, hash, &cfg).is_none());
+
+        // The pristine bytes still load.
+        std::fs::write(&path, &pristine).unwrap();
+        assert_eq!(DynTrace::read_file(&path, hash, &cfg).unwrap(), trace);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_separates_emulation_keys_only() {
+        let base = SimConfig::default();
+        let pbs = SimConfig::default().with_pbs();
+        assert_ne!(base.emu_key_fingerprint(), pbs.emu_key_fingerprint());
+        // Timing-side fields must not affect the fingerprint…
+        let mut timing_only = base.clone().predictor(PredictorChoice::Tournament);
+        timing_only.filter_prob_from_predictor = true;
+        timing_only.collect_branch_trace = true;
+        assert_eq!(
+            base.emu_key_fingerprint(),
+            timing_only.emu_key_fingerprint()
+        );
+        // …while every key field does.
+        let mut budget = base.clone();
+        budget.max_insts += 1;
+        assert_ne!(base.emu_key_fingerprint(), budget.emu_key_fingerprint());
+        let mut mem = base.clone();
+        mem.emu.mem_words *= 2;
+        assert_ne!(base.emu_key_fingerprint(), mem.emu_key_fingerprint());
+    }
+}

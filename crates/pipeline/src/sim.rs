@@ -21,7 +21,7 @@ use probranch_predictor::{
 
 use crate::machine::{EmuConfig, EmuError, Emulator, StepRecord};
 use crate::ooo::{OooConfig, OooTimingModel, TimingStats};
-use crate::trace::{DynTrace, ReplayConsumer, TraceChunk, TraceStream};
+use crate::trace::{drain_chunk_convoy, DynTrace, ReplayConsumer, TraceChunk, TraceStream};
 
 /// Which baseline branch predictor to instantiate (paper Section VI-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,6 +122,36 @@ impl SimConfig {
     pub fn predictor(mut self, p: PredictorChoice) -> SimConfig {
         self.predictor = p;
         self
+    }
+
+    /// A stable 64-bit fingerprint of the configuration's *emulation
+    /// key* — every field that shapes the dynamic instruction stream a
+    /// trace captures (PBS configuration, emulator configuration,
+    /// instruction budget) plus the ISA version — and none of the
+    /// timing-side fields (predictor, core, filter, tracing).
+    ///
+    /// This is the content-hash ingredient for on-disk trace
+    /// persistence: two configurations with equal fingerprints capture
+    /// byte-identical traces of the same program.
+    pub fn emu_key_fingerprint(&self) -> u64 {
+        let pbs = match &self.pbs {
+            None => [0u64; 5],
+            Some(p) => [
+                1,
+                p.num_branches as u64,
+                p.values_per_branch as u64,
+                p.in_flight as u64,
+                p.context_tracking as u64,
+            ],
+        };
+        let mut parts = vec![u64::from(probranch_isa::ISA_VERSION)];
+        parts.extend_from_slice(&pbs);
+        parts.extend_from_slice(&[
+            self.emu.mem_words as u64,
+            self.emu.max_call_depth as u64,
+            self.max_insts,
+        ]);
+        probranch_rng::SplitMix64::mix_fold(&parts)
     }
 }
 
@@ -281,28 +311,47 @@ pub fn simulate_reference(program: &Program, config: &SimConfig) -> Result<SimRe
 /// [`EmuError::InstLimitExceeded`] exactly when [`simulate`] would
 /// return it.
 pub fn simulate_replay(trace: &DynTrace, config: &SimConfig) -> Result<SimReport, EmuError> {
-    trace.check_compatible(config);
-    if trace.instructions() >= config.max_insts {
-        return Err(EmuError::InstLimitExceeded {
-            limit: config.max_insts,
-        });
-    }
-    let mut consumer = ReplayConsumer::new(config);
-    for chunk in trace.chunks() {
-        consumer.consume_chunk(trace.timings(), chunk);
-    }
-    Ok(consumer.into_report(trace.functional()))
+    // The one-element convoy takes the identical monomorphized
+    // single-consumer drain, so the two entry points share every check
+    // and cannot diverge in error semantics.
+    simulate_replay_convoy(trace, std::slice::from_ref(config))
+        .map(|mut reports| reports.pop().expect("one report per config"))
 }
 
-/// Convoy replay: emulates `program` once, streaming each captured
-/// chunk through one timing consumer per configuration in lockstep.
+/// Asserts every configuration of a convoy shares the first one's
+/// emulation key (`pbs`, `emu`, `max_insts`); timing-side fields are
+/// free to differ.
+fn check_convoy_key<'a>(configs: &'a [SimConfig], what: &str) -> &'a SimConfig {
+    let key = configs
+        .first()
+        .unwrap_or_else(|| panic!("{what} needs at least one configuration"));
+    for cfg in &configs[1..] {
+        assert_eq!(cfg.pbs, key.pbs, "convoy cells must share the PBS config");
+        assert_eq!(
+            cfg.emu, key.emu,
+            "convoy cells must share the emulator config"
+        );
+        assert_eq!(
+            cfg.max_insts, key.max_insts,
+            "convoy cells must share the instruction budget"
+        );
+    }
+    key
+}
+
+/// Convoy replay: emulates `program` once, draining each captured chunk
+/// through one timing consumer per configuration in a single **fused**
+/// loop — every record is decoded from the SoA streams once and all
+/// `k` timing models advance in lockstep (monomorphized per predictor
+/// pair for the common `k = 2` sweeps, per-consumer static dispatch
+/// beyond that).
 ///
 /// Equivalent to calling [`simulate`] once per configuration — the
 /// returned reports are byte-identical, in input order — but the
 /// emulation and cache pre-simulation run once, only a single
 /// chunk-sized buffer is ever live (bounded memory on arbitrarily long
-/// workloads), and each chunk is still cache-hot when the second and
-/// later consumers drain it.
+/// workloads), and each record's streams are register/L1-hot when the
+/// second and later consumers step over it.
 ///
 /// All configurations must share the emulation key: equal `pbs`, `emu`
 /// and `max_insts` fields (the timing-side fields are free).
@@ -319,32 +368,57 @@ pub fn simulate_convoy(
     program: &Program,
     configs: &[SimConfig],
 ) -> Result<Vec<SimReport>, EmuError> {
-    let key = configs
-        .first()
-        .expect("simulate_convoy needs at least one configuration");
-    for cfg in &configs[1..] {
-        assert_eq!(cfg.pbs, key.pbs, "convoy cells must share the PBS config");
-        assert_eq!(
-            cfg.emu, key.emu,
-            "convoy cells must share the emulator config"
-        );
-        assert_eq!(
-            cfg.max_insts, key.max_insts,
-            "convoy cells must share the instruction budget"
-        );
-    }
+    let key = check_convoy_key(configs, "simulate_convoy");
     let mut stream = TraceStream::new(program, key);
     let mut consumers: Vec<ReplayConsumer> = configs.iter().map(ReplayConsumer::new).collect();
     let mut chunk = TraceChunk::with_chunk_capacity();
     while stream.fill(&mut chunk)? {
-        for consumer in &mut consumers {
-            consumer.consume_chunk(stream.timings(), &chunk);
-        }
+        drain_chunk_convoy(&mut consumers, stream.timings(), &chunk);
     }
     let functional = stream.finish();
     Ok(consumers
         .into_iter()
         .map(|c| c.into_report(&functional))
+        .collect())
+}
+
+/// Convoy replay over a **materialized** trace: drains each chunk of
+/// `trace` through one timing consumer per configuration in the same
+/// fused lockstep loop as [`simulate_convoy`], without re-emulating —
+/// the path sweeps take when a shared cache already holds the key's
+/// trace.
+///
+/// Byte-identical to calling [`simulate_replay`] once per
+/// configuration, in input order.
+///
+/// # Panics
+///
+/// Panics if `configs` is empty, the emulation keys differ, or the
+/// trace was captured under a different emulation key.
+///
+/// # Errors
+///
+/// [`EmuError::InstLimitExceeded`] exactly when [`simulate`] would
+/// return it (the trace outruns the configurations' shared budget) —
+/// every cell errors identically.
+pub fn simulate_replay_convoy(
+    trace: &DynTrace,
+    configs: &[SimConfig],
+) -> Result<Vec<SimReport>, EmuError> {
+    let key = check_convoy_key(configs, "simulate_replay_convoy");
+    trace.check_compatible(key);
+    if trace.instructions() >= key.max_insts {
+        return Err(EmuError::InstLimitExceeded {
+            limit: key.max_insts,
+        });
+    }
+    let mut consumers: Vec<ReplayConsumer> = configs.iter().map(ReplayConsumer::new).collect();
+    for chunk in trace.chunks() {
+        drain_chunk_convoy(&mut consumers, trace.timings(), chunk);
+    }
+    Ok(consumers
+        .into_iter()
+        .map(|c| c.into_report(trace.functional()))
         .collect())
 }
 

@@ -8,14 +8,14 @@
 //! the emulator. This module makes that stream a first-class artifact:
 //!
 //! * [`TraceStream`] — the capture half of the fused engine, split out:
-//!   drains the emulator's [`StepRecord`] stream (branch outcomes and
+//!   drains the emulator's [`StepRecord`](crate::StepRecord) stream (branch outcomes and
 //!   prob-branch resolutions ride inside the records) into
-//!   [`TraceChunk`]s of packed 8-byte [`ReplayRec`]s, pre-simulating
-//!   the memory hierarchy — whose evolution also depends only on the
-//!   pc/address stream — into per-record latencies along the way;
+//!   structure-of-arrays [`TraceChunk`]s, pre-simulating the memory
+//!   hierarchy — whose evolution also depends only on the pc/address
+//!   stream — into per-record latencies along the way;
 //! * [`DynTrace`] — a materialized, chunked trace captured once per
 //!   emulation key and shared (`Arc<DynTrace>`) across every timing
-//!   cell of a sweep;
+//!   cell of a sweep, optionally persisted to disk (see `persist`);
 //! * [`ReplayConsumer`] — the consume half: an
 //!   [`OooTimingModel`] + statically dispatched predictor pair that
 //!   drains chunks through the same cycle-accounting core as the live
@@ -23,12 +23,31 @@
 //!   loop monomorphized per predictor type via
 //!   [`PredictorVisitor`](probranch_predictor::PredictorVisitor).
 //!
-//! Two replay modes sit on top (see `sim.rs`):
+//! # Structure-of-arrays chunk layout
+//!
+//! A chunk stores its records as parallel `pc` / `istall` / `dlat`
+//! streams plus a **run-length index over non-branch runs**: the
+//! branch-event byte is zero for the large majority of dynamic
+//! instructions (~80% on the paper workloads), so instead of an
+//! interleaved 8-byte [`ReplayRec`] per record — whose branch byte every
+//! consumer re-tests — the chunk stores one length per non-branch run
+//! and a dense stream of the (non-zero) branch bytes. A consumer never
+//! scans for branches at all: [`walk_chunk`] iterates whole non-branch
+//! spans through a branch-free specialization of the cycle-accounting
+//! core (the `branch: None` match arm constant-folds away) and decodes
+//! exactly one branch event per run. The AoS [`ReplayRec`] view remains
+//! available through [`TraceChunk::push`] / [`TraceChunk::records`] and
+//! round-trips byte-identically (property-tested).
+//!
+//! Replay modes on top (see `sim.rs`):
 //! [`simulate_replay`](crate::simulate_replay) re-times a materialized
-//! [`DynTrace`], and [`simulate_convoy`](crate::simulate_convoy)
-//! streams each freshly captured chunk through *k* consumers in
-//! lockstep — one chunk buffer of bounded size, hot in cache for every
-//! consumer, never a materialized trace.
+//! [`DynTrace`]; [`simulate_convoy`](crate::simulate_convoy) and
+//! [`simulate_replay_convoy`](crate::simulate_replay_convoy) drain each
+//! chunk through *k* consumers in one **fused** loop that decodes every
+//! record once and advances all `k` timing models in lockstep — with
+//! the whole loop monomorphized per predictor *pair* for the common
+//! `k = 2` case ([`PredictorPairVisitor`]) and falling back to the
+//! per-consumer [`PredictorDispatch`] match for arbitrary `k`.
 //!
 //! Replay is byte-identical to the fused engine — `SimReport` equality
 //! including `branch_trace`, `prob_consumed` and the error paths — which
@@ -37,27 +56,33 @@
 
 use probranch_core::{PbsConfig, PbsStats, PbsUnit};
 use probranch_isa::{ExecClass, Program};
-use probranch_predictor::{BranchPredictor, PredictorDispatch, PredictorVisitor};
+use probranch_predictor::{
+    BranchPredictor, PredictorDispatch, PredictorPairVisitor, PredictorVisitor,
+};
 
 use crate::cache::MemoryHierarchy;
 use crate::decode::InstTiming;
-use crate::machine::{BranchEvent, BranchEventKind, EmuConfig, EmuError, Emulator, StepRecord};
+use crate::machine::{BranchEvent, BranchEventKind, EmuConfig, EmuError, Emulator};
 use crate::ooo::OooTimingModel;
 use crate::sim::{SimConfig, SimReport};
 
-/// Records per [`TraceChunk`]: 64 Ki packed records = 512 KiB — small
-/// enough to stay cache-resident while a convoy streams it through
-/// several consumers (and the bounded-memory figure for streaming
-/// convoys), large enough to amortize the per-chunk bookkeeping and
-/// consumer switches.
+/// Records per [`TraceChunk`]: 64 Ki records — small enough to stay
+/// cache-resident while a convoy streams it through several consumers
+/// (and the bounded-memory figure for streaming convoys), large enough
+/// to amortize the per-chunk bookkeeping and consumer switches. In the
+/// SoA layout a full chunk is 6 bytes of stream data per record
+/// (384 KiB) plus the run index.
 pub const TRACE_CHUNK_RECORDS: usize = 1 << 16;
 
-/// One dynamic instruction of a captured trace, packed to 8 bytes.
+/// One dynamic instruction of a captured trace, as an 8-byte
+/// array-of-structs value.
 ///
-/// A timing-only pass needs less than the 16-byte live [`StepRecord`]:
-/// the data address is replaced by its pre-simulated cache latency, and
-/// the branch event fits one byte. Halving the record halves the memory
-/// a trace holds *and* the bandwidth every replay consumer streams.
+/// This is the *record view* of the trace: [`TraceChunk`] stores the
+/// same fields as parallel streams (see the module docs) and converts
+/// losslessly to and from this form ([`TraceChunk::push`] /
+/// [`TraceChunk::records`]). A timing-only pass needs less than the
+/// 16-byte live [`StepRecord`](crate::StepRecord): the data address is replaced by its
+/// pre-simulated cache latency, and the branch event fits one byte.
 ///
 /// The two latency fields are exact pre-simulations of the timing
 /// model's `MemoryHierarchy::default()`: the hierarchy is deterministic
@@ -78,96 +103,252 @@ pub struct ReplayRec {
     pub dlat: u8,
 }
 
-impl ReplayRec {
-    const PRESENT: u8 = 1 << 0;
-    const TAKEN: u8 = 1 << 1;
-    const PROB: u8 = 1 << 2;
-    const KIND_SHIFT: u32 = 3;
+const BR_PRESENT: u8 = 1 << 0;
+const BR_TAKEN: u8 = 1 << 1;
+const BR_PROB: u8 = 1 << 2;
+const BR_KIND_SHIFT: u32 = 3;
 
-    /// Packs a live record's branch resolution.
-    #[inline]
-    fn pack(rec: &StepRecord, istall: u8, dlat: u8) -> ReplayRec {
-        let branch = match rec.branch {
-            None => 0,
-            Some(ev) => {
-                let kind = match ev.kind {
-                    BranchEventKind::Conditional => 0u8,
-                    BranchEventKind::PbsDirected => 1,
-                    BranchEventKind::Unconditional => 2,
-                    BranchEventKind::Call => 3,
-                    BranchEventKind::Ret => 4,
-                };
-                Self::PRESENT
-                    | (Self::TAKEN * ev.taken as u8)
-                    | (Self::PROB * ev.is_prob as u8)
-                    | (kind << Self::KIND_SHIFT)
-            }
-        };
+/// Packs a branch resolution into the trace's one-byte encoding (0 for
+/// a non-branch record).
+#[inline]
+fn encode_branch(branch: Option<BranchEvent>) -> u8 {
+    match branch {
+        None => 0,
+        Some(ev) => {
+            let kind = match ev.kind {
+                BranchEventKind::Conditional => 0u8,
+                BranchEventKind::PbsDirected => 1,
+                BranchEventKind::Unconditional => 2,
+                BranchEventKind::Call => 3,
+                BranchEventKind::Ret => 4,
+            };
+            BR_PRESENT
+                | (BR_TAKEN * ev.taken as u8)
+                | (BR_PROB * ev.is_prob as u8)
+                | (kind << BR_KIND_SHIFT)
+        }
+    }
+}
+
+/// Decodes a (non-zero) packed branch byte, exactly as the live
+/// [`StepRecord`](crate::StepRecord) carried it.
+#[inline(always)]
+fn decode_branch(byte: u8) -> BranchEvent {
+    debug_assert!(byte & BR_PRESENT != 0);
+    let kind = match byte >> BR_KIND_SHIFT {
+        0 => BranchEventKind::Conditional,
+        1 => BranchEventKind::PbsDirected,
+        2 => BranchEventKind::Unconditional,
+        3 => BranchEventKind::Call,
+        _ => BranchEventKind::Ret,
+    };
+    BranchEvent {
+        taken: byte & BR_TAKEN != 0,
+        kind,
+        is_prob: byte & BR_PROB != 0,
+    }
+}
+
+impl ReplayRec {
+    /// A record from its parts (test and property-check constructor;
+    /// capture packs directly into the SoA streams).
+    pub fn new(pc: u32, branch: Option<BranchEvent>, istall: u8, dlat: u8) -> ReplayRec {
         ReplayRec {
-            pc: rec.pc,
-            branch,
+            pc,
+            branch: encode_branch(branch),
             istall,
             dlat,
         }
     }
 
-    /// The branch resolution, exactly as the live [`StepRecord`]
+    /// The branch resolution, exactly as the live [`StepRecord`](crate::StepRecord)
     /// carried it.
     #[inline(always)]
     pub fn branch(&self) -> Option<BranchEvent> {
-        if self.branch & Self::PRESENT == 0 {
-            return None;
+        if self.branch & BR_PRESENT == 0 {
+            None
+        } else {
+            Some(decode_branch(self.branch))
         }
-        let kind = match self.branch >> Self::KIND_SHIFT {
-            0 => BranchEventKind::Conditional,
-            1 => BranchEventKind::PbsDirected,
-            2 => BranchEventKind::Unconditional,
-            3 => BranchEventKind::Call,
-            _ => BranchEventKind::Ret,
-        };
-        Some(BranchEvent {
-            taken: self.branch & Self::TAKEN != 0,
-            kind,
-            is_prob: self.branch & Self::PROB != 0,
-        })
     }
 }
 
-/// One chunk of a dynamic trace: a dense run of [`ReplayRec`]s.
-#[derive(Debug, Clone, Default)]
+/// One chunk of a dynamic trace in structure-of-arrays form: parallel
+/// per-record streams plus a run-length index over non-branch runs (see
+/// the module docs).
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceChunk {
-    recs: Vec<ReplayRec>,
+    /// PC per record, in program order.
+    pub(crate) pcs: Vec<u32>,
+    /// Fetch-stall cycles per record.
+    pub(crate) istalls: Vec<u8>,
+    /// Load-to-use latency per record (0 for non-loads).
+    pub(crate) dlats: Vec<u8>,
+    /// The packed branch byte of every *branch* record, in order —
+    /// the zero bytes of non-branch records are elided.
+    pub(crate) branches: Vec<u8>,
+    /// Non-branch run length preceding each entry of `branches`.
+    pub(crate) runs: Vec<u32>,
+    /// Length of the still-open trailing non-branch run (a chunk that
+    /// ends on a branch record leaves this 0).
+    pub(crate) open_run: u32,
 }
 
 impl TraceChunk {
-    /// An empty chunk with capacity for [`TRACE_CHUNK_RECORDS`] —
-    /// allocate once, refill per [`TraceStream::fill`] call.
+    /// An empty chunk with stream capacity for [`TRACE_CHUNK_RECORDS`]
+    /// — allocate once, refill per [`TraceStream::fill`] call.
     pub fn with_chunk_capacity() -> TraceChunk {
         TraceChunk {
-            recs: Vec::with_capacity(TRACE_CHUNK_RECORDS),
+            pcs: Vec::with_capacity(TRACE_CHUNK_RECORDS),
+            istalls: Vec::with_capacity(TRACE_CHUNK_RECORDS),
+            dlats: Vec::with_capacity(TRACE_CHUNK_RECORDS),
+            // Branch density is workload-dependent; these grow on
+            // demand and stabilize after the first refill.
+            branches: Vec::new(),
+            runs: Vec::new(),
+            open_run: 0,
         }
     }
 
     /// Number of records in the chunk.
     pub fn len(&self) -> usize {
-        self.recs.len()
+        self.pcs.len()
     }
 
     /// Whether the chunk holds no records.
     pub fn is_empty(&self) -> bool {
-        self.recs.is_empty()
+        self.pcs.is_empty()
     }
 
-    /// The records.
-    pub fn records(&self) -> &[ReplayRec] {
-        &self.recs
+    /// Number of branch records in the chunk.
+    pub fn branch_count(&self) -> usize {
+        self.branches.len()
     }
 
-    /// Heap bytes held by the chunk's buffer (capacity, not length —
-    /// the number that matters for peak-memory accounting).
+    /// Removes all records, keeping the stream allocations.
+    pub fn clear(&mut self) {
+        self.pcs.clear();
+        self.istalls.clear();
+        self.dlats.clear();
+        self.branches.clear();
+        self.runs.clear();
+        self.open_run = 0;
+    }
+
+    /// Appends one record in its raw stream form.
+    #[inline(always)]
+    fn push_raw(&mut self, pc: u32, branch_byte: u8, istall: u8, dlat: u8) {
+        self.pcs.push(pc);
+        self.istalls.push(istall);
+        self.dlats.push(dlat);
+        if branch_byte != 0 {
+            self.runs.push(self.open_run);
+            self.branches.push(branch_byte);
+            self.open_run = 0;
+        } else {
+            self.open_run += 1;
+        }
+    }
+
+    /// Appends one record from its AoS view.
+    pub fn push(&mut self, rec: ReplayRec) {
+        self.push_raw(rec.pc, rec.branch, rec.istall, rec.dlat);
+    }
+
+    /// The records in program order, reassembled into their AoS view —
+    /// the inverse of repeated [`push`](TraceChunk::push) calls, used by
+    /// the pack/unpack round-trip tests (hot consumers drain the SoA
+    /// streams directly through [`walk_chunk`]).
+    pub fn records(&self) -> impl Iterator<Item = ReplayRec> + '_ {
+        let mut next_branch = 0usize;
+        let mut left_in_run = self.runs.first().copied().unwrap_or(self.open_run);
+        self.pcs
+            .iter()
+            .zip(&self.istalls)
+            .zip(&self.dlats)
+            .map(move |((&pc, &istall), &dlat)| {
+                let branch = if left_in_run > 0 {
+                    left_in_run -= 1;
+                    0u8
+                } else {
+                    let b = self.branches[next_branch];
+                    next_branch += 1;
+                    left_in_run = self.runs.get(next_branch).copied().unwrap_or(self.open_run);
+                    b
+                };
+                ReplayRec {
+                    pc,
+                    branch,
+                    istall,
+                    dlat,
+                }
+            })
+    }
+
+    /// Drops the slack capacity of every stream (final chunk of a
+    /// materialized trace).
+    fn shrink_to_fit(&mut self) {
+        self.pcs.shrink_to_fit();
+        self.istalls.shrink_to_fit();
+        self.dlats.shrink_to_fit();
+        self.branches.shrink_to_fit();
+        self.runs.shrink_to_fit();
+    }
+
+    /// Heap bytes held by the chunk's stream buffers (capacity, not
+    /// length — the number that matters for peak-memory accounting).
     pub fn bytes(&self) -> usize {
-        self.recs.capacity() * std::mem::size_of::<ReplayRec>()
+        self.pcs.capacity() * 4
+            + self.istalls.capacity()
+            + self.dlats.capacity()
+            + self.branches.capacity()
+            + self.runs.capacity() * 4
     }
+}
+
+/// A per-record visitor for [`walk_chunk`]: `plain` sees every
+/// non-branch record, `branch` every branch record with its event
+/// decoded exactly once. Both receive the record's stream values
+/// directly — the walk owns all stream indexing, so visitors do no
+/// bounds-checked loads of their own.
+pub(crate) trait ChunkVisitor {
+    /// One non-branch record.
+    fn plain(&mut self, pc: u32, istall: u8, dlat: u8);
+    /// One branch record.
+    fn branch(&mut self, pc: u32, istall: u8, dlat: u8, ev: BranchEvent);
+}
+
+/// Drives `v` over every record of `chunk` in program order, iterating
+/// whole non-branch runs through `plain` — the branch test runs once
+/// per *run*, not once per record, and inside a run the `branch: None`
+/// arm of the cycle-accounting core constant-folds away. Each span is
+/// walked as three zipped subslices, so the per-record stream loads
+/// carry no per-record bounds checks.
+#[inline(always)]
+pub(crate) fn walk_chunk<V: ChunkVisitor>(chunk: &TraceChunk, v: &mut V) {
+    #[inline(always)]
+    fn span<V: ChunkVisitor>(chunk: &TraceChunk, start: usize, len: usize, v: &mut V) {
+        let end = start + len;
+        let pcs = &chunk.pcs[start..end];
+        let istalls = &chunk.istalls[start..end];
+        let dlats = &chunk.dlats[start..end];
+        for ((&pc, &istall), &dlat) in pcs.iter().zip(istalls).zip(dlats) {
+            v.plain(pc, istall, dlat);
+        }
+    }
+    let mut idx = 0usize;
+    for (&run, &byte) in chunk.runs.iter().zip(&chunk.branches) {
+        span(chunk, idx, run as usize, v);
+        idx += run as usize;
+        v.branch(
+            chunk.pcs[idx],
+            chunk.istalls[idx],
+            chunk.dlats[idx],
+            decode_branch(byte),
+        );
+        idx += 1;
+    }
+    span(chunk, idx, chunk.open_run as usize, v);
 }
 
 /// The architectural results of a captured run — everything a
@@ -252,7 +433,7 @@ impl TraceStream {
     }
 
     /// The per-pc timing metadata replay consumers index by
-    /// [`StepRecord::pc`] — the only part of the decoded program a
+    /// [`StepRecord::pc`](crate::StepRecord::pc) — the only part of the decoded program a
     /// timing-only pass needs.
     pub fn timings(&self) -> &[InstTiming] {
         &self.timings
@@ -269,7 +450,7 @@ impl TraceStream {
     /// instruction where the fused engine would: when the dynamic
     /// instruction count reaches `max_insts` without a halt.
     pub fn fill(&mut self, chunk: &mut TraceChunk) -> Result<bool, EmuError> {
-        chunk.recs.clear();
+        chunk.clear();
         if self.halted {
             return Ok(false);
         }
@@ -288,8 +469,8 @@ impl TraceStream {
             ..
         } = self;
         // Emulate, pre-simulate and pack in one pass: each record is
-        // handed straight from the interpreter to the chunk, no
-        // intermediate record buffer.
+        // handed straight from the interpreter to the chunk's SoA
+        // streams, no intermediate record buffer.
         let n = emu.step_block_with(budget, |rec| {
             // L1-I-resident fast path: once a line has been fetched it
             // can never leave the L1-I (see `itouched`), so only the
@@ -313,9 +494,7 @@ impl TraceStream {
                 0
             };
             debug_assert!(istall <= u8::MAX as u64 && dlat <= u8::MAX as u64);
-            chunk
-                .recs
-                .push(ReplayRec::pack(&rec, istall as u8, dlat as u8));
+            chunk.push_raw(rec.pc, encode_branch(rec.branch), istall as u8, dlat as u8);
         })?;
         if n == 0 {
             self.halted = true;
@@ -344,18 +523,18 @@ impl TraceStream {
 }
 
 /// A materialized dynamic trace: one emulation key's full record stream
-/// in chunks, the per-pc timing metadata, the pre-simulated cache
+/// in SoA chunks, the per-pc timing metadata, the pre-simulated cache
 /// latencies and the architectural results — everything `N` timing
 /// models need to replay the run without re-emulating it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DynTrace {
-    timings: Box<[InstTiming]>,
-    chunks: Vec<TraceChunk>,
-    functional: TraceFunctional,
+    pub(crate) timings: Box<[InstTiming]>,
+    pub(crate) chunks: Vec<TraceChunk>,
+    pub(crate) functional: TraceFunctional,
     /// The emulation key the trace was captured under, re-checked at
     /// replay time.
-    pbs: Option<PbsConfig>,
-    emu: EmuConfig,
+    pub(crate) pbs: Option<PbsConfig>,
+    pub(crate) emu: EmuConfig,
 }
 
 impl DynTrace {
@@ -379,7 +558,7 @@ impl DynTrace {
             chunks.push(chunk);
         }
         if let Some(last) = chunks.last_mut() {
-            last.recs.shrink_to_fit();
+            last.shrink_to_fit();
         }
         Ok(DynTrace {
             timings: stream.timings.clone(),
@@ -415,7 +594,7 @@ impl DynTrace {
         &self.functional
     }
 
-    /// Heap bytes held by the trace (records, latencies, timing table
+    /// Heap bytes held by the trace (record streams, timing table
     /// and architectural results) — the peak-memory figure the
     /// throughput report surfaces per cell.
     pub fn bytes(&self) -> usize {
@@ -454,6 +633,63 @@ pub struct ReplayConsumer {
     filter_prob: bool,
 }
 
+/// One consumer's per-record step over the SoA stream values: the
+/// shared [`ChunkVisitor`] body of the single-consumer drain and the
+/// fused convoy loops, generic over the concrete predictor type.
+struct Step<'a, P: ?Sized> {
+    timing: &'a mut OooTimingModel,
+    predictor: &'a mut P,
+    filter_prob: bool,
+}
+
+impl<P: BranchPredictor + ?Sized> Step<'_, P> {
+    /// Advances the model by one record, with the branch event passed
+    /// as a compile-time-known `Option` shape per call site.
+    #[inline(always)]
+    fn advance(
+        &mut self,
+        streams: &Streams<'_>,
+        pc: u32,
+        istall: u8,
+        dlat: u8,
+        ev: Option<BranchEvent>,
+    ) {
+        let t = &streams.timings[pc as usize];
+        let exec_lat = if t.class == streams.load_class {
+            dlat as u64
+        } else {
+            self.timing.static_latency(t.class)
+        };
+        self.timing.consume_core(
+            pc,
+            t,
+            ev,
+            istall as u64,
+            exec_lat,
+            self.predictor,
+            self.filter_prob,
+        );
+    }
+}
+
+/// The shared-borrow half of a chunk drain: the per-pc metadata,
+/// separated from the per-consumer mutable state so a fused loop can
+/// hold one `Streams` next to many [`Step`]s (the record streams
+/// themselves are walked by [`walk_chunk`]).
+struct Streams<'a> {
+    timings: &'a [InstTiming],
+    load_class: u8,
+}
+
+impl<'a> Streams<'a> {
+    fn new(timings: &'a [InstTiming]) -> Streams<'a> {
+        Streams {
+            timings,
+            load_class: ExecClass::Load.index() as u8,
+        }
+    }
+}
+
 /// The chunk-drain loop as a [`PredictorVisitor`], so
 /// [`PredictorDispatch`] resolves to the concrete predictor *once per
 /// chunk* and the whole loop body — predict/update included —
@@ -465,28 +701,172 @@ struct DrainChunk<'a> {
     filter_prob: bool,
 }
 
+struct DrainOne<'a, P: ?Sized> {
+    streams: Streams<'a>,
+    step: Step<'a, P>,
+}
+
+impl<P: BranchPredictor + ?Sized> ChunkVisitor for DrainOne<'_, P> {
+    #[inline(always)]
+    fn plain(&mut self, pc: u32, istall: u8, dlat: u8) {
+        self.step.advance(&self.streams, pc, istall, dlat, None);
+    }
+
+    #[inline(always)]
+    fn branch(&mut self, pc: u32, istall: u8, dlat: u8, ev: BranchEvent) {
+        self.step.advance(&self.streams, pc, istall, dlat, Some(ev));
+    }
+}
+
 impl PredictorVisitor for DrainChunk<'_> {
     type Out = ();
 
     #[inline]
     fn visit<P: BranchPredictor + ?Sized>(self, predictor: &mut P) {
-        let load_class = ExecClass::Load.index() as u8;
-        for rec in &self.chunk.recs {
-            let t = &self.timings[rec.pc as usize];
-            let exec_lat = if t.class == load_class {
-                rec.dlat as u64
-            } else {
-                self.timing.static_latency(t.class)
-            };
-            self.timing.consume_core(
-                rec.pc,
-                t,
-                rec.branch(),
-                rec.istall as u64,
-                exec_lat,
+        let mut v = DrainOne {
+            streams: Streams::new(self.timings),
+            step: Step {
+                timing: self.timing,
                 predictor,
-                self.filter_prob,
+                filter_prob: self.filter_prob,
+            },
+        };
+        walk_chunk(self.chunk, &mut v);
+    }
+}
+
+/// The fused two-consumer convoy loop as a [`PredictorPairVisitor`]:
+/// each record is decoded once from the SoA streams and advances both
+/// timing models back to back, with the whole loop monomorphized per
+/// predictor pairing.
+struct DrainChunkPair<'a> {
+    a: &'a mut OooTimingModel,
+    filter_a: bool,
+    b: &'a mut OooTimingModel,
+    filter_b: bool,
+    timings: &'a [InstTiming],
+    chunk: &'a TraceChunk,
+}
+
+struct DrainTwo<'a, PA: ?Sized, PB: ?Sized> {
+    streams: Streams<'a>,
+    a: Step<'a, PA>,
+    b: Step<'a, PB>,
+}
+
+impl<PA: BranchPredictor + ?Sized, PB: BranchPredictor + ?Sized> ChunkVisitor
+    for DrainTwo<'_, PA, PB>
+{
+    #[inline(always)]
+    fn plain(&mut self, pc: u32, istall: u8, dlat: u8) {
+        self.a.advance(&self.streams, pc, istall, dlat, None);
+        self.b.advance(&self.streams, pc, istall, dlat, None);
+    }
+
+    #[inline(always)]
+    fn branch(&mut self, pc: u32, istall: u8, dlat: u8, ev: BranchEvent) {
+        self.a.advance(&self.streams, pc, istall, dlat, Some(ev));
+        self.b.advance(&self.streams, pc, istall, dlat, Some(ev));
+    }
+}
+
+impl PredictorPairVisitor for DrainChunkPair<'_> {
+    type Out = ();
+
+    #[inline]
+    fn visit<PA: BranchPredictor + ?Sized, PB: BranchPredictor + ?Sized>(
+        self,
+        pa: &mut PA,
+        pb: &mut PB,
+    ) {
+        let mut v = DrainTwo {
+            streams: Streams::new(self.timings),
+            a: Step {
+                timing: self.a,
+                predictor: pa,
+                filter_prob: self.filter_a,
+            },
+            b: Step {
+                timing: self.b,
+                predictor: pb,
+                filter_prob: self.filter_b,
+            },
+        };
+        walk_chunk(self.chunk, &mut v);
+    }
+}
+
+/// The arbitrary-`k` fused convoy loop: record-major over the SoA
+/// streams, advancing every consumer through its [`PredictorDispatch`]
+/// (one predictable match per branch per consumer — the fused engine's
+/// own dispatch cost, paid only on the `k ≥ 3` fallback path).
+struct DrainMany<'a, 'c> {
+    streams: Streams<'a>,
+    parts: Vec<(&'c mut OooTimingModel, &'c mut PredictorDispatch, bool)>,
+}
+
+impl ChunkVisitor for DrainMany<'_, '_> {
+    #[inline(always)]
+    fn plain(&mut self, pc: u32, istall: u8, dlat: u8) {
+        for (timing, predictor, filter) in &mut self.parts {
+            let mut step = Step {
+                timing,
+                predictor: *predictor as &mut PredictorDispatch,
+                filter_prob: *filter,
+            };
+            step.advance(&self.streams, pc, istall, dlat, None);
+        }
+    }
+
+    #[inline(always)]
+    fn branch(&mut self, pc: u32, istall: u8, dlat: u8, ev: BranchEvent) {
+        for (timing, predictor, filter) in &mut self.parts {
+            let mut step = Step {
+                timing,
+                predictor: *predictor as &mut PredictorDispatch,
+                filter_prob: *filter,
+            };
+            step.advance(&self.streams, pc, istall, dlat, Some(ev));
+        }
+    }
+}
+
+/// Drains one chunk through every consumer in a single fused pass:
+/// each record is decoded once and all `k` timing models advance in
+/// lockstep while the record's streams are hot. `k = 1` degenerates to
+/// the per-predictor monomorphized drain, `k = 2` — the sweep pairing —
+/// monomorphizes per predictor *pair*, larger convoys fall back to the
+/// per-consumer static dispatch.
+pub(crate) fn drain_chunk_convoy(
+    consumers: &mut [ReplayConsumer],
+    timings: &[InstTiming],
+    chunk: &TraceChunk,
+) {
+    match consumers {
+        [] => {}
+        [one] => one.consume_chunk(timings, chunk),
+        [a, b] => {
+            let (ta, pa, fa) = a.parts_mut();
+            let (tb, pb, fb) = b.parts_mut();
+            PredictorDispatch::visit_pair_mut(
+                pa,
+                pb,
+                DrainChunkPair {
+                    a: ta,
+                    filter_a: fa,
+                    b: tb,
+                    filter_b: fb,
+                    timings,
+                    chunk,
+                },
             );
+        }
+        many => {
+            let mut v = DrainMany {
+                streams: Streams::new(timings),
+                parts: many.iter_mut().map(ReplayConsumer::parts_mut).collect(),
+            };
+            walk_chunk(chunk, &mut v);
         }
     }
 }
@@ -504,6 +884,12 @@ impl ReplayConsumer {
             predictor: config.predictor.build_dispatch(),
             filter_prob: config.filter_prob_from_predictor,
         }
+    }
+
+    /// The consumer's parts, for fused convoy loops that interleave
+    /// several consumers over one record stream.
+    pub(crate) fn parts_mut(&mut self) -> (&mut OooTimingModel, &mut PredictorDispatch, bool) {
+        (&mut self.timing, &mut self.predictor, self.filter_prob)
     }
 
     /// Drains one chunk through the timing model. `timings` is the
@@ -628,6 +1014,31 @@ mod tests {
         assert_eq!(total as u64, trace.instructions());
         let fused = simulate(&p, &cfg).unwrap();
         assert_eq!(crate::sim::simulate_replay(&trace, &cfg).unwrap(), fused);
+    }
+
+    #[test]
+    fn soa_chunks_round_trip_their_record_view() {
+        let p = workload(4000);
+        let trace = DynTrace::capture(&p, &SimConfig::default().with_pbs()).unwrap();
+        let mut branches = 0usize;
+        for chunk in trace.chunks() {
+            let recs: Vec<ReplayRec> = chunk.records().collect();
+            assert_eq!(recs.len(), chunk.len());
+            branches += chunk.branch_count();
+            // Re-packing the AoS view reproduces the SoA streams
+            // exactly.
+            let mut repacked = TraceChunk::default();
+            for r in &recs {
+                repacked.push(*r);
+            }
+            assert_eq!(&repacked, chunk);
+            // The run index elides exactly the zero branch bytes.
+            assert_eq!(
+                recs.iter().filter(|r| r.branch().is_some()).count(),
+                chunk.branch_count()
+            );
+        }
+        assert!(branches > 0, "workload must record branches");
     }
 
     #[test]

@@ -83,6 +83,28 @@ pub trait PredictorVisitor {
     fn visit<P: BranchPredictor + ?Sized>(self, predictor: &mut P) -> Self::Out;
 }
 
+/// A generic visitor over the concrete predictors behind *two*
+/// [`PredictorDispatch`] values — the monomorphization hook for fused
+/// two-consumer convoy loops.
+///
+/// The common convoy shape is exactly two timing consumers per chunk
+/// (the tournament/TAGE pairing of the figure sweeps, the
+/// filtered/unfiltered pairing of Figure 9). `visit` is generic over
+/// both concrete predictor types, so the double dispatch resolves once
+/// per chunk and the whole fused loop body — both predict/update pairs
+/// included — monomorphizes per predictor *combination*.
+pub trait PredictorPairVisitor {
+    /// The visit result.
+    type Out;
+
+    /// Runs against the two concrete predictors.
+    fn visit<PA: BranchPredictor + ?Sized, PB: BranchPredictor + ?Sized>(
+        self,
+        a: &mut PA,
+        b: &mut PB,
+    ) -> Self::Out;
+}
+
 impl PredictorDispatch {
     /// Applies `visitor` to the concrete predictor behind the enum: one
     /// dispatch for the visitor's whole (monomorphized) body.
@@ -92,6 +114,29 @@ impl PredictorDispatch {
             PredictorDispatch::Tournament(p) => visitor.visit(p),
             PredictorDispatch::TageScL(p) => visitor.visit(&mut **p),
             PredictorDispatch::Static(p) => visitor.visit(p),
+        }
+    }
+
+    /// Applies `visitor` to the concrete predictors behind two dispatch
+    /// enums: one double dispatch for the visitor's whole body,
+    /// monomorphized per predictor pairing (nine instantiations).
+    #[inline]
+    pub fn visit_pair_mut<V: PredictorPairVisitor>(
+        a: &mut PredictorDispatch,
+        b: &mut PredictorDispatch,
+        visitor: V,
+    ) -> V::Out {
+        use PredictorDispatch as D;
+        match (a, b) {
+            (D::Tournament(a), D::Tournament(b)) => visitor.visit(a, b),
+            (D::Tournament(a), D::TageScL(b)) => visitor.visit(a, &mut **b),
+            (D::Tournament(a), D::Static(b)) => visitor.visit(a, b),
+            (D::TageScL(a), D::Tournament(b)) => visitor.visit(&mut **a, b),
+            (D::TageScL(a), D::TageScL(b)) => visitor.visit(&mut **a, &mut **b),
+            (D::TageScL(a), D::Static(b)) => visitor.visit(&mut **a, b),
+            (D::Static(a), D::Tournament(b)) => visitor.visit(a, b),
+            (D::Static(a), D::TageScL(b)) => visitor.visit(a, &mut **b),
+            (D::Static(a), D::Static(b)) => visitor.visit(a, b),
         }
     }
 }

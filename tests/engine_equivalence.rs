@@ -17,8 +17,8 @@
 use probranch::harness::{run_cells, workload_seed, Cell, Jobs};
 use probranch::pbs::PbsConfig;
 use probranch::pipeline::{
-    simulate, simulate_convoy, simulate_reference, simulate_replay, DynTrace, OooConfig,
-    PredictorChoice, SimConfig, SimReport,
+    simulate, simulate_convoy, simulate_reference, simulate_replay, simulate_replay_convoy,
+    DynTrace, OooConfig, PredictorChoice, SimConfig, SimReport,
 };
 use probranch::workloads::{BenchmarkId, Scale};
 
@@ -135,13 +135,66 @@ fn one_trace_serves_every_timing_configuration() {
             .iter()
             .map(|cfg| simulate_replay(&trace, cfg).expect("replay"))
             .collect();
-        // Mode (b): one streamed convoy over all configs in lockstep.
+        // Mode (b): one streamed fused convoy over all configs in
+        // lockstep (k = 8 exercises the arbitrary-k fallback loop).
         let convoy = simulate_convoy(&program, &configs).expect("convoy");
-        (fused, replays, convoy)
+        // Mode (c): the same fused convoy over the materialized trace.
+        let replay_convoy = simulate_replay_convoy(&trace, &configs).expect("replay convoy");
+        (fused, replays, convoy, replay_convoy)
     });
-    for (key, (fused, replays, convoy)) in keys.iter().zip(&outcomes) {
+    for (key, (fused, replays, convoy, replay_convoy)) in keys.iter().zip(&outcomes) {
         assert_eq!(fused, replays, "shared-trace replay drift on {key:?}");
         assert_eq!(fused, convoy, "convoy drift on {key:?}");
+        assert_eq!(fused, replay_convoy, "replay-convoy drift on {key:?}");
+    }
+}
+
+/// The fused two-consumer convoy — the monomorphized-per-predictor-pair
+/// loop the Figure 9 sweep and the figure grids drain — must equal `k`
+/// independent `simulate_replay` runs for **every predictor pair** of
+/// the fig9 grid (each predictor against itself and every other, with
+/// the second consumer in the filtered mode), both streamed
+/// (`simulate_convoy`) and over a materialized trace
+/// (`simulate_replay_convoy`).
+#[test]
+fn fused_pair_convoy_matches_independent_replays_for_every_predictor_pair() {
+    const PREDICTORS: [PredictorChoice; 4] = [
+        PredictorChoice::Tournament,
+        PredictorChoice::TageScL,
+        PredictorChoice::StaticTaken,
+        PredictorChoice::StaticNotTaken,
+    ];
+    let pairs: Vec<(PredictorChoice, PredictorChoice)> = PREDICTORS
+        .iter()
+        .flat_map(|&a| PREDICTORS.map(|b| (a, b)))
+        .collect();
+    let outcomes = run_cells(&pairs, Jobs::default(), |&(a, b)| {
+        let program = BenchmarkId::Bandit
+            .build(Scale::Smoke, workload_seed(BenchmarkId::Bandit, 2))
+            .program();
+        let mut unfiltered = SimConfig::default().predictor(a);
+        unfiltered.collect_branch_trace = true;
+        let mut filtered = SimConfig::default().predictor(b);
+        filtered.filter_prob_from_predictor = true;
+        let pair = [unfiltered, filtered];
+        let independent: Vec<SimReport> = pair
+            .iter()
+            .map(|cfg| simulate(&program, cfg).expect("fused"))
+            .collect();
+        let streamed = simulate_convoy(&program, &pair).expect("streamed convoy");
+        let trace = DynTrace::capture(&program, &pair[0]).expect("capture");
+        let materialized = simulate_replay_convoy(&trace, &pair).expect("replay convoy");
+        (independent, streamed, materialized)
+    });
+    for ((a, b), (independent, streamed, materialized)) in pairs.iter().zip(&outcomes) {
+        assert_eq!(
+            independent, streamed,
+            "streamed pair-convoy drift for {a:?}/{b:?}"
+        );
+        assert_eq!(
+            independent, materialized,
+            "materialized pair-convoy drift for {a:?}/{b:?}"
+        );
     }
 }
 
@@ -253,7 +306,8 @@ fn engines_match_on_instruction_limits() {
         );
     }
     // A completed trace replayed under budgets at/below its length must
-    // return the same error the live engines would.
+    // return the same error the live engines would — through the
+    // single-consumer replay and the fused replay-convoy alike.
     let full = DynTrace::capture(&program, &SimConfig::default()).expect("capture");
     for max_insts in [1, full.instructions(), full.instructions() + 1] {
         let cfg = SimConfig {
@@ -264,6 +318,12 @@ fn engines_match_on_instruction_limits() {
             simulate_replay(&full, &cfg),
             simulate(&program, &cfg),
             "replay limit {max_insts}"
+        );
+        assert_eq!(
+            simulate_replay_convoy(&full, std::slice::from_ref(&cfg))
+                .map(|mut v| v.pop().expect("one report")),
+            simulate(&program, &cfg),
+            "replay-convoy limit {max_insts}"
         );
     }
 }

@@ -8,8 +8,8 @@ use probranch::isa::{
 };
 use probranch::pbs::{BranchResolution, PbsConfig, PbsUnit};
 use probranch::pipeline::{
-    simulate, simulate_replay, Cache, DynTrace, EmuConfig, Emulator, ExecLatencies, OooConfig,
-    PredictorChoice, SimConfig,
+    simulate, simulate_replay, BranchEvent, BranchEventKind, Cache, DynTrace, EmuConfig, Emulator,
+    ExecLatencies, OooConfig, PredictorChoice, ReplayRec, SimConfig, TraceChunk,
 };
 use probranch::predictor::{BranchPredictor, TageScL, Tournament};
 
@@ -187,6 +187,46 @@ fn replay_workload(iters: i64) -> Program {
     b.build().unwrap()
 }
 
+/// Arbitrary branch events, covering every kind/flag combination a
+/// trace record can encode.
+fn branch_event_strategy() -> impl Strategy<Value = Option<BranchEvent>> {
+    prop_oneof![
+        // Weight toward `None` (runs of non-branch records) so the
+        // run-length index sees realistic span shapes…
+        Just(None),
+        Just(None),
+        Just(None),
+        // …without starving any kind/flag combination.
+        (
+            any::<bool>(),
+            any::<bool>(),
+            prop_oneof![
+                Just(BranchEventKind::Conditional),
+                Just(BranchEventKind::PbsDirected),
+                Just(BranchEventKind::Unconditional),
+                Just(BranchEventKind::Call),
+                Just(BranchEventKind::Ret),
+            ],
+        )
+            .prop_map(|(taken, is_prob, kind)| Some(BranchEvent {
+                taken,
+                kind,
+                is_prob,
+            })),
+    ]
+}
+
+/// Arbitrary AoS replay records.
+fn replay_rec_strategy() -> impl Strategy<Value = ReplayRec> {
+    (
+        any::<u32>(),
+        branch_event_strategy(),
+        any::<u8>(),
+        any::<u8>(),
+    )
+        .prop_map(|(pc, branch, istall, dlat)| ReplayRec::new(pc, branch, istall, dlat))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -205,6 +245,63 @@ proptest! {
         let via_trace = DynTrace::capture(&program, &cfg)
             .and_then(|trace| simulate_replay(&trace, &cfg));
         prop_assert_eq!(via_trace, direct);
+    }
+
+    #[test]
+    fn soa_chunk_round_trips_arbitrary_record_streams(
+        recs in proptest::collection::vec(replay_rec_strategy(), 0..600),
+    ) {
+        // The SoA chunk layout (parallel streams + a run-length index
+        // over non-branch runs) must be a lossless re-encoding of the
+        // AoS `ReplayRec` stream: unpacking reproduces every record
+        // byte-identically, and re-packing the unpacked stream
+        // reproduces the exact SoA buffers.
+        let mut chunk = TraceChunk::default();
+        for r in &recs {
+            chunk.push(*r);
+        }
+        prop_assert_eq!(chunk.len(), recs.len());
+        prop_assert_eq!(
+            chunk.branch_count(),
+            recs.iter().filter(|r| r.branch().is_some()).count()
+        );
+        let unpacked: Vec<ReplayRec> = chunk.records().collect();
+        prop_assert_eq!(&unpacked, &recs);
+        let mut repacked = TraceChunk::default();
+        for r in &unpacked {
+            repacked.push(*r);
+        }
+        prop_assert_eq!(repacked, chunk);
+    }
+
+    #[test]
+    fn soa_capture_round_trips_for_arbitrary_sim_configs(
+        cfg in sim_config_strategy(),
+        iters in 40i64..400,
+    ) {
+        // For any machine configuration — including budgets that trip
+        // the error path — a capture's SoA chunks must carry exactly
+        // the committed dynamic stream, and each chunk's AoS view must
+        // re-pack into the identical SoA streams.
+        let program = replay_workload(iters);
+        match DynTrace::capture(&program, &cfg) {
+            Err(e) => {
+                // Error paths agree with the fused engine…
+                prop_assert_eq!(Err(e), simulate(&program, &cfg).map(|_| ()));
+            }
+            Ok(trace) => {
+                let total: usize = trace.chunks().iter().map(TraceChunk::len).sum();
+                prop_assert_eq!(total as u64, trace.instructions());
+                for chunk in trace.chunks() {
+                    let recs: Vec<ReplayRec> = chunk.records().collect();
+                    let mut repacked = TraceChunk::default();
+                    for r in &recs {
+                        repacked.push(*r);
+                    }
+                    prop_assert_eq!(&repacked, chunk);
+                }
+            }
+        }
     }
 
     #[test]
