@@ -6,18 +6,20 @@
 //!
 //! Compares the fused-engine MIPS of every cell in `FRESH` against the
 //! committed `BASELINE` — and, when both reports carry them, the
-//! replay-engine (`probranch-throughput/2`+) and fused-convoy
-//! (`probranch-throughput/3`+) MIPS too — exiting nonzero if any
+//! replay-engine (`probranch-throughput/2`+), fused-convoy
+//! (`probranch-throughput/3`+) and batched-drain
+//! (`probranch-throughput/4`+) MIPS too — exiting nonzero if any
 //! compared number regressed by more than the tolerance (default 30%,
 //! absorbing runner-to-runner noise). Older baselines are still
-//! accepted: a v1 (no replay fields) or v2 (no convoy fields) report
-//! gates the fields it carries and the rest is skipped per cell, never
-//! failed. (Across v2→v3 the replay semantics changed from a convoy
-//! consumer share to a materialized-trace `simulate_replay`; both
-//! measure the same drain loop, so the cross-schema comparison stays
-//! meaningful within the gate's tolerance.) Skips entirely — exit 0
-//! with a notice — when the baseline file is missing, a schema is
-//! unknown, or the two reports were measured at different scales.
+//! accepted: a v1 (no replay fields), v2 (no convoy fields) or v3 (no
+//! batched fields) report gates the fields it carries and the rest is
+//! skipped per cell, never failed. (Across v2→v3 the replay semantics
+//! changed from a convoy consumer share to a materialized-trace
+//! replay; both measure the same drain loop, so the cross-schema
+//! comparison stays meaningful within the gate's tolerance.) Skips
+//! entirely — exit 0 with a notice — when the baseline file is
+//! missing, a schema is unknown, or the two reports were measured at
+//! different scales.
 //!
 //! Both files use the line-oriented layout of
 //! `probranch_bench::throughput::ThroughputReport::to_json` (one cell
@@ -27,10 +29,11 @@
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-const KNOWN_SCHEMAS: [&str; 3] = [
+const KNOWN_SCHEMAS: [&str; 4] = [
     "probranch-throughput/1",
     "probranch-throughput/2",
     "probranch-throughput/3",
+    "probranch-throughput/4",
 ];
 
 /// Extracts the raw text of `"key":<value>` from a single line, value
@@ -53,12 +56,13 @@ fn header_field(text: &str, key: &str) -> Option<String> {
     })
 }
 
-/// Per-cell measurements: fused MIPS always, replay/convoy MIPS when
-/// the report's schema carries them.
+/// Per-cell measurements: fused MIPS always, replay/convoy/batched
+/// MIPS when the report's schema carries them.
 struct CellMips {
     fused: f64,
     replay: Option<f64>,
     convoy: Option<f64>,
+    batched: Option<f64>,
 }
 
 /// Parses `(header scale, cell key → MIPS)` from a report. Capture-
@@ -77,12 +81,14 @@ fn parse(text: &str) -> (Option<String>, BTreeMap<String, CellMips>) {
         if let Ok(fused) = mips.parse::<f64>() {
             let replay = raw_field(line, "replay_mips").and_then(|v| v.parse::<f64>().ok());
             let convoy = raw_field(line, "convoy_mips").and_then(|v| v.parse::<f64>().ok());
+            let batched = raw_field(line, "batched_mips").and_then(|v| v.parse::<f64>().ok());
             cells.insert(
                 format!("{w}|{p}|{pbs}"),
                 CellMips {
                     fused,
                     replay,
                     convoy,
+                    batched,
                 },
             );
         }
@@ -165,12 +171,13 @@ fn main() -> ExitCode {
             );
             failures += 1;
         }
-        // Replay/convoy cells gate only when both reports carry them —
-        // an older baseline simply has no such numbers to regress
-        // against.
+        // Replay/convoy/batched cells gate only when both reports carry
+        // them — an older baseline simply has no such numbers to
+        // regress against.
         for (what, base_v, fresh_v) in [
             ("replay", base.replay, fresh_cell.replay),
             ("convoy", base.convoy, fresh_cell.convoy),
+            ("batched", base.batched, fresh_cell.batched),
         ] {
             let (Some(base_v), Some(fresh_v)) = (base_v, fresh_v) else {
                 continue;
@@ -187,7 +194,7 @@ fn main() -> ExitCode {
         }
     }
     println!(
-        "check_throughput: {compared} cells compared (+{replay_compared} replay/convoy comparisons), {failures} regressions (tolerance {:.0}%)",
+        "check_throughput: {compared} cells compared (+{replay_compared} replay/convoy/batched comparisons), {failures} regressions (tolerance {:.0}%)",
         tolerance * 100.0
     );
     if failures > 0 {

@@ -22,8 +22,7 @@
 use probranch_core::PbsConfig;
 use probranch_harness::{run_cells, workload_seed, Cell, EngineContext, Jobs};
 use probranch_pipeline::{
-    run_functional, simulate, simulate_convoy, simulate_reference, simulate_replay, DynTrace,
-    OooConfig, PredictorChoice, SimConfig, SimReport,
+    run_functional, DynTrace, OooConfig, PredictorChoice, SimConfig, SimReport, Simulation,
 };
 use probranch_rng::SplitMix64;
 use probranch_stats::randomness::{run_battery, BatteryCounts};
@@ -92,55 +91,20 @@ impl ExperimentScale {
 
 const MAX_INSTS: u64 = 2_000_000_000;
 
-/// Which simulation engine a sweep runs its timing cells through. The
-/// engines produce byte-identical `SimReport`s (locked in by
+/// Which simulation engine a sweep runs its timing cells through — the
+/// pipeline crate's [`EngineKind`](probranch_pipeline::EngineKind),
+/// re-exported under the name the bench crate and the `figures` binary
+/// have always used.
+///
+/// The engines produce byte-identical `SimReport`s (locked in by
 /// `tests/engine_equivalence.rs`); the figures binary exposes the
-/// choice as `--engine` for differential debugging.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub enum Engine {
-    /// The emulate-once/time-many shared-trace engine (default): cells
-    /// sharing an emulation key `(workload, seed, PBS)` replay one
-    /// captured trace pooled in the run-wide [`EngineContext`]; paired
-    /// runs (Figure 9) re-time a materialized (pooled or persisted)
-    /// trace, or drain one streamed fused two-consumer convoy when
-    /// there is none.
-    #[default]
-    Replay,
-    /// Every sweep grid regrouped into per-emulation-key **streamed
-    /// fused convoys**: one capture per key with all of the key's
-    /// timing cells advancing in lockstep, no materialized traces at
-    /// all. Differential coverage for the fused convoy loop (and the
-    /// bounded-memory path for arbitrarily long workloads).
-    Convoy,
-    /// The fused emulate→time engine, re-emulating every cell.
-    Fused,
-    /// The original unfused engine (`DynInst` stream into a boxed
-    /// predictor) — the slow differential baseline.
-    Reference,
-}
-
-impl Engine {
-    /// Parses an engine name as accepted by `figures --engine`.
-    pub fn parse(name: &str) -> Option<Engine> {
-        match name {
-            "replay" => Some(Engine::Replay),
-            "convoy" => Some(Engine::Convoy),
-            "fused" => Some(Engine::Fused),
-            "reference" => Some(Engine::Reference),
-            _ => None,
-        }
-    }
-
-    /// The engine's name, as accepted by [`Engine::parse`].
-    pub fn name(self) -> &'static str {
-        match self {
-            Engine::Replay => "replay",
-            Engine::Convoy => "convoy",
-            Engine::Fused => "fused",
-            Engine::Reference => "reference",
-        }
-    }
-}
+/// choice as `--engine` for differential debugging. Under
+/// [`Engine::Replay`] (the default) cells sharing an emulation key
+/// `(workload, seed, PBS)` replay one captured trace pooled in the
+/// run-wide [`EngineContext`]; paired runs (Figure 9) re-time a
+/// materialized (pooled or persisted) trace, or drain one streamed
+/// fused two-consumer convoy when there is none.
+pub use probranch_pipeline::EngineKind as Engine;
 
 /// The emulation key of a timing cell: the fields that determine the
 /// dynamic instruction stream. Predictor and core configuration are
@@ -305,7 +269,9 @@ fn cell_config(cell: &Cell, core: OooConfig) -> SimConfig {
 fn sim_cell(cell: &Cell, scale: ExperimentScale, core: OooConfig) -> SimReport {
     let bench = cell.workload.build(scale.workload(), cell.workload_seed());
     let cfg = cell_config(cell, core);
-    simulate(&bench.program(), &cfg).unwrap_or_else(|e| panic!("{}: {e}", bench.name()))
+    Simulation::new(Engine::Fused)
+        .run(&bench.program(), &cfg)
+        .unwrap_or_else(|e| panic!("{}: {e}", bench.name()))
 }
 
 /// The cell's trace, through the run-wide pool: the first cell of an
@@ -344,13 +310,16 @@ fn sim_cell_engine(
         Engine::Reference => {
             let bench = cell.workload.build(scale.workload(), cell.workload_seed());
             let cfg = cell_config(cell, core);
-            simulate_reference(&bench.program(), &cfg)
+            Simulation::new(Engine::Reference)
+                .run(&bench.program(), &cfg)
                 .unwrap_or_else(|e| panic!("{}: {e}", bench.name()))
         }
         Engine::Replay | Engine::Convoy => {
             let cfg = cell_config(cell, core);
             let trace = cell_trace(cell, scale, &cfg, ctx);
-            simulate_replay(&trace, &cfg).unwrap_or_else(|e| panic!("{:?}: {e}", cell.workload))
+            Simulation::new(Engine::Replay)
+                .replay(&trace, &cfg)
+                .unwrap_or_else(|e| panic!("{:?}: {e}", cell.workload))
         }
     }
 }
@@ -365,7 +334,9 @@ fn convoy_key(
     configs: &[SimConfig],
 ) -> Vec<SimReport> {
     let bench = workload.build(scale.workload(), workload_seed(workload, seed));
-    simulate_convoy(&bench.program(), configs).unwrap_or_else(|e| panic!("{}: {e}", bench.name()))
+    Simulation::new(Engine::Convoy)
+        .run_many(&bench.program(), configs)
+        .unwrap_or_else(|e| panic!("{}: {e}", bench.name()))
 }
 
 // ---------------------------------------------------------------------------
@@ -806,9 +777,9 @@ pub fn fig9_with_ctx(
                 // fused convoy earns its keep on the streamed path,
                 // where it shares the one capture pass.
                 let replay_pair = |trace: &DynTrace| {
-                    pair.iter()
-                        .map(|cfg| simulate_replay(trace, cfg).expect("replay"))
-                        .collect::<Vec<SimReport>>()
+                    Simulation::new(Engine::Replay)
+                        .replay_many(trace, &pair)
+                        .expect("replay")
                 };
                 let mut reports = match pooled {
                     // The run-wide pool already holds this key (its
@@ -844,14 +815,10 @@ pub fn fig9_with_ctx(
             }
             Engine::Fused | Engine::Reference => {
                 let b = cell.workload.build(scale.workload(), cell.workload_seed());
-                let run = if engine == Engine::Fused {
-                    simulate
-                } else {
-                    simulate_reference
-                };
-                let unfiltered = run(&b.program(), &cfg).expect("sim");
+                let sim = Simulation::new(engine);
+                let unfiltered = sim.run(&b.program(), &cfg).expect("sim");
                 cfg.filter_prob_from_predictor = true;
-                (unfiltered, run(&b.program(), &cfg).expect("sim"))
+                (unfiltered, sim.run(&b.program(), &cfg).expect("sim"))
             }
         };
         let base = filtered.timing.mpki_regular();

@@ -9,16 +9,21 @@
 //! committed copy at the repo root is the baseline CI's
 //! `check_throughput` gate compares fresh measurements against.
 //!
-//! Per cell the report carries four engine measurements:
+//! Per cell the report carries five engine measurements:
 //!
 //! * `fused` / `reference` — one full simulation each, as before;
 //! * `replay` — the cell re-timed from a **materialized** trace
-//!   (`simulate_replay`), the way the figure sweeps consume pooled
-//!   traces; the one capture per emulation key is timed separately
-//!   (`captures` in the JSON) and *included* in the aggregate replay
-//!   MIPS, which therefore stays honest end-to-end throughput;
+//!   (`Simulation` under `EngineKind::Replay`), the way the figure
+//!   sweeps consume pooled traces; the one capture per emulation key is
+//!   timed separately (`captures` in the JSON) and *included* in the
+//!   aggregate replay MIPS, which therefore stays honest end-to-end
+//!   throughput;
+//! * `batched` — a second, cache-warm replay of the same cell: the
+//!   batched-prediction chunk drain in isolation, without the first
+//!   replay's cold-trace effects. This is the per-cell batched-TAGE
+//!   MIPS figure the throughput gate tracks across PRs;
 //! * `convoy` — the cell's equal share of its key's **streamed fused
-//!   convoy** (`simulate_convoy`: capture and all consumers in
+//!   convoy** (`EngineKind::Convoy`: capture and all consumers in
 //!   lockstep, capture time included), the bounded-memory execution
 //!   shape. A fused convoy advances all k consumers per record, so
 //!   per-consumer time is not separable — the share is the key's wall
@@ -39,25 +44,26 @@
 use std::time::{Duration, Instant};
 
 use probranch_harness::{run_cells_timed, workload_seed, Cell, Jobs};
-use probranch_pipeline::{
-    simulate, simulate_convoy, simulate_reference, simulate_replay, DynTrace, PredictorChoice,
-    SimConfig, SimReport,
-};
+use probranch_pipeline::{DynTrace, PredictorChoice, SimConfig, SimReport, Simulation};
 use probranch_workloads::BenchmarkId;
 
 use crate::experiments::{self, Engine, ExperimentScale};
 
 /// Schema tag written into the JSON (bump on layout changes so the CI
 /// gate skips rather than misparses). `check_throughput` accepts the
-/// older `/1` (fused/reference only) and `/2` (adds replay) baselines
-/// without failing; fields both reports carry are gated.
-pub const SCHEMA: &str = "probranch-throughput/3";
+/// older `/1` (fused/reference only), `/2` (adds replay) and `/3`
+/// (adds convoy) baselines without failing; fields both reports carry
+/// are gated.
+pub const SCHEMA: &str = "probranch-throughput/4";
 
 /// The v1 schema tag, still accepted as a comparison baseline.
 pub const SCHEMA_V1: &str = "probranch-throughput/1";
 
 /// The v2 schema tag, still accepted as a comparison baseline.
 pub const SCHEMA_V2: &str = "probranch-throughput/2";
+
+/// The v3 schema tag, still accepted as a comparison baseline.
+pub const SCHEMA_V3: &str = "probranch-throughput/3";
 
 /// One measured grid point.
 #[derive(Debug, Clone)]
@@ -74,10 +80,13 @@ pub struct ThroughputCell {
     pub fused: Duration,
     /// Wall time of the unfused reference engine.
     pub reference: Duration,
-    /// Wall time of this cell's `simulate_replay` over the key's
-    /// materialized trace (capture excluded — that is accounted once
-    /// per key in [`ThroughputReport::captures`]).
+    /// Wall time of this cell's replay over the key's materialized
+    /// trace (capture excluded — that is accounted once per key in
+    /// [`ThroughputReport::captures`]).
     pub replay: Duration,
+    /// Wall time of a second, cache-warm replay of the same cell: the
+    /// batched-prediction chunk drain in isolation.
+    pub batched: Duration,
     /// This cell's equal share of its key's streamed fused convoy
     /// (capture *included*; a fused loop has no per-consumer split).
     pub convoy: Duration,
@@ -103,6 +112,12 @@ impl ThroughputCell {
     /// materialized trace (capture excluded).
     pub fn replay_mips(&self) -> f64 {
         mips(self.instructions, self.replay)
+    }
+
+    /// Millions of simulated instructions per second of the cache-warm
+    /// second replay — the batched chunk drain in isolation.
+    pub fn batched_mips(&self) -> f64 {
+        mips(self.instructions, self.batched)
     }
 
     /// Millions of simulated instructions per second through this
@@ -235,6 +250,17 @@ impl ThroughputReport {
         )
     }
 
+    /// Aggregate batched-drain MIPS: total simulated instructions over
+    /// the warm second-replay wall time only (no capture — the trace is
+    /// already materialized and hot, which is exactly the steady-state
+    /// sweep regime the batched predictor path accelerates).
+    pub fn batched_mips(&self) -> f64 {
+        mips(
+            self.total_instructions(),
+            self.cells.iter().map(|c| c.batched).sum(),
+        )
+    }
+
     /// Aggregate fused-convoy MIPS (capture shares included — convoy
     /// cell times already carry their key's capture).
     pub fn convoy_mips(&self) -> f64 {
@@ -276,7 +302,7 @@ impl ThroughputReport {
         for (i, c) in self.cells.iter().enumerate() {
             let comma = if i + 1 < self.cells.len() { "," } else { "" };
             out.push_str(&format!(
-                "    {{\"workload\":\"{}\",\"predictor\":\"{}\",\"pbs\":{},\"instructions\":{},\"fused_seconds\":{:.6},\"fused_mips\":{:.3},\"reference_seconds\":{:.6},\"reference_mips\":{:.3},\"replay_seconds\":{:.6},\"replay_mips\":{:.3},\"convoy_seconds\":{:.6},\"convoy_mips\":{:.3},\"trace_peak_bytes\":{},\"trace_chunks\":{}}}{comma}\n",
+                "    {{\"workload\":\"{}\",\"predictor\":\"{}\",\"pbs\":{},\"instructions\":{},\"fused_seconds\":{:.6},\"fused_mips\":{:.3},\"reference_seconds\":{:.6},\"reference_mips\":{:.3},\"replay_seconds\":{:.6},\"replay_mips\":{:.3},\"batched_seconds\":{:.6},\"batched_mips\":{:.3},\"convoy_seconds\":{:.6},\"convoy_mips\":{:.3},\"trace_peak_bytes\":{},\"trace_chunks\":{}}}{comma}\n",
                 c.workload,
                 c.predictor,
                 c.pbs,
@@ -287,6 +313,8 @@ impl ThroughputReport {
                 c.reference_mips(),
                 c.replay.as_secs_f64(),
                 c.replay_mips(),
+                c.batched.as_secs_f64(),
+                c.batched_mips(),
                 c.convoy.as_secs_f64(),
                 c.convoy_mips(),
                 c.trace_peak_bytes,
@@ -321,7 +349,7 @@ impl ThroughputReport {
             s.trace_bytes,
         ));
         out.push_str(&format!(
-            "  \"aggregate\": {{\"instructions\":{},\"fused_mips\":{:.3},\"reference_mips\":{:.3},\"speedup\":{:.3},\"capture_seconds\":{:.6},\"replay_mips\":{:.3},\"replay_speedup\":{:.3},\"convoy_mips\":{:.3}}}\n",
+            "  \"aggregate\": {{\"instructions\":{},\"fused_mips\":{:.3},\"reference_mips\":{:.3},\"speedup\":{:.3},\"capture_seconds\":{:.6},\"replay_mips\":{:.3},\"replay_speedup\":{:.3},\"batched_mips\":{:.3},\"convoy_mips\":{:.3}}}\n",
             self.total_instructions(),
             self.fused_mips(),
             self.reference_mips(),
@@ -329,6 +357,7 @@ impl ThroughputReport {
             self.capture_seconds().as_secs_f64(),
             self.replay_mips(),
             self.replay_speedup(),
+            self.batched_mips(),
             self.convoy_mips(),
         ));
         out.push_str("}\n");
@@ -346,7 +375,7 @@ impl ThroughputReport {
         ));
         for c in &self.cells {
             out.push_str(&format!(
-                "  {:<10} {:<15} pbs={:<5} {:>10} insts  fused {:>8.2}  reference {:>8.2}  replay {:>8.2}  convoy {:>8.2} MIPS  ({} chunks, trace {} KiB)\n",
+                "  {:<10} {:<15} pbs={:<5} {:>10} insts  fused {:>8.2}  reference {:>8.2}  replay {:>8.2}  batched {:>8.2}  convoy {:>8.2} MIPS  ({} chunks, trace {} KiB)\n",
                 c.workload,
                 c.predictor,
                 c.pbs,
@@ -354,19 +383,21 @@ impl ThroughputReport {
                 c.fused_mips(),
                 c.reference_mips(),
                 c.replay_mips(),
+                c.batched_mips(),
                 c.convoy_mips(),
                 c.trace_chunks,
                 c.trace_peak_bytes / 1024,
             ));
         }
         out.push_str(&format!(
-            "aggregate: fused {:.2} MIPS vs reference {:.2} MIPS ({:.2}x); replay {:.2} MIPS incl. {:.3}s capture ({:.2}x over fused); convoy {:.2} MIPS\n",
+            "aggregate: fused {:.2} MIPS vs reference {:.2} MIPS ({:.2}x); replay {:.2} MIPS incl. {:.3}s capture ({:.2}x over fused); batched drain {:.2} MIPS; convoy {:.2} MIPS\n",
             self.fused_mips(),
             self.reference_mips(),
             self.speedup(),
             self.replay_mips(),
             self.capture_seconds().as_secs_f64(),
             self.replay_speedup(),
+            self.batched_mips(),
             self.convoy_mips(),
         ));
         let s = &self.sweep;
@@ -413,9 +444,9 @@ fn keys() -> Vec<(BenchmarkId, bool)> {
 }
 
 /// One key's timed replay + convoy measurements: one timed capture
-/// into a materialized trace, one timed `simulate_replay` per
-/// predictor over it, and one timed streamed fused convoy of both
-/// predictors.
+/// into a materialized trace, one timed replay plus one timed
+/// cache-warm second replay per predictor over it, and one timed
+/// streamed fused convoy of both predictors.
 struct KeyMeasurement {
     name: &'static str,
     capture: Duration,
@@ -423,9 +454,9 @@ struct KeyMeasurement {
     instructions: u64,
     trace_bytes: usize,
     chunks: usize,
-    /// Per predictor (in [`PREDICTORS`] order): the replay report and
-    /// its `simulate_replay` wall time.
-    cells: Vec<(SimReport, Duration)>,
+    /// Per predictor (in [`PREDICTORS`] order): the replay report, its
+    /// replay wall time, and the warm second replay's wall time.
+    cells: Vec<(SimReport, Duration, Duration)>,
     /// The convoy's reports, in the same order.
     convoy_reports: Vec<SimReport>,
 }
@@ -448,20 +479,37 @@ fn run_key(workload: BenchmarkId, pbs: bool, scale: ExperimentScale) -> KeyMeasu
     let trace = DynTrace::capture(&program, &configs[0])
         .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
     let capture = t0.elapsed();
-    let cells: Vec<(SimReport, Duration)> = configs
+    let replay = Simulation::new(Engine::Replay);
+    let cells: Vec<(SimReport, Duration, Duration)> = configs
         .iter()
         .map(|cfg| {
             let t1 = Instant::now();
-            let report =
-                simulate_replay(&trace, cfg).unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
-            (report, t1.elapsed())
+            let report = replay
+                .replay(&trace, cfg)
+                .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
+            let replay_dur = t1.elapsed();
+            // A second, cache-warm replay isolates the batched chunk
+            // drain (the steady-state sweep regime).
+            let t2 = Instant::now();
+            let warm = replay
+                .replay(&trace, cfg)
+                .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
+            let batched_dur = t2.elapsed();
+            assert_eq!(
+                report,
+                warm,
+                "{}: replay is not deterministic",
+                bench.name()
+            );
+            (report, replay_dur, batched_dur)
         })
         .collect();
     // Streamed fused convoy of the same cells.
-    let t2 = Instant::now();
-    let convoy_reports =
-        simulate_convoy(&program, &configs).unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
-    let convoy = t2.elapsed();
+    let t3 = Instant::now();
+    let convoy_reports = Simulation::new(Engine::Convoy)
+        .run_many(&program, &configs)
+        .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
+    let convoy = t3.elapsed();
     KeyMeasurement {
         name: bench.name(),
         capture,
@@ -532,7 +580,7 @@ pub fn measure(scale: ExperimentScale, jobs: Jobs) -> ThroughputReport {
             capture: m.capture,
         });
         let share = m.convoy / m.cells.len() as u32;
-        for (i, ((report, duration), convoy_report)) in
+        for (i, ((report, duration, batched), convoy_report)) in
             m.cells.into_iter().zip(m.convoy_reports).enumerate()
         {
             assert_eq!(
@@ -544,6 +592,7 @@ pub fn measure(scale: ExperimentScale, jobs: Jobs) -> ThroughputReport {
                 Cell::new(workload, PREDICTORS[i], pbs, 0),
                 report,
                 duration,
+                batched,
                 share,
                 m.trace_bytes,
                 m.chunks,
@@ -558,10 +607,11 @@ pub fn measure(scale: ExperimentScale, jobs: Jobs) -> ThroughputReport {
         .zip(reference)
         .map(|((cell, ((name, fr), ft)), ((_, rr), rt))| {
             assert_eq!(fr, rr, "fused and reference engines disagree on {cell:?}");
-            let (_, replay_report, replay_dur, convoy_share, trace_bytes, chunks) = replay_cells
-                .iter()
-                .find(|(c, ..)| c == cell)
-                .unwrap_or_else(|| panic!("replay sweep missing cell {cell:?}"));
+            let (_, replay_report, replay_dur, batched_dur, convoy_share, trace_bytes, chunks) =
+                replay_cells
+                    .iter()
+                    .find(|(c, ..)| c == cell)
+                    .unwrap_or_else(|| panic!("replay sweep missing cell {cell:?}"));
             assert_eq!(
                 &fr, replay_report,
                 "fused and replay engines disagree on {cell:?}"
@@ -574,6 +624,7 @@ pub fn measure(scale: ExperimentScale, jobs: Jobs) -> ThroughputReport {
                 fused: ft,
                 reference: rt,
                 replay: *replay_dur,
+                batched: *batched_dur,
                 convoy: *convoy_share,
                 trace_peak_bytes: *trace_bytes,
                 trace_chunks: *chunks,
@@ -607,12 +658,14 @@ fn run_engine(cell: &Cell, scale: ExperimentScale, reference: bool) -> (&'static
         cfg.pbs = Some(probranch_core::PbsConfig::default());
     }
     let program = bench.program();
-    let run = if reference {
-        simulate_reference
+    let engine = if reference {
+        Engine::Reference
     } else {
-        simulate
+        Engine::Fused
     };
-    let report = run(&program, &cfg).unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
+    let report = Simulation::new(engine)
+        .run(&program, &cfg)
+        .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
     (bench.name(), report)
 }
 
@@ -645,10 +698,11 @@ mod tests {
         assert_eq!(report.sweep.cells, 64);
         assert_eq!(report.sweep.instructions, 2 * report.total_instructions());
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"probranch-throughput/3\""));
+        assert!(json.contains("\"schema\": \"probranch-throughput/4\""));
         assert!(json.contains("\"scale\": \"smoke\""));
         assert!(json.contains("\"fused_mips\""));
         assert!(json.contains("\"replay_mips\""));
+        assert!(json.contains("\"batched_mips\""));
         assert!(json.contains("\"convoy_mips\""));
         assert!(json.contains("\"capture_seconds\""));
         assert!(json.contains("\"trace_peak_bytes\""));

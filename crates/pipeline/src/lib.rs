@@ -19,25 +19,28 @@
 //!   accounting with ROB back-pressure and misprediction redirects;
 //! * [`DecodedProgram`] — the one-time predecode pass feeding the fused
 //!   engine (see `decode`);
-//! * [`simulate`] / [`run_functional`] — one-call experiment drivers
+//! * [`Simulation`] / [`run_functional`] — one-call experiment drivers
 //!   returning [`SimReport`]s with IPC, MPKI, PBS counters, program
 //!   outputs and the consumed probabilistic-value stream.
-//!   [`simulate`] is the fused/predecoded engine;
-//!   [`simulate_reference`] keeps the original unfused loop as a
-//!   differential baseline producing identical reports;
-//! * [`DynTrace`] / [`simulate_replay`] / [`simulate_convoy`] /
-//!   [`simulate_replay_convoy`] — the emulate-once/time-many engine:
-//!   the dynamic record stream (plus pre-simulated cache latencies) is
-//!   captured once per emulation key `(workload, PBS config, emulator
-//!   config)` into structure-of-arrays chunks and replayed against any
-//!   number of predictor/core configurations — one consumer at a time
-//!   or as a fused lockstep convoy — byte-identically to the fused
-//!   engine (see `trace`), with optional on-disk persistence keyed by
-//!   content hash (see `persist`).
+//!   [`Simulation`] is keyed by [`EngineKind`]: the fused/predecoded
+//!   live engine, the original unfused reference loop (the
+//!   differential baseline producing identical reports), and the two
+//!   trace engines below;
+//! * [`DynTrace`] + [`EngineKind::Replay`] / [`EngineKind::Convoy`] —
+//!   the emulate-once/time-many engines: the dynamic record stream
+//!   (plus pre-simulated cache latencies) is captured once per
+//!   emulation key `(workload, PBS config, emulator config)` into
+//!   structure-of-arrays chunks and replayed against any number of
+//!   predictor/core configurations — one consumer at a time or as a
+//!   fused lockstep convoy, each chunk's branches batch-predicted
+//!   through [`probranch_predictor::BranchPredictor::predict_update_batch`]
+//!   ahead of the timing walk — byte-identically to the fused engine
+//!   (see `trace`), with optional on-disk persistence keyed by content
+//!   hash (see `persist`).
 //!
 //! ```
 //! use probranch_isa::{ProgramBuilder, Reg, CmpOp};
-//! use probranch_pipeline::{simulate, SimConfig};
+//! use probranch_pipeline::{EngineKind, SimConfig, Simulation};
 //!
 //! let mut b = ProgramBuilder::new();
 //! let top = b.label("top");
@@ -46,7 +49,7 @@
 //! b.add(Reg::R1, Reg::R1, 1)
 //!  .br(CmpOp::Lt, Reg::R1, 100, top)
 //!  .halt();
-//! let report = simulate(&b.build()?, &SimConfig::default())?;
+//! let report = Simulation::new(EngineKind::Fused).run(&b.build()?, &SimConfig::default())?;
 //! assert_eq!(report.timing.instructions, 202);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -73,7 +76,7 @@ pub use ooo::{BranchTraceEntry, ExecLatencies, OooConfig, OooTimingModel, Timing
 pub use persist::TRACE_FILE_VERSION;
 pub use sim::{
     run_functional, simulate, simulate_convoy, simulate_reference, simulate_replay,
-    simulate_replay_convoy, PredictorChoice, SimConfig, SimReport,
+    simulate_replay_convoy, EngineKind, PredictorChoice, SimConfig, SimReport, Simulation,
 };
 pub use trace::{
     DynTrace, ReplayConsumer, ReplayRec, TraceChunk, TraceFunctional, TraceStream,

@@ -21,7 +21,7 @@
 //! bubble — the standard trace-driven approximation.
 
 use probranch_isa::ExecClass;
-use probranch_predictor::BranchPredictor;
+use probranch_predictor::{BranchPredictor, BranchReq};
 
 use crate::cache::MemoryHierarchy;
 use crate::decode::{DecodedInst, InstTiming};
@@ -573,7 +573,8 @@ impl OooTimingModel {
                     if ev.is_prob && filter_prob {
                         false // oracle-resolved, predictor untouched
                     } else {
-                        let predicted = predictor.predict_and_update(pc as u64, ev.taken);
+                        let predicted =
+                            predictor.predict_and_update(BranchReq::new(pc as u64, ev.taken));
                         if let Some(trace) = &mut self.trace {
                             trace.push(BranchTraceEntry {
                                 pc,

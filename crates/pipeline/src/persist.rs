@@ -320,14 +320,20 @@ impl DynTrace {
                 return None;
             }
             total += len as u64;
-            chunks.push(TraceChunk {
+            let mut chunk = TraceChunk {
                 pcs,
                 istalls,
                 dlats,
                 branches,
                 runs,
                 open_run,
-            });
+                breqs: Vec::new(),
+                breq_prob: Vec::new(),
+            };
+            // The on-disk format carries only the raw streams; the
+            // derived request stream is recomputed on load.
+            chunk.rebuild_breqs();
+            chunks.push(chunk);
         }
         if d.pos != body.len() || total != instructions {
             return None;

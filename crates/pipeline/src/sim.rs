@@ -1,17 +1,27 @@
 //! The top-level simulator: functional emulation co-simulated with the
 //! branch predictor, the PBS unit and the out-of-order timing model.
 //!
-//! Two engines produce identical results:
+//! [`Simulation`] is the single entry point, keyed by [`EngineKind`]:
 //!
-//! * [`simulate`] — the **fused** engine: the emulator executes from the
-//!   predecoded program and writes compact [`StepRecord`]s into a small
-//!   batch buffer that the timing model drains, with the branch
-//!   predictor dispatched statically through [`PredictorDispatch`] so
-//!   the per-branch predict/update pair inlines;
-//! * [`simulate_reference`] — the original unfused loop (a
+//! * [`EngineKind::Fused`] — the emulator executes from the predecoded
+//!   program and writes compact [`StepRecord`]s into a small batch
+//!   buffer that the timing model drains, with the branch predictor
+//!   dispatched statically through [`PredictorDispatch`] so the
+//!   per-branch predict/update pair inlines;
+//! * [`EngineKind::Reference`] — the original unfused loop (a
 //!   [`DynInst`](crate::DynInst) stream into `Box<dyn BranchPredictor>`),
-//!   kept as the differential baseline the equivalence suite checks the
-//!   fused engine against.
+//!   kept as the differential baseline the equivalence suite checks
+//!   every other engine against;
+//! * [`EngineKind::Replay`] — emulate once, time many: cells re-time a
+//!   captured [`DynTrace`], with each chunk's branches batch-predicted
+//!   ahead of the timing walk (see `trace.rs`);
+//! * [`EngineKind::Convoy`] — streamed fused convoys: one capture with
+//!   all of a key's timing cells draining each chunk in lockstep,
+//!   bounded memory on arbitrarily long workloads.
+//!
+//! All four produce byte-identical [`SimReport`]s — equality over every
+//! field, error paths included — locked in by
+//! `tests/engine_equivalence.rs`.
 
 use probranch_core::{PbsConfig, PbsStats, PbsUnit};
 use probranch_isa::Program;
@@ -195,15 +205,81 @@ impl SimReport {
     }
 }
 
-/// Runs a program to completion under a full timing simulation.
+/// Which engine a [`Simulation`] runs its timing cells through.
 ///
-/// # Errors
+/// The engines produce byte-identical [`SimReport`]s — equality over
+/// every field, error paths included — locked in by
+/// `tests/engine_equivalence.rs`. They differ only in execution shape,
+/// and therefore in throughput and memory footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineKind {
+    /// The emulate-once/time-many replay engine (default): each cell
+    /// re-times a captured [`DynTrace`], with every chunk's
+    /// predictor-visible branches batch-predicted through
+    /// [`BranchPredictor::predict_update_batch`] ahead of the timing
+    /// walk.
+    #[default]
+    Replay,
+    /// Streamed fused convoy: one capture with all of a key's timing
+    /// cells draining each chunk in lockstep — no materialized trace,
+    /// bounded memory on arbitrarily long workloads.
+    Convoy,
+    /// The fused emulate→time engine: emulator, predictor and timing
+    /// model advance together, re-emulating every cell. As a *live*
+    /// engine it must consult the predictor serially per branch — the
+    /// interleaving replay's batched path reproduces bit-exactly.
+    Fused,
+    /// The original unfused loop (a [`DynInst`](crate::DynInst) stream
+    /// into `Box<dyn BranchPredictor>`) — the slow differential
+    /// baseline.
+    Reference,
+}
+
+impl EngineKind {
+    /// Every engine, replay first — the order differential matrices
+    /// iterate.
+    pub const ALL: [EngineKind; 4] = [
+        EngineKind::Replay,
+        EngineKind::Convoy,
+        EngineKind::Fused,
+        EngineKind::Reference,
+    ];
+
+    /// Parses an engine name (as accepted by `figures --engine`).
+    pub fn parse(name: &str) -> Option<EngineKind> {
+        match name {
+            "replay" => Some(EngineKind::Replay),
+            "convoy" => Some(EngineKind::Convoy),
+            "fused" => Some(EngineKind::Fused),
+            "reference" => Some(EngineKind::Reference),
+            _ => None,
+        }
+    }
+
+    /// The engine's name, as accepted by [`EngineKind::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Replay => "replay",
+            EngineKind::Convoy => "convoy",
+            EngineKind::Fused => "fused",
+            EngineKind::Reference => "reference",
+        }
+    }
+}
+
+/// The simulator's single entry point: an [`EngineKind`] plus the four
+/// run shapes every engine supports — live single cell ([`run`]),
+/// live multi-cell ([`run_many`]), materialized-trace single cell
+/// ([`replay`]) and materialized-trace multi-cell ([`replay_many`]).
 ///
-/// Propagates any [`EmuError`] (faults indicate workload bugs).
+/// [`run`]: Simulation::run
+/// [`run_many`]: Simulation::run_many
+/// [`replay`]: Simulation::replay
+/// [`replay_many`]: Simulation::replay_many
 ///
 /// ```
 /// use probranch_isa::{ProgramBuilder, Reg, CmpOp};
-/// use probranch_pipeline::{simulate, SimConfig};
+/// use probranch_pipeline::{EngineKind, SimConfig, Simulation};
 ///
 /// let mut b = ProgramBuilder::new();
 /// let top = b.label("top");
@@ -212,11 +288,147 @@ impl SimReport {
 /// b.add(Reg::R1, Reg::R1, 1)
 ///  .br(CmpOp::Lt, Reg::R1, 1000, top)
 ///  .halt();
-/// let report = simulate(&b.build()?, &SimConfig::default())?;
+/// let program = b.build()?;
+/// let report = Simulation::new(EngineKind::Fused).run(&program, &SimConfig::default())?;
 /// assert!(report.timing.ipc() > 0.5);
+/// // Any other engine produces the byte-identical report.
+/// let replayed = Simulation::default().run(&program, &SimConfig::default())?;
+/// assert_eq!(replayed, report);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn simulate(program: &Program, config: &SimConfig) -> Result<SimReport, EmuError> {
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Simulation {
+    engine: EngineKind,
+}
+
+impl Simulation {
+    /// A simulation entry point over `engine`.
+    pub fn new(engine: EngineKind) -> Simulation {
+        Simulation { engine }
+    }
+
+    /// The engine this entry point dispatches to.
+    pub fn engine(self) -> EngineKind {
+        self.engine
+    }
+
+    /// Runs `program` to completion under a full timing simulation.
+    ///
+    /// Under [`EngineKind::Replay`] the trace is captured and replayed
+    /// internally; use [`replay`](Simulation::replay) when a
+    /// [`DynTrace`] for the configuration's emulation key is already
+    /// materialized.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`EmuError`] (faults indicate workload bugs),
+    /// identically across engines.
+    pub fn run(self, program: &Program, config: &SimConfig) -> Result<SimReport, EmuError> {
+        match self.engine {
+            EngineKind::Fused => run_fused(program, config),
+            EngineKind::Reference => run_reference(program, config),
+            EngineKind::Convoy => run_convoy(program, std::slice::from_ref(config))
+                .map(|mut reports| reports.pop().expect("one report per config")),
+            EngineKind::Replay => {
+                let trace = DynTrace::capture(program, config)?;
+                replay_one(&trace, config)
+            }
+        }
+    }
+
+    /// Runs one timing cell per configuration, in input order.
+    ///
+    /// Under [`EngineKind::Replay`] and [`EngineKind::Convoy`] the
+    /// configurations must share an emulation key (equal `pbs`, `emu`
+    /// and `max_insts`) so one captured stream serves every cell; the
+    /// live engines simply run back to back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty, or (replay/convoy) the emulation
+    /// keys differ.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`EmuError`], identically across engines.
+    pub fn run_many(
+        self,
+        program: &Program,
+        configs: &[SimConfig],
+    ) -> Result<Vec<SimReport>, EmuError> {
+        match self.engine {
+            EngineKind::Fused => configs.iter().map(|cfg| run_fused(program, cfg)).collect(),
+            EngineKind::Reference => configs
+                .iter()
+                .map(|cfg| run_reference(program, cfg))
+                .collect(),
+            EngineKind::Convoy => run_convoy(program, configs),
+            EngineKind::Replay => {
+                let key = check_convoy_key(configs, "run_many");
+                let trace = DynTrace::capture(program, key)?;
+                configs.iter().map(|cfg| replay_one(&trace, cfg)).collect()
+            }
+        }
+    }
+
+    /// Re-times a captured [`DynTrace`] under `config`'s timing side
+    /// (predictor, core, filter mode, branch tracing) without
+    /// re-emulating.
+    ///
+    /// The materialized-trace path is shared by every engine — a trace
+    /// fixes the dynamic instruction stream, so the engine choice
+    /// cannot change the report — which keeps this method total over
+    /// [`EngineKind`] (the live engines have nothing left to
+    /// re-execute).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config`'s emulation key (PBS and emulator
+    /// configuration) differs from the one the trace was captured
+    /// under.
+    ///
+    /// # Errors
+    ///
+    /// [`EmuError::InstLimitExceeded`] exactly when a live run would
+    /// return it: the trace carries a completed run, so any
+    /// `config.max_insts` at or below its dynamic instruction count
+    /// would have tripped.
+    pub fn replay(self, trace: &DynTrace, config: &SimConfig) -> Result<SimReport, EmuError> {
+        replay_one(trace, config)
+    }
+
+    /// Re-times a captured [`DynTrace`] once per configuration, in
+    /// input order.
+    ///
+    /// Under [`EngineKind::Convoy`] all cells drain each chunk in one
+    /// fused lockstep pass (the configurations must share an emulation
+    /// key); every other engine replays the cells independently —
+    /// byte-identical reports either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty, the trace's emulation key differs
+    /// from a configuration's, or (convoy) the keys differ among
+    /// themselves.
+    ///
+    /// # Errors
+    ///
+    /// [`EmuError::InstLimitExceeded`] exactly when a live run would
+    /// return it — every cell errors identically.
+    pub fn replay_many(
+        self,
+        trace: &DynTrace,
+        configs: &[SimConfig],
+    ) -> Result<Vec<SimReport>, EmuError> {
+        match self.engine {
+            EngineKind::Convoy => replay_convoy(trace, configs),
+            _ => configs.iter().map(|cfg| replay_one(trace, cfg)).collect(),
+        }
+    }
+}
+
+/// The fused emulate→time engine body (see [`EngineKind::Fused`]).
+fn run_fused(program: &Program, config: &SimConfig) -> Result<SimReport, EmuError> {
     let mut emu = build_emulator(program, config);
     let mut predictor = config.predictor.build_dispatch();
     let mut timing = OooTimingModel::new(config.core.clone());
@@ -258,18 +470,10 @@ pub fn simulate(program: &Program, config: &SimConfig) -> Result<SimReport, EmuE
     Ok(report_of(emu, timing))
 }
 
-/// Runs a program under the original **unfused** engine: per-instruction
-/// [`DynInst`](crate::DynInst) records and a `Box<dyn BranchPredictor>`.
-///
-/// Architecturally identical to [`simulate`] — this is the differential
-/// baseline for `tests/engine_equivalence.rs` and the throughput
-/// benchmark's "before" measurement, not a path production sweeps should
-/// take.
-///
-/// # Errors
-///
-/// Propagates any [`EmuError`], exactly as [`simulate`] does.
-pub fn simulate_reference(program: &Program, config: &SimConfig) -> Result<SimReport, EmuError> {
+/// The original unfused engine body (see [`EngineKind::Reference`]):
+/// per-instruction [`DynInst`](crate::DynInst) records and a
+/// `Box<dyn BranchPredictor>`.
+fn run_reference(program: &Program, config: &SimConfig) -> Result<SimReport, EmuError> {
     let mut emu = build_emulator(program, config);
     let mut predictor = config.predictor.build();
     let mut timing = OooTimingModel::new(config.core.clone());
@@ -291,30 +495,12 @@ pub fn simulate_reference(program: &Program, config: &SimConfig) -> Result<SimRe
     Ok(report_of(emu, timing))
 }
 
-/// Re-times a captured [`DynTrace`] under `config`'s timing side
-/// (predictor, core, filter mode, branch tracing) without re-emulating —
-/// the "emulate once, time many" replay engine.
-///
-/// The report is byte-identical to what [`simulate`] would return for
-/// the same program and configuration, including the
-/// [`EmuError::InstLimitExceeded`] error when `config.max_insts` is at
-/// or below the trace's dynamic instruction count (the trace carries a
-/// completed run, so any tighter budget would have tripped).
-///
-/// # Panics
-///
-/// Panics if `config`'s emulation key (PBS and emulator configuration)
-/// differs from the one the trace was captured under.
-///
-/// # Errors
-///
-/// [`EmuError::InstLimitExceeded`] exactly when [`simulate`] would
-/// return it.
-pub fn simulate_replay(trace: &DynTrace, config: &SimConfig) -> Result<SimReport, EmuError> {
-    // The one-element convoy takes the identical monomorphized
-    // single-consumer drain, so the two entry points share every check
-    // and cannot diverge in error semantics.
-    simulate_replay_convoy(trace, std::slice::from_ref(config))
+/// The single-cell replay body (see [`EngineKind::Replay`]).
+fn replay_one(trace: &DynTrace, config: &SimConfig) -> Result<SimReport, EmuError> {
+    // The one-element convoy takes the identical single-consumer drain,
+    // so the two entry points share every check and cannot diverge in
+    // error semantics.
+    replay_convoy(trace, std::slice::from_ref(config))
         .map(|mut reports| reports.pop().expect("one report per config"))
 }
 
@@ -339,35 +525,14 @@ fn check_convoy_key<'a>(configs: &'a [SimConfig], what: &str) -> &'a SimConfig {
     key
 }
 
-/// Convoy replay: emulates `program` once, draining each captured chunk
-/// through one timing consumer per configuration in a single **fused**
-/// loop — every record is decoded from the SoA streams once and all
-/// `k` timing models advance in lockstep (monomorphized per predictor
-/// pair for the common `k = 2` sweeps, per-consumer static dispatch
-/// beyond that).
-///
-/// Equivalent to calling [`simulate`] once per configuration — the
-/// returned reports are byte-identical, in input order — but the
-/// emulation and cache pre-simulation run once, only a single
-/// chunk-sized buffer is ever live (bounded memory on arbitrarily long
-/// workloads), and each record's streams are register/L1-hot when the
-/// second and later consumers step over it.
-///
-/// All configurations must share the emulation key: equal `pbs`, `emu`
-/// and `max_insts` fields (the timing-side fields are free).
-///
-/// # Panics
-///
-/// Panics if `configs` is empty or the emulation keys differ.
-///
-/// # Errors
-///
-/// Propagates any [`EmuError`], exactly as [`simulate`] would for each
-/// cell (a capture error means every cell errors identically).
-pub fn simulate_convoy(
-    program: &Program,
-    configs: &[SimConfig],
-) -> Result<Vec<SimReport>, EmuError> {
+/// The streamed-convoy body (see [`EngineKind::Convoy`]): emulates
+/// `program` once, draining each captured chunk through one timing
+/// consumer per configuration in a single fused loop — every consumer
+/// batch-predicts the chunk, then all `k` timing models advance in
+/// lockstep over their prediction feeds. Emulation and cache
+/// pre-simulation run once, and only a single chunk-sized buffer is
+/// ever live.
+fn run_convoy(program: &Program, configs: &[SimConfig]) -> Result<Vec<SimReport>, EmuError> {
     let key = check_convoy_key(configs, "simulate_convoy");
     let mut stream = TraceStream::new(program, key);
     let mut consumers: Vec<ReplayConsumer> = configs.iter().map(ReplayConsumer::new).collect();
@@ -382,29 +547,11 @@ pub fn simulate_convoy(
         .collect())
 }
 
-/// Convoy replay over a **materialized** trace: drains each chunk of
-/// `trace` through one timing consumer per configuration in the same
-/// fused lockstep loop as [`simulate_convoy`], without re-emulating —
-/// the path sweeps take when a shared cache already holds the key's
-/// trace.
-///
-/// Byte-identical to calling [`simulate_replay`] once per
-/// configuration, in input order.
-///
-/// # Panics
-///
-/// Panics if `configs` is empty, the emulation keys differ, or the
-/// trace was captured under a different emulation key.
-///
-/// # Errors
-///
-/// [`EmuError::InstLimitExceeded`] exactly when [`simulate`] would
-/// return it (the trace outruns the configurations' shared budget) —
-/// every cell errors identically.
-pub fn simulate_replay_convoy(
-    trace: &DynTrace,
-    configs: &[SimConfig],
-) -> Result<Vec<SimReport>, EmuError> {
+/// The materialized-trace convoy body: drains each chunk of `trace`
+/// through one timing consumer per configuration in the same fused
+/// lockstep loop as [`run_convoy`], without re-emulating — the path
+/// sweeps take when a shared cache already holds the key's trace.
+fn replay_convoy(trace: &DynTrace, configs: &[SimConfig]) -> Result<Vec<SimReport>, EmuError> {
     let key = check_convoy_key(configs, "simulate_replay_convoy");
     trace.check_compatible(key);
     if trace.instructions() >= key.max_insts {
@@ -420,6 +567,43 @@ pub fn simulate_replay_convoy(
         .into_iter()
         .map(|c| c.into_report(trace.functional()))
         .collect())
+}
+
+// ---- legacy free-function entry points --------------------------------
+//
+// Thin wrappers over `Simulation`, kept so call sites predating the
+// engine-keyed API keep compiling. New code goes through
+// `Simulation::new(EngineKind::…)`.
+
+#[doc(hidden)]
+pub fn simulate(program: &Program, config: &SimConfig) -> Result<SimReport, EmuError> {
+    Simulation::new(EngineKind::Fused).run(program, config)
+}
+
+#[doc(hidden)]
+pub fn simulate_reference(program: &Program, config: &SimConfig) -> Result<SimReport, EmuError> {
+    Simulation::new(EngineKind::Reference).run(program, config)
+}
+
+#[doc(hidden)]
+pub fn simulate_replay(trace: &DynTrace, config: &SimConfig) -> Result<SimReport, EmuError> {
+    Simulation::new(EngineKind::Replay).replay(trace, config)
+}
+
+#[doc(hidden)]
+pub fn simulate_convoy(
+    program: &Program,
+    configs: &[SimConfig],
+) -> Result<Vec<SimReport>, EmuError> {
+    Simulation::new(EngineKind::Convoy).run_many(program, configs)
+}
+
+#[doc(hidden)]
+pub fn simulate_replay_convoy(
+    trace: &DynTrace,
+    configs: &[SimConfig],
+) -> Result<Vec<SimReport>, EmuError> {
+    Simulation::new(EngineKind::Convoy).replay_many(trace, configs)
 }
 
 fn build_emulator(program: &Program, config: &SimConfig) -> Emulator {
@@ -445,8 +629,8 @@ fn report_of(emu: Emulator, mut timing: OooTimingModel) -> SimReport {
 
 /// Runs a program functionally only (no timing model) — used for output
 /// accuracy and randomness experiments where only the architectural
-/// results matter. Roughly an order of magnitude faster than
-/// [`simulate`].
+/// results matter. Roughly an order of magnitude faster than a full
+/// [`Simulation`] run.
 ///
 /// # Errors
 ///

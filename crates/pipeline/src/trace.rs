@@ -19,9 +19,15 @@
 //! * [`ReplayConsumer`] — the consume half: an
 //!   [`OooTimingModel`] + statically dispatched predictor pair that
 //!   drains chunks through the same cycle-accounting core as the live
-//!   engines ([`OooTimingModel::consume_core`]), with the whole chunk
-//!   loop monomorphized per predictor type via
-//!   [`PredictorVisitor`](probranch_predictor::PredictorVisitor).
+//!   engines ([`OooTimingModel::consume_core`]). The predictor runs
+//!   *ahead* of the timing drain: each chunk's predictor-visible
+//!   branches are gathered into one request batch and handed to
+//!   [`BranchPredictor::predict_update_batch`] through
+//!   [`PredictorDispatch::visit_batch`] — one dispatch per chunk, and
+//!   the predictor (TAGE-SC-L in particular) free to software-pipeline
+//!   its own table walks across the whole batch — after which the
+//!   timing loop replays the precomputed predictions through a
+//!   position-only feed.
 //!
 //! # Structure-of-arrays chunk layout
 //!
@@ -39,15 +45,16 @@
 //! available through [`TraceChunk::push`] / [`TraceChunk::records`] and
 //! round-trips byte-identically (property-tested).
 //!
-//! Replay modes on top (see `sim.rs`):
-//! [`simulate_replay`](crate::simulate_replay) re-times a materialized
-//! [`DynTrace`]; [`simulate_convoy`](crate::simulate_convoy) and
-//! [`simulate_replay_convoy`](crate::simulate_replay_convoy) drain each
-//! chunk through *k* consumers in one **fused** loop that decodes every
-//! record once and advances all `k` timing models in lockstep — with
-//! the whole loop monomorphized per predictor *pair* for the common
-//! `k = 2` case ([`PredictorPairVisitor`]) and falling back to the
-//! per-consumer [`PredictorDispatch`] match for arbitrary `k`.
+//! Replay modes on top (see `sim.rs`, behind the `Simulation` entry
+//! point): `EngineKind::Replay` re-times a materialized [`DynTrace`];
+//! the convoy engines drain each chunk through *k* consumers in one
+//! **fused** loop that decodes every record once and advances all `k`
+//! timing models in lockstep. Every consumer batch-predicts the chunk
+//! up front (consumers may filter probabilistic branches differently,
+//! so each gathers its own request stream), which leaves the drain
+//! itself predictor-free: the `k = 1` and `k = 2` loops monomorphize
+//! over prediction feeds, and arbitrary `k` pays only a feed-array
+//! walk per record instead of `k` predictor dispatches per branch.
 //!
 //! Replay is byte-identical to the fused engine — `SimReport` equality
 //! including `branch_trace`, `prob_consumed` and the error paths — which
@@ -56,9 +63,7 @@
 
 use probranch_core::{PbsConfig, PbsStats, PbsUnit};
 use probranch_isa::{ExecClass, Program};
-use probranch_predictor::{
-    BranchPredictor, PredictorDispatch, PredictorPairVisitor, PredictorVisitor,
-};
+use probranch_predictor::{BranchPredictor, BranchReq, PredictorDispatch};
 
 use crate::cache::MemoryHierarchy;
 use crate::decode::InstTiming;
@@ -192,6 +197,15 @@ pub struct TraceChunk {
     /// Length of the still-open trailing non-branch run (a chunk that
     /// ends on a branch record leaves this 0).
     pub(crate) open_run: u32,
+    /// Derived stream: the chunk's *conditional* branches as ready-made
+    /// predictor requests, in program order. Built during capture (and
+    /// rebuilt after a persistence load), so replay consumers hand it to
+    /// [`BranchPredictor::predict_update_batch`] without re-walking the
+    /// run index — the unfiltered batch is a borrow, not a copy.
+    pub(crate) breqs: Vec<BranchReq>,
+    /// Parallel to `breqs`: whether the request's branch was
+    /// probabilistic (the Figure 9 filter mode drops those requests).
+    pub(crate) breq_prob: Vec<bool>,
 }
 
 impl TraceChunk {
@@ -207,6 +221,8 @@ impl TraceChunk {
             branches: Vec::new(),
             runs: Vec::new(),
             open_run: 0,
+            breqs: Vec::new(),
+            breq_prob: Vec::new(),
         }
     }
 
@@ -233,6 +249,8 @@ impl TraceChunk {
         self.branches.clear();
         self.runs.clear();
         self.open_run = 0;
+        self.breqs.clear();
+        self.breq_prob.clear();
     }
 
     /// Appends one record in its raw stream form.
@@ -245,6 +263,13 @@ impl TraceChunk {
             self.runs.push(self.open_run);
             self.branches.push(branch_byte);
             self.open_run = 0;
+            // A conditional branch has kind bits 0: only the present/
+            // taken/prob flags may be set.
+            if branch_byte & !(BR_TAKEN | BR_PROB) == BR_PRESENT {
+                self.breqs
+                    .push(BranchReq::new(pc as u64, branch_byte & BR_TAKEN != 0));
+                self.breq_prob.push(branch_byte & BR_PROB != 0);
+            }
         } else {
             self.open_run += 1;
         }
@@ -293,6 +318,26 @@ impl TraceChunk {
         self.dlats.shrink_to_fit();
         self.branches.shrink_to_fit();
         self.runs.shrink_to_fit();
+        self.breqs.shrink_to_fit();
+        self.breq_prob.shrink_to_fit();
+    }
+
+    /// Rebuilds the derived request stream from the raw streams — for
+    /// chunks reassembled from a persisted trace, whose serialized form
+    /// carries only the raw streams.
+    pub(crate) fn rebuild_breqs(&mut self) {
+        self.breqs.clear();
+        self.breq_prob.clear();
+        let mut idx = 0usize;
+        for (&run, &byte) in self.runs.iter().zip(&self.branches) {
+            idx += run as usize;
+            if byte & !(BR_TAKEN | BR_PROB) == BR_PRESENT {
+                self.breqs
+                    .push(BranchReq::new(self.pcs[idx] as u64, byte & BR_TAKEN != 0));
+                self.breq_prob.push(byte & BR_PROB != 0);
+            }
+            idx += 1;
+        }
     }
 
     /// Heap bytes held by the chunk's stream buffers (capacity, not
@@ -303,6 +348,8 @@ impl TraceChunk {
             + self.dlats.capacity()
             + self.branches.capacity()
             + self.runs.capacity() * 4
+            + self.breqs.capacity() * std::mem::size_of::<BranchReq>()
+            + self.breq_prob.capacity()
     }
 }
 
@@ -543,7 +590,8 @@ impl DynTrace {
     ///
     /// # Errors
     ///
-    /// Exactly the errors [`simulate`](crate::simulate) would return:
+    /// Exactly the errors a live [`Simulation`](crate::Simulation)
+    /// run would return:
     /// emulator faults, or [`EmuError::InstLimitExceeded`] when the
     /// program does not halt within `config.max_insts` — a trace only
     /// exists for a run that completed.
@@ -626,11 +674,103 @@ impl DynTrace {
 
 /// The consume half of the fused engine: one timing model and its
 /// statically dispatched predictor, fed chunks of a captured trace.
+///
+/// Each chunk drains in two phases. First the consumer gathers the
+/// chunk's predictor-visible branches into one request batch and runs
+/// it through [`BranchPredictor::predict_update_batch`] via
+/// [`PredictorDispatch::visit_batch`] — one dispatch per chunk, with
+/// the predictor free to pipeline its own internal work across the
+/// batch. Then the record walk replays the precomputed predictions
+/// through a position-only feed into the unchanged cycle-accounting
+/// core. This is a pure replay-side reordering: the predictor observes
+/// exactly the serial request stream, so reports stay byte-identical
+/// to the live engines.
 #[derive(Debug)]
 pub struct ReplayConsumer {
     timing: OooTimingModel,
     predictor: PredictorDispatch,
     filter_prob: bool,
+    /// Per-chunk batch scratch: the chunk's predictor-visible requests…
+    reqs: Vec<BranchReq>,
+    /// …and their batch-computed predictions, replayed by the drain.
+    preds: Vec<bool>,
+}
+
+/// The chunk's *predictor-visible* branch requests, in program order:
+/// conditional branches, minus probabilistic ones when the Figure 9
+/// filter diverts those to the PBS oracle — exactly the records for
+/// which [`OooTimingModel::consume_core`] consults the predictor
+/// (PBS-directed and unconditional control flow never touch it).
+/// Unfiltered consumers borrow the chunk's pre-built request stream
+/// outright; the filter mode copies the non-probabilistic subset into
+/// `scratch`.
+fn visible_reqs<'a>(
+    chunk: &'a TraceChunk,
+    filter_prob: bool,
+    scratch: &'a mut Vec<BranchReq>,
+) -> &'a [BranchReq] {
+    if !filter_prob {
+        return &chunk.breqs;
+    }
+    scratch.clear();
+    scratch.extend(
+        chunk
+            .breqs
+            .iter()
+            .zip(&chunk.breq_prob)
+            .filter(|&(_, &prob)| !prob)
+            .map(|(&req, _)| req),
+    );
+    scratch
+}
+
+/// Replays a chunk's batch-precomputed predictions into the unchanged
+/// cycle-accounting core. [`OooTimingModel::consume_core`] consults its
+/// predictor through exactly one entry point — `predict_and_update`,
+/// once per predictor-visible branch in program order — so a feed that
+/// pops the next precomputed prediction is indistinguishable from the
+/// live predictor the batch already ran.
+struct PredFeed<'a> {
+    preds: &'a [bool],
+    next: usize,
+}
+
+impl<'a> PredFeed<'a> {
+    fn new(preds: &'a [bool]) -> PredFeed<'a> {
+        PredFeed { preds, next: 0 }
+    }
+
+    /// Whether the drain consumed every batched prediction — the
+    /// request collection and the record walk agreeing on which records
+    /// are predictor-visible.
+    fn consumed_all(&self) -> bool {
+        self.next == self.preds.len()
+    }
+}
+
+impl BranchPredictor for PredFeed<'_> {
+    fn predict(&mut self, _pc: u64) -> bool {
+        unreachable!("replay drains consult the feed via predict_and_update only")
+    }
+
+    fn update(&mut self, _pc: u64, _taken: bool) {
+        unreachable!("replay drains consult the feed via predict_and_update only")
+    }
+
+    #[inline(always)]
+    fn predict_and_update(&mut self, _req: BranchReq) -> bool {
+        let pred = self.preds[self.next];
+        self.next += 1;
+        pred
+    }
+
+    fn storage_bits(&self) -> usize {
+        0
+    }
+
+    fn name(&self) -> &'static str {
+        "pred-feed"
+    }
 }
 
 /// One consumer's per-record step over the SoA stream values: the
@@ -690,17 +830,9 @@ impl<'a> Streams<'a> {
     }
 }
 
-/// The chunk-drain loop as a [`PredictorVisitor`], so
-/// [`PredictorDispatch`] resolves to the concrete predictor *once per
-/// chunk* and the whole loop body — predict/update included —
-/// monomorphizes per predictor type.
-struct DrainChunk<'a> {
-    timing: &'a mut OooTimingModel,
-    timings: &'a [InstTiming],
-    chunk: &'a TraceChunk,
-    filter_prob: bool,
-}
-
+/// The single-consumer chunk-drain loop: one timing model stepping over
+/// its prediction feed (the predictor itself already ran the chunk
+/// through the batch API).
 struct DrainOne<'a, P: ?Sized> {
     streams: Streams<'a>,
     step: Step<'a, P>,
@@ -718,36 +850,9 @@ impl<P: BranchPredictor + ?Sized> ChunkVisitor for DrainOne<'_, P> {
     }
 }
 
-impl PredictorVisitor for DrainChunk<'_> {
-    type Out = ();
-
-    #[inline]
-    fn visit<P: BranchPredictor + ?Sized>(self, predictor: &mut P) {
-        let mut v = DrainOne {
-            streams: Streams::new(self.timings),
-            step: Step {
-                timing: self.timing,
-                predictor,
-                filter_prob: self.filter_prob,
-            },
-        };
-        walk_chunk(self.chunk, &mut v);
-    }
-}
-
-/// The fused two-consumer convoy loop as a [`PredictorPairVisitor`]:
-/// each record is decoded once from the SoA streams and advances both
-/// timing models back to back, with the whole loop monomorphized per
-/// predictor pairing.
-struct DrainChunkPair<'a> {
-    a: &'a mut OooTimingModel,
-    filter_a: bool,
-    b: &'a mut OooTimingModel,
-    filter_b: bool,
-    timings: &'a [InstTiming],
-    chunk: &'a TraceChunk,
-}
-
+/// The fused two-consumer convoy loop: each record is decoded once from
+/// the SoA streams and advances both timing models back to back over
+/// their prediction feeds.
 struct DrainTwo<'a, PA: ?Sized, PB: ?Sized> {
     streams: Streams<'a>,
     a: Step<'a, PA>,
@@ -770,48 +875,23 @@ impl<PA: BranchPredictor + ?Sized, PB: BranchPredictor + ?Sized> ChunkVisitor
     }
 }
 
-impl PredictorPairVisitor for DrainChunkPair<'_> {
-    type Out = ();
-
-    #[inline]
-    fn visit<PA: BranchPredictor + ?Sized, PB: BranchPredictor + ?Sized>(
-        self,
-        pa: &mut PA,
-        pb: &mut PB,
-    ) {
-        let mut v = DrainTwo {
-            streams: Streams::new(self.timings),
-            a: Step {
-                timing: self.a,
-                predictor: pa,
-                filter_prob: self.filter_a,
-            },
-            b: Step {
-                timing: self.b,
-                predictor: pb,
-                filter_prob: self.filter_b,
-            },
-        };
-        walk_chunk(self.chunk, &mut v);
-    }
-}
-
 /// The arbitrary-`k` fused convoy loop: record-major over the SoA
-/// streams, advancing every consumer through its [`PredictorDispatch`]
-/// (one predictable match per branch per consumer — the fused engine's
-/// own dispatch cost, paid only on the `k ≥ 3` fallback path).
+/// streams, advancing every consumer's timing model over its own
+/// prediction feed. With the predictors batched out of the drain, the
+/// `k ≥ 3` fallback pays only a feed-array walk per record — no
+/// per-branch predictor dispatch at any `k`.
 struct DrainMany<'a, 'c> {
     streams: Streams<'a>,
-    parts: Vec<(&'c mut OooTimingModel, &'c mut PredictorDispatch, bool)>,
+    parts: Vec<(&'c mut OooTimingModel, PredFeed<'c>, bool)>,
 }
 
 impl ChunkVisitor for DrainMany<'_, '_> {
     #[inline(always)]
     fn plain(&mut self, pc: u32, istall: u8, dlat: u8) {
-        for (timing, predictor, filter) in &mut self.parts {
+        for (timing, feed, filter) in &mut self.parts {
             let mut step = Step {
                 timing,
-                predictor: *predictor as &mut PredictorDispatch,
+                predictor: feed,
                 filter_prob: *filter,
             };
             step.advance(&self.streams, pc, istall, dlat, None);
@@ -820,10 +900,10 @@ impl ChunkVisitor for DrainMany<'_, '_> {
 
     #[inline(always)]
     fn branch(&mut self, pc: u32, istall: u8, dlat: u8, ev: BranchEvent) {
-        for (timing, predictor, filter) in &mut self.parts {
+        for (timing, feed, filter) in &mut self.parts {
             let mut step = Step {
                 timing,
-                predictor: *predictor as &mut PredictorDispatch,
+                predictor: feed,
                 filter_prob: *filter,
             };
             step.advance(&self.streams, pc, istall, dlat, Some(ev));
@@ -832,41 +912,70 @@ impl ChunkVisitor for DrainMany<'_, '_> {
 }
 
 /// Drains one chunk through every consumer in a single fused pass:
-/// each record is decoded once and all `k` timing models advance in
-/// lockstep while the record's streams are hot. `k = 1` degenerates to
-/// the per-predictor monomorphized drain, `k = 2` — the sweep pairing —
-/// monomorphizes per predictor *pair*, larger convoys fall back to the
-/// per-consumer static dispatch.
+/// every consumer's predictor first batch-predicts the whole chunk
+/// ([`ReplayConsumer::batch_predict`]), then each record is decoded
+/// once and all `k` timing models advance in lockstep over their
+/// prediction feeds while the record's streams are hot. `k = 1`
+/// degenerates to the single-consumer drain, `k = 2` — the sweep
+/// pairing — fuses both steps per record, larger convoys walk a feed
+/// array per record.
 pub(crate) fn drain_chunk_convoy(
     consumers: &mut [ReplayConsumer],
     timings: &[InstTiming],
     chunk: &TraceChunk,
 ) {
+    // Batch phase: consumers may filter probabilistic branches
+    // differently (Figure 9 pairs filtered and unfiltered cells), so
+    // each gathers and predicts its own request stream.
+    for c in consumers.iter_mut() {
+        c.batch_predict(chunk);
+    }
     match consumers {
         [] => {}
-        [one] => one.consume_chunk(timings, chunk),
+        [one] => one.drain_chunk(timings, chunk),
         [a, b] => {
-            let (ta, pa, fa) = a.parts_mut();
-            let (tb, pb, fb) = b.parts_mut();
-            PredictorDispatch::visit_pair_mut(
-                pa,
-                pb,
-                DrainChunkPair {
-                    a: ta,
-                    filter_a: fa,
-                    b: tb,
-                    filter_b: fb,
-                    timings,
-                    chunk,
+            let mut fa = PredFeed::new(&a.preds);
+            let mut fb = PredFeed::new(&b.preds);
+            let mut v = DrainTwo {
+                streams: Streams::new(timings),
+                a: Step {
+                    timing: &mut a.timing,
+                    predictor: &mut fa,
+                    filter_prob: a.filter_prob,
                 },
+                b: Step {
+                    timing: &mut b.timing,
+                    predictor: &mut fb,
+                    filter_prob: b.filter_prob,
+                },
+            };
+            walk_chunk(chunk, &mut v);
+            debug_assert!(
+                fa.consumed_all() && fb.consumed_all(),
+                "convoy drain left batched predictions unconsumed"
             );
         }
         many => {
             let mut v = DrainMany {
                 streams: Streams::new(timings),
-                parts: many.iter_mut().map(ReplayConsumer::parts_mut).collect(),
+                parts: many
+                    .iter_mut()
+                    .map(|c| {
+                        let ReplayConsumer {
+                            ref mut timing,
+                            ref preds,
+                            filter_prob,
+                            ..
+                        } = *c;
+                        (timing, PredFeed::new(preds), filter_prob)
+                    })
+                    .collect(),
             };
             walk_chunk(chunk, &mut v);
+            debug_assert!(
+                v.parts.iter().all(|(_, feed, _)| feed.consumed_all()),
+                "convoy drain left batched predictions unconsumed"
+            );
         }
     }
 }
@@ -883,30 +992,52 @@ impl ReplayConsumer {
             timing,
             predictor: config.predictor.build_dispatch(),
             filter_prob: config.filter_prob_from_predictor,
+            reqs: Vec::new(),
+            preds: Vec::new(),
         }
     }
 
-    /// The consumer's parts, for fused convoy loops that interleave
-    /// several consumers over one record stream.
-    pub(crate) fn parts_mut(&mut self) -> (&mut OooTimingModel, &mut PredictorDispatch, bool) {
-        (&mut self.timing, &mut self.predictor, self.filter_prob)
+    /// Phase one of a chunk drain: grabs the chunk's predictor-visible
+    /// branches ([`visible_reqs`] — a zero-copy borrow of the chunk's
+    /// precomputed request stream unless this consumer filters
+    /// probabilistic branches) and runs the whole batch through the
+    /// predictor in one dispatch ([`PredictorDispatch::visit_batch`]),
+    /// leaving the predictions in `self.preds` for the record walk.
+    fn batch_predict(&mut self, chunk: &TraceChunk) {
+        let reqs = visible_reqs(chunk, self.filter_prob, &mut self.reqs);
+        self.preds.clear();
+        self.preds.resize(reqs.len(), false);
+        self.predictor.visit_batch(reqs, &mut self.preds);
     }
 
-    /// Drains one chunk through the timing model. `timings` is the
-    /// per-pc metadata of the trace the chunk came from.
+    /// Phase two: walks the chunk's records through the cycle-accounting
+    /// core, replaying the batched predictions in program order.
+    fn drain_chunk(&mut self, timings: &[InstTiming], chunk: &TraceChunk) {
+        let mut feed = PredFeed::new(&self.preds);
+        let mut v = DrainOne {
+            streams: Streams::new(timings),
+            step: Step {
+                timing: &mut self.timing,
+                predictor: &mut feed,
+                filter_prob: self.filter_prob,
+            },
+        };
+        walk_chunk(chunk, &mut v);
+        debug_assert!(
+            feed.consumed_all(),
+            "drain consumed {} of {} batched predictions",
+            feed.next,
+            self.preds.len(),
+        );
+    }
+
+    /// Drains one chunk through the timing model: batch-predict, then
+    /// the record walk. `timings` is the per-pc metadata of the trace
+    /// the chunk came from.
     #[inline]
     pub fn consume_chunk(&mut self, timings: &[InstTiming], chunk: &TraceChunk) {
-        let ReplayConsumer {
-            timing,
-            predictor,
-            filter_prob,
-        } = self;
-        predictor.visit_mut(DrainChunk {
-            timing,
-            timings,
-            chunk,
-            filter_prob: *filter_prob,
-        });
+        self.batch_predict(chunk);
+        self.drain_chunk(timings, chunk);
     }
 
     /// Finishes the replay: the timing model's statistics joined with

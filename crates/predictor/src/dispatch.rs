@@ -10,7 +10,7 @@
 //! remains the extension point — this enum only closes the set the
 //! simulator itself ships.
 
-use crate::{BranchPredictor, StaticPredictor, TageScL, Tournament};
+use crate::{BranchPredictor, BranchReq, StaticPredictor, TageScL, Tournament};
 
 /// A closed sum of the simulator's baseline predictors, dispatching
 /// [`BranchPredictor`] statically.
@@ -51,6 +51,41 @@ impl From<StaticPredictor> for PredictorDispatch {
     }
 }
 
+/// Expands `$body` once per [`PredictorDispatch`] variant with `$p`
+/// bound to the concrete `&mut` predictor — the single definition of the
+/// per-variant dispatch behind [`PredictorDispatch::visit_mut`],
+/// [`PredictorDispatch::visit_pair_mut`],
+/// [`PredictorDispatch::visit_batch`] and the enum's own
+/// [`BranchPredictor`] methods (each of which would otherwise repeat the
+/// same three-arm match, the boxed-TAGE deref included).
+macro_rules! with_concrete {
+    ($dispatch:expr, |$p:ident| $body:expr) => {
+        match $dispatch {
+            PredictorDispatch::Tournament($p) => $body,
+            PredictorDispatch::TageScL(boxed) => {
+                let $p = &mut **boxed;
+                $body
+            }
+            PredictorDispatch::Static($p) => $body,
+        }
+    };
+}
+
+/// The shared-reference sibling of `with_concrete!` for the `&self`
+/// accessors (`storage_bits`, `name`).
+macro_rules! with_concrete_ref {
+    ($dispatch:expr, |$p:ident| $body:expr) => {
+        match $dispatch {
+            PredictorDispatch::Tournament($p) => $body,
+            PredictorDispatch::TageScL(boxed) => {
+                let $p = &**boxed;
+                $body
+            }
+            PredictorDispatch::Static($p) => $body,
+        }
+    };
+}
+
 /// A generic visitor over the concrete predictor behind a
 /// [`PredictorDispatch`] — the monomorphization hook for timing-only
 /// consume loops.
@@ -63,13 +98,15 @@ impl From<StaticPredictor> for PredictorDispatch {
 /// the whole loop body monomorphizes per predictor type.
 ///
 /// ```
-/// use probranch_predictor::{BranchPredictor, PredictorDispatch, PredictorVisitor, Tournament};
+/// use probranch_predictor::{
+///     BranchPredictor, BranchReq, PredictorDispatch, PredictorVisitor, Tournament,
+/// };
 /// struct CountTaken<'a>(&'a [(u64, bool)]);
 /// impl PredictorVisitor for CountTaken<'_> {
 ///     type Out = u32;
 ///     fn visit<P: BranchPredictor + ?Sized>(self, p: &mut P) -> u32 {
 ///         // This loop compiles against the concrete predictor type.
-///         self.0.iter().map(|&(pc, t)| p.predict_and_update(pc, t) as u32).sum()
+///         self.0.iter().map(|&(pc, t)| p.predict_and_update(BranchReq::new(pc, t)) as u32).sum()
 ///     }
 /// }
 /// let mut d = PredictorDispatch::from(Tournament::default());
@@ -110,11 +147,7 @@ impl PredictorDispatch {
     /// dispatch for the visitor's whole (monomorphized) body.
     #[inline]
     pub fn visit_mut<V: PredictorVisitor>(&mut self, visitor: V) -> V::Out {
-        match self {
-            PredictorDispatch::Tournament(p) => visitor.visit(p),
-            PredictorDispatch::TageScL(p) => visitor.visit(&mut **p),
-            PredictorDispatch::Static(p) => visitor.visit(p),
-        }
+        with_concrete!(self, |p| visitor.visit(p))
     }
 
     /// Applies `visitor` to the concrete predictors behind two dispatch
@@ -126,65 +159,48 @@ impl PredictorDispatch {
         b: &mut PredictorDispatch,
         visitor: V,
     ) -> V::Out {
-        use PredictorDispatch as D;
-        match (a, b) {
-            (D::Tournament(a), D::Tournament(b)) => visitor.visit(a, b),
-            (D::Tournament(a), D::TageScL(b)) => visitor.visit(a, &mut **b),
-            (D::Tournament(a), D::Static(b)) => visitor.visit(a, b),
-            (D::TageScL(a), D::Tournament(b)) => visitor.visit(&mut **a, b),
-            (D::TageScL(a), D::TageScL(b)) => visitor.visit(&mut **a, &mut **b),
-            (D::TageScL(a), D::Static(b)) => visitor.visit(&mut **a, b),
-            (D::Static(a), D::Tournament(b)) => visitor.visit(a, b),
-            (D::Static(a), D::TageScL(b)) => visitor.visit(a, &mut **b),
-            (D::Static(a), D::Static(b)) => visitor.visit(a, b),
-        }
+        with_concrete!(a, |pa| with_concrete!(b, |pb| visitor.visit(pa, pb)))
+    }
+
+    /// Runs [`BranchPredictor::predict_update_batch`] against the
+    /// concrete predictor: one dispatch for the whole batch, so a replay
+    /// loop that hands the predictor an entire chunk's branch runs pays
+    /// the match once per batch instead of once per branch.
+    #[inline]
+    pub fn visit_batch(&mut self, reqs: &[BranchReq], out: &mut [bool]) {
+        with_concrete!(self, |p| p.predict_update_batch(reqs, out))
     }
 }
 
 impl BranchPredictor for PredictorDispatch {
     #[inline]
     fn predict(&mut self, pc: u64) -> bool {
-        match self {
-            PredictorDispatch::Tournament(p) => p.predict(pc),
-            PredictorDispatch::TageScL(p) => p.predict(pc),
-            PredictorDispatch::Static(p) => p.predict(pc),
-        }
+        with_concrete!(self, |p| p.predict(pc))
     }
 
     #[inline]
     fn update(&mut self, pc: u64, taken: bool) {
-        match self {
-            PredictorDispatch::Tournament(p) => p.update(pc, taken),
-            PredictorDispatch::TageScL(p) => p.update(pc, taken),
-            PredictorDispatch::Static(p) => p.update(pc, taken),
-        }
+        with_concrete!(self, |p| p.update(pc, taken))
     }
 
     #[inline]
-    fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
+    fn predict_and_update(&mut self, req: BranchReq) -> bool {
         // One match for the whole per-branch pair; each arm resolves to
         // the concrete type's (default) predict-then-update body.
-        match self {
-            PredictorDispatch::Tournament(p) => p.predict_and_update(pc, taken),
-            PredictorDispatch::TageScL(p) => p.predict_and_update(pc, taken),
-            PredictorDispatch::Static(p) => p.predict_and_update(pc, taken),
-        }
+        with_concrete!(self, |p| p.predict_and_update(req))
+    }
+
+    #[inline]
+    fn predict_update_batch(&mut self, reqs: &[BranchReq], out: &mut [bool]) {
+        self.visit_batch(reqs, out);
     }
 
     fn storage_bits(&self) -> usize {
-        match self {
-            PredictorDispatch::Tournament(p) => p.storage_bits(),
-            PredictorDispatch::TageScL(p) => p.storage_bits(),
-            PredictorDispatch::Static(p) => p.storage_bits(),
-        }
+        with_concrete_ref!(self, |p| p.storage_bits())
     }
 
     fn name(&self) -> &'static str {
-        match self {
-            PredictorDispatch::Tournament(p) => p.name(),
-            PredictorDispatch::TageScL(p) => p.name(),
-            PredictorDispatch::Static(p) => p.name(),
-        }
+        with_concrete_ref!(self, |p| p.name())
     }
 }
 

@@ -55,6 +55,30 @@ pub use loop_pred::LoopPredictor;
 pub use tage::{TageConfig, TageScL};
 pub use tournament::Tournament;
 
+/// One resolved conditional branch: the program counter the predictor is
+/// consulted for and the actual outcome it is trained with.
+///
+/// This is the shared request record of the per-branch
+/// [`BranchPredictor::predict_and_update`] pair and the batched
+/// [`BranchPredictor::predict_update_batch`] entry point — a replay
+/// consumer that knows all outcomes in advance hands the predictor whole
+/// slices of these instead of one branch at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchReq {
+    /// PC of the conditional branch.
+    pub pc: u64,
+    /// Actual direction of the branch.
+    pub taken: bool,
+}
+
+impl BranchReq {
+    /// A request from its parts.
+    #[inline]
+    pub fn new(pc: u64, taken: bool) -> BranchReq {
+        BranchReq { pc, taken }
+    }
+}
+
 /// A dynamic direction predictor for conditional branches.
 ///
 /// Implementors must tolerate the strict alternation
@@ -74,10 +98,37 @@ pub trait BranchPredictor {
     /// returning the prediction. Closed dispatch types override this to
     /// pay a single dispatch per branch instead of two.
     #[inline]
-    fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
-        let predicted = self.predict(pc);
-        self.update(pc, taken);
+    fn predict_and_update(&mut self, req: BranchReq) -> bool {
+        let predicted = self.predict(req.pc);
+        self.update(req.pc, req.taken);
         predicted
+    }
+
+    /// The batched form of [`predict_and_update`](Self::predict_and_update):
+    /// predicts and trains every request of `reqs` in order, writing the
+    /// prediction of `reqs[i]` to `out[i]`.
+    ///
+    /// Semantically this **is** the serial loop — the default does
+    /// exactly that, so every predictor supports the batch entry point —
+    /// but an implementation may reorder its *internal* work across the
+    /// batch as long as the produced predictions and the final predictor
+    /// state stay bit-identical to the serial pairs ([`TageScL`] rolls
+    /// its folded histories ahead of the table walks this way). Callers
+    /// that know all outcomes up front (trace replay) should prefer this
+    /// entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reqs` and `out` differ in length.
+    fn predict_update_batch(&mut self, reqs: &[BranchReq], out: &mut [bool]) {
+        assert_eq!(
+            reqs.len(),
+            out.len(),
+            "one prediction slot per batched request"
+        );
+        for (req, slot) in reqs.iter().zip(out.iter_mut()) {
+            *slot = self.predict_and_update(*req);
+        }
     }
 
     /// Total storage in bits (for hardware-budget accounting).

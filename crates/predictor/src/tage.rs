@@ -1,5 +1,6 @@
 use crate::{
-    BranchPredictor, FoldedHistory, HistoryBuffer, LoopPredictor, PackedFoldFamily, SatCounter,
+    BranchPredictor, BranchReq, FoldedHistory, HistoryBuffer, LoopPredictor, PackedFoldFamily,
+    SatCounter,
 };
 
 /// Configuration of the [`TageScL`] predictor.
@@ -190,6 +191,45 @@ impl FoldRead for ScalarRead<'_> {
     }
 }
 
+/// Read access to the raw SC fold values, decoupling the statistical
+/// corrector's index computation from the live fold state: the serial
+/// path reads the folds directly (any [`FoldRead`]), the batched path
+/// reads values its key-fill phase captured before the histories rolled
+/// past the branch.
+trait ScRead {
+    fn sc_fold(&self, t: usize) -> u64;
+}
+
+impl<F: FoldRead> ScRead for F {
+    #[inline(always)]
+    fn sc_fold(&self, t: usize) -> u64 {
+        self.sc(t)
+    }
+}
+
+/// The precomputed SC fold values of one batched branch.
+struct ScSlice<'a>(&'a [u64]);
+
+impl ScRead for ScSlice<'_> {
+    #[inline(always)]
+    fn sc_fold(&self, t: usize) -> u64 {
+        self.0[t]
+    }
+}
+
+/// Reusable scratch of the batched prediction path: the per-branch keys
+/// of every queued request — tagged-table indices and tags (stride
+/// `num_tables`) and raw SC fold values (stride `sc_histories.len()`) —
+/// flattened into three streams. Filled by the history-rolling phase A
+/// of [`TageScL::predict_update_batch`], consumed by its table phase B;
+/// persists across batches so the steady state allocates nothing.
+#[derive(Debug, Clone, Default)]
+struct BatchKeys {
+    indices: Vec<usize>,
+    tags: Vec<u16>,
+    sc_folds: Vec<u64>,
+}
+
 /// An 8 KB TAGE-SC-L branch predictor: TAgged GEometric-history tables
 /// with a statistical corrector and a loop predictor, following Seznec's
 /// CBP-2016 design at reduced size.
@@ -236,6 +276,8 @@ pub struct TageScL {
     state: Option<Box<PredState>>,
     /// Whether `state` holds the metadata of an un-consumed `predict`.
     state_valid: bool,
+    /// Reused batched-path scratch (see [`BatchKeys`]).
+    batch: BatchKeys,
 }
 
 const SC_THETA: i32 = 10;
@@ -312,6 +354,7 @@ impl TageScL {
             ticks: 0,
             state: Some(state),
             state_valid: false,
+            batch: BatchKeys::default(),
             histories,
             tables,
             config,
@@ -340,12 +383,12 @@ impl TageScL {
         (pc as usize) & ((1 << self.config.base_bits) - 1)
     }
 
-    fn sc_index_with<F: FoldRead>(&self, folds: &F, pc: u64, table: usize) -> usize {
+    fn sc_index_with<S: ScRead>(&self, sc: &S, pc: u64, table: usize) -> usize {
         let mask = (1usize << self.config.sc_index_bits) - 1;
         if table == 0 {
             (pc as usize) & mask
         } else {
-            (pc as usize ^ folds.sc(table - 1) as usize ^ (table << 2)) & mask
+            (pc as usize ^ sc.sc_fold(table - 1) as usize ^ (table << 2)) & mask
         }
     }
 
@@ -386,24 +429,85 @@ impl TageScL {
         }
     }
 
-    /// The prediction pipeline, monomorphized per fold representation.
+    /// The prediction pipeline, monomorphized per fold representation:
+    /// key fill from the live folds, then the table phase.
     fn compute_with<F: FoldRead>(&self, pc: u64, st: &mut PredState, folds: &F) {
         let n = self.config.num_tables;
+        st.indices.resize(n, 0);
+        st.tags.resize(n, 0);
+        Self::fill_keys(
+            self.config.index_bits,
+            self.config.tag_bits,
+            pc,
+            folds,
+            &mut st.indices,
+            &mut st.tags,
+            &mut [],
+        );
+        // Move the key buffers out for the call (pointer swaps, no
+        // allocation) so the table phase can borrow them and `st`
+        // simultaneously.
+        let indices = std::mem::take(&mut st.indices);
+        let tags = std::mem::take(&mut st.tags);
+        self.finish_compute(pc, &indices, &tags, st, folds);
+        st.indices = indices;
+        st.tags = tags;
+    }
+
+    /// The key half of the prediction: table indices and tags (and,
+    /// when `sc_out` is non-empty, the raw SC fold values) of the branch
+    /// at `pc` against the *current* fold state. This is all of
+    /// `predict` that reads the folded histories — the batched path runs
+    /// it one branch ahead of the table phase, interleaved with
+    /// [`TageScL::roll_history`], to take the fold state off the
+    /// per-branch critical chain.
+    // An associated function (no `&self`) so the batched phase A can
+    // call it while holding `&mut self.folds` for the interleaved
+    // history rolls.
+    fn fill_keys<F: FoldRead>(
+        index_bits: u32,
+        tag_bits: u32,
+        pc: u64,
+        folds: &F,
+        idx_out: &mut [usize],
+        tag_out: &mut [u16],
+        sc_out: &mut [u64],
+    ) {
         // Separate fill passes (constants hoisted, no table loads in the
         // loop bodies) so the index/tag arithmetic vectorizes and the
         // match scan then issues its table loads back to back.
-        let ib = self.config.index_bits as usize;
+        let ib = index_bits as usize;
         let idx_mask = (1usize << ib) - 1;
-        st.indices.clear();
-        st.indices.extend((0..n).map(|t| {
-            (pc as usize ^ (pc as usize >> ib) ^ folds.idx(t) as usize ^ (t << 1)) & idx_mask
-        }));
-        let tag_mask = (1u64 << self.config.tag_bits) - 1;
-        st.tags.clear();
-        st.tags.extend(
-            (0..n).map(|t| ((pc ^ folds.tag1(t) ^ (folds.tag2(t) << 1)) & tag_mask) as u16),
-        );
-        let (indices, tags) = (&st.indices, &st.tags);
+        for (t, slot) in idx_out.iter_mut().enumerate() {
+            *slot =
+                (pc as usize ^ (pc as usize >> ib) ^ folds.idx(t) as usize ^ (t << 1)) & idx_mask;
+        }
+        let tag_mask = (1u64 << tag_bits) - 1;
+        for (t, slot) in tag_out.iter_mut().enumerate() {
+            *slot = ((pc ^ folds.tag1(t) ^ (folds.tag2(t) << 1)) & tag_mask) as u16;
+        }
+        for (t, slot) in sc_out.iter_mut().enumerate() {
+            *slot = folds.sc(t);
+        }
+    }
+
+    /// The table half of the prediction: provider scan, alternate
+    /// selection, statistical corrector and loop override, computed from
+    /// the already-filled `indices` / `tags` keys (borrowed from `st`'s
+    /// scratch on the serial path, straight from the [`BatchKeys`]
+    /// streams on the batched path — no per-branch key copies). `sc`
+    /// supplies the raw SC fold values — the live folds on the serial
+    /// path, the batch scratch's captured values on the batched path.
+    #[inline(always)]
+    fn finish_compute<S: ScRead>(
+        &self,
+        pc: u64,
+        indices: &[usize],
+        tags: &[u16],
+        st: &mut PredState,
+        sc: &S,
+    ) {
+        let n = self.config.num_tables;
 
         // Longest matching table provides; next match (or base) is alt.
         // The tag comparisons are data-dependent and essentially random,
@@ -480,7 +584,7 @@ impl TageScL {
         let mut sc_sum = 0i32;
         if !tage_confident {
             st.sc_indices
-                .extend((0..self.num_sc_tables()).map(|t| self.sc_index_with(folds, pc, t)));
+                .extend((0..self.num_sc_tables()).map(|t| self.sc_index_with(sc, pc, t)));
             let sc_stride = 1usize << self.config.sc_index_bits;
             sc_sum = st
                 .sc_indices
@@ -510,6 +614,179 @@ impl TageScL {
         st.loop_used = loop_used;
         st.provider_strong = tage_confident;
         st.final_pred = final_pred;
+    }
+
+    /// The training half of `update`: loop component, statistical
+    /// corrector, TAGE/base counters, allocation and the periodic aging
+    /// tick, driven by the prediction metadata in `st`.
+    ///
+    /// Deliberately touches **no** fold or global-history state — that
+    /// lives in [`TageScL::roll_history`] — which is what lets the
+    /// batched path run all history rolls ahead of all table training
+    /// while staying bit-identical to the serial interleaving.
+    ///
+    /// `indices` / `tags` are the same key slices the paired
+    /// [`TageScL::finish_compute`] ran with.
+    #[inline(always)]
+    fn train_tables(
+        &mut self,
+        pc: u64,
+        taken: bool,
+        indices: &[usize],
+        tags: &[u16],
+        st: &PredState,
+    ) {
+        let n = self.config.num_tables;
+
+        // ---- loop component ------------------------------------------------
+        self.loops.train(pc, taken);
+
+        // ---- statistical corrector -----------------------------------------
+        // Train only in the regime where the SC is consulted (unconfident
+        // TAGE), so it specializes in TAGE's blind spots instead of
+        // shadowing it.
+        // Snapshotted at predict time; the strict predict/update
+        // alternation means no table write happened in between.
+        let provider_strong = st.provider_strong;
+        if !st.loop_used
+            && !provider_strong
+            && (st.final_pred != taken || st.sc_sum.abs() < 2 * SC_THETA)
+        {
+            let sc_stride = 1usize << self.config.sc_index_bits;
+            for (t, &i) in st.sc_indices.iter().enumerate() {
+                self.sc_tables[t * sc_stride + i].train(taken);
+            }
+        }
+
+        // ---- TAGE tables ----------------------------------------------------
+        match st.provider {
+            Some(t) => {
+                let idx = self.slot(t, indices[t]);
+                // use_alt bookkeeping: when the provider was weak and the
+                // alternate disagreed, learn which to trust.
+                let weak = self.tables[idx].ctr.is_weak();
+                if weak && st.provider_pred != st.alt_pred {
+                    self.use_alt.train(st.alt_pred == taken);
+                }
+                let e = &mut self.tables[idx];
+                e.ctr.train(taken);
+                if st.provider_pred != st.alt_pred {
+                    e.useful.train(st.provider_pred == taken);
+                }
+            }
+            None => {
+                let i = self.base_index(pc);
+                self.base[i].train(taken);
+            }
+        }
+        // Base also trains when it served as the alternate for a weak provider.
+        if st.provider.is_some() && st.alt_pred != st.provider_pred && st.tage_pred == st.alt_pred {
+            let i = self.base_index(pc);
+            self.base[i].train(taken);
+        }
+
+        // ---- allocation on TAGE misprediction --------------------------------
+        if st.tage_pred != taken {
+            let start = st.provider.map_or(0, |p| p + 1);
+            if start < n {
+                // Randomize the first candidate table to spread allocations.
+                let offset = (self.next_rand() as usize) % (n - start);
+                let mut allocated = false;
+                for k in 0..(n - start) {
+                    let t = start + (offset + k) % (n - start);
+                    let idx = self.slot(t, indices[t]);
+                    if self.tables[idx].useful.value() == 0 {
+                        self.tables[idx] = TageEntry {
+                            ctr: {
+                                let mut c = SatCounter::weak_not_taken(3);
+                                c.reset_weak(taken);
+                                c
+                            },
+                            tag: tags[t],
+                            useful: SatCounter::new(2, 0),
+                        };
+                        allocated = true;
+                        break;
+                    }
+                }
+                if !allocated {
+                    for (t, &i) in indices.iter().enumerate().take(n).skip(start) {
+                        let idx = self.slot(t, i);
+                        self.tables[idx].useful.dec();
+                    }
+                }
+            }
+        }
+
+        // ---- periodic useful aging -------------------------------------------
+        self.ticks += 1;
+        if self.ticks % (256 * 1024) == 0 {
+            self.age_useful_bits();
+        }
+    }
+
+    /// The history half of `update`: advances the folded histories and
+    /// the global history with one resolved outcome. This is the only
+    /// part of training that feeds the *next* branch's key computation;
+    /// split out (with split field borrows, so callers can hold other
+    /// parts of `self`) to let the batched path roll all histories
+    /// forward before any table work.
+    ///
+    /// The three fold families of table `t` share the same window
+    /// length, so the evicted bit is looked up once per table and
+    /// broadcast — as a packed lane bitmask when the families fit one
+    /// word each, per scalar fold otherwise.
+    /// (Ages are bounded by the constructor: `ghist` holds
+    /// `max_history + 64` bits.)
+    fn roll_history(
+        folds: &mut FoldBank,
+        ghist: &mut HistoryBuffer,
+        histories: &[usize],
+        sc_histories: &[usize],
+        taken: bool,
+    ) {
+        match folds {
+            FoldBank::Packed {
+                idx,
+                tag1,
+                tag2,
+                sc,
+            } => {
+                let mut ebits = 0u64;
+                for (t, &h) in histories.iter().enumerate() {
+                    ebits |= u64::from(h > 0 && ghist.get_unchecked_age(h - 1)) << t;
+                }
+                idx.update(taken, ebits);
+                tag1.update(taken, ebits);
+                tag2.update(taken, ebits);
+                if let Some(sc) = sc {
+                    let mut sc_ebits = 0u64;
+                    for (t, &h) in sc_histories.iter().enumerate() {
+                        sc_ebits |= u64::from(h > 0 && ghist.get_unchecked_age(h - 1)) << t;
+                    }
+                    sc.update(taken, sc_ebits);
+                }
+            }
+            FoldBank::Scalar {
+                idx,
+                tag1,
+                tag2,
+                sc,
+            } => {
+                for ((fi, f1), f2) in idx.iter_mut().zip(tag1.iter_mut()).zip(tag2.iter_mut()) {
+                    let h = fi.original_len();
+                    let evicted = h > 0 && ghist.get_unchecked_age(h - 1);
+                    fi.update_with(taken, evicted);
+                    f1.update_with(taken, evicted);
+                    f2.update_with(taken, evicted);
+                }
+                for (f, &h) in sc.iter_mut().zip(sc_histories) {
+                    let evicted = h > 0 && ghist.get_unchecked_age(h - 1);
+                    f.update_with(taken, evicted);
+                }
+            }
+        }
+        ghist.push(taken);
     }
 
     fn age_useful_bits(&mut self) {
@@ -549,101 +826,66 @@ impl BranchPredictor for TageScL {
         if !(std::mem::take(&mut self.state_valid) && st.pc == pc) {
             self.compute_into(pc, &mut st);
         }
+        self.train_tables(pc, taken, &st.indices, &st.tags, &st);
+        Self::roll_history(
+            &mut self.folds,
+            &mut self.ghist,
+            &self.histories,
+            &self.config.sc_histories,
+            taken,
+        );
+        // Hand the scratch buffers back for the next prediction.
+        self.state = Some(st);
+    }
+
+    /// The batched replay path: since every outcome in `reqs` is already
+    /// known, the serial predict/update chain is split into two passes.
+    ///
+    /// **Phase A** rolls the folded histories forward through the whole
+    /// batch, capturing each branch's table indices, tags and raw SC
+    /// fold values into the reused [`BatchKeys`] scratch — pure fold
+    /// arithmetic, no table loads, off the per-branch critical chain.
+    /// **Phase B** then walks the branches in order doing the provider
+    /// scans and training with the precomputed keys: every table address
+    /// of the batch is known up front, so the loads of branch `i + 1`
+    /// can issue while branch `i`'s provider selection and training are
+    /// still in flight, instead of waiting on its fold state.
+    ///
+    /// Training never touches fold or global-history state (see
+    /// [`TageScL::train_tables`] / [`TageScL::roll_history`]) and key
+    /// capture never touches table state, so the reordering is
+    /// bit-identical to the serial pairs — predictions *and* final
+    /// predictor state — which `tests/properties.rs` locks in over
+    /// arbitrary geometries.
+    fn predict_update_batch(&mut self, reqs: &[BranchReq], out: &mut [bool]) {
+        assert_eq!(
+            reqs.len(),
+            out.len(),
+            "one prediction slot per batched request"
+        );
         let n = self.config.num_tables;
-
-        // ---- loop component ------------------------------------------------
-        self.loops.train(pc, taken);
-
-        // ---- statistical corrector -----------------------------------------
-        // Train only in the regime where the SC is consulted (unconfident
-        // TAGE), so it specializes in TAGE's blind spots instead of
-        // shadowing it.
-        // Snapshotted at predict time; the strict predict/update
-        // alternation means no table write happened in between.
-        let provider_strong = st.provider_strong;
-        if !st.loop_used
-            && !provider_strong
-            && (st.final_pred != taken || st.sc_sum.abs() < 2 * SC_THETA)
-        {
-            let sc_stride = 1usize << self.config.sc_index_bits;
-            for (t, &i) in st.sc_indices.iter().enumerate() {
-                self.sc_tables[t * sc_stride + i].train(taken);
-            }
+        let nsc = self.config.sc_histories.len();
+        let mut batch = std::mem::take(&mut self.batch);
+        // Grow-only scratch: phase A overwrites every slot it hands to
+        // phase B, so slots beyond this batch's need are simply never
+        // read again — no per-call zero-fill of the streams.
+        let need = reqs.len() * n;
+        if batch.indices.len() < need {
+            batch.indices.resize(need, 0);
+            batch.tags.resize(need, 0);
+        }
+        let need_sc = reqs.len() * nsc;
+        if batch.sc_folds.len() < need_sc {
+            batch.sc_folds.resize(need_sc, 0);
         }
 
-        // ---- TAGE tables ----------------------------------------------------
-        match st.provider {
-            Some(t) => {
-                let idx = self.slot(t, st.indices[t]);
-                // use_alt bookkeeping: when the provider was weak and the
-                // alternate disagreed, learn which to trust.
-                let weak = self.tables[idx].ctr.is_weak();
-                if weak && st.provider_pred != st.alt_pred {
-                    self.use_alt.train(st.alt_pred == taken);
-                }
-                let e = &mut self.tables[idx];
-                e.ctr.train(taken);
-                if st.provider_pred != st.alt_pred {
-                    e.useful.train(st.provider_pred == taken);
-                }
-            }
-            None => {
-                let i = self.base_index(pc);
-                self.base[i].train(taken);
-            }
-        }
-        // Base also trains when it served as the alternate for a weak provider.
-        if st.provider.is_some() && st.alt_pred != st.provider_pred && st.tage_pred == st.alt_pred {
-            let i = self.base_index(pc);
-            self.base[i].train(taken);
-        }
-
-        // ---- allocation on TAGE misprediction --------------------------------
-        if st.tage_pred != taken {
-            let start = st.provider.map_or(0, |p| p + 1);
-            if start < n {
-                // Randomize the first candidate table to spread allocations.
-                let offset = (self.next_rand() as usize) % (n - start);
-                let mut allocated = false;
-                for k in 0..(n - start) {
-                    let t = start + (offset + k) % (n - start);
-                    let idx = self.slot(t, st.indices[t]);
-                    if self.tables[idx].useful.value() == 0 {
-                        self.tables[idx] = TageEntry {
-                            ctr: {
-                                let mut c = SatCounter::weak_not_taken(3);
-                                c.reset_weak(taken);
-                                c
-                            },
-                            tag: st.tags[t],
-                            useful: SatCounter::new(2, 0),
-                        };
-                        allocated = true;
-                        break;
-                    }
-                }
-                if !allocated {
-                    for t in start..n {
-                        let idx = self.slot(t, st.indices[t]);
-                        self.tables[idx].useful.dec();
-                    }
-                }
-            }
-        }
-
-        // ---- periodic useful aging -------------------------------------------
-        self.ticks += 1;
-        if self.ticks % (256 * 1024) == 0 {
-            self.age_useful_bits();
-        }
-
-        // ---- histories ---------------------------------------------------------
-        // The three fold families of table `t` share the same window
-        // length, so the evicted bit is looked up once per table and
-        // broadcast — as a packed lane bitmask when the families fit one
-        // word each, per scalar fold otherwise.
-        // (Ages are bounded by the constructor: `ghist` holds
-        // `max_history + 64` bits.)
+        // ---- phase A: roll histories, capture keys ---------------------------
+        // The fold-representation dispatch is hoisted out of the branch
+        // loop: each arm runs the whole batch against its concrete fold
+        // type, with the roll inlined next to the key fill.
+        let (ib, tb) = (self.config.index_bits, self.config.tag_bits);
+        let (histories, sc_histories) = (&self.histories, &self.config.sc_histories);
+        let ghist = &mut self.ghist;
         match &mut self.folds {
             FoldBank::Packed {
                 idx,
@@ -651,19 +893,37 @@ impl BranchPredictor for TageScL {
                 tag2,
                 sc,
             } => {
-                let mut ebits = 0u64;
-                for (t, &h) in self.histories.iter().enumerate() {
-                    ebits |= u64::from(h > 0 && self.ghist.get_unchecked_age(h - 1)) << t;
-                }
-                idx.update(taken, ebits);
-                tag1.update(taken, ebits);
-                tag2.update(taken, ebits);
-                if let Some(sc) = sc {
-                    let mut sc_ebits = 0u64;
-                    for (t, &h) in self.config.sc_histories.iter().enumerate() {
-                        sc_ebits |= u64::from(h > 0 && self.ghist.get_unchecked_age(h - 1)) << t;
+                for (k, req) in reqs.iter().enumerate() {
+                    Self::fill_keys(
+                        ib,
+                        tb,
+                        req.pc,
+                        &PackedRead {
+                            idx,
+                            tag1,
+                            tag2,
+                            sc,
+                        },
+                        &mut batch.indices[k * n..(k + 1) * n],
+                        &mut batch.tags[k * n..(k + 1) * n],
+                        &mut batch.sc_folds[k * nsc..(k + 1) * nsc],
+                    );
+                    let taken = req.taken;
+                    let mut ebits = 0u64;
+                    for (t, &h) in histories.iter().enumerate() {
+                        ebits |= u64::from(h > 0 && ghist.get_unchecked_age(h - 1)) << t;
                     }
-                    sc.update(taken, sc_ebits);
+                    idx.update(taken, ebits);
+                    tag1.update(taken, ebits);
+                    tag2.update(taken, ebits);
+                    if let Some(sc) = sc {
+                        let mut sc_ebits = 0u64;
+                        for (t, &h) in sc_histories.iter().enumerate() {
+                            sc_ebits |= u64::from(h > 0 && ghist.get_unchecked_age(h - 1)) << t;
+                        }
+                        sc.update(taken, sc_ebits);
+                    }
+                    ghist.push(taken);
                 }
             }
             FoldBank::Scalar {
@@ -672,23 +932,61 @@ impl BranchPredictor for TageScL {
                 tag2,
                 sc,
             } => {
-                for ((fi, f1), f2) in idx.iter_mut().zip(tag1.iter_mut()).zip(tag2.iter_mut()) {
-                    let h = fi.original_len();
-                    let evicted = h > 0 && self.ghist.get_unchecked_age(h - 1);
-                    fi.update_with(taken, evicted);
-                    f1.update_with(taken, evicted);
-                    f2.update_with(taken, evicted);
-                }
-                for (f, &h) in sc.iter_mut().zip(&self.config.sc_histories) {
-                    let evicted = h > 0 && self.ghist.get_unchecked_age(h - 1);
-                    f.update_with(taken, evicted);
+                for (k, req) in reqs.iter().enumerate() {
+                    Self::fill_keys(
+                        ib,
+                        tb,
+                        req.pc,
+                        &ScalarRead {
+                            idx,
+                            tag1,
+                            tag2,
+                            sc,
+                        },
+                        &mut batch.indices[k * n..(k + 1) * n],
+                        &mut batch.tags[k * n..(k + 1) * n],
+                        &mut batch.sc_folds[k * nsc..(k + 1) * nsc],
+                    );
+                    let taken = req.taken;
+                    for ((fi, f1), f2) in idx.iter_mut().zip(tag1.iter_mut()).zip(tag2.iter_mut()) {
+                        let h = fi.original_len();
+                        let evicted = h > 0 && ghist.get_unchecked_age(h - 1);
+                        fi.update_with(taken, evicted);
+                        f1.update_with(taken, evicted);
+                        f2.update_with(taken, evicted);
+                    }
+                    for (f, &h) in sc.iter_mut().zip(sc_histories) {
+                        let evicted = h > 0 && ghist.get_unchecked_age(h - 1);
+                        f.update_with(taken, evicted);
+                    }
+                    ghist.push(taken);
                 }
             }
         }
-        self.ghist.push(taken);
 
-        // Hand the scratch buffers back for the next prediction.
+        // ---- phase B: provider scans and training with captured keys ---------
+        // Any cached predict-time metadata is clobbered below, exactly as
+        // a serial predict of the first batched branch would clobber it.
+        let mut st = self.state.take().unwrap_or_default();
+        self.state_valid = false;
+        for (k, req) in reqs.iter().enumerate() {
+            // The key slices are read straight out of the batch streams —
+            // `st` carries only the provider/corrector metadata between
+            // the compute and train halves.
+            let indices = &batch.indices[k * n..(k + 1) * n];
+            let tags = &batch.tags[k * n..(k + 1) * n];
+            self.finish_compute(
+                req.pc,
+                indices,
+                tags,
+                &mut st,
+                &ScSlice(&batch.sc_folds[k * nsc..(k + 1) * nsc]),
+            );
+            out[k] = st.final_pred;
+            self.train_tables(req.pc, req.taken, indices, tags, &st);
+        }
         self.state = Some(st);
+        self.batch = batch;
     }
 
     fn storage_bits(&self) -> usize {

@@ -7,7 +7,8 @@
 use proptest::prelude::*;
 
 use probranch_predictor::{
-    Bimodal, BranchPredictor, Gshare, LoopPredictor, SatCounter, TageConfig, TageScL, Tournament,
+    Bimodal, BranchPredictor, BranchReq, Gshare, LoopPredictor, SatCounter, TageConfig, TageScL,
+    Tournament,
 };
 
 /// Drives `p` over `pattern` and returns the prediction sequence.
@@ -160,6 +161,63 @@ proptest! {
         prop_assert_eq!(a, b, "tournament diverged");
         let (a, b) = run_pair(&mut TageScL::default(), &mut TageScL::default());
         prop_assert_eq!(a, b, "tage-sc-l diverged");
+    }
+
+    // ---- batched path ----------------------------------------------------
+
+    // The batched entry point must be bit-identical to the serial
+    // predict/update pairs — predictions *and* final predictor state —
+    // for arbitrary geometries (packed and scalar folds, degenerate
+    // single-table setups, SC on/off via table sizes), arbitrary batch
+    // sizes (0, 1, chunk-boundary-crossing splits) and interleavings
+    // with serial calls. This is the invariant that lets trace replay
+    // batch TAGE at all.
+    #[test]
+    fn tage_batch_matches_serial_pairs(
+        config in tage_config_strategy(),
+        pattern in proptest::collection::vec((any::<u64>(), any::<bool>()), 0..300),
+        splits in proptest::collection::vec(0usize..48, 1..12),
+    ) {
+        let mut serial = TageScL::new(config.clone());
+        let expect: Vec<bool> = pattern
+            .iter()
+            .map(|&(pc, taken)| serial.predict_and_update(BranchReq::new(pc, taken)))
+            .collect();
+
+        let mut batched = TageScL::new(config);
+        let mut got = Vec::with_capacity(pattern.len());
+        let (mut i, mut k) = (0usize, 0usize);
+        while i < pattern.len() {
+            let len = splits[k % splits.len()].min(pattern.len() - i);
+            k += 1;
+            if len == 0 {
+                // Empty batch (must be a no-op), then one serial pair
+                // interleaved between batches.
+                batched.predict_update_batch(&[], &mut []);
+                let (pc, taken) = pattern[i];
+                got.push(batched.predict_and_update(BranchReq::new(pc, taken)));
+                i += 1;
+                continue;
+            }
+            let reqs: Vec<BranchReq> = pattern[i..i + len]
+                .iter()
+                .map(|&(pc, taken)| BranchReq::new(pc, taken))
+                .collect();
+            let mut out = vec![false; len];
+            batched.predict_update_batch(&reqs, &mut out);
+            got.extend(out);
+            i += len;
+        }
+        prop_assert_eq!(got, expect, "batched predictions diverged");
+
+        // Final state equivalence: a shared serial tail must predict
+        // identically on both instances.
+        let tail: Vec<(u64, bool)> = pattern.iter().rev().take(32).copied().collect();
+        prop_assert_eq!(
+            drive(&mut serial, &tail),
+            drive(&mut batched, &tail),
+            "post-batch state diverged"
+        );
     }
 
     // Determinism also survives interleaving with *other* PCs as long as

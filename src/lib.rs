@@ -59,7 +59,8 @@ pub mod prelude {
     pub use probranch_harness::{run_cells, Cell, Jobs};
     pub use probranch_isa::{CmpOp, Inst, Program, ProgramBuilder, Reg};
     pub use probranch_pipeline::{
-        run_functional, simulate, OooConfig, PredictorChoice, SimConfig, SimReport,
+        run_functional, simulate, EngineKind, OooConfig, PredictorChoice, SimConfig, SimReport,
+        Simulation,
     };
     pub use probranch_predictor::{BranchPredictor, TageScL, Tournament};
     pub use probranch_workloads::{

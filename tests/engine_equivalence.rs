@@ -9,6 +9,11 @@
 //! the instruction budget trips at the same dynamic instruction in
 //! every engine.
 //!
+//! The suite exercises both API generations: the legacy free functions
+//! above (now thin wrappers) and the `Simulation`/`EngineKind` entry
+//! type they forward to — including the batched-prediction replay drain
+//! that `EngineKind::Replay` runs through `predict_update_batch`.
+//!
 //! The comparison sweeps run through the parallel experiment harness
 //! with default jobs, so the CI matrix (PROBRANCH_JOBS=1 vs default)
 //! exercises the suite — including the trace captures and replays —
@@ -18,7 +23,7 @@ use probranch::harness::{run_cells, workload_seed, Cell, Jobs};
 use probranch::pbs::PbsConfig;
 use probranch::pipeline::{
     simulate, simulate_convoy, simulate_reference, simulate_replay, simulate_replay_convoy,
-    DynTrace, OooConfig, PredictorChoice, SimConfig, SimReport,
+    DynTrace, EngineKind, OooConfig, PredictorChoice, SimConfig, SimReport, Simulation,
 };
 use probranch::workloads::{BenchmarkId, Scale};
 
@@ -93,6 +98,61 @@ fn fused_engine_matches_reference_on_the_fig6_grid() {
     for (cell, (fused, reference, replay)) in cells.iter().zip(&outcomes) {
         assert_reports_equal(cell, fused, reference);
         assert_eq!(fused, replay, "replay drift on {cell:?}");
+    }
+}
+
+/// The redesigned `Simulation` entry point: all four `EngineKind`s —
+/// including the default batched replay engine, whose consumers
+/// pre-predict every chunk through `predict_update_batch` — must
+/// produce the same report on the full fig6 grid. The TAGE-SC-L cells
+/// are the load-bearing ones: they pin the history-parallel batched
+/// TAGE path byte-identical to the serial predictions the live fused
+/// and reference engines make.
+#[test]
+fn simulation_api_engines_agree_on_the_fig6_grid() {
+    assert_eq!(Simulation::default().engine(), EngineKind::Replay);
+    let cells: Vec<Cell> = BenchmarkId::ALL
+        .iter()
+        .flat_map(|&w| {
+            [
+                (PredictorChoice::Tournament, false),
+                (PredictorChoice::Tournament, true),
+                (PredictorChoice::TageScL, false),
+                (PredictorChoice::TageScL, true),
+            ]
+            .map(|(p, pbs)| Cell::new(w, p, pbs, 0))
+        })
+        .collect();
+    let outcomes = run_cells(&cells, Jobs::default(), |cell| {
+        let program = cell
+            .workload
+            .build(Scale::Smoke, cell.workload_seed())
+            .program();
+        let cfg = config_for(cell, OooConfig::default(), false);
+        let reports =
+            EngineKind::ALL.map(|engine| Simulation::new(engine).run(&program, &cfg).expect("run"));
+        // `Simulation::replay` is engine-independent by design: a trace
+        // fixes the branch stream, so every engine re-times it the same
+        // way. Pin that with a capture replayed under all four kinds.
+        let trace = DynTrace::capture(&program, &cfg).expect("capture");
+        let replays = EngineKind::ALL.map(|engine| {
+            Simulation::new(engine)
+                .replay(&trace, &cfg)
+                .expect("replay")
+        });
+        (reports, replays)
+    });
+    for (cell, (reports, replays)) in cells.iter().zip(&outcomes) {
+        let [replay, convoy, fused, reference] = reports;
+        assert_eq!(replay, fused, "batched replay vs fused drift on {cell:?}");
+        assert_eq!(
+            replay, reference,
+            "batched replay vs reference drift on {cell:?}"
+        );
+        assert_eq!(replay, convoy, "batched replay vs convoy drift on {cell:?}");
+        for r in replays {
+            assert_eq!(r, replay, "engine-dependent trace replay on {cell:?}");
+        }
     }
 }
 
