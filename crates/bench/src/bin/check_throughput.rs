@@ -16,7 +16,9 @@
 //! skipped per cell, never failed. (Across v2→v3 the replay semantics
 //! changed from a convoy consumer share to a materialized-trace
 //! replay; both measure the same drain loop, so the cross-schema
-//! comparison stays meaningful within the gate's tolerance.) Skips
+//! comparison stays meaningful within the gate's tolerance. v5 adds
+//! only store accounting — hits/demotions/evictions/peak bytes in the
+//! sweep section — so v4 and v5 cells compare directly.) Skips
 //! entirely — exit 0 with a notice — when the baseline file is
 //! missing, a schema is unknown, or the two reports were measured at
 //! different scales.
@@ -29,11 +31,12 @@
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-const KNOWN_SCHEMAS: [&str; 4] = [
+const KNOWN_SCHEMAS: [&str; 5] = [
     "probranch-throughput/1",
     "probranch-throughput/2",
     "probranch-throughput/3",
     "probranch-throughput/4",
+    "probranch-throughput/5",
 ];
 
 /// Extracts the raw text of `"key":<value>` from a single line, value

@@ -40,6 +40,23 @@ struct Options {
     engine: Engine,
     bench_json: Option<String>,
     trace_dir: Option<String>,
+    trace_mem_budget: Option<usize>,
+}
+
+/// Parses a byte count with an optional `k`/`m`/`g` (KiB/MiB/GiB)
+/// suffix, e.g. `64m`.
+fn parse_bytes(v: &str) -> Option<usize> {
+    let v = v.trim();
+    let (digits, shift) = match v.as_bytes().last()? {
+        b'k' | b'K' => (&v[..v.len() - 1], 10),
+        b'm' | b'M' => (&v[..v.len() - 1], 20),
+        b'g' | b'G' => (&v[..v.len() - 1], 30),
+        _ => (v, 0),
+    };
+    digits
+        .parse::<usize>()
+        .ok()
+        .and_then(|n| n.checked_shl(shift).filter(|_| n.leading_zeros() >= shift))
 }
 
 fn parse_args() -> Options {
@@ -48,11 +65,13 @@ fn parse_args() -> Options {
     let mut engine: Option<Engine> = None;
     let mut bench_json: Option<String> = None;
     let mut trace_dir: Option<String> = None;
+    let mut trace_mem_budget: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let (flag, value) = match arg.as_str() {
             "--help" | "-h" => usage(""),
-            "--scale" | "--jobs" | "--engine" | "--emit-bench-json" | "--trace-dir" => {
+            "--scale" | "--jobs" | "--engine" | "--emit-bench-json" | "--trace-dir"
+            | "--trace-mem-budget" => {
                 let v = args
                     .next()
                     .unwrap_or_else(|| usage(&format!("{arg} needs a value")));
@@ -62,7 +81,8 @@ fn parse_args() -> Options {
                 || arg.starts_with("--jobs=")
                 || arg.starts_with("--engine=")
                 || arg.starts_with("--emit-bench-json=")
-                || arg.starts_with("--trace-dir=") =>
+                || arg.starts_with("--trace-dir=")
+                || arg.starts_with("--trace-mem-budget=") =>
             {
                 let (f, v) = arg.split_once('=').expect("checked above");
                 (f.to_string(), v.to_string())
@@ -114,6 +134,15 @@ fn parse_args() -> Options {
                 }
                 trace_dir = Some(value);
             }
+            "--trace-mem-budget" => {
+                if trace_mem_budget.is_some() {
+                    usage("--trace-mem-budget given twice");
+                }
+                trace_mem_budget = Some(
+                    parse_bytes(&value)
+                        .unwrap_or_else(|| usage(&format!("invalid byte count `{value}`"))),
+                );
+            }
             _ => unreachable!(),
         }
     }
@@ -123,11 +152,12 @@ fn parse_args() -> Options {
         engine: engine.unwrap_or_default(),
         bench_json,
         trace_dir,
+        trace_mem_budget,
     }
 }
 
 fn usage(error: &str) -> ! {
-    let text = "usage: figures [--scale smoke|bench|paper] [--jobs N]\n               [--engine replay|convoy|fused|reference]\n               [--trace-dir DIR] [--emit-bench-json PATH]\n       (or set PROBRANCH_SCALE / PROBRANCH_JOBS; default: bench scale,\n        all cores; --jobs 0 also means all cores)\n       --engine: simulation engine for the timing sweeps (default:\n        replay — emulate each workload once per (workload, seed, PBS)\n        key into a run-wide trace pool shared by every sweep, and\n        re-time the pooled trace for every predictor/core/filter cell;\n        convoy regroups each sweep into streamed fused per-key convoys,\n        fused/reference re-simulate every cell — both for differential\n        debugging). All four print byte-identical tables.\n       --trace-dir DIR: persist captured traces under DIR, keyed by a\n        content hash of (workload, seed derivation, PBS/emulator\n        config, ISA version); later runs load instead of emulating.\n        Stale or corrupt files fall back to capture. stdout stays\n        byte-identical with or without the flag.\n       --emit-bench-json PATH: run the sim-throughput sweep instead of\n        the figures, writing measured MIPS per cell (fused, reference,\n        replay and fused-convoy engines, per-key trace-capture\n        overhead, plus the shared-pool fig6+fig7 sweep aggregate) to\n        PATH (serial unless --jobs is given; all wall-clock timing\n        lives here)";
+    let text = "usage: figures [--scale smoke|bench|paper] [--jobs N]\n               [--engine replay|convoy|fused|reference]\n               [--trace-dir DIR] [--trace-mem-budget BYTES]\n               [--emit-bench-json PATH]\n       (or set PROBRANCH_SCALE / PROBRANCH_JOBS; default: bench scale,\n        all cores; --jobs 0 also means all cores)\n       --engine: simulation engine for the timing sweeps (default:\n        replay — emulate each workload once per (workload, seed, PBS)\n        key into a run-wide trace pool shared by every sweep, and\n        re-time the pooled trace for every predictor/core/filter cell;\n        convoy regroups each sweep into streamed fused per-key convoys,\n        fused/reference re-simulate every cell — both for differential\n        debugging). All four print byte-identical tables.\n       --trace-dir DIR: persist captured traces under DIR, keyed by a\n        content hash of (workload, seed derivation, PBS/emulator\n        config, ISA version); later runs memory-map the files instead\n        of emulating (zero-copy record streams). Stale or corrupt files\n        fall back to capture; orphaned writer temp files are swept on\n        open. stdout stays byte-identical with or without the flag.\n       --trace-mem-budget BYTES: bound the in-memory trace pool\n        (optional k/m/g suffix, e.g. 64m). Over budget, the coldest\n        pooled traces are demoted to their mmap-backed persisted form\n        (with --trace-dir) or evicted and re-captured on next use.\n        stdout stays byte-identical for any budget.\n       --emit-bench-json PATH: run the sim-throughput sweep instead of\n        the figures, writing measured MIPS per cell (fused, reference,\n        replay and fused-convoy engines, per-key trace-capture\n        overhead, plus the shared-pool fig6+fig7 sweep aggregate) to\n        PATH (serial unless --jobs is given; all wall-clock timing\n        lives here)";
     if error.is_empty() {
         println!("{text}");
         std::process::exit(0);
@@ -165,10 +195,10 @@ fn main() {
     // One trace pool for the whole run: every timing sweep below shares
     // it, so an emulation key is captured (or disk-loaded) exactly once
     // per invocation no matter how many figures revisit it.
-    let ctx = match &opts.trace_dir {
-        Some(dir) => experiments::Context::with_trace_dir(dir),
-        None => experiments::Context::new(),
-    };
+    let ctx = experiments::Context::with_store(
+        opts.trace_dir.as_ref().map(Into::into),
+        opts.trace_mem_budget,
+    );
     // The job count and engine go to stderr: stdout must stay
     // byte-identical across worker counts, engines *and* warm/cold
     // trace directories (the determinism guarantees CI diffs on).
@@ -213,5 +243,12 @@ fn main() {
         ctx.disk_loads(),
         ctx.grid_hits(),
         ctx.bytes() / (1 << 20)
+    );
+    eprintln!(
+        "trace store: {} hits, {} demotions, {} evictions, peak {} MiB",
+        ctx.store_hits(),
+        ctx.demotions(),
+        ctx.evictions(),
+        ctx.peak_bytes() / (1 << 20)
     );
 }

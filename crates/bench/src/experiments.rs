@@ -183,8 +183,16 @@ impl Context {
 
     /// A context whose trace pool is backed by trace files under `dir`.
     pub fn with_trace_dir(dir: impl Into<std::path::PathBuf>) -> Context {
+        Context::with_store(Some(dir.into()), None)
+    }
+
+    /// The fully general constructor: an optional trace directory and
+    /// an optional in-memory pool budget in bytes (see
+    /// [`EngineContext::with_options`] for the demotion/eviction
+    /// semantics).
+    pub fn with_store(trace_dir: Option<std::path::PathBuf>, mem_budget: Option<usize>) -> Context {
         Context {
-            traces: EngineContext::with_trace_dir(dir),
+            traces: EngineContext::with_options(trace_dir, mem_budget),
             ..Context::default()
         }
     }
@@ -217,6 +225,27 @@ impl Context {
     /// Four-config grids served from the grid memo instead of re-timed.
     pub fn grid_hits(&self) -> usize {
         self.grid_hits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Pool hits: trace gets served from an already-pooled trace.
+    pub fn store_hits(&self) -> usize {
+        self.traces.store_hits()
+    }
+
+    /// Pooled traces demoted to their mmap-backed persisted form under
+    /// the memory budget.
+    pub fn demotions(&self) -> usize {
+        self.traces.demotions()
+    }
+
+    /// Pooled traces evicted outright under the memory budget.
+    pub fn evictions(&self) -> usize {
+        self.traces.evictions()
+    }
+
+    /// High-water mark of pooled trace bytes.
+    pub fn peak_bytes(&self) -> usize {
+        self.traces.peak_bytes()
     }
 
     /// The memoized grid for `key`, computing it with `compute` on

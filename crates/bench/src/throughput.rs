@@ -51,10 +51,10 @@ use crate::experiments::{self, Engine, ExperimentScale};
 
 /// Schema tag written into the JSON (bump on layout changes so the CI
 /// gate skips rather than misparses). `check_throughput` accepts the
-/// older `/1` (fused/reference only), `/2` (adds replay) and `/3`
-/// (adds convoy) baselines without failing; fields both reports carry
-/// are gated.
-pub const SCHEMA: &str = "probranch-throughput/4";
+/// older `/1` (fused/reference only), `/2` (adds replay), `/3` (adds
+/// convoy) and `/4` (adds the batched drain) baselines without
+/// failing; fields both reports carry are gated.
+pub const SCHEMA: &str = "probranch-throughput/5";
 
 /// The v1 schema tag, still accepted as a comparison baseline.
 pub const SCHEMA_V1: &str = "probranch-throughput/1";
@@ -64,6 +64,9 @@ pub const SCHEMA_V2: &str = "probranch-throughput/2";
 
 /// The v3 schema tag, still accepted as a comparison baseline.
 pub const SCHEMA_V3: &str = "probranch-throughput/3";
+
+/// The v4 schema tag, still accepted as a comparison baseline.
+pub const SCHEMA_V4: &str = "probranch-throughput/4";
 
 /// One measured grid point.
 #[derive(Debug, Clone)]
@@ -179,6 +182,17 @@ pub struct SweepStats {
     pub wall: Duration,
     /// Peak bytes held by the trace pool.
     pub trace_bytes: usize,
+    /// Pool hits — cells served from an already-resident trace.
+    pub store_hits: usize,
+    /// Traces demoted from owned heap to their mmap-backed persisted
+    /// form under a memory budget (0 without `--trace-mem-budget` +
+    /// `--trace-dir`).
+    pub demotions: usize,
+    /// Traces evicted outright under a memory budget (0 when
+    /// unbounded).
+    pub evictions: usize,
+    /// Peak owned heap bytes the bounded pool ever held at once.
+    pub peak_bytes: usize,
 }
 
 impl SweepStats {
@@ -337,7 +351,7 @@ impl ThroughputReport {
         out.push_str("  ],\n");
         let s = &self.sweep;
         out.push_str(&format!(
-            "  \"sweep\": {{\"grids\":\"fig6+fig7\",\"cells\":{},\"keys\":{},\"captures\":{},\"disk_loads\":{},\"grid_hits\":{},\"instructions\":{},\"seconds\":{:.6},\"mips\":{:.3},\"trace_bytes\":{}}},\n",
+            "  \"sweep\": {{\"grids\":\"fig6+fig7\",\"cells\":{},\"keys\":{},\"captures\":{},\"disk_loads\":{},\"grid_hits\":{},\"instructions\":{},\"seconds\":{:.6},\"mips\":{:.3},\"trace_bytes\":{},\"store_hits\":{},\"demotions\":{},\"evictions\":{},\"peak_bytes\":{}}},\n",
             s.cells,
             s.keys,
             s.captures,
@@ -347,6 +361,10 @@ impl ThroughputReport {
             s.wall.as_secs_f64(),
             s.mips(),
             s.trace_bytes,
+            s.store_hits,
+            s.demotions,
+            s.evictions,
+            s.peak_bytes,
         ));
         out.push_str(&format!(
             "  \"aggregate\": {{\"instructions\":{},\"fused_mips\":{:.3},\"reference_mips\":{:.3},\"speedup\":{:.3},\"capture_seconds\":{:.6},\"replay_mips\":{:.3},\"replay_speedup\":{:.3},\"batched_mips\":{:.3},\"convoy_mips\":{:.3}}}\n",
@@ -411,6 +429,13 @@ impl ThroughputReport {
             s.wall.as_secs_f64(),
             s.mips(),
             s.trace_bytes / 1024,
+        ));
+        out.push_str(&format!(
+            "store (shared pool): {} hits, {} demotions, {} evictions, peak {} KiB\n",
+            s.store_hits,
+            s.demotions,
+            s.evictions,
+            s.peak_bytes / 1024,
         ));
         out
     }
@@ -544,6 +569,10 @@ fn run_sweep(scale: ExperimentScale, per_cell_instructions: u64) -> SweepStats {
         instructions: 2 * per_cell_instructions,
         wall,
         trace_bytes: ctx.bytes(),
+        store_hits: ctx.store_hits(),
+        demotions: ctx.demotions(),
+        evictions: ctx.evictions(),
+        peak_bytes: ctx.peak_bytes(),
     }
 }
 
@@ -697,8 +726,13 @@ mod tests {
         assert_eq!(report.sweep.grid_hits, 1, "fig7 must re-serve fig6's grid");
         assert_eq!(report.sweep.cells, 64);
         assert_eq!(report.sweep.instructions, 2 * report.total_instructions());
+        // Unbounded pool: nothing is demoted or evicted, but the peak
+        // accounting still registers the resident traces.
+        assert_eq!(report.sweep.demotions, 0);
+        assert_eq!(report.sweep.evictions, 0);
+        assert!(report.sweep.peak_bytes > 0);
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"probranch-throughput/4\""));
+        assert!(json.contains("\"schema\": \"probranch-throughput/5\""));
         assert!(json.contains("\"scale\": \"smoke\""));
         assert!(json.contains("\"fused_mips\""));
         assert!(json.contains("\"replay_mips\""));
@@ -706,6 +740,10 @@ mod tests {
         assert!(json.contains("\"convoy_mips\""));
         assert!(json.contains("\"capture_seconds\""));
         assert!(json.contains("\"trace_peak_bytes\""));
+        assert!(json.contains("\"store_hits\""));
+        assert!(json.contains("\"demotions\""));
+        assert!(json.contains("\"evictions\""));
+        assert!(json.contains("\"peak_bytes\""));
         assert!(json.contains("\"sweep\": {\"grids\":\"fig6+fig7\""));
         assert_eq!(
             json.lines().filter(|l| l.contains("\"workload\"")).count(),

@@ -38,7 +38,7 @@ use std::hash::Hash;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use probranch_pipeline::{DynTrace, PredictorChoice};
+use probranch_pipeline::{sweep_stale_temps, DynTrace, PredictorChoice, SimConfig};
 use probranch_rng::SplitMix64;
 use probranch_workloads::BenchmarkId;
 
@@ -213,11 +213,54 @@ where
         .collect()
 }
 
-/// A cache slot: empty until its key's one capture completes.
-type TraceSlot = Arc<Mutex<Option<Arc<DynTrace>>>>;
+/// How a pooled trace can be *demoted* to — and re-served from — its
+/// persisted file: everything [`DynTrace::write_file`] /
+/// [`DynTrace::read_file`] need. Attached per entry by
+/// [`TraceCache::get_or_capture_with`] when the owning context has a
+/// trace directory.
+#[derive(Debug, Clone)]
+pub struct TraceDiskInfo {
+    path: std::path::PathBuf,
+    content_hash: u64,
+    config: SimConfig,
+}
 
-/// A worker-shared cache of captured [`DynTrace`]s, keyed by emulation
-/// key.
+impl TraceDiskInfo {
+    /// Disk identity for a pooled trace: its file path, the content
+    /// hash the file is keyed by, and the emulation key a load replays
+    /// under.
+    pub fn new(path: std::path::PathBuf, content_hash: u64, config: SimConfig) -> TraceDiskInfo {
+        TraceDiskInfo {
+            path,
+            content_hash,
+            config,
+        }
+    }
+}
+
+/// One pooled trace plus its budget-accounting metadata.
+#[derive(Debug)]
+struct Entry {
+    trace: Arc<DynTrace>,
+    /// `trace.bytes()` at insert/demotion time — what this entry
+    /// charges against the pool budget.
+    bytes: usize,
+    /// LRU clock value at last touch.
+    stamp: u64,
+    /// Disk identity for demotion, cleared after a failed attempt so a
+    /// broken file/directory is not retried forever.
+    disk: Option<TraceDiskInfo>,
+    /// Whether the trace's record streams are already mmap-backed
+    /// (nothing left to demote; eviction is the only further step).
+    mapped: bool,
+}
+
+/// A cache slot: empty until its key's one capture completes (or after
+/// its entry was evicted under memory pressure).
+type TraceSlot = Arc<Mutex<Option<Entry>>>;
+
+/// A worker-shared, optionally *bounded* cache of captured
+/// [`DynTrace`]s, keyed by emulation key.
 ///
 /// Sweeps whose cells differ only in timing-side configuration
 /// (predictor, core, filter mode) share one trace per emulation key:
@@ -230,12 +273,33 @@ type TraceSlot = Arc<Mutex<Option<Arc<DynTrace>>>>;
 /// The key type is caller-chosen (any `Eq + Hash`); sweeps typically
 /// use `(BenchmarkId, seed, pbs)` tuples.
 ///
-/// The cache never evicts: every captured trace (~8 bytes per dynamic
-/// instruction) stays live until the cache is dropped, so scope one
-/// cache per sweep — peak memory is then one sweep's keys, surfaced by
-/// [`TraceCache::bytes`]. Sweeps whose per-key cell count is known
-/// up front can instead stream a bounded-memory convoy
-/// (`probranch_pipeline::simulate_convoy`) and skip caching entirely.
+/// # Memory budget
+///
+/// Unbounded by default ([`TraceCache::new`]): every captured trace
+/// (~6 bytes per dynamic instruction) stays pooled until the cache is
+/// dropped. With a budget ([`TraceCache::with_budget`]) the cache keeps
+/// its pooled heap bytes at or under the budget by least-recently-used
+/// **demotion, then eviction** whenever an insert pushes it over:
+///
+/// 1. the coldest entry with a disk identity
+///    ([`TraceDiskInfo`]) is *demoted* — persisted if its file is
+///    absent, then re-served as a zero-copy mmap-backed load whose
+///    pooled footprint is just the timing table and derived request
+///    streams (the record streams belong to the OS page cache);
+/// 2. once nothing is left to demote, the coldest entry is *evicted*
+///    outright — its key re-captures (or disk-loads) on next use.
+///
+/// The most recently touched entry is never demoted or evicted, so a
+/// budget smaller than one trace degrades to "keep exactly the entry in
+/// use". The budget bounds what the *pool retains*; `Arc`s already
+/// handed to running cells keep their traces alive until those cells
+/// finish, as they must. Which entries get demoted can depend on thread
+/// scheduling — what every cell *computes* never does, because a
+/// demoted or re-captured trace is byte-identical to the pooled one
+/// (the persistence round-trip property).
+///
+/// [`TraceCache::peak_bytes`] reports the high-water mark of pooled
+/// bytes sampled after each insert's budget enforcement.
 #[derive(Debug, Default)]
 pub struct TraceCache<K> {
     /// One slot per key. The outer lock is held only for slot lookup;
@@ -243,16 +307,42 @@ pub struct TraceCache<K> {
     /// the same key wait for the one in-flight capture instead of
     /// re-emulating (same-key cells are adjacent in sweep grids, making
     /// that race the common case at `--jobs > 1`), while captures for
-    /// different keys proceed in parallel.
+    /// different keys proceed in parallel. Lock order is always outer →
+    /// slot; budget enforcement snapshots the slot list and releases
+    /// the outer lock before touching any slot.
     slots: Mutex<HashMap<K, TraceSlot>>,
+    /// Pooled-byte ceiling; `None` = unbounded.
+    budget: Option<usize>,
+    /// LRU clock: monotonically increasing touch stamps.
+    clock: std::sync::atomic::AtomicU64,
+    hits: AtomicUsize,
+    demotions: AtomicUsize,
+    evictions: AtomicUsize,
+    peak_bytes: AtomicUsize,
 }
 
 impl<K: Eq + Hash> TraceCache<K> {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> TraceCache<K> {
+        TraceCache::with_budget(None)
+    }
+
+    /// An empty cache keeping at most `budget` pooled heap bytes
+    /// (`None` = unbounded).
+    pub fn with_budget(budget: Option<usize>) -> TraceCache<K> {
         TraceCache {
             slots: Mutex::new(HashMap::new()),
+            budget,
+            clock: std::sync::atomic::AtomicU64::new(0),
+            hits: AtomicUsize::new(0),
+            demotions: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+            peak_bytes: AtomicUsize::new(0),
         }
+    }
+
+    fn touch(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
     }
 
     /// The trace for `key`, capturing it with `capture` on first use.
@@ -266,6 +356,25 @@ impl<K: Eq + Hash> TraceCache<K> {
         key: K,
         capture: impl FnOnce() -> Result<DynTrace, E>,
     ) -> Result<Arc<DynTrace>, E> {
+        self.get_or_capture_with(key, None, capture)
+    }
+
+    /// [`get_or_capture`](TraceCache::get_or_capture) with a disk
+    /// identity attached to the entry, making it *demotable* under a
+    /// memory budget (see the type docs). `capture` runs for a missing
+    /// **or previously evicted** key — a persistent context's closure
+    /// re-serves evicted keys from disk rather than re-emulating.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `capture`'s error; the slot stays empty, so a later
+    /// caller retries.
+    pub fn get_or_capture_with<E>(
+        &self,
+        key: K,
+        disk: Option<TraceDiskInfo>,
+        capture: impl FnOnce() -> Result<DynTrace, E>,
+    ) -> Result<Arc<DynTrace>, E> {
         let slot = Arc::clone(
             self.slots
                 .lock()
@@ -273,23 +382,139 @@ impl<K: Eq + Hash> TraceCache<K> {
                 .entry(key)
                 .or_default(),
         );
-        let mut guard = slot.lock().expect("trace slot lock");
-        if let Some(trace) = &*guard {
-            return Ok(Arc::clone(trace));
-        }
-        let trace = Arc::new(capture()?);
-        *guard = Some(Arc::clone(&trace));
+        let trace = {
+            let mut guard = slot.lock().expect("trace slot lock");
+            if let Some(entry) = guard.as_mut() {
+                entry.stamp = self.touch();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(&entry.trace));
+            }
+            let trace = Arc::new(capture()?);
+            let mapped = trace.mapped_chunks() > 0;
+            *guard = Some(Entry {
+                trace: Arc::clone(&trace),
+                bytes: trace.bytes(),
+                stamp: self.touch(),
+                disk,
+                mapped,
+            });
+            trace
+        };
+        self.enforce_budget();
         Ok(trace)
     }
 
-    /// The trace already captured for `key`, if any — never captures.
-    pub fn peek(&self, key: &K) -> Option<Arc<DynTrace>> {
-        let slot = Arc::clone(self.slots.lock().expect("trace cache lock").get(key)?);
-        let guard = slot.lock().expect("trace slot lock");
-        guard.as_ref().map(Arc::clone)
+    /// Brings the pooled bytes back under the budget (demote coldest,
+    /// then evict coldest — never the most recently touched entry) and
+    /// samples the peak. Slots locked by in-flight captures are skipped
+    /// — their bytes are accounted at *their* insert's enforcement.
+    fn enforce_budget(&self) {
+        let slots: Vec<TraceSlot> = self
+            .slots
+            .lock()
+            .expect("trace cache lock")
+            .values()
+            .map(Arc::clone)
+            .collect();
+        loop {
+            // Snapshot pass: pooled total, the protected newest stamp,
+            // and the coldest demotion/eviction candidates.
+            let mut total = 0usize;
+            let mut newest = None::<u64>;
+            let mut coldest_demotable = None::<(u64, usize)>;
+            let mut coldest = None::<(u64, usize)>;
+            for (i, slot) in slots.iter().enumerate() {
+                let Ok(guard) = slot.try_lock() else { continue };
+                let Some(e) = guard.as_ref() else { continue };
+                total += e.bytes;
+                if newest.map_or(true, |n| e.stamp > n) {
+                    newest = Some(e.stamp);
+                }
+                if coldest.map_or(true, |(s, _)| e.stamp < s) {
+                    coldest = Some((e.stamp, i));
+                }
+                if !e.mapped
+                    && e.disk.is_some()
+                    && coldest_demotable.map_or(true, |(s, _)| e.stamp < s)
+                {
+                    coldest_demotable = Some((e.stamp, i));
+                }
+            }
+            let over = self.budget.is_some_and(|b| total > b);
+            if !over {
+                self.peak_bytes.fetch_max(total, Ordering::Relaxed);
+                return;
+            }
+            let victim = match (coldest_demotable, coldest) {
+                (Some((s, i)), _) if Some(s) != newest => (i, true),
+                (_, Some((s, i))) if Some(s) != newest => (i, false),
+                // Only the in-use entry is left; the budget cannot be
+                // met without breaking the pool's contract.
+                _ => {
+                    self.peak_bytes.fetch_max(total, Ordering::Relaxed);
+                    return;
+                }
+            };
+            let (i, demote) = victim;
+            let mut guard = slots[i].lock().expect("trace slot lock");
+            match guard.as_mut() {
+                Some(e) if demote => {
+                    if Self::demote(e) {
+                        self.demotions.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        // Broken file or directory: stop retrying; the
+                        // entry stays and becomes a plain eviction
+                        // candidate.
+                        e.disk = None;
+                    }
+                }
+                Some(_) => {
+                    *guard = None;
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => {}
+            }
+        }
     }
 
-    /// Number of captured traces.
+    /// Swaps an owned entry for its mmap-backed load: persists the
+    /// trace if its file is absent (write-if-absent — a warm store
+    /// already has the bytes), re-reads it zero-copy, and drops the
+    /// owned record streams. Returns whether the swap happened; the
+    /// entry is untouched on failure.
+    fn demote(e: &mut Entry) -> bool {
+        let Some(disk) = &e.disk else { return false };
+        if !disk.path.exists() {
+            let written = disk
+                .path
+                .parent()
+                .map_or(Ok(()), std::fs::create_dir_all)
+                .and_then(|()| e.trace.write_file(&disk.path, disk.content_hash));
+            if written.is_err() {
+                return false;
+            }
+        }
+        let Some(mapped) = DynTrace::read_file(&disk.path, disk.content_hash, &disk.config) else {
+            return false;
+        };
+        e.trace = Arc::new(mapped);
+        e.bytes = e.trace.bytes();
+        e.mapped = true;
+        true
+    }
+
+    /// The trace already pooled for `key`, if any — never captures, but
+    /// does refresh the entry's LRU stamp (a peek is a use).
+    pub fn peek(&self, key: &K) -> Option<Arc<DynTrace>> {
+        let slot = Arc::clone(self.slots.lock().expect("trace cache lock").get(key)?);
+        let mut guard = slot.lock().expect("trace slot lock");
+        guard.as_mut().map(|e| {
+            e.stamp = self.touch();
+            Arc::clone(&e.trace)
+        })
+    }
+
+    /// Number of pooled traces.
     pub fn len(&self) -> usize {
         self.slots
             .lock()
@@ -304,19 +529,37 @@ impl<K: Eq + Hash> TraceCache<K> {
         self.len() == 0
     }
 
-    /// Total heap bytes held by the captured traces.
+    /// Total heap bytes held by the pooled traces (mmap-backed record
+    /// streams count 0 — see [`DynTrace::bytes`]).
     pub fn bytes(&self) -> usize {
         self.slots
             .lock()
             .expect("trace cache lock")
             .values()
-            .filter_map(|s| {
-                s.lock()
-                    .expect("trace slot lock")
-                    .as_ref()
-                    .map(|t| t.bytes())
-            })
+            .filter_map(|s| s.lock().expect("trace slot lock").as_ref().map(|e| e.bytes))
             .sum()
+    }
+
+    /// Pool hits: gets served from an already-pooled entry.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Entries demoted to their mmap-backed form under budget pressure.
+    pub fn demotions(&self) -> usize {
+        self.demotions.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted outright under budget pressure.
+    pub fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of pooled bytes, sampled after each insert's
+    /// budget enforcement. At most the budget whenever the budget
+    /// admits at least the single most recent trace.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes.load(Ordering::Relaxed)
     }
 }
 
@@ -342,13 +585,24 @@ impl<K: Eq + Hash> TraceCache<K> {
 /// missing, stale or corrupt file silently falls back to capture —
 /// persistence can save a re-emulation, never change a result. Disk
 /// write failures are reported to stderr and otherwise ignored (the
-/// in-memory pool still serves the run).
+/// in-memory pool still serves the run). Opening a persistent context
+/// also sweeps orphaned writer temp files from the directory
+/// ([`sweep_stale_temps`]), so crashed earlier runs cannot leak disk
+/// forever.
+///
+/// With a pool memory budget ([`EngineContext::with_options`]) the
+/// in-memory half is bounded: cold traces are demoted to their mmap-
+/// backed persisted form (when a trace directory is configured) or
+/// evicted outright — see [`TraceCache`]. An evicted key's next use
+/// re-serves it from disk, or re-captures when there is no directory;
+/// either way the results are byte-identical to an unbounded run.
 #[derive(Debug)]
 pub struct EngineContext<K> {
     cache: TraceCache<K>,
     trace_dir: Option<std::path::PathBuf>,
     captures: AtomicUsize,
     disk_loads: AtomicUsize,
+    temp_sweeps: usize,
 }
 
 impl<K: Eq + Hash> Default for EngineContext<K> {
@@ -360,20 +614,29 @@ impl<K: Eq + Hash> Default for EngineContext<K> {
 impl<K: Eq + Hash> EngineContext<K> {
     /// A context with an empty in-memory pool and no disk persistence.
     pub fn new() -> EngineContext<K> {
-        EngineContext {
-            cache: TraceCache::new(),
-            trace_dir: None,
-            captures: AtomicUsize::new(0),
-            disk_loads: AtomicUsize::new(0),
-        }
+        EngineContext::with_options(None, None)
     }
 
     /// A context whose pool is backed by trace files under `dir`
     /// (created on first write if missing).
     pub fn with_trace_dir(dir: impl Into<std::path::PathBuf>) -> EngineContext<K> {
+        EngineContext::with_options(Some(dir.into()), None)
+    }
+
+    /// The fully general constructor: an optional trace directory and
+    /// an optional pool memory budget in bytes. Opening with a
+    /// directory sweeps its stale writer temp files first.
+    pub fn with_options(
+        trace_dir: Option<std::path::PathBuf>,
+        mem_budget: Option<usize>,
+    ) -> EngineContext<K> {
+        let temp_sweeps = trace_dir.as_deref().map_or(0, sweep_stale_temps);
         EngineContext {
-            trace_dir: Some(dir.into()),
-            ..EngineContext::new()
+            cache: TraceCache::with_budget(mem_budget),
+            trace_dir,
+            captures: AtomicUsize::new(0),
+            disk_loads: AtomicUsize::new(0),
+            temp_sweeps,
         }
     }
 
@@ -406,7 +669,16 @@ impl<K: Eq + Hash> EngineContext<K> {
         config: &probranch_pipeline::SimConfig,
         capture: impl FnOnce() -> Result<DynTrace, E>,
     ) -> Result<Arc<DynTrace>, E> {
-        self.cache.get_or_capture(key, || {
+        // With a trace directory the pooled entry carries its disk
+        // identity, making it demotable under a memory budget.
+        let disk = self.trace_dir.as_ref().map(|dir| {
+            TraceDiskInfo::new(
+                Self::trace_path(dir, content_hash),
+                content_hash,
+                config.clone(),
+            )
+        });
+        self.cache.get_or_capture_with(key, disk, || {
             self.load_or_capture_unpooled(content_hash, config, capture)
         })
     }
@@ -477,6 +749,34 @@ impl<K: Eq + Hash> EngineContext<K> {
     /// Total heap bytes held by the pooled traces.
     pub fn bytes(&self) -> usize {
         self.cache.bytes()
+    }
+
+    /// Pool hits: gets served from an already-pooled trace.
+    pub fn store_hits(&self) -> usize {
+        self.cache.hits()
+    }
+
+    /// Pooled traces demoted to their mmap-backed persisted form under
+    /// the memory budget.
+    pub fn demotions(&self) -> usize {
+        self.cache.demotions()
+    }
+
+    /// Pooled traces evicted outright under the memory budget.
+    pub fn evictions(&self) -> usize {
+        self.cache.evictions()
+    }
+
+    /// High-water mark of pooled bytes (see
+    /// [`TraceCache::peak_bytes`]).
+    pub fn peak_bytes(&self) -> usize {
+        self.cache.peak_bytes()
+    }
+
+    /// Stale writer temp files reaped when the context opened its
+    /// trace directory.
+    pub fn temp_sweeps(&self) -> usize {
+        self.temp_sweeps
     }
 }
 
@@ -688,6 +988,120 @@ mod tests {
         let healed = run(&healed_ctx);
         assert_eq!((healed_ctx.captures(), healed_ctx.disk_loads()), (1, 0));
         assert_eq!(healed, cold);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bounded_pool_evicts_but_never_changes_results() {
+        use probranch_pipeline::{simulate_replay, DynTrace, SimConfig};
+        use probranch_workloads::{BenchmarkId as B, Scale};
+
+        let cfg = SimConfig::default();
+        let hash = cfg.emu_key_fingerprint();
+        let seeds: Vec<u64> = (0..4).collect();
+        let programs: Vec<_> = seeds
+            .iter()
+            .map(|&s| B::Pi.build(Scale::Smoke, workload_seed(B::Pi, s)).program())
+            .collect();
+        // Budget: room for one-and-a-half traces, so pooling four keys
+        // must evict (no trace directory ⇒ nothing to demote to).
+        let one = DynTrace::capture(&programs[0], &cfg).unwrap().bytes();
+        let budget = one * 3 / 2;
+        let run = |ctx: &EngineContext<(B, u64, bool)>| {
+            // Two passes over every key: the second revisits keys the
+            // budget evicted, forcing re-captures.
+            let cells: Vec<u64> = seeds.iter().chain(seeds.iter()).copied().collect();
+            run_cells(&cells, Jobs::serial(), |&s| {
+                let trace = ctx
+                    .get_or_capture((B::Pi, s, false), hash, &cfg, || {
+                        DynTrace::capture(&programs[s as usize], &cfg)
+                    })
+                    .expect("capture");
+                simulate_replay(&trace, &cfg).expect("replay")
+            })
+        };
+        let unbounded: EngineContext<(B, u64, bool)> = EngineContext::new();
+        let bounded: EngineContext<(B, u64, bool)> =
+            EngineContext::with_options(None, Some(budget));
+        assert_eq!(
+            run(&bounded),
+            run(&unbounded),
+            "eviction must not change results"
+        );
+        assert_eq!(unbounded.captures(), 4, "unbounded pools each key once");
+        assert!(
+            bounded.evictions() > 0,
+            "a 1.5-trace budget over 4 keys must evict"
+        );
+        assert!(
+            bounded.captures() > 4,
+            "revisiting evicted keys re-captures"
+        );
+        assert!(
+            bounded.peak_bytes() <= budget,
+            "peak pooled bytes {} exceeded the budget {}",
+            bounded.peak_bytes(),
+            budget
+        );
+        assert!(unbounded.peak_bytes() > budget);
+        assert_eq!(bounded.demotions(), 0, "nowhere to demote without a dir");
+    }
+
+    #[test]
+    fn bounded_pool_with_trace_dir_demotes_to_mapped_form() {
+        use probranch_pipeline::{simulate_replay, DynTrace, SimConfig};
+        use probranch_workloads::{BenchmarkId as B, Scale};
+
+        let dir =
+            std::env::temp_dir().join(format!("probranch-demote-traces-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = SimConfig::default();
+        let seeds: Vec<u64> = (0..3).collect();
+        let programs: Vec<_> = seeds
+            .iter()
+            .map(|&s| B::Pi.build(Scale::Smoke, workload_seed(B::Pi, s)).program())
+            .collect();
+        // Per-key content hashes: each seed builds a different program.
+        let hash = |s: u64| SplitMix64::mix_fold(&[cfg.emu_key_fingerprint(), s]);
+        let one = DynTrace::capture(&programs[0], &cfg).unwrap().bytes();
+        let budget = one * 3 / 2;
+        let run = |ctx: &EngineContext<(B, u64, bool)>| {
+            let cells: Vec<u64> = seeds.iter().chain(seeds.iter()).copied().collect();
+            run_cells(&cells, Jobs::serial(), |&s| {
+                let trace = ctx
+                    .get_or_capture((B::Pi, s, false), hash(s), &cfg, || {
+                        DynTrace::capture(&programs[s as usize], &cfg)
+                    })
+                    .expect("capture");
+                simulate_replay(&trace, &cfg).expect("replay")
+            })
+        };
+        let unbounded: EngineContext<(B, u64, bool)> = EngineContext::new();
+        let bounded: EngineContext<(B, u64, bool)> =
+            EngineContext::with_options(Some(dir.clone()), Some(budget));
+        assert_eq!(
+            run(&bounded),
+            run(&unbounded),
+            "demotion must not change results"
+        );
+        assert!(
+            bounded.demotions() > 0,
+            "a 1.5-trace budget over 3 keys with a dir must demote"
+        );
+        assert!(
+            bounded.peak_bytes() <= budget,
+            "peak pooled bytes {} exceeded the budget {}",
+            bounded.peak_bytes(),
+            budget
+        );
+        // Demoted keys stay pooled, re-served through the file map with
+        // their owned record streams dropped.
+        let mapped_keys = seeds
+            .iter()
+            .filter_map(|&s| bounded.peek(&(B::Pi, s, false)))
+            .filter(|t| t.mapped_chunks() == t.chunk_count() && t.chunk_count() > 0)
+            .count();
+        assert!(mapped_keys > 0, "at least one key must be serving mapped");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,276 @@
+//! # probranch-mmap
+//!
+//! Read-only memory-mapped files for the trace store.
+//!
+//! The trace persistence layer (`probranch-pipeline`'s `persist`
+//! module) serves warm-start loads as borrowed slices over the file
+//! bytes instead of owned copies. That needs `mmap(2)`, and `mmap`
+//! needs FFI — which the rest of the workspace forbids
+//! (`#![forbid(unsafe_code)]` in every other crate). This crate is the
+//! one place the workspace contains `unsafe`, scoped to the small
+//! [`sys`](self) module that wraps the two raw calls; everything it
+//! exposes is a safe, immutable byte slice.
+//!
+//! On targets without the wrapped call shapes (non-unix, or 32-bit
+//! `off_t` ABIs) [`Mmap::open`] transparently falls back to reading the
+//! file into an owned buffer: callers get the same API and the same
+//! bytes, just without the zero-copy property —
+//! [`Mmap::is_mapped`] reports which backing was used.
+//!
+//! ## Concurrent-modification contract
+//!
+//! A mapping reflects the underlying file, so a writer *truncating* the
+//! file while it is mapped can fault the reader (`SIGBUS`). The trace
+//! store never does that: trace files are published by atomic
+//! temp-file + rename and never rewritten in place, so a mapping is
+//! only ever taken of an immutable, fully-published file. Keep that
+//! contract if you map anything else with this crate.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+use std::path::Path;
+
+/// The real `mmap(2)` wrapper. All `unsafe` in the workspace lives in
+/// this module; its safety argument is spelled out per call.
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod sys {
+    // The workspace-wide `unsafe_code = "deny"` is overridden for this
+    // module only: the FFI below is the entire reason this crate
+    // exists, and its invariants are local enough to audit in one
+    // screen. (The declarations target symbols every unix libc exports
+    // with these exact LP64 signatures.)
+    #![allow(unsafe_code)]
+
+    use std::ffi::{c_int, c_void};
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    const PROT_READ: c_int = 0x1;
+    const MAP_PRIVATE: c_int = 0x2;
+
+    /// A read-only, private, whole-file mapping. `len` is always > 0
+    /// (empty files take the owned fallback before reaching here).
+    #[derive(Debug)]
+    pub(crate) struct Map {
+        ptr: std::ptr::NonNull<u8>,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is PROT_READ + MAP_PRIVATE — immutable shared
+    // bytes with no interior mutability — so shared references to it
+    // may move across and be used from any thread.
+    #[allow(unsafe_code)]
+    unsafe impl Send for Map {}
+    #[allow(unsafe_code)]
+    unsafe impl Sync for Map {}
+
+    impl Map {
+        pub(crate) fn new(file: &File, len: usize) -> io::Result<Map> {
+            debug_assert!(len > 0, "empty files use the owned fallback");
+            // SAFETY: a fresh anonymous placement (addr = null), a
+            // length the caller took from the file's metadata, a
+            // read-only private mapping of a valid open fd at offset 0.
+            // The fd may be closed after mmap returns; the mapping
+            // keeps the pages alive.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            match std::ptr::NonNull::new(ptr.cast::<u8>()) {
+                Some(ptr) => Ok(Map { ptr, len }),
+                None => Err(io::Error::other("mmap returned the null page")),
+            }
+        }
+
+        pub(crate) fn as_slice(&self) -> &[u8] {
+            // SAFETY: `ptr` is a live PROT_READ mapping of exactly
+            // `len` bytes (held until Drop), never written through, and
+            // the store only maps fully-published immutable files (see
+            // the crate docs' concurrent-modification contract).
+            unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+        }
+    }
+
+    impl Drop for Map {
+        fn drop(&mut self) {
+            // SAFETY: unmapping exactly the region mmap returned. No
+            // slice borrowed from `as_slice` can outlive `self`.
+            let rc = unsafe { munmap(self.ptr.as_ptr().cast(), self.len) };
+            debug_assert_eq!(rc, 0, "munmap of a valid mapping cannot fail");
+        }
+    }
+}
+
+/// The backing actually holding the bytes.
+#[derive(Debug)]
+enum Inner {
+    /// A real read-only mapping (zero-copy).
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    Mapped(sys::Map),
+    /// An owned read of the whole file — the fallback for targets
+    /// without the wrapped mmap ABI, for empty files (which `mmap(2)`
+    /// rejects), and for mapping failures.
+    Owned(Vec<u8>),
+}
+
+/// An immutable, shared view of a file's bytes: memory-mapped where the
+/// platform allows, an owned read everywhere else. Dereferences to
+/// `&[u8]`.
+#[derive(Debug)]
+pub struct Mmap {
+    inner: Inner,
+}
+
+impl Mmap {
+    /// Opens `path` read-only and maps (or reads) its full contents.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from opening or reading the file. A *mapping*
+    /// failure on a mappable target falls back to an owned read rather
+    /// than erroring.
+    pub fn open(path: &Path) -> io::Result<Mmap> {
+        let file = File::open(path)?;
+        Self::from_file(&file)
+    }
+
+    /// Maps (or reads) an already-open file.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from reading the file's metadata or contents.
+    pub fn from_file(file: &File) -> io::Result<Mmap> {
+        let len = usize::try_from(file.metadata()?.len())
+            .map_err(|_| io::Error::other("file too large to map"))?;
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        if len > 0 {
+            if let Ok(map) = sys::Map::new(file, len) {
+                return Ok(Mmap {
+                    inner: Inner::Mapped(map),
+                });
+            }
+        }
+        let mut buf = Vec::with_capacity(len);
+        let mut reader: &File = file;
+        io::Read::read_to_end(&mut reader, &mut buf)?;
+        Ok(Mmap {
+            inner: Inner::Owned(buf),
+        })
+    }
+
+    /// Whether the bytes are served by a real memory mapping (`true`)
+    /// or by the owned-read fallback (`false`).
+    pub fn is_mapped(&self) -> bool {
+        match &self.inner {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Inner::Mapped(_) => true,
+            Inner::Owned(_) => false,
+        }
+    }
+
+    /// The file's bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Inner::Mapped(m) => m.as_slice(),
+            Inner::Owned(v) => v,
+        }
+    }
+
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempfile(tag: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("probranch-mmap-{tag}-{}", std::process::id()));
+        std::fs::write(&path, bytes).expect("write temp file");
+        path
+    }
+
+    #[test]
+    fn maps_round_trip_file_bytes() {
+        let payload: Vec<u8> = (0..10_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let path = tempfile("roundtrip", &payload);
+        let map = Mmap::open(&path).expect("map");
+        assert_eq!(&*map, &payload[..]);
+        assert_eq!(map.len(), payload.len());
+        assert!(!map.is_empty());
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        assert!(map.is_mapped(), "64-bit unix must serve a real mapping");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_files_map_to_empty_slices() {
+        let path = tempfile("empty", b"");
+        let map = Mmap::open(&path).expect("map");
+        assert!(map.is_empty());
+        assert!(!map.is_mapped(), "empty files use the owned fallback");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_files_error() {
+        assert!(Mmap::open(Path::new("/nonexistent/probranch-mmap-test")).is_err());
+    }
+
+    #[test]
+    fn mappings_are_shareable_across_threads() {
+        let payload = vec![0xA5u8; 1 << 16];
+        let path = tempfile("threads", &payload);
+        let map = std::sync::Arc::new(Mmap::open(&path).expect("map"));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let map = std::sync::Arc::clone(&map);
+                s.spawn(move || assert!(map.iter().all(|&b| b == 0xA5)));
+            }
+        });
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -15,74 +15,166 @@
 //! never a wrong result.
 //!
 //! The format is a flat little-endian byte stream (no external
-//! dependencies), written atomically via a temp file + rename so a
-//! crashed or concurrent writer can never leave a half-written file
-//! under the final name.
+//! dependencies), written atomically via a temp file + rename (then a
+//! best-effort parent-directory fsync, so the *publication* survives a
+//! crash, not just the data) — a crashed or concurrent writer can never
+//! leave a half-written file under the final name. Writers that die
+//! between temp-file creation and the rename do leave orphaned
+//! `*.tmp.<pid>.<n>` files; [`sweep_stale_temps`] reaps those when the
+//! trace store opens.
+//!
+//! # Zero-copy loads (format v2)
+//!
+//! [`DynTrace::read_file`] memory-maps the file read-only and serves
+//! each chunk's record streams as borrowed little-endian views over the
+//! map ([`TraceChunk::is_mapped`]): a warm-start load materializes only
+//! the timing table, the architectural results and the derived
+//! predictor-request streams — the bulk record data stays in the page
+//! cache and is paged in on demand. Validation is still a single full
+//! pass (the whole-file digest reads the map once, with no second
+//! buffer); v2 keeps v1's byte layout — already stream-contiguous, and
+//! the reader decodes u32 streams with unaligned little-endian loads,
+//! so no padding is needed — but v1 files were produced before the
+//! mapped reader existed, and the version bump retires them (readers
+//! reject them and fall back to capture). [`DynTrace::read_file_owned`]
+//! decodes the same format into owned buffers, as the
+//! equivalence-testing and diagnostic path.
 
 use std::io::Write;
 use std::path::Path;
+use std::sync::Arc;
 
 use probranch_core::PbsStats;
+use probranch_mmap::Mmap;
 use probranch_rng::SplitMix64;
 
 use crate::decode::InstTiming;
 use crate::sim::SimConfig;
-use crate::trace::{DynTrace, TraceChunk, TraceFunctional};
+use crate::trace::{ByteView, DynTrace, TraceChunk, TraceFunctional, U32s, U8s};
 
 /// File magic: identifies a probranch trace file.
 const MAGIC: &[u8; 8] = b"PBTRACE\0";
 
 /// Version of the on-disk layout. Bump on any layout change; readers
-/// reject other versions (falling back to capture).
-pub const TRACE_FILE_VERSION: u32 = 1;
+/// reject other versions (falling back to capture). v2 == v1's byte
+/// layout, re-versioned when the memory-mapped reader landed.
+pub const TRACE_FILE_VERSION: u32 = 2;
 
 /// Word-folding digest over a byte stream (SplitMix64-mixed FNV-style
 /// accumulation): not cryptographic, but any truncation or flipped bit
 /// changes it with overwhelming probability.
 fn digest(bytes: &[u8]) -> u64 {
-    let mut h = 0x9E37_79B9_7F4A_7C15u64 ^ (bytes.len() as u64);
-    let mut words = bytes.chunks_exact(8);
-    for w in &mut words {
-        let v = u64::from_le_bytes(w.try_into().expect("8-byte chunk"));
-        h = SplitMix64::mix(h ^ v);
+    let mut d = StreamDigest::new(bytes.len() as u64);
+    d.update(bytes);
+    d.finish()
+}
+
+/// The incremental form of [`digest`]: byte-for-byte compatible however
+/// the input is split across [`update`](StreamDigest::update) calls, so
+/// the writer digests the trace while streaming it out instead of
+/// materializing one serialized copy first. Needs the total length
+/// up-front (the digest seeds with it) — the writer computes it exactly
+/// via [`DynTrace::encoded_len`].
+struct StreamDigest {
+    h: u64,
+    /// Bytes of a partially-filled 8-byte word carried between updates.
+    carry: [u8; 8],
+    carry_len: usize,
+}
+
+impl StreamDigest {
+    fn new(total_len: u64) -> StreamDigest {
+        StreamDigest {
+            h: 0x9E37_79B9_7F4A_7C15u64 ^ total_len,
+            carry: [0u8; 8],
+            carry_len: 0,
+        }
     }
-    let mut tail = [0u8; 8];
-    let rest = words.remainder();
-    tail[..rest.len()].copy_from_slice(rest);
-    SplitMix64::mix(h ^ u64::from_le_bytes(tail))
+
+    fn update(&mut self, mut bytes: &[u8]) {
+        if self.carry_len > 0 {
+            let take = (8 - self.carry_len).min(bytes.len());
+            self.carry[self.carry_len..self.carry_len + take].copy_from_slice(&bytes[..take]);
+            self.carry_len += take;
+            bytes = &bytes[take..];
+            if self.carry_len < 8 {
+                return;
+            }
+            self.h = SplitMix64::mix(self.h ^ u64::from_le_bytes(self.carry));
+            self.carry_len = 0;
+        }
+        let mut words = bytes.chunks_exact(8);
+        for w in &mut words {
+            let v = u64::from_le_bytes(w.try_into().expect("8-byte chunk"));
+            self.h = SplitMix64::mix(self.h ^ v);
+        }
+        let rest = words.remainder();
+        self.carry[..rest.len()].copy_from_slice(rest);
+        self.carry_len = rest.len();
+    }
+
+    fn finish(&self) -> u64 {
+        // The zero-padded tail word folds in unconditionally — even
+        // when the stream length is a word multiple — matching the
+        // one-shot form exactly.
+        let mut tail = [0u8; 8];
+        tail[..self.carry_len].copy_from_slice(&self.carry[..self.carry_len]);
+        SplitMix64::mix(self.h ^ u64::from_le_bytes(tail))
+    }
 }
 
 // ---- writer ---------------------------------------------------------------
 
-struct Enc {
-    buf: Vec<u8>,
+/// A digesting little-endian encoder over any byte sink: each value is
+/// folded into the running [`StreamDigest`] as it is written, so
+/// serialization is one pass with no in-memory copy of the file.
+struct Enc<W: Write> {
+    w: W,
+    digest: StreamDigest,
+    written: u64,
 }
 
-impl Enc {
-    fn u8(&mut self, v: u8) {
-        self.buf.push(v);
+impl<W: Write> Enc<W> {
+    fn bytes(&mut self, v: &[u8]) -> std::io::Result<()> {
+        self.digest.update(v);
+        self.written += v.len() as u64;
+        self.w.write_all(v)
     }
-    fn u16(&mut self, v: u16) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+    fn u8(&mut self, v: u8) -> std::io::Result<()> {
+        self.bytes(&[v])
     }
-    fn u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+    fn u16(&mut self, v: u16) -> std::io::Result<()> {
+        self.bytes(&v.to_le_bytes())
     }
-    fn u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+    fn u32(&mut self, v: u32) -> std::io::Result<()> {
+        self.bytes(&v.to_le_bytes())
     }
-    fn bytes(&mut self, v: &[u8]) {
-        self.buf.extend_from_slice(v);
+    fn u64(&mut self, v: u64) -> std::io::Result<()> {
+        self.bytes(&v.to_le_bytes())
     }
-    fn u32s(&mut self, v: &[u32]) {
-        for &x in v {
-            self.u32(x);
+    /// A chunk's u32 stream. A mapped stream is already the on-disk
+    /// little-endian bytes and passes straight through; an owned one is
+    /// converted through a small stack buffer.
+    fn u32_stream(&mut self, s: &U32s) -> std::io::Result<()> {
+        match s {
+            U32s::Owned(v) => {
+                let mut buf = [0u8; 4096];
+                for batch in v.chunks(buf.len() / 4) {
+                    for (i, &x) in batch.iter().enumerate() {
+                        buf[4 * i..4 * i + 4].copy_from_slice(&x.to_le_bytes());
+                    }
+                    self.bytes(&buf[..4 * batch.len()])?;
+                }
+                Ok(())
+            }
+            U32s::Mapped(b) => self.bytes(b.as_slice()),
         }
     }
-    fn u64s(&mut self, v: &[u64]) {
+    fn u64s(&mut self, v: &[u64]) -> std::io::Result<()> {
         for &x in v {
-            self.u64(x);
+            self.u64(x)?;
         }
+        Ok(())
     }
 }
 
@@ -114,23 +206,18 @@ impl<'a> Dec<'a> {
     fn u64(&mut self) -> Option<u64> {
         Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
     }
-    /// A length field that must also be plausible for the remaining
-    /// bytes (guards against allocating huge buffers for corrupt
-    /// lengths before the digest check would catch them).
-    fn len(&mut self, elem_bytes: usize) -> Option<usize> {
+    /// A count field that must also be plausible for the remaining
+    /// bytes, taking `min_elem_bytes` as each element's *minimum*
+    /// encoded size — for variable-size elements (output ports, chunks)
+    /// pass the smallest legal encoding, never 1, so a corrupt count
+    /// cannot pre-allocate more entries than the file could possibly
+    /// hold before the digest check would catch it.
+    fn len(&mut self, min_elem_bytes: usize) -> Option<usize> {
         let n = usize::try_from(self.u64()?).ok()?;
-        if n.checked_mul(elem_bytes.max(1))? > self.buf.len() - self.pos {
+        if n.checked_mul(min_elem_bytes.max(1))? > self.buf.len() - self.pos {
             return None;
         }
         Some(n)
-    }
-    fn u32s(&mut self, n: usize) -> Option<Vec<u32>> {
-        let raw = self.take(n.checked_mul(4)?)?;
-        Some(
-            raw.chunks_exact(4)
-                .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
-                .collect(),
-        )
     }
     fn u64s(&mut self, n: usize) -> Option<Vec<u64>> {
         let raw = self.take(n.checked_mul(8)?)?;
@@ -140,39 +227,81 @@ impl<'a> Dec<'a> {
                 .collect(),
         )
     }
+    /// A chunk u32 stream: a zero-copy view over the map when one backs
+    /// the decode, an owned decode otherwise. `self.buf` must be a
+    /// prefix of the map for the recorded offsets to be file offsets —
+    /// [`DynTrace::decode`] decodes the body, which starts at byte 0.
+    fn u32_stream(&mut self, n: usize, backing: Option<&Arc<Mmap>>) -> Option<U32s> {
+        let start = self.pos;
+        let raw = self.take(n.checked_mul(4)?)?;
+        Some(match backing {
+            Some(map) => U32s::Mapped(ByteView::new(Arc::clone(map), start, raw.len())),
+            None => U32s::Owned(
+                raw.chunks_exact(4)
+                    .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+                    .collect(),
+            ),
+        })
+    }
+    /// A chunk byte stream; backing as for [`Dec::u32_stream`].
+    fn u8_stream(&mut self, n: usize, backing: Option<&Arc<Mmap>>) -> Option<U8s> {
+        let start = self.pos;
+        let raw = self.take(n)?;
+        Some(match backing {
+            Some(map) => U8s::Mapped(ByteView::new(Arc::clone(map), start, raw.len())),
+            None => U8s::Owned(raw.to_vec()),
+        })
+    }
 }
 
 impl DynTrace {
-    /// Serializes the trace (with its identifying `content_hash`) into
-    /// the on-disk format.
-    fn encode(&self, content_hash: u64) -> Vec<u8> {
-        let mut e = Enc {
-            buf: Vec::with_capacity(64 + self.bytes()),
-        };
-        e.bytes(MAGIC);
-        e.u32(TRACE_FILE_VERSION);
-        e.u64(content_hash);
-        e.u64(self.functional.instructions);
-        e.u64(self.timings.len() as u64);
+    /// The exact serialized size of the trace, digest included — the
+    /// writer pre-computes it to seed the streaming digest (and as a
+    /// cheap cross-check that the streamed encoding matched).
+    fn encoded_len(&self) -> u64 {
+        // magic, version, content hash, instruction count.
+        let mut n = (MAGIC.len() + 4 + 8 + 8) as u64;
+        n += 8 + self.timings.len() as u64 * 9;
+        n += 8;
+        for (_, values) in &self.functional.outputs {
+            n += 2 + 8 + values.len() as u64 * 8;
+        }
+        n += 8 + self.functional.prob_consumed.len() as u64 * 8;
+        n += 1 + if self.functional.pbs.is_some() { 56 } else { 0 };
+        n += 8;
+        for c in &self.chunks {
+            // len, n_branches, open_run, then 6 B/record + 5 B/branch.
+            n += 8 + 8 + 4 + 6 * c.len() as u64 + 5 * c.branch_count() as u64;
+        }
+        n + 8 // trailing digest
+    }
+
+    /// Streams the serialized trace (sans trailing digest) into `e`.
+    fn encode_into<W: Write>(&self, e: &mut Enc<W>, content_hash: u64) -> std::io::Result<()> {
+        e.bytes(MAGIC)?;
+        e.u32(TRACE_FILE_VERSION)?;
+        e.u64(content_hash)?;
+        e.u64(self.functional.instructions)?;
+        e.u64(self.timings.len() as u64)?;
         for t in self.timings.iter() {
-            e.bytes(&t.uses);
-            e.u8(t.n_uses);
-            e.bytes(&t.defs);
-            e.u8(t.n_defs);
-            e.u8(t.class);
+            e.bytes(&t.uses)?;
+            e.u8(t.n_uses)?;
+            e.bytes(&t.defs)?;
+            e.u8(t.n_defs)?;
+            e.u8(t.class)?;
         }
-        e.u64(self.functional.outputs.len() as u64);
+        e.u64(self.functional.outputs.len() as u64)?;
         for (port, values) in &self.functional.outputs {
-            e.u16(*port);
-            e.u64(values.len() as u64);
-            e.u64s(values);
+            e.u16(*port)?;
+            e.u64(values.len() as u64)?;
+            e.u64s(values)?;
         }
-        e.u64(self.functional.prob_consumed.len() as u64);
-        e.u64s(&self.functional.prob_consumed);
+        e.u64(self.functional.prob_consumed.len() as u64)?;
+        e.u64s(&self.functional.prob_consumed)?;
         match &self.functional.pbs {
-            None => e.u8(0),
+            None => e.u8(0)?,
             Some(s) => {
-                e.u8(1);
+                e.u8(1)?;
                 e.u64s(&[
                     s.directed,
                     s.bootstrap,
@@ -181,28 +310,34 @@ impl DynTrace {
                     s.const_val_demotions,
                     s.evictions,
                     s.context_flushes,
-                ]);
+                ])?;
             }
         }
-        e.u64(self.chunks.len() as u64);
+        e.u64(self.chunks.len() as u64)?;
         for c in &self.chunks {
-            e.u64(c.pcs.len() as u64);
-            e.u64(c.branches.len() as u64);
-            e.u32(c.open_run);
-            e.u32s(&c.runs);
-            e.bytes(&c.branches);
-            e.u32s(&c.pcs);
-            e.bytes(&c.istalls);
-            e.bytes(&c.dlats);
+            e.u64(c.len() as u64)?;
+            e.u64(c.branch_count() as u64)?;
+            e.u32(c.open_run)?;
+            e.u32_stream(&c.runs)?;
+            e.bytes(c.branches.as_slice())?;
+            e.u32_stream(&c.pcs)?;
+            e.bytes(c.istalls.as_slice())?;
+            e.bytes(c.dlats.as_slice())?;
         }
-        let d = digest(&e.buf);
-        e.u64(d);
-        e.buf
+        Ok(())
     }
 
     /// Writes the trace to `path` atomically (temp file + rename), so a
     /// crash or a concurrent writer can never leave a torn file under
-    /// the final name.
+    /// the final name. After a successful rename the parent directory
+    /// is fsynced (best-effort) so the publication itself — not just
+    /// the file's data — survives a crash; without it a power loss
+    /// shortly after return could silently roll the directory back to
+    /// "no trace", costing a re-capture on the next cold start.
+    ///
+    /// The encoding streams through a buffered writer with an
+    /// incremental digest, so writing never materializes a serialized
+    /// copy of the trace in memory.
     ///
     /// # Errors
     ///
@@ -213,24 +348,44 @@ impl DynTrace {
         // otherwise share a temp file and could publish a torn (digest-
         // failing) trace.
         static WRITER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-        let bytes = self.encode(content_hash);
         let tmp = path.with_extension(format!(
             "tmp.{}.{}",
             std::process::id(),
             WRITER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
         ));
+        let total_len = self.encoded_len();
         {
-            let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(&bytes)?;
+            let f = std::fs::File::create(&tmp)?;
+            let mut e = Enc {
+                w: std::io::BufWriter::new(&f),
+                digest: StreamDigest::new(total_len - 8),
+                written: 0,
+            };
+            self.encode_into(&mut e, content_hash)?;
+            debug_assert_eq!(
+                e.written + 8,
+                total_len,
+                "encoded_len out of sync with the streamed encoding"
+            );
+            let d = e.digest.finish();
+            e.w.write_all(&d.to_le_bytes())?;
+            e.w.flush()?;
             f.sync_all()?;
         }
-        match std::fs::rename(&tmp, path) {
-            Ok(()) => Ok(()),
-            Err(e) => {
-                let _ = std::fs::remove_file(&tmp);
-                Err(e)
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+        // Durability of the *rename*: sync the directory entry.
+        // Best-effort — some filesystems reject directory fsync, and a
+        // failure here only risks a re-capture after a crash, never a
+        // wrong result.
+        if let Some(parent) = path.parent() {
+            if let Ok(dir) = std::fs::File::open(parent) {
+                let _ = dir.sync_all();
             }
         }
+        Ok(())
     }
 
     /// Loads a trace previously persisted with
@@ -240,12 +395,35 @@ impl DynTrace {
     /// whole-file digest, and is structurally consistent. `config`
     /// supplies the emulation key the returned trace replays under (the
     /// content hash asserts it matches what was captured).
+    ///
+    /// The file is memory-mapped read-only and the chunk record streams
+    /// of the returned trace are zero-copy views over the map (where
+    /// the platform supports it — see [`Mmap`]): validation is one full
+    /// pass over the map, and the load materializes only the timing
+    /// table, architectural results and derived request streams.
     pub fn read_file(path: &Path, content_hash: u64, config: &SimConfig) -> Option<DynTrace> {
-        let bytes = std::fs::read(path).ok()?;
-        Self::decode(&bytes, content_hash, config)
+        let map = Arc::new(Mmap::open(path).ok()?);
+        Self::decode(map.as_slice(), Some(&map), content_hash, config)
     }
 
-    fn decode(bytes: &[u8], content_hash: u64, config: &SimConfig) -> Option<DynTrace> {
+    /// [`read_file`](DynTrace::read_file) without the mapping: decodes
+    /// the same format into fully owned buffers. The equivalence and
+    /// diagnostic path — property tests assert it agrees with the
+    /// mapped load byte-for-byte.
+    pub fn read_file_owned(path: &Path, content_hash: u64, config: &SimConfig) -> Option<DynTrace> {
+        let bytes = std::fs::read(path).ok()?;
+        Self::decode(&bytes, None, content_hash, config)
+    }
+
+    /// Decodes `bytes`; when `backing` is the map those bytes came from
+    /// (with `bytes` starting at file offset 0), chunk streams become
+    /// zero-copy views into it instead of owned copies.
+    fn decode(
+        bytes: &[u8],
+        backing: Option<&Arc<Mmap>>,
+        content_hash: u64,
+        config: &SimConfig,
+    ) -> Option<DynTrace> {
         if bytes.len() < MAGIC.len() + 8 {
             return None;
         }
@@ -298,38 +476,31 @@ impl DynTrace {
             }
             _ => return None,
         };
-        let n_chunks = d.len(1)?;
+        // An empty chunk still encodes its three header fields.
+        let n_chunks = d.len(8 + 8 + 4)?;
         let mut chunks = Vec::with_capacity(n_chunks);
         let mut total = 0u64;
         for _ in 0..n_chunks {
             let len = d.len(6)?;
-            let n_branches = d.len(1)?;
+            // Each branch costs at least its run entry + branch byte.
+            let n_branches = d.len(5)?;
             let open_run = d.u32()?;
-            let runs = d.u32s(n_branches)?;
-            let branches = d.take(n_branches)?.to_vec();
-            let pcs = d.u32s(len)?;
-            let istalls = d.take(len)?.to_vec();
-            let dlats = d.take(len)?.to_vec();
+            let runs = d.u32_stream(n_branches, backing)?;
+            let branches = d.u8_stream(n_branches, backing)?;
+            let pcs = d.u32_stream(len, backing)?;
+            let istalls = d.u8_stream(len, backing)?;
+            let dlats = d.u8_stream(len, backing)?;
             // Structural consistency: the run index must tile the
             // record count, and every pc must index the timing table —
             // the invariants replay consumers rely on.
-            let indexed: u64 = runs.iter().map(|&r| u64::from(r)).sum::<u64>()
-                + n_branches as u64
-                + u64::from(open_run);
-            if indexed != len as u64 || pcs.iter().any(|&pc| pc as usize >= timings.len()) {
+            let indexed: u64 =
+                runs.iter().map(u64::from).sum::<u64>() + n_branches as u64 + u64::from(open_run);
+            if indexed != len as u64 || pcs.iter().any(|pc| pc as usize >= timings.len()) {
                 return None;
             }
             total += len as u64;
-            let mut chunk = TraceChunk {
-                pcs,
-                istalls,
-                dlats,
-                branches,
-                runs,
-                open_run,
-                breqs: Vec::new(),
-                breq_prob: Vec::new(),
-            };
+            let mut chunk =
+                TraceChunk::from_raw_streams(pcs, istalls, dlats, branches, runs, open_run);
             // The on-disk format carries only the raw streams; the
             // derived request stream is recomputed on load.
             chunk.rebuild_breqs();
@@ -351,6 +522,62 @@ impl DynTrace {
             emu: config.emu.clone(),
         })
     }
+}
+
+/// Reaps orphaned `*.tmp.<pid>.<n>` files in a trace directory —
+/// leftovers of writers killed between temp-file creation and the
+/// publishing rename, which nothing would otherwise ever delete.
+/// Returns the number of files removed.
+///
+/// A temp file is *stale* when its embedded writer pid is not this
+/// process (our own in-flight writers are never touched) and, on
+/// Linux, the pid no longer exists (`/proc/<pid>`). On other platforms
+/// liveness cannot be probed portably, so any other-process temp is
+/// treated as stale; a still-live foreign writer losing its temp fails
+/// its rename cleanly and falls back to capture — never a torn publish.
+/// Published `trace-*.bin` files are never candidates.
+pub fn sweep_stale_temps(dir: &Path) -> usize {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut reaped = 0usize;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(pid) = name.to_str().and_then(temp_writer_pid) else {
+            continue;
+        };
+        if pid == std::process::id() || writer_alive(pid) {
+            continue;
+        }
+        if std::fs::remove_file(entry.path()).is_ok() {
+            reaped += 1;
+        }
+    }
+    reaped
+}
+
+/// The writer pid of a `*.tmp.<pid>.<n>` temp name, `None` for
+/// anything else (published traces, unrelated files).
+fn temp_writer_pid(name: &str) -> Option<u32> {
+    let mut rev = name.rsplit('.');
+    let seq = rev.next()?;
+    let pid = rev.next()?;
+    if rev.next()? != "tmp" {
+        return None;
+    }
+    seq.parse::<u64>().ok()?;
+    pid.parse::<u32>().ok()
+}
+
+/// Whether the process that owned a temp file still exists.
+#[cfg(target_os = "linux")]
+fn writer_alive(pid: u32) -> bool {
+    Path::new("/proc").join(pid.to_string()).exists()
+}
+
+#[cfg(not(target_os = "linux"))]
+fn writer_alive(_pid: u32) -> bool {
+    false
 }
 
 #[cfg(test)]
@@ -403,10 +630,27 @@ mod tests {
         trace.write_file(&path, hash).expect("write");
         let back = DynTrace::read_file(&path, hash, &cfg).expect("load");
         assert_eq!(back, trace, "persisted trace must round-trip exactly");
+        // The load is zero-copy: every chunk borrows the file map (on
+        // targets with a real mmap; elsewhere the owned fallback still
+        // round-trips, it just reports unmapped).
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        assert_eq!(
+            back.mapped_chunks(),
+            back.chunk_count(),
+            "a warm-start load must not copy record streams"
+        );
+        // The owned decode path agrees with the mapped one exactly.
+        let owned = DynTrace::read_file_owned(&path, hash, &cfg).expect("owned load");
+        assert_eq!(owned, back);
+        assert_eq!(owned.mapped_chunks(), 0);
         // And the replay through the loaded trace is byte-identical.
         let timing_cfg = cfg.clone().predictor(PredictorChoice::Tournament);
         assert_eq!(
             simulate_replay(&back, &timing_cfg),
+            simulate_replay(&trace, &timing_cfg)
+        );
+        assert_eq!(
+            simulate_replay(&owned, &timing_cfg),
             simulate_replay(&trace, &timing_cfg)
         );
         std::fs::remove_dir_all(&dir).ok();
@@ -427,12 +671,17 @@ mod tests {
         assert!(DynTrace::read_file(&dir.join("absent.bin"), hash, &cfg).is_none());
 
         let pristine = std::fs::read(&path).unwrap();
-        // Truncations at every region boundary-ish size.
+        // Truncations at every region boundary-ish size — against both
+        // the mapped and the owned reader.
         for cut in [0, 7, 16, pristine.len() / 2, pristine.len() - 1] {
             std::fs::write(&path, &pristine[..cut]).unwrap();
             assert!(
                 DynTrace::read_file(&path, hash, &cfg).is_none(),
                 "truncated at {cut}"
+            );
+            assert!(
+                DynTrace::read_file_owned(&path, hash, &cfg).is_none(),
+                "owned reader accepted truncation at {cut}"
             );
         }
         // Single flipped bits across the file (magic, header, streams,
@@ -445,11 +694,20 @@ mod tests {
                 DynTrace::read_file(&path, hash, &cfg).is_none(),
                 "bit flip at {pos}"
             );
+            assert!(
+                DynTrace::read_file_owned(&path, hash, &cfg).is_none(),
+                "owned reader accepted bit flip at {pos}"
+            );
         }
-        // A different format version.
+        // A different format version (v1 files in particular: same byte
+        // layout, retired when the mapped reader landed).
         let mut bad = pristine.clone();
         bad[8] = bad[8].wrapping_add(1);
         std::fs::write(&path, &bad).unwrap();
+        assert!(DynTrace::read_file(&path, hash, &cfg).is_none());
+        let mut v1 = pristine.clone();
+        v1[8] = 1;
+        std::fs::write(&path, &v1).unwrap();
         assert!(DynTrace::read_file(&path, hash, &cfg).is_none());
 
         // The pristine bytes still load.
@@ -478,5 +736,57 @@ mod tests {
         let mut mem = base.clone();
         mem.emu.mem_words *= 2;
         assert_ne!(base.emu_key_fingerprint(), mem.emu_key_fingerprint());
+    }
+
+    #[test]
+    fn stale_writer_temps_are_swept_but_live_files_survive() {
+        let cfg = SimConfig::default();
+        let trace = DynTrace::capture(&workload(200), &cfg).unwrap();
+        let hash = cfg.emu_key_fingerprint();
+        let dir = tempdir("sweep");
+        let live = dir.join("trace-0000000000000abc.bin");
+        trace.write_file(&live, hash).expect("write");
+        // Orphans from two dead writers (no live process ever gets pid
+        // u32::MAX - k: Linux pids are capped far below), plus one from
+        // "our own" in-flight writer and one unrelated file.
+        let dead_a = dir.join("trace-0000000000000abc.tmp.4294967294.0");
+        let dead_b = dir.join("trace-00000000000000ff.tmp.4294967293.17");
+        let ours = dir.join(format!(
+            "trace-0000000000000abc.tmp.{}.99",
+            std::process::id()
+        ));
+        let unrelated = dir.join("notes.txt");
+        for p in [&dead_a, &dead_b, &ours, &unrelated] {
+            std::fs::write(p, b"half-written junk").unwrap();
+        }
+        assert_eq!(sweep_stale_temps(&dir), 2, "exactly the dead-writer temps");
+        assert!(!dead_a.exists() && !dead_b.exists());
+        assert!(ours.exists(), "own in-flight temps must survive");
+        assert!(unrelated.exists(), "non-temp files must survive");
+        assert!(live.exists());
+        // The published trace still loads after the sweep.
+        assert_eq!(DynTrace::read_file(&live, hash, &cfg).unwrap(), trace);
+        // Sweeping an absent directory is a no-op, not an error.
+        assert_eq!(sweep_stale_temps(&dir.join("absent")), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streamed_digest_matches_one_shot_for_any_split() {
+        let data: Vec<u8> = (0..1021u32).flat_map(|i| i.to_le_bytes()).collect();
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 65, data.len()] {
+            let bytes = &data[..len];
+            let expect = digest(bytes);
+            for split in [0usize, 1, 3, 5, 8, 13, len / 2, len] {
+                let split = split.min(len);
+                let mut d = StreamDigest::new(len as u64);
+                d.update(&bytes[..split]);
+                // Second half in deliberately awkward 3-byte dribbles.
+                for piece in bytes[split..].chunks(3) {
+                    d.update(piece);
+                }
+                assert_eq!(d.finish(), expect, "len {len}, split {split}");
+            }
+        }
     }
 }

@@ -61,8 +61,11 @@
 //! `tests/engine_equivalence.rs` and the capture-then-replay property
 //! test lock in.
 
+use std::sync::Arc;
+
 use probranch_core::{PbsConfig, PbsStats, PbsUnit};
 use probranch_isa::{ExecClass, Program};
+use probranch_mmap::Mmap;
 use probranch_predictor::{BranchPredictor, BranchReq, PredictorDispatch};
 
 use crate::cache::MemoryHierarchy;
@@ -178,22 +181,254 @@ impl ReplayRec {
     }
 }
 
+// ---- stream backing -------------------------------------------------------
+
+/// A borrowed byte region of a persisted trace file's read-only memory
+/// map. Every stream of every chunk loaded from one file shares the one
+/// `Arc`'d map; the view adds only a range.
+#[derive(Clone)]
+pub(crate) struct ByteView {
+    map: Arc<Mmap>,
+    start: usize,
+    len: usize,
+}
+
+impl ByteView {
+    /// A view of `map[start..start + len]`.
+    pub(crate) fn new(map: Arc<Mmap>, start: usize, len: usize) -> ByteView {
+        debug_assert!(start.checked_add(len).is_some_and(|end| end <= map.len()));
+        ByteView { map, start, len }
+    }
+
+    #[inline(always)]
+    pub(crate) fn as_slice(&self) -> &[u8] {
+        &self.map.as_slice()[self.start..self.start + self.len]
+    }
+}
+
+impl std::fmt::Debug for ByteView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ByteView")
+            .field("start", &self.start)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+/// A chunk's `u8` stream: owned by capture, or a zero-copy view over a
+/// mapped trace file. Consumers read either backing as one `&[u8]`.
+#[derive(Debug, Clone)]
+pub(crate) enum U8s {
+    /// Capture-side buffer.
+    Owned(Vec<u8>),
+    /// Borrowed bytes of a mapped file (persistence load path).
+    Mapped(ByteView),
+}
+
+impl U8s {
+    #[inline(always)]
+    pub(crate) fn as_slice(&self) -> &[u8] {
+        match self {
+            U8s::Owned(v) => v,
+            U8s::Mapped(b) => b.as_slice(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// The owned buffer — capture-side mutation only. Mapped streams
+    /// are immutable by construction; reaching this on one is a bug.
+    fn owned_mut(&mut self) -> &mut Vec<u8> {
+        match self {
+            U8s::Owned(v) => v,
+            U8s::Mapped(_) => unreachable!("mapped chunk streams are immutable"),
+        }
+    }
+
+    /// Empties the stream; a mapped backing reverts to an owned one.
+    fn clear(&mut self) {
+        match self {
+            U8s::Owned(v) => v.clear(),
+            m => *m = U8s::default(),
+        }
+    }
+
+    fn shrink_to_fit(&mut self) {
+        if let U8s::Owned(v) = self {
+            v.shrink_to_fit();
+        }
+    }
+
+    /// Heap bytes held — 0 for a mapped view: the pages behind it are
+    /// the OS page cache's to keep or reclaim, not pool-owned memory.
+    fn heap_bytes(&self) -> usize {
+        match self {
+            U8s::Owned(v) => v.capacity(),
+            U8s::Mapped(_) => 0,
+        }
+    }
+}
+
+impl Default for U8s {
+    fn default() -> U8s {
+        U8s::Owned(Vec::new())
+    }
+}
+
+impl PartialEq for U8s {
+    fn eq(&self, other: &U8s) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+/// A chunk's `u32` stream: owned by capture, or little-endian bytes
+/// over a mapped trace file, decoded on read (one unaligned LE load —
+/// free on the targets this runs on, and alignment-independent, so the
+/// on-disk layout needs no padding).
+#[derive(Debug, Clone)]
+pub(crate) enum U32s {
+    /// Capture-side buffer.
+    Owned(Vec<u32>),
+    /// Borrowed little-endian bytes of a mapped file; byte length is a
+    /// multiple of 4.
+    Mapped(ByteView),
+}
+
+impl U32s {
+    #[inline(always)]
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            U32s::Owned(v) => v.len(),
+            U32s::Mapped(b) => b.len / 4,
+        }
+    }
+
+    #[inline(always)]
+    pub(crate) fn get(&self, i: usize) -> u32 {
+        match self {
+            U32s::Owned(v) => v[i],
+            U32s::Mapped(b) => LeU32s(b.as_slice()).get(i),
+        }
+    }
+
+    /// The values in order, decoding mapped bytes on the fly. Cold
+    /// paths only — the chunk walk monomorphizes over [`U32Slice`]
+    /// instead of paying a backing match per element.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// The owned buffer — capture-side mutation only (see
+    /// [`U8s::owned_mut`]).
+    fn owned_mut(&mut self) -> &mut Vec<u32> {
+        match self {
+            U32s::Owned(v) => v,
+            U32s::Mapped(_) => unreachable!("mapped chunk streams are immutable"),
+        }
+    }
+
+    /// Empties the stream; a mapped backing reverts to an owned one.
+    fn clear(&mut self) {
+        match self {
+            U32s::Owned(v) => v.clear(),
+            m => *m = U32s::default(),
+        }
+    }
+
+    fn shrink_to_fit(&mut self) {
+        if let U32s::Owned(v) = self {
+            v.shrink_to_fit();
+        }
+    }
+
+    /// Heap bytes held — 0 for a mapped view (see [`U8s::heap_bytes`]).
+    fn heap_bytes(&self) -> usize {
+        match self {
+            U32s::Owned(v) => v.capacity() * 4,
+            U32s::Mapped(_) => 0,
+        }
+    }
+}
+
+impl Default for U32s {
+    fn default() -> U32s {
+        U32s::Owned(Vec::new())
+    }
+}
+
+impl PartialEq for U32s {
+    fn eq(&self, other: &U32s) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+/// A borrowed random-access u32 stream for the chunk walk: a native
+/// slice (owned chunks) or little-endian bytes (mapped chunks). The
+/// walk monomorphizes over this, so neither backing pays a per-record
+/// dispatch — the mapped path costs exactly one unaligned LE load per
+/// element.
+trait U32Slice: Copy {
+    /// Element `i`.
+    fn get(self, i: usize) -> u32;
+    /// The elements of `start..end`, in order.
+    fn iter_range(self, start: usize, end: usize) -> impl Iterator<Item = u32>;
+}
+
+impl U32Slice for &[u32] {
+    #[inline(always)]
+    fn get(self, i: usize) -> u32 {
+        self[i]
+    }
+
+    #[inline(always)]
+    fn iter_range(self, start: usize, end: usize) -> impl Iterator<Item = u32> {
+        self[start..end].iter().copied()
+    }
+}
+
+/// Little-endian u32 elements over raw mapped bytes.
+#[derive(Clone, Copy)]
+struct LeU32s<'a>(&'a [u8]);
+
+impl U32Slice for LeU32s<'_> {
+    #[inline(always)]
+    fn get(self, i: usize) -> u32 {
+        u32::from_le_bytes(self.0[4 * i..4 * i + 4].try_into().expect("4-byte element"))
+    }
+
+    #[inline(always)]
+    fn iter_range(self, start: usize, end: usize) -> impl Iterator<Item = u32> {
+        self.0[4 * start..4 * end]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte element")))
+    }
+}
+
 /// One chunk of a dynamic trace in structure-of-arrays form: parallel
 /// per-record streams plus a run-length index over non-branch runs (see
 /// the module docs).
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Each stream is either **owned** (capture) or a **zero-copy view**
+/// over a persisted file's read-only memory map (a v2 warm-start load,
+/// see `persist`). Consumers never care which: the chunk walk
+/// monomorphizes over the backing and every engine produces
+/// byte-identical reports either way. Equality is logical — an owned
+/// chunk and its mapped round-trip compare equal.
+#[derive(Debug, Clone, Default)]
 pub struct TraceChunk {
     /// PC per record, in program order.
-    pub(crate) pcs: Vec<u32>,
+    pub(crate) pcs: U32s,
     /// Fetch-stall cycles per record.
-    pub(crate) istalls: Vec<u8>,
+    pub(crate) istalls: U8s,
     /// Load-to-use latency per record (0 for non-loads).
-    pub(crate) dlats: Vec<u8>,
+    pub(crate) dlats: U8s,
     /// The packed branch byte of every *branch* record, in order —
     /// the zero bytes of non-branch records are elided.
-    pub(crate) branches: Vec<u8>,
+    pub(crate) branches: U8s,
     /// Non-branch run length preceding each entry of `branches`.
-    pub(crate) runs: Vec<u32>,
+    pub(crate) runs: U32s,
     /// Length of the still-open trailing non-branch run (a chunk that
     /// ends on a branch record leaves this 0).
     pub(crate) open_run: u32,
@@ -213,14 +448,38 @@ impl TraceChunk {
     /// — allocate once, refill per [`TraceStream::fill`] call.
     pub fn with_chunk_capacity() -> TraceChunk {
         TraceChunk {
-            pcs: Vec::with_capacity(TRACE_CHUNK_RECORDS),
-            istalls: Vec::with_capacity(TRACE_CHUNK_RECORDS),
-            dlats: Vec::with_capacity(TRACE_CHUNK_RECORDS),
+            pcs: U32s::Owned(Vec::with_capacity(TRACE_CHUNK_RECORDS)),
+            istalls: U8s::Owned(Vec::with_capacity(TRACE_CHUNK_RECORDS)),
+            dlats: U8s::Owned(Vec::with_capacity(TRACE_CHUNK_RECORDS)),
             // Branch density is workload-dependent; these grow on
             // demand and stabilize after the first refill.
-            branches: Vec::new(),
-            runs: Vec::new(),
+            branches: U8s::default(),
+            runs: U32s::default(),
             open_run: 0,
+            breqs: Vec::new(),
+            breq_prob: Vec::new(),
+        }
+    }
+
+    /// A chunk directly from its raw streams — the persistence load
+    /// path, where the streams may be zero-copy views over the file
+    /// map. The derived request stream is *not* built; the caller runs
+    /// [`rebuild_breqs`](TraceChunk::rebuild_breqs) after validation.
+    pub(crate) fn from_raw_streams(
+        pcs: U32s,
+        istalls: U8s,
+        dlats: U8s,
+        branches: U8s,
+        runs: U32s,
+        open_run: u32,
+    ) -> TraceChunk {
+        TraceChunk {
+            pcs,
+            istalls,
+            dlats,
+            branches,
+            runs,
+            open_run,
             breqs: Vec::new(),
             breq_prob: Vec::new(),
         }
@@ -233,7 +492,13 @@ impl TraceChunk {
 
     /// Whether the chunk holds no records.
     pub fn is_empty(&self) -> bool {
-        self.pcs.is_empty()
+        self.pcs.len() == 0
+    }
+
+    /// Whether the chunk's record streams are zero-copy views over a
+    /// mapped trace file rather than owned buffers.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.pcs, U32s::Mapped(_))
     }
 
     /// Number of branch records in the chunk.
@@ -256,12 +521,12 @@ impl TraceChunk {
     /// Appends one record in its raw stream form.
     #[inline(always)]
     fn push_raw(&mut self, pc: u32, branch_byte: u8, istall: u8, dlat: u8) {
-        self.pcs.push(pc);
-        self.istalls.push(istall);
-        self.dlats.push(dlat);
+        self.pcs.owned_mut().push(pc);
+        self.istalls.owned_mut().push(istall);
+        self.dlats.owned_mut().push(dlat);
         if branch_byte != 0 {
-            self.runs.push(self.open_run);
-            self.branches.push(branch_byte);
+            self.runs.owned_mut().push(self.open_run);
+            self.branches.owned_mut().push(branch_byte);
             self.open_run = 0;
             // A conditional branch has kind bits 0: only the present/
             // taken/prob flags may be set.
@@ -285,29 +550,35 @@ impl TraceChunk {
     /// the pack/unpack round-trip tests (hot consumers drain the SoA
     /// streams directly through [`walk_chunk`]).
     pub fn records(&self) -> impl Iterator<Item = ReplayRec> + '_ {
+        let run_at = |i: usize| {
+            if i < self.runs.len() {
+                self.runs.get(i)
+            } else {
+                self.open_run
+            }
+        };
+        let branches = self.branches.as_slice();
+        let istalls = self.istalls.as_slice();
+        let dlats = self.dlats.as_slice();
         let mut next_branch = 0usize;
-        let mut left_in_run = self.runs.first().copied().unwrap_or(self.open_run);
-        self.pcs
-            .iter()
-            .zip(&self.istalls)
-            .zip(&self.dlats)
-            .map(move |((&pc, &istall), &dlat)| {
-                let branch = if left_in_run > 0 {
-                    left_in_run -= 1;
-                    0u8
-                } else {
-                    let b = self.branches[next_branch];
-                    next_branch += 1;
-                    left_in_run = self.runs.get(next_branch).copied().unwrap_or(self.open_run);
-                    b
-                };
-                ReplayRec {
-                    pc,
-                    branch,
-                    istall,
-                    dlat,
-                }
-            })
+        let mut left_in_run = run_at(0);
+        (0..self.pcs.len()).map(move |i| {
+            let branch = if left_in_run > 0 {
+                left_in_run -= 1;
+                0u8
+            } else {
+                let b = branches[next_branch];
+                next_branch += 1;
+                left_in_run = run_at(next_branch);
+                b
+            };
+            ReplayRec {
+                pc: self.pcs.get(i),
+                branch,
+                istall: istalls[i],
+                dlat: dlats[i],
+            }
+        })
     }
 
     /// Drops the slack capacity of every stream (final chunk of a
@@ -326,15 +597,22 @@ impl TraceChunk {
     /// chunks reassembled from a persisted trace, whose serialized form
     /// carries only the raw streams.
     pub(crate) fn rebuild_breqs(&mut self) {
-        self.breqs.clear();
-        self.breq_prob.clear();
+        let TraceChunk {
+            pcs,
+            runs,
+            branches,
+            breqs,
+            breq_prob,
+            ..
+        } = self;
+        breqs.clear();
+        breq_prob.clear();
         let mut idx = 0usize;
-        for (&run, &byte) in self.runs.iter().zip(&self.branches) {
+        for (run, &byte) in runs.iter().zip(branches.as_slice()) {
             idx += run as usize;
             if byte & !(BR_TAKEN | BR_PROB) == BR_PRESENT {
-                self.breqs
-                    .push(BranchReq::new(self.pcs[idx] as u64, byte & BR_TAKEN != 0));
-                self.breq_prob.push(byte & BR_PROB != 0);
+                breqs.push(BranchReq::new(pcs.get(idx) as u64, byte & BR_TAKEN != 0));
+                breq_prob.push(byte & BR_PROB != 0);
             }
             idx += 1;
         }
@@ -342,14 +620,31 @@ impl TraceChunk {
 
     /// Heap bytes held by the chunk's stream buffers (capacity, not
     /// length — the number that matters for peak-memory accounting).
+    /// Mapped streams count 0: their pages belong to the OS page cache,
+    /// not the trace pool's budget.
     pub fn bytes(&self) -> usize {
-        self.pcs.capacity() * 4
-            + self.istalls.capacity()
-            + self.dlats.capacity()
-            + self.branches.capacity()
-            + self.runs.capacity() * 4
+        self.pcs.heap_bytes()
+            + self.istalls.heap_bytes()
+            + self.dlats.heap_bytes()
+            + self.branches.heap_bytes()
+            + self.runs.heap_bytes()
             + self.breqs.capacity() * std::mem::size_of::<BranchReq>()
             + self.breq_prob.capacity()
+    }
+}
+
+impl PartialEq for TraceChunk {
+    /// Logical equality over the *raw* streams — backing-agnostic (an
+    /// owned chunk equals its mapped round-trip), and the derived
+    /// `breqs`/`breq_prob` are excluded because the raw streams
+    /// determine them.
+    fn eq(&self, other: &TraceChunk) -> bool {
+        self.open_run == other.open_run
+            && self.pcs == other.pcs
+            && self.istalls == other.istalls
+            && self.dlats == other.dlats
+            && self.branches == other.branches
+            && self.runs == other.runs
     }
 }
 
@@ -369,33 +664,97 @@ pub(crate) trait ChunkVisitor {
 /// whole non-branch runs through `plain` — the branch test runs once
 /// per *run*, not once per record, and inside a run the `branch: None`
 /// arm of the cycle-accounting core constant-folds away. Each span is
-/// walked as three zipped subslices, so the per-record stream loads
+/// walked as three zipped per-record streams, so the per-record loads
 /// carry no per-record bounds checks.
+///
+/// The walk monomorphizes over the chunk's u32 backing ([`U32Slice`]):
+/// the owned arm is the pre-mmap slice walk unchanged, and the mapped
+/// arm decodes each little-endian element in place of a slice load —
+/// one specialization per (pcs, runs) backing pair, resolved once per
+/// chunk.
 #[inline(always)]
 pub(crate) fn walk_chunk<V: ChunkVisitor>(chunk: &TraceChunk, v: &mut V) {
+    let istalls = chunk.istalls.as_slice();
+    let dlats = chunk.dlats.as_slice();
+    let branches = chunk.branches.as_slice();
+    match (&chunk.pcs, &chunk.runs) {
+        (U32s::Owned(pcs), U32s::Owned(runs)) => walk_streams(
+            pcs.as_slice(),
+            runs.as_slice(),
+            istalls,
+            dlats,
+            branches,
+            chunk.open_run,
+            v,
+        ),
+        (U32s::Owned(pcs), U32s::Mapped(runs)) => walk_streams(
+            pcs.as_slice(),
+            LeU32s(runs.as_slice()),
+            istalls,
+            dlats,
+            branches,
+            chunk.open_run,
+            v,
+        ),
+        (U32s::Mapped(pcs), U32s::Owned(runs)) => walk_streams(
+            LeU32s(pcs.as_slice()),
+            runs.as_slice(),
+            istalls,
+            dlats,
+            branches,
+            chunk.open_run,
+            v,
+        ),
+        (U32s::Mapped(pcs), U32s::Mapped(runs)) => walk_streams(
+            LeU32s(pcs.as_slice()),
+            LeU32s(runs.as_slice()),
+            istalls,
+            dlats,
+            branches,
+            chunk.open_run,
+            v,
+        ),
+    }
+}
+
+/// The backing-generic body of [`walk_chunk`].
+#[inline(always)]
+fn walk_streams<P: U32Slice, R: U32Slice, V: ChunkVisitor>(
+    pcs: P,
+    runs: R,
+    istalls: &[u8],
+    dlats: &[u8],
+    branches: &[u8],
+    open_run: u32,
+    v: &mut V,
+) {
     #[inline(always)]
-    fn span<V: ChunkVisitor>(chunk: &TraceChunk, start: usize, len: usize, v: &mut V) {
+    fn span<P: U32Slice, V: ChunkVisitor>(
+        pcs: P,
+        istalls: &[u8],
+        dlats: &[u8],
+        start: usize,
+        len: usize,
+        v: &mut V,
+    ) {
         let end = start + len;
-        let pcs = &chunk.pcs[start..end];
-        let istalls = &chunk.istalls[start..end];
-        let dlats = &chunk.dlats[start..end];
-        for ((&pc, &istall), &dlat) in pcs.iter().zip(istalls).zip(dlats) {
+        for ((pc, &istall), &dlat) in pcs
+            .iter_range(start, end)
+            .zip(&istalls[start..end])
+            .zip(&dlats[start..end])
+        {
             v.plain(pc, istall, dlat);
         }
     }
     let mut idx = 0usize;
-    for (&run, &byte) in chunk.runs.iter().zip(&chunk.branches) {
-        span(chunk, idx, run as usize, v);
-        idx += run as usize;
-        v.branch(
-            chunk.pcs[idx],
-            chunk.istalls[idx],
-            chunk.dlats[idx],
-            decode_branch(byte),
-        );
+    for (i, &byte) in branches.iter().enumerate() {
+        let run = runs.get(i) as usize;
+        span(pcs, istalls, dlats, idx, run, v);
+        idx += run;
+        v.branch(pcs.get(idx), istalls[idx], dlats[idx], decode_branch(byte));
         idx += 1;
     }
-    span(chunk, idx, chunk.open_run as usize, v);
+    span(pcs, istalls, dlats, idx, open_run as usize, v);
 }
 
 /// The architectural results of a captured run — everything a
@@ -642,9 +1001,19 @@ impl DynTrace {
         &self.functional
     }
 
+    /// How many chunks are zero-copy views over a mapped trace file
+    /// (all of them after a warm-start load, none after a capture).
+    pub fn mapped_chunks(&self) -> usize {
+        self.chunks.iter().filter(|c| c.is_mapped()).count()
+    }
+
     /// Heap bytes held by the trace (record streams, timing table
     /// and architectural results) — the peak-memory figure the
-    /// throughput report surfaces per cell.
+    /// throughput report surfaces per cell, and the number the trace
+    /// pool's memory budget meters. Mapped record streams count 0
+    /// (their pages are the OS page cache's, reclaimable at will), so
+    /// demoting a trace to disk genuinely shrinks its pooled footprint
+    /// to the timing table plus derived request streams.
     pub fn bytes(&self) -> usize {
         self.chunks.iter().map(TraceChunk::bytes).sum::<usize>()
             + self.timings.len() * std::mem::size_of::<InstTiming>()

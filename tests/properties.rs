@@ -8,8 +8,9 @@ use probranch::isa::{
 };
 use probranch::pbs::{BranchResolution, PbsConfig, PbsUnit};
 use probranch::pipeline::{
-    simulate, simulate_replay, BranchEvent, BranchEventKind, Cache, DynTrace, EmuConfig, Emulator,
-    ExecLatencies, OooConfig, PredictorChoice, ReplayRec, SimConfig, TraceChunk,
+    simulate, simulate_replay, simulate_replay_convoy, BranchEvent, BranchEventKind, Cache,
+    DynTrace, EmuConfig, Emulator, ExecLatencies, OooConfig, PredictorChoice, ReplayRec, SimConfig,
+    TraceChunk,
 };
 use probranch::predictor::{BranchPredictor, TageScL, Tournament};
 
@@ -302,6 +303,54 @@ proptest! {
                 }
             }
         }
+    }
+
+    #[test]
+    fn mapped_trace_load_matches_owned_decode_and_replay(
+        cfg in sim_config_strategy(),
+        iters in 40i64..200,
+        content_hash in any::<u64>(),
+    ) {
+        // The zero-copy load invariant of the v2 trace store: for any
+        // capturable configuration, persisting a trace and loading it
+        // back memory-mapped yields a `DynTrace` equal to the fully
+        // owned decode of the same file, and every engine consuming the
+        // mapped chunks — single replay and multi-consumer convoy —
+        // returns byte-identical reports to the freshly captured,
+        // fully owned trace.
+        let program = replay_workload(iters);
+        // Budget-tripping configs have no trace to persist; the error
+        // agreement is covered by the capture round-trip test above.
+        let Ok(trace) = DynTrace::capture(&program, &cfg) else {
+            return Ok(());
+        };
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "probranch-prop-{}-{}.bin",
+            std::process::id(),
+            SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        trace.write_file(&path, content_hash).unwrap();
+        let mapped = DynTrace::read_file(&path, content_hash, &cfg);
+        let owned = DynTrace::read_file_owned(&path, content_hash, &cfg);
+        let _ = std::fs::remove_file(&path);
+        let (Some(mapped), Some(owned)) = (mapped, owned) else {
+            return Err(TestCaseError::fail("persisted trace failed to load"));
+        };
+        prop_assert_eq!(&mapped, &owned);
+        prop_assert_eq!(&mapped, &trace);
+        prop_assert_eq!(simulate_replay(&mapped, &cfg), simulate_replay(&trace, &cfg));
+        // Convoy over mapped chunks: two consumers sharing the map.
+        let mut other = cfg.clone();
+        other.predictor = match cfg.predictor {
+            PredictorChoice::Tournament => PredictorChoice::TageScL,
+            _ => PredictorChoice::Tournament,
+        };
+        let configs = [cfg.clone(), other];
+        prop_assert_eq!(
+            simulate_replay_convoy(&mapped, &configs),
+            simulate_replay_convoy(&trace, &configs)
+        );
     }
 
     #[test]
