@@ -18,7 +18,9 @@
 //! replay; both measure the same drain loop, so the cross-schema
 //! comparison stays meaningful within the gate's tolerance. v5 adds
 //! only store accounting — hits/demotions/evictions/peak bytes in the
-//! sweep section — so v4 and v5 cells compare directly.) Skips
+//! sweep section — and v6 only the self-healing counters
+//! (stale_rejected/quarantined), so v4 through v6 cells compare
+//! directly.) Skips
 //! entirely — exit 0 with a notice — when the baseline file is
 //! missing, a schema is unknown, or the two reports were measured at
 //! different scales.
@@ -31,12 +33,13 @@
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-const KNOWN_SCHEMAS: [&str; 5] = [
+const KNOWN_SCHEMAS: [&str; 6] = [
     "probranch-throughput/1",
     "probranch-throughput/2",
     "probranch-throughput/3",
     "probranch-throughput/4",
     "probranch-throughput/5",
+    "probranch-throughput/6",
 ];
 
 /// Extracts the raw text of `"key":<value>` from a single line, value

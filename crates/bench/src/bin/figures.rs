@@ -32,7 +32,8 @@
 
 use probranch_bench::experiments::{self, Engine, ExperimentScale};
 use probranch_bench::{render, throughput};
-use probranch_harness::Jobs;
+use probranch_faults as faults;
+use probranch_harness::{Jobs, StrictViolation, SupervisedError, Supervision};
 
 struct Options {
     scale: ExperimentScale,
@@ -41,6 +42,10 @@ struct Options {
     bench_json: Option<String>,
     trace_dir: Option<String>,
     trace_mem_budget: Option<usize>,
+    fault_plan: Option<faults::FaultPlan>,
+    strict_traces: bool,
+    cell_retries: Option<u32>,
+    cell_deadline_ms: Option<u64>,
 }
 
 /// Parses a byte count with an optional `k`/`m`/`g` (KiB/MiB/GiB)
@@ -66,12 +71,23 @@ fn parse_args() -> Options {
     let mut bench_json: Option<String> = None;
     let mut trace_dir: Option<String> = None;
     let mut trace_mem_budget: Option<usize> = None;
+    let mut fault_plan: Option<faults::FaultPlan> = None;
+    let mut strict_traces = false;
+    let mut cell_retries: Option<u32> = None;
+    let mut cell_deadline_ms: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let (flag, value) = match arg.as_str() {
             "--help" | "-h" => usage(""),
+            "--strict-traces" => {
+                if strict_traces {
+                    usage("--strict-traces given twice");
+                }
+                strict_traces = true;
+                continue;
+            }
             "--scale" | "--jobs" | "--engine" | "--emit-bench-json" | "--trace-dir"
-            | "--trace-mem-budget" => {
+            | "--trace-mem-budget" | "--fault-plan" | "--cell-retries" | "--cell-deadline-ms" => {
                 let v = args
                     .next()
                     .unwrap_or_else(|| usage(&format!("{arg} needs a value")));
@@ -82,7 +98,10 @@ fn parse_args() -> Options {
                 || arg.starts_with("--engine=")
                 || arg.starts_with("--emit-bench-json=")
                 || arg.starts_with("--trace-dir=")
-                || arg.starts_with("--trace-mem-budget=") =>
+                || arg.starts_with("--trace-mem-budget=")
+                || arg.starts_with("--fault-plan=")
+                || arg.starts_with("--cell-retries=")
+                || arg.starts_with("--cell-deadline-ms=") =>
             {
                 let (f, v) = arg.split_once('=').expect("checked above");
                 (f.to_string(), v.to_string())
@@ -143,7 +162,47 @@ fn parse_args() -> Options {
                         .unwrap_or_else(|| usage(&format!("invalid byte count `{value}`"))),
                 );
             }
+            "--fault-plan" => {
+                if fault_plan.is_some() {
+                    usage("--fault-plan given twice");
+                }
+                fault_plan = Some(
+                    faults::FaultPlan::parse(&value)
+                        .unwrap_or_else(|e| usage(&format!("invalid fault plan `{value}`: {e}"))),
+                );
+            }
+            "--cell-retries" => {
+                if cell_retries.is_some() {
+                    usage("--cell-retries given twice");
+                }
+                cell_retries = Some(
+                    value
+                        .parse()
+                        .unwrap_or_else(|_| usage(&format!("invalid retry count `{value}`"))),
+                );
+            }
+            "--cell-deadline-ms" => {
+                if cell_deadline_ms.is_some() {
+                    usage("--cell-deadline-ms given twice");
+                }
+                cell_deadline_ms = Some(
+                    value
+                        .parse()
+                        .unwrap_or_else(|_| usage(&format!("invalid deadline `{value}`"))),
+                );
+            }
             _ => unreachable!(),
+        }
+    }
+    // The PROBRANCH_FAULTS environment variable seeds a plan when the
+    // flag is absent (the torture CI job's hook).
+    if fault_plan.is_none() {
+        if let Ok(spec) = std::env::var("PROBRANCH_FAULTS") {
+            if !spec.is_empty() {
+                fault_plan = Some(faults::FaultPlan::parse(&spec).unwrap_or_else(|e| {
+                    usage(&format!("invalid PROBRANCH_FAULTS plan `{spec}`: {e}"))
+                }));
+            }
         }
     }
     Options {
@@ -153,11 +212,15 @@ fn parse_args() -> Options {
         bench_json,
         trace_dir,
         trace_mem_budget,
+        fault_plan,
+        strict_traces,
+        cell_retries,
+        cell_deadline_ms,
     }
 }
 
 fn usage(error: &str) -> ! {
-    let text = "usage: figures [--scale smoke|bench|paper] [--jobs N]\n               [--engine replay|convoy|fused|reference]\n               [--trace-dir DIR] [--trace-mem-budget BYTES]\n               [--emit-bench-json PATH]\n       (or set PROBRANCH_SCALE / PROBRANCH_JOBS; default: bench scale,\n        all cores; --jobs 0 also means all cores)\n       --engine: simulation engine for the timing sweeps (default:\n        replay — emulate each workload once per (workload, seed, PBS)\n        key into a run-wide trace pool shared by every sweep, and\n        re-time the pooled trace for every predictor/core/filter cell;\n        convoy regroups each sweep into streamed fused per-key convoys,\n        fused/reference re-simulate every cell — both for differential\n        debugging). All four print byte-identical tables.\n       --trace-dir DIR: persist captured traces under DIR, keyed by a\n        content hash of (workload, seed derivation, PBS/emulator\n        config, ISA version); later runs memory-map the files instead\n        of emulating (zero-copy record streams). Stale or corrupt files\n        fall back to capture; orphaned writer temp files are swept on\n        open. stdout stays byte-identical with or without the flag.\n       --trace-mem-budget BYTES: bound the in-memory trace pool\n        (optional k/m/g suffix, e.g. 64m). Over budget, the coldest\n        pooled traces are demoted to their mmap-backed persisted form\n        (with --trace-dir) or evicted and re-captured on next use.\n        stdout stays byte-identical for any budget.\n       --emit-bench-json PATH: run the sim-throughput sweep instead of\n        the figures, writing measured MIPS per cell (fused, reference,\n        replay and fused-convoy engines, per-key trace-capture\n        overhead, plus the shared-pool fig6+fig7 sweep aggregate) to\n        PATH (serial unless --jobs is given; all wall-clock timing\n        lives here)";
+    let text = "usage: figures [--scale smoke|bench|paper] [--jobs N]\n               [--engine replay|convoy|fused|reference]\n               [--trace-dir DIR] [--trace-mem-budget BYTES]\n               [--fault-plan SPEC] [--strict-traces]\n               [--cell-retries N] [--cell-deadline-ms MS]\n               [--emit-bench-json PATH]\n       --fault-plan SPEC: arm seeded failpoints for the run, e.g.\n        `seed=7,persist.write=0.5x3,cell.panic=0.2` (sites:\n        persist.write/.enospc/.short/.fsync/.rename, mmap.load,\n        capture, cell.panic, cell.delay; probability in [0,1], optional\n        xCOUNT budget). Decisions are pure functions of (seed, site,\n        salt), so a plan misbehaves identically across reruns and\n        worker counts. PROBRANCH_FAULTS holds a plan when the flag is\n        absent. The run either survives with byte-identical stdout or\n        exits 3 with a structured error naming the exhausted cell.\n       --strict-traces: turn every degradation path (stale rejection,\n        quarantine, persistence shutdown, engine fallback) into a hard\n        structured error instead of self-healing.\n       --cell-retries N: extra attempts per supervised cell\n        (default 3: requested engine twice, then fused, then\n        reference).\n       --cell-deadline-ms MS: soft per-cell deadline; overrunning\n        cells are reported on stderr, never killed.\n       (or set PROBRANCH_SCALE / PROBRANCH_JOBS; default: bench scale,\n        all cores; --jobs 0 also means all cores)\n       --engine: simulation engine for the timing sweeps (default:\n        replay — emulate each workload once per (workload, seed, PBS)\n        key into a run-wide trace pool shared by every sweep, and\n        re-time the pooled trace for every predictor/core/filter cell;\n        convoy regroups each sweep into streamed fused per-key convoys,\n        fused/reference re-simulate every cell — both for differential\n        debugging). All four print byte-identical tables.\n       --trace-dir DIR: persist captured traces under DIR, keyed by a\n        content hash of (workload, seed derivation, PBS/emulator\n        config, ISA version); later runs memory-map the files instead\n        of emulating (zero-copy record streams). Stale or corrupt files\n        fall back to capture; orphaned writer temp files are swept on\n        open. stdout stays byte-identical with or without the flag.\n       --trace-mem-budget BYTES: bound the in-memory trace pool\n        (optional k/m/g suffix, e.g. 64m). Over budget, the coldest\n        pooled traces are demoted to their mmap-backed persisted form\n        (with --trace-dir) or evicted and re-captured on next use.\n        stdout stays byte-identical for any budget.\n       --emit-bench-json PATH: run the sim-throughput sweep instead of\n        the figures, writing measured MIPS per cell (fused, reference,\n        replay and fused-convoy engines, per-key trace-capture\n        overhead, plus the shared-pool fig6+fig7 sweep aggregate) to\n        PATH (serial unless --jobs is given; all wall-clock timing\n        lives here)";
     if error.is_empty() {
         println!("{text}");
         std::process::exit(0);
@@ -183,6 +246,42 @@ fn run_bench_json(path: &str, scale: ExperimentScale, jobs: Option<Jobs>) {
     );
 }
 
+/// The full figure run, in paper order. Panics raised by supervised
+/// sweeps carry typed payloads `main` renders as structured errors.
+fn run_figures(scale: ExperimentScale, jobs: Jobs, engine: Engine, ctx: &experiments::Context) {
+    println!("{}", render::table2(&experiments::table2(scale, jobs)));
+    println!("{}", render::table1(&experiments::table1(jobs)));
+    println!(
+        "{}",
+        render::fig1(&experiments::fig1_with_ctx(scale, jobs, engine, ctx))
+    );
+    println!(
+        "{}",
+        render::fig6(&experiments::fig6_with_ctx(scale, jobs, engine, ctx))
+    );
+    println!(
+        "{}",
+        render::ipc(
+            &experiments::fig7_with_ctx(scale, jobs, engine, ctx),
+            "FIG 7 — normalized IPC, 4-wide / 168-entry ROB"
+        )
+    );
+    println!(
+        "{}",
+        render::ipc(
+            &experiments::fig8_with_ctx(scale, jobs, engine, ctx),
+            "FIG 8 — normalized IPC, 8-wide / 256-entry ROB"
+        )
+    );
+    println!(
+        "{}",
+        render::fig9(&experiments::fig9_with_ctx(scale, jobs, engine, ctx))
+    );
+    println!("{}", render::table3(&experiments::table3(scale, jobs)));
+    println!("{}", render::accuracy(&experiments::accuracy(scale, jobs)));
+    println!("{}", render::cost(&experiments::hardware_cost()));
+}
+
 fn main() {
     let opts = parse_args();
     if let Some(path) = &opts.bench_json {
@@ -192,12 +291,26 @@ fn main() {
     let scale = opts.scale;
     let jobs = opts.jobs.unwrap_or_else(Jobs::from_env);
     let engine = opts.engine;
+    let mut supervision = Supervision::default_robust();
+    if let Some(r) = opts.cell_retries {
+        supervision = supervision.with_retries(r);
+    }
+    if let Some(ms) = opts.cell_deadline_ms {
+        supervision = supervision.with_deadline(std::time::Duration::from_millis(ms));
+    }
+    let faulted = opts.fault_plan.is_some();
+    if let Some(plan) = opts.fault_plan {
+        eprintln!("fault plan armed: {}", plan.spec());
+        faults::install(plan);
+    }
     // One trace pool for the whole run: every timing sweep below shares
     // it, so an emulation key is captured (or disk-loaded) exactly once
     // per invocation no matter how many figures revisit it.
-    let ctx = experiments::Context::with_store(
+    let ctx = experiments::Context::with_robustness(
         opts.trace_dir.as_ref().map(Into::into),
         opts.trace_mem_budget,
+        opts.strict_traces,
+        supervision,
     );
     // The job count and engine go to stderr: stdout must stay
     // byte-identical across worker counts, engines *and* warm/cold
@@ -205,37 +318,9 @@ fn main() {
     println!("probranch — regenerating all tables & figures at {scale:?} scale\n");
     eprintln!("running with {jobs} jobs, {} engine", engine.name());
 
-    println!("{}", render::table2(&experiments::table2(scale, jobs)));
-    println!("{}", render::table1(&experiments::table1(jobs)));
-    println!(
-        "{}",
-        render::fig1(&experiments::fig1_with_ctx(scale, jobs, engine, &ctx))
-    );
-    println!(
-        "{}",
-        render::fig6(&experiments::fig6_with_ctx(scale, jobs, engine, &ctx))
-    );
-    println!(
-        "{}",
-        render::ipc(
-            &experiments::fig7_with_ctx(scale, jobs, engine, &ctx),
-            "FIG 7 — normalized IPC, 4-wide / 168-entry ROB"
-        )
-    );
-    println!(
-        "{}",
-        render::ipc(
-            &experiments::fig8_with_ctx(scale, jobs, engine, &ctx),
-            "FIG 8 — normalized IPC, 8-wide / 256-entry ROB"
-        )
-    );
-    println!(
-        "{}",
-        render::fig9(&experiments::fig9_with_ctx(scale, jobs, engine, &ctx))
-    );
-    println!("{}", render::table3(&experiments::table3(scale, jobs)));
-    println!("{}", render::accuracy(&experiments::accuracy(scale, jobs)));
-    println!("{}", render::cost(&experiments::hardware_cost()));
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_figures(scale, jobs, engine, &ctx);
+    }));
     eprintln!(
         "run pool: {} keys, {} captures, {} disk loads, {} grid hits, {} MiB",
         ctx.keys(),
@@ -251,4 +336,38 @@ fn main() {
         ctx.evictions(),
         ctx.peak_bytes() / (1 << 20)
     );
+    eprintln!(
+        "robustness: {} retried, {} degraded, {} over deadline; {} stale rejected, {} quarantined, {} io retries, {} write failures, persistence {}",
+        ctx.retried_cells(),
+        ctx.degraded_cells(),
+        ctx.over_deadline_cells(),
+        ctx.traces().stale_rejected(),
+        ctx.traces().quarantined(),
+        ctx.traces().io_retries(),
+        ctx.traces().write_failures(),
+        if ctx.traces().persistence_disabled() {
+            "disabled"
+        } else {
+            "on"
+        }
+    );
+    if faulted {
+        eprintln!("fault sites hit: {}", faults::hits_summary());
+    }
+    if let Err(payload) = outcome {
+        // A supervised cell that exhausted every attempt (or a strict
+        // violation) surfaces as a structured error attributing the
+        // exhausted site, not a crash.
+        let msg = if let Some(e) = payload.downcast_ref::<SupervisedError>() {
+            e.to_string()
+        } else if let Some(v) = payload.downcast_ref::<StrictViolation>() {
+            v.to_string()
+        } else {
+            // A genuine bug: re-raise so the default abort path (and
+            // its backtrace machinery) reports it unchanged.
+            std::panic::resume_unwind(payload);
+        };
+        eprintln!("error: {msg}");
+        std::process::exit(3);
+    }
 }

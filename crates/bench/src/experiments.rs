@@ -20,9 +20,14 @@
 //! all four produce byte-identical rows.
 
 use probranch_core::PbsConfig;
-use probranch_harness::{run_cells, workload_seed, Cell, EngineContext, Jobs};
+use probranch_faults as faults;
+use probranch_harness::{
+    run_cells, run_cells_supervised, workload_seed, Attempt, Cell, CellOutcome, EngineContext,
+    Jobs, Supervision,
+};
 use probranch_pipeline::{
-    run_functional, DynTrace, OooConfig, PredictorChoice, SimConfig, SimReport, Simulation,
+    run_functional, DynTrace, EmuError, OooConfig, PredictorChoice, SimConfig, SimReport,
+    Simulation,
 };
 use probranch_rng::SplitMix64;
 use probranch_stats::randomness::{run_battery, BatteryCounts};
@@ -167,12 +172,26 @@ type GridKey = (ExperimentScale, Engine, u64);
 /// are deterministic memoizations of pure functions, so rows are
 /// byte-identical with or without sharing — the engine-diff and
 /// determinism gates check exactly that.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Context {
     traces: EngineContext<EmuKey>,
     grids:
         std::sync::Mutex<std::collections::HashMap<GridKey, std::sync::Arc<Vec<Vec<SimReport>>>>>,
     grid_hits: std::sync::atomic::AtomicUsize,
+    supervision: Supervision,
+    outcomes: std::sync::Mutex<Vec<CellOutcome>>,
+}
+
+impl Default for Context {
+    fn default() -> Context {
+        Context {
+            traces: EngineContext::default(),
+            grids: std::sync::Mutex::default(),
+            grid_hits: std::sync::atomic::AtomicUsize::new(0),
+            supervision: Supervision::default_robust(),
+            outcomes: std::sync::Mutex::default(),
+        }
+    }
 }
 
 impl Context {
@@ -191,8 +210,23 @@ impl Context {
     /// [`EngineContext::with_options`] for the demotion/eviction
     /// semantics).
     pub fn with_store(trace_dir: Option<std::path::PathBuf>, mem_budget: Option<usize>) -> Context {
+        Context::with_robustness(trace_dir, mem_budget, false, Supervision::default_robust())
+    }
+
+    /// [`with_store`](Context::with_store) plus the robustness policy:
+    /// `strict` turns every self-healing path (stale rejection,
+    /// quarantine, persistence shutdown, engine degradation) into a
+    /// hard structured error, and `supervision` sets the per-cell
+    /// retry/deadline envelope of the supervised sweeps.
+    pub fn with_robustness(
+        trace_dir: Option<std::path::PathBuf>,
+        mem_budget: Option<usize>,
+        strict: bool,
+        supervision: Supervision,
+    ) -> Context {
         Context {
-            traces: EngineContext::with_options(trace_dir, mem_budget),
+            traces: EngineContext::with_robustness(trace_dir, mem_budget, strict),
+            supervision,
             ..Context::default()
         }
     }
@@ -200,6 +234,80 @@ impl Context {
     /// The underlying trace pool.
     pub fn traces(&self) -> &EngineContext<EmuKey> {
         &self.traces
+    }
+
+    /// Whether this context runs under `--strict-traces`.
+    pub fn strict(&self) -> bool {
+        self.traces.strict()
+    }
+
+    /// The per-cell supervision policy of the timing sweeps.
+    pub fn supervision(&self) -> Supervision {
+        self.supervision
+    }
+
+    /// Outcomes of every supervised cell that did not sail through on
+    /// its first attempt, across all sweeps run through this context.
+    pub fn cell_outcomes(&self) -> Vec<CellOutcome> {
+        self.outcomes.lock().expect("outcome lock").clone()
+    }
+
+    /// Supervised cells that needed more than one attempt.
+    pub fn retried_cells(&self) -> usize {
+        self.outcomes
+            .lock()
+            .expect("outcome lock")
+            .iter()
+            .filter(|o| o.attempts > 1)
+            .count()
+    }
+
+    /// Supervised cells whose surviving attempt ran a degraded engine.
+    pub fn degraded_cells(&self) -> usize {
+        self.outcomes
+            .lock()
+            .expect("outcome lock")
+            .iter()
+            .filter(|o| !o.label.is_empty())
+            .count()
+    }
+
+    /// Supervised cells the watchdog saw overrun the soft deadline.
+    pub fn over_deadline_cells(&self) -> usize {
+        self.outcomes
+            .lock()
+            .expect("outcome lock")
+            .iter()
+            .filter(|o| o.over_deadline)
+            .count()
+    }
+
+    /// Runs one supervised sweep: results in cell-index order
+    /// (byte-identical to an unsupervised run whenever every cell
+    /// eventually succeeds), non-clean outcomes folded into this
+    /// context's tally. A cell that exhausts its attempts raises the
+    /// typed [`SupervisedError`](probranch_harness::SupervisedError)
+    /// as a panic payload; the figures binary catches it and renders a
+    /// structured error instead of a crash (the quiet panic hook keeps
+    /// the unwind silent).
+    fn sweep<T: Sync, R: Send>(
+        &self,
+        cells: &[T],
+        jobs: Jobs,
+        run: impl Fn(&T, &Attempt) -> R + Sync,
+    ) -> Vec<R> {
+        match run_cells_supervised(cells, jobs, self.supervision, run) {
+            Ok(done) => {
+                if !done.outcomes.is_empty() {
+                    self.outcomes
+                        .lock()
+                        .expect("outcome lock")
+                        .extend(done.outcomes);
+                }
+                done.results
+            }
+            Err(e) => std::panic::panic_any(e),
+        }
     }
 
     /// Emulations actually performed through this context.
@@ -312,10 +420,17 @@ fn cell_trace(
     scale: ExperimentScale,
     cfg: &SimConfig,
     ctx: &Context,
+    attempt: u64,
 ) -> std::sync::Arc<DynTrace> {
     let key = (cell.workload, cell.seed, cell.pbs, scale);
+    let hash = trace_content_hash(cell, scale, cfg);
     ctx.traces
-        .get_or_capture(key, trace_content_hash(cell, scale, cfg), cfg, || {
+        .get_or_capture(key, hash, cfg, || {
+            if faults::injected(faults::Site::Capture, &[hash, attempt]) {
+                return Err(EmuError::InjectedFault {
+                    site: faults::Site::Capture.name(),
+                });
+            }
             let bench = cell.workload.build(scale.workload(), cell.workload_seed());
             DynTrace::capture(&bench.program(), cfg)
         })
@@ -333,6 +448,7 @@ fn sim_cell_engine(
     core: OooConfig,
     engine: Engine,
     ctx: &Context,
+    attempt: u64,
 ) -> SimReport {
     match engine {
         Engine::Fused => sim_cell(cell, scale, core),
@@ -345,12 +461,78 @@ fn sim_cell_engine(
         }
         Engine::Replay | Engine::Convoy => {
             let cfg = cell_config(cell, core);
-            let trace = cell_trace(cell, scale, &cfg, ctx);
+            let trace = cell_trace(cell, scale, &cfg, ctx, attempt);
             Simulation::new(Engine::Replay)
                 .replay(&trace, &cfg)
                 .unwrap_or_else(|e| panic!("{:?}: {e}", cell.workload))
         }
     }
+}
+
+/// The engine attempt `number` of a supervised cell actually runs: the
+/// requested engine twice, then the degradation cascade — fused, then
+/// reference — so a cell whose trace capture or replay keeps failing
+/// still retires. Engine equivalence (locked in by
+/// `tests/engine_equivalence.rs`) keeps degraded rows byte-identical
+/// to clean ones. Under `--strict-traces` the cascade is off: the
+/// requested engine either succeeds or the cell's failure surfaces as
+/// a structured error.
+fn engine_for_attempt(requested: Engine, number: u32, strict: bool) -> Engine {
+    match number {
+        _ if strict => requested,
+        0 | 1 => requested,
+        2 => Engine::Fused,
+        _ => Engine::Reference,
+    }
+}
+
+/// One supervised timing cell: the injectable cell-body fault sites
+/// fire first (salted by cell identity and attempt ordinal, so retries
+/// re-roll), then the cell simulates under the cascade engine for this
+/// attempt, labelling itself when it degraded.
+fn sim_cell_supervised(
+    cell: &Cell,
+    scale: ExperimentScale,
+    core: OooConfig,
+    requested: Engine,
+    ctx: &Context,
+    attempt: &Attempt,
+) -> SimReport {
+    faults::cell_faults(&[cell.stable_hash(), attempt.number as u64]);
+    let engine = engine_for_attempt(requested, attempt.number, ctx.strict());
+    if engine != requested {
+        attempt.set_label(engine.name());
+    }
+    sim_cell_engine(cell, scale, core, engine, ctx, attempt.number as u64)
+}
+
+/// [`convoy_key`] under supervision: a degraded attempt re-simulates
+/// the key's configurations individually on the cascade engine instead
+/// of draining the streamed convoy, preserving report order (and, by
+/// engine equivalence, bytes).
+fn convoy_key_supervised(
+    workload: BenchmarkId,
+    seed: u64,
+    scale: ExperimentScale,
+    configs: &[SimConfig],
+    attempt: &Attempt,
+    strict: bool,
+) -> Vec<SimReport> {
+    let engine = engine_for_attempt(Engine::Convoy, attempt.number, strict);
+    if engine == Engine::Convoy {
+        return convoy_key(workload, seed, scale, configs);
+    }
+    attempt.set_label(engine.name());
+    let bench = workload.build(scale.workload(), workload_seed(workload, seed));
+    let program = bench.program();
+    let sim = Simulation::new(engine);
+    configs
+        .iter()
+        .map(|cfg| {
+            sim.run(&program, cfg)
+                .unwrap_or_else(|e| panic!("{}: {e}", bench.name()))
+        })
+        .collect()
 }
 
 /// One emulation key's cells as a **streamed fused convoy**: builds the
@@ -412,10 +594,11 @@ pub fn fig1_with_ctx(
     let reports: Vec<SimReport> = if engine == Engine::Convoy {
         // One streamed fused convoy per benchmark: both predictors in
         // lockstep from a single capture stream.
-        run_cells(&BenchmarkId::ALL, jobs, |&w| {
+        ctx.sweep(&BenchmarkId::ALL, jobs, |&w, attempt| {
+            faults::cell_faults(&[w as u64, attempt.number as u64]);
             let configs =
                 PREDICTORS.map(|p| cell_config(&Cell::new(w, p, false, 0), OooConfig::default()));
-            convoy_key(w, 0, scale, &configs)
+            convoy_key_supervised(w, 0, scale, &configs, attempt, ctx.strict())
         })
         .into_iter()
         .flatten()
@@ -425,8 +608,8 @@ pub fn fig1_with_ctx(
             .iter()
             .flat_map(|&w| PREDICTORS.map(|p| Cell::new(w, p, false, 0)))
             .collect();
-        run_cells(&cells, jobs, |c| {
-            sim_cell_engine(c, scale, OooConfig::default(), engine, ctx)
+        ctx.sweep(&cells, jobs, |c, attempt| {
+            sim_cell_supervised(c, scale, OooConfig::default(), engine, ctx, attempt)
         })
     };
     let share = |r: &SimReport| {
@@ -590,10 +773,11 @@ fn four_config_reports(
                 .iter()
                 .flat_map(|&w| [false, true].map(|pbs| (w, pbs)))
                 .collect();
-            let per_key = run_cells(&keys, jobs, |&(w, pbs)| {
+            let per_key = ctx.sweep(&keys, jobs, |&(w, pbs), attempt| {
+                faults::cell_faults(&[w as u64, pbs as u64, attempt.number as u64]);
                 let configs = [PredictorChoice::Tournament, PredictorChoice::TageScL]
                     .map(|p| cell_config(&Cell::new(w, p, pbs, 0), core.clone()));
-                convoy_key(w, 0, scale, &configs)
+                convoy_key_supervised(w, 0, scale, &configs, attempt, ctx.strict())
             });
             return per_key
                 .chunks_exact(2)
@@ -609,8 +793,8 @@ fn four_config_reports(
             .iter()
             .flat_map(|&w| FOUR_CONFIGS.map(|(p, pbs)| Cell::new(w, p, pbs, 0)))
             .collect();
-        let reports = run_cells(&cells, jobs, |c| {
-            sim_cell_engine(c, scale, core.clone(), engine, ctx)
+        let reports = ctx.sweep(&cells, jobs, |c, attempt| {
+            sim_cell_supervised(c, scale, core.clone(), engine, ctx, attempt)
         });
         reports
             .chunks_exact(FOUR_CONFIGS.len())
@@ -783,7 +967,13 @@ pub fn fig9_with_ctx(
         .iter()
         .flat_map(|&w| (0..seeds).map(move |s| Cell::new(w, PredictorChoice::Tournament, false, s)))
         .collect();
-    let increases = run_cells(&cells, jobs, |cell| {
+    let increases = ctx.sweep(&cells, jobs, |cell, attempt| {
+        faults::cell_faults(&[cell.stable_hash(), attempt.number as u64]);
+        let cascaded = engine_for_attempt(engine, attempt.number, ctx.strict());
+        if cascaded != engine {
+            attempt.set_label(cascaded.name());
+        }
+        let engine = cascaded;
         let mut cfg = SimConfig {
             predictor: cell.predictor,
             max_insts: MAX_INSTS,
@@ -818,17 +1008,22 @@ pub fn fig9_with_ctx(
                     // capture+persist WITHOUT pooling — no later sweep
                     // revisits it, and the pool never evicts.
                     None if engine == Engine::Replay && ctx.traces.persistent() => {
+                        let hash = trace_content_hash(cell, scale, &pair[0]);
                         let trace = ctx
                             .traces
-                            .load_or_capture_unpooled(
-                                trace_content_hash(cell, scale, &pair[0]),
-                                &pair[0],
-                                || {
-                                    let bench =
-                                        cell.workload.build(scale.workload(), cell.workload_seed());
-                                    DynTrace::capture(&bench.program(), &pair[0])
-                                },
-                            )
+                            .load_or_capture_unpooled(hash, &pair[0], || {
+                                if faults::injected(
+                                    faults::Site::Capture,
+                                    &[hash, attempt.number as u64],
+                                ) {
+                                    return Err(EmuError::InjectedFault {
+                                        site: faults::Site::Capture.name(),
+                                    });
+                                }
+                                let bench =
+                                    cell.workload.build(scale.workload(), cell.workload_seed());
+                                DynTrace::capture(&bench.program(), &pair[0])
+                            })
                             .unwrap_or_else(|e| panic!("{:?}: {e}", cell.workload));
                         replay_pair(&trace)
                     }

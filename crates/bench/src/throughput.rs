@@ -52,9 +52,10 @@ use crate::experiments::{self, Engine, ExperimentScale};
 /// Schema tag written into the JSON (bump on layout changes so the CI
 /// gate skips rather than misparses). `check_throughput` accepts the
 /// older `/1` (fused/reference only), `/2` (adds replay), `/3` (adds
-/// convoy) and `/4` (adds the batched drain) baselines without
-/// failing; fields both reports carry are gated.
-pub const SCHEMA: &str = "probranch-throughput/5";
+/// convoy), `/4` (adds the batched drain) and `/5` (adds store
+/// accounting) baselines without failing; fields both reports carry
+/// are gated.
+pub const SCHEMA: &str = "probranch-throughput/6";
 
 /// The v1 schema tag, still accepted as a comparison baseline.
 pub const SCHEMA_V1: &str = "probranch-throughput/1";
@@ -67,6 +68,9 @@ pub const SCHEMA_V3: &str = "probranch-throughput/3";
 
 /// The v4 schema tag, still accepted as a comparison baseline.
 pub const SCHEMA_V4: &str = "probranch-throughput/4";
+
+/// The v5 schema tag, still accepted as a comparison baseline.
+pub const SCHEMA_V5: &str = "probranch-throughput/5";
 
 /// One measured grid point.
 #[derive(Debug, Clone)]
@@ -193,6 +197,13 @@ pub struct SweepStats {
     pub evictions: usize,
     /// Peak owned heap bytes the bounded pool ever held at once.
     pub peak_bytes: usize,
+    /// Persisted traces rejected as stale (valid file, old version or
+    /// foreign content hash) and silently re-captured — 0 in a healthy
+    /// sweep.
+    pub stale_rejected: usize,
+    /// Corrupt persisted traces quarantined (renamed aside, never
+    /// re-read) — 0 in a healthy sweep.
+    pub quarantined: usize,
 }
 
 impl SweepStats {
@@ -351,7 +362,7 @@ impl ThroughputReport {
         out.push_str("  ],\n");
         let s = &self.sweep;
         out.push_str(&format!(
-            "  \"sweep\": {{\"grids\":\"fig6+fig7\",\"cells\":{},\"keys\":{},\"captures\":{},\"disk_loads\":{},\"grid_hits\":{},\"instructions\":{},\"seconds\":{:.6},\"mips\":{:.3},\"trace_bytes\":{},\"store_hits\":{},\"demotions\":{},\"evictions\":{},\"peak_bytes\":{}}},\n",
+            "  \"sweep\": {{\"grids\":\"fig6+fig7\",\"cells\":{},\"keys\":{},\"captures\":{},\"disk_loads\":{},\"grid_hits\":{},\"instructions\":{},\"seconds\":{:.6},\"mips\":{:.3},\"trace_bytes\":{},\"store_hits\":{},\"demotions\":{},\"evictions\":{},\"peak_bytes\":{},\"stale_rejected\":{},\"quarantined\":{}}},\n",
             s.cells,
             s.keys,
             s.captures,
@@ -365,6 +376,8 @@ impl ThroughputReport {
             s.demotions,
             s.evictions,
             s.peak_bytes,
+            s.stale_rejected,
+            s.quarantined,
         ));
         out.push_str(&format!(
             "  \"aggregate\": {{\"instructions\":{},\"fused_mips\":{:.3},\"reference_mips\":{:.3},\"speedup\":{:.3},\"capture_seconds\":{:.6},\"replay_mips\":{:.3},\"replay_speedup\":{:.3},\"batched_mips\":{:.3},\"convoy_mips\":{:.3}}}\n",
@@ -431,11 +444,13 @@ impl ThroughputReport {
             s.trace_bytes / 1024,
         ));
         out.push_str(&format!(
-            "store (shared pool): {} hits, {} demotions, {} evictions, peak {} KiB\n",
+            "store (shared pool): {} hits, {} demotions, {} evictions, peak {} KiB, {} stale rejected, {} quarantined\n",
             s.store_hits,
             s.demotions,
             s.evictions,
             s.peak_bytes / 1024,
+            s.stale_rejected,
+            s.quarantined,
         ));
         out
     }
@@ -573,6 +588,8 @@ fn run_sweep(scale: ExperimentScale, per_cell_instructions: u64) -> SweepStats {
         demotions: ctx.demotions(),
         evictions: ctx.evictions(),
         peak_bytes: ctx.peak_bytes(),
+        stale_rejected: ctx.traces().stale_rejected(),
+        quarantined: ctx.traces().quarantined(),
     }
 }
 
@@ -731,8 +748,11 @@ mod tests {
         assert_eq!(report.sweep.demotions, 0);
         assert_eq!(report.sweep.evictions, 0);
         assert!(report.sweep.peak_bytes > 0);
+        // A healthy sweep heals nothing.
+        assert_eq!(report.sweep.stale_rejected, 0);
+        assert_eq!(report.sweep.quarantined, 0);
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"probranch-throughput/5\""));
+        assert!(json.contains("\"schema\": \"probranch-throughput/6\""));
         assert!(json.contains("\"scale\": \"smoke\""));
         assert!(json.contains("\"fused_mips\""));
         assert!(json.contains("\"replay_mips\""));
@@ -744,6 +764,8 @@ mod tests {
         assert!(json.contains("\"demotions\""));
         assert!(json.contains("\"evictions\""));
         assert!(json.contains("\"peak_bytes\""));
+        assert!(json.contains("\"stale_rejected\""));
+        assert!(json.contains("\"quarantined\""));
         assert!(json.contains("\"sweep\": {\"grids\":\"fig6+fig7\""));
         assert_eq!(
             json.lines().filter(|l| l.contains("\"workload\"")).count(),

@@ -1,0 +1,532 @@
+//! # probranch-faults
+//!
+//! Deterministic, seeded **failpoints** for torture-testing the
+//! execution and storage layers: persisted-trace writes (create/write,
+//! short write, fsync, rename, ENOSPC), memory-mapped loads, trace
+//! capture, and experiment-cell bodies (injected panics and delays).
+//!
+//! A [`FaultPlan`] is a set of `(site, probability, optional budget)`
+//! clauses plus a plan seed. Whether a particular failpoint fires is a
+//! **pure function** of the plan seed, the site and a caller-supplied
+//! salt (typically a content hash or cell identity plus the attempt
+//! number): `SplitMix64::mix_fold([seed, site, salt...])` compared
+//! against the clause probability. Fault schedules are therefore
+//! reproducible across runs, thread counts and schedulers — the same
+//! plan trips the same sites for the same cells every time, which is
+//! what lets CI diff a fault-injected `figures` run byte-for-byte
+//! against a clean one.
+//!
+//! When no plan is installed every check is one relaxed atomic load and
+//! a predicted-not-taken branch — the instrumented hot paths cost
+//! nothing in production.
+//!
+//! Plans parse from a compact spec (`figures --fault-plan`,
+//! `PROBRANCH_FAULTS`):
+//!
+//! ```text
+//! seed=7,cell.panic=0.3,persist.write=0.5x2,mmap.load=1.0
+//! ```
+//!
+//! `seed=N` seeds the schedule (default 0); every other clause is
+//! `<site>=<probability>` with an optional `xCOUNT` budget capping how
+//! many times the site may fire in total.
+//!
+//! The plan is process-global (faults must be visible across worker
+//! threads); tests install plans through [`ScopedPlan`], which
+//! serializes on a global lock and uninstalls on drop.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+use probranch_rng::SplitMix64;
+
+/// Every failpoint site wired into the stack, one stable name each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Site {
+    /// Persisted-trace write path: creating or writing the temp file
+    /// fails with a generic (transient-looking) I/O error.
+    PersistWrite,
+    /// Persisted-trace write path: the write fails with `ENOSPC`
+    /// (disk full) — the store must disable persistence for the run.
+    PersistEnospc,
+    /// Persisted-trace write path: only a prefix of the encoding
+    /// reaches the temp file before the writer dies (a torn temp).
+    PersistShort,
+    /// Persisted-trace write path: the data fsync fails.
+    PersistFsync,
+    /// Persisted-trace write path: the publishing rename fails.
+    PersistRename,
+    /// Memory-mapped trace load fails with an I/O error.
+    MmapLoad,
+    /// Trace capture (functional emulation) fails.
+    Capture,
+    /// An experiment cell body panics.
+    CellPanic,
+    /// An experiment cell body stalls briefly (exercises the
+    /// per-cell deadline watchdog).
+    CellDelay,
+}
+
+/// All sites, for iteration and parsing.
+pub const ALL_SITES: [Site; 9] = [
+    Site::PersistWrite,
+    Site::PersistEnospc,
+    Site::PersistShort,
+    Site::PersistFsync,
+    Site::PersistRename,
+    Site::MmapLoad,
+    Site::Capture,
+    Site::CellPanic,
+    Site::CellDelay,
+];
+
+impl Site {
+    /// The site's stable spec/reporting name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Site::PersistWrite => "persist.write",
+            Site::PersistEnospc => "persist.enospc",
+            Site::PersistShort => "persist.short",
+            Site::PersistFsync => "persist.fsync",
+            Site::PersistRename => "persist.rename",
+            Site::MmapLoad => "mmap.load",
+            Site::Capture => "capture",
+            Site::CellPanic => "cell.panic",
+            Site::CellDelay => "cell.delay",
+        }
+    }
+
+    /// Parses a spec name back to the site.
+    pub fn parse(name: &str) -> Option<Site> {
+        ALL_SITES.into_iter().find(|s| s.name() == name)
+    }
+}
+
+impl std::fmt::Display for Site {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One failpoint clause: fire `site` with `probability`, at most
+/// `budget` times (`None` = unlimited).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Clause {
+    /// The instrumented site this clause arms.
+    pub site: Site,
+    /// Firing probability in `[0, 1]`, evaluated per deterministic roll.
+    pub probability: f64,
+    /// Cap on total fires across the whole run, `None` for unlimited.
+    pub budget: Option<u64>,
+}
+
+/// A parsed fault plan: the schedule seed plus the armed clauses.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed folded into every roll — two plans with different seeds
+    /// trip different (but each internally reproducible) schedules.
+    pub seed: u64,
+    /// The armed failpoint clauses (at most one per site; later
+    /// clauses for the same site override earlier ones).
+    pub clauses: Vec<Clause>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no sites armed) under `seed`.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Arms `site` at `probability`, replacing any previous clause for
+    /// the same site.
+    pub fn arm(mut self, site: Site, probability: f64) -> FaultPlan {
+        self.arm_mut(site, probability, None);
+        self
+    }
+
+    /// [`arm`](FaultPlan::arm) with a total-fire budget.
+    pub fn arm_capped(mut self, site: Site, probability: f64, budget: u64) -> FaultPlan {
+        self.arm_mut(site, probability, Some(budget));
+        self
+    }
+
+    fn arm_mut(&mut self, site: Site, probability: f64, budget: Option<u64>) {
+        self.clauses.retain(|c| c.site != site);
+        self.clauses.push(Clause {
+            site,
+            probability: probability.clamp(0.0, 1.0),
+            budget,
+        });
+    }
+
+    /// Parses the `--fault-plan` / `PROBRANCH_FAULTS` spec syntax:
+    /// comma-separated clauses, each `seed=N` or
+    /// `<site>=<probability>[xCOUNT]`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending clause.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for clause in spec.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+            let (key, value) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("fault clause `{clause}` is not `name=value`"))?;
+            let (key, value) = (key.trim(), value.trim());
+            if key == "seed" {
+                plan.seed = value
+                    .parse::<u64>()
+                    .map_err(|_| format!("fault seed `{value}` is not a u64"))?;
+                continue;
+            }
+            let site = Site::parse(key).ok_or_else(|| {
+                format!(
+                    "unknown fault site `{key}` (expected one of: {})",
+                    ALL_SITES.map(Site::name).join(", ")
+                )
+            })?;
+            let (prob, budget) =
+                match value.split_once(['x', 'X']) {
+                    Some((p, n)) => (
+                        p,
+                        Some(n.parse::<u64>().map_err(|_| {
+                            format!("fault budget `{n}` in `{clause}` is not a u64")
+                        })?),
+                    ),
+                    None => (value, None),
+                };
+            let probability = prob
+                .parse::<f64>()
+                .ok()
+                .filter(|p| (0.0..=1.0).contains(p))
+                .ok_or_else(|| {
+                    format!("fault probability `{prob}` in `{clause}` is not in [0, 1]")
+                })?;
+            plan.arm_mut(site, probability, budget);
+        }
+        Ok(plan)
+    }
+
+    /// Renders the plan back to its spec syntax (parse/render round-trips).
+    pub fn spec(&self) -> String {
+        let mut out = format!("seed={}", self.seed);
+        for c in &self.clauses {
+            out.push_str(&format!(",{}={}", c.site.name(), c.probability));
+            if let Some(b) = c.budget {
+                out.push_str(&format!("x{b}"));
+            }
+        }
+        out
+    }
+}
+
+/// The installed plan plus its per-site accounting.
+struct Installed {
+    plan: FaultPlan,
+    /// Times each site fired (indexed by `Site as usize`).
+    hits: [AtomicU64; ALL_SITES.len()],
+    /// Remaining fire budget per site (`u64::MAX` = unlimited).
+    budget: [AtomicU64; ALL_SITES.len()],
+}
+
+impl Installed {
+    fn new(plan: FaultPlan) -> Installed {
+        let budget = std::array::from_fn(|i| {
+            let site = ALL_SITES[i];
+            let left = plan
+                .clauses
+                .iter()
+                .find(|c| c.site == site)
+                .and_then(|c| c.budget)
+                .unwrap_or(u64::MAX);
+            AtomicU64::new(left)
+        });
+        Installed {
+            plan,
+            hits: std::array::from_fn(|_| AtomicU64::new(0)),
+            budget,
+        }
+    }
+}
+
+/// Fast-path gate: true only while a plan with at least one armed
+/// clause is installed.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn plan_slot() -> &'static Mutex<Option<Installed>> {
+    static PLAN: OnceLock<Mutex<Option<Installed>>> = OnceLock::new();
+    PLAN.get_or_init(|| Mutex::new(None))
+}
+
+fn lock_plan() -> MutexGuard<'static, Option<Installed>> {
+    // A panic while holding the lock leaves the slot in a consistent
+    // state (we only ever swap whole plans), so poisoning is ignorable.
+    plan_slot().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Installs `plan` process-wide, replacing any previous plan and
+/// resetting all hit counters and budgets.
+pub fn install(plan: FaultPlan) {
+    let armed = plan.clauses.iter().any(|c| c.probability > 0.0);
+    *lock_plan() = Some(Installed::new(plan));
+    ACTIVE.store(armed, Ordering::Release);
+}
+
+/// Uninstalls the current plan; every failpoint reverts to a no-op.
+pub fn clear() {
+    *lock_plan() = None;
+    ACTIVE.store(false, Ordering::Release);
+}
+
+/// Whether any fault plan is currently armed.
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Acquire)
+}
+
+/// The deterministic failpoint decision: does `site` fire for `salt`
+/// under the installed plan?
+///
+/// The roll is `SplitMix64::mix_fold([plan seed, site, salt...])`
+/// mapped to `[0, 1)` and compared against the clause probability —
+/// reproducible for the same `(plan, site, salt)` triple regardless of
+/// threads or call order. Callers put everything that identifies *this
+/// particular potential failure* into the salt (content hash, cell
+/// hash, attempt number), so retries re-roll and byte-diffable
+/// schedules follow from byte-diffable salts. A fire decrements the
+/// site's budget and bumps its hit counter.
+#[inline]
+pub fn injected(site: Site, salt: &[u64]) -> bool {
+    if !ACTIVE.load(Ordering::Acquire) {
+        return false;
+    }
+    injected_slow(site, salt)
+}
+
+#[cold]
+fn injected_slow(site: Site, salt: &[u64]) -> bool {
+    let guard = lock_plan();
+    let Some(installed) = guard.as_ref() else {
+        return false;
+    };
+    let Some(clause) = installed.plan.clauses.iter().find(|c| c.site == site) else {
+        return false;
+    };
+    if clause.probability <= 0.0 {
+        return false;
+    }
+    let mut parts = Vec::with_capacity(salt.len() + 2);
+    parts.push(installed.plan.seed);
+    parts.push(site as u64 ^ 0xFA17_FA17_FA17_FA17);
+    parts.extend_from_slice(salt);
+    let roll = SplitMix64::mix_fold(&parts);
+    // 53 uniform mantissa bits → [0, 1); p = 1.0 always fires.
+    let u = (roll >> 11) as f64 / (1u64 << 53) as f64;
+    if u >= clause.probability {
+        return false;
+    }
+    // Budget: fire only while the cap has room. The decrement order is
+    // scheduling-dependent under threads, but a budget only *caps* the
+    // schedule — the byte-identity invariant never depends on it.
+    let i = site as usize;
+    if installed.budget[i]
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |left| {
+            left.checked_sub(1)
+        })
+        .is_err()
+    {
+        return false;
+    }
+    installed.hits[i].fetch_add(1, Ordering::Relaxed);
+    true
+}
+
+/// The structured I/O error an injected persistence/load fault carries:
+/// the message names the site so failures stay attributable end to end.
+pub fn io_error(site: Site) -> std::io::Error {
+    let kind = match site {
+        Site::PersistEnospc => std::io::ErrorKind::StorageFull,
+        _ => std::io::ErrorKind::Other,
+    };
+    std::io::Error::new(kind, format!("injected fault: {}", site.name()))
+}
+
+/// Cell-body failpoints: [`Site::CellDelay`] stalls ~2 ms (long enough
+/// for a millisecond-deadline watchdog to notice, short enough for
+/// torture suites), then [`Site::CellPanic`] panics with a message
+/// naming the site and salt. Call at the top of a supervised cell body
+/// with a salt of (cell identity, attempt number).
+pub fn cell_faults(salt: &[u64]) {
+    if !active() {
+        return;
+    }
+    if injected(Site::CellDelay, salt) {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    if injected(Site::CellPanic, salt) {
+        panic!("injected fault: {} (salt {salt:x?})", Site::CellPanic);
+    }
+}
+
+/// Per-site fire counts of the installed plan, non-zero entries only —
+/// the "fault sites hit" section of structured reports. Empty when no
+/// plan is installed.
+pub fn hits() -> Vec<(Site, u64)> {
+    let guard = lock_plan();
+    let Some(installed) = guard.as_ref() else {
+        return Vec::new();
+    };
+    ALL_SITES
+        .into_iter()
+        .filter_map(|s| {
+            let n = installed.hits[s as usize].load(Ordering::Relaxed);
+            (n > 0).then_some((s, n))
+        })
+        .collect()
+}
+
+/// Renders [`hits`] as `site×count` joined with `, ` — `"none"` when no
+/// site fired.
+pub fn hits_summary() -> String {
+    let hits = hits();
+    if hits.is_empty() {
+        return "none".to_string();
+    }
+    hits.iter()
+        .map(|(s, n)| format!("{}\u{d7}{n}", s.name()))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// A test-scoped plan installation: serializes on a global lock (fault
+/// state is process-wide) and uninstalls on drop. Every test touching
+/// failpoints must go through this guard so concurrently running tests
+/// in the same binary never see each other's plans.
+#[derive(Debug)]
+pub struct ScopedPlan {
+    _guard: MutexGuard<'static, ()>,
+}
+
+impl ScopedPlan {
+    /// Locks the global fault mutex, then installs `plan`.
+    pub fn install(plan: FaultPlan) -> ScopedPlan {
+        static TEST_LOCK: Mutex<()> = Mutex::new(());
+        let guard = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        install(plan);
+        ScopedPlan { _guard: guard }
+    }
+}
+
+impl Drop for ScopedPlan {
+    fn drop(&mut self) {
+        clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_plan_is_a_no_op() {
+        let _scope = ScopedPlan::install(FaultPlan::default());
+        clear();
+        assert!(!active());
+        assert!(!injected(Site::Capture, &[1, 2, 3]));
+        assert!(hits().is_empty());
+        assert_eq!(hits_summary(), "none");
+    }
+
+    #[test]
+    fn spec_parses_and_round_trips() {
+        let plan = FaultPlan::parse("seed=7, cell.panic=0.25, persist.write=1.0x3").unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.clauses.len(), 2);
+        assert_eq!(plan.clauses[0].site, Site::CellPanic);
+        assert_eq!(plan.clauses[1].budget, Some(3));
+        assert_eq!(FaultPlan::parse(&plan.spec()).unwrap(), plan);
+        // Later clauses override earlier ones for the same site.
+        let over = FaultPlan::parse("capture=0.1,capture=0.9").unwrap();
+        assert_eq!(over.clauses.len(), 1);
+        assert!((over.clauses[0].probability - 0.9).abs() < 1e-12);
+        // Errors name the offending clause.
+        assert!(FaultPlan::parse("bogus.site=0.5").is_err());
+        assert!(FaultPlan::parse("capture=1.5").is_err());
+        assert!(FaultPlan::parse("capture").is_err());
+        assert!(FaultPlan::parse("seed=x").is_err());
+        assert!(FaultPlan::parse("capture=0.5xq").is_err());
+        // The empty spec is the empty plan.
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::default());
+    }
+
+    #[test]
+    fn rolls_are_deterministic_and_seed_sensitive() {
+        let _scope = ScopedPlan::install(FaultPlan::seeded(1).arm(Site::Capture, 0.5));
+        let pattern: Vec<bool> = (0..64).map(|i| injected(Site::Capture, &[i])).collect();
+        // Same plan, same salts → same schedule.
+        install(FaultPlan::seeded(1).arm(Site::Capture, 0.5));
+        let again: Vec<bool> = (0..64).map(|i| injected(Site::Capture, &[i])).collect();
+        assert_eq!(pattern, again);
+        assert!(pattern.iter().any(|&b| b) && !pattern.iter().all(|&b| b));
+        // A different seed re-rolls the schedule.
+        install(FaultPlan::seeded(2).arm(Site::Capture, 0.5));
+        let other: Vec<bool> = (0..64).map(|i| injected(Site::Capture, &[i])).collect();
+        assert_ne!(pattern, other);
+        // Unarmed sites never fire even while the plan is active.
+        assert!(!injected(Site::MmapLoad, &[0]));
+    }
+
+    #[test]
+    fn probability_extremes_behave() {
+        let _scope = ScopedPlan::install(
+            FaultPlan::seeded(3)
+                .arm(Site::MmapLoad, 1.0)
+                .arm(Site::Capture, 0.0),
+        );
+        assert!((0..32).all(|i| injected(Site::MmapLoad, &[i])));
+        assert!((0..32).all(|i| !injected(Site::Capture, &[i])));
+    }
+
+    #[test]
+    fn budget_caps_total_fires_and_hits_count() {
+        let _scope =
+            ScopedPlan::install(FaultPlan::seeded(9).arm_capped(Site::PersistWrite, 1.0, 2));
+        let fired = (0..10)
+            .filter(|&i| injected(Site::PersistWrite, &[i]))
+            .count();
+        assert_eq!(fired, 2, "budget must cap fires");
+        assert_eq!(hits(), vec![(Site::PersistWrite, 2)]);
+        assert_eq!(hits_summary(), "persist.write\u{d7}2");
+    }
+
+    #[test]
+    fn injected_io_errors_are_attributable() {
+        let e = io_error(Site::PersistEnospc);
+        assert_eq!(e.kind(), std::io::ErrorKind::StorageFull);
+        assert!(e.to_string().contains("persist.enospc"));
+        assert!(io_error(Site::MmapLoad).to_string().contains("mmap.load"));
+    }
+
+    #[test]
+    fn cell_faults_panic_names_the_site() {
+        let _scope = ScopedPlan::install(FaultPlan::seeded(4).arm(Site::CellPanic, 1.0));
+        let err = std::panic::catch_unwind(|| cell_faults(&[0xBEEF, 0])).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("injected fault: cell.panic"), "{msg}");
+    }
+
+    #[test]
+    fn site_names_parse_back() {
+        for site in ALL_SITES {
+            assert_eq!(Site::parse(site.name()), Some(site));
+        }
+        assert_eq!(Site::parse("nope"), None);
+    }
+}

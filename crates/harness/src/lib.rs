@@ -35,12 +35,29 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use probranch_pipeline::{sweep_stale_temps, DynTrace, PredictorChoice, SimConfig};
+use probranch_pipeline::{sweep_stale_temps, DynTrace, PredictorChoice, SimConfig, TraceLoad};
 use probranch_rng::SplitMix64;
 use probranch_workloads::BenchmarkId;
+
+mod supervise;
+
+/// Locks a mutex, recovering from poisoning: every value guarded by
+/// the harness's internal locks is written whole (a cache slot goes
+/// from `None` to a complete entry, a result slot from `None` to a
+/// finished result), so a panic that poisoned a lock can never have
+/// left a half-updated value behind — and supervised retries must be
+/// able to reuse the slot a failed attempt touched.
+pub(crate) fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+pub use supervise::{
+    install_quiet_panic_hook, run_cells_supervised, Attempt, CellOutcome, StrictViolation,
+    SupervisedError, SupervisedRun, Supervision,
+};
 
 /// Worker-count selection for [`run_cells`].
 ///
@@ -198,7 +215,7 @@ where
                     break;
                 }
                 let result = run(&cells[i]);
-                *slots[i].lock().expect("slot lock") = Some(result);
+                *lock_ignore_poison(&slots[i]) = Some(result);
             });
         }
     });
@@ -207,7 +224,7 @@ where
         .enumerate()
         .map(|(i, slot)| {
             slot.into_inner()
-                .expect("slot lock")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .unwrap_or_else(|| panic!("cell {i} produced no result"))
         })
         .collect()
@@ -375,15 +392,9 @@ impl<K: Eq + Hash> TraceCache<K> {
         disk: Option<TraceDiskInfo>,
         capture: impl FnOnce() -> Result<DynTrace, E>,
     ) -> Result<Arc<DynTrace>, E> {
-        let slot = Arc::clone(
-            self.slots
-                .lock()
-                .expect("trace cache lock")
-                .entry(key)
-                .or_default(),
-        );
+        let slot = Arc::clone(lock_ignore_poison(&self.slots).entry(key).or_default());
         let trace = {
-            let mut guard = slot.lock().expect("trace slot lock");
+            let mut guard = lock_ignore_poison(&slot);
             if let Some(entry) = guard.as_mut() {
                 entry.stamp = self.touch();
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -409,10 +420,7 @@ impl<K: Eq + Hash> TraceCache<K> {
     /// samples the peak. Slots locked by in-flight captures are skipped
     /// — their bytes are accounted at *their* insert's enforcement.
     fn enforce_budget(&self) {
-        let slots: Vec<TraceSlot> = self
-            .slots
-            .lock()
-            .expect("trace cache lock")
+        let slots: Vec<TraceSlot> = lock_ignore_poison(&self.slots)
             .values()
             .map(Arc::clone)
             .collect();
@@ -424,18 +432,22 @@ impl<K: Eq + Hash> TraceCache<K> {
             let mut coldest_demotable = None::<(u64, usize)>;
             let mut coldest = None::<(u64, usize)>;
             for (i, slot) in slots.iter().enumerate() {
-                let Ok(guard) = slot.try_lock() else { continue };
+                let guard = match slot.try_lock() {
+                    Ok(guard) => guard,
+                    Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+                    Err(std::sync::TryLockError::WouldBlock) => continue,
+                };
                 let Some(e) = guard.as_ref() else { continue };
                 total += e.bytes;
-                if newest.map_or(true, |n| e.stamp > n) {
+                if newest.is_none_or(|n| e.stamp > n) {
                     newest = Some(e.stamp);
                 }
-                if coldest.map_or(true, |(s, _)| e.stamp < s) {
+                if coldest.is_none_or(|(s, _)| e.stamp < s) {
                     coldest = Some((e.stamp, i));
                 }
                 if !e.mapped
                     && e.disk.is_some()
-                    && coldest_demotable.map_or(true, |(s, _)| e.stamp < s)
+                    && coldest_demotable.is_none_or(|(s, _)| e.stamp < s)
                 {
                     coldest_demotable = Some((e.stamp, i));
                 }
@@ -456,7 +468,7 @@ impl<K: Eq + Hash> TraceCache<K> {
                 }
             };
             let (i, demote) = victim;
-            let mut guard = slots[i].lock().expect("trace slot lock");
+            let mut guard = lock_ignore_poison(&slots[i]);
             match guard.as_mut() {
                 Some(e) if demote => {
                     if Self::demote(e) {
@@ -506,8 +518,8 @@ impl<K: Eq + Hash> TraceCache<K> {
     /// The trace already pooled for `key`, if any — never captures, but
     /// does refresh the entry's LRU stamp (a peek is a use).
     pub fn peek(&self, key: &K) -> Option<Arc<DynTrace>> {
-        let slot = Arc::clone(self.slots.lock().expect("trace cache lock").get(key)?);
-        let mut guard = slot.lock().expect("trace slot lock");
+        let slot = Arc::clone(lock_ignore_poison(&self.slots).get(key)?);
+        let mut guard = lock_ignore_poison(&slot);
         guard.as_mut().map(|e| {
             e.stamp = self.touch();
             Arc::clone(&e.trace)
@@ -516,11 +528,9 @@ impl<K: Eq + Hash> TraceCache<K> {
 
     /// Number of pooled traces.
     pub fn len(&self) -> usize {
-        self.slots
-            .lock()
-            .expect("trace cache lock")
+        lock_ignore_poison(&self.slots)
             .values()
-            .filter(|s| s.lock().expect("trace slot lock").is_some())
+            .filter(|s| lock_ignore_poison(s).is_some())
             .count()
     }
 
@@ -532,11 +542,9 @@ impl<K: Eq + Hash> TraceCache<K> {
     /// Total heap bytes held by the pooled traces (mmap-backed record
     /// streams count 0 — see [`DynTrace::bytes`]).
     pub fn bytes(&self) -> usize {
-        self.slots
-            .lock()
-            .expect("trace cache lock")
+        lock_ignore_poison(&self.slots)
             .values()
-            .filter_map(|s| s.lock().expect("trace slot lock").as_ref().map(|e| e.bytes))
+            .filter_map(|s| lock_ignore_poison(s).as_ref().map(|e| e.bytes))
             .sum()
     }
 
@@ -580,15 +588,23 @@ impl<K: Eq + Hash> TraceCache<K> {
 /// With a trace directory ([`EngineContext::with_trace_dir`]) the pool
 /// extends across *processes*: [`get_or_capture`]
 /// (EngineContext::get_or_capture) first tries
-/// [`DynTrace::read_file`] under the key's caller-supplied content
-/// hash, and persists fresh captures with [`DynTrace::write_file`]. A
-/// missing, stale or corrupt file silently falls back to capture —
-/// persistence can save a re-emulation, never change a result. Disk
-/// write failures are reported to stderr and otherwise ignored (the
-/// in-memory pool still serves the run). Opening a persistent context
-/// also sweeps orphaned writer temp files from the directory
-/// ([`sweep_stale_temps`]), so crashed earlier runs cannot leak disk
-/// forever.
+/// [`DynTrace::load_file`] under the key's caller-supplied content
+/// hash, and persists fresh captures with
+/// [`DynTrace::write_file_attempt`]. Every failure falls back to
+/// capture — persistence can save a re-emulation, never change a
+/// result — but the store *self-heals* along the way instead of
+/// silently looping: transient I/O errors retry with capped backoff, a
+/// stale file (intact, wrong format version or key) is counted
+/// ([`stale_rejected`](EngineContext::stale_rejected)) and
+/// overwritten, a corrupt file is **quarantined** — atomically renamed
+/// to `*.quarantined`, counted, never re-read — and a fatal storage
+/// error (ENOSPC, read-only directory) disables persistence for the
+/// remainder of the run with a single warning. Under
+/// [`with_robustness`](EngineContext::with_robustness)'s strict mode
+/// each of those degradations raises a [`StrictViolation`] instead.
+/// Opening a persistent context also sweeps orphaned writer temp files
+/// from the directory ([`sweep_stale_temps`]), so crashed earlier runs
+/// cannot leak disk forever.
 ///
 /// With a pool memory budget ([`EngineContext::with_options`]) the
 /// in-memory half is bounded: cold traces are demoted to their mmap-
@@ -602,6 +618,22 @@ pub struct EngineContext<K> {
     trace_dir: Option<std::path::PathBuf>,
     captures: AtomicUsize,
     disk_loads: AtomicUsize,
+    /// Intact-but-mismatched persisted traces rejected and re-captured
+    /// (stale format version or emulation key) — satellite visibility
+    /// for what used to be silent re-captures.
+    stale_rejected: AtomicUsize,
+    /// Corrupt persisted traces renamed aside (`*.quarantined`).
+    quarantined: AtomicUsize,
+    /// Transient-I/O retries spent on loads and writes.
+    io_retries: AtomicUsize,
+    /// Persist attempts abandoned after exhausting their retries.
+    write_failures: AtomicUsize,
+    /// Set once a fatal storage error (ENOSPC, read-only dir) shuts
+    /// persistence off for the remainder of the run.
+    persist_disabled: AtomicBool,
+    /// `--strict-traces`: every degradation path becomes a hard
+    /// [`StrictViolation`] instead of a heal-and-continue.
+    strict: bool,
     temp_sweeps: usize,
 }
 
@@ -630,12 +662,30 @@ impl<K: Eq + Hash> EngineContext<K> {
         trace_dir: Option<std::path::PathBuf>,
         mem_budget: Option<usize>,
     ) -> EngineContext<K> {
+        EngineContext::with_robustness(trace_dir, mem_budget, false)
+    }
+
+    /// [`with_options`](EngineContext::with_options) plus the
+    /// robustness policy: with `strict` set, every self-healing path
+    /// (stale rejection, quarantine, persistence shutdown) raises a
+    /// [`StrictViolation`] instead of degrading gracefully.
+    pub fn with_robustness(
+        trace_dir: Option<std::path::PathBuf>,
+        mem_budget: Option<usize>,
+        strict: bool,
+    ) -> EngineContext<K> {
         let temp_sweeps = trace_dir.as_deref().map_or(0, sweep_stale_temps);
         EngineContext {
             cache: TraceCache::with_budget(mem_budget),
             trace_dir,
             captures: AtomicUsize::new(0),
             disk_loads: AtomicUsize::new(0),
+            stale_rejected: AtomicUsize::new(0),
+            quarantined: AtomicUsize::new(0),
+            io_retries: AtomicUsize::new(0),
+            write_failures: AtomicUsize::new(0),
+            persist_disabled: AtomicBool::new(false),
+            strict,
             temp_sweeps,
         }
     }
@@ -706,8 +756,7 @@ impl<K: Eq + Hash> EngineContext<K> {
         capture: impl FnOnce() -> Result<DynTrace, E>,
     ) -> Result<DynTrace, E> {
         if let Some(dir) = &self.trace_dir {
-            let path = Self::trace_path(dir, content_hash);
-            if let Some(trace) = DynTrace::read_file(&path, content_hash, config) {
+            if let Some(trace) = self.healing_load(dir, content_hash, config) {
                 self.disk_loads.fetch_add(1, Ordering::Relaxed);
                 return Ok(trace);
             }
@@ -715,14 +764,163 @@ impl<K: Eq + Hash> EngineContext<K> {
         let trace = capture()?;
         self.captures.fetch_add(1, Ordering::Relaxed);
         if let Some(dir) = &self.trace_dir {
-            let write = std::fs::create_dir_all(dir).and_then(|()| {
-                trace.write_file(&Self::trace_path(dir, content_hash), content_hash)
-            });
-            if let Err(e) = write {
-                eprintln!("warning: could not persist trace {content_hash:016x}: {e}");
-            }
+            self.persist_trace(dir, &trace, content_hash);
         }
         Ok(trace)
+    }
+
+    /// Transient-I/O retry budget for one load or persist (attempts
+    /// beyond the first), with capped exponential backoff.
+    const IO_RETRIES: u64 = 3;
+
+    fn backoff(attempt: u64) {
+        std::thread::sleep(std::time::Duration::from_millis(1 << attempt.min(4)));
+    }
+
+    /// The self-healing load: retries transient I/O errors with capped
+    /// backoff, counts and overwrites stale files, quarantines corrupt
+    /// ones. Returns `None` whenever the caller should fall back to
+    /// capture — after which the path is clear (the bad file is gone or
+    /// overwritable), so re-capture heals the store.
+    fn healing_load(
+        &self,
+        dir: &std::path::Path,
+        content_hash: u64,
+        config: &probranch_pipeline::SimConfig,
+    ) -> Option<DynTrace> {
+        let path = Self::trace_path(dir, content_hash);
+        let mut attempt = 0u64;
+        loop {
+            match DynTrace::load_file(&path, content_hash, config, attempt) {
+                TraceLoad::Loaded(trace) => return Some(trace),
+                TraceLoad::Missing => return None,
+                TraceLoad::Stale => {
+                    self.stale_rejected.fetch_add(1, Ordering::Relaxed);
+                    if self.strict {
+                        std::panic::panic_any(StrictViolation(format!(
+                            "stale persisted trace {content_hash:016x} would be re-captured"
+                        )));
+                    }
+                    // Intact file, wrong format/key: the fresh capture
+                    // simply overwrites it.
+                    return None;
+                }
+                TraceLoad::Corrupt => {
+                    self.quarantine(&path, content_hash);
+                    return None;
+                }
+                TraceLoad::Io(e) => {
+                    if attempt >= Self::IO_RETRIES {
+                        if self.strict {
+                            std::panic::panic_any(StrictViolation(format!(
+                                "persisted trace {content_hash:016x} unreadable after {} attempts: {e}",
+                                attempt + 1
+                            )));
+                        }
+                        eprintln!(
+                            "warning: trace {content_hash:016x} unreadable after {} attempts ({e}); re-capturing",
+                            attempt + 1
+                        );
+                        return None;
+                    }
+                    self.io_retries.fetch_add(1, Ordering::Relaxed);
+                    Self::backoff(attempt);
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Moves a corrupt persisted trace aside — an atomic rename to
+    /// `<name>.quarantined`, which no load path ever matches again —
+    /// so the evidence survives for inspection and the store never
+    /// pays for the same corrupt file twice. In strict mode the file
+    /// is left in place and the run fails instead.
+    fn quarantine(&self, path: &std::path::Path, content_hash: u64) {
+        if self.strict {
+            std::panic::panic_any(StrictViolation(format!(
+                "corrupt persisted trace {content_hash:016x} at {}",
+                path.display()
+            )));
+        }
+        let mut dest = path.as_os_str().to_owned();
+        dest.push(".quarantined");
+        match std::fs::rename(path, std::path::Path::new(&dest)) {
+            Ok(()) => {
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "warning: quarantined corrupt trace {content_hash:016x} (kept as {})",
+                    std::path::Path::new(&dest).display()
+                );
+            }
+            Err(e) => {
+                // Racing contexts may quarantine concurrently; only the
+                // rename winner counts. Anything else: warn and fall
+                // back to capture — the overwrite still heals the path.
+                if path.exists() {
+                    eprintln!(
+                        "warning: could not quarantine corrupt trace {content_hash:016x}: {e}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Persists a fresh capture, retrying transient errors and shutting
+    /// persistence off for the rest of the run (with one warning) on
+    /// fatal storage errors — a full or read-only disk costs warm
+    /// starts, never results.
+    fn persist_trace(&self, dir: &std::path::Path, trace: &DynTrace, content_hash: u64) {
+        if self.persist_disabled.load(Ordering::Acquire) {
+            return;
+        }
+        let path = Self::trace_path(dir, content_hash);
+        for attempt in 0..=Self::IO_RETRIES {
+            let write = std::fs::create_dir_all(dir)
+                .and_then(|()| trace.write_file_attempt(&path, content_hash, attempt));
+            let e = match write {
+                Ok(()) => return,
+                Err(e) => e,
+            };
+            if Self::fatal_storage_error(&e) {
+                if self.strict {
+                    std::panic::panic_any(StrictViolation(format!(
+                        "persistence disabled by fatal storage error: {e}"
+                    )));
+                }
+                if !self.persist_disabled.swap(true, Ordering::AcqRel) {
+                    eprintln!(
+                        "warning: trace persistence disabled for the rest of the run ({e}); \
+                         results are unaffected"
+                    );
+                }
+                return;
+            }
+            if attempt == Self::IO_RETRIES {
+                self.write_failures.fetch_add(1, Ordering::Relaxed);
+                if self.strict {
+                    std::panic::panic_any(StrictViolation(format!(
+                        "could not persist trace {content_hash:016x} after {} attempts: {e}",
+                        attempt + 1
+                    )));
+                }
+                eprintln!("warning: could not persist trace {content_hash:016x}: {e}");
+                return;
+            }
+            self.io_retries.fetch_add(1, Ordering::Relaxed);
+            Self::backoff(attempt);
+        }
+    }
+
+    /// Whether a persist error means the directory is unusable for the
+    /// rest of the run (retrying or trying other keys cannot help).
+    fn fatal_storage_error(e: &std::io::Error) -> bool {
+        matches!(
+            e.kind(),
+            std::io::ErrorKind::StorageFull
+                | std::io::ErrorKind::PermissionDenied
+                | std::io::ErrorKind::ReadOnlyFilesystem
+        ) || matches!(e.raw_os_error(), Some(28 | 30)) // ENOSPC, EROFS
     }
 
     /// The trace already pooled for `key`, if any — never captures and
@@ -777,6 +975,39 @@ impl<K: Eq + Hash> EngineContext<K> {
     /// trace directory.
     pub fn temp_sweeps(&self) -> usize {
         self.temp_sweeps
+    }
+
+    /// Intact persisted traces rejected for a stale format version or
+    /// emulation key and transparently re-captured.
+    pub fn stale_rejected(&self) -> usize {
+        self.stale_rejected.load(Ordering::Relaxed)
+    }
+
+    /// Corrupt persisted traces quarantined (renamed to
+    /// `*.quarantined`, never re-read).
+    pub fn quarantined(&self) -> usize {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Transient-I/O retries spent on trace loads and persists.
+    pub fn io_retries(&self) -> usize {
+        self.io_retries.load(Ordering::Relaxed)
+    }
+
+    /// Persist attempts abandoned after exhausting their retry budget.
+    pub fn write_failures(&self) -> usize {
+        self.write_failures.load(Ordering::Relaxed)
+    }
+
+    /// Whether a fatal storage error shut persistence off for the
+    /// remainder of the run.
+    pub fn persistence_disabled(&self) -> bool {
+        self.persist_disabled.load(Ordering::Acquire)
+    }
+
+    /// Whether this context runs under `--strict-traces`.
+    pub fn strict(&self) -> bool {
+        self.strict
     }
 }
 

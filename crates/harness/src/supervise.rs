@@ -1,0 +1,544 @@
+//! Supervised cell execution: per-cell panic isolation, bounded
+//! retries, a deadline watchdog, and structured failure reporting.
+//!
+//! [`run_cells`](crate::run_cells) keeps the engine's original
+//! contract — a panic anywhere tears down the whole grid — which is
+//! right for tests and wrong for a long sweep: one poisoned cell (an
+//! injected fault, a pathological workload, a broken trace file)
+//! should cost *that cell* a retry, not the other several hundred
+//! cells their results. [`run_cells_supervised`] wraps each cell body
+//! in `catch_unwind`, re-runs failed cells up to a retry budget
+//! (passing the attempt ordinal so deterministic fault schedules
+//! re-roll and degradation cascades can switch engines), watches for
+//! cells overrunning a soft deadline, and merges results in cell-index
+//! order exactly like the plain driver — **byte-identical to an
+//! unsupervised run whenever every cell eventually succeeds**, because
+//! a retried cell recomputes the same pure function of the same cell
+//! identity.
+//!
+//! When a cell exhausts its attempts the whole run returns a
+//! [`SupervisedError`] naming the cell and carrying every attempt's
+//! panic message — the structured, attributable form the `figures`
+//! binary turns into a non-zero exit instead of an abort trace.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::Jobs;
+
+/// A strict-mode violation: some degradation path (trace quarantine,
+/// persistence shutdown, engine fallback) fired while `--strict-traces`
+/// demanded hard failure. Raised via [`std::panic::panic_any`] so it
+/// crosses cell bodies like any panic, but typed so supervision knows
+/// not to retry (strict violations are deterministic) and the panic
+/// hook knows not to print an abort trace for it.
+#[derive(Debug, Clone)]
+pub struct StrictViolation(pub String);
+
+impl std::fmt::Display for StrictViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "strict-traces violation: {}", self.0)
+    }
+}
+
+/// Retry and deadline policy for [`run_cells_supervised`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Supervision {
+    /// Extra attempts after the first (0 = fail on first panic).
+    pub retries: u32,
+    /// Soft per-cell deadline: overrunning cells are *reported* (once,
+    /// to stderr, and in their [`CellOutcome`]), never killed — Rust
+    /// threads cannot be safely cancelled, and a slow cell's result is
+    /// still byte-correct.
+    pub deadline: Option<Duration>,
+}
+
+impl Supervision {
+    /// No supervision: first panic fails the run (still structured —
+    /// the panic is caught and reported, not propagated raw).
+    pub fn none() -> Supervision {
+        Supervision {
+            retries: 0,
+            deadline: None,
+        }
+    }
+
+    /// The default robustness envelope: up to 4 attempts per cell (the
+    /// degradation cascade's length: requested engine twice, then
+    /// fused, then reference), no deadline.
+    pub fn default_robust() -> Supervision {
+        Supervision {
+            retries: 3,
+            deadline: None,
+        }
+    }
+
+    /// This policy with a per-cell soft deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Supervision {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// This policy with a retry budget.
+    pub fn with_retries(mut self, retries: u32) -> Supervision {
+        self.retries = retries;
+        self
+    }
+}
+
+/// One attempt at one cell, handed to the cell body: the ordinal
+/// drives fault re-rolls and engine cascades, and the body labels the
+/// attempt with whatever engine it actually used so outcomes stay
+/// attributable.
+#[derive(Debug)]
+pub struct Attempt {
+    /// 0-based attempt ordinal (0 is the clean first try).
+    pub number: u32,
+    label: std::cell::Cell<&'static str>,
+}
+
+impl Attempt {
+    fn new(number: u32) -> Attempt {
+        Attempt {
+            number,
+            label: std::cell::Cell::new(""),
+        }
+    }
+
+    /// Records which engine/path this attempt used (shows up in the
+    /// cell's [`CellOutcome`]).
+    pub fn set_label(&self, label: &'static str) {
+        self.label.set(label);
+    }
+}
+
+/// What happened to one supervised cell that did *not* sail through on
+/// its first attempt: how many attempts it took, the label its final
+/// attempt set, whether it overran the deadline, and every failed
+/// attempt's panic message.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// The cell's grid index.
+    pub index: usize,
+    /// Attempts consumed (1 = clean first try).
+    pub attempts: u32,
+    /// The label the successful attempt set via [`Attempt::set_label`]
+    /// (empty when the body never labelled itself).
+    pub label: &'static str,
+    /// Whether the watchdog saw this cell overrun the soft deadline.
+    pub over_deadline: bool,
+    /// Panic messages of the failed attempts, in attempt order.
+    pub failures: Vec<String>,
+}
+
+/// The structured failure of a supervised run: the first cell (in
+/// claim order) that exhausted every attempt.
+#[derive(Debug, Clone)]
+pub struct SupervisedError {
+    /// The failing cell's grid index.
+    pub index: usize,
+    /// Attempts consumed before giving up.
+    pub attempts: u32,
+    /// Panic messages of every failed attempt, in attempt order.
+    pub failures: Vec<String>,
+    /// Whether the failure is a [`StrictViolation`] (never retried).
+    pub strict: bool,
+}
+
+impl std::fmt::Display for SupervisedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cell {} failed after {} attempt{}: {}",
+            self.index,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.failures.last().map_or("unknown", |s| s.as_str())
+        )
+    }
+}
+
+impl std::error::Error for SupervisedError {}
+
+/// A completed supervised run: results in cell-index order plus the
+/// outcome records of every cell that needed supervision (retried,
+/// degraded, or overran its deadline) — clean cells stay silent.
+#[derive(Debug)]
+pub struct SupervisedRun<R> {
+    /// Per-cell results, index order, byte-identical to an
+    /// unsupervised run of the same grid.
+    pub results: Vec<R>,
+    /// Outcomes of the non-clean cells, in cell-index order.
+    pub outcomes: Vec<CellOutcome>,
+}
+
+impl<R> SupervisedRun<R> {
+    /// Cells that needed more than one attempt.
+    pub fn retried(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.attempts > 1).count()
+    }
+
+    /// Cells whose final attempt ran under a fallback label (the body
+    /// marked itself as degraded via [`Attempt::set_label`]).
+    pub fn degraded(&self) -> usize {
+        self.outcomes.iter().filter(|o| !o.label.is_empty()).count()
+    }
+
+    /// Cells the watchdog flagged as over-deadline.
+    pub fn over_deadline(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.over_deadline).count()
+    }
+}
+
+thread_local! {
+    /// Set while a supervised attempt is in flight on this thread: the
+    /// wrapped panic hook stays silent for panics supervision is about
+    /// to catch and handle.
+    static QUIET: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Wraps the process panic hook (once) so supervised attempts and
+/// typed control-flow panics ([`StrictViolation`], [`SupervisedError`])
+/// do not spray abort traces for failures the harness catches and
+/// reports in structured form.
+pub fn install_quiet_panic_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let typed =
+                info.payload().is::<StrictViolation>() || info.payload().is::<SupervisedError>();
+            if typed || QUIET.with(|q| q.get()) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// The panic payload as a human-readable message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> (String, bool) {
+    if let Some(v) = payload.downcast_ref::<StrictViolation>() {
+        return (v.to_string(), true);
+    }
+    let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    };
+    (msg, false)
+}
+
+use crate::lock_ignore_poison;
+
+/// Runs one closure per cell across `jobs` workers with per-cell panic
+/// isolation, bounded retries and an optional deadline watchdog;
+/// results return **in cell-index order**, exactly like
+/// [`run_cells`](crate::run_cells).
+///
+/// Each attempt receives an [`Attempt`] carrying its 0-based ordinal:
+/// deterministic fault schedules salt on it (so retries re-roll) and
+/// degradation cascades key engine choice off it. A panicking attempt
+/// is caught and retried up to `sup.retries` times; a
+/// [`StrictViolation`] payload is never retried. Once any cell
+/// exhausts its attempts the run stops claiming new cells and returns
+/// that cell's [`SupervisedError`]; sibling cells already in flight
+/// finish normally (they are never torn down mid-simulation).
+///
+/// # Errors
+///
+/// The first claimed cell to exhaust its attempts, as a
+/// [`SupervisedError`].
+pub fn run_cells_supervised<T, R, F>(
+    cells: &[T],
+    jobs: Jobs,
+    sup: Supervision,
+    run: F,
+) -> Result<SupervisedRun<R>, SupervisedError>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T, &Attempt) -> R + Sync,
+{
+    install_quiet_panic_hook();
+    let n = cells.len();
+    let workers = jobs.get().min(n.max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let outcome_slots: Vec<Mutex<Option<CellOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let error: Mutex<Option<SupervisedError>> = Mutex::new(None);
+    // Watchdog state: per-cell start instant while in flight, per-cell
+    // over-deadline flag, and a live-worker count the watchdog drains
+    // on.
+    let started: Vec<Mutex<Option<Instant>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let overran: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    let live_workers = AtomicUsize::new(workers);
+
+    std::thread::scope(|scope| {
+        if let Some(deadline) = sup.deadline {
+            let started = &started;
+            let overran = &overran;
+            let live_workers = &live_workers;
+            scope.spawn(move || {
+                let tick = (deadline / 4).max(Duration::from_micros(200));
+                while live_workers.load(Ordering::Acquire) > 0 {
+                    std::thread::sleep(tick);
+                    for (i, slot) in started.iter().enumerate() {
+                        let Some(t0) = *lock_ignore_poison(slot) else {
+                            continue;
+                        };
+                        if t0.elapsed() >= deadline && !overran[i].swap(true, Ordering::Relaxed) {
+                            eprintln!(
+                                "warning: cell {i} over deadline ({:?}); letting it finish",
+                                deadline
+                            );
+                        }
+                    }
+                }
+            });
+        }
+        for _ in 0..workers {
+            let run = &run;
+            let slots = &slots;
+            let outcome_slots = &outcome_slots;
+            let error = &error;
+            let next = &next;
+            let started = &started;
+            let overran = &overran;
+            let live_workers = &live_workers;
+            scope.spawn(move || {
+                loop {
+                    // A fatal cell stops the claim loop — in-flight
+                    // siblings finish, unclaimed cells stay unrun.
+                    if lock_ignore_poison(error).is_some() {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    *lock_ignore_poison(&started[i]) = Some(Instant::now());
+                    let mut failures: Vec<String> = Vec::new();
+                    let mut strict_failure = false;
+                    let mut done: Option<(R, &'static str, u32)> = None;
+                    for a in 0..=sup.retries {
+                        let attempt = Attempt::new(a);
+                        QUIET.with(|q| q.set(true));
+                        let caught =
+                            std::panic::catch_unwind(AssertUnwindSafe(|| run(&cells[i], &attempt)));
+                        QUIET.with(|q| q.set(false));
+                        match caught {
+                            Ok(r) => {
+                                done = Some((r, attempt.label.get(), a + 1));
+                                break;
+                            }
+                            Err(payload) => {
+                                let (msg, strict) = panic_message(payload);
+                                failures.push(msg);
+                                if strict {
+                                    // Deterministic by definition:
+                                    // retrying cannot help.
+                                    strict_failure = true;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    *lock_ignore_poison(&started[i]) = None;
+                    let over = overran[i].load(Ordering::Relaxed);
+                    match done {
+                        Some((r, label, attempts)) => {
+                            *lock_ignore_poison(&slots[i]) = Some(r);
+                            if attempts > 1 || over || !label.is_empty() {
+                                *lock_ignore_poison(&outcome_slots[i]) = Some(CellOutcome {
+                                    index: i,
+                                    attempts,
+                                    label,
+                                    over_deadline: over,
+                                    failures: std::mem::take(&mut failures),
+                                });
+                            }
+                        }
+                        None => {
+                            let mut guard = lock_ignore_poison(error);
+                            if guard.is_none() {
+                                *guard = Some(SupervisedError {
+                                    index: i,
+                                    attempts: failures.len() as u32,
+                                    failures: std::mem::take(&mut failures),
+                                    strict: strict_failure,
+                                });
+                            }
+                            break;
+                        }
+                    }
+                }
+                live_workers.fetch_sub(1, Ordering::Release);
+            });
+        }
+    });
+
+    if let Some(e) = error.into_inner().unwrap_or_else(PoisonError::into_inner) {
+        return Err(e);
+    }
+    let results = slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .unwrap_or_else(|| panic!("cell {i} produced no result"))
+        })
+        .collect();
+    let outcomes = outcome_slots
+        .into_iter()
+        .filter_map(|slot| slot.into_inner().unwrap_or_else(PoisonError::into_inner))
+        .collect();
+    Ok(SupervisedRun { results, outcomes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_runs_match_the_plain_driver() {
+        let cells: Vec<u64> = (0..64).collect();
+        let sup = Supervision::default_robust();
+        let run =
+            run_cells_supervised(&cells, Jobs::new(4), sup, |&c, _| c * 7).expect("clean run");
+        assert_eq!(
+            run.results,
+            crate::run_cells(&cells, Jobs::serial(), |&c| c * 7)
+        );
+        assert!(run.outcomes.is_empty(), "clean cells report no outcomes");
+        assert_eq!(
+            (run.retried(), run.degraded(), run.over_deadline()),
+            (0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn a_panicking_cell_is_retried_not_fatal_and_siblings_survive() {
+        use std::sync::atomic::AtomicU32;
+        let cells: Vec<u64> = (0..32).collect();
+        let tries = AtomicU32::new(0);
+        let sup = Supervision::none().with_retries(2);
+        let run = run_cells_supervised(&cells, Jobs::new(4), sup, |&c, attempt| {
+            if c == 13 && attempt.number < 2 {
+                tries.fetch_add(1, Ordering::Relaxed);
+                panic!("transient failure on cell 13");
+            }
+            if c == 13 {
+                attempt.set_label("fallback");
+            }
+            c + 1
+        })
+        .expect("retries must rescue the cell");
+        assert_eq!(run.results, (1..=32).collect::<Vec<u64>>());
+        assert_eq!(tries.load(Ordering::Relaxed), 2);
+        assert_eq!(run.outcomes.len(), 1);
+        let o = &run.outcomes[0];
+        assert_eq!((o.index, o.attempts, o.label), (13, 3, "fallback"));
+        assert_eq!(o.failures.len(), 2);
+        assert!(o.failures[0].contains("transient failure"));
+        assert_eq!((run.retried(), run.degraded()), (1, 1));
+    }
+
+    #[test]
+    fn exhausted_retries_return_a_structured_error() {
+        let cells: Vec<u64> = (0..8).collect();
+        let sup = Supervision::none().with_retries(1);
+        let err = run_cells_supervised(&cells, Jobs::serial(), sup, |&c, _| {
+            if c == 3 {
+                panic!("cell 3 is cursed");
+            }
+            c
+        })
+        .expect_err("an always-failing cell must fail the run");
+        assert_eq!((err.index, err.attempts, err.strict), (3, 2, false));
+        assert_eq!(err.failures.len(), 2);
+        assert!(err.to_string().contains("cell 3 failed after 2 attempts"));
+        assert!(err.to_string().contains("cursed"));
+    }
+
+    #[test]
+    fn strict_violations_are_never_retried() {
+        use std::sync::atomic::AtomicU32;
+        let cells: Vec<u64> = (0..4).collect();
+        let tries = AtomicU32::new(0);
+        let sup = Supervision::none().with_retries(5);
+        let err = run_cells_supervised(&cells, Jobs::serial(), sup, |&c, _| {
+            if c == 1 {
+                tries.fetch_add(1, Ordering::Relaxed);
+                std::panic::panic_any(StrictViolation("degradation forbidden".into()));
+            }
+            c
+        })
+        .expect_err("strict violations are fatal");
+        assert_eq!(tries.load(Ordering::Relaxed), 1, "no retry on strict");
+        assert!(err.strict);
+        assert_eq!(err.attempts, 1);
+        assert!(err.failures[0].contains("strict-traces violation"));
+        assert!(err.failures[0].contains("degradation forbidden"));
+    }
+
+    #[test]
+    fn watchdog_flags_over_deadline_cells_without_killing_them() {
+        let cells: Vec<u64> = (0..6).collect();
+        let sup = Supervision::none().with_deadline(Duration::from_millis(5));
+        let run = run_cells_supervised(&cells, Jobs::new(2), sup, |&c, _| {
+            if c == 2 {
+                std::thread::sleep(Duration::from_millis(40));
+            }
+            c * 2
+        })
+        .expect("slow cells still complete");
+        assert_eq!(run.results, vec![0, 2, 4, 6, 8, 10]);
+        assert_eq!(run.over_deadline(), 1);
+        assert!(run.outcomes.iter().any(|o| o.index == 2 && o.over_deadline));
+    }
+
+    #[test]
+    fn retried_results_stay_byte_identical_to_clean() {
+        // The core guarantee: a cell that fails transiently and retries
+        // computes the same pure function — the merged output cannot
+        // tell supervision happened.
+        let cells: Vec<u64> = (0..40).collect();
+        let work = |c: u64| {
+            let mut acc = c;
+            for _ in 0..100 {
+                acc = acc
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+            }
+            acc
+        };
+        let clean = crate::run_cells(&cells, Jobs::serial(), |&c| work(c));
+        let sup = Supervision::default_robust();
+        let faulty = run_cells_supervised(&cells, Jobs::new(4), sup, |&c, attempt| {
+            // Every third cell fails its first two attempts.
+            if c % 3 == 0 && attempt.number < 2 {
+                panic!("injected transient");
+            }
+            work(c)
+        })
+        .expect("all cells rescued");
+        assert_eq!(faulty.results, clean);
+        assert_eq!(
+            faulty.retried(),
+            cells.iter().filter(|c| *c % 3 == 0).count()
+        );
+    }
+
+    #[test]
+    fn empty_grids_are_fine() {
+        let run = run_cells_supervised(&[] as &[u8], Jobs::new(4), Supervision::none(), |_, _| 0u8)
+            .expect("empty grid");
+        assert!(run.results.is_empty() && run.outcomes.is_empty());
+    }
+}

@@ -73,7 +73,7 @@ pub use machine::{
     BranchEvent, BranchEventKind, DynInst, EmuConfig, EmuError, Emulator, StepRecord,
 };
 pub use ooo::{BranchTraceEntry, ExecLatencies, OooConfig, OooTimingModel, TimingStats};
-pub use persist::{sweep_stale_temps, TRACE_FILE_VERSION};
+pub use persist::{sweep_stale_temps, TraceLoad, TRACE_FILE_VERSION};
 pub use sim::{
     run_functional, simulate, simulate_convoy, simulate_reference, simulate_replay,
     simulate_replay_convoy, EngineKind, PredictorChoice, SimConfig, SimReport, Simulation,

@@ -55,6 +55,12 @@ pub enum EmuError {
         /// The configured budget.
         limit: u64,
     },
+    /// A deterministic fault-injection failpoint fired (torture runs
+    /// only; never occurs without an installed fault plan).
+    InjectedFault {
+        /// The failpoint site name (e.g. `capture`).
+        site: &'static str,
+    },
 }
 
 impl fmt::Display for EmuError {
@@ -70,6 +76,7 @@ impl fmt::Display for EmuError {
             EmuError::InstLimitExceeded { limit } => {
                 write!(f, "instruction limit of {limit} exceeded")
             }
+            EmuError::InjectedFault { site } => write!(f, "injected fault: {site}"),
         }
     }
 }

@@ -45,6 +45,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 use probranch_core::PbsStats;
+use probranch_faults as faults;
 use probranch_mmap::Mmap;
 use probranch_rng::SplitMix64;
 
@@ -124,6 +125,32 @@ impl StreamDigest {
 }
 
 // ---- writer ---------------------------------------------------------------
+
+/// A sink that forwards at most `left` bytes and then fails with an
+/// injected short-write error — the [`faults::Site::PersistShort`]
+/// failpoint's model of a writer dying mid-encode. With `left` at
+/// `u64::MAX` (no fault armed) it is a transparent pass-through.
+struct Capped<W: Write> {
+    w: W,
+    left: u64,
+}
+
+impl<W: Write> Write for Capped<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.left == 0 {
+            return Err(faults::io_error(faults::Site::PersistShort));
+        }
+        let n = buf
+            .len()
+            .min(usize::try_from(self.left).unwrap_or(usize::MAX));
+        let written = self.w.write(&buf[..n])?;
+        self.left -= written as u64;
+        Ok(written)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.w.flush()
+    }
+}
 
 /// A digesting little-endian encoder over any byte sink: each value is
 /// folded into the running [`StreamDigest`] as it is written, so
@@ -343,6 +370,35 @@ impl DynTrace {
     ///
     /// Any I/O error from creating, writing or renaming the temp file.
     pub fn write_file(&self, path: &Path, content_hash: u64) -> std::io::Result<()> {
+        self.write_file_attempt(path, content_hash, 0)
+    }
+
+    /// [`write_file`](DynTrace::write_file) with an explicit retry
+    /// ordinal, folded into every failpoint salt so a retrying store
+    /// re-rolls its fault schedule per attempt — under an injected
+    /// transient-error plan the first attempt can fail while the retry
+    /// deterministically succeeds, reproducibly across runs.
+    ///
+    /// # Errors
+    ///
+    /// As [`write_file`](DynTrace::write_file); additionally any
+    /// injected fault on the `persist.*` sites of the installed
+    /// [fault plan](probranch_faults::FaultPlan). A failed attempt
+    /// never leaves a file under the final name, and best-effort
+    /// removes its temp.
+    pub fn write_file_attempt(
+        &self,
+        path: &Path,
+        content_hash: u64,
+        attempt: u64,
+    ) -> std::io::Result<()> {
+        let salt = [content_hash, attempt];
+        if faults::injected(faults::Site::PersistEnospc, &salt) {
+            return Err(faults::io_error(faults::Site::PersistEnospc));
+        }
+        if faults::injected(faults::Site::PersistWrite, &salt) {
+            return Err(faults::io_error(faults::Site::PersistWrite));
+        }
         // The temp name must be unique per *writer*, not just per
         // process: concurrent same-process writers of one key would
         // otherwise share a temp file and could publish a torn (digest-
@@ -354,10 +410,20 @@ impl DynTrace {
             WRITER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
         ));
         let total_len = self.encoded_len();
-        {
+        // The short-write failpoint dies halfway through the encoding,
+        // leaving a torn temp — which must never publish.
+        let cap = if faults::injected(faults::Site::PersistShort, &salt) {
+            total_len / 2
+        } else {
+            u64::MAX
+        };
+        let write_body = || -> std::io::Result<()> {
             let f = std::fs::File::create(&tmp)?;
             let mut e = Enc {
-                w: std::io::BufWriter::new(&f),
+                w: Capped {
+                    w: std::io::BufWriter::new(&f),
+                    left: cap,
+                },
                 digest: StreamDigest::new(total_len - 8),
                 written: 0,
             };
@@ -370,7 +436,18 @@ impl DynTrace {
             let d = e.digest.finish();
             e.w.write_all(&d.to_le_bytes())?;
             e.w.flush()?;
-            f.sync_all()?;
+            if faults::injected(faults::Site::PersistFsync, &salt) {
+                return Err(faults::io_error(faults::Site::PersistFsync));
+            }
+            f.sync_all()
+        };
+        if let Err(e) = write_body() {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+        if faults::injected(faults::Site::PersistRename, &salt) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(faults::io_error(faults::Site::PersistRename));
         }
         if let Err(e) = std::fs::rename(&tmp, path) {
             let _ = std::fs::remove_file(&tmp);
@@ -402,8 +479,37 @@ impl DynTrace {
     /// pass over the map, and the load materializes only the timing
     /// table, architectural results and derived request streams.
     pub fn read_file(path: &Path, content_hash: u64, config: &SimConfig) -> Option<DynTrace> {
-        let map = Arc::new(Mmap::open(path).ok()?);
-        Self::decode(map.as_slice(), Some(&map), content_hash, config)
+        match Self::load_file(path, content_hash, config, 0) {
+            TraceLoad::Loaded(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// [`read_file`](DynTrace::read_file) with the failure *classified*
+    /// — the self-healing store's entry point. The distinctions drive
+    /// different recoveries: [`TraceLoad::Io`] is worth retrying,
+    /// [`TraceLoad::Stale`] is a valid file for another format/key
+    /// (overwrite it), [`TraceLoad::Corrupt`] failed the digest or
+    /// structural validation and should be quarantined so it is never
+    /// read again, and [`TraceLoad::Missing`] is an ordinary cold
+    /// start. `attempt` is the caller's retry ordinal, folded into the
+    /// `mmap.load` failpoint salt so injected transient errors re-roll
+    /// per attempt.
+    pub fn load_file(
+        path: &Path,
+        content_hash: u64,
+        config: &SimConfig,
+        attempt: u64,
+    ) -> TraceLoad {
+        if faults::injected(faults::Site::MmapLoad, &[content_hash, attempt]) {
+            return TraceLoad::Io(faults::io_error(faults::Site::MmapLoad));
+        }
+        let map = match Mmap::open(path) {
+            Ok(map) => Arc::new(map),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return TraceLoad::Missing,
+            Err(e) => return TraceLoad::Io(e),
+        };
+        Self::classify(map.as_slice(), Some(&map), content_hash, config)
     }
 
     /// [`read_file`](DynTrace::read_file) without the mapping: decodes
@@ -424,20 +530,63 @@ impl DynTrace {
         content_hash: u64,
         config: &SimConfig,
     ) -> Option<DynTrace> {
-        if bytes.len() < MAGIC.len() + 8 {
-            return None;
+        match Self::classify(bytes, backing, content_hash, config) {
+            TraceLoad::Loaded(t) => Some(t),
+            _ => None,
         }
-        let (body, tail) = bytes.split_at(bytes.len() - 8);
-        if u64::from_le_bytes(tail.try_into().ok()?) != digest(body) {
-            return None;
+    }
+
+    /// [`decode`](DynTrace::decode) with the rejection reason kept: a
+    /// file whose digest *passes* but whose format version or content
+    /// hash mismatches is [`TraceLoad::Stale`] — intact, just written
+    /// for another format or emulation key; anything that fails the
+    /// digest, the magic, or structural validation is
+    /// [`TraceLoad::Corrupt`]. The order matters: the digest runs
+    /// first, so a bit flip *inside* the version or hash fields still
+    /// classifies as corruption, never as staleness.
+    fn classify(
+        bytes: &[u8],
+        backing: Option<&Arc<Mmap>>,
+        content_hash: u64,
+        config: &SimConfig,
+    ) -> TraceLoad {
+        let Some(trailer_at) = bytes.len().checked_sub(8) else {
+            return TraceLoad::Corrupt;
+        };
+        if trailer_at < MAGIC.len() {
+            return TraceLoad::Corrupt;
+        }
+        let (body, tail) = bytes.split_at(trailer_at);
+        let tail: [u8; 8] = tail.try_into().expect("8-byte trailer");
+        if u64::from_le_bytes(tail) != digest(body) {
+            return TraceLoad::Corrupt;
         }
         let mut d = Dec { buf: body, pos: 0 };
-        if d.take(MAGIC.len())? != MAGIC
-            || d.u32()? != TRACE_FILE_VERSION
-            || d.u64()? != content_hash
-        {
-            return None;
+        match d.take(MAGIC.len()) {
+            Some(magic) if magic == MAGIC => {}
+            _ => return TraceLoad::Corrupt,
         }
+        match (d.u32(), d.u64()) {
+            (Some(version), Some(hash)) => {
+                if version != TRACE_FILE_VERSION || hash != content_hash {
+                    return TraceLoad::Stale;
+                }
+            }
+            _ => return TraceLoad::Corrupt,
+        }
+        match Self::decode_body(&mut d, backing, config) {
+            Some(trace) => TraceLoad::Loaded(trace),
+            None => TraceLoad::Corrupt,
+        }
+    }
+
+    /// The post-header decode: everything after magic/version/hash.
+    fn decode_body(
+        d: &mut Dec<'_>,
+        backing: Option<&Arc<Mmap>>,
+        config: &SimConfig,
+    ) -> Option<DynTrace> {
+        let body = d.buf;
         let instructions = d.u64()?;
         let n_timings = d.len(9)?;
         let mut timings = Vec::with_capacity(n_timings);
@@ -524,18 +673,43 @@ impl DynTrace {
     }
 }
 
+/// The classified outcome of loading a persisted trace — see
+/// [`DynTrace::load_file`]. Each variant maps to a different recovery
+/// in the self-healing store.
+#[derive(Debug)]
+pub enum TraceLoad {
+    /// The file validated end to end; here is the trace.
+    Loaded(DynTrace),
+    /// No file under that path — an ordinary cold start; capture.
+    Missing,
+    /// The file is intact (digest passes) but was written for another
+    /// format version or emulation key. Overwriting it is safe; the
+    /// store counts these as `stale_rejected` re-captures.
+    Stale,
+    /// The file fails the digest, magic or structural validation —
+    /// truncation, bit rot, a torn write. Retrying cannot help and
+    /// overwriting hides the evidence: the store quarantines it.
+    Corrupt,
+    /// Opening or mapping the file failed for a reason other than
+    /// absence — possibly transient; worth a bounded retry.
+    Io(std::io::Error),
+}
+
 /// Reaps orphaned `*.tmp.<pid>.<n>` files in a trace directory —
 /// leftovers of writers killed between temp-file creation and the
 /// publishing rename, which nothing would otherwise ever delete.
 /// Returns the number of files removed.
 ///
 /// A temp file is *stale* when its embedded writer pid is not this
-/// process (our own in-flight writers are never touched) and, on
-/// Linux, the pid no longer exists (`/proc/<pid>`). On other platforms
-/// liveness cannot be probed portably, so any other-process temp is
-/// treated as stale; a still-live foreign writer losing its temp fails
-/// its rename cleanly and falls back to capture — never a torn publish.
-/// Published `trace-*.bin` files are never candidates.
+/// process (our own in-flight writers are never touched) and its
+/// writer can no longer publish it. On Linux that is probed directly:
+/// the pid no longer exists (`/proc/<pid>`). Other platforms have no
+/// portable liveness probe, so a foreign temp is reaped only once it
+/// is older than [`STALE_TEMP_AGE`] — a recent temp may belong to a
+/// live writer mid-encode, and deleting it out from under them would
+/// turn their publish into a spurious failure. (A dead writer's orphan
+/// then lingers up to the age threshold, which costs bytes, not
+/// correctness.) Published `trace-*.bin` files are never candidates.
 pub fn sweep_stale_temps(dir: &Path) -> usize {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return 0;
@@ -546,7 +720,7 @@ pub fn sweep_stale_temps(dir: &Path) -> usize {
         let Some(pid) = name.to_str().and_then(temp_writer_pid) else {
             continue;
         };
-        if pid == std::process::id() || writer_alive(pid) {
+        if pid == std::process::id() || temp_in_use(&entry, pid) {
             continue;
         }
         if std::fs::remove_file(entry.path()).is_ok() {
@@ -554,6 +728,36 @@ pub fn sweep_stale_temps(dir: &Path) -> usize {
         }
     }
     reaped
+}
+
+/// On platforms without a pid-liveness probe, foreign temps younger
+/// than this are presumed to have a live writer and survive the sweep.
+#[cfg(any(not(target_os = "linux"), test))]
+const STALE_TEMP_AGE: std::time::Duration = std::time::Duration::from_secs(60 * 60);
+
+/// Age-based staleness for foreign temps where liveness cannot be
+/// probed: stale once `now - modified >= STALE_TEMP_AGE`. A `modified`
+/// in the future (clock skew) reads as in-use, never as stale.
+#[cfg(any(not(target_os = "linux"), test))]
+fn is_stale_by_age(modified: std::time::SystemTime, now: std::time::SystemTime) -> bool {
+    now.duration_since(modified)
+        .is_ok_and(|age| age >= STALE_TEMP_AGE)
+}
+
+/// Whether a foreign writer's temp may still be published by its
+/// owner. Linux probes the writer pid; elsewhere recency stands in for
+/// liveness (an undatable temp is conservatively kept).
+#[cfg(target_os = "linux")]
+fn temp_in_use(_entry: &std::fs::DirEntry, pid: u32) -> bool {
+    writer_alive(pid)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn temp_in_use(entry: &std::fs::DirEntry, _pid: u32) -> bool {
+    match entry.metadata().and_then(|m| m.modified()) {
+        Ok(modified) => !is_stale_by_age(modified, std::time::SystemTime::now()),
+        Err(_) => true,
+    }
 }
 
 /// The writer pid of a `*.tmp.<pid>.<n>` temp name, `None` for
@@ -569,15 +773,11 @@ fn temp_writer_pid(name: &str) -> Option<u32> {
     pid.parse::<u32>().ok()
 }
 
-/// Whether the process that owned a temp file still exists.
+/// Whether the process that owned a temp file still exists
+/// (Linux-only: `/proc` is not portable even across unixes).
 #[cfg(target_os = "linux")]
 fn writer_alive(pid: u32) -> bool {
     Path::new("/proc").join(pid.to_string()).exists()
-}
-
-#[cfg(not(target_os = "linux"))]
-fn writer_alive(_pid: u32) -> bool {
-    false
 }
 
 #[cfg(test)]
@@ -769,6 +969,84 @@ mod tests {
         // Sweeping an absent directory is a no-op, not an error.
         assert_eq!(sweep_stale_temps(&dir.join("absent")), 0);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_failures_classify_stale_vs_corrupt() {
+        let cfg = SimConfig::default();
+        let trace = DynTrace::capture(&workload(500), &cfg).unwrap();
+        let hash = cfg.emu_key_fingerprint();
+        let dir = tempdir("classify");
+        let path = dir.join("trace.bin");
+        trace.write_file(&path, hash).expect("write");
+        let pristine = std::fs::read(&path).unwrap();
+
+        assert!(matches!(
+            DynTrace::load_file(&path, hash, &cfg, 0),
+            TraceLoad::Loaded(_)
+        ));
+        assert!(matches!(
+            DynTrace::load_file(&dir.join("absent.bin"), hash, &cfg, 0),
+            TraceLoad::Missing
+        ));
+        // An intact file for another emulation key is stale, not corrupt.
+        assert!(matches!(
+            DynTrace::load_file(&path, hash ^ 1, &cfg, 0),
+            TraceLoad::Stale
+        ));
+        // An intact file of another format version is stale — but only
+        // when re-digested; a raw version flip breaks the digest and
+        // must read as corruption (the field can't be trusted).
+        let mut flipped = pristine.clone();
+        flipped[8] = 1;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(matches!(
+            DynTrace::load_file(&path, hash, &cfg, 0),
+            TraceLoad::Corrupt
+        ));
+        let body_end = flipped.len() - 8;
+        let d = digest(&flipped[..body_end]);
+        flipped[body_end..].copy_from_slice(&d.to_le_bytes());
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(matches!(
+            DynTrace::load_file(&path, hash, &cfg, 0),
+            TraceLoad::Stale
+        ));
+        // Truncations and empty files are corrupt.
+        for cut in [0, 7, 16, pristine.len() / 2, pristine.len() - 1] {
+            std::fs::write(&path, &pristine[..cut]).unwrap();
+            assert!(
+                matches!(
+                    DynTrace::load_file(&path, hash, &cfg, 0),
+                    TraceLoad::Corrupt
+                ),
+                "truncation at {cut} must classify corrupt"
+            );
+        }
+        // Arbitrary junk is corrupt.
+        std::fs::write(&path, b"definitely not a trace file, ever").unwrap();
+        assert!(matches!(
+            DynTrace::load_file(&path, hash, &cfg, 0),
+            TraceLoad::Corrupt
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn age_based_staleness_is_conservative() {
+        use std::time::{Duration, SystemTime};
+        let now = SystemTime::now();
+        let fresh = now - Duration::from_secs(30);
+        let old = now - (STALE_TEMP_AGE + Duration::from_secs(1));
+        let boundary = now - STALE_TEMP_AGE;
+        let future = now + Duration::from_secs(300);
+        assert!(!is_stale_by_age(fresh, now), "recent temps must survive");
+        assert!(is_stale_by_age(old, now));
+        assert!(is_stale_by_age(boundary, now), "threshold is inclusive");
+        assert!(
+            !is_stale_by_age(future, now),
+            "clock skew must read as in-use, never stale"
+        );
     }
 
     #[test]

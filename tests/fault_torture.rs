@@ -1,0 +1,129 @@
+//! Randomized fault-injection torture over the fig6 smoke grid.
+//!
+//! Every case arms an arbitrary seeded fault plan (random subset of
+//! sites, random probabilities and budgets) and runs the figure sweep
+//! through a fresh [`experiments::Context`] — sometimes with a trace
+//! directory, followed by a warm second pass over whatever the faulted
+//! first pass left on disk. The locked-in dichotomy: the run either
+//! completes with rows **byte-identical** to the fault-free baseline,
+//! or fails with a structured [`SupervisedError`] whose exhausted
+//! attempts all name an injected fault site. Nothing else — no torn
+//! output, no wrong-but-plausible rows, no raw unwinds.
+//!
+//! Lives in its own test binary: fault plans are process-global, so
+//! every test here serializes on [`faults::ScopedPlan`] and must never
+//! share a process with tests that assume a quiet fault layer.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::OnceLock;
+
+use probranch_bench::experiments::{self, Engine, ExperimentScale};
+use probranch_faults as faults;
+use probranch_harness::{Jobs, SupervisedError};
+use probranch_rng::SplitMix64;
+use proptest::prelude::*;
+
+/// One fig6 sweep at smoke scale on two workers, rendered to the
+/// byte-comparable fingerprint the assertions diff.
+fn fig6_fingerprint(ctx: &experiments::Context) -> String {
+    format!(
+        "{:?}",
+        experiments::fig6_with_ctx(ExperimentScale::Smoke, Jobs::new(2), Engine::Replay, ctx)
+    )
+}
+
+/// The fault-free baseline, computed once under an empty (installed,
+/// so the lock is held) plan.
+fn baseline() -> &'static str {
+    static BASELINE: OnceLock<String> = OnceLock::new();
+    BASELINE.get_or_init(|| fig6_fingerprint(&experiments::Context::new()))
+}
+
+/// Derives an arbitrary plan from two random words: roughly half the
+/// sites armed, probabilities across the whole range (including the
+/// certain-failure end — that is the structured-error branch of the
+/// dichotomy), about a third of the clauses budget-capped.
+fn arbitrary_plan(plan_seed: u64, dice: u64) -> faults::FaultPlan {
+    let mut plan = faults::FaultPlan::seeded(plan_seed);
+    for (i, &site) in faults::ALL_SITES.iter().enumerate() {
+        let roll = SplitMix64::mix_fold(&[dice, i as u64]);
+        if roll & 1 == 0 {
+            continue;
+        }
+        let probability = ((roll >> 11) & 0xFFFF) as f64 / 65536.0;
+        plan = if roll & 0b110 == 0b110 {
+            plan.arm_capped(site, probability, (roll >> 40) & 3)
+        } else {
+            plan.arm(site, probability)
+        };
+    }
+    plan
+}
+
+/// Whether a caught sweep failure is the structured kind the torture
+/// contract allows: a [`SupervisedError`] every one of whose exhausted
+/// attempts was an injected fault.
+fn is_structured_fault(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.downcast_ref::<SupervisedError>().is_some_and(|e| {
+        !e.failures.is_empty() && e.failures.iter().all(|f| f.contains("injected fault"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn arbitrary_fault_plans_are_byte_identical_or_structured(
+        plan_seed in any::<u64>(),
+        dice in any::<u64>(),
+        use_dir in any::<u64>(),
+    ) {
+        // Take the global fault lock with a quiet plan first: the
+        // baseline must never see a sibling case's armed sites.
+        let _scope = faults::ScopedPlan::install(faults::FaultPlan::default());
+        let clean = baseline().to_string();
+
+        let plan = arbitrary_plan(plan_seed, dice);
+        let dir = std::env::temp_dir().join(format!(
+            "probranch-torture-{}-{plan_seed:016x}",
+            std::process::id()
+        ));
+        let use_dir = use_dir & 1 == 1;
+        if use_dir {
+            std::fs::create_dir_all(&dir).expect("torture trace dir");
+        }
+        faults::install(plan);
+
+        // Cold pass (capturing), then — if it survived and persisted —
+        // a warm pass over whatever mangled store the faults left.
+        let mut passes = 1;
+        for pass in 0..2 {
+            if pass >= passes {
+                break;
+            }
+            let ctx = if use_dir {
+                experiments::Context::with_trace_dir(&dir)
+            } else {
+                experiments::Context::new()
+            };
+            match std::panic::catch_unwind(AssertUnwindSafe(|| fig6_fingerprint(&ctx))) {
+                Ok(rows) => {
+                    prop_assert_eq!(&rows, &clean, "surviving run must be byte-identical");
+                    if use_dir {
+                        passes = 2;
+                    }
+                }
+                Err(payload) => {
+                    prop_assert!(
+                        is_structured_fault(payload.as_ref()),
+                        "failure must be a structured SupervisedError naming injected sites"
+                    );
+                    break;
+                }
+            }
+        }
+        if use_dir {
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
