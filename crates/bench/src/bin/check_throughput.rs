@@ -33,13 +33,14 @@
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-const KNOWN_SCHEMAS: [&str; 6] = [
+const KNOWN_SCHEMAS: [&str; 7] = [
     "probranch-throughput/1",
     "probranch-throughput/2",
     "probranch-throughput/3",
     "probranch-throughput/4",
     "probranch-throughput/5",
     "probranch-throughput/6",
+    "probranch-throughput/7",
 ];
 
 /// Extracts the raw text of `"key":<value>` from a single line, value

@@ -31,7 +31,7 @@
 //! plus wall time to stderr. All timing lives behind this flag.
 
 use probranch_bench::experiments::{self, Engine, ExperimentScale};
-use probranch_bench::{render, throughput};
+use probranch_bench::{service, throughput};
 use probranch_faults as faults;
 use probranch_harness::{Jobs, StrictViolation, SupervisedError, Supervision};
 
@@ -46,6 +46,7 @@ struct Options {
     strict_traces: bool,
     cell_retries: Option<u32>,
     cell_deadline_ms: Option<u64>,
+    serve: Option<String>,
 }
 
 /// Parses a byte count with an optional `k`/`m`/`g` (KiB/MiB/GiB)
@@ -75,6 +76,7 @@ fn parse_args() -> Options {
     let mut strict_traces = false;
     let mut cell_retries: Option<u32> = None;
     let mut cell_deadline_ms: Option<u64> = None;
+    let mut serve: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let (flag, value) = match arg.as_str() {
@@ -87,7 +89,8 @@ fn parse_args() -> Options {
                 continue;
             }
             "--scale" | "--jobs" | "--engine" | "--emit-bench-json" | "--trace-dir"
-            | "--trace-mem-budget" | "--fault-plan" | "--cell-retries" | "--cell-deadline-ms" => {
+            | "--trace-mem-budget" | "--fault-plan" | "--cell-retries" | "--cell-deadline-ms"
+            | "--serve" => {
                 let v = args
                     .next()
                     .unwrap_or_else(|| usage(&format!("{arg} needs a value")));
@@ -101,7 +104,8 @@ fn parse_args() -> Options {
                 || arg.starts_with("--trace-mem-budget=")
                 || arg.starts_with("--fault-plan=")
                 || arg.starts_with("--cell-retries=")
-                || arg.starts_with("--cell-deadline-ms=") =>
+                || arg.starts_with("--cell-deadline-ms=")
+                || arg.starts_with("--serve=") =>
             {
                 let (f, v) = arg.split_once('=').expect("checked above");
                 (f.to_string(), v.to_string())
@@ -191,6 +195,12 @@ fn parse_args() -> Options {
                         .unwrap_or_else(|_| usage(&format!("invalid deadline `{value}`"))),
                 );
             }
+            "--serve" => {
+                if serve.is_some() {
+                    usage("--serve given twice");
+                }
+                serve = Some(value);
+            }
             _ => unreachable!(),
         }
     }
@@ -216,11 +226,12 @@ fn parse_args() -> Options {
         strict_traces,
         cell_retries,
         cell_deadline_ms,
+        serve,
     }
 }
 
 fn usage(error: &str) -> ! {
-    let text = "usage: figures [--scale smoke|bench|paper] [--jobs N]\n               [--engine replay|convoy|fused|reference]\n               [--trace-dir DIR] [--trace-mem-budget BYTES]\n               [--fault-plan SPEC] [--strict-traces]\n               [--cell-retries N] [--cell-deadline-ms MS]\n               [--emit-bench-json PATH]\n       --fault-plan SPEC: arm seeded failpoints for the run, e.g.\n        `seed=7,persist.write=0.5x3,cell.panic=0.2` (sites:\n        persist.write/.enospc/.short/.fsync/.rename, mmap.load,\n        capture, cell.panic, cell.delay; probability in [0,1], optional\n        xCOUNT budget). Decisions are pure functions of (seed, site,\n        salt), so a plan misbehaves identically across reruns and\n        worker counts. PROBRANCH_FAULTS holds a plan when the flag is\n        absent. The run either survives with byte-identical stdout or\n        exits 3 with a structured error naming the exhausted cell.\n       --strict-traces: turn every degradation path (stale rejection,\n        quarantine, persistence shutdown, engine fallback) into a hard\n        structured error instead of self-healing.\n       --cell-retries N: extra attempts per supervised cell\n        (default 3: requested engine twice, then fused, then\n        reference).\n       --cell-deadline-ms MS: soft per-cell deadline; overrunning\n        cells are reported on stderr, never killed.\n       (or set PROBRANCH_SCALE / PROBRANCH_JOBS; default: bench scale,\n        all cores; --jobs 0 also means all cores)\n       --engine: simulation engine for the timing sweeps (default:\n        replay — emulate each workload once per (workload, seed, PBS)\n        key into a run-wide trace pool shared by every sweep, and\n        re-time the pooled trace for every predictor/core/filter cell;\n        convoy regroups each sweep into streamed fused per-key convoys,\n        fused/reference re-simulate every cell — both for differential\n        debugging). All four print byte-identical tables.\n       --trace-dir DIR: persist captured traces under DIR, keyed by a\n        content hash of (workload, seed derivation, PBS/emulator\n        config, ISA version); later runs memory-map the files instead\n        of emulating (zero-copy record streams). Stale or corrupt files\n        fall back to capture; orphaned writer temp files are swept on\n        open. stdout stays byte-identical with or without the flag.\n       --trace-mem-budget BYTES: bound the in-memory trace pool\n        (optional k/m/g suffix, e.g. 64m). Over budget, the coldest\n        pooled traces are demoted to their mmap-backed persisted form\n        (with --trace-dir) or evicted and re-captured on next use.\n        stdout stays byte-identical for any budget.\n       --emit-bench-json PATH: run the sim-throughput sweep instead of\n        the figures, writing measured MIPS per cell (fused, reference,\n        replay and fused-convoy engines, per-key trace-capture\n        overhead, plus the shared-pool fig6+fig7 sweep aggregate) to\n        PATH (serial unless --jobs is given; all wall-clock timing\n        lives here)";
+    let text = "usage: figures [--scale smoke|bench|paper] [--jobs N]\n               [--engine replay|convoy|fused|reference]\n               [--trace-dir DIR] [--trace-mem-budget BYTES]\n               [--fault-plan SPEC] [--strict-traces]\n               [--cell-retries N] [--cell-deadline-ms MS]\n               [--emit-bench-json PATH] [--serve ADDR]\n       --fault-plan SPEC: arm seeded failpoints for the run, e.g.\n        `seed=7,persist.write=0.5x3,cell.panic=0.2` (sites:\n        persist.write/.enospc/.short/.fsync/.rename, mmap.load,\n        capture, cell.panic, cell.delay, cancel.spurious,\n        serve.accept/.read/.write/.drop; probability in [0,1],\n        optional xCOUNT budget). Decisions are pure functions of\n        (seed, site, salt), so a plan misbehaves identically across\n        reruns and worker counts. PROBRANCH_FAULTS holds a plan when\n        the flag is absent. The run either survives with\n        byte-identical stdout or exits 3 with a structured error\n        naming the exhausted cell.\n       --strict-traces: turn every degradation path (stale rejection,\n        quarantine, persistence shutdown, engine fallback) into a hard\n        structured error instead of self-healing.\n       --cell-retries N: extra attempts per supervised cell\n        (default 3: requested engine twice, then fused, then\n        reference).\n       --cell-deadline-ms MS: per-cell deadline; the simulation\n        engines poll a cancel token per chunk, so an overrunning cell\n        is cooperatively cancelled at its next poll point (a\n        structured DeadlineExceeded failure feeding the retry\n        cascade). Bodies that never poll still complete and are only\n        flagged on stderr.\n       (or set PROBRANCH_SCALE / PROBRANCH_JOBS; default: bench scale,\n        all cores; --jobs 0 also means all cores)\n       --engine: simulation engine for the timing sweeps (default:\n        replay — emulate each workload once per (workload, seed, PBS)\n        key into a run-wide trace pool shared by every sweep, and\n        re-time the pooled trace for every predictor/core/filter cell;\n        convoy regroups each sweep into streamed fused per-key convoys,\n        fused/reference re-simulate every cell — both for differential\n        debugging). All four print byte-identical tables.\n       --trace-dir DIR: persist captured traces under DIR, keyed by a\n        content hash of (workload, seed derivation, PBS/emulator\n        config, ISA version); later runs memory-map the files instead\n        of emulating (zero-copy record streams). Stale or corrupt files\n        fall back to capture; orphaned writer temp files and old\n        quarantined files are swept on open. stdout stays\n        byte-identical with or without the flag.\n       --trace-mem-budget BYTES: bound the in-memory trace pool\n        (optional k/m/g suffix, e.g. 64m). Over budget, the coldest\n        pooled traces are demoted to their mmap-backed persisted form\n        (with --trace-dir) or evicted and re-captured on next use.\n        stdout stays byte-identical for any budget.\n       --emit-bench-json PATH: run the sim-throughput sweep instead of\n        the figures, writing measured MIPS per cell (fused, reference,\n        replay and fused-convoy engines, per-key trace-capture\n        overhead, plus the shared-pool fig6+fig7 sweep aggregate) to\n        PATH (serial unless --jobs is given; all wall-clock timing\n        lives here)\n       --serve ADDR: run as the resilient sweep service instead of a\n        one-shot sweep — bind ADDR (e.g. 127.0.0.1:7633), answer\n        probranch-client requests over one shared trace pool with\n        admission control, request coalescing and per-request\n        cancellation deadlines; SIGINT/SIGTERM or a `shutdown` request\n        drains in-flight sweeps, flushes pending demotions, prints the\n        service counters and exits 0. Each section's bytes match the\n        in-process run exactly.";
     if error.is_empty() {
         println!("{text}");
         std::process::exit(0);
@@ -246,40 +257,56 @@ fn run_bench_json(path: &str, scale: ExperimentScale, jobs: Option<Jobs>) {
     );
 }
 
-/// The full figure run, in paper order. Panics raised by supervised
+/// The full figure run, in paper order — the same
+/// [`service::section_text`] path the sweep service serves, so the two
+/// are byte-identical by construction. Panics raised by supervised
 /// sweeps carry typed payloads `main` renders as structured errors.
 fn run_figures(scale: ExperimentScale, jobs: Jobs, engine: Engine, ctx: &experiments::Context) {
-    println!("{}", render::table2(&experiments::table2(scale, jobs)));
-    println!("{}", render::table1(&experiments::table1(jobs)));
-    println!(
-        "{}",
-        render::fig1(&experiments::fig1_with_ctx(scale, jobs, engine, ctx))
+    for section in probranch_serve::SECTIONS {
+        let text = service::section_text(section, scale, jobs, engine, ctx)
+            .unwrap_or_else(|| panic!("SECTIONS names unknown section `{section}`"));
+        println!("{text}");
+    }
+}
+
+/// Service mode (`--serve ADDR`): every request shares `ctx`'s trace
+/// pool; drain flushes pending demotions before exit.
+fn run_serve(addr: &str, jobs: Jobs, ctx: &experiments::Context) {
+    let server = probranch_serve::Server::bind(addr, probranch_serve::ServerConfig::default())
+        .unwrap_or_else(|e| {
+            eprintln!("error: binding {addr}: {e}");
+            std::process::exit(2);
+        });
+    let bound = server.local_addr().expect("bound listener has an address");
+    // A persistence fault trips the breaker; in service mode it
+    // half-opens after a cooldown instead of staying dark for the
+    // (indefinite) process lifetime.
+    ctx.traces()
+        .set_persist_cooldown(std::time::Duration::from_secs(30));
+    probranch_serve::install_signal_shutdown();
+    eprintln!("serving sweeps on {bound}; SIGTERM or `probranch-client {bound} --shutdown` drains");
+    let shutdown = server.shutdown_handle();
+    let watcher = std::thread::spawn(move || {
+        while !shutdown.load(std::sync::atomic::Ordering::Acquire) {
+            if probranch_serve::signal_shutdown_flag() {
+                shutdown.store(true, std::sync::atomic::Ordering::Release);
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+    });
+    let stats = server
+        .run(service::sweep_handler(ctx, jobs))
+        .unwrap_or_else(|e| {
+            eprintln!("error: serve loop: {e}");
+            std::process::exit(2);
+        });
+    let _ = watcher.join();
+    let flushed = ctx.traces().flush_to_disk();
+    eprintln!(
+        "service: {}; drained, {flushed} pending traces flushed",
+        stats.summary()
     );
-    println!(
-        "{}",
-        render::fig6(&experiments::fig6_with_ctx(scale, jobs, engine, ctx))
-    );
-    println!(
-        "{}",
-        render::ipc(
-            &experiments::fig7_with_ctx(scale, jobs, engine, ctx),
-            "FIG 7 — normalized IPC, 4-wide / 168-entry ROB"
-        )
-    );
-    println!(
-        "{}",
-        render::ipc(
-            &experiments::fig8_with_ctx(scale, jobs, engine, ctx),
-            "FIG 8 — normalized IPC, 8-wide / 256-entry ROB"
-        )
-    );
-    println!(
-        "{}",
-        render::fig9(&experiments::fig9_with_ctx(scale, jobs, engine, ctx))
-    );
-    println!("{}", render::table3(&experiments::table3(scale, jobs)));
-    println!("{}", render::accuracy(&experiments::accuracy(scale, jobs)));
-    println!("{}", render::cost(&experiments::hardware_cost()));
 }
 
 fn main() {
@@ -312,6 +339,13 @@ fn main() {
         opts.strict_traces,
         supervision,
     );
+    if let Some(addr) = &opts.serve {
+        run_serve(addr, jobs, &ctx);
+        if faulted {
+            eprintln!("fault sites hit: {}", faults::hits_summary());
+        }
+        return;
+    }
     // The job count and engine go to stderr: stdout must stay
     // byte-identical across worker counts, engines *and* warm/cold
     // trace directories (the determinism guarantees CI diffs on).

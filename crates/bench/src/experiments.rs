@@ -499,6 +499,7 @@ fn sim_cell_supervised(
     attempt: &Attempt,
 ) -> SimReport {
     faults::cell_faults(&[cell.stable_hash(), attempt.number as u64]);
+    probranch_pipeline::cancel::inject_spurious(&[cell.stable_hash(), attempt.number as u64]);
     let engine = engine_for_attempt(requested, attempt.number, ctx.strict());
     if engine != requested {
         attempt.set_label(engine.name());
@@ -596,6 +597,7 @@ pub fn fig1_with_ctx(
         // lockstep from a single capture stream.
         ctx.sweep(&BenchmarkId::ALL, jobs, |&w, attempt| {
             faults::cell_faults(&[w as u64, attempt.number as u64]);
+            probranch_pipeline::cancel::inject_spurious(&[w as u64, attempt.number as u64]);
             let configs =
                 PREDICTORS.map(|p| cell_config(&Cell::new(w, p, false, 0), OooConfig::default()));
             convoy_key_supervised(w, 0, scale, &configs, attempt, ctx.strict())
@@ -775,6 +777,11 @@ fn four_config_reports(
                 .collect();
             let per_key = ctx.sweep(&keys, jobs, |&(w, pbs), attempt| {
                 faults::cell_faults(&[w as u64, pbs as u64, attempt.number as u64]);
+                probranch_pipeline::cancel::inject_spurious(&[
+                    w as u64,
+                    pbs as u64,
+                    attempt.number as u64,
+                ]);
                 let configs = [PredictorChoice::Tournament, PredictorChoice::TageScL]
                     .map(|p| cell_config(&Cell::new(w, p, pbs, 0), core.clone()));
                 convoy_key_supervised(w, 0, scale, &configs, attempt, ctx.strict())
@@ -969,6 +976,7 @@ pub fn fig9_with_ctx(
         .collect();
     let increases = ctx.sweep(&cells, jobs, |cell, attempt| {
         faults::cell_faults(&[cell.stable_hash(), attempt.number as u64]);
+        probranch_pipeline::cancel::inject_spurious(&[cell.stable_hash(), attempt.number as u64]);
         let cascaded = engine_for_attempt(engine, attempt.number, ctx.strict());
         if cascaded != engine {
             attempt.set_label(cascaded.name());

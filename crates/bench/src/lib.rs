@@ -30,6 +30,7 @@
 
 pub mod experiments;
 pub mod render;
+pub mod service;
 pub mod throughput;
 
 pub use experiments::ExperimentScale;

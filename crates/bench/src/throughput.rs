@@ -52,10 +52,10 @@ use crate::experiments::{self, Engine, ExperimentScale};
 /// Schema tag written into the JSON (bump on layout changes so the CI
 /// gate skips rather than misparses). `check_throughput` accepts the
 /// older `/1` (fused/reference only), `/2` (adds replay), `/3` (adds
-/// convoy), `/4` (adds the batched drain) and `/5` (adds store
-/// accounting) baselines without failing; fields both reports carry
-/// are gated.
-pub const SCHEMA: &str = "probranch-throughput/6";
+/// convoy), `/4` (adds the batched drain), `/5` (adds store
+/// accounting) and `/6` (adds robustness accounting) baselines without
+/// failing; fields both reports carry are gated.
+pub const SCHEMA: &str = "probranch-throughput/7";
 
 /// The v1 schema tag, still accepted as a comparison baseline.
 pub const SCHEMA_V1: &str = "probranch-throughput/1";
@@ -71,6 +71,9 @@ pub const SCHEMA_V4: &str = "probranch-throughput/4";
 
 /// The v5 schema tag, still accepted as a comparison baseline.
 pub const SCHEMA_V5: &str = "probranch-throughput/5";
+
+/// The v6 schema tag, still accepted as a comparison baseline.
+pub const SCHEMA_V6: &str = "probranch-throughput/6";
 
 /// One measured grid point.
 #[derive(Debug, Clone)]
@@ -204,6 +207,17 @@ pub struct SweepStats {
     /// Corrupt persisted traces quarantined (renamed aside, never
     /// re-read) — 0 in a healthy sweep.
     pub quarantined: usize,
+    /// Sweep-service requests admitted (0 in bench mode — the bench
+    /// sweep runs in-process; `figures --serve` fills these four from
+    /// its [`probranch_serve::StatsSnapshot`] at drain).
+    pub service_requests: u64,
+    /// Service requests that shared an in-flight leader's computation.
+    pub service_coalesced: u64,
+    /// Service requests load-shed with an `overloaded` response.
+    pub service_shed: u64,
+    /// Service requests cooperatively cancelled (deadline or injected
+    /// spurious cancel).
+    pub service_cancelled: u64,
 }
 
 impl SweepStats {
@@ -362,7 +376,7 @@ impl ThroughputReport {
         out.push_str("  ],\n");
         let s = &self.sweep;
         out.push_str(&format!(
-            "  \"sweep\": {{\"grids\":\"fig6+fig7\",\"cells\":{},\"keys\":{},\"captures\":{},\"disk_loads\":{},\"grid_hits\":{},\"instructions\":{},\"seconds\":{:.6},\"mips\":{:.3},\"trace_bytes\":{},\"store_hits\":{},\"demotions\":{},\"evictions\":{},\"peak_bytes\":{},\"stale_rejected\":{},\"quarantined\":{}}},\n",
+            "  \"sweep\": {{\"grids\":\"fig6+fig7\",\"cells\":{},\"keys\":{},\"captures\":{},\"disk_loads\":{},\"grid_hits\":{},\"instructions\":{},\"seconds\":{:.6},\"mips\":{:.3},\"trace_bytes\":{},\"store_hits\":{},\"demotions\":{},\"evictions\":{},\"peak_bytes\":{},\"stale_rejected\":{},\"quarantined\":{},\"service_requests\":{},\"service_coalesced\":{},\"service_shed\":{},\"service_cancelled\":{}}},\n",
             s.cells,
             s.keys,
             s.captures,
@@ -378,6 +392,10 @@ impl ThroughputReport {
             s.peak_bytes,
             s.stale_rejected,
             s.quarantined,
+            s.service_requests,
+            s.service_coalesced,
+            s.service_shed,
+            s.service_cancelled,
         ));
         out.push_str(&format!(
             "  \"aggregate\": {{\"instructions\":{},\"fused_mips\":{:.3},\"reference_mips\":{:.3},\"speedup\":{:.3},\"capture_seconds\":{:.6},\"replay_mips\":{:.3},\"replay_speedup\":{:.3},\"batched_mips\":{:.3},\"convoy_mips\":{:.3}}}\n",
@@ -590,6 +608,10 @@ fn run_sweep(scale: ExperimentScale, per_cell_instructions: u64) -> SweepStats {
         peak_bytes: ctx.peak_bytes(),
         stale_rejected: ctx.traces().stale_rejected(),
         quarantined: ctx.traces().quarantined(),
+        service_requests: 0,
+        service_coalesced: 0,
+        service_shed: 0,
+        service_cancelled: 0,
     }
 }
 
@@ -751,8 +773,15 @@ mod tests {
         // A healthy sweep heals nothing.
         assert_eq!(report.sweep.stale_rejected, 0);
         assert_eq!(report.sweep.quarantined, 0);
+        // Bench mode serves no requests; the service counters exist in
+        // the schema so `figures --serve` reports land in the same gate.
+        assert_eq!(report.sweep.service_requests, 0);
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"probranch-throughput/6\""));
+        assert!(json.contains("\"schema\": \"probranch-throughput/7\""));
+        assert!(json.contains("\"service_requests\""));
+        assert!(json.contains("\"service_coalesced\""));
+        assert!(json.contains("\"service_shed\""));
+        assert!(json.contains("\"service_cancelled\""));
         assert!(json.contains("\"scale\": \"smoke\""));
         assert!(json.contains("\"fused_mips\""));
         assert!(json.contains("\"replay_mips\""));

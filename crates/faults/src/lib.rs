@@ -3,7 +3,10 @@
 //! Deterministic, seeded **failpoints** for torture-testing the
 //! execution and storage layers: persisted-trace writes (create/write,
 //! short write, fsync, rename, ENOSPC), memory-mapped loads, trace
-//! capture, and experiment-cell bodies (injected panics and delays).
+//! capture, experiment-cell bodies (injected panics and delays), the
+//! sweep service's request path (dropped accepts, failed frame
+//! reads/writes, post-sweep connection drops) and spurious
+//! cancellations of the current cancel scope.
 //!
 //! A [`FaultPlan`] is a set of `(site, probability, optional budget)`
 //! clauses plus a plan seed. Whether a particular failpoint fires is a
@@ -69,10 +72,24 @@ pub enum Site {
     /// An experiment cell body stalls briefly (exercises the
     /// per-cell deadline watchdog).
     CellDelay,
+    /// Sweep service: an accepted connection is dropped before its
+    /// request is read.
+    ServeAccept,
+    /// Sweep service: reading a request frame fails.
+    ServeRead,
+    /// Sweep service: writing a response frame fails (the connection
+    /// is closed with the response unsent).
+    ServeWrite,
+    /// Sweep service: the connection is dropped after the sweep ran
+    /// but before the response is written.
+    ServeDrop,
+    /// A spurious cancellation of the current cancel scope's token
+    /// (exercises the cooperative-cancellation path end to end).
+    CancelSpurious,
 }
 
 /// All sites, for iteration and parsing.
-pub const ALL_SITES: [Site; 9] = [
+pub const ALL_SITES: [Site; 14] = [
     Site::PersistWrite,
     Site::PersistEnospc,
     Site::PersistShort,
@@ -82,6 +99,11 @@ pub const ALL_SITES: [Site; 9] = [
     Site::Capture,
     Site::CellPanic,
     Site::CellDelay,
+    Site::ServeAccept,
+    Site::ServeRead,
+    Site::ServeWrite,
+    Site::ServeDrop,
+    Site::CancelSpurious,
 ];
 
 impl Site {
@@ -97,6 +119,11 @@ impl Site {
             Site::Capture => "capture",
             Site::CellPanic => "cell.panic",
             Site::CellDelay => "cell.delay",
+            Site::ServeAccept => "serve.accept",
+            Site::ServeRead => "serve.read",
+            Site::ServeWrite => "serve.write",
+            Site::ServeDrop => "serve.drop",
+            Site::CancelSpurious => "cancel.spurious",
         }
     }
 

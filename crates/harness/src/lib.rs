@@ -38,7 +38,9 @@ use std::hash::Hash;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use probranch_pipeline::{sweep_stale_temps, DynTrace, PredictorChoice, SimConfig, TraceLoad};
+use probranch_pipeline::{
+    sweep_old_quarantined, sweep_stale_temps, DynTrace, PredictorChoice, SimConfig, TraceLoad,
+};
 use probranch_rng::SplitMix64;
 use probranch_workloads::BenchmarkId;
 
@@ -558,6 +560,34 @@ impl<K: Eq + Hash> TraceCache<K> {
         self.demotions.load(Ordering::Relaxed)
     }
 
+    /// Writes every pooled entry that has a disk identity but no file
+    /// yet (write-if-absent, like demotion) — the drain step a service
+    /// takes before exit, so traces captured while persistence was
+    /// down still reach the store once it recovers. Returns the number
+    /// of files written; entries stay pooled and untouched.
+    pub fn flush_to_disk(&self) -> usize {
+        let slots: Vec<TraceSlot> = lock_ignore_poison(&self.slots)
+            .values()
+            .map(Arc::clone)
+            .collect();
+        let mut written = 0usize;
+        for slot in &slots {
+            let guard = lock_ignore_poison(slot);
+            let Some(e) = guard.as_ref() else { continue };
+            let Some(disk) = &e.disk else { continue };
+            if disk.path.exists() {
+                continue;
+            }
+            let ok = disk
+                .path
+                .parent()
+                .map_or(Ok(()), std::fs::create_dir_all)
+                .and_then(|()| e.trace.write_file(&disk.path, disk.content_hash));
+            written += usize::from(ok.is_ok());
+        }
+        written
+    }
+
     /// Entries evicted outright under budget pressure.
     pub fn evictions(&self) -> usize {
         self.evictions.load(Ordering::Relaxed)
@@ -628,13 +658,25 @@ pub struct EngineContext<K> {
     io_retries: AtomicUsize,
     /// Persist attempts abandoned after exhausting their retries.
     write_failures: AtomicUsize,
-    /// Set once a fatal storage error (ENOSPC, read-only dir) shuts
-    /// persistence off for the remainder of the run.
+    /// Set while the persistence circuit breaker is open: a fatal
+    /// storage error (ENOSPC, read-only dir) tripped it. Without a
+    /// cooldown ([`set_persist_cooldown`]
+    /// (EngineContext::set_persist_cooldown)) it stays open for the
+    /// rest of the run; with one, a half-open probe retries after the
+    /// cooldown and success closes the breaker again.
     persist_disabled: AtomicBool,
+    /// When the breaker last tripped (half-open timing).
+    breaker_tripped_at: Mutex<Option<std::time::Instant>>,
+    /// Half-open cooldown in milliseconds; 0 = breaker never retries
+    /// (the per-run shutdown semantics batch runs keep).
+    persist_cooldown_ms: std::sync::atomic::AtomicU64,
+    /// Times the breaker tripped (first trip + every failed probe).
+    breaker_trips: AtomicUsize,
     /// `--strict-traces`: every degradation path becomes a hard
     /// [`StrictViolation`] instead of a heal-and-continue.
     strict: bool,
     temp_sweeps: usize,
+    quarantine_sweeps: usize,
 }
 
 impl<K: Eq + Hash> Default for EngineContext<K> {
@@ -675,6 +717,7 @@ impl<K: Eq + Hash> EngineContext<K> {
         strict: bool,
     ) -> EngineContext<K> {
         let temp_sweeps = trace_dir.as_deref().map_or(0, sweep_stale_temps);
+        let quarantine_sweeps = trace_dir.as_deref().map_or(0, sweep_old_quarantined);
         EngineContext {
             cache: TraceCache::with_budget(mem_budget),
             trace_dir,
@@ -685,9 +728,24 @@ impl<K: Eq + Hash> EngineContext<K> {
             io_retries: AtomicUsize::new(0),
             write_failures: AtomicUsize::new(0),
             persist_disabled: AtomicBool::new(false),
+            breaker_tripped_at: Mutex::new(None),
+            persist_cooldown_ms: std::sync::atomic::AtomicU64::new(0),
+            breaker_trips: AtomicUsize::new(0),
             strict,
             temp_sweeps,
+            quarantine_sweeps,
         }
+    }
+
+    /// Gives the persistence circuit breaker a half-open cooldown: once
+    /// tripped by a fatal storage error, persistence is retried after
+    /// `cooldown` (one probe; success closes the breaker, failure
+    /// re-trips it and restarts the clock). Batch runs keep the default
+    /// — tripped means off for the rest of the run — but a long-lived
+    /// service wants the store back when the disk recovers.
+    pub fn set_persist_cooldown(&self, cooldown: std::time::Duration) {
+        self.persist_cooldown_ms
+            .store(cooldown.as_millis() as u64, Ordering::Relaxed);
     }
 
     /// Whether this context persists traces to disk.
@@ -866,20 +924,31 @@ impl<K: Eq + Hash> EngineContext<K> {
         }
     }
 
-    /// Persists a fresh capture, retrying transient errors and shutting
-    /// persistence off for the rest of the run (with one warning) on
-    /// fatal storage errors — a full or read-only disk costs warm
-    /// starts, never results.
+    /// Persists a fresh capture, retrying transient errors and tripping
+    /// the persistence circuit breaker (with one warning) on fatal
+    /// storage errors — a full or read-only disk costs warm starts,
+    /// never results. With a half-open cooldown configured
+    /// ([`set_persist_cooldown`](EngineContext::set_persist_cooldown)),
+    /// the first persist after the cooldown probes the store again.
     fn persist_trace(&self, dir: &std::path::Path, trace: &DynTrace, content_hash: u64) {
+        let mut half_open_probe = false;
         if self.persist_disabled.load(Ordering::Acquire) {
-            return;
+            if !self.breaker_half_open() {
+                return;
+            }
+            half_open_probe = true;
         }
         let path = Self::trace_path(dir, content_hash);
         for attempt in 0..=Self::IO_RETRIES {
             let write = std::fs::create_dir_all(dir)
                 .and_then(|()| trace.write_file_attempt(&path, content_hash, attempt));
             let e = match write {
-                Ok(()) => return,
+                Ok(()) => {
+                    if half_open_probe {
+                        self.close_breaker();
+                    }
+                    return;
+                }
                 Err(e) => e,
             };
             if Self::fatal_storage_error(&e) {
@@ -888,12 +957,7 @@ impl<K: Eq + Hash> EngineContext<K> {
                         "persistence disabled by fatal storage error: {e}"
                     )));
                 }
-                if !self.persist_disabled.swap(true, Ordering::AcqRel) {
-                    eprintln!(
-                        "warning: trace persistence disabled for the rest of the run ({e}); \
-                         results are unaffected"
-                    );
-                }
+                self.trip_breaker(&e);
                 return;
             }
             if attempt == Self::IO_RETRIES {
@@ -905,10 +969,62 @@ impl<K: Eq + Hash> EngineContext<K> {
                     )));
                 }
                 eprintln!("warning: could not persist trace {content_hash:016x}: {e}");
+                if half_open_probe {
+                    // A failed probe re-opens the breaker and restarts
+                    // its clock — no probe storm against a sick disk.
+                    self.trip_breaker(&e);
+                }
                 return;
             }
             self.io_retries.fetch_add(1, Ordering::Relaxed);
             Self::backoff(attempt);
+        }
+    }
+
+    /// Opens (or re-opens) the persistence breaker, restarting the
+    /// half-open clock; warns on the initial trip only.
+    fn trip_breaker(&self, e: &std::io::Error) {
+        self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+        *lock_ignore_poison(&self.breaker_tripped_at) = Some(std::time::Instant::now());
+        if !self.persist_disabled.swap(true, Ordering::AcqRel) {
+            let cooldown = self.persist_cooldown_ms.load(Ordering::Relaxed);
+            if cooldown == 0 {
+                eprintln!(
+                    "warning: trace persistence disabled for the rest of the run ({e}); \
+                     results are unaffected"
+                );
+            } else {
+                eprintln!(
+                    "warning: trace persistence breaker tripped ({e}); retrying in {cooldown}ms; \
+                     results are unaffected"
+                );
+            }
+        }
+    }
+
+    /// Whether an open breaker should admit a half-open probe now.
+    /// Claims the probe by resetting the trip time, so concurrent
+    /// persists don't all probe at once.
+    fn breaker_half_open(&self) -> bool {
+        let cooldown = self.persist_cooldown_ms.load(Ordering::Relaxed);
+        if cooldown == 0 {
+            return false;
+        }
+        let mut tripped = lock_ignore_poison(&self.breaker_tripped_at);
+        match *tripped {
+            Some(t) if t.elapsed() >= std::time::Duration::from_millis(cooldown) => {
+                *tripped = Some(std::time::Instant::now());
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Closes the breaker after a successful half-open probe.
+    fn close_breaker(&self) {
+        if self.persist_disabled.swap(false, Ordering::AcqRel) {
+            *lock_ignore_poison(&self.breaker_tripped_at) = None;
+            eprintln!("warning: trace persistence breaker closed; store is healthy again");
         }
     }
 
@@ -975,6 +1091,30 @@ impl<K: Eq + Hash> EngineContext<K> {
     /// trace directory.
     pub fn temp_sweeps(&self) -> usize {
         self.temp_sweeps
+    }
+
+    /// Expired quarantined traces reaped when the context opened its
+    /// trace directory (see
+    /// [`sweep_old_quarantined`](probranch_pipeline::sweep_old_quarantined)).
+    pub fn quarantine_sweeps(&self) -> usize {
+        self.quarantine_sweeps
+    }
+
+    /// Times the persistence breaker tripped (first fatal storage
+    /// error plus every failed half-open probe).
+    pub fn breaker_trips(&self) -> usize {
+        self.breaker_trips.load(Ordering::Relaxed)
+    }
+
+    /// Writes every pooled trace that has a disk identity but no file
+    /// yet (see [`TraceCache::flush_to_disk`]) — the drain step before
+    /// a service exits. A no-op while the breaker is open. Returns the
+    /// number of files written.
+    pub fn flush_to_disk(&self) -> usize {
+        if self.persist_disabled.load(Ordering::Acquire) {
+            return 0;
+        }
+        self.cache.flush_to_disk()
     }
 
     /// Intact persisted traces rejected for a stale format version or
@@ -1219,6 +1359,65 @@ mod tests {
         let healed = run(&healed_ctx);
         assert_eq!((healed_ctx.captures(), healed_ctx.disk_loads()), (1, 0));
         assert_eq!(healed, cold);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn persistence_breaker_half_opens_and_drain_flushes_missed_writes() {
+        use probranch_faults as faults;
+        use probranch_pipeline::{DynTrace, SimConfig};
+        use probranch_workloads::{BenchmarkId as B, Scale};
+
+        let dir = std::env::temp_dir().join(format!("probranch-breaker-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = SimConfig::default();
+        let base = cfg.emu_key_fingerprint();
+        let capture = |ctx: &EngineContext<(B, u64, bool)>, seed: u64| {
+            let program = B::Pi
+                .build(Scale::Smoke, workload_seed(B::Pi, seed))
+                .program();
+            ctx.get_or_capture((B::Pi, seed, false), base ^ seed, &cfg, || {
+                DynTrace::capture(&program, &cfg)
+            })
+            .expect("capture");
+        };
+
+        // ENOSPC on every write (until the budget runs out) trips the
+        // breaker on the first persist.
+        let _scope = faults::ScopedPlan::install(
+            faults::FaultPlan::seeded(7).arm(faults::Site::PersistEnospc, 1.0),
+        );
+        let ctx: EngineContext<(B, u64, bool)> = EngineContext::with_trace_dir(&dir);
+        capture(&ctx, 0);
+        assert!(ctx.persistence_disabled(), "fatal storage error trips");
+        assert_eq!(ctx.breaker_trips(), 1);
+        // Without a cooldown the breaker stays open: captures are
+        // pooled but nothing reaches disk, and drain flushes nothing.
+        capture(&ctx, 1);
+        assert!(ctx.persistence_disabled());
+        assert_eq!(ctx.flush_to_disk(), 0, "no flush through an open breaker");
+        let on_disk = || {
+            std::fs::read_dir(&dir).map_or(0, |d| {
+                d.flatten()
+                    .filter(|e| e.file_name().to_str().is_some_and(|n| n.ends_with(".bin")))
+                    .count()
+            })
+        };
+        assert_eq!(on_disk(), 0);
+
+        // Heal the disk and give the breaker a cooldown: the next
+        // persist is a half-open probe, success closes the breaker.
+        faults::install(faults::FaultPlan::default());
+        ctx.set_persist_cooldown(std::time::Duration::from_millis(1));
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        capture(&ctx, 2);
+        assert!(!ctx.persistence_disabled(), "successful probe closes");
+        assert_eq!(on_disk(), 1, "the probe's own trace persisted");
+        // Drain: the traces captured while the breaker was open reach
+        // the store now.
+        assert_eq!(ctx.flush_to_disk(), 2);
+        assert_eq!(on_disk(), 3);
+        assert_eq!(ctx.flush_to_disk(), 0, "flush is idempotent");
         std::fs::remove_dir_all(&dir).ok();
     }
 

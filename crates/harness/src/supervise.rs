@@ -1,5 +1,6 @@
 //! Supervised cell execution: per-cell panic isolation, bounded
-//! retries, a deadline watchdog, and structured failure reporting.
+//! retries, hard per-cell deadlines via cooperative cancellation, and
+//! structured failure reporting.
 //!
 //! [`run_cells`](crate::run_cells) keeps the engine's original
 //! contract — a panic anywhere tears down the whole grid — which is
@@ -9,12 +10,23 @@
 //! cells their results. [`run_cells_supervised`] wraps each cell body
 //! in `catch_unwind`, re-runs failed cells up to a retry budget
 //! (passing the attempt ordinal so deterministic fault schedules
-//! re-roll and degradation cascades can switch engines), watches for
-//! cells overrunning a soft deadline, and merges results in cell-index
-//! order exactly like the plain driver — **byte-identical to an
-//! unsupervised run whenever every cell eventually succeeds**, because
-//! a retried cell recomputes the same pure function of the same cell
-//! identity.
+//! re-roll and degradation cascades can switch engines), cancels
+//! attempts that overrun the per-cell deadline, and merges results in
+//! cell-index order exactly like the plain driver — **byte-identical
+//! to an unsupervised run whenever every cell eventually succeeds**,
+//! because a retried cell recomputes the same pure function of the
+//! same cell identity.
+//!
+//! Deadlines are enforced through [`CancelToken`]s: every attempt
+//! runs under a fresh token (child of whatever [`cancel::current`]
+//! scope the caller installed — e.g. a sweep-service request token
+//! carrying the request deadline) and the pipeline's chunk loops poll
+//! it, so an over-deadline cell stops within one chunk of work and
+//! fails with a structured `cancelled: deadline exceeded (…)` message
+//! that participates in the retry cascade. A body that never polls
+//! (pure computation outside the pipeline) still completes and is
+//! merely flagged over-deadline, exactly like PR 8's report-only
+//! watchdog.
 //!
 //! When a cell exhausts its attempts the whole run returns a
 //! [`SupervisedError`] naming the cell and carrying every attempt's
@@ -22,9 +34,11 @@
 //! binary turns into a non-zero exit instead of an abort trace.
 
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use probranch_pipeline::cancel::{self, CancelScope, CancelToken};
 
 use crate::Jobs;
 
@@ -48,10 +62,13 @@ impl std::fmt::Display for StrictViolation {
 pub struct Supervision {
     /// Extra attempts after the first (0 = fail on first panic).
     pub retries: u32,
-    /// Soft per-cell deadline: overrunning cells are *reported* (once,
-    /// to stderr, and in their [`CellOutcome`]), never killed — Rust
-    /// threads cannot be safely cancelled, and a slow cell's result is
-    /// still byte-correct.
+    /// Per-cell, per-attempt deadline, enforced by cooperative
+    /// cancellation: each attempt runs under a [`CancelToken`] with
+    /// this budget, which the pipeline's chunk loops poll — an
+    /// overrunning attempt stops within one chunk and fails with a
+    /// structured `deadline exceeded` message (retryable like any
+    /// other failure). Bodies that never reach a poll point still
+    /// complete and are only flagged in their [`CellOutcome`].
     pub deadline: Option<Duration>,
 }
 
@@ -75,7 +92,8 @@ impl Supervision {
         }
     }
 
-    /// This policy with a per-cell soft deadline.
+    /// This policy with a per-cell hard deadline (cooperatively
+    /// enforced; see [`Supervision::deadline`]).
     pub fn with_deadline(mut self, deadline: Duration) -> Supervision {
         self.deadline = Some(deadline);
         self
@@ -127,7 +145,8 @@ pub struct CellOutcome {
     /// The label the successful attempt set via [`Attempt::set_label`]
     /// (empty when the body never labelled itself).
     pub label: &'static str,
-    /// Whether the watchdog saw this cell overrun the soft deadline.
+    /// Whether any attempt of this cell ran past the deadline (and was
+    /// cancelled at its next poll point, or completed without polling).
     pub over_deadline: bool,
     /// Panic messages of the failed attempts, in attempt order.
     pub failures: Vec<String>,
@@ -236,9 +255,9 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> (String, bool) {
 use crate::lock_ignore_poison;
 
 /// Runs one closure per cell across `jobs` workers with per-cell panic
-/// isolation, bounded retries and an optional deadline watchdog;
-/// results return **in cell-index order**, exactly like
-/// [`run_cells`](crate::run_cells).
+/// isolation, bounded retries and an optional hard (cooperatively
+/// cancelled) per-attempt deadline; results return **in cell-index
+/// order**, exactly like [`run_cells`](crate::run_cells).
 ///
 /// Each attempt receives an [`Attempt`] carrying its 0-based ordinal:
 /// deterministic fault schedules salt on it (so retries re-roll) and
@@ -248,6 +267,13 @@ use crate::lock_ignore_poison;
 /// exhausts its attempts the run stops claiming new cells and returns
 /// that cell's [`SupervisedError`]; sibling cells already in flight
 /// finish normally (they are never torn down mid-simulation).
+///
+/// Every attempt runs under its own [`CancelToken`], a child of the
+/// caller's [`cancel::current`] scope (if any) so an outer request
+/// token — a service deadline, a drained connection — cancels cells
+/// here too. With `sup.deadline` set the attempt token self-cancels
+/// after that budget; the pipeline's chunk loops turn that into a
+/// structured `cancelled: deadline exceeded (…)` failure.
 ///
 /// # Errors
 ///
@@ -265,51 +291,24 @@ where
     F: Fn(&T, &Attempt) -> R + Sync,
 {
     install_quiet_panic_hook();
+    // The caller's cancel scope (a service request token, say) parents
+    // every attempt token, so cancelling it cancels the whole grid.
+    let parent = cancel::current();
     let n = cells.len();
     let workers = jobs.get().min(n.max(1));
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let outcome_slots: Vec<Mutex<Option<CellOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let error: Mutex<Option<SupervisedError>> = Mutex::new(None);
-    // Watchdog state: per-cell start instant while in flight, per-cell
-    // over-deadline flag, and a live-worker count the watchdog drains
-    // on.
-    let started: Vec<Mutex<Option<Instant>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let overran: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
-    let live_workers = AtomicUsize::new(workers);
 
     std::thread::scope(|scope| {
-        if let Some(deadline) = sup.deadline {
-            let started = &started;
-            let overran = &overran;
-            let live_workers = &live_workers;
-            scope.spawn(move || {
-                let tick = (deadline / 4).max(Duration::from_micros(200));
-                while live_workers.load(Ordering::Acquire) > 0 {
-                    std::thread::sleep(tick);
-                    for (i, slot) in started.iter().enumerate() {
-                        let Some(t0) = *lock_ignore_poison(slot) else {
-                            continue;
-                        };
-                        if t0.elapsed() >= deadline && !overran[i].swap(true, Ordering::Relaxed) {
-                            eprintln!(
-                                "warning: cell {i} over deadline ({:?}); letting it finish",
-                                deadline
-                            );
-                        }
-                    }
-                }
-            });
-        }
         for _ in 0..workers {
             let run = &run;
             let slots = &slots;
             let outcome_slots = &outcome_slots;
             let error = &error;
             let next = &next;
-            let started = &started;
-            let overran = &overran;
-            let live_workers = &live_workers;
+            let parent = &parent;
             scope.spawn(move || {
                 loop {
                     // A fatal cell stops the claim loop — in-flight
@@ -321,16 +320,35 @@ where
                     if i >= n {
                         break;
                     }
-                    *lock_ignore_poison(&started[i]) = Some(Instant::now());
                     let mut failures: Vec<String> = Vec::new();
                     let mut strict_failure = false;
+                    let mut over = false;
                     let mut done: Option<(R, &'static str, u32)> = None;
                     for a in 0..=sup.retries {
+                        // A fresh token per attempt: each retry gets
+                        // the full deadline budget again.
+                        let token = match parent {
+                            Some(p) => p.child(sup.deadline),
+                            None => match sup.deadline {
+                                Some(d) => CancelToken::with_deadline(d),
+                                None => CancelToken::new(),
+                            },
+                        };
                         let attempt = Attempt::new(a);
                         QUIET.with(|q| q.set(true));
-                        let caught =
-                            std::panic::catch_unwind(AssertUnwindSafe(|| run(&cells[i], &attempt)));
+                        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            let _scope = CancelScope::enter(token.clone());
+                            run(&cells[i], &attempt)
+                        }));
                         QUIET.with(|q| q.set(false));
+                        if token.deadline_passed() && !over {
+                            over = true;
+                            eprintln!(
+                                "warning: cell {i} exceeded deadline ({:?}); cancelled at its \
+                                 next poll point",
+                                sup.deadline.unwrap_or_default()
+                            );
+                        }
                         match caught {
                             Ok(r) => {
                                 done = Some((r, attempt.label.get(), a + 1));
@@ -345,11 +363,15 @@ where
                                     strict_failure = true;
                                     break;
                                 }
+                                // An outer cancellation (not this
+                                // attempt's own deadline) dooms every
+                                // retry too — stop burning attempts.
+                                if parent.as_ref().is_some_and(|p| p.is_cancelled()) {
+                                    break;
+                                }
                             }
                         }
                     }
-                    *lock_ignore_poison(&started[i]) = None;
-                    let over = overran[i].load(Ordering::Relaxed);
                     match done {
                         Some((r, label, attempts)) => {
                             *lock_ignore_poison(&slots[i]) = Some(r);
@@ -377,7 +399,6 @@ where
                         }
                     }
                 }
-                live_workers.fetch_sub(1, Ordering::Release);
             });
         }
     });
@@ -488,7 +509,10 @@ mod tests {
     }
 
     #[test]
-    fn watchdog_flags_over_deadline_cells_without_killing_them() {
+    fn non_polling_bodies_that_overrun_are_flagged_not_killed() {
+        // A body that never reaches a cancellation poll point (pure
+        // computation, sleeps) cannot be cooperatively stopped: it
+        // completes, keeps its result, and is flagged over-deadline.
         let cells: Vec<u64> = (0..6).collect();
         let sup = Supervision::none().with_deadline(Duration::from_millis(5));
         let run = run_cells_supervised(&cells, Jobs::new(2), sup, |&c, _| {
@@ -497,10 +521,79 @@ mod tests {
             }
             c * 2
         })
-        .expect("slow cells still complete");
+        .expect("slow non-polling cells still complete");
         assert_eq!(run.results, vec![0, 2, 4, 6, 8, 10]);
         assert_eq!(run.over_deadline(), 1);
         assert!(run.outcomes.iter().any(|o| o.index == 2 && o.over_deadline));
+    }
+
+    #[test]
+    fn polling_bodies_are_cancelled_at_the_deadline_and_can_retry() {
+        // A cooperative body (polling like the pipeline's chunk loops)
+        // is actually stopped: the attempt fails with a structured
+        // deadline message, and a faster retry rescues the cell.
+        let cells: Vec<u64> = (0..4).collect();
+        let sup = Supervision::none()
+            .with_retries(1)
+            .with_deadline(Duration::from_millis(10));
+        let run = run_cells_supervised(&cells, Jobs::new(2), sup, |&c, attempt| {
+            if c == 1 && attempt.number == 0 {
+                // Simulates a runaway first attempt: chunk loop that
+                // never halts on its own.
+                loop {
+                    cancel::check_current().unwrap_or_else(|e| panic!("cell: {e}"));
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+            c + 10
+        })
+        .expect("the retry must rescue the cancelled cell");
+        assert_eq!(run.results, vec![10, 11, 12, 13]);
+        assert_eq!(run.over_deadline(), 1);
+        assert_eq!(run.retried(), 1);
+        let o = run.outcomes.iter().find(|o| o.index == 1).expect("outcome");
+        assert!(o.over_deadline && o.attempts == 2);
+        assert!(
+            o.failures[0].contains("deadline exceeded"),
+            "structured deadline failure, got: {}",
+            o.failures[0]
+        );
+    }
+
+    #[test]
+    fn exhausted_deadlines_return_a_structured_deadline_error() {
+        let cells: Vec<u64> = vec![0];
+        let sup = Supervision::none().with_deadline(Duration::from_millis(5));
+        let err = run_cells_supervised(&cells, Jobs::serial(), sup, |_, _| loop {
+            cancel::check_current().unwrap_or_else(|e| panic!("cell: {e}"));
+            std::thread::sleep(Duration::from_micros(200));
+        })
+        .expect_err("a cell that can never meet its deadline fails the run");
+        assert_eq!(err.attempts, 1);
+        assert!(err.failures[0].contains("cancelled: deadline exceeded"));
+    }
+
+    #[test]
+    fn an_outer_cancel_scope_cancels_the_grid_without_retry_burn() {
+        use std::sync::atomic::AtomicU32;
+        let outer = CancelToken::new();
+        outer.cancel("request dropped");
+        let _scope = CancelScope::enter(outer);
+        let attempts_seen = AtomicU32::new(0);
+        let cells: Vec<u64> = (0..4).collect();
+        let sup = Supervision::none().with_retries(5);
+        let err = run_cells_supervised(&cells, Jobs::serial(), sup, |&c, _| {
+            attempts_seen.fetch_add(1, Ordering::Relaxed);
+            cancel::check_current().unwrap_or_else(|e| panic!("cell: {e}"));
+            c
+        })
+        .expect_err("a cancelled parent fails the run");
+        assert!(err.failures[0].contains("cancelled: request dropped"));
+        assert_eq!(
+            attempts_seen.load(Ordering::Relaxed),
+            1,
+            "retries are pointless under a cancelled parent"
+        );
     }
 
     #[test]

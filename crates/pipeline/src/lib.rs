@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 
 mod cache;
+pub mod cancel;
 mod decode;
 mod machine;
 mod ooo;
@@ -66,6 +67,7 @@ mod sim;
 mod trace;
 
 pub use cache::{Cache, MemLatencies, MemoryHierarchy};
+pub use cancel::{CancelScope, CancelToken};
 pub use decode::{
     DecOp, DecodedInst, DecodedProgram, InstTiming, FLAG_REG, PAD_DEF_REG, PAD_USE_REG,
 };
@@ -73,7 +75,7 @@ pub use machine::{
     BranchEvent, BranchEventKind, DynInst, EmuConfig, EmuError, Emulator, StepRecord,
 };
 pub use ooo::{BranchTraceEntry, ExecLatencies, OooConfig, OooTimingModel, TimingStats};
-pub use persist::{sweep_stale_temps, TraceLoad, TRACE_FILE_VERSION};
+pub use persist::{sweep_old_quarantined, sweep_stale_temps, TraceLoad, TRACE_FILE_VERSION};
 pub use sim::{
     run_functional, simulate, simulate_convoy, simulate_reference, simulate_replay,
     simulate_replay_convoy, EngineKind, PredictorChoice, SimConfig, SimReport, Simulation,

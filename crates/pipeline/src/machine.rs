@@ -61,6 +61,14 @@ pub enum EmuError {
         /// The failpoint site name (e.g. `capture`).
         site: &'static str,
     },
+    /// The run was cooperatively cancelled via a
+    /// [`CancelToken`](crate::cancel::CancelToken) — a hard deadline
+    /// expired, a service request was dropped, or a spurious-cancel
+    /// failpoint fired.
+    Cancelled {
+        /// Why the token was cancelled (e.g. `deadline exceeded (250ms)`).
+        reason: String,
+    },
 }
 
 impl fmt::Display for EmuError {
@@ -77,6 +85,7 @@ impl fmt::Display for EmuError {
                 write!(f, "instruction limit of {limit} exceeded")
             }
             EmuError::InjectedFault { site } => write!(f, "injected fault: {site}"),
+            EmuError::Cancelled { reason } => write!(f, "cancelled: {reason}"),
         }
     }
 }

@@ -730,6 +730,60 @@ pub fn sweep_stale_temps(dir: &Path) -> usize {
     reaped
 }
 
+/// Quarantined corrupt traces older than this are reaped on store
+/// open — long enough to diagnose a corruption incident, short enough
+/// that the evidence never accumulates forever.
+pub const QUARANTINE_MAX_AGE: std::time::Duration =
+    std::time::Duration::from_secs(7 * 24 * 60 * 60);
+
+/// At most this many quarantined files survive a sweep regardless of
+/// age (the newest are kept): a pathologically flapping store cannot
+/// fill the directory within the age window.
+pub const QUARANTINE_KEEP: usize = 16;
+
+/// Reaps old `*.quarantined` files in a trace directory — corrupt
+/// traces [`quarantine`d](TraceLoad::Corrupt) aside as evidence, which
+/// nothing would otherwise ever delete. Mirrors [`sweep_stale_temps`]:
+/// called once on store open, returns the number of files removed.
+///
+/// A quarantined file is reaped once it is older than
+/// [`QUARANTINE_MAX_AGE`]; independent of age, only the
+/// [`QUARANTINE_KEEP`] newest files survive. A modification time in
+/// the future (clock skew) reads as brand new, never as expired.
+pub fn sweep_old_quarantined(dir: &Path) -> usize {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let now = std::time::SystemTime::now();
+    let mut reaped = 0usize;
+    let mut kept: Vec<(std::time::SystemTime, std::path::PathBuf)> = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        if !name.to_str().is_some_and(|n| n.ends_with(".quarantined")) {
+            continue;
+        }
+        // An unreadable mtime is treated as current: kept by age, but
+        // still subject to the count bound below.
+        let modified = entry.metadata().and_then(|m| m.modified()).unwrap_or(now);
+        let expired = now
+            .duration_since(modified)
+            .is_ok_and(|age| age >= QUARANTINE_MAX_AGE);
+        if expired {
+            reaped += usize::from(std::fs::remove_file(entry.path()).is_ok());
+        } else {
+            kept.push((modified, entry.path()));
+        }
+    }
+    if kept.len() > QUARANTINE_KEEP {
+        // Oldest first; everything beyond the newest KEEP goes.
+        kept.sort_by_key(|&(modified, _)| modified);
+        for (_, path) in &kept[..kept.len() - QUARANTINE_KEEP] {
+            reaped += usize::from(std::fs::remove_file(path).is_ok());
+        }
+    }
+    reaped
+}
+
 /// On platforms without a pid-liveness probe, foreign temps younger
 /// than this are presumed to have a live writer and survive the sweep.
 #[cfg(any(not(target_os = "linux"), test))]
@@ -818,6 +872,63 @@ mod tests {
             std::env::temp_dir().join(format!("probranch-persist-{tag}-{}", std::process::id()));
         std::fs::create_dir_all(&dir).expect("temp dir");
         dir
+    }
+
+    #[test]
+    fn quarantine_sweep_is_age_and_count_bounded() {
+        let dir = tempdir("quarantine-sweep");
+        let seed = |name: &str, age: std::time::Duration| {
+            let path = dir.join(name);
+            std::fs::write(&path, b"corrupt evidence").unwrap();
+            std::fs::File::options()
+                .write(true)
+                .open(&path)
+                .unwrap()
+                .set_modified(std::time::SystemTime::now() - age)
+                .unwrap();
+            path
+        };
+        // Two expired files, one fresh one, and one non-quarantine
+        // bystander older than the age bound.
+        let old_a = seed("trace-aaaa.bin.quarantined", QUARANTINE_MAX_AGE * 2);
+        let old_b = seed(
+            "trace-bbbb.bin.quarantined",
+            QUARANTINE_MAX_AGE + std::time::Duration::from_secs(60),
+        );
+        let fresh = seed(
+            "trace-cccc.bin.quarantined",
+            std::time::Duration::from_secs(60),
+        );
+        let bystander = seed("trace-dddd.bin", QUARANTINE_MAX_AGE * 2);
+        assert_eq!(sweep_old_quarantined(&dir), 2);
+        assert!(!old_a.exists() && !old_b.exists());
+        assert!(fresh.exists(), "recent quarantine files are evidence");
+        assert!(bystander.exists(), "published traces are never touched");
+
+        // Count bound: even brand-new files beyond the newest KEEP go.
+        for i in 0..(QUARANTINE_KEEP + 5) {
+            // Distinct mtimes so "newest" is well defined.
+            seed(
+                &format!("trace-{i:04x}.bin.quarantined"),
+                std::time::Duration::from_secs(120 + i as u64),
+            );
+        }
+        let total = QUARANTINE_KEEP + 5 + 1; // + the fresh survivor above
+        assert_eq!(sweep_old_quarantined(&dir), total - QUARANTINE_KEEP);
+        let left = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| {
+                e.file_name()
+                    .to_str()
+                    .is_some_and(|n| n.ends_with(".quarantined"))
+            })
+            .count();
+        assert_eq!(left, QUARANTINE_KEEP);
+        assert!(fresh.exists(), "the newest files survive the count bound");
+        // An empty/absent directory is a no-op.
+        assert_eq!(sweep_old_quarantined(&dir.join("absent")), 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -442,9 +442,18 @@ fn run_fused(program: &Program, config: &SimConfig) -> Result<SimReport, EmuErro
     // capped at the remaining instruction budget so the limit trips at
     // exactly the same dynamic instruction as the reference engine.
     const BATCH: u64 = 64;
+    // Cancellation poll cadence: cheap relative to ~64 Ki instructions
+    // of fused work, frequent enough that a cancelled cell stops within
+    // one trace chunk's worth of instructions.
+    const CANCEL_STRIDE: u64 = 1 << 16;
     let mut buf: Vec<StepRecord> = Vec::with_capacity(BATCH as usize);
     let mut executed: u64 = 0;
+    let mut next_cancel_poll: u64 = 0;
     loop {
+        if executed >= next_cancel_poll {
+            crate::cancel::check_current()?;
+            next_cancel_poll = executed + CANCEL_STRIDE;
+        }
         let budget = (config.max_insts - executed).clamp(1, BATCH) as usize;
         emu.step_block(&mut buf, budget)?;
         if buf.is_empty() {
@@ -485,6 +494,9 @@ fn run_reference(program: &Program, config: &SimConfig) -> Result<SimReport, Emu
     while let Some(d) = emu.step()? {
         timing.consume(&d, predictor.as_mut(), config.filter_prob_from_predictor);
         executed += 1;
+        if executed & 0xFFFF == 0 {
+            crate::cancel::check_current()?;
+        }
         if executed >= config.max_insts {
             return Err(EmuError::InstLimitExceeded {
                 limit: config.max_insts,
@@ -561,6 +573,7 @@ fn replay_convoy(trace: &DynTrace, configs: &[SimConfig]) -> Result<Vec<SimRepor
     }
     let mut consumers: Vec<ReplayConsumer> = configs.iter().map(ReplayConsumer::new).collect();
     for chunk in trace.chunks() {
+        crate::cancel::check_current()?;
         drain_chunk_convoy(&mut consumers, trace.timings(), chunk);
     }
     Ok(consumers

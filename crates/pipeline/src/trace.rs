@@ -860,6 +860,9 @@ impl TraceStream {
         if self.halted {
             return Ok(false);
         }
+        // Cooperative cancellation: one poll per chunk bounds how much
+        // work a cancelled capture or convoy performs after the fact.
+        crate::cancel::check_current()?;
         // Cap the chunk at the remaining instruction budget so the limit
         // trips at exactly the same dynamic instruction as the fused
         // engine's batch loop.

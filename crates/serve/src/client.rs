@@ -1,0 +1,69 @@
+//! Client-side helpers: one request per connection, optional retry
+//! with backoff (heals injected accept/write drops), and a readiness
+//! probe for scripts that start the server in the background.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use crate::protocol::{read_frame, write_frame, Request, Response};
+
+/// Sends one request and reads one response over a fresh connection.
+///
+/// # Errors
+///
+/// Any transport failure (connect, frame I/O, a response that does not
+/// parse) comes back as an [`std::io::Error`]; the caller decides
+/// whether to retry.
+pub fn request(
+    addr: impl ToSocketAddrs,
+    request: &Request,
+    timeout: Duration,
+) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    write_frame(&mut stream, &request.encode())?;
+    let frame = read_frame(&mut stream)?;
+    Response::parse(&frame).map_err(|msg| std::io::Error::new(std::io::ErrorKind::InvalidData, msg))
+}
+
+/// [`request`], retrying transport failures up to `tries` attempts
+/// with linear backoff. This is the layer that turns an injected
+/// `serve.accept`/`serve.write`/`serve.drop` fault into a healed,
+/// byte-identical response — structured protocol errors (a parsed
+/// non-ok [`Response`]) are returned as-is, never retried.
+///
+/// # Errors
+///
+/// The last transport error once the attempt budget is spent.
+pub fn request_with_retry(
+    addr: impl ToSocketAddrs + Clone,
+    req: &Request,
+    timeout: Duration,
+    tries: u32,
+) -> std::io::Result<Response> {
+    let mut last = None;
+    for attempt in 0..tries.max(1) {
+        match request(addr.clone(), req, timeout) {
+            Ok(response) => return Ok(response),
+            Err(e) => last = Some(e),
+        }
+        std::thread::sleep(Duration::from_millis(25 * u64::from(attempt + 1)));
+    }
+    Err(last.unwrap_or_else(|| std::io::Error::other("no attempts made")))
+}
+
+/// Pings until the server answers or the timeout elapses. Returns
+/// whether the server became ready.
+pub fn wait_ready(addr: impl ToSocketAddrs + Clone, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if request(addr.clone(), &Request::Ping, Duration::from_secs(1)).is_ok() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}

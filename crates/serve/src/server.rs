@@ -1,0 +1,591 @@
+//! The sweep server: accept loop, admission control, coalescing and
+//! graceful drain. Generic over the sweep handler so the transport
+//! layer never depends on the experiment crates.
+
+use std::collections::HashMap;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+use probranch_faults as faults;
+
+use crate::protocol::{read_frame, write_frame, Request, Response, Status, SweepRequest};
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Server tuning knobs. The defaults suit the CI smoke gates; a real
+/// deployment would size `max_inflight` to cores/`jobs`.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Sweep requests admitted concurrently; arrivals beyond this are
+    /// load-shed with [`Status::Overloaded`].
+    pub max_inflight: usize,
+    /// Per-connection read timeout (a peer that never sends a frame
+    /// cannot pin a connection thread).
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+    /// Accept-poll tick while idle (the listener runs non-blocking so
+    /// the loop can notice shutdown between connections).
+    pub accept_poll: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_inflight: 4,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            accept_poll: Duration::from_millis(20),
+        }
+    }
+}
+
+/// What the sweep handler reports back for one admitted request.
+#[derive(Debug, Clone)]
+pub enum SweepOutcome {
+    /// The rendered section text, byte-identical to the in-process
+    /// run.
+    Ok(String),
+    /// The sweep was cooperatively cancelled (deadline, spurious
+    /// cancel); the message is the structured failure.
+    Cancelled(String),
+    /// The sweep failed with a structured error.
+    Failed(String),
+    /// The request named an unknown section/scale/engine.
+    BadRequest(String),
+}
+
+impl SweepOutcome {
+    fn into_response(self) -> Response {
+        match self {
+            SweepOutcome::Ok(body) => Response::new(Status::Ok, body),
+            SweepOutcome::Cancelled(msg) => Response::new(Status::Cancelled, msg),
+            SweepOutcome::Failed(msg) => Response::new(Status::Failed, msg),
+            SweepOutcome::BadRequest(msg) => Response::new(Status::BadRequest, msg),
+        }
+    }
+}
+
+/// Service counters, reported at drain and exported into the
+/// throughput schema (`probranch-throughput/7`).
+#[derive(Debug, Default)]
+struct Stats {
+    requests: AtomicU64,
+    coalesced: AtomicU64,
+    shed: AtomicU64,
+    cancelled: AtomicU64,
+    failed: AtomicU64,
+}
+
+/// A point-in-time copy of the service counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Sweep requests admitted past the load-shedding gate.
+    pub requests: u64,
+    /// Admitted requests that shared a leader's in-flight computation
+    /// instead of running their own.
+    pub coalesced: u64,
+    /// Requests rejected with [`Status::Overloaded`].
+    pub shed: u64,
+    /// Admitted requests whose sweep was cooperatively cancelled.
+    pub cancelled: u64,
+    /// Admitted requests whose sweep failed with a structured error.
+    pub failed: u64,
+}
+
+impl StatsSnapshot {
+    /// One-line human summary for the drain report.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} requests ({} coalesced), {} shed, {} cancelled, {} failed",
+            self.requests, self.coalesced, self.shed, self.cancelled, self.failed
+        )
+    }
+}
+
+/// One coalescing cell: the leader publishes its outcome here and
+/// wakes the waiters.
+type CoalesceCell = Arc<(Mutex<Option<SweepOutcome>>, Condvar)>;
+
+/// The sweep server. [`Server::run`] blocks until a drain completes;
+/// see the crate docs for the robustness layers.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+    stats: Stats,
+}
+
+impl Server {
+    /// Binds the listener. The server does not accept until
+    /// [`run`](Server::run).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            stats: Stats::default(),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `local_addr` error.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that triggers a graceful drain when set — wire it to a
+    /// signal flag ([`crate::signal_shutdown_flag`]) or a test.
+    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Accepts and serves until a drain completes: a `shutdown`
+    /// request or the shutdown handle stops admission, in-flight
+    /// sweeps finish (new arrivals get [`Status::ShuttingDown`]), and
+    /// the final counters return to the caller.
+    ///
+    /// # Errors
+    ///
+    /// Only fatal listener setup errors; per-connection failures are
+    /// handled (and injectable) inside the loop.
+    pub fn run<H>(&self, handler: H) -> std::io::Result<StatsSnapshot>
+    where
+        H: Fn(&SweepRequest) -> SweepOutcome + Sync,
+    {
+        self.listener.set_nonblocking(true)?;
+        // Admitted sweeps currently running — the drain gate.
+        let inflight = AtomicUsize::new(0);
+        // Leader cells for in-flight coalescable requests.
+        let coalesce: Mutex<HashMap<String, CoalesceCell>> = Mutex::new(HashMap::new());
+        let mut conn_id: u64 = 0;
+
+        std::thread::scope(|scope| {
+            loop {
+                if self.shutdown.load(Ordering::Acquire) && inflight.load(Ordering::Acquire) == 0 {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        conn_id += 1;
+                        let id = conn_id;
+                        // Injected accept-path fault: the connection is
+                        // dropped before its request is read — the
+                        // client sees EOF and retries.
+                        if faults::injected(faults::Site::ServeAccept, &[id]) {
+                            drop(stream);
+                            continue;
+                        }
+                        let handler = &handler;
+                        let inflight = &inflight;
+                        let coalesce = &coalesce;
+                        scope.spawn(move || {
+                            self.serve_connection(stream, id, handler, inflight, coalesce);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(self.config.accept_poll);
+                    }
+                    Err(_) => {
+                        // Transient accept failure (EMFILE, aborted
+                        // handshake): back off and keep serving.
+                        std::thread::sleep(self.config.accept_poll);
+                    }
+                }
+            }
+        });
+        Ok(self.snapshot())
+    }
+
+    /// The current counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.stats.requests.load(Ordering::Relaxed),
+            coalesced: self.stats.coalesced.load(Ordering::Relaxed),
+            shed: self.stats.shed.load(Ordering::Relaxed),
+            cancelled: self.stats.cancelled.load(Ordering::Relaxed),
+            failed: self.stats.failed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// One connection: read the request frame, dispatch, write the
+    /// response frame. All transport failures end the connection; the
+    /// client's retry layer owns recovery.
+    fn serve_connection<H>(
+        &self,
+        mut stream: TcpStream,
+        id: u64,
+        handler: &H,
+        inflight: &AtomicUsize,
+        coalesce: &Mutex<HashMap<String, CoalesceCell>>,
+    ) where
+        H: Fn(&SweepRequest) -> SweepOutcome + Sync,
+    {
+        let _ = stream.set_read_timeout(Some(self.config.read_timeout));
+        let _ = stream.set_write_timeout(Some(self.config.write_timeout));
+        // Injected read-path fault: answer with a structured failure
+        // naming the site, so the client sees an attributable error
+        // rather than a hang.
+        if faults::injected(faults::Site::ServeRead, &[id]) {
+            let resp = Response::new(Status::Failed, "injected fault: serve.read");
+            self.write_response(&mut stream, id, &resp);
+            return;
+        }
+        let frame = match read_frame(&mut stream) {
+            Ok(frame) => frame,
+            Err(_) => return, // client gone or stalled past the timeout
+        };
+        let request = match Request::parse(&frame) {
+            Ok(request) => request,
+            Err(msg) => {
+                self.write_response(&mut stream, id, &Response::new(Status::BadRequest, msg));
+                return;
+            }
+        };
+        let response = match request {
+            Request::Ping => Response::new(Status::Ok, "pong"),
+            Request::Shutdown => {
+                self.shutdown.store(true, Ordering::Release);
+                Response::new(Status::Ok, "draining")
+            }
+            Request::Sweep(req) => self.run_sweep(&req, handler, inflight, coalesce),
+        };
+        // Injected post-sweep drop: the work happened (and fed the
+        // coalescing cell / trace store) but the response is lost.
+        if faults::injected(faults::Site::ServeDrop, &[id]) {
+            return;
+        }
+        self.write_response(&mut stream, id, &response);
+    }
+
+    /// Admission control + coalescing around one sweep.
+    fn run_sweep<H>(
+        &self,
+        req: &SweepRequest,
+        handler: &H,
+        inflight: &AtomicUsize,
+        coalesce: &Mutex<HashMap<String, CoalesceCell>>,
+    ) -> Response
+    where
+        H: Fn(&SweepRequest) -> SweepOutcome + Sync,
+    {
+        if self.shutdown.load(Ordering::Acquire) {
+            return Response::new(Status::ShuttingDown, "server is draining; no new sweeps");
+        }
+        // Load-shed at admission: never accept-then-hang.
+        let max = self.config.max_inflight;
+        if inflight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < max).then_some(n + 1)
+            })
+            .is_err()
+        {
+            self.stats.shed.fetch_add(1, Ordering::Relaxed);
+            return Response::new(
+                Status::Overloaded,
+                format!("in-flight budget of {max} sweeps is spent; retry later"),
+            );
+        }
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let outcome = self.coalesced_sweep(req, handler, coalesce);
+        inflight.fetch_sub(1, Ordering::AcqRel);
+        match &outcome {
+            SweepOutcome::Cancelled(_) => {
+                self.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+            }
+            SweepOutcome::Failed(_) => {
+                self.stats.failed.fetch_add(1, Ordering::Relaxed);
+            }
+            SweepOutcome::Ok(_) | SweepOutcome::BadRequest(_) => {}
+        }
+        outcome.into_response()
+    }
+
+    /// Runs the handler once per concurrent identical request: the
+    /// first arrival for a key leads and computes; later arrivals wait
+    /// on the leader's cell and share its outcome (all responses are
+    /// byte-identical — sweeps are deterministic).
+    fn coalesced_sweep<H>(
+        &self,
+        req: &SweepRequest,
+        handler: &H,
+        coalesce: &Mutex<HashMap<String, CoalesceCell>>,
+    ) -> SweepOutcome
+    where
+        H: Fn(&SweepRequest) -> SweepOutcome + Sync,
+    {
+        let key = req.coalesce_key();
+        let (cell, leader) = {
+            let mut map = lock(coalesce);
+            match map.get(&key) {
+                Some(cell) => (Arc::clone(cell), false),
+                None => {
+                    let cell: CoalesceCell = Arc::new((Mutex::new(None), Condvar::new()));
+                    map.insert(key.clone(), Arc::clone(&cell));
+                    (cell, true)
+                }
+            }
+        };
+        if leader {
+            let outcome = handler(req);
+            {
+                let mut slot = lock(&cell.0);
+                *slot = Some(outcome.clone());
+                cell.1.notify_all();
+            }
+            // Arrivals after this point start a fresh computation —
+            // determinism makes that merely wasteful, never wrong.
+            lock(coalesce).remove(&key);
+            outcome
+        } else {
+            self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+            let mut slot = lock(&cell.0);
+            while slot.is_none() {
+                slot = cell.1.wait(slot).unwrap_or_else(PoisonError::into_inner);
+            }
+            slot.clone().expect("leader published an outcome")
+        }
+    }
+
+    /// Writes a response frame, subject to the injected write-path
+    /// fault (the connection is closed with the response unsent).
+    fn write_response(&self, stream: &mut TcpStream, id: u64, response: &Response) {
+        if faults::injected(faults::Site::ServeWrite, &[id]) {
+            return;
+        }
+        let _ = write_frame(stream, &response.encode());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+    use crate::protocol::PROTOCOL;
+
+    fn canned(body: &str) -> impl Fn(&SweepRequest) -> SweepOutcome + Sync + '_ {
+        move |req| {
+            if req.section == "missing" {
+                SweepOutcome::BadRequest("unknown section".into())
+            } else {
+                SweepOutcome::Ok(format!("{body}:{}", req.section))
+            }
+        }
+    }
+
+    fn sweep(section: &str) -> Request {
+        Request::Sweep(SweepRequest {
+            section: section.into(),
+            scale: "smoke".into(),
+            engine: "replay".into(),
+            jobs: Some(1),
+            deadline_ms: None,
+        })
+    }
+
+    /// Binds a server on an ephemeral port, runs it on a scoped
+    /// thread, runs `body` against the address, then drains.
+    fn with_server<F>(config: ServerConfig, handler_body: &'static str, body: F) -> StatsSnapshot
+    where
+        F: FnOnce(std::net::SocketAddr),
+    {
+        let server = Server::bind("127.0.0.1:0", config).expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let mut snapshot = StatsSnapshot::default();
+        std::thread::scope(|scope| {
+            let server = &server;
+            let run = scope.spawn(move || server.run(canned(handler_body)).expect("run"));
+            assert!(client::wait_ready(addr, Duration::from_secs(5)));
+            body(addr);
+            // The body may have drained the server already; a failed
+            // shutdown request then just means it is gone.
+            if let Ok(resp) = client::request(addr, &Request::Shutdown, Duration::from_secs(5)) {
+                assert_eq!(resp.status, Status::Ok);
+            }
+            snapshot = run.join().expect("server thread");
+        });
+        snapshot
+    }
+
+    #[test]
+    fn serves_sweeps_pings_and_bad_requests() {
+        let stats = with_server(ServerConfig::default(), "body", |addr| {
+            let resp =
+                client::request(addr, &sweep("fig6"), Duration::from_secs(5)).expect("sweep");
+            assert_eq!(resp.status, Status::Ok);
+            assert_eq!(resp.body, "body:fig6");
+            let resp =
+                client::request(addr, &sweep("missing"), Duration::from_secs(5)).expect("sweep");
+            assert_eq!(resp.status, Status::BadRequest);
+            // A malformed frame gets a structured bad-request, not a
+            // dropped connection.
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            write_frame(&mut stream, format!("{PROTOCOL} explode\n").as_bytes()).unwrap();
+            let resp = Response::parse(&read_frame(&mut stream).unwrap()).unwrap();
+            assert_eq!(resp.status, Status::BadRequest);
+        });
+        assert_eq!(stats.requests, 2);
+        assert_eq!((stats.shed, stats.coalesced), (0, 0));
+    }
+
+    #[test]
+    fn draining_rejects_new_sweeps_with_shutting_down() {
+        with_server(ServerConfig::default(), "body", |addr| {
+            let resp = client::request(addr, &Request::Shutdown, Duration::from_secs(5))
+                .expect("shutdown");
+            assert_eq!(resp.status, Status::Ok);
+            // The drain window is open until in-flight hits zero; a
+            // sweep racing it must get ShuttingDown, never a hang.
+            // (The server may also have exited already, in which case
+            // the connect fails — both are a clean rejection.)
+            if let Ok(resp) = client::request(addr, &sweep("fig6"), Duration::from_secs(5)) {
+                assert_eq!(resp.status, Status::ShuttingDown);
+            }
+        });
+    }
+
+    #[test]
+    fn admission_control_sheds_load_with_a_structured_response() {
+        // A handler that blocks until released, so the in-flight
+        // budget is provably spent when the shed probe arrives.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let handler_gate = Arc::clone(&gate);
+        let config = ServerConfig {
+            max_inflight: 1,
+            ..ServerConfig::default()
+        };
+        let server = Server::bind("127.0.0.1:0", config).expect("bind");
+        let addr = server.local_addr().expect("addr");
+        std::thread::scope(|scope| {
+            let server = &server;
+            let handler = move |_req: &SweepRequest| {
+                let (lock_, cvar) = &*handler_gate;
+                let mut open = lock_.lock().unwrap();
+                while !*open {
+                    open = cvar.wait(open).unwrap();
+                }
+                SweepOutcome::Ok("slow".into())
+            };
+            let run = scope.spawn(move || server.run(handler).expect("run"));
+            assert!(client::wait_ready(addr, Duration::from_secs(5)));
+            // First sweep occupies the only slot...
+            let first = scope.spawn(move || {
+                client::request(addr, &sweep("fig6"), Duration::from_secs(10)).expect("first")
+            });
+            // ...wait until it is actually admitted...
+            let t0 = std::time::Instant::now();
+            while server.snapshot().requests == 0 {
+                assert!(t0.elapsed() < Duration::from_secs(5), "admission stuck");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            // ...so the second is shed immediately.
+            let shed = client::request(addr, &sweep("fig7"), Duration::from_secs(5)).expect("shed");
+            assert_eq!(shed.status, Status::Overloaded);
+            assert!(shed.body.contains("budget"));
+            // Release the gate; the first completes normally.
+            {
+                let (lock_, cvar) = &*gate;
+                *lock_.lock().unwrap() = true;
+                cvar.notify_all();
+            }
+            assert_eq!(first.join().expect("join").status, Status::Ok);
+            client::request(addr, &Request::Shutdown, Duration::from_secs(5)).expect("shutdown");
+            let stats = run.join().expect("server");
+            assert_eq!((stats.requests, stats.shed), (1, 1));
+        });
+    }
+
+    #[test]
+    fn concurrent_identical_requests_coalesce_to_one_computation() {
+        let computations = Arc::new(AtomicUsize::new(0));
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let (h_comp, h_gate) = (Arc::clone(&computations), Arc::clone(&gate));
+        let config = ServerConfig {
+            max_inflight: 8,
+            ..ServerConfig::default()
+        };
+        let server = Server::bind("127.0.0.1:0", config).expect("bind");
+        let addr = server.local_addr().expect("addr");
+        std::thread::scope(|scope| {
+            let server = &server;
+            let handler = move |req: &SweepRequest| {
+                h_comp.fetch_add(1, Ordering::SeqCst);
+                let (lock_, cvar) = &*h_gate;
+                let mut open = lock_.lock().unwrap();
+                while !*open {
+                    open = cvar.wait(open).unwrap();
+                }
+                SweepOutcome::Ok(format!("computed:{}", req.section))
+            };
+            let run = scope.spawn(move || server.run(handler).expect("run"));
+            assert!(client::wait_ready(addr, Duration::from_secs(5)));
+            let clients: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(move || {
+                        client::request(addr, &sweep("fig6"), Duration::from_secs(10))
+                            .expect("sweep")
+                    })
+                })
+                .collect();
+            // Wait until the leader is computing and the rest are
+            // parked on its cell.
+            let t0 = std::time::Instant::now();
+            while server.snapshot().coalesced < 3 {
+                assert!(t0.elapsed() < Duration::from_secs(5), "coalescing stuck");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            {
+                let (lock_, cvar) = &*gate;
+                *lock_.lock().unwrap() = true;
+                cvar.notify_all();
+            }
+            let bodies: Vec<String> = clients
+                .into_iter()
+                .map(|c| {
+                    let resp = c.join().expect("client");
+                    assert_eq!(resp.status, Status::Ok);
+                    resp.body
+                })
+                .collect();
+            assert!(bodies.iter().all(|b| b == "computed:fig6"));
+            client::request(addr, &Request::Shutdown, Duration::from_secs(5)).expect("shutdown");
+            let stats = run.join().expect("server");
+            assert_eq!(
+                computations.load(Ordering::SeqCst),
+                1,
+                "one computation for four identical requests"
+            );
+            assert_eq!((stats.requests, stats.coalesced), (4, 3));
+        });
+    }
+
+    #[test]
+    fn injected_serve_faults_are_survivable_via_client_retry() {
+        // serve.accept drops the first two connections; the client's
+        // retry layer heals to a byte-identical response.
+        let _scope = faults::ScopedPlan::install(faults::FaultPlan::seeded(3).arm_capped(
+            faults::Site::ServeAccept,
+            1.0,
+            2,
+        ));
+        let stats = with_server(ServerConfig::default(), "body", |addr| {
+            let resp = client::request_with_retry(addr, &sweep("fig6"), Duration::from_secs(5), 5)
+                .expect("retries heal injected drops");
+            assert_eq!(resp.status, Status::Ok);
+            assert_eq!(resp.body, "body:fig6");
+        });
+        assert!(stats.requests >= 1);
+    }
+}

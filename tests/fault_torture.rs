@@ -69,6 +69,102 @@ fn is_structured_fault(payload: &(dyn std::any::Any + Send)) -> bool {
     })
 }
 
+/// Service-mode torture: the same dichotomy, but the sweep travels a
+/// real socket through `probranch-serve` with the transport failpoints
+/// armed. For every seeded plan the client either heals (via retry) to
+/// a response byte-identical to the clean rendering, or receives a
+/// structured error naming only injected sites. Never a hang, never
+/// torn bytes.
+#[test]
+fn service_mode_faults_heal_or_fail_structured_over_the_socket() {
+    use std::time::Duration;
+
+    use probranch_bench::service;
+    use probranch_serve::{
+        request_with_retry, Request, Server, ServerConfig, Status, SweepRequest,
+    };
+
+    let _scope = faults::ScopedPlan::install(faults::FaultPlan::default());
+    let clean_body = service::section_text(
+        "fig6",
+        ExperimentScale::Smoke,
+        Jobs::new(2),
+        Engine::Replay,
+        &experiments::Context::new(),
+    )
+    .expect("fig6 renders");
+
+    // Budget-capped transport/cancel/cell faults (healable by retries)
+    // plus one uncapped certain-failure plan (the structured branch).
+    let plans: Vec<(faults::FaultPlan, bool)> = vec![
+        (
+            faults::FaultPlan::seeded(11)
+                .arm_capped(faults::Site::ServeAccept, 1.0, 2)
+                .arm_capped(faults::Site::ServeDrop, 1.0, 1)
+                .arm_capped(faults::Site::ServeWrite, 1.0, 1),
+            true,
+        ),
+        (
+            faults::FaultPlan::seeded(12)
+                .arm_capped(faults::Site::CancelSpurious, 1.0, 2)
+                .arm_capped(faults::Site::CellPanic, 1.0, 2)
+                .arm_capped(faults::Site::ServeRead, 1.0, 1),
+            true,
+        ),
+        (
+            faults::FaultPlan::seeded(13).arm(faults::Site::CellPanic, 1.0),
+            false,
+        ),
+    ];
+    for (plan, healable) in plans {
+        faults::install(plan);
+        let ctx = experiments::Context::new();
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        let addr = server.local_addr().expect("addr");
+        std::thread::scope(|scope| {
+            let (server, ctx) = (&server, &ctx);
+            let run = scope.spawn(move || {
+                server
+                    .run(service::sweep_handler(ctx, Jobs::new(2)))
+                    .expect("serve loop")
+            });
+            let req = Request::Sweep(SweepRequest {
+                section: "fig6".into(),
+                scale: "smoke".into(),
+                engine: "replay".into(),
+                jobs: Some(2),
+                deadline_ms: None,
+            });
+            // Generous retry budget: every armed transport fault is
+            // budget-capped, so retries always reach a live exchange.
+            let outcome = request_with_retry(addr, &req, Duration::from_secs(600), 10);
+            match outcome {
+                Ok(resp) if resp.status == Status::Ok => {
+                    assert!(healable, "uncapped cell.panic cannot produce a clean sweep");
+                    assert_eq!(
+                        resp.body, clean_body,
+                        "surviving served sweep must be byte-identical"
+                    );
+                }
+                Ok(resp) => {
+                    assert_eq!(resp.status, Status::Failed);
+                    assert!(
+                        resp.body.contains("injected fault"),
+                        "structured failure must name an injected site: {}",
+                        resp.body
+                    );
+                }
+                Err(e) => panic!("transport must heal within the retry budget: {e}"),
+            }
+            // Shutdown itself rides the faulted transport; retry too.
+            let resp = request_with_retry(addr, &Request::Shutdown, Duration::from_secs(5), 10)
+                .expect("drain");
+            assert_eq!(resp.status, Status::Ok);
+            run.join().expect("server thread");
+        });
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 

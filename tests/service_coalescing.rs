@@ -1,0 +1,111 @@
+//! End-to-end coalescing gate for the sweep service: N concurrent
+//! identical requests through one served [`experiments::Context`] must
+//! produce byte-identical bodies, match the in-process rendering
+//! exactly, and — the shared-pool invariant — perform no more captures
+//! than a single request would.
+
+use std::time::Duration;
+
+use probranch_bench::experiments::{self, Engine, ExperimentScale};
+use probranch_bench::service;
+use probranch_harness::Jobs;
+use probranch_serve::{request, Request, Server, ServerConfig, Status, SweepOutcome, SweepRequest};
+
+fn fig6_request() -> Request {
+    Request::Sweep(SweepRequest {
+        section: "fig6".into(),
+        scale: "smoke".into(),
+        engine: "replay".into(),
+        jobs: Some(2),
+        deadline_ms: None,
+    })
+}
+
+#[test]
+fn concurrent_identical_sweeps_share_one_capture_pass() {
+    // In-process reference: the bytes `figures` would print, and the
+    // capture count one fig6 pass costs.
+    let reference_ctx = experiments::Context::new();
+    let reference = service::section_text(
+        "fig6",
+        ExperimentScale::Smoke,
+        Jobs::new(2),
+        Engine::Replay,
+        &reference_ctx,
+    )
+    .expect("fig6 is a known section");
+    let reference_captures = reference_ctx.captures();
+    assert!(reference_captures > 0, "fig6 must capture traces");
+
+    let served_ctx = experiments::Context::new();
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    std::thread::scope(|scope| {
+        let server = &server;
+        let ctx = &served_ctx;
+        let run = scope.spawn(move || {
+            server
+                .run(service::sweep_handler(ctx, Jobs::new(2)))
+                .expect("serve loop")
+        });
+        assert!(probranch_serve::wait_ready(addr, Duration::from_secs(10)));
+        let clients: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(move || {
+                    request(addr, &fig6_request(), Duration::from_secs(600)).expect("sweep")
+                })
+            })
+            .collect();
+        let bodies: Vec<String> = clients
+            .into_iter()
+            .map(|c| {
+                let resp = c.join().expect("client thread");
+                assert_eq!(resp.status, Status::Ok, "body: {}", resp.body);
+                resp.body
+            })
+            .collect();
+        for body in &bodies {
+            assert_eq!(
+                body, &reference,
+                "served bytes must match the in-process rendering"
+            );
+        }
+        let resp = request(addr, &Request::Shutdown, Duration::from_secs(5)).expect("shutdown");
+        assert_eq!(resp.status, Status::Ok);
+        let stats = run.join().expect("server thread");
+        // Every request was admitted (coalesced waiters still count as
+        // requests); whether any shared a leader is timing-dependent,
+        // but the capture bound below holds either way.
+        assert_eq!(stats.requests + stats.shed, 4);
+    });
+    // The load-bearing invariant: four concurrent identical sweeps
+    // cost exactly one capture pass — the per-key slot locks (and the
+    // run-wide grid memo) make the extra requests hits, not work.
+    assert_eq!(
+        served_ctx.captures(),
+        reference_captures,
+        "concurrent identical requests must not re-capture"
+    );
+}
+
+#[test]
+fn expired_deadlines_cancel_instead_of_running_the_sweep() {
+    let ctx = experiments::Context::new();
+    let handler = service::sweep_handler(&ctx, Jobs::new(2));
+    let req = SweepRequest {
+        section: "fig6".into(),
+        scale: "smoke".into(),
+        engine: "replay".into(),
+        jobs: Some(2),
+        deadline_ms: Some(0),
+    };
+    match handler(&req) {
+        SweepOutcome::Cancelled(msg) => {
+            assert!(
+                msg.contains("deadline exceeded"),
+                "cancellation must attribute the deadline: {msg}"
+            );
+        }
+        other => panic!("a 0ms deadline must cancel the sweep, got {other:?}"),
+    }
+}
