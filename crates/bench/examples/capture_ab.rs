@@ -1,0 +1,66 @@
+//! In-process capture-tier A/B: alternates tiers per iteration inside one
+//! process so CPU frequency drift between runs cancels out. Diagnostic only.
+
+use std::time::Instant;
+
+use probranch_pipeline::{with_capture_tier, CaptureTier, DynTrace, SimConfig};
+use probranch_workloads::{BenchmarkId, Scale};
+
+const REPS: usize = 7;
+
+fn main() {
+    let ids = [
+        BenchmarkId::Pi,
+        BenchmarkId::McInteg,
+        BenchmarkId::Photon,
+        BenchmarkId::Swaptions,
+        BenchmarkId::Genetic,
+        BenchmarkId::Bandit,
+        BenchmarkId::Greeks,
+        BenchmarkId::Dop,
+    ];
+    let tiers = [
+        ("interp", CaptureTier::Interp),
+        ("block", CaptureTier::Block),
+        ("gen", CaptureTier::Generated),
+    ];
+    for id in ids {
+        for pbs in [false, true] {
+            let bench = id.build(Scale::Bench, 7);
+            let program = bench.program();
+            let mut cfg = SimConfig::default();
+            if pbs {
+                cfg.pbs = Some(probranch_core::PbsConfig::default());
+            }
+            // warm up once per tier
+            for (_, t) in tiers {
+                with_capture_tier(t, || DynTrace::capture(&program, &cfg)).unwrap();
+            }
+            let mut best = [f64::INFINITY; 3];
+            let mut insts = 0u64;
+            for _ in 0..REPS {
+                for (i, (_, t)) in tiers.iter().enumerate() {
+                    let t0 = Instant::now();
+                    let tr = with_capture_tier(*t, || DynTrace::capture(&program, &cfg)).unwrap();
+                    let dt = t0.elapsed().as_secs_f64();
+                    insts = tr.instructions();
+                    if dt < best[i] {
+                        best[i] = dt;
+                    }
+                }
+            }
+            let mips = |s: f64| insts as f64 / s / 1e6;
+            println!(
+                "{:<18} pbs={:<5} insts {:>10} interp {:7.1}  block {:7.1} ({:4.2}x)  gen {:7.1} ({:4.2}x)",
+                bench.name(),
+                pbs,
+                insts,
+                mips(best[0]),
+                mips(best[1]),
+                best[0] / best[1],
+                mips(best[2]),
+                best[0] / best[2],
+            );
+        }
+    }
+}

@@ -19,8 +19,13 @@
 //! comparison stays meaningful within the gate's tolerance. v5 adds
 //! only store accounting — hits/demotions/evictions/peak bytes in the
 //! sweep section — and v6 only the self-healing counters
-//! (stale_rejected/quarantined), so v4 through v6 cells compare
-//! directly.) Skips
+//! (stale_rejected/quarantined), so v4 through v7 cells compare
+//! directly. v8 additionally gates per-key trace-capture MIPS: when
+//! both reports carry `capture_mips` lines, each key's capture
+//! throughput is compared under the same tolerance, so a capture-tier
+//! regression — block-compiled keys silently degrading to the
+//! interpreter — fails CI even though the figures themselves stay
+//! byte-identical.) Skips
 //! entirely — exit 0 with a notice — when the baseline file is
 //! missing, a schema is unknown, or the two reports were measured at
 //! different scales.
@@ -33,7 +38,7 @@
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-const KNOWN_SCHEMAS: [&str; 7] = [
+const KNOWN_SCHEMAS: [&str; 8] = [
     "probranch-throughput/1",
     "probranch-throughput/2",
     "probranch-throughput/3",
@@ -41,6 +46,7 @@ const KNOWN_SCHEMAS: [&str; 7] = [
     "probranch-throughput/5",
     "probranch-throughput/6",
     "probranch-throughput/7",
+    "probranch-throughput/8",
 ];
 
 /// Extracts the raw text of `"key":<value>` from a single line, value
@@ -72,10 +78,26 @@ struct CellMips {
     batched: Option<f64>,
 }
 
+/// One emulation key's capture throughput, with the tier tag (v8+)
+/// kept for the regression message.
+struct CaptureMips {
+    mips: f64,
+    tier: Option<String>,
+}
+
 /// Parses `(header scale, cell key → MIPS)` from a report. Capture-
-/// overhead lines (no `predictor` field) are skipped.
-fn parse(text: &str) -> (Option<String>, BTreeMap<String, CellMips>) {
+/// overhead lines (no `predictor` field) land in the second map,
+/// keyed `workload|pbs`, when they carry a `capture_mips` field.
+#[allow(clippy::type_complexity)]
+fn parse(
+    text: &str,
+) -> (
+    Option<String>,
+    BTreeMap<String, CellMips>,
+    BTreeMap<String, CaptureMips>,
+) {
     let mut cells = BTreeMap::new();
+    let mut captures = BTreeMap::new();
     for line in text.lines().filter(|l| l.contains("\"workload\"")) {
         let (Some(w), Some(p), Some(pbs), Some(mips)) = (
             raw_field(line, "workload"),
@@ -83,6 +105,21 @@ fn parse(text: &str) -> (Option<String>, BTreeMap<String, CellMips>) {
             raw_field(line, "pbs"),
             raw_field(line, "fused_mips"),
         ) else {
+            if let (Some(w), Some(pbs), Some(mips)) = (
+                raw_field(line, "workload"),
+                raw_field(line, "pbs"),
+                raw_field(line, "capture_mips"),
+            ) {
+                if let Ok(mips) = mips.parse::<f64>() {
+                    captures.insert(
+                        format!("{w}|{pbs}"),
+                        CaptureMips {
+                            mips,
+                            tier: raw_field(line, "capture_tier"),
+                        },
+                    );
+                }
+            }
             continue;
         };
         if let Ok(fused) = mips.parse::<f64>() {
@@ -100,7 +137,7 @@ fn parse(text: &str) -> (Option<String>, BTreeMap<String, CellMips>) {
             );
         }
     }
-    (header_field(text, "scale"), cells)
+    (header_field(text, "scale"), cells, captures)
 }
 
 fn main() -> ExitCode {
@@ -147,8 +184,8 @@ fn main() -> ExitCode {
         }
     }
 
-    let (base_scale, baseline) = parse(&baseline_text);
-    let (fresh_scale, fresh) = parse(&fresh_text);
+    let (base_scale, baseline, base_captures) = parse(&baseline_text);
+    let (fresh_scale, fresh, fresh_captures) = parse(&fresh_text);
     if base_scale != fresh_scale {
         println!("check_throughput: scale mismatch ({base_scale:?} vs {fresh_scale:?}); skipping");
         return ExitCode::SUCCESS;
@@ -200,8 +237,30 @@ fn main() -> ExitCode {
             }
         }
     }
+    // Per-key capture cells gate only when both reports carry them —
+    // pre-v8 baselines have no capture numbers to regress against.
+    let mut capture_compared = 0usize;
+    for (key, base) in &base_captures {
+        let Some(fresh_cap) = fresh_captures.get(key) else {
+            continue;
+        };
+        capture_compared += 1;
+        let floor = base.mips * (1.0 - tolerance);
+        if fresh_cap.mips < floor {
+            let tier = |t: &Option<String>| t.clone().unwrap_or_else(|| "?".into());
+            eprintln!(
+                "REGRESSION {key} (capture, tier {} vs baseline {}): {:.2} MIPS < {floor:.2} (baseline {:.2}, tolerance {:.0}%)",
+                tier(&fresh_cap.tier),
+                tier(&base.tier),
+                fresh_cap.mips,
+                base.mips,
+                tolerance * 100.0
+            );
+            failures += 1;
+        }
+    }
     println!(
-        "check_throughput: {compared} cells compared (+{replay_compared} replay/convoy/batched comparisons), {failures} regressions (tolerance {:.0}%)",
+        "check_throughput: {compared} cells compared (+{replay_compared} replay/convoy/batched, +{capture_compared} capture comparisons), {failures} regressions (tolerance {:.0}%)",
         tolerance * 100.0
     );
     if failures > 0 {

@@ -53,9 +53,11 @@ use crate::experiments::{self, Engine, ExperimentScale};
 /// gate skips rather than misparses). `check_throughput` accepts the
 /// older `/1` (fused/reference only), `/2` (adds replay), `/3` (adds
 /// convoy), `/4` (adds the batched drain), `/5` (adds store
-/// accounting) and `/6` (adds robustness accounting) baselines without
-/// failing; fields both reports carry are gated.
-pub const SCHEMA: &str = "probranch-throughput/7";
+/// accounting), `/6` (adds robustness accounting) and `/7` (adds
+/// service accounting) baselines without failing; fields both reports
+/// carry are gated — from `/8` on that includes the per-key capture
+/// cells (`capture_mips`, tagged with the capture tier that ran).
+pub const SCHEMA: &str = "probranch-throughput/8";
 
 /// The v1 schema tag, still accepted as a comparison baseline.
 pub const SCHEMA_V1: &str = "probranch-throughput/1";
@@ -74,6 +76,9 @@ pub const SCHEMA_V5: &str = "probranch-throughput/5";
 
 /// The v6 schema tag, still accepted as a comparison baseline.
 pub const SCHEMA_V6: &str = "probranch-throughput/6";
+
+/// The v7 schema tag, still accepted as a comparison baseline.
+pub const SCHEMA_V7: &str = "probranch-throughput/7";
 
 /// One measured grid point.
 #[derive(Debug, Clone)]
@@ -154,6 +159,11 @@ pub struct CaptureCell {
     /// Wall time of the trace capture (emulation, cache pre-simulation
     /// and SoA packing).
     pub capture: Duration,
+    /// Which capture tier executed the key: `"generated"` (native
+    /// fragments + block bodies), `"block"` (block-compiled only) or
+    /// `"interp"` (the decoded interpreter) — see
+    /// [`probranch_pipeline::capture_tier`].
+    pub capture_tier: &'static str,
 }
 
 impl CaptureCell {
@@ -365,12 +375,13 @@ impl ThroughputReport {
         for (i, c) in self.captures.iter().enumerate() {
             let comma = if i + 1 < self.captures.len() { "," } else { "" };
             out.push_str(&format!(
-                "    {{\"workload\":\"{}\",\"pbs\":{},\"instructions\":{},\"capture_seconds\":{:.6},\"capture_mips\":{:.3}}}{comma}\n",
+                "    {{\"workload\":\"{}\",\"pbs\":{},\"instructions\":{},\"capture_seconds\":{:.6},\"capture_mips\":{:.3},\"capture_tier\":\"{}\"}}{comma}\n",
                 c.workload,
                 c.pbs,
                 c.instructions,
                 c.capture.as_secs_f64(),
                 c.capture_mips(),
+                c.capture_tier,
             ));
         }
         out.push_str("  ],\n");
@@ -449,6 +460,24 @@ impl ThroughputReport {
             self.batched_mips(),
             self.convoy_mips(),
         ));
+        let mut tiers: Vec<(&str, usize)> = Vec::new();
+        for c in &self.captures {
+            match tiers.iter_mut().find(|(t, _)| *t == c.capture_tier) {
+                Some((_, n)) => *n += 1,
+                None => tiers.push((c.capture_tier, 1)),
+            }
+        }
+        let cap_insts: u64 = self.captures.iter().map(|c| c.instructions).sum();
+        out.push_str(&format!(
+            "capture: {} keys at {:.2} MIPS aggregate [{}]\n",
+            self.captures.len(),
+            mips(cap_insts, self.capture_seconds()),
+            tiers
+                .iter()
+                .map(|(t, n)| format!("{t}\u{d7}{n}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+        ));
         let s = &self.sweep;
         out.push_str(&format!(
             "sweep (fig6+fig7, shared pool): {} cells over {} keys, {} captures + {} disk loads + {} grid hits, {:.3}s = {:.2} MIPS, pool {} KiB\n",
@@ -508,6 +537,7 @@ fn keys() -> Vec<(BenchmarkId, bool)> {
 struct KeyMeasurement {
     name: &'static str,
     capture: Duration,
+    capture_tier: &'static str,
     convoy: Duration,
     instructions: u64,
     trace_bytes: usize,
@@ -533,6 +563,7 @@ fn run_key(workload: BenchmarkId, pbs: bool, scale: ExperimentScale) -> KeyMeasu
         })
         .collect();
     // Materialized-trace path: capture once, re-time per predictor.
+    let capture_tier = probranch_pipeline::capture_tier(&program, &configs[0]);
     let t0 = Instant::now();
     let trace = DynTrace::capture(&program, &configs[0])
         .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
@@ -571,6 +602,7 @@ fn run_key(workload: BenchmarkId, pbs: bool, scale: ExperimentScale) -> KeyMeasu
     KeyMeasurement {
         name: bench.name(),
         capture,
+        capture_tier,
         convoy,
         instructions: trace.instructions(),
         trace_bytes: trace.bytes(),
@@ -646,6 +678,7 @@ pub fn measure(scale: ExperimentScale, jobs: Jobs) -> ThroughputReport {
             pbs,
             instructions: m.instructions,
             capture: m.capture,
+            capture_tier: m.capture_tier,
         });
         let share = m.convoy / m.cells.len() as u32;
         for (i, ((report, duration, batched), convoy_report)) in
@@ -777,7 +810,19 @@ mod tests {
         // the schema so `figures --serve` reports land in the same gate.
         assert_eq!(report.sweep.service_requests, 0);
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"probranch-throughput/7\""));
+        assert!(json.contains("\"schema\": \"probranch-throughput/8\""));
+        // Every capture cell carries its tier tag; the paper kernels
+        // all hit a compiled tier at smoke scale (no interp cells).
+        assert_eq!(
+            json.lines()
+                .filter(|l| l.contains("\"capture_tier\":\""))
+                .count(),
+            16
+        );
+        assert!(report
+            .captures
+            .iter()
+            .all(|c| matches!(c.capture_tier, "generated" | "block" | "interp")));
         assert!(json.contains("\"service_requests\""));
         assert!(json.contains("\"service_coalesced\""));
         assert!(json.contains("\"service_shed\""));

@@ -86,10 +86,14 @@ pub enum Site {
     /// A spurious cancellation of the current cancel scope's token
     /// (exercises the cooperative-cancellation path end to end).
     CancelSpurious,
+    /// Block-compiled capture degrades to the decoded interpreter for
+    /// the whole stream (exercises the capture-tier fallback; must be
+    /// byte-invisible in every report).
+    CaptureBlock,
 }
 
 /// All sites, for iteration and parsing.
-pub const ALL_SITES: [Site; 14] = [
+pub const ALL_SITES: [Site; 15] = [
     Site::PersistWrite,
     Site::PersistEnospc,
     Site::PersistShort,
@@ -104,6 +108,7 @@ pub const ALL_SITES: [Site; 14] = [
     Site::ServeWrite,
     Site::ServeDrop,
     Site::CancelSpurious,
+    Site::CaptureBlock,
 ];
 
 impl Site {
@@ -124,6 +129,7 @@ impl Site {
             Site::ServeWrite => "serve.write",
             Site::ServeDrop => "serve.drop",
             Site::CancelSpurious => "cancel.spurious",
+            Site::CaptureBlock => "capture.block",
         }
     }
 

@@ -31,6 +31,12 @@ use std::time::{Duration, Instant};
 
 use crate::machine::EmuError;
 
+/// Cancellation poll cadence of the chunkless hot loops (the fused
+/// batch loop and block-compiled capture): cheap relative to ~64 Ki
+/// instructions of work, frequent enough that a cancelled cell stops
+/// within one trace chunk's worth of instructions.
+pub(crate) const CANCEL_STRIDE: u64 = 1 << 16;
+
 #[derive(Debug, Default)]
 struct Inner {
     cancelled: AtomicBool,

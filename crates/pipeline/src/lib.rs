@@ -57,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod aot;
 mod cache;
 pub mod cancel;
 mod decode;
@@ -66,6 +67,7 @@ mod persist;
 mod sim;
 mod trace;
 
+pub use aot::{capture_overlap, capture_tier, set_capture_overlap, with_capture_tier, CaptureTier};
 pub use cache::{Cache, MemLatencies, MemoryHierarchy};
 pub use cancel::{CancelScope, CancelToken};
 pub use decode::{

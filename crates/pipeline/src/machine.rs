@@ -212,7 +212,7 @@ impl PortTable {
 /// Integer ALU datapath, shared verbatim by the reference and the
 /// decoded interpreters so they cannot drift apart.
 #[inline]
-fn alu_eval(op: AluOp, a: u64, b: u64) -> u64 {
+pub(crate) fn alu_eval(op: AluOp, a: u64, b: u64) -> u64 {
     match op {
         AluOp::Add => a.wrapping_add(b),
         AluOp::Sub => a.wrapping_sub(b),
@@ -244,7 +244,7 @@ fn alu_eval(op: AluOp, a: u64, b: u64) -> u64 {
 
 /// FP two-source datapath, shared by both interpreters.
 #[inline]
-fn fp_bin_eval(op: FpBinOp, a: f64, b: f64) -> f64 {
+pub(crate) fn fp_bin_eval(op: FpBinOp, a: f64, b: f64) -> f64 {
     match op {
         FpBinOp::Add => a + b,
         FpBinOp::Sub => a - b,
@@ -976,6 +976,280 @@ impl Emulator {
             branch,
             mem_addr,
         }))
+    }
+
+    /// Current program counter (the block engine dispatches on it).
+    #[inline(always)]
+    pub(crate) fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// The architectural register file, for fragment-matched native
+    /// specializations in the block-compiled capture engine (see
+    /// `crate::aot`). Fragments are pure register dataflow: they touch
+    /// neither memory, the flag, nor the PBS unit.
+    #[inline(always)]
+    pub(crate) fn regs_mut(&mut self) -> &mut [u64; 32] {
+        &mut self.regs
+    }
+
+    /// Commits a straight-line block body in bulk: the pc lands on the
+    /// instruction after the body and the retired-instruction counter
+    /// advances by the body's record count — exactly the state `n`
+    /// [`step_decoded`](Self::step_decoded) calls would have left.
+    #[inline(always)]
+    pub(crate) fn commit_straight(&mut self, next_pc: u32, n: u64) {
+        self.pc = next_pc;
+        self.executed += n;
+    }
+
+    /// The checked 64-bit load datapath — `DecOp::Load` without the op
+    /// dispatch, for the loop specializations in `crate::aot`. Faults
+    /// halt the machine and propagate exactly like `step_decoded`.
+    /// Returns the pre-simulation data address.
+    #[inline(always)]
+    pub(crate) fn load_checked(
+        &mut self,
+        dst: Reg,
+        base: Reg,
+        offset: i64,
+        pc: u32,
+    ) -> Result<u64, EmuError> {
+        let idx = self
+            .mem_index(base, offset, pc)
+            .inspect_err(|_| self.halted = true)?;
+        self.regs[dst.index()] = self.memory[idx];
+        Ok(idx as u64 * 8)
+    }
+
+    /// The condition flag, for inline `jf` terminator execution in the
+    /// block-compiled capture engine.
+    #[inline(always)]
+    pub(crate) fn flag(&self) -> bool {
+        self.flag
+    }
+
+    /// Evaluates a register-register compare against the architectural
+    /// state — the `BrRR` condition datapath, shared with
+    /// [`step_decoded`](Self::step_decoded)'s arm.
+    #[inline(always)]
+    pub(crate) fn cmp_rr(&self, op: CmpOp, fp: bool, lhs: Reg, rhs: Reg) -> bool {
+        self.eval_cmp(op, fp, self.regs[lhs.index()], self.regs[rhs.index()])
+    }
+
+    /// Evaluates a register-immediate compare — the `BrRI` condition
+    /// datapath.
+    #[inline(always)]
+    pub(crate) fn cmp_ri(&self, op: CmpOp, fp: bool, lhs: Reg, imm: u64) -> bool {
+        self.eval_cmp(op, fp, self.regs[lhs.index()], imm)
+    }
+
+    /// Commits an inline-executed direct branch terminator: the pc
+    /// redirect, the retired count and the PBS history observation —
+    /// exactly the state effects of the `step_decoded`
+    /// `Jf`/`BrRR`/`BrRI`/`Jmp` arms, minus the record construction the
+    /// block engine does itself.
+    #[inline(always)]
+    pub(crate) fn commit_term_branch(&mut self, pc: u32, target: u32, taken: bool) {
+        self.pc = if taken { target } else { pc + 1 };
+        self.executed += 1;
+        // A forward branch is a provable no-op on the PBS context
+        // table (`ContextTable::observe_branch` returns before any
+        // state is touched), so the observation call is skipped
+        // entirely — loop detection only consumes backward branches.
+        if target <= pc {
+            if let Some(pbs) = self.pbs.as_mut() {
+                pbs.observe_branch(pc, target, taken);
+            }
+        }
+    }
+
+    /// Commits an inline-executed `call` terminator: the stack push, pc
+    /// redirect, retired count and PBS call observation — the state
+    /// effects of `step_decoded`'s `Call` arm. On overflow the machine
+    /// halts on the faulting instruction with nothing retired, exactly
+    /// like the interpreter.
+    #[inline(always)]
+    pub(crate) fn commit_term_call(&mut self, pc: u32, target: u32) -> Result<(), EmuError> {
+        if self.call_stack.len() >= self.config.max_call_depth {
+            self.halted = true;
+            return Err(EmuError::CallStackOverflow { pc });
+        }
+        self.call_stack.push(pc + 1);
+        self.pc = target;
+        self.executed += 1;
+        if let Some(pbs) = self.pbs.as_mut() {
+            pbs.observe_call(pc);
+        }
+        Ok(())
+    }
+
+    /// `PROB_JMP` executed inline as a block terminator: pending-value
+    /// push, probabilistic resolution, pc redirect and retire, PBS
+    /// history observation. Returns `(taken, kind)` for the branch
+    /// record — `kind` distinguishes PBS-directed resolutions.
+    #[inline(always)]
+    pub(crate) fn commit_term_prob(
+        &mut self,
+        prob: Option<Reg>,
+        pc: u32,
+        target: u32,
+    ) -> (bool, BranchEventKind) {
+        if let Some(p) = prob {
+            let v = self.regs[p.index()];
+            if self.pbs.is_some() {
+                self.pending_prob.values.push((p, v));
+            }
+        }
+        let (taken, kind) = self.resolve_prob_jump(pc);
+        self.pc = if taken { target } else { pc + 1 };
+        self.executed += 1;
+        // Same forward-branch skip as `commit_term_branch`: the
+        // context table never mutates on a forward target.
+        if target <= pc {
+            if let Some(pbs) = self.pbs.as_mut() {
+                pbs.observe_branch(pc, target, taken);
+            }
+        }
+        (taken, kind)
+    }
+
+    /// Commits an inline-executed `ret` terminator — `step_decoded`'s
+    /// `Ret` arm minus the record construction.
+    #[inline(always)]
+    pub(crate) fn commit_term_ret(&mut self, pc: u32) -> Result<(), EmuError> {
+        let Some(ra) = self.call_stack.pop() else {
+            self.halted = true;
+            return Err(EmuError::CallStackUnderflow { pc });
+        };
+        self.pc = ra;
+        self.executed += 1;
+        if let Some(pbs) = self.pbs.as_mut() {
+            pbs.observe_ret();
+        }
+        Ok(())
+    }
+
+    /// Executes one straight-line op from a compiled block body without
+    /// touching `pc`/`executed` — the block executor commits those in
+    /// bulk via [`commit_straight`](Self::commit_straight). Returns the
+    /// pre-simulation data address for loads (`None` for everything
+    /// else; stores never reach the data-latency pre-simulation, same
+    /// as the capture path over [`step_decoded`](Self::step_decoded)).
+    ///
+    /// The arms are copied verbatim from `step_decoded`'s non-control
+    /// subset — including the PBS probes (`prob_cmp`, `prob_jmp_push`),
+    /// which are plain straight-line ops from the trace's point of
+    /// view; the capture-tier equivalence proptests lock the two
+    /// datapaths together. Control ops (block terminators) and `out`
+    /// never enter a block body — the block builder in `crate::aot`
+    /// routes them through `step_decoded`.
+    ///
+    /// # Errors
+    ///
+    /// Memory faults halt the machine and propagate, exactly like
+    /// `step_decoded`.
+    #[inline(always)]
+    pub(crate) fn exec_straight_op(&mut self, op: DecOp, pc: u32) -> Result<Option<u64>, EmuError> {
+        match op {
+            DecOp::AluRR {
+                op,
+                dst,
+                src1,
+                src2,
+            } => {
+                let a = self.regs[src1.index()];
+                let b = self.regs[src2.index()];
+                self.regs[dst.index()] = alu_eval(op, a, b);
+            }
+            DecOp::AluRI { op, dst, src1, imm } => {
+                let a = self.regs[src1.index()];
+                self.regs[dst.index()] = alu_eval(op, a, imm);
+            }
+            DecOp::Li { dst, imm } => self.regs[dst.index()] = imm,
+            DecOp::Mov { dst, src } => self.regs[dst.index()] = self.regs[src.index()],
+            DecOp::FpBin {
+                op,
+                dst,
+                src1,
+                src2,
+            } => {
+                let a = f64::from_bits(self.regs[src1.index()]);
+                let b = f64::from_bits(self.regs[src2.index()]);
+                self.regs[dst.index()] = fp_bin_eval(op, a, b).to_bits();
+            }
+            DecOp::FpUn { op, dst, src } => {
+                let a = f64::from_bits(self.regs[src.index()]);
+                self.regs[dst.index()] = fp_un_eval(op, a).to_bits();
+            }
+            DecOp::IntToFp { dst, src } => {
+                self.regs[dst.index()] = (self.regs[src.index()] as i64 as f64).to_bits();
+            }
+            DecOp::FpToInt { dst, src } => {
+                let v = f64::from_bits(self.regs[src.index()]);
+                self.regs[dst.index()] = (v as i64) as u64;
+            }
+            DecOp::CMov {
+                dst,
+                cond,
+                if_true,
+                if_false,
+            } => {
+                self.regs[dst.index()] = if self.regs[cond.index()] != 0 {
+                    self.regs[if_true.index()]
+                } else {
+                    self.regs[if_false.index()]
+                };
+            }
+            DecOp::Load { dst, base, offset } => {
+                return self.load_checked(dst, base, offset, pc).map(Some);
+            }
+            DecOp::Store { src, base, offset } => {
+                let idx = self
+                    .mem_index(base, offset, pc)
+                    .inspect_err(|_| self.halted = true)?;
+                self.memory[idx] = self.regs[src.index()];
+            }
+            DecOp::CmpRR { op, fp, lhs, rhs } => {
+                self.flag = self.eval_cmp(op, fp, self.regs[lhs.index()], self.regs[rhs.index()]);
+            }
+            DecOp::CmpRI { op, fp, lhs, imm } => {
+                self.flag = self.eval_cmp(op, fp, self.regs[lhs.index()], imm);
+            }
+            DecOp::ProbCmpRR { op, fp, prob, rhs } => {
+                let value = self.regs[prob.index()];
+                let const_val = self.regs[rhs.index()];
+                let outcome = self.eval_cmp(op, fp, value, const_val);
+                self.flag = outcome;
+                if self.pbs.is_some() {
+                    self.pending_prob.values.clear();
+                    self.pending_prob.values.push((prob, value));
+                    self.pending_prob.const_val = const_val;
+                    self.pending_prob.outcome = outcome;
+                }
+            }
+            DecOp::ProbCmpRI { op, fp, prob, imm } => {
+                let value = self.regs[prob.index()];
+                let outcome = self.eval_cmp(op, fp, value, imm);
+                self.flag = outcome;
+                if self.pbs.is_some() {
+                    self.pending_prob.values.clear();
+                    self.pending_prob.values.push((prob, value));
+                    self.pending_prob.const_val = imm;
+                    self.pending_prob.outcome = outcome;
+                }
+            }
+            DecOp::ProbJmpPush { prob } => {
+                let v = self.regs[prob.index()];
+                if self.pbs.is_some() {
+                    self.pending_prob.values.push((prob, v));
+                }
+            }
+            DecOp::ProbJmpQuiet => {}
+            DecOp::Nop => {}
+            _ => unreachable!("control and rare ops never enter a block body"),
+        }
+        Ok(None)
     }
 
     /// Executes up to `max` instructions from the predecoded form,

@@ -29,6 +29,9 @@ use probranch_predictor::{
     BranchPredictor, PredictorDispatch, StaticPredictor, TageScL, Tournament,
 };
 
+use std::sync::mpsc;
+
+use crate::decode::InstTiming;
 use crate::machine::{EmuConfig, EmuError, Emulator, StepRecord};
 use crate::ooo::{OooConfig, OooTimingModel, TimingStats};
 use crate::trace::{drain_chunk_convoy, DynTrace, ReplayConsumer, TraceChunk, TraceStream};
@@ -442,10 +445,7 @@ fn run_fused(program: &Program, config: &SimConfig) -> Result<SimReport, EmuErro
     // capped at the remaining instruction budget so the limit trips at
     // exactly the same dynamic instruction as the reference engine.
     const BATCH: u64 = 64;
-    // Cancellation poll cadence: cheap relative to ~64 Ki instructions
-    // of fused work, frequent enough that a cancelled cell stops within
-    // one trace chunk's worth of instructions.
-    const CANCEL_STRIDE: u64 = 1 << 16;
+    use crate::cancel::CANCEL_STRIDE;
     let mut buf: Vec<StepRecord> = Vec::with_capacity(BATCH as usize);
     let mut executed: u64 = 0;
     let mut next_cancel_poll: u64 = 0;
@@ -548,15 +548,95 @@ fn run_convoy(program: &Program, configs: &[SimConfig]) -> Result<Vec<SimReport>
     let key = check_convoy_key(configs, "simulate_convoy");
     let mut stream = TraceStream::new(program, key);
     let mut consumers: Vec<ReplayConsumer> = configs.iter().map(ReplayConsumer::new).collect();
-    let mut chunk = TraceChunk::with_chunk_capacity();
-    while stream.fill(&mut chunk)? {
-        drain_chunk_convoy(&mut consumers, stream.timings(), &chunk);
+    if crate::aot::capture_overlap() {
+        run_convoy_pipelined(&mut stream, &mut consumers)?;
+    } else {
+        let mut chunk = TraceChunk::with_chunk_capacity();
+        while stream.fill(&mut chunk)? {
+            drain_chunk_convoy(&mut consumers, stream.timings(), &chunk);
+        }
     }
     let functional = stream.finish();
     Ok(consumers
         .into_iter()
         .map(|c| c.into_report(&functional))
         .collect())
+}
+
+/// The chunk-pipelined convoy loop: a helper thread captures chunk
+/// `N + 1` while the caller drains chunk `N` through the timing
+/// consumers, overlapping emulation with timing on multi-core hosts.
+///
+/// Chunks travel caller-ward through a depth-1 rendezvous channel and
+/// return through an unbounded free list seeded with three buffers, so
+/// at most three chunk-sized allocations are ever live (filling,
+/// in-flight, draining) — the same bounded-memory story as the serial
+/// loop, one buffer wider. The rendezvous channel keeps delivery in
+/// capture order, so a fault or cancellation surfaces after exactly the
+/// chunks a serial fill would have delivered — byte-identical error
+/// semantics. The helper re-enters the caller's [`CancelScope`]
+/// (cancellation scopes are thread-local), so supervised cells still
+/// stop within one poll stride.
+fn run_convoy_pipelined(
+    stream: &mut TraceStream,
+    consumers: &mut [ReplayConsumer],
+) -> Result<(), EmuError> {
+    // Instruction timings are fixed at predecode; clone them so the
+    // drain side can classify records while the helper thread holds the
+    // stream mutably.
+    let timings: Box<[InstTiming]> = stream.timings().into();
+    let token = crate::cancel::current();
+    let (full_tx, full_rx) = mpsc::sync_channel::<Result<Option<TraceChunk>, EmuError>>(1);
+    let (free_tx, free_rx) = mpsc::channel::<TraceChunk>();
+    for _ in 0..3 {
+        free_tx
+            .send(TraceChunk::with_chunk_capacity())
+            .expect("free list holds its receiver");
+    }
+    std::thread::scope(|scope| {
+        let capture = scope.spawn(move || {
+            let _guard = token.map(crate::cancel::CancelScope::enter);
+            while let Ok(mut chunk) = free_rx.recv() {
+                match stream.fill(&mut chunk) {
+                    Ok(true) => {
+                        if full_tx.send(Ok(Some(chunk))).is_err() {
+                            return; // drain side bailed; nothing left to report
+                        }
+                    }
+                    Ok(false) => {
+                        let _ = full_tx.send(Ok(None));
+                        return;
+                    }
+                    Err(e) => {
+                        let _ = full_tx.send(Err(e));
+                        return;
+                    }
+                }
+            }
+        });
+        let mut result = Ok(());
+        while let Ok(msg) = full_rx.recv() {
+            match msg {
+                Ok(Some(chunk)) => {
+                    drain_chunk_convoy(consumers, &timings, &chunk);
+                    // The helper exits after its final send; a closed
+                    // free list here is expected, not an error.
+                    let _ = free_tx.send(chunk);
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        // Close the free list so a helper still waiting for a buffer
+        // unblocks, then surface any capture-thread panic.
+        drop(free_tx);
+        drop(full_rx);
+        capture.join().expect("capture thread panicked");
+        result
+    })
 }
 
 /// The materialized-trace convoy body: drains each chunk of `trace`

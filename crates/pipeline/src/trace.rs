@@ -68,9 +68,12 @@ use probranch_isa::{ExecClass, Program};
 use probranch_mmap::Mmap;
 use probranch_predictor::{BranchPredictor, BranchReq, PredictorDispatch};
 
+use probranch_faults as faults;
+
+use crate::aot::{BlockProgram, CaptureTier};
 use crate::cache::MemoryHierarchy;
 use crate::decode::InstTiming;
-use crate::machine::{BranchEvent, BranchEventKind, EmuConfig, EmuError, Emulator};
+use crate::machine::{BranchEvent, BranchEventKind, EmuConfig, EmuError, Emulator, StepRecord};
 use crate::ooo::OooTimingModel;
 use crate::sim::{SimConfig, SimReport};
 
@@ -119,7 +122,7 @@ const BR_KIND_SHIFT: u32 = 3;
 /// Packs a branch resolution into the trace's one-byte encoding (0 for
 /// a non-branch record).
 #[inline]
-fn encode_branch(branch: Option<BranchEvent>) -> u8 {
+pub(crate) fn encode_branch(branch: Option<BranchEvent>) -> u8 {
     match branch {
         None => 0,
         Some(ev) => {
@@ -520,7 +523,7 @@ impl TraceChunk {
 
     /// Appends one record in its raw stream form.
     #[inline(always)]
-    fn push_raw(&mut self, pc: u32, branch_byte: u8, istall: u8, dlat: u8) {
+    pub(crate) fn push_raw(&mut self, pc: u32, branch_byte: u8, istall: u8, dlat: u8) {
         self.pcs.owned_mut().push(pc);
         self.istalls.owned_mut().push(istall);
         self.dlats.owned_mut().push(dlat);
@@ -538,6 +541,42 @@ impl TraceChunk {
         } else {
             self.open_run += 1;
         }
+    }
+
+    /// Returns a cursor writer over zero-filled record streams that
+    /// grow lazily toward `budget` slots — the block engine's emission
+    /// path. Per-record work becomes plain indexed stores behind one
+    /// watermark check, the zero istalls/dlats of each bulk span come
+    /// from the growth `memset` for free, and a capture that stops
+    /// well short of the budget (short program, tail chunk) never
+    /// touches — or faults in — the unused pages a full upfront
+    /// pre-size would. The caller trims the streams back to the
+    /// records actually written with [`end_fill`](TraceChunk::end_fill).
+    pub(crate) fn begin_fill(&mut self, budget: usize) -> ChunkWriter<'_> {
+        debug_assert!(self.is_empty() && self.open_run == 0);
+        ChunkWriter {
+            pcs: self.pcs.owned_mut(),
+            istalls: self.istalls.owned_mut(),
+            dlats: self.dlats.owned_mut(),
+            branches: self.branches.owned_mut(),
+            runs: self.runs.owned_mut(),
+            breqs: &mut self.breqs,
+            breq_prob: &mut self.breq_prob,
+            cur: 0,
+            open_run: 0,
+            sized: 0,
+            budget,
+        }
+    }
+
+    /// Closes a [`begin_fill`](TraceChunk::begin_fill) session: trims
+    /// the record streams to the `written` records and installs the
+    /// writer's trailing open-run length.
+    pub(crate) fn end_fill(&mut self, written: usize, open_run: u32) {
+        self.pcs.owned_mut().truncate(written);
+        self.istalls.owned_mut().truncate(written);
+        self.dlats.owned_mut().truncate(written);
+        self.open_run = open_run;
     }
 
     /// Appends one record from its AoS view.
@@ -630,6 +669,103 @@ impl TraceChunk {
             + self.runs.heap_bytes()
             + self.breqs.capacity() * std::mem::size_of::<BranchReq>()
             + self.breq_prob.capacity()
+    }
+}
+
+/// A cursor over a [`TraceChunk`]'s zero-filled record streams (see
+/// [`TraceChunk::begin_fill`]). Every emission is a plain indexed
+/// store at the cursor behind a watermark check — the streams grow by
+/// doubling toward `budget` rather than pre-sizing upfront, so short
+/// captures only pay for the pages they actually fill. The
+/// branch-side streams stay push-based (they are an order of
+/// magnitude sparser than the record streams).
+pub(crate) struct ChunkWriter<'a> {
+    pcs: &'a mut Vec<u32>,
+    istalls: &'a mut Vec<u8>,
+    dlats: &'a mut Vec<u8>,
+    branches: &'a mut Vec<u8>,
+    runs: &'a mut Vec<u32>,
+    breqs: &'a mut Vec<BranchReq>,
+    breq_prob: &'a mut Vec<bool>,
+    cur: usize,
+    open_run: u32,
+    /// Zero-filled length of the record streams; indexed stores are
+    /// valid below it.
+    sized: usize,
+    /// Chunk record budget — the growth ceiling (callers never emit
+    /// past it).
+    budget: usize,
+}
+
+impl ChunkWriter<'_> {
+    /// Records written so far.
+    #[inline(always)]
+    pub(crate) fn written(&self) -> u64 {
+        self.cur as u64
+    }
+
+    /// Raises the zero-filled watermark to cover `need` records.
+    #[cold]
+    fn grow(&mut self, need: usize) {
+        let new = self.budget.min((self.sized * 2).max(4096)).max(need);
+        self.pcs.resize(new, 0);
+        self.istalls.resize(new, 0);
+        self.dlats.resize(new, 0);
+        self.sized = new;
+    }
+
+    /// Bulk-appends `n` straight-line records at consecutive pcs
+    /// `start..start + n` — the block engine's warm fast path. No
+    /// branch bytes (a block body is branch-free by construction), and
+    /// the zero istalls/dlats are already in place from the zero-fill
+    /// growth: only the pcs and the load-latency patches are written.
+    #[inline(always)]
+    pub(crate) fn emit_straight(&mut self, start: u32, n: u32, dlat_patch: &[(u32, u8)]) {
+        let base = self.cur;
+        if base + n as usize > self.sized {
+            self.grow(base + n as usize);
+        }
+        for i in 0..n as usize {
+            self.pcs[base + i] = start + i as u32;
+        }
+        for &(i, d) in dlat_patch {
+            self.dlats[base + i as usize] = d;
+        }
+        self.open_run += n;
+        self.cur = base + n as usize;
+    }
+
+    /// Appends one record in its raw stream form —
+    /// [`TraceChunk::push_raw`] in cursor form, byte for byte.
+    #[inline(always)]
+    pub(crate) fn emit_record(&mut self, pc: u32, branch_byte: u8, istall: u8, dlat: u8) {
+        if self.cur == self.sized {
+            self.grow(self.cur + 1);
+        }
+        self.pcs[self.cur] = pc;
+        self.istalls[self.cur] = istall;
+        self.dlats[self.cur] = dlat;
+        self.cur += 1;
+        if branch_byte != 0 {
+            self.runs.push(self.open_run);
+            self.branches.push(branch_byte);
+            self.open_run = 0;
+            // A conditional branch has kind bits 0: only the present/
+            // taken/prob flags may be set.
+            if branch_byte & !(BR_TAKEN | BR_PROB) == BR_PRESENT {
+                self.breqs
+                    .push(BranchReq::new(pc as u64, branch_byte & BR_TAKEN != 0));
+                self.breq_prob.push(branch_byte & BR_PROB != 0);
+            }
+        } else {
+            self.open_run += 1;
+        }
+    }
+
+    /// Ends the session, returning `(written, open_run)` for
+    /// [`TraceChunk::end_fill`].
+    pub(crate) fn finish(self) -> (usize, u32) {
+        (self.cur, self.open_run)
     }
 }
 
@@ -771,6 +907,62 @@ pub struct TraceFunctional {
     pub pbs: Option<PbsStats>,
 }
 
+/// Pre-simulates and packs one interpreter record — the shared
+/// per-record path of every capture tier: the interpreter fill loop,
+/// the block engine's fallback single-steps and its block terminators
+/// all go through here, so the hierarchy evolution and the packed
+/// bytes cannot drift between tiers.
+///
+/// The L1-I-resident fast path: once a line has been fetched it can
+/// never leave the L1-I (see [`TraceStream::itouched`]), so only the
+/// first touch walks the hierarchy (and inserts into the shared L2,
+/// exactly as the full simulation would).
+#[inline(always)]
+pub(crate) fn pack_record(
+    presim: &mut MemoryHierarchy,
+    timings: &[InstTiming],
+    itouched: &mut [bool],
+    pcs_per_line: usize,
+    chunk: &mut TraceChunk,
+    rec: StepRecord,
+) {
+    let (istall, dlat) = record_costs(presim, timings, itouched, pcs_per_line, &rec);
+    chunk.push_raw(rec.pc, encode_branch(rec.branch), istall, dlat);
+}
+
+/// The latency half of [`pack_record`] — evolves the pre-simulated
+/// hierarchy and returns the record's `(istall, dlat)` bytes. Shared
+/// with the block engine's cursor writer, which packs the record
+/// itself.
+#[inline(always)]
+pub(crate) fn record_costs(
+    presim: &mut MemoryHierarchy,
+    timings: &[InstTiming],
+    itouched: &mut [bool],
+    pcs_per_line: usize,
+    rec: &StepRecord,
+) -> (u8, u8) {
+    let istall = if !itouched.is_empty() {
+        let line = rec.pc as usize / pcs_per_line;
+        if itouched[line] {
+            0
+        } else {
+            itouched[line] = true;
+            presim.inst_access(rec.pc as u64 * 8)
+        }
+    } else {
+        presim.inst_access(rec.pc as u64 * 8)
+    };
+    let dlat = if timings[rec.pc as usize].class == ExecClass::Load.index() as u8 {
+        let addr = rec.mem_addr().expect("loads carry an address");
+        presim.data_access(addr)
+    } else {
+        0
+    };
+    debug_assert!(istall <= u8::MAX as u64 && dlat <= u8::MAX as u64);
+    (istall as u8, dlat as u8)
+}
+
 /// The capture half of the fused engine, split out as a chunk stream.
 ///
 /// Drive it with [`fill`](TraceStream::fill) until it reports the
@@ -780,12 +972,12 @@ pub struct TraceFunctional {
 /// core and filter settings are timing-side and ignored.
 #[derive(Debug)]
 pub struct TraceStream {
-    emu: Emulator,
+    pub(crate) emu: Emulator,
     /// The pre-simulated hierarchy. Must evolve exactly as the timing
     /// model's own `MemoryHierarchy::default()` would: instruction
     /// fetch, then the data access for loads, per record in order.
-    presim: MemoryHierarchy,
-    timings: Box<[InstTiming]>,
+    pub(crate) presim: MemoryHierarchy,
+    pub(crate) timings: Box<[InstTiming]>,
     /// Per-instruction-cache-line first-touch flags, when the program is
     /// small enough that the L1-I provably never evicts a program line
     /// (≤ its 512-line capacity, consecutive line indices → at most
@@ -795,13 +987,26 @@ pub struct TraceStream {
     /// later fetch is a known `istall = 0` — byte-identical to the full
     /// pre-simulation, measurably cheaper on the per-record hot path.
     /// Empty for larger programs (full pre-simulation per fetch).
-    itouched: Box<[bool]>,
+    pub(crate) itouched: Box<[bool]>,
     /// Consecutive pcs per L1-I line (`line_bytes / 8`-byte
     /// instructions) — the divisor `itouched` was sized with.
-    pcs_per_line: usize,
-    executed: u64,
-    max_insts: u64,
-    halted: bool,
+    pub(crate) pcs_per_line: usize,
+    /// The block-compiled form of the program (see `crate::aot`), when
+    /// the selected capture tier, the `capture.block` failpoint and the
+    /// L1-I-residency precondition all allow block execution. `None`
+    /// runs the per-instruction decoded interpreter.
+    pub(crate) blocks: Option<BlockProgram>,
+    /// Per-block warmth verdicts, parallel to `blocks`' block indices.
+    /// Warmth is monotonic — `itouched` lines are only ever set — so a
+    /// block found warm stays warm and the dispatch loop skips the
+    /// per-execution line scan.
+    pub(crate) warm_blocks: Box<[bool]>,
+    /// Scratch for the block executor: `(body index, latency)` of the
+    /// loads in the currently executing block body.
+    pub(crate) dlat_scratch: Vec<(u32, u8)>,
+    pub(crate) executed: u64,
+    pub(crate) max_insts: u64,
+    pub(crate) halted: bool,
 }
 
 impl TraceStream {
@@ -826,12 +1031,41 @@ impl TraceStream {
         } else {
             Box::default()
         };
+        // Block-compiled capture (see `crate::aot`): the warm fast path
+        // relies on the L1-I-residency argument above, so programs too
+        // large for `itouched` stay on the interpreter. The
+        // `capture.block` failpoint degrades block capture to the
+        // interpreter silently — torture runs prove the fallback is
+        // byte-invisible.
+        let blocks = if itouched.is_empty() {
+            None
+        } else {
+            match crate::aot::selected_tier() {
+                CaptureTier::Interp => None,
+                tier => {
+                    let salt = [timings.len() as u64, config.max_insts];
+                    if faults::injected(faults::Site::CaptureBlock, &salt) {
+                        None
+                    } else {
+                        let compiled =
+                            BlockProgram::compile(emu.decoded(), tier == CaptureTier::Generated);
+                        (compiled.compiled_blocks() > 0).then_some(compiled)
+                    }
+                }
+            }
+        };
+        let warm_blocks = blocks.as_ref().map_or_else(Box::default, |b| {
+            vec![false; b.compiled_blocks()].into_boxed_slice()
+        });
         TraceStream {
             emu,
             presim,
             timings,
             itouched,
             pcs_per_line,
+            blocks,
+            warm_blocks,
+            dlat_scratch: Vec::new(),
             executed: 0,
             max_insts: config.max_insts,
             halted: false,
@@ -856,54 +1090,41 @@ impl TraceStream {
     /// instruction where the fused engine would: when the dynamic
     /// instruction count reaches `max_insts` without a halt.
     pub fn fill(&mut self, chunk: &mut TraceChunk) -> Result<bool, EmuError> {
+        if self.blocks.is_some() {
+            return self.fill_block(chunk);
+        }
+        self.fill_interp(chunk)
+    }
+
+    /// The interpreter tier of [`fill`](TraceStream::fill): one
+    /// [`Emulator::step_decoded`] call per record.
+    pub(crate) fn fill_interp(&mut self, chunk: &mut TraceChunk) -> Result<bool, EmuError> {
         chunk.clear();
         if self.halted {
             return Ok(false);
         }
         // Cooperative cancellation: one poll per chunk bounds how much
-        // work a cancelled capture or convoy performs after the fact.
+        // work a cancelled capture or convoy performs after the fact
+        // (a chunk is exactly the fused engine's 64 Ki poll stride).
         crate::cancel::check_current()?;
         // Cap the chunk at the remaining instruction budget so the limit
         // trips at exactly the same dynamic instruction as the fused
         // engine's batch loop.
         let budget = (self.max_insts - self.executed).clamp(1, TRACE_CHUNK_RECORDS as u64) as usize;
-        let load_class = ExecClass::Load.index() as u8;
-        let small_program = !self.itouched.is_empty();
-        let pcs_per_line = self.pcs_per_line;
         let TraceStream {
             emu,
             presim,
             timings,
             itouched,
+            pcs_per_line,
             ..
         } = self;
+        let pcs_per_line = *pcs_per_line;
         // Emulate, pre-simulate and pack in one pass: each record is
         // handed straight from the interpreter to the chunk's SoA
         // streams, no intermediate record buffer.
         let n = emu.step_block_with(budget, |rec| {
-            // L1-I-resident fast path: once a line has been fetched it
-            // can never leave the L1-I (see `itouched`), so only the
-            // first touch walks the hierarchy (and inserts into the
-            // shared L2, exactly as the full simulation would).
-            let istall = if small_program {
-                let line = rec.pc as usize / pcs_per_line;
-                if itouched[line] {
-                    0
-                } else {
-                    itouched[line] = true;
-                    presim.inst_access(rec.pc as u64 * 8)
-                }
-            } else {
-                presim.inst_access(rec.pc as u64 * 8)
-            };
-            let dlat = if timings[rec.pc as usize].class == load_class {
-                let addr = rec.mem_addr().expect("loads carry an address");
-                presim.data_access(addr)
-            } else {
-                0
-            };
-            debug_assert!(istall <= u8::MAX as u64 && dlat <= u8::MAX as u64);
-            chunk.push_raw(rec.pc, encode_branch(rec.branch), istall as u8, dlat as u8);
+            pack_record(presim, timings, itouched, pcs_per_line, chunk, rec);
         })?;
         if n == 0 {
             self.halted = true;

@@ -8,9 +8,9 @@ use probranch::isa::{
 };
 use probranch::pbs::{BranchResolution, PbsConfig, PbsUnit};
 use probranch::pipeline::{
-    simulate, simulate_replay, simulate_replay_convoy, BranchEvent, BranchEventKind, Cache,
-    DynTrace, EmuConfig, Emulator, ExecLatencies, OooConfig, PredictorChoice, ReplayRec, SimConfig,
-    TraceChunk,
+    simulate, simulate_replay, simulate_replay_convoy, with_capture_tier, BranchEvent,
+    BranchEventKind, Cache, CaptureTier, DynTrace, EmuConfig, Emulator, ExecLatencies, OooConfig,
+    PredictorChoice, ReplayRec, SimConfig, TraceChunk,
 };
 use probranch::predictor::{BranchPredictor, TageScL, Tournament};
 
@@ -240,12 +240,53 @@ proptest! {
         // machine configuration, capturing the dynamic trace once and
         // re-timing it produces the *identical* `SimReport` (timing,
         // outputs, `prob_consumed`, `branch_trace`) — or the identical
-        // error — as the fused engine simulating directly.
+        // error — as the fused engine simulating directly. And all
+        // three capture tiers — native fragments, block-compiled,
+        // decoded interpreter — must capture the identical trace,
+        // error paths (`InstLimitExceeded` at the same dynamic trip
+        // point) included. `replay_workload` is a mixed program for
+        // the block compiler: straight-line xorshift bodies (a native
+        // fragment under the generated tier) interleaved with
+        // rare-op fallbacks (`prob_cmp`/`prob_jmp`/`out`) and block
+        // terminators.
         let program = replay_workload(iters);
         let direct = simulate(&program, &cfg);
-        let via_trace = DynTrace::capture(&program, &cfg)
-            .and_then(|trace| simulate_replay(&trace, &cfg));
+        let interp =
+            with_capture_tier(CaptureTier::Interp, || DynTrace::capture(&program, &cfg));
+        let block = with_capture_tier(CaptureTier::Block, || DynTrace::capture(&program, &cfg));
+        let generated =
+            with_capture_tier(CaptureTier::Generated, || DynTrace::capture(&program, &cfg));
+        prop_assert_eq!(&block, &interp);
+        prop_assert_eq!(&generated, &interp);
+        let via_trace = interp.and_then(|trace| simulate_replay(&trace, &cfg));
         prop_assert_eq!(via_trace, direct);
+    }
+
+    #[test]
+    fn capture_tiers_agree_on_memory_faults(
+        pad in 1usize..40,
+        budget in 3u64..2_000,
+    ) {
+        // A straight-line block faulting mid-body: every capture tier
+        // must commit exactly the same record prefix and surface the
+        // identical structured error — `MemoryFault` when the budget
+        // covers the faulting load, `InstLimitExceeded` when it trips
+        // first.
+        let mut b = probranch::isa::ProgramBuilder::new();
+        for _ in 0..pad {
+            b.add(Reg::R1, Reg::R1, 1);
+        }
+        b.li(Reg::R9, (1u64 << 40) as i64);
+        b.ld(Reg::R2, Reg::R9, 0);
+        b.halt();
+        let program = b.build().unwrap();
+        let cfg = SimConfig { max_insts: budget, ..SimConfig::default() };
+        let interp =
+            with_capture_tier(CaptureTier::Interp, || DynTrace::capture(&program, &cfg));
+        let block = with_capture_tier(CaptureTier::Block, || DynTrace::capture(&program, &cfg));
+        prop_assert_eq!(&block, &interp);
+        prop_assert!(block.is_err());
+        prop_assert_eq!(block.err(), simulate(&program, &cfg).err());
     }
 
     #[test]
